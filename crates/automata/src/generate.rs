@@ -1,0 +1,158 @@
+//! Random generators for automata and expressions (workload substrate).
+//!
+//! The paper's claims are about parameterized families; these generators
+//! produce the random members of each family used by the property tests and
+//! the Table-1 benchmark sweeps.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::replus::{Factor, RePlus};
+use rand::Rng;
+
+/// Generates a random *trimmed* DFA: `num_states` states over
+/// `alphabet_size` letters with transition density `density ∈ (0, 1]`,
+/// at least one final state, and a non-empty language.
+pub fn random_dfa(rng: &mut impl Rng, num_states: usize, alphabet_size: usize, density: f64) -> Dfa {
+    assert!(num_states >= 1 && alphabet_size >= 1);
+    loop {
+        let mut d = Dfa::new(alphabet_size);
+        for _ in 1..num_states {
+            d.add_state();
+        }
+        for q in 0..num_states as u32 {
+            for l in 0..alphabet_size as u32 {
+                if rng.gen_bool(density) {
+                    let r = rng.gen_range(0..num_states) as u32;
+                    d.set_transition(q, l, r);
+                }
+            }
+        }
+        // Random final states; re-roll until the language is non-empty.
+        for q in 0..num_states as u32 {
+            if rng.gen_bool(0.3) {
+                d.set_final(q);
+            }
+        }
+        if !d.is_empty() {
+            return d;
+        }
+    }
+}
+
+/// Generates a random NFA (non-empty language).
+pub fn random_nfa(
+    rng: &mut impl Rng,
+    num_states: usize,
+    alphabet_size: usize,
+    num_transitions: usize,
+) -> Nfa {
+    assert!(num_states >= 1 && alphabet_size >= 1);
+    loop {
+        let mut n = Nfa::new(alphabet_size);
+        for _ in 0..num_states {
+            n.add_state();
+        }
+        n.set_initial(rng.gen_range(0..num_states) as u32);
+        for _ in 0..num_transitions {
+            let q = rng.gen_range(0..num_states) as u32;
+            let l = rng.gen_range(0..alphabet_size) as u32;
+            let r = rng.gen_range(0..num_states) as u32;
+            n.add_transition(q, l, r);
+        }
+        for q in 0..num_states as u32 {
+            if rng.gen_bool(0.3) {
+                n.set_final(q);
+            }
+        }
+        if !n.is_empty() {
+            return n;
+        }
+    }
+}
+
+/// Generates a random regex of roughly `size` AST nodes over letters
+/// `0..alphabet_size`.
+pub fn random_regex(rng: &mut impl Rng, size: usize, alphabet_size: usize) -> Regex {
+    assert!(alphabet_size >= 1);
+    if size <= 1 {
+        return Regex::Sym(rng.gen_range(0..alphabet_size) as u32);
+    }
+    match rng.gen_range(0..6) {
+        0 => {
+            let n = rng.gen_range(2..=3.min(size));
+            let each = (size - 1) / n;
+            Regex::Concat((0..n).map(|_| random_regex(rng, each.max(1), alphabet_size)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2..=3.min(size));
+            let each = (size - 1) / n;
+            Regex::Alt((0..n).map(|_| random_regex(rng, each.max(1), alphabet_size)).collect())
+        }
+        2 => Regex::Star(Box::new(random_regex(rng, size - 1, alphabet_size))),
+        3 => Regex::Plus(Box::new(random_regex(rng, size - 1, alphabet_size))),
+        4 => Regex::Opt(Box::new(random_regex(rng, size - 1, alphabet_size))),
+        _ => Regex::Sym(rng.gen_range(0..alphabet_size) as u32),
+    }
+}
+
+/// Generates a random RE+ expression with `num_factors` factors.
+pub fn random_replus(rng: &mut impl Rng, num_factors: usize, alphabet_size: usize) -> RePlus {
+    assert!(alphabet_size >= 1);
+    let factors = (0..num_factors)
+        .map(|_| Factor {
+            sym: rng.gen_range(0..alphabet_size) as u32,
+            plus: rng.gen_bool(0.5),
+        })
+        .collect();
+    RePlus::from_factors(factors)
+}
+
+/// Generates a random word of length `len`.
+pub fn random_word(rng: &mut impl Rng, len: usize, alphabet_size: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.gen_range(0..alphabet_size) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_dfa_is_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let d = random_dfa(&mut rng, 5, 3, 0.7);
+            assert!(!d.is_empty());
+            assert_eq!(d.alphabet_size(), 3);
+        }
+    }
+
+    #[test]
+    fn random_nfa_is_nonempty() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = random_nfa(&mut rng, 6, 2, 12);
+            assert!(!n.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_regex_has_bounded_letters() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let r = random_regex(&mut rng, 10, 4);
+            assert!(r.letters().iter().all(|&l| l < 4));
+        }
+    }
+
+    #[test]
+    fn random_replus_wellformed() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let e = random_replus(&mut rng, 6, 3);
+        assert_eq!(e.size(), 6);
+        assert!(e.accepts(&e.min_string()));
+        assert!(e.accepts(&e.vast_string()));
+    }
+}

@@ -1,0 +1,32 @@
+//! String-automata substrate for the xml-typecheck workspace.
+//!
+//! This crate implements the string-language machinery of Section 2 of
+//! Martens & Neven: non-deterministic finite automata ([`Nfa`]), deterministic
+//! finite automata ([`Dfa`]), regular expressions ([`regex::Regex`]) with the
+//! Glushkov construction, and the `RE+` expressions of Section 5
+//! ([`replus::RePlus`]).
+//!
+//! Automata here run over *letters* represented as dense `u32` ids. Letters
+//! are either alphabet symbols ([`xmlta_base::Symbol`]) or tree-automaton
+//! states, depending on the context — tree automata over unranked trees use
+//! string automata whose alphabet is their own state set (Definition 2 of the
+//! paper), and sharing one implementation for both keeps the tree-automata
+//! code small.
+
+pub mod dfa;
+pub mod generate;
+pub mod minimize;
+pub mod nfa;
+pub mod ops;
+pub mod regex;
+pub mod replus;
+pub mod unary;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;
+pub use regex::Regex;
+pub use replus::RePlus;
+
+/// A dense letter id. Depending on context this is an alphabet [`xmlta_base::Symbol`]
+/// or a tree-automaton state.
+pub type Letter = u32;

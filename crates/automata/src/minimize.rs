@@ -1,0 +1,192 @@
+//! DFA minimization (Moore's partition refinement).
+//!
+//! Minimization is not needed for any of the paper's complexity results but
+//! keeps the automata produced by the reductions and workload generators
+//! small, which in turn keeps the benchmark series comparable across sizes.
+
+use crate::dfa::Dfa;
+
+/// Returns the minimal complete DFA equivalent to `dfa`.
+///
+/// Runs Moore's O(n²·|Σ|) partition refinement, which is plenty for the
+/// automaton sizes this workspace manipulates (dozens to a few thousand
+/// states); unreachable states are dropped first.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let d = reachable_part(&dfa.complete());
+    let n = d.num_states();
+    let sigma = d.alphabet_size();
+
+    // Initial partition: final vs non-final.
+    let mut class: Vec<u32> = (0..n).map(|q| d.is_final_state(q as u32) as u32).collect();
+    let mut num_classes = 2;
+    // Degenerate case: all states in one class.
+    if class.iter().all(|&c| c == class[0]) {
+        num_classes = 1;
+        for c in class.iter_mut() {
+            *c = 0;
+        }
+    }
+
+    loop {
+        // Signature of a state: (class, class of successor per letter).
+        let mut sig_map = std::collections::HashMap::new();
+        let mut new_class = vec![0u32; n];
+        let mut next_id = 0u32;
+        for q in 0..n {
+            let mut sig = Vec::with_capacity(sigma + 1);
+            sig.push(class[q]);
+            for l in 0..sigma as u32 {
+                let r = d.step(q as u32, l).expect("complete");
+                sig.push(class[r as usize]);
+            }
+            let id = *sig_map.entry(sig).or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            new_class[q] = id;
+        }
+        if next_id as usize == num_classes {
+            class = new_class;
+            break;
+        }
+        num_classes = next_id as usize;
+        class = new_class;
+    }
+
+    // Build the quotient automaton.
+    let mut out = Dfa::new(sigma);
+    for _ in 1..num_classes {
+        out.add_state();
+    }
+    // Representative per class.
+    let mut rep: Vec<Option<u32>> = vec![None; num_classes];
+    for q in 0..n {
+        let c = class[q] as usize;
+        if rep[c].is_none() {
+            rep[c] = Some(q as u32);
+        }
+    }
+    for c in 0..num_classes {
+        let q = rep[c].expect("class non-empty");
+        if d.is_final_state(q) {
+            out.set_final(c as u32);
+        }
+        for l in 0..sigma as u32 {
+            let r = d.step(q, l).expect("complete");
+            out.set_transition(c as u32, l, class[r as usize]);
+        }
+    }
+    out.set_initial(class[d.initial_state() as usize]);
+    out
+}
+
+/// Drops states unreachable from the initial state.
+fn reachable_part(d: &Dfa) -> Dfa {
+    let n = d.num_states();
+    let mut seen = vec![false; n];
+    let mut stack = vec![d.initial_state()];
+    seen[d.initial_state() as usize] = true;
+    while let Some(q) = stack.pop() {
+        for l in 0..d.alphabet_size() as u32 {
+            if let Some(r) = d.step(q, l) {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    stack.push(r);
+                }
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut out = Dfa::new(d.alphabet_size());
+    let mut next = 0u32;
+    for q in 0..n {
+        if seen[q] {
+            let id = if next == 0 { 0 } else { out.add_state() };
+            remap[q] = id;
+            next += 1;
+        }
+    }
+    for q in 0..n {
+        if !seen[q] {
+            continue;
+        }
+        if d.is_final_state(q as u32) {
+            out.set_final(remap[q]);
+        }
+        for l in 0..d.alphabet_size() as u32 {
+            if let Some(r) = d.step(q as u32, l) {
+                out.set_transition(remap[q], l, remap[r as usize]);
+            }
+        }
+    }
+    out.set_initial(remap[d.initial_state() as usize]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_collapses_redundant_states() {
+        // Two copies of the same a* loop reachable on a / b: minimal DFA for
+        // "any word" has 1 state.
+        let mut d = Dfa::new(2);
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        d.set_final(0);
+        d.set_final(q1);
+        d.set_final(q2);
+        d.set_transition(0, 0, q1);
+        d.set_transition(0, 1, q2);
+        for q in [q1, q2] {
+            d.set_transition(q, 0, q);
+            d.set_transition(q, 1, q);
+        }
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        // a*b over {a,b}.
+        let mut d = Dfa::new(2);
+        let q1 = d.add_state();
+        let dead = d.add_state();
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, q1);
+        d.set_transition(q1, 0, dead);
+        d.set_transition(q1, 1, dead);
+        d.set_transition(dead, 0, dead);
+        d.set_transition(dead, 1, dead);
+        d.set_final(q1);
+        let m = minimize(&d);
+        for w in [vec![], vec![1], vec![0, 1], vec![0, 0, 1], vec![1, 0]] {
+            assert_eq!(d.accepts(&w), m.accepts(&w), "word {w:?}");
+        }
+        assert!(m.num_states() <= d.complete().num_states());
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let d = Dfa::empty_language(2);
+        let m = minimize(&d);
+        assert!(m.is_empty());
+        assert_eq!(m.num_states(), 1);
+    }
+
+    #[test]
+    fn minimal_dfa_is_fixed_point() {
+        let mut d = Dfa::new(2);
+        let q1 = d.add_state();
+        d.set_transition(0, 0, q1);
+        d.set_transition(q1, 1, 0);
+        d.set_final(0);
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert!(m1.equivalent(&m2));
+    }
+}

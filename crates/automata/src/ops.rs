@@ -1,0 +1,291 @@
+//! Automata operations spanning NFA and DFA: determinization, products,
+//! and multi-automata intersection.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::Letter;
+use std::collections::{HashMap, VecDeque};
+
+/// Subset construction: builds a DFA for `L(nfa)`.
+///
+/// Only the reachable subsets are materialized, so determinizing the small
+/// NFAs appearing in DTD rules stays cheap even though the worst case is
+/// exponential (the paper's PSPACE/EXPTIME cells live in that worst case).
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let sigma = nfa.alphabet_size();
+    let mut start: Vec<u32> = nfa.initial_states().to_vec();
+    start.sort_unstable();
+    start.dedup();
+
+    let mut dfa = Dfa::new(sigma);
+    let mut map: HashMap<Vec<u32>, u32> = HashMap::new();
+    map.insert(start.clone(), 0);
+    if start.iter().any(|&q| nfa.is_final_state(q)) {
+        dfa.set_final(0);
+    }
+    let mut queue = VecDeque::from([start]);
+    while let Some(set) = queue.pop_front() {
+        let from = map[&set];
+        for l in 0..sigma as u32 {
+            let mut next: Vec<u32> = Vec::new();
+            for &q in &set {
+                for &(el, r) in nfa.transitions_from(q) {
+                    if el == l {
+                        next.push(r);
+                    }
+                }
+            }
+            if next.is_empty() {
+                continue; // leave partial: dead subset
+            }
+            next.sort_unstable();
+            next.dedup();
+            let to = *map.entry(next.clone()).or_insert_with(|| {
+                let s = dfa.add_state();
+                if next.iter().any(|&q| nfa.is_final_state(q)) {
+                    dfa.set_final(s);
+                }
+                queue.push_back(next.clone());
+                s
+            });
+            dfa.set_transition(from, l, to);
+        }
+    }
+    dfa
+}
+
+/// Product NFA accepting `L(a) ∩ L(b)` (reachable part only).
+pub fn intersect_nfa(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(a.alphabet_size(), b.alphabet_size(), "alphabet mismatch");
+    let mut out = Nfa::new(a.alphabet_size());
+    let mut map: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &qa in a.initial_states() {
+        for &qb in b.initial_states() {
+            map.entry((qa, qb)).or_insert_with(|| {
+                let s = out.add_state();
+                out.set_initial(s);
+                if a.is_final_state(qa) && b.is_final_state(qb) {
+                    out.set_final(s);
+                }
+                queue.push_back((qa, qb));
+                s
+            });
+        }
+    }
+    while let Some((qa, qb)) = queue.pop_front() {
+        let from = map[&(qa, qb)];
+        for &(la, ra) in a.transitions_from(qa) {
+            for &(lb, rb) in b.transitions_from(qb) {
+                if la != lb {
+                    continue;
+                }
+                let to = *map.entry((ra, rb)).or_insert_with(|| {
+                    let s = out.add_state();
+                    if a.is_final_state(ra) && b.is_final_state(rb) {
+                        out.set_final(s);
+                    }
+                    queue.push_back((ra, rb));
+                    s
+                });
+                out.add_transition(from, la, to);
+            }
+        }
+    }
+    out
+}
+
+/// Decides emptiness of `⋂ L(d_i)` by an on-the-fly product BFS; returns a
+/// shortest witness word when the intersection is non-empty.
+///
+/// This is the *intersection emptiness problem for DFAs* used in the
+/// reductions of Theorem 18 and Lemma 27 (there it is the hard direction; the
+/// product construction here is exponential in the number of automata, which
+/// is exactly what the reductions exploit).
+pub fn dfa_intersection_witness(dfas: &[&Dfa]) -> Option<Vec<Letter>> {
+    assert!(!dfas.is_empty(), "need at least one DFA");
+    let sigma = dfas[0].alphabet_size();
+    for d in dfas {
+        assert_eq!(d.alphabet_size(), sigma, "alphabet mismatch");
+    }
+    let start: Vec<u32> = dfas.iter().map(|d| d.initial_state()).collect();
+    let accepting =
+        |v: &[u32]| v.iter().zip(dfas).all(|(&q, d)| d.is_final_state(q));
+    let mut seen: HashMap<Vec<u32>, Option<(Vec<u32>, Letter)>> = HashMap::new();
+    seen.insert(start.clone(), None);
+    let mut queue = VecDeque::from([start.clone()]);
+    let mut hit: Option<Vec<u32>> = None;
+    if accepting(&start) {
+        hit = Some(start);
+    }
+    while hit.is_none() {
+        let Some(cur) = queue.pop_front() else { break };
+        'letters: for l in 0..sigma as u32 {
+            let mut next = Vec::with_capacity(cur.len());
+            for (&q, d) in cur.iter().zip(dfas) {
+                match d.step(q, l) {
+                    Some(r) => next.push(r),
+                    None => continue 'letters,
+                }
+            }
+            if !seen.contains_key(&next) {
+                seen.insert(next.clone(), Some((cur.clone(), l)));
+                if accepting(&next) {
+                    hit = Some(next);
+                    break;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut cur = hit?;
+    let mut word = Vec::new();
+    while let Some(Some((prev, l))) = seen.get(&cur) {
+        word.push(*l);
+        cur = prev.clone();
+    }
+    word.reverse();
+    Some(word)
+}
+
+/// Whether `⋂ L(d_i) = ∅`.
+pub fn dfa_intersection_is_empty(dfas: &[&Dfa]) -> bool {
+    dfa_intersection_witness(dfas).is_none()
+}
+
+/// Checks `L(a) ⊆ L(b)` where `a` is an NFA and `b` a DFA, returning a
+/// counterexample word otherwise.
+pub fn nfa_subset_of_dfa(a: &Nfa, b: &Dfa) -> Result<(), Vec<Letter>> {
+    // Product of `a` with the complement of `b`: BFS for an accepting pair.
+    let bc = b.complement();
+    let mut seen: HashMap<(u32, u32), Option<((u32, u32), Letter)>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut hit = None;
+    for &qa in a.initial_states() {
+        let key = (qa, bc.initial_state());
+        if seen.insert(key, None).is_none() {
+            if a.is_final_state(qa) && bc.is_final_state(bc.initial_state()) {
+                hit = Some(key);
+            }
+            queue.push_back(key);
+        }
+    }
+    while hit.is_none() {
+        let Some((qa, qb)) = queue.pop_front() else { break };
+        for &(l, ra) in a.transitions_from(qa) {
+            let rb = bc.step(qb, l).expect("complement is complete");
+            let key = (ra, rb);
+            if seen.contains_key(&key) {
+                continue;
+            }
+            seen.insert(key, Some(((qa, qb), l)));
+            if a.is_final_state(ra) && bc.is_final_state(rb) {
+                hit = Some(key);
+                break;
+            }
+            queue.push_back(key);
+        }
+    }
+    match hit {
+        None => Ok(()),
+        Some(mut cur) => {
+            let mut word = Vec::new();
+            while let Some(Some((prev, l))) = seen.get(&cur) {
+                word.push(*l);
+                cur = *prev;
+            }
+            word.reverse();
+            Err(word)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_star_nfa() -> Nfa {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.set_initial(q0);
+        n.set_final(q0);
+        n.add_transition(q0, 0, q1);
+        n.add_transition(q1, 1, q0);
+        n
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = ab_star_nfa();
+        let d = determinize(&n);
+        for w in [
+            vec![],
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 0],
+            vec![0, 1, 0, 1],
+            vec![1],
+        ] {
+            assert_eq!(n.accepts(&w), d.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_nondeterministic_choice() {
+        // NFA accepting words whose last letter is `a`: needs guessing.
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        n.set_initial(q0);
+        n.add_transition(q0, 0, q0);
+        n.add_transition(q0, 1, q0);
+        n.add_transition(q0, 0, q1);
+        n.set_final(q1);
+        let d = determinize(&n);
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[1, 0]));
+        assert!(!d.accepts(&[0, 1]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn intersect_nfa_works() {
+        let a = ab_star_nfa(); // (ab)*
+        let b = Nfa::single_word(2, &[0, 1]);
+        let i = intersect_nfa(&a, &b);
+        assert!(i.accepts(&[0, 1]));
+        assert!(!i.accepts(&[]));
+        assert!(!i.accepts(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn multi_dfa_intersection() {
+        // a*b ∩ ab* = {ab}... both contain "ab"? a*b: ends in single b; ab*:
+        // starts with single a. Intersection = {ab, b ∩ a...}: a*b ∩ ab* = {ab}.
+        let mut d1 = Dfa::new(2); // a*b
+        let f1 = d1.add_state();
+        d1.set_transition(0, 0, 0);
+        d1.set_transition(0, 1, f1);
+        d1.set_final(f1);
+        let mut d2 = Dfa::new(2); // ab*
+        let f2 = d2.add_state();
+        d2.set_transition(0, 0, f2);
+        d2.set_transition(f2, 1, f2);
+        d2.set_final(f2);
+        let w = dfa_intersection_witness(&[&d1, &d2]).expect("non-empty");
+        assert_eq!(w, vec![0, 1]);
+        // Add a third DFA accepting only ε: intersection becomes empty.
+        let d3 = Dfa::epsilon_only(2);
+        assert!(dfa_intersection_is_empty(&[&d1, &d2, &d3]));
+    }
+
+    #[test]
+    fn nfa_subset_check() {
+        let small = Nfa::single_word(2, &[0, 1]);
+        let big = determinize(&ab_star_nfa());
+        assert!(nfa_subset_of_dfa(&small, &big).is_ok());
+        let not_contained = Nfa::single_word(2, &[1]);
+        assert_eq!(nfa_subset_of_dfa(&not_contained, &big), Err(vec![1]));
+    }
+}

@@ -1,0 +1,136 @@
+//! Unary-alphabet DFAs (Lemma 27 substrate).
+//!
+//! Lemma 27 shows coNP-hardness of intersection emptiness for DFAs over the
+//! one-letter alphabet `{a}` by encoding 3-CNF satisfiability with prime
+//! moduli: a truth assignment is a string `a^r`, variable `x_i` is true iff
+//! `r mod p_i = 0`. This module builds the modulus automata and the clause
+//! automata the reduction needs.
+
+use crate::dfa::Dfa;
+
+/// DFA over the single letter `0` accepting `(a^p)*` — i.e. all `a^r` with
+/// `r ≡ 0 (mod p)`.
+pub fn mod_zero_dfa(p: u32) -> Dfa {
+    assert!(p >= 1, "modulus must be positive");
+    residue_dfa(p, &[0])
+}
+
+/// DFA over letter `0` accepting all `a^r` with `r mod p ∈ residues`.
+pub fn residue_dfa(p: u32, residues: &[u32]) -> Dfa {
+    assert!(p >= 1, "modulus must be positive");
+    let mut d = Dfa::new(1);
+    // state i = current residue
+    for _ in 1..p {
+        d.add_state();
+    }
+    for i in 0..p {
+        d.set_transition(i, 0, (i + 1) % p);
+    }
+    for &r in residues {
+        d.set_final(r % p);
+    }
+    d
+}
+
+/// Complement within the unary alphabet: all `a^r` with `r mod p ≠ 0`.
+pub fn mod_nonzero_dfa(p: u32) -> Dfa {
+    let residues: Vec<u32> = (1..p).collect();
+    residue_dfa(p, &residues)
+}
+
+/// The first `n` primes (n is small in all reductions; a simple sieve
+/// suffices — the Prime Number Theorem argument in the paper's proof only
+/// matters for the LOGSPACE claim).
+pub fn first_primes(n: usize) -> Vec<u32> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2u32;
+    while primes.len() < n {
+        if primes.iter().all(|&p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+/// Decides emptiness of the intersection of unary DFAs by simulating the
+/// joint residue vector up to the product of all periods (capped), returning
+/// the smallest accepted length otherwise.
+///
+/// Exponential in the number of automata — that is the content of Lemma 27.
+pub fn unary_intersection_witness(dfas: &[&Dfa], cap: u64) -> Option<u64> {
+    assert!(dfas.iter().all(|d| d.alphabet_size() == 1), "unary only");
+    let mut states: Vec<u32> = dfas.iter().map(|d| d.initial_state()).collect();
+    let mut len = 0u64;
+    loop {
+        if states
+            .iter()
+            .zip(dfas)
+            .all(|(&q, d)| d.is_final_state(q))
+        {
+            return Some(len);
+        }
+        if len >= cap {
+            return None;
+        }
+        for (q, d) in states.iter_mut().zip(dfas) {
+            *q = d.step(*q, 0)?;
+        }
+        len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_zero_accepts_multiples() {
+        let d = mod_zero_dfa(3);
+        let word = |n: usize| vec![0u32; n];
+        assert!(d.accepts(&word(0)));
+        assert!(d.accepts(&word(3)));
+        assert!(d.accepts(&word(6)));
+        assert!(!d.accepts(&word(1)));
+        assert!(!d.accepts(&word(4)));
+    }
+
+    #[test]
+    fn mod_nonzero_is_complement() {
+        let z = mod_zero_dfa(5);
+        let nz = mod_nonzero_dfa(5);
+        for n in 0..20usize {
+            let w = vec![0u32; n];
+            assert_eq!(z.accepts(&w), !nz.accepts(&w), "length {n}");
+        }
+    }
+
+    #[test]
+    fn primes() {
+        assert_eq!(first_primes(5), vec![2, 3, 5, 7, 11]);
+        assert_eq!(first_primes(0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unary_intersection_crt() {
+        // multiples of 2 ∩ multiples of 3 = multiples of 6; smallest
+        // positive... smallest is 0 (empty string).
+        let d2 = mod_zero_dfa(2);
+        let d3 = mod_zero_dfa(3);
+        assert_eq!(unary_intersection_witness(&[&d2, &d3], 100), Some(0));
+        // Nonzero mod 2 ∩ zero mod 3: smallest r with r odd, r ≡ 0 mod 3 → 3.
+        let n2 = mod_nonzero_dfa(2);
+        assert_eq!(unary_intersection_witness(&[&n2, &d3], 100), Some(3));
+        // Nonzero mod 2 ∩ zero mod 2 = empty.
+        assert_eq!(unary_intersection_witness(&[&n2, &d2], 100), None);
+    }
+
+    #[test]
+    fn residue_dfa_union_of_residues() {
+        let d = residue_dfa(4, &[1, 3]); // odd lengths
+        for n in 0..10usize {
+            let w = vec![0u32; n];
+            assert_eq!(d.accepts(&w), n % 2 == 1, "length {n}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the string-automata substrate: the classical
+//! algebraic laws that every downstream engine silently relies on.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xmlta_automata::generate::{random_dfa, random_nfa, random_regex, random_word};
+use xmlta_automata::minimize::minimize;
+use xmlta_automata::ops::{determinize, intersect_nfa, nfa_subset_of_dfa};
+
+const SIGMA: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Subset construction preserves the language.
+    #[test]
+    fn determinize_preserves_language(seed in 0u64..10_000, wseed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nfa = random_nfa(&mut rng, 5, SIGMA, 10);
+        let dfa = determinize(&nfa);
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..6 {
+            let w = random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Minimization preserves the language and never grows the automaton.
+    #[test]
+    fn minimize_preserves_language(seed in 0u64..10_000, wseed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dfa = random_dfa(&mut rng, 6, SIGMA, 0.7);
+        let min = minimize(&dfa);
+        prop_assert!(min.num_states() <= dfa.complete().num_states());
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..6 {
+            let w = random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    /// Complement is an involution and flips membership.
+    #[test]
+    fn complement_involution(seed in 0u64..10_000, wseed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dfa = random_dfa(&mut rng, 5, SIGMA, 0.6);
+        let comp = dfa.complement();
+        let back = comp.complement();
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..6 {
+            let w = random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(dfa.accepts(&w), !comp.accepts(&w));
+            prop_assert_eq!(dfa.accepts(&w), back.accepts(&w));
+        }
+    }
+
+    /// Product automata implement intersection and union pointwise.
+    #[test]
+    fn product_laws(seed1 in 0u64..10_000, seed2 in 0u64..10_000, wseed in 0u64..10_000) {
+        let mut r1 = SmallRng::seed_from_u64(seed1);
+        let mut r2 = SmallRng::seed_from_u64(seed2);
+        let a = random_dfa(&mut r1, 4, SIGMA, 0.7);
+        let b = random_dfa(&mut r2, 4, SIGMA, 0.7);
+        let inter = a.intersect(&b);
+        let union = a.union(&b);
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..6 {
+            let w = random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(inter.accepts(&w), a.accepts(&w) && b.accepts(&w));
+            prop_assert_eq!(union.accepts(&w), a.accepts(&w) || b.accepts(&w));
+        }
+    }
+
+    /// NFA intersection agrees with the DFA product.
+    #[test]
+    fn nfa_intersection_agrees(seed1 in 0u64..10_000, seed2 in 0u64..10_000) {
+        let mut r1 = SmallRng::seed_from_u64(seed1);
+        let mut r2 = SmallRng::seed_from_u64(seed2);
+        let a = random_nfa(&mut r1, 4, SIGMA, 8);
+        let b = random_nfa(&mut r2, 4, SIGMA, 8);
+        let via_nfa = determinize(&intersect_nfa(&a, &b));
+        let via_dfa = determinize(&a).intersect(&determinize(&b));
+        prop_assert!(via_nfa.equivalent(&via_dfa));
+    }
+
+    /// Containment checks agree with their witnesses.
+    #[test]
+    fn containment_witnesses(seed1 in 0u64..10_000, seed2 in 0u64..10_000) {
+        let mut r1 = SmallRng::seed_from_u64(seed1);
+        let mut r2 = SmallRng::seed_from_u64(seed2);
+        let a = random_dfa(&mut r1, 4, SIGMA, 0.7);
+        let b = random_dfa(&mut r2, 4, SIGMA, 0.7);
+        match a.inclusion_counterexample(&b) {
+            Some(w) => {
+                prop_assert!(a.accepts(&w));
+                prop_assert!(!b.accepts(&w));
+                prop_assert!(!a.contains_in(&b));
+            }
+            None => prop_assert!(a.contains_in(&b)),
+        }
+        // NFA-in-DFA inclusion is consistent with the DFA check.
+        match nfa_subset_of_dfa(&a.to_nfa(), &b) {
+            Ok(()) => prop_assert!(a.contains_in(&b)),
+            Err(w) => {
+                prop_assert!(a.accepts(&w));
+                prop_assert!(!b.accepts(&w));
+            }
+        }
+    }
+
+    /// Glushkov automata of random regexes accept what a direct matcher
+    /// would: cross-checked through the DFA round trip.
+    #[test]
+    fn regex_nfa_dfa_roundtrip(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let re = random_regex(&mut rng, 8, SIGMA);
+        let nfa = re.to_nfa(SIGMA);
+        let dfa = re.to_dfa(SIGMA);
+        let min = minimize(&dfa);
+        for len in 0..5 {
+            let w = random_word(&mut rng, len, SIGMA);
+            prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w));
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
+        }
+        // Nullability matches ε-acceptance.
+        prop_assert_eq!(re.nullable(), nfa.accepts(&[]));
+    }
+
+    /// Shortest-word search returns a shortest accepted word.
+    #[test]
+    fn shortest_word_is_minimal(seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dfa = random_dfa(&mut rng, 5, SIGMA, 0.7);
+        let w = dfa.shortest_word().expect("generator guarantees non-empty");
+        prop_assert!(dfa.accepts(&w));
+        // No shorter word is accepted: exhaustively check all words < |w|.
+        let mut layer: Vec<Vec<u32>> = vec![vec![]];
+        for _ in 0..w.len() {
+            for shorter in &layer {
+                prop_assert!(!dfa.accepts(shorter), "{:?} shorter than {:?}", shorter, w);
+            }
+            let mut next = Vec::new();
+            for word in &layer {
+                for l in 0..SIGMA as u32 {
+                    let mut w2 = word.clone();
+                    w2.push(l);
+                    next.push(w2);
+                }
+            }
+            layer = next;
+        }
+    }
+}

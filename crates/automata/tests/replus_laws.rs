@@ -1,0 +1,92 @@
+//! The Section 5 RE+ laws (Lemmas 31–33), cross-validated against exact
+//! DFA containment: the `e_min`/`e_vast` inclusion test must coincide with
+//! language inclusion.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xmlta_automata::generate::random_replus;
+
+const SIGMA: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lemma 31 / Corollary 32: inclusion via {e_min, e_vast} equals exact
+    /// DFA-level inclusion.
+    #[test]
+    fn replus_inclusion_matches_dfa(seed1 in 0u64..20_000, seed2 in 0u64..20_000) {
+        let mut r1 = SmallRng::seed_from_u64(seed1);
+        let mut r2 = SmallRng::seed_from_u64(seed2);
+        let e = random_replus(&mut r1, 5, SIGMA);
+        let f = random_replus(&mut r2, 5, SIGMA);
+        let by_lemma = e.included_in(&f);
+        let by_dfa = e.to_dfa(SIGMA).contains_in(&f.to_dfa(SIGMA));
+        prop_assert_eq!(by_lemma, by_dfa, "e = {:?}, f = {:?}", e, f);
+    }
+
+    /// The minimal and vast strings are members, and the minimal string is
+    /// the shortest member.
+    #[test]
+    fn min_and_vast_are_members(seed in 0u64..20_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = random_replus(&mut rng, 6, SIGMA);
+        let emin = e.min_string();
+        let evast = e.vast_string();
+        prop_assert!(e.accepts(&emin));
+        prop_assert!(e.accepts(&evast));
+        let shortest = e.to_dfa(SIGMA).shortest_word().expect("RE+ languages are non-empty");
+        prop_assert_eq!(shortest.len(), emin.len());
+    }
+
+    /// Normalization preserves the language.
+    #[test]
+    fn normalization_preserves_language(seed in 0u64..20_000, wseed in 0u64..20_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = random_replus(&mut rng, 5, SIGMA);
+        // Rebuild from the normal form: count copies of each factor.
+        let mut rebuilt = Vec::new();
+        for nf in e.normalize() {
+            for i in 0..nf.count {
+                rebuilt.push(xmlta_automata::replus::Factor {
+                    sym: nf.sym,
+                    plus: nf.open && i == 0,
+                });
+            }
+        }
+        let e2 = xmlta_automata::RePlus::from_factors(rebuilt);
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..8 {
+            let w = xmlta_automata::generate::random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(e.accepts(&w), e2.accepts(&w), "word {:?}", w);
+        }
+        prop_assert!(e.equivalent(&e2));
+    }
+
+    /// Equivalence is reflexive and inclusion is a partial order on
+    /// languages (antisymmetry up to equivalence).
+    #[test]
+    fn inclusion_partial_order(seed1 in 0u64..20_000, seed2 in 0u64..20_000) {
+        let mut r1 = SmallRng::seed_from_u64(seed1);
+        let mut r2 = SmallRng::seed_from_u64(seed2);
+        let e = random_replus(&mut r1, 4, SIGMA);
+        let f = random_replus(&mut r2, 4, SIGMA);
+        prop_assert!(e.included_in(&e));
+        if e.included_in(&f) && f.included_in(&e) {
+            prop_assert!(e.to_dfa(SIGMA).equivalent(&f.to_dfa(SIGMA)));
+        }
+    }
+
+    /// Membership agrees with the compiled DFA on random words.
+    #[test]
+    fn membership_matches_dfa(seed in 0u64..20_000, wseed in 0u64..20_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = random_replus(&mut rng, 5, SIGMA);
+        let dfa = e.to_dfa(SIGMA);
+        let mut wrng = SmallRng::seed_from_u64(wseed);
+        for len in 0..8 {
+            let w = xmlta_automata::generate::random_word(&mut wrng, len, SIGMA);
+            prop_assert_eq!(e.accepts(&w), dfa.accepts(&w), "word {:?}", w);
+        }
+    }
+}

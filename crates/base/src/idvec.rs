@@ -1,0 +1,145 @@
+//! A tiny typed-index vector used by the automata crates.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A vector indexed by a typed id (any type convertible to/from `usize`).
+///
+/// This is a minimal version of the `index_vec` pattern: it prevents mixing
+/// up, say, NFA state ids and DFA state ids at compile time while keeping the
+/// dense-`Vec` representation that automata algorithms want.
+pub struct IdVec<I, T> {
+    items: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+/// Types usable as dense indices into an [`IdVec`].
+pub trait DenseId: Copy {
+    /// Converts the id to a vector index.
+    fn to_usize(self) -> usize;
+    /// Builds the id from a vector index.
+    fn from_usize(i: usize) -> Self;
+}
+
+impl DenseId for usize {
+    fn to_usize(self) -> usize {
+        self
+    }
+    fn from_usize(i: usize) -> Self {
+        i
+    }
+}
+
+impl DenseId for u32 {
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+    fn from_usize(i: usize) -> Self {
+        i as u32
+    }
+}
+
+impl<I: DenseId, T> IdVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self { items: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates a vector with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { items: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends an item and returns its id.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from_usize(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over `(id, &item)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = I> {
+        (0..self.items.len()).map(I::from_usize)
+    }
+
+    /// Returns the underlying slice.
+    pub fn raw(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Returns the underlying slice, mutably.
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+}
+
+impl<I: DenseId, T> Default for IdVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: DenseId, T: Clone> Clone for IdVec<I, T> {
+    fn clone(&self) -> Self {
+        Self { items: self.items.clone(), _marker: PhantomData }
+    }
+}
+
+impl<I: DenseId, T: fmt::Debug> fmt::Debug for IdVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<I: DenseId, T> Index<I> for IdVec<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.to_usize()]
+    }
+}
+
+impl<I: DenseId, T> IndexMut<I> for IdVec<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.to_usize()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut v: IdVec<u32, &str> = IdVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let mut v: IdVec<usize, i32> = IdVec::new();
+        v.push(10);
+        v.push(20);
+        let pairs: Vec<_> = v.iter().map(|(i, &t)| (i, t)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20)]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared primitives for the `xml-typecheck` workspace.
+//!
+//! The whole workspace manipulates objects over a finite alphabet Σ (the
+//! element names of the XML documents). To keep every hot data structure
+//! compact we intern element names once into an [`Alphabet`] and refer to
+//! them by a dense [`Symbol`] id afterwards.
+
+pub mod alphabet;
+pub mod idvec;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use idvec::IdVec;

@@ -1,0 +1,46 @@
+//! E-C38 / E-C39: counterexample generation and almost-always typechecking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typecheck_core::almost_always::almost_always_typechecks;
+use typecheck_core::{typecheck, Schema};
+use xmlta_hardness::workloads;
+
+fn bench_counterexample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cor38/counterexample");
+    group.sample_size(10);
+    for depth in [2usize, 4, 8] {
+        let w = workloads::failing_filtering_family(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
+            b.iter(|| {
+                let outcome = typecheck(&w.instance).expect("runs");
+                let ce = outcome.counter_example().expect("fails");
+                assert!(ce.input.num_nodes() > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_almost_always(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cor39/almost-always");
+    group.sample_size(10);
+    for depth in [2usize, 4, 8] {
+        let w = workloads::failing_filtering_family(depth);
+        let (din, dout) = match (&w.instance.input, &w.instance.output) {
+            (Schema::Dtd(a), Schema::Dtd(b)) => (a.clone(), b.clone()),
+            _ => unreachable!(),
+        };
+        let t = w.instance.transducer.clone();
+        let sigma = w.instance.alphabet_size();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let verdict = almost_always_typechecks(&din, &dout, &t, sigma).expect("runs");
+                assert!(!verdict.almost_always());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(cor38, bench_counterexample, bench_almost_always);
+criterion_main!(cor38);

@@ -1,0 +1,21 @@
+//! E-T20: the Theorem 20 pipeline (deleting relabelings × DTAc(DFA))
+//! scales polynomially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typecheck_core::typecheck;
+use xmlta_hardness::workloads;
+
+fn bench_delrelab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm20/delrelab");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5, 6] {
+        let w = workloads::delrelab_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| assert!(typecheck(&w.instance).unwrap().type_checks()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(thm20, bench_delrelab);
+criterion_main!(thm20);

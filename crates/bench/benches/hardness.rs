@@ -1,0 +1,61 @@
+//! E-T18 / E-T28 / Lemma 27: the intractability frontier, measured on the
+//! reduction families (small sizes — growth is the point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use typecheck_core::typecheck;
+use xmlta_automata::unary::mod_zero_dfa;
+use xmlta_hardness::{thm18, thm28, unary_sat};
+
+fn bench_thm18(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/thm18-dfa-intersection");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let dfas: Vec<_> = (0..n).map(|i| mod_zero_dfa(i as u32 + 2)).collect();
+        let inst = thm18::build(&dfas, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let o = typecheck(&inst.instance).expect("runs");
+                assert_eq!(o.type_checks(), inst.intersection_empty);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thm28_unary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/thm28-xpath-descendant");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let dfas: Vec<_> = (0..n).map(|i| mod_zero_dfa(i as u32 + 2)).collect();
+        let inst = thm28::build_unary(&dfas);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let o = typecheck(&inst.instance).expect("runs");
+                assert_eq!(o.type_checks(), inst.intersection_empty);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma27(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness/lemma27-unary-sat");
+    group.sample_size(10);
+    for vars in [2usize, 3, 4, 5] {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let cnf = unary_sat::random_cnf(&mut rng, vars, vars * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &cnf, |b, cnf| {
+            b.iter(|| {
+                let by_red = unary_sat::sat_via_unary_intersection(cnf).is_some();
+                let by_bf = cnf.brute_force_sat().is_some();
+                assert_eq!(by_red, by_bf);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(hardness, bench_thm18, bench_thm28_unary, bench_lemma27);
+criterion_main!(hardness);

@@ -1,0 +1,47 @@
+//! E-P16: computing the copying width C and deletion path width K
+//! (Proposition 16, Figure 4) scales polynomially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlta_base::Alphabet;
+use xmlta_transducer::{analysis::TransducerAnalysis, examples, TransducerBuilder};
+
+fn chain_transducer(n: usize) -> xmlta_transducer::Transducer {
+    let mut a = Alphabet::new();
+    let names: Vec<String> = (0..n).map(|i| format!("q{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut b = TransducerBuilder::new(&mut a).states(&refs);
+    b = b.rule("q0", "x", "r(q1)");
+    for i in 1..n.saturating_sub(1) {
+        b = b.rule(&names[i], "x", &format!("{} x {}", names[i + 1], names[i + 1]));
+    }
+    b.build().expect("chain transducer")
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop16/analysis");
+    for n in [4usize, 8, 16, 32, 64] {
+        let t = chain_transducer(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| {
+                let an = TransducerAnalysis::analyze(t);
+                assert!(an.deletion_path_width.is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_example12(c: &mut Criterion) {
+    let mut a = Alphabet::new();
+    let t = examples::example12(&mut a);
+    c.bench_function("prop16/example12-figure4", |b| {
+        b.iter(|| {
+            let an = TransducerAnalysis::analyze(&t);
+            assert_eq!(an.copying_width, 3);
+            assert_eq!(an.deletion_path_width, Some(6));
+        })
+    });
+}
+
+criterion_group!(prop16, bench_analysis, bench_example12);
+criterion_main!(prop16);

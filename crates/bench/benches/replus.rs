@@ -1,0 +1,21 @@
+//! E-T37: the Section 5 grammar engine on RE+ schemas with unbounded
+//! copying scales polynomially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typecheck_core::typecheck;
+use xmlta_hardness::workloads;
+
+fn bench_replus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm37/replus");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 12, 16] {
+        let w = workloads::replus_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| assert!(typecheck(&w.instance).unwrap().type_checks()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(thm37, bench_replus);
+criterion_main!(thm37);

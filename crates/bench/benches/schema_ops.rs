@@ -1,0 +1,84 @@
+//! E-P4 / E-L3: the tree-automata decision procedures (emptiness,
+//! finiteness, witness generation) and the PATH SYSTEMS reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xmlta_hardness::path_systems;
+use xmlta_schema::convert::dtd_to_nta;
+use xmlta_schema::{emptiness, finiteness, generate};
+use xmlta_base::Alphabet;
+
+fn bench_emptiness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop4/emptiness");
+    for layers in [2usize, 4, 6, 8] {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Alphabet::new();
+        let dtd = generate::random_layered_dtd(
+            &mut rng,
+            generate::LayeredDtdParams { layers, ..Default::default() },
+            &mut a,
+        );
+        let nta = dtd_to_nta(&dtd);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &nta, |b, nta| {
+            b.iter(|| assert!(!emptiness::is_empty(nta)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_finiteness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop4/finiteness");
+    for layers in [2usize, 4, 6] {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Alphabet::new();
+        let dtd = generate::random_layered_dtd(
+            &mut rng,
+            generate::LayeredDtdParams { layers, ..Default::default() },
+            &mut a,
+        );
+        let nta = dtd_to_nta(&dtd);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &nta, |b, nta| {
+            b.iter(|| {
+                let _ = finiteness::is_finite(nta);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop4/witness-generation");
+    for layers in [2usize, 4, 6] {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Alphabet::new();
+        let dtd = generate::random_layered_dtd(
+            &mut rng,
+            generate::LayeredDtdParams { layers, ..Default::default() },
+            &mut a,
+        );
+        let nta = dtd_to_nta(&dtd);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &nta, |b, nta| {
+            b.iter(|| assert!(emptiness::witness_tree(nta, 100_000).is_some()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma3/path-systems");
+    group.sample_size(10);
+    for layers in [2usize, 3, 4, 5] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ps = path_systems::random_path_system(&mut rng, layers, 3, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &ps, |b, ps| {
+            b.iter(|| {
+                assert_eq!(ps.goal_provable(), path_systems::provable_via_emptiness(ps));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(prop4, bench_emptiness, bench_finiteness, bench_witness, bench_path_systems);
+criterion_main!(prop4);

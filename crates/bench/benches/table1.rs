@@ -1,0 +1,101 @@
+//! E-T1: the Table 1 complexity landscape, measured.
+//!
+//! One benchmark group per (transducer class × schema class) cell the
+//! engines decide, sweeping instance size. PTIME cells must show polynomial
+//! growth; the hard cells (exercised through the reduction families at
+//! small sizes) blow up — the *shape contrast* is the reproduction target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typecheck_core::typecheck;
+use xmlta_automata::Dfa;
+use xmlta_hardness::{thm18, workloads};
+
+fn bench_cell(
+    c: &mut Criterion,
+    group_name: &str,
+    sizes: &[usize],
+    make: impl Fn(usize) -> workloads::Workload,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &s in sizes {
+        let w = make(s);
+        let expect = w.expect_typechecks;
+        group.bench_with_input(BenchmarkId::from_parameter(s), &w, |b, w| {
+            b.iter(|| {
+                let outcome = typecheck(&w.instance).expect("engine runs");
+                assert_eq!(outcome.type_checks(), expect);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row nd,bc × DTD(DFA): the PTIME cell of the prior work.
+fn cell_ndbc_dfa(c: &mut Criterion) {
+    bench_cell(c, "table1/nd_bc-x-DTD(DFA)", &[1, 2, 3, 4], |s| {
+        workloads::random_layered_family(7, s.max(1), 3)
+    });
+}
+
+/// Row d,bc × DTD(DFA) within T_trac: the paper's new PTIME cell
+/// (Theorem 15) — unbounded non-copying deletion.
+fn cell_trac_dfa(c: &mut Criterion) {
+    bench_cell(c, "table1/trac-x-DTD(DFA)", &[1, 2, 4, 8, 16], |s| {
+        workloads::filtering_family(s)
+    });
+}
+
+/// Row nd,bc × DTD(NFA): PSPACE-complete — the engine determinizes, so
+/// growth is exponential in the NFA width parameter.
+fn cell_ndbc_nfa(c: &mut Criterion) {
+    bench_cell(c, "table1/nd_bc-x-DTD(NFA)", &[2, 4, 6, 8, 10], |s| {
+        workloads::nfa_schema_family(s)
+    });
+}
+
+/// Row d,c × DTD(RE+): PTIME for arbitrary transducers (Theorem 37).
+fn cell_dc_replus(c: &mut Criterion) {
+    bench_cell(c, "table1/d_c-x-DTD(RE+)", &[2, 4, 6, 8], |s| {
+        workloads::replus_family(s)
+    });
+}
+
+/// Tree-automata columns via Theorem 20 (deleting relabelings).
+fn cell_delrelab_dta(c: &mut Criterion) {
+    bench_cell(c, "table1/del_relab-x-DTAc(DFA)", &[2, 3, 4, 5], |s| {
+        workloads::delrelab_family(s)
+    });
+}
+
+/// The PSPACE frontier (Theorem 18): instances from DFA intersection; the
+/// complete decision cost grows exponentially with the number of DFAs.
+fn cell_thm18_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/fdpw-x-DTD(DFA)-thm18");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        // n DFAs, each accepting words with length ≡ 0 mod (i+2).
+        let dfas: Vec<Dfa> = (0..n)
+            .map(|i| xmlta_automata::unary::mod_zero_dfa(i as u32 + 2))
+            .collect();
+        let inst = thm18::build(&dfas, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let outcome = typecheck(&inst.instance).expect("engine runs");
+                assert_eq!(outcome.type_checks(), inst.intersection_empty);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    table1,
+    cell_ndbc_dfa,
+    cell_trac_dfa,
+    cell_ndbc_nfa,
+    cell_dc_replus,
+    cell_delrelab_dta,
+    cell_thm18_frontier
+);
+criterion_main!(table1);

@@ -1,0 +1,39 @@
+//! E-T23 / E-T29: XPath{/,*} and DFA-selector translation + typechecking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use typecheck_core::typecheck;
+use xmlta_hardness::workloads;
+use xmlta_transducer::translate;
+
+fn bench_xpath_typecheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm23/xpath-typecheck");
+    group.sample_size(10);
+    for n in [2usize, 4, 8, 12] {
+        let w = workloads::xpath_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| assert!(typecheck(&w.instance).unwrap().type_checks()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_translation_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm23/selector-expansion");
+    for n in [2usize, 4, 8, 16, 32] {
+        let w = workloads::xpath_family(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                let plain = translate::expand_selectors_with_alphabet(
+                    &w.instance.transducer,
+                    w.instance.alphabet_size(),
+                )
+                .expect("linear patterns expand");
+                assert!(!plain.uses_selectors());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(thm23, bench_xpath_typecheck, bench_translation_only);
+criterion_main!(thm23);

@@ -1,0 +1,118 @@
+//! Prints the measured Table 1 grid: per cell, a size sweep with wall-clock
+//! times, mirroring the layout of the paper's Table 1 (which lists
+//! complexity classes; we list measured growth).
+//!
+//! Run with `cargo run --release -p xmlta-bench --bin table1_report`.
+
+use std::time::Instant;
+use typecheck_core::typecheck;
+use xmlta_automata::unary::mod_zero_dfa;
+use xmlta_hardness::{thm18, workloads};
+
+fn time_workload(w: &workloads::Workload) -> f64 {
+    let start = Instant::now();
+    let outcome = typecheck(&w.instance).expect("engine runs");
+    assert_eq!(outcome.type_checks(), w.expect_typechecks, "{}", w.name);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn print_series(label: &str, paper: &str, points: Vec<(usize, f64)>) {
+    let series: Vec<String> =
+        points.iter().map(|(s, ms)| format!("{s}:{ms:.2}ms")).collect();
+    println!("{label:<34} paper: {paper:<16} measured: {}", series.join("  "));
+}
+
+fn main() {
+    println!("== Table 1 (measured) ==");
+
+    print_series(
+        "nd,bc x DTD(DFA)",
+        "PTIME",
+        [1, 2, 3]
+            .iter()
+            .map(|&s| {
+                let w = workloads::random_layered_family(7, s, 3);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    print_series(
+        "trac (d,bc) x DTD(DFA)  [Thm 15]",
+        "PTIME",
+        [2, 4, 8, 16]
+            .iter()
+            .map(|&s| {
+                let w = workloads::filtering_family(s);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    print_series(
+        "nd,bc x DTD(NFA)",
+        "PSPACE-complete",
+        [2, 4, 8]
+            .iter()
+            .map(|&s| {
+                let w = workloads::nfa_schema_family(s);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    print_series(
+        "d,c x DTD(RE+)  [Thm 37]",
+        "PTIME",
+        [2, 4, 8]
+            .iter()
+            .map(|&s| {
+                let w = workloads::replus_family(s);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    print_series(
+        "del-relab x DTAc(DFA)  [Thm 20]",
+        "PTIME-complete",
+        [2, 3, 4]
+            .iter()
+            .map(|&s| {
+                let w = workloads::delrelab_family(s);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    print_series(
+        "XPath{/,*} trac x DTD(DFA) [T23]",
+        "PTIME",
+        [2, 4, 8]
+            .iter()
+            .map(|&s| {
+                let w = workloads::xpath_family(s);
+                (s, time_workload(&w))
+            })
+            .collect(),
+    );
+
+    // The Theorem 18 frontier: the number of DFAs drives the blow-up.
+    let mut pts = Vec::new();
+    for n in [1usize, 2, 3] {
+        let dfas: Vec<_> = (0..n).map(|i| mod_zero_dfa(i as u32 + 2)).collect();
+        let inst = thm18::build(&dfas, 1);
+        let start = Instant::now();
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert_eq!(outcome.type_checks(), inst.intersection_empty);
+        pts.push((n, start.elapsed().as_secs_f64() * 1e3));
+    }
+    print_series("fdpw (dw=2,cw=2) x DTD(DFA) [T18]", "PSPACE-hard", pts);
+
+    println!();
+    println!(
+        "PTIME rows must grow polynomially with size; the DTD(NFA) and Thm 18 \
+         rows grow exponentially in their hardness parameter — the frontier \
+         of tractability."
+    );
+}

@@ -1,0 +1,280 @@
+//! Output-side behavior machinery for the Lemma 14 engine.
+//!
+//! The paper's automaton `B` guesses, for each subtree `t` and each
+//! transducer state `q`, pairs `(ℓ, r)` of output-DFA states such that
+//! `top(T^q(t))` drives the output DFA from `ℓ` to `r`. We compute the
+//! *whole* input/output function at once — the **behavior** of the string
+//! `top(T^q(t))` on the disjoint union of all the output DTD's content-model
+//! DFAs. A behavior is the set of all valid `(ℓ, r)` guesses, so the engine
+//! is a deterministic quotient of the paper's construction.
+
+use std::collections::HashMap;
+use xmlta_automata::Dfa;
+use xmlta_base::Symbol;
+use xmlta_schema::{Dtd, StringLang};
+
+/// Sentinel for "the run died".
+pub const DEAD: u32 = u32::MAX;
+
+/// The joint output automaton: the disjoint union of one content-model DFA
+/// per output symbol, plus a *virtual root* component accepting exactly the
+/// string `s_dout` (used to check that the transducer's output is one tree
+/// with the right root label).
+#[derive(Debug, Clone)]
+pub struct OutputAutomaton {
+    sigma: usize,
+    /// Joint transition table: `trans[x * sigma + c]`.
+    trans: Vec<u32>,
+    /// Finality per joint state.
+    is_final: Vec<bool>,
+    /// Initial joint state per symbol component.
+    initial: Vec<u32>,
+    /// Initial state of the virtual-root component.
+    root_initial: u32,
+    total: usize,
+}
+
+impl OutputAutomaton {
+    /// Builds the joint automaton from an output DTD (rules are compiled to
+    /// DFAs if they are not DFAs already).
+    pub fn build(dout: &Dtd, sigma: usize) -> OutputAutomaton {
+        let mut trans: Vec<u32> = Vec::new();
+        let mut is_final: Vec<bool> = Vec::new();
+        let mut initial: Vec<u32> = Vec::with_capacity(sigma);
+
+        let push_dfa = |dfa: &Dfa, trans: &mut Vec<u32>, is_final: &mut Vec<bool>| -> u32 {
+            let offset = is_final.len() as u32;
+            for q in 0..dfa.num_states() as u32 {
+                is_final.push(dfa.is_final_state(q));
+                for c in 0..sigma as u32 {
+                    trans.push(match dfa.step(q, c) {
+                        Some(r) => offset + r,
+                        None => DEAD,
+                    });
+                }
+            }
+            offset + dfa.initial_state()
+        };
+
+        for s in 0..sigma {
+            let sym = Symbol::from_index(s);
+            let dfa = match dout.rule(sym) {
+                Some(StringLang::Dfa(d)) => d.clone(),
+                Some(other) => other.to_dfa(sigma),
+                None => Dfa::epsilon_only(sigma),
+            };
+            initial.push(push_dfa(&dfa, &mut trans, &mut is_final));
+        }
+        // Virtual root: accepts exactly the single-symbol string `s_dout`.
+        let root_dfa = Dfa::single_word(sigma, &[dout.start().0]);
+        let root_initial = push_dfa(&root_dfa, &mut trans, &mut is_final);
+        let total = is_final.len();
+        OutputAutomaton { sigma, trans, is_final, initial, root_initial, total }
+    }
+
+    /// Number of joint states.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The initial joint state of symbol `b`'s content model.
+    pub fn initial_of(&self, b: Symbol) -> u32 {
+        self.initial[b.index()]
+    }
+
+    /// The initial joint state of the virtual-root component.
+    pub fn root_initial(&self) -> u32 {
+        self.root_initial
+    }
+
+    /// Whether joint state `x` is accepting in its component.
+    pub fn is_final(&self, x: u32) -> bool {
+        x != DEAD && self.is_final[x as usize]
+    }
+
+    /// One step of the joint automaton.
+    #[inline]
+    pub fn step(&self, x: u32, c: Symbol) -> u32 {
+        if x == DEAD {
+            DEAD
+        } else {
+            self.trans[x as usize * self.sigma + c.index()]
+        }
+    }
+}
+
+/// A behavior id (index into [`BehaviorTable`]).
+pub type BehaviorId = u32;
+
+/// Interner for behaviors (total functions `joint-state → joint-state ∪ {DEAD}`).
+#[derive(Debug)]
+pub struct BehaviorTable {
+    total: usize,
+    items: Vec<Box<[u32]>>,
+    ids: HashMap<Box<[u32]>, BehaviorId>,
+    identity: BehaviorId,
+}
+
+impl BehaviorTable {
+    /// Creates a table over `total` joint states, interning the identity.
+    pub fn new(total: usize) -> BehaviorTable {
+        let mut t = BehaviorTable {
+            total,
+            items: Vec::new(),
+            ids: HashMap::new(),
+            identity: 0,
+        };
+        let id: Box<[u32]> = (0..total as u32).collect();
+        t.identity = t.intern(id);
+        t
+    }
+
+    /// The identity behavior (of the empty output string).
+    pub fn identity(&self) -> BehaviorId {
+        self.identity
+    }
+
+    /// Number of distinct behaviors seen.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the table is empty (never: identity is always present).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Interns a behavior vector.
+    pub fn intern(&mut self, b: Box<[u32]>) -> BehaviorId {
+        debug_assert_eq!(b.len(), self.total);
+        if let Some(&id) = self.ids.get(&b) {
+            return id;
+        }
+        let id = self.items.len() as BehaviorId;
+        self.items.push(b.clone());
+        self.ids.insert(b, id);
+        id
+    }
+
+    /// The behavior function of `id`.
+    pub fn get(&self, id: BehaviorId) -> &[u32] {
+        &self.items[id as usize]
+    }
+
+    /// Left-to-right composition: `(a ; b)(x) = b(a(x))`.
+    pub fn compose(&mut self, a: BehaviorId, b: BehaviorId) -> BehaviorId {
+        if a == self.identity {
+            return b;
+        }
+        if b == self.identity {
+            return a;
+        }
+        let fa = &self.items[a as usize];
+        let fb = &self.items[b as usize];
+        let composed: Box<[u32]> = fa
+            .iter()
+            .map(|&x| if x == DEAD { DEAD } else { fb[x as usize] })
+            .collect();
+        self.intern(composed)
+    }
+
+    /// The behavior of a single output symbol.
+    pub fn of_symbol(&mut self, out: &OutputAutomaton, c: Symbol) -> BehaviorId {
+        let b: Box<[u32]> = (0..self.total as u32).map(|x| out.step(x, c)).collect();
+        self.intern(b)
+    }
+
+    /// The behavior of a string of output symbols.
+    pub fn of_string(&mut self, out: &OutputAutomaton, s: &[Symbol]) -> BehaviorId {
+        let mut acc = self.identity;
+        for &c in s {
+            let sb = self.of_symbol(out, c);
+            acc = self.compose(acc, sb);
+        }
+        acc
+    }
+
+    /// Applies behavior `id` to joint state `x`.
+    pub fn apply(&self, id: BehaviorId, x: u32) -> u32 {
+        if x == DEAD {
+            DEAD
+        } else {
+            self.items[id as usize][x as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_base::Alphabet;
+
+    fn setup() -> (Alphabet, Dtd, OutputAutomaton) {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse("r -> x y*\nx -> ", &mut a).unwrap();
+        let sigma = a.len();
+        let out = OutputAutomaton::build(&d.compile_to_dfas(), sigma);
+        (a, d, out)
+    }
+
+    #[test]
+    fn joint_runs_match_components() {
+        let (a, _, out) = setup();
+        let (r, x, y) = (a.sym("r"), a.sym("x"), a.sym("y"));
+        // Component of r: x y* accepted.
+        let mut st = out.initial_of(r);
+        st = out.step(st, x);
+        assert_ne!(st, DEAD);
+        assert!(out.is_final(st));
+        st = out.step(st, y);
+        assert!(out.is_final(st));
+        // x's component accepts ε only.
+        let xs = out.initial_of(x);
+        assert!(out.is_final(xs));
+        assert_eq!(out.step(xs, x), DEAD);
+        // y has no rule: leaf-only.
+        assert!(out.is_final(out.initial_of(y)));
+    }
+
+    #[test]
+    fn virtual_root_checks_single_start() {
+        let (a, _, out) = setup();
+        let (r, x) = (a.sym("r"), a.sym("x"));
+        let v = out.root_initial();
+        assert!(!out.is_final(v)); // ε is not a valid output
+        let after_r = out.step(v, r);
+        assert!(out.is_final(after_r));
+        assert_eq!(out.step(after_r, r), DEAD); // two roots: dead
+        assert_eq!(out.step(v, x), DEAD); // wrong root symbol
+    }
+
+    #[test]
+    fn behavior_composition() {
+        let (a, _, out) = setup();
+        let mut table = BehaviorTable::new(out.total());
+        let (x, y) = (a.sym("x"), a.sym("y"));
+        let bx = table.of_symbol(&out, x);
+        let by = table.of_symbol(&out, y);
+        let bxy = table.compose(bx, by);
+        let direct = table.of_string(&out, &[x, y]);
+        assert_eq!(bxy, direct);
+        // Identity laws.
+        let id = table.identity();
+        assert_eq!(table.compose(id, bx), bx);
+        assert_eq!(table.compose(bx, id), bx);
+    }
+
+    #[test]
+    fn behavior_tracks_acceptance() {
+        let (a, d, out) = setup();
+        let mut table = BehaviorTable::new(out.total());
+        let (r, x, y) = (a.sym("r"), a.sym("x"), a.sym("y"));
+        let _ = d;
+        // r's component: after "x y y" accepting; after "y" dead.
+        let b1 = table.of_string(&out, &[x, y, y]);
+        let end = table.apply(b1, out.initial_of(r));
+        assert!(out.is_final(end));
+        let b2 = table.of_string(&out, &[y]);
+        assert_eq!(table.apply(b2, out.initial_of(r)), DEAD);
+    }
+}

@@ -1,0 +1,191 @@
+//! Brute-force reference typechecker.
+//!
+//! Enumerates input trees in `L(d_in)` up to a depth/width bound and checks
+//! each image against the output schema. *Sound but incomplete* in general
+//! (it can miss counterexamples larger than the bounds) — it exists to
+//! cross-validate the complete engines on small instances, where the bounds
+//! can be chosen exhaustively. When `L(d_in)` is finite and fully covered by
+//! the bounds, the result is exact.
+
+use crate::{CounterExample, Outcome};
+use xmlta_base::Symbol;
+use xmlta_schema::Dtd;
+use xmlta_transducer::Transducer;
+use xmlta_tree::Tree;
+
+/// Enumeration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Maximum children per node.
+    pub max_width: usize,
+    /// Maximum number of trees enumerated in total.
+    pub max_trees: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds { max_depth: 4, max_width: 3, max_trees: 20_000 }
+    }
+}
+
+/// Enumerates trees of `L(d, sym)` (locally valid, rooted at `sym`) within
+/// the bounds. The result is cut off at `bounds.max_trees`.
+pub fn enumerate_valid_trees(d: &Dtd, sym: Symbol, bounds: Bounds) -> Vec<Tree> {
+    let mut budget = bounds.max_trees;
+    trees_for(d, sym, bounds.max_depth, bounds.max_width, &mut budget)
+}
+
+fn trees_for(
+    d: &Dtd,
+    sym: Symbol,
+    depth: usize,
+    max_width: usize,
+    budget: &mut usize,
+) -> Vec<Tree> {
+    if depth == 0 || *budget == 0 {
+        return Vec::new();
+    }
+    // Words of the children language up to max_width, over the alphabet.
+    let words = child_words(d, sym, max_width);
+    let mut out = Vec::new();
+    'words: for w in words {
+        // Cartesian product of child tree choices.
+        let mut choices: Vec<Vec<Tree>> = Vec::with_capacity(w.len());
+        for &c in &w {
+            let ts = trees_for(d, c, depth - 1, max_width, budget);
+            if ts.is_empty() {
+                continue 'words;
+            }
+            choices.push(ts);
+        }
+        let mut idx = vec![0usize; choices.len()];
+        loop {
+            if *budget == 0 {
+                return out;
+            }
+            let children: Vec<Tree> =
+                idx.iter().zip(&choices).map(|(&i, ts)| ts[i].clone()).collect();
+            out.push(Tree::node(sym, children));
+            *budget -= 1;
+            // Increment mixed-radix counter.
+            let mut k = 0;
+            loop {
+                if k == idx.len() {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] < choices[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == idx.len() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// All words of `d(sym)` with length ≤ `max_width`.
+fn child_words(d: &Dtd, sym: Symbol, max_width: usize) -> Vec<Vec<Symbol>> {
+    let sigma = d.alphabet_size();
+    let mut out = Vec::new();
+    let mut layer: Vec<Vec<Symbol>> = vec![Vec::new()];
+    for len in 0..=max_width {
+        for w in &layer {
+            if d.allows(sym, w) {
+                out.push(w.clone());
+            }
+        }
+        if len == max_width {
+            break;
+        }
+        let mut next = Vec::new();
+        for w in &layer {
+            for c in 0..sigma {
+                let mut w2 = w.clone();
+                w2.push(Symbol::from_index(c));
+                next.push(w2);
+            }
+        }
+        layer = next;
+        if layer.len() > 400_000 {
+            break; // alphabet too large for exhaustive enumeration
+        }
+    }
+    out
+}
+
+/// Brute-force typecheck within bounds. Returns `Outcome::TypeChecks` when
+/// *no enumerated* input is a counterexample — callers must choose bounds
+/// that cover the instance to read this as a proof.
+pub fn typecheck_naive(d_in: &Dtd, d_out: &Dtd, t: &Transducer, bounds: Bounds) -> Outcome {
+    let din = d_in.compile_to_dfas();
+    let dout = d_out.compile_to_dfas();
+    for input in enumerate_valid_trees(&din, din.start(), bounds) {
+        debug_assert!(din.accepts(&input));
+        let output = t.apply(&input);
+        let ok = match &output {
+            Some(tree) => dout.accepts(tree),
+            None => false,
+        };
+        if !ok {
+            return Outcome::CounterExample(CounterExample { input, output });
+        }
+    }
+    Outcome::TypeChecks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_base::Alphabet;
+    use xmlta_transducer::TransducerBuilder;
+
+    #[test]
+    fn enumerates_exactly_the_small_language() {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse("r -> x?\nx -> ", &mut a).unwrap();
+        let trees = enumerate_valid_trees(&d.compile_to_dfas(), d.start(), Bounds::default());
+        // r and r(x)
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert!(d.accepts(t));
+        }
+    }
+
+    #[test]
+    fn finds_counterexamples() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .rule("q", "x", "y")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse("r -> y?", &mut a).unwrap();
+        let outcome = typecheck_naive(&din, &dout, &t, Bounds::default());
+        let ce = outcome.counter_example().expect("two x's break y?");
+        assert!(din.compile_to_dfas().accepts(&ce.input));
+        assert_eq!(ce.input.num_nodes(), 3); // r(x x)
+    }
+
+    #[test]
+    fn passes_when_safe() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .rule("q", "x", "y")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse("r -> y*", &mut a).unwrap();
+        assert!(typecheck_naive(&din, &dout, &t, Bounds::default()).type_checks());
+    }
+}

@@ -1,0 +1,524 @@
+//! The Section 5 engine: typechecking arbitrary transducers against
+//! `DTD(RE+)` schemas (Theorem 37).
+//!
+//! For every reachable pair `(q, a)` and every element node `u` of
+//! `rhs(q, a)` with label `σ`, the paper builds an extended context-free
+//! grammar `G_{q,a,u}` over-approximating the possible output children
+//! strings of `u` — with nonterminals `⟨p, b⟩` deriving
+//! `{top(T^p(t)) | t ∈ L(d_in, b)}` — and shows (Theorem 30) that
+//! `L(G_{q,a,u}) ⊆ L(d_out(σ))` iff the *exact* string set is included.
+//! Inclusion of an (extended) CFG in a regular language is decided by the
+//! classic CFG × DFA reachability fixpoint. Everything is polynomial:
+//! `DTD(RE+)`s are non-recursive (or empty), so the grammar is
+//! non-recursive too, and `RE+` expressions compile to linear-size DFAs.
+//!
+//! Counterexamples come from Corollary 38: when the instance fails, one of
+//! the canonical trees `t_min` / `t_vast` is a counterexample.
+
+use crate::{CounterExample, Outcome, TypecheckError};
+use std::collections::{HashMap, VecDeque};
+use xmlta_automata::Dfa;
+use xmlta_base::Symbol;
+use xmlta_schema::{Dtd, StringLang};
+use xmlta_transducer::rhs::{RhsNode, StateId};
+use xmlta_transducer::Transducer;
+use xmlta_tree::Tree;
+
+/// Cap on the explicit size of `t_min`/`t_vast` (the trees can be
+/// exponential in the DTD depth; the grammar algorithm exists precisely to
+/// avoid materializing them, but counterexample *reporting* needs one).
+const CANONICAL_TREE_CAP: usize = 1_000_000;
+
+/// One item of a grammar body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    /// A terminal output symbol.
+    Term(Symbol),
+    /// A nonterminal `⟨p, b⟩`.
+    Nt(u32),
+    /// A nonterminal under `+` (one or more repetitions).
+    NtPlus(u32),
+}
+
+/// Typechecks a `DTD(RE+)` instance (both schemas must be RE+).
+pub fn typecheck_replus(
+    din: &Dtd,
+    dout: &Dtd,
+    t: &Transducer,
+    alphabet_size: usize,
+) -> Result<Outcome, TypecheckError> {
+    if !din.is_replus_dtd() || !dout.is_replus_dtd() {
+        return Err(TypecheckError::Unsupported(
+            "the Section 5 engine requires RE+ rules on both schemas".into(),
+        ));
+    }
+    if t.uses_selectors() {
+        return Err(TypecheckError::Unsupported(
+            "expand selectors before the Section 5 engine".into(),
+        ));
+    }
+    let sigma = alphabet_size
+        .max(din.alphabet_size())
+        .max(dout.alphabet_size())
+        .max(t.alphabet_size());
+    let engine = RePlusEngine::new(din, dout, t, sigma);
+
+    if engine.din_empty {
+        return Ok(Outcome::TypeChecks); // vacuous
+    }
+    if engine.has_violation() {
+        // Corollary 38: t_min or t_vast is a counterexample.
+        let ce = engine.canonical_counterexample()?;
+        return Ok(Outcome::CounterExample(ce));
+    }
+    Ok(Outcome::TypeChecks)
+}
+
+struct RePlusEngine {
+    sigma: usize,
+    din: Dtd,
+    dout: Dtd,
+    t: Transducer,
+    din_empty: bool,
+    /// RE+ factors of `d_in(b)` per symbol (empty slice when no rule).
+    din_factors: Vec<Vec<(Symbol, bool)>>,
+    /// Reachable `(q, a)` pairs.
+    reachable: Vec<(StateId, usize)>,
+}
+
+impl RePlusEngine {
+    fn new(din: &Dtd, dout: &Dtd, t: &Transducer, sigma: usize) -> RePlusEngine {
+        let mut din = din.clone();
+        din.grow_alphabet(sigma);
+        let mut dout = dout.clone();
+        dout.grow_alphabet(sigma);
+        let din_empty = din.is_empty();
+        let din_factors: Vec<Vec<(Symbol, bool)>> = (0..sigma)
+            .map(|s| match din.rule(Symbol::from_index(s)) {
+                Some(StringLang::RePlus(r)) => {
+                    r.factors().iter().map(|f| (Symbol(f.sym), f.plus)).collect()
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        // Reachability: children of a = the letters of din(a) (every RE+
+        // factor is mandatory, so every letter occurs in every word).
+        let mut reachable = Vec::new();
+        if !din_empty {
+            let root = (t.initial_state(), din.start().index());
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(root);
+            reachable.push(root);
+            let mut queue = VecDeque::from([root]);
+            while let Some((q, a)) = queue.pop_front() {
+                let Some(rhs) = t.rule(q, Symbol::from_index(a)) else { continue };
+                for p in rhs.all_state_occurrences() {
+                    for &(b, _) in &din_factors[a] {
+                        let key = (p, b.index());
+                        if seen.insert(key) {
+                            reachable.push(key);
+                            queue.push_back(key);
+                        }
+                    }
+                }
+            }
+        }
+        RePlusEngine { sigma, din, dout, t: t.clone(), din_empty, din_factors, reachable }
+    }
+
+    /// The output-children items of a hedge of rhs nodes, with states
+    /// expanded over `d_in(a)`'s factors.
+    fn body_of_children(&self, nodes: &[RhsNode], a: usize) -> Vec<Item> {
+        let mut body = Vec::new();
+        for n in nodes {
+            match n {
+                RhsNode::Elem(s, _) => body.push(Item::Term(*s)),
+                RhsNode::State(p) => self.push_state_expansion(*p, a, &mut body),
+                RhsNode::Select(_, _) => unreachable!("selectors were expanded"),
+            }
+        }
+        body
+    }
+
+    /// Expands state `p` over the factors of `d_in(a)`: one (possibly `+`)
+    /// nonterminal `⟨p, b⟩` per factor.
+    fn push_state_expansion(&self, p: StateId, a: usize, body: &mut Vec<Item>) {
+        for &(b, plus) in &self.din_factors[a] {
+            let nt = self.nt_id(p, b.index());
+            body.push(if plus { Item::NtPlus(nt) } else { Item::Nt(nt) });
+        }
+    }
+
+    fn nt_id(&self, p: StateId, b: usize) -> u32 {
+        p * self.sigma as u32 + b as u32
+    }
+
+    /// The body of nonterminal `⟨p, b⟩`: `top(rhs(p, b))` with states
+    /// expanded over `d_in(b)`'s factors; ε when no rule exists.
+    fn nt_body(&self, nt: u32) -> Vec<Item> {
+        let p = nt / self.sigma as u32;
+        let b = (nt % self.sigma as u32) as usize;
+        let Some(rhs) = self.t.rule(p, Symbol::from_index(b)) else {
+            return Vec::new();
+        };
+        let mut body = Vec::new();
+        for n in &rhs.nodes {
+            match n {
+                RhsNode::Elem(s, _) => body.push(Item::Term(*s)),
+                RhsNode::State(p2) => self.push_state_expansion(*p2, b, &mut body),
+                RhsNode::Select(_, _) => unreachable!("selectors were expanded"),
+            }
+        }
+        body
+    }
+
+    /// Whether any reachable output node's children language escapes its
+    /// content model.
+    fn has_violation(&self) -> bool {
+        for &(q, a) in &self.reachable {
+            let is_root = (q, a) == (self.t.initial_state(), self.din.start().index());
+            let rhs_nodes: &[RhsNode] = match self.t.rule(q, Symbol::from_index(a)) {
+                Some(rhs) => &rhs.nodes,
+                None if is_root => &[],
+                None => continue,
+            };
+            if is_root {
+                // Virtual root: the output top string must be exactly s_dout.
+                let body = self.body_of_children(rhs_nodes, a);
+                let root_lang = Dfa::single_word(self.sigma, &[self.dout.start().0]);
+                if self.body_escapes(&body, &root_lang) {
+                    return true;
+                }
+            }
+            // Per element node u (at any depth): children ⊆ d_out(label(u)).
+            let mut stack: Vec<&RhsNode> = rhs_nodes.iter().collect();
+            while let Some(n) = stack.pop() {
+                if let RhsNode::Elem(s, children) = n {
+                    let body = self.body_of_children(children, a);
+                    let lang = self.dout_dfa(*s);
+                    if self.body_escapes(&body, &lang) {
+                        return true;
+                    }
+                    stack.extend(children.iter());
+                }
+            }
+        }
+        false
+    }
+
+    fn dout_dfa(&self, s: Symbol) -> Dfa {
+        match self.dout.rule(s) {
+            Some(StringLang::RePlus(r)) => r.to_dfa(self.sigma),
+            Some(other) => other.to_dfa(self.sigma),
+            None => Dfa::epsilon_only(self.sigma),
+        }
+    }
+
+    /// CFG × DFA inclusion: whether the grammar with the given start body
+    /// derives a word rejected by `lang`.
+    fn body_escapes(&self, start_body: &[Item], lang: &Dfa) -> bool {
+        let d = lang.complete();
+        let n = d.num_states();
+        // Discover reachable nonterminals.
+        let mut bodies: HashMap<u32, Vec<Item>> = HashMap::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let discover = |body: &[Item], stack: &mut Vec<u32>, bodies: &HashMap<u32, Vec<Item>>| {
+            for item in body {
+                if let Item::Nt(m) | Item::NtPlus(m) = item {
+                    if !bodies.contains_key(m) {
+                        stack.push(*m);
+                    }
+                }
+            }
+        };
+        discover(start_body, &mut stack, &bodies);
+        while let Some(m) = stack.pop() {
+            if bodies.contains_key(&m) {
+                continue;
+            }
+            let body = self.nt_body(m);
+            discover(&body, &mut stack, &bodies);
+            bodies.insert(m, body);
+        }
+        // Fixpoint on per-nonterminal reachability matrices (n × n booleans).
+        let mut mat: HashMap<u32, Vec<bool>> = bodies
+            .keys()
+            .map(|&m| (m, vec![false; n * n]))
+            .collect();
+        loop {
+            let mut changed = false;
+            for (&m, body) in &bodies {
+                for x in 0..n as u32 {
+                    let targets = eval_body(body, x, &d, &mat);
+                    let row = mat.get_mut(&m).expect("matrix exists");
+                    for y in targets {
+                        if !row[x as usize * n + y as usize] {
+                            row[x as usize * n + y as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Evaluate the start body from the initial state; reject iff some
+        // derivable endpoint is non-final.
+        let finals = eval_body(start_body, d.initial_state(), &d, &mat);
+        finals.into_iter().any(|y| !d.is_final_state(y))
+    }
+
+    /// Builds the canonical counterexample (Corollary 38): tries `t_min`
+    /// then `t_vast`.
+    fn canonical_counterexample(&self) -> Result<CounterExample, TypecheckError> {
+        for vast in [false, true] {
+            let mut budget = CANONICAL_TREE_CAP;
+            let Some(tree) = self.canonical_tree(self.din.start(), vast, &mut budget) else {
+                continue;
+            };
+            debug_assert!(self.din.accepts(&tree));
+            let output = self.t.apply(&tree);
+            let ok = match &output {
+                Some(o) => self.dout.accepts(o),
+                None => false,
+            };
+            if !ok {
+                return Ok(CounterExample { input: tree, output });
+            }
+        }
+        Err(TypecheckError::ResourceLimit(
+            "canonical counterexample exceeds the tree-size cap".into(),
+        ))
+    }
+
+    /// `t_min` (`vast = false`) / `t_vast` (`vast = true`) of Section 5.
+    fn canonical_tree(&self, sym: Symbol, vast: bool, budget: &mut usize) -> Option<Tree> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let mut children = Vec::new();
+        for &(b, plus) in &self.din_factors[sym.index()] {
+            let reps = if vast && plus { 2 } else { 1 };
+            for _ in 0..reps {
+                children.push(self.canonical_tree(b, vast, budget)?);
+            }
+        }
+        Some(Tree::node(sym, children))
+    }
+}
+
+/// Evaluates a body from DFA state `x`: the set of states reachable after
+/// deriving any word of the body, given the current nonterminal matrices.
+fn eval_body(body: &[Item], x: u32, d: &Dfa, mat: &HashMap<u32, Vec<bool>>) -> Vec<u32> {
+    let n = d.num_states();
+    let mut cur = vec![false; n];
+    cur[x as usize] = true;
+    for item in body {
+        let mut next = vec![false; n];
+        match item {
+            Item::Term(s) => {
+                for q in 0..n {
+                    if cur[q] {
+                        if let Some(r) = d.step(q as u32, s.0) {
+                            next[r as usize] = true;
+                        }
+                    }
+                }
+            }
+            Item::Nt(m) => {
+                let row = &mat[m];
+                for q in 0..n {
+                    if cur[q] {
+                        for y in 0..n {
+                            if row[q * n + y] {
+                                next[y] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            Item::NtPlus(m) => {
+                let row = &mat[m];
+                // One application, then transitive closure.
+                let mut acc = vec![false; n];
+                for q in 0..n {
+                    if cur[q] {
+                        for y in 0..n {
+                            if row[q * n + y] {
+                                acc[y] = true;
+                            }
+                        }
+                    }
+                }
+                loop {
+                    let mut grew = false;
+                    for q in 0..n {
+                        if acc[q] {
+                            for y in 0..n {
+                                if row[q * n + y] && !acc[y] {
+                                    acc[y] = true;
+                                    grew = true;
+                                }
+                            }
+                        }
+                    }
+                    if !grew {
+                        break;
+                    }
+                }
+                next = acc;
+            }
+        }
+        cur = next;
+    }
+    (0..n as u32).filter(|&y| cur[y as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_base::Alphabet;
+    use xmlta_transducer::TransducerBuilder;
+
+    fn check(din: &Dtd, dout: &Dtd, t: &Transducer, sigma: usize) -> Outcome {
+        let outcome = typecheck_replus(din, dout, t, sigma).expect("engine runs");
+        if let Outcome::CounterExample(ce) = &outcome {
+            assert!(din.accepts(&ce.input), "counterexample not in input language");
+            let ok = match &ce.output {
+                Some(o) => dout.accepts(o),
+                None => false,
+            };
+            assert!(!ok, "counterexample output is valid");
+        }
+        outcome
+    }
+
+    #[test]
+    fn simple_relabeling_typechecks() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("book -> title author+\ntitle ->\nauthor ->", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "book", "book(q)")
+            .rule("q", "title", "t")
+            .rule("q", "author", "a")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse_replus("book -> t a+\nt ->\na ->", &mut a).unwrap();
+        assert!(check(&din, &dout, &t, a.len()).type_checks());
+    }
+
+    #[test]
+    fn plus_mismatch_detected() {
+        // Input allows many authors; output demands exactly one.
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("book -> author+", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "book", "book(q)")
+            .rule("q", "author", "a")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse_replus("book -> a", &mut a).unwrap();
+        let outcome = check(&din, &dout, &t, a.len());
+        assert!(!outcome.type_checks());
+        // The counterexample must be t_vast (two authors).
+        let ce = outcome.counter_example().unwrap();
+        assert_eq!(ce.input.num_nodes(), 3);
+    }
+
+    #[test]
+    fn unbounded_copying_handled() {
+        // Arbitrary copying: the rhs copies children three times — still
+        // PTIME for RE+ schemas (Theorem 37's point).
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("r -> x+", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q q q)")
+            .rule("q", "x", "y")
+            .build()
+            .unwrap();
+        // y+ matches any positive number of y's.
+        let dout_ok = Dtd::parse_replus("r -> y+", &mut a).unwrap();
+        assert!(check(&din, &dout_ok, &t, a.len()).type_checks());
+        // y y y: only three — fails because |x|·3 varies.
+        let dout_three = Dtd::parse_replus("r -> y y y", &mut a).unwrap();
+        assert!(!check(&din, &dout_three, &t, a.len()).type_checks());
+    }
+
+    #[test]
+    fn deletion_handled() {
+        // Recursive deletion through a non-recursive DTD chain.
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("r -> m m\nm -> x\nx ->", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "d"])
+            .rule("root", "r", "r(d)")
+            .rule("d", "m", "d") // delete m, keep descending
+            .rule("d", "x", "x")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse_replus("r -> x x", &mut a).unwrap();
+        assert!(check(&din, &dout, &t, a.len()).type_checks());
+        let dout_one = Dtd::parse_replus("r -> x", &mut a).unwrap();
+        assert!(!check(&din, &dout_one, &t, a.len()).type_checks());
+    }
+
+    #[test]
+    fn empty_input_is_vacuous() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("r -> r", &mut a).unwrap(); // recursive ⇒ ∅
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "x(q)")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse_replus("z ->", &mut a).unwrap();
+        assert!(check(&din, &dout, &t, a.len()).type_checks());
+    }
+
+    #[test]
+    fn wrong_root_detected() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("r -> x\nx ->", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "wrong(q)")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse_replus("r -> x\nx ->", &mut a).unwrap();
+        assert!(!check(&din, &dout, &t, a.len()).type_checks());
+    }
+
+    #[test]
+    fn agreement_with_lemma14_on_replus_instances() {
+        // Both engines are complete; they must agree (the RE+ DTD is also a
+        // regular DTD, so the Lemma 14 engine applies too).
+        let mut a = Alphabet::new();
+        let din = Dtd::parse_replus("r -> m+ x\nm -> x x\nx ->", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "q", "d"])
+            .rule("root", "r", "out(q d)")
+            .rule("q", "m", "k(q)")
+            .rule("q", "x", "y")
+            .rule("d", "m", "d")
+            .rule("d", "x", "y")
+            .build()
+            .unwrap();
+        for dout_src in ["out -> k+ y y+", "out -> k+ y+", "out -> k y+"] {
+            let mut a2 = a.clone();
+            let dout = Dtd::parse_replus(dout_src, &mut a2).unwrap();
+            let r1 = typecheck_replus(&din, &dout, &t, a2.len()).unwrap();
+            let r2 =
+                crate::lemma14::typecheck_dtds(&din, &dout, &t, a2.len()).unwrap();
+            assert_eq!(
+                r1.type_checks(),
+                r2.type_checks(),
+                "engines disagree on {dout_src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Lower-bound reductions as instance generators, plus parameterized
+//! workload families for the benchmark harness.
+//!
+//! The paper's intractability frontier is established by reductions; this
+//! crate implements each of them as a *generator* producing concrete
+//! typechecking instances whose answer is known (it equals the answer of the
+//! source problem, which we also solve by brute force for cross-checking):
+//!
+//! * [`thm18`] — DFA intersection emptiness → `TC[T_dw=2,cw=2,fdpw,
+//!   DTD(DFA)]` (Theorem 18, PSPACE-hardness);
+//! * [`unary_sat`] — 3-CNF satisfiability → unary DFA intersection
+//!   (Lemma 27, coNP-hardness);
+//! * [`thm28`] — unary DFA intersection → `TC[T^{XPath{//}}_trac,
+//!   DTD(DFA)]` (Theorem 28(2)) and XPath containment → typechecking
+//!   (Theorem 28(1) via Lemma 26);
+//! * [`path_systems`] — PATH SYSTEMS → emptiness of `DTAc(DFA)` (Lemma 3,
+//!   PTIME-hardness).
+//!
+//! [`workloads`] builds the scaling families behind the Table 1 benchmark
+//! grid.
+
+pub mod path_systems;
+pub mod thm18;
+pub mod thm28;
+pub mod unary_sat;
+pub mod workloads;

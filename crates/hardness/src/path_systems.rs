@@ -1,0 +1,188 @@
+//! Lemma 3: PATH SYSTEMS reduces to emptiness of `DTAc(DFA)`.
+//!
+//! PATH SYSTEMS (Cook): given propositions `P`, axioms `A ⊆ P`, rules
+//! `R ⊆ P³`, and a goal `p`, decide whether `p` is provable (`a ∈ A` is
+//! provable; `c` is provable when some `(a, b, c) ∈ R` has `a`, `b`
+//! provable). The reduction builds a bottom-up deterministic complete tree
+//! automaton whose accepted trees are exactly the proof trees of `p` — so
+//! the PTIME-hardness of the problem transfers to `DTAc(DFA)` emptiness.
+
+use xmlta_automata::ops::determinize;
+use xmlta_automata::Nfa;
+use xmlta_base::Symbol;
+use xmlta_schema::{emptiness, Nta};
+
+/// A PATH SYSTEMS instance.
+#[derive(Debug, Clone)]
+pub struct PathSystem {
+    /// Number of propositions (`0..n`).
+    pub num_props: usize,
+    /// Axioms.
+    pub axioms: Vec<usize>,
+    /// Inference rules `(a, b, c)`: from `a` and `b` conclude `c`.
+    pub rules: Vec<(usize, usize, usize)>,
+    /// The goal proposition.
+    pub goal: usize,
+}
+
+impl PathSystem {
+    /// Direct fixpoint solver (the textbook PTIME algorithm).
+    pub fn provable(&self) -> Vec<bool> {
+        let mut provable = vec![false; self.num_props];
+        for &a in &self.axioms {
+            provable[a] = true;
+        }
+        loop {
+            let mut changed = false;
+            for &(a, b, c) in &self.rules {
+                if provable[a] && provable[b] && !provable[c] {
+                    provable[c] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return provable;
+            }
+        }
+    }
+
+    /// Whether the goal is provable.
+    pub fn goal_provable(&self) -> bool {
+        self.provable()[self.goal]
+    }
+}
+
+/// Builds the Lemma 3 automaton: a bottom-up deterministic complete NTA over
+/// the proposition alphabet whose language is non-empty iff the goal is
+/// provable (the accepted trees are the proof trees of the goal).
+pub fn to_dtac(ps: &PathSystem) -> Nta {
+    let n = ps.num_props;
+    let mut nta = Nta::new(n);
+    // States: one per proposition (= "this subtree proves c"), plus qerror.
+    nta.add_states(n + 1);
+    let qerror = n as u32;
+    for c in 0..n {
+        let sym = Symbol::from_index(c);
+        // δ(c, c): ε when c is an axiom, plus the strings "a b" for each
+        // rule (a, b, c). Strings are over the automaton's state space.
+        let mut lang = if ps.axioms.contains(&c) {
+            Nfa::single_word(n + 1, &[])
+        } else {
+            Nfa::empty_language(n + 1)
+        };
+        for &(a, b, c2) in &ps.rules {
+            if c2 == c {
+                lang = lang.union(&Nfa::single_word(n + 1, &[a as u32, b as u32]));
+            }
+        }
+        // δ(qerror, c) = complement of δ(c, c) over the state alphabet, so
+        // the automaton is complete; δ(c', c) = ∅ for c' ≠ c keeps it
+        // deterministic.
+        let lang_dfa = determinize(&lang);
+        nta.set_transition(qerror, sym, lang_dfa.complement().to_nfa());
+        nta.set_transition(c as u32, sym, lang);
+    }
+    nta.set_final(ps.goal as u32);
+    nta
+}
+
+/// Decides provability through the reduction (emptiness of the `DTAc`).
+pub fn provable_via_emptiness(ps: &PathSystem) -> bool {
+    !emptiness::is_empty(&to_dtac(ps))
+}
+
+/// Generates a layered random PATH SYSTEMS instance (bench substrate):
+/// propositions in layers, rules only pointing upward, so instances of
+/// growing size keep comparable shape.
+pub fn random_path_system(
+    rng: &mut impl rand::Rng,
+    layers: usize,
+    per_layer: usize,
+    rules_per_prop: usize,
+) -> PathSystem {
+    let num_props = layers * per_layer;
+    let axioms: Vec<usize> = (0..per_layer).collect(); // layer 0
+    let mut rules = Vec::new();
+    for layer in 1..layers {
+        for i in 0..per_layer {
+            let c = layer * per_layer + i;
+            for _ in 0..rules_per_prop {
+                let a = (layer - 1) * per_layer + rng.gen_range(0..per_layer);
+                let b = (layer - 1) * per_layer + rng.gen_range(0..per_layer);
+                rules.push((a, b, c));
+            }
+        }
+    }
+    let goal = num_props - 1;
+    PathSystem { num_props, axioms, rules, goal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use xmlta_schema::dta;
+
+    fn sample() -> PathSystem {
+        // 0, 1 axioms; (0,1,2), (2,2,3); goal 3 — provable.
+        PathSystem {
+            num_props: 4,
+            axioms: vec![0, 1],
+            rules: vec![(0, 1, 2), (2, 2, 3)],
+            goal: 3,
+        }
+    }
+
+    #[test]
+    fn solver_fixpoint() {
+        let ps = sample();
+        assert!(ps.goal_provable());
+        let unprovable = PathSystem { goal: 3, rules: vec![(0, 1, 2)], ..sample() };
+        assert!(!unprovable.goal_provable());
+    }
+
+    #[test]
+    fn reduction_agrees_with_solver() {
+        let ps = sample();
+        assert_eq!(ps.goal_provable(), provable_via_emptiness(&ps));
+        let unprovable = PathSystem { goal: 3, rules: vec![(0, 1, 2)], ..sample() };
+        assert_eq!(unprovable.goal_provable(), provable_via_emptiness(&unprovable));
+    }
+
+    #[test]
+    fn automaton_is_deterministic_and_complete() {
+        let nta = to_dtac(&sample());
+        assert!(dta::is_deterministic(&nta));
+        assert!(dta::is_complete(&nta));
+    }
+
+    #[test]
+    fn witness_is_a_proof_tree() {
+        let ps = sample();
+        let nta = to_dtac(&ps);
+        let proof = emptiness::witness_tree(&nta, 10_000).expect("provable");
+        // Root must be labeled with the goal; leaves with axioms.
+        assert_eq!(proof.label.index(), ps.goal);
+        for (_, node) in proof.nodes() {
+            if node.children.is_empty() {
+                assert!(ps.axioms.contains(&node.label.index()));
+            } else {
+                assert_eq!(node.children.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn random_instances_agree() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ps = random_path_system(&mut rng, 3, 3, 2);
+            assert_eq!(
+                ps.goal_provable(),
+                provable_via_emptiness(&ps),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Theorem 28: coNP-hardness frontiers for XPath-extended transducers.
+//!
+//! * **Part (2)** — unary DFA intersection emptiness reduces to
+//!   `TC[T^{XPath{//}}_trac, DTD(DFA)]`: documents are `#`-chains ending in
+//!   `$(a^m)`; the transducer uses `·//#`, `·//$`, `·//a` to emit one copy
+//!   of `a^m $` per `#`, and the output DFA runs the `i`-th unary DFA on the
+//!   `i`-th copy.
+//! * **Part (1)** — XPath containment in the presence of DTDs reduces to
+//!   typechecking for the four fragments of Theorem 24, via the Lemma 26
+//!   marker rewriting ([`xmlta_xpath::selecting::append_marker`]).
+
+use typecheck_core::Instance;
+use xmlta_automata::Dfa;
+use xmlta_base::{Alphabet, Symbol};
+use xmlta_schema::{Dtd, StringLang};
+use xmlta_transducer::rhs::{Rhs, RhsNode};
+use xmlta_transducer::{Selector, Transducer};
+use xmlta_tree::Tree;
+use xmlta_xpath::{eval, selecting, Pattern};
+
+/// Theorem 28(2): builds the typechecking instance for unary DFAs
+/// `A₁ … A_n` over `{a}`. The instance typechecks iff `⋂ L(A_i) = ∅`.
+pub struct Thm28UnaryInstance {
+    /// The instance (transducer uses XPath{//} selectors).
+    pub instance: Instance,
+    /// Ground truth.
+    pub intersection_empty: bool,
+}
+
+/// Builds the Theorem 28(2) reduction.
+pub fn build_unary(dfas: &[Dfa]) -> Thm28UnaryInstance {
+    assert!(!dfas.is_empty());
+    for d in dfas {
+        assert_eq!(d.alphabet_size(), 1, "unary DFAs required");
+    }
+    let n = dfas.len();
+    let mut alphabet = Alphabet::new();
+    let r = alphabet.intern("r");
+    let hash = alphabet.intern("#");
+    let dollar = alphabet.intern("$");
+    let a_sym = alphabet.intern("a");
+    let sigma = alphabet.len();
+
+    // d_in: r → #, # → # + $, $ → a*.
+    let mut din = Dtd::new(sigma, r);
+    din.set_rule(r, StringLang::Dfa(Dfa::single_word(sigma, &[hash.0])));
+    {
+        let h = Dfa::single_word(sigma, &[hash.0]);
+        let d = Dfa::single_word(sigma, &[dollar.0]);
+        din.set_rule(hash, StringLang::Dfa(h.union(&d)));
+    }
+    {
+        let mut astar = Dfa::new(sigma);
+        astar.set_final(0);
+        astar.set_transition(0, a_sym.0, 0);
+        din.set_rule(dollar, StringLang::Dfa(astar));
+    }
+
+    // The transducer of the proof, built directly from parts (patterns are
+    // interned as selectors).
+    let mut builder = xmlta_transducer::TransducerBuilder::new(&mut alphabet);
+    builder = builder
+        .states(&["q0", "q1", "q2", "q3"])
+        .rule("q0", "r", "r(<q1, .//#>)")
+        .rule("q1", "#", "<q2, .//$>")
+        .rule("q2", "$", "<q3, .//a> $")
+        .rule("q3", "a", "a");
+    let t: Transducer = builder.build().expect("Theorem 28(2) transducer");
+
+    // d_out(r): run A_i on the i-th `a^m $` block.
+    let dout_dfa = unary_output_dfa(dfas, sigma, a_sym, dollar);
+    let mut dout = Dtd::new(sigma, r);
+    dout.set_rule(r, StringLang::Dfa(dout_dfa));
+
+    // Ground truth: joint residue simulation.
+    let refs: Vec<&Dfa> = dfas.iter().collect();
+    let cap: u64 = dfas.iter().map(|d| d.num_states() as u64).product::<u64>() + 1;
+    let intersection_empty =
+        xmlta_automata::unary::unary_intersection_witness(&refs, cap).is_none();
+
+    let _ = n;
+    Thm28UnaryInstance {
+        instance: Instance::dtds(alphabet, din, dout, t),
+        intersection_empty,
+    }
+}
+
+/// Accepts `w₁ $ w₂ $ … w_k $` iff some `A_i` (i ≤ n) rejects `w_i`, or
+/// k < n ("less than n copies").
+fn unary_output_dfa(dfas: &[Dfa], sigma: usize, a_sym: Symbol, dollar: Symbol) -> Dfa {
+    let n = dfas.len();
+    let mut out = Dfa::new(sigma);
+    let mut offsets = Vec::with_capacity(n);
+    let mut total = 1u32; // 0 = FAIL trap (accepting)
+    for d in dfas {
+        offsets.push(total);
+        total += d.num_states() as u32;
+    }
+    let pass = total;
+    for _ in 1..=total {
+        out.add_state();
+    }
+    let fail = 0u32;
+    out.set_final(fail);
+    for s in 0..sigma as u32 {
+        out.set_transition(fail, s, fail);
+        out.set_transition(pass, s, pass);
+    }
+    for (b, d) in dfas.iter().enumerate() {
+        let off = offsets[b];
+        for q in 0..d.num_states() as u32 {
+            let id = off + q;
+            match d.step(q, 0) {
+                Some(r2) => out.set_transition(id, a_sym.0, off + r2),
+                None => out.set_transition(id, a_sym.0, fail),
+            }
+            // `$` closes block b.
+            let next = if d.is_final_state(q) {
+                if b + 1 < n {
+                    offsets[b + 1] + dfas[b + 1].initial_state()
+                } else {
+                    pass
+                }
+            } else {
+                fail
+            };
+            out.set_transition(id, dollar.0, next);
+            // End-of-string finality: at a block *start* with fewer than n
+            // blocks completed → "less than n copies" → accept.
+            if q == d.initial_state() && b < n {
+                out.set_final(id);
+            }
+        }
+    }
+    out.set_initial(offsets[0] + dfas[0].initial_state());
+    out
+}
+
+/// Theorem 28(1): builds a typechecking instance from an XPath containment
+/// question `∀t ⊨ d: f_{P₁}(t) ⊆ f_{P₂}(t)` (evaluated from the wrapping
+/// root, see the module docs), via the Lemma 26 rewriting.
+pub struct Thm28ContainmentInstance {
+    /// The instance (transducer carries the rewritten patterns).
+    pub instance: Instance,
+    /// The rewritten patterns `P'₁`, `P'₂`.
+    pub patterns: (Pattern, Pattern),
+    /// The markers `x₁`, `x₂`.
+    pub markers: (Symbol, Symbol),
+}
+
+/// Builds the Theorem 28(1) instance from a DTD and two patterns.
+///
+/// `d` is transformed into `d'` by requiring an `x₁` and an `x₂` child leaf
+/// below every element (Lemma 26); the transducer emits the selections of
+/// the rewritten patterns under a fresh root, and the output DTD
+/// `r → x₂* | x₁ x₁* x₂ x₂*` states "if P'₁ selects anything, so does P'₂".
+pub fn build_containment(
+    d: &Dtd,
+    p1: &Pattern,
+    p2: &Pattern,
+    alphabet: &mut Alphabet,
+) -> Thm28ContainmentInstance {
+    let x1 = alphabet.intern("x1");
+    let x2 = alphabet.intern("x2");
+    let r = alphabet.intern("r");
+    let sigma = alphabet.len();
+
+    // d' = d with mandatory x1/x2 child leaves everywhere (except on the
+    // markers themselves).
+    let mut dprime = Dtd::new(sigma, r);
+    let tail = Dfa::single_word(sigma, &[x1.0, x2.0]);
+    for s in 0..sigma {
+        let sym = Symbol::from_index(s);
+        if sym == x1 || sym == x2 || sym == r {
+            continue;
+        }
+        let base = match d.rule(sym) {
+            Some(lang) => lang.to_dfa(sigma),
+            None => Dfa::epsilon_only(sigma),
+        };
+        dprime.set_rule(sym, StringLang::Dfa(concat_dfa(&base, &tail, sigma)));
+    }
+    dprime.set_rule(r, StringLang::Dfa(Dfa::single_word(sigma, &[d.start().0])));
+
+    let p1m = selecting::append_marker(p1, x1);
+    let p2m = selecting::append_marker(p2, x2);
+
+    // Transducer: (q0, r) → r(⟨q1, P'₁⟩ ⟨q1, P'₂⟩); (q1, x_i) → x_i.
+    let selectors = vec![Selector::XPath(p1m.clone()), Selector::XPath(p2m.clone())];
+    let rules = vec![
+        (
+            (0u32, r),
+            Rhs::new(vec![RhsNode::Elem(
+                r,
+                vec![RhsNode::Select(1, 0), RhsNode::Select(1, 1)],
+            )]),
+        ),
+        ((1u32, x1), Rhs::new(vec![RhsNode::Elem(x1, vec![])])),
+        ((1u32, x2), Rhs::new(vec![RhsNode::Elem(x2, vec![])])),
+    ];
+    let t = Transducer::from_parts(
+        vec!["q0".into(), "q1".into()],
+        0,
+        rules,
+        selectors,
+        sigma,
+    )
+    .expect("Theorem 28(1) transducer");
+
+    // d_out(r) = x2* | x1 x1* x2 x2*.
+    let mut dout = Dtd::new(sigma, r);
+    {
+        let mut x2star = Dfa::new(sigma);
+        x2star.set_final(0);
+        x2star.set_transition(0, x2.0, 0);
+        let mut both = Dfa::new(sigma);
+        let s1 = both.add_state();
+        let s2 = both.add_state();
+        both.set_transition(0, x1.0, s1);
+        both.set_transition(s1, x1.0, s1);
+        both.set_transition(s1, x2.0, s2);
+        both.set_transition(s2, x2.0, s2);
+        both.set_final(s2);
+        dout.set_rule(r, StringLang::Dfa(x2star.union(&both)));
+    }
+
+    Thm28ContainmentInstance {
+        instance: Instance::dtds(alphabet.clone(), dprime, dout, t),
+        patterns: (p1m, p2m),
+        markers: (x1, x2),
+    }
+}
+
+/// Brute-force ground truth for the containment condition the instance
+/// encodes: over all `d'`-valid trees within bounds, whenever `P'₁` selects
+/// a node, `P'₂` must select one too.
+pub fn bounded_containment_truth(
+    inst: &Thm28ContainmentInstance,
+    bounds: typecheck_core::naive::Bounds,
+) -> bool {
+    let din = match &inst.instance.input {
+        typecheck_core::Schema::Dtd(d) => d.compile_to_dfas(),
+        _ => unreachable!(),
+    };
+    let trees: Vec<Tree> =
+        typecheck_core::naive::enumerate_valid_trees(&din, din.start(), bounds);
+    for t in trees {
+        let s1 = eval::select(&inst.patterns.0, &t);
+        let s2 = eval::select(&inst.patterns.1, &t);
+        if !s1.is_empty() && s2.is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+/// `L(a) · L(b)` for DFAs (via NFA concatenation + determinization).
+fn concat_dfa(a: &Dfa, b: &Dfa, sigma: usize) -> Dfa {
+    let mut na = a.to_nfa();
+    na.grow_alphabet(sigma);
+    let mut nb = b.to_nfa();
+    nb.grow_alphabet(sigma);
+    xmlta_automata::ops::determinize(&na.concat(&nb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typecheck_core::naive::Bounds;
+    use typecheck_core::{typecheck, Outcome};
+    use xmlta_automata::unary::{mod_nonzero_dfa, mod_zero_dfa};
+    use xmlta_xpath::parser::parse_pattern;
+
+    #[test]
+    fn unary_reduction_negative() {
+        // mod-2-zero ∩ mod-3-zero ∋ ε (length 0): not empty ⇒ fails.
+        let inst = build_unary(&[mod_zero_dfa(2), mod_zero_dfa(3)]);
+        assert!(!inst.intersection_empty);
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert!(!outcome.type_checks());
+        if let Outcome::CounterExample(ce) = &outcome {
+            // Structural sanity of the counterexample.
+            assert!(ce.input.num_nodes() >= 3);
+        }
+    }
+
+    #[test]
+    fn unary_reduction_positive() {
+        // odd ∩ even (mod 2) = ∅ ⇒ typechecks.
+        let inst = build_unary(&[mod_nonzero_dfa(2), mod_zero_dfa(2)]);
+        assert!(inst.intersection_empty);
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert!(outcome.type_checks());
+    }
+
+    #[test]
+    fn containment_instance_matches_bounded_truth() {
+        // d: s → a? b?; patterns over {a, b}.
+        let cases = [
+            ("./a", "./*", true),   // ./a ⊆ ./* always
+            ("./*", "./a", false),  // a b-child breaks it
+            (".//b", "./b", true),  // depth ≤ 1 below s... b children only at depth 1? d' adds x1/x2 leaves; .//b selects b at any depth — with d: s → a? b?, a/b are leaves (plus markers), so .//b ≡ ./b here.
+            ("./a", "./b", false),
+        ];
+        for (src1, src2, _expect) in cases {
+            let mut alphabet = Alphabet::new();
+            let d = Dtd::parse("s -> a? b?", &mut alphabet).unwrap();
+            let p1 = parse_pattern(src1, &mut alphabet).unwrap();
+            let p2 = parse_pattern(src2, &mut alphabet).unwrap();
+            let inst = build_containment(&d, &p1, &p2, &mut alphabet);
+            let truth = bounded_containment_truth(
+                &inst,
+                Bounds { max_depth: 4, max_width: 4, max_trees: 4000 },
+            );
+            // Cross-check with the naive typechecker on the same instance.
+            let (din, dout) = match (&inst.instance.input, &inst.instance.output) {
+                (typecheck_core::Schema::Dtd(a), typecheck_core::Schema::Dtd(b)) => (a, b),
+                _ => unreachable!(),
+            };
+            let naive = typecheck_core::naive::typecheck_naive(
+                din,
+                dout,
+                &inst.instance.transducer,
+                Bounds { max_depth: 4, max_width: 4, max_trees: 4000 },
+            );
+            assert_eq!(
+                naive.type_checks(),
+                truth,
+                "instance vs containment truth mismatch for ({src1}, {src2})"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_containment_decided_by_complete_engine() {
+        // Patterns without filters/disjunction expand to plain transducers,
+        // so the complete engine decides the instance.
+        let mut alphabet = Alphabet::new();
+        let d = Dtd::parse("s -> a? b?", &mut alphabet).unwrap();
+        let p1 = parse_pattern("./a", &mut alphabet).unwrap();
+        let p2 = parse_pattern("./*", &mut alphabet).unwrap();
+        let inst = build_containment(&d, &p1, &p2, &mut alphabet);
+        let outcome = typecheck(&inst.instance).expect("linear patterns expand");
+        assert!(outcome.type_checks(), "./a ⊆ ./* must typecheck");
+
+        let mut alphabet = Alphabet::new();
+        let d = Dtd::parse("s -> a? b?", &mut alphabet).unwrap();
+        let p1 = parse_pattern("./*", &mut alphabet).unwrap();
+        let p2 = parse_pattern("./a", &mut alphabet).unwrap();
+        let inst = build_containment(&d, &p1, &p2, &mut alphabet);
+        let outcome = typecheck(&inst.instance).expect("linear patterns expand");
+        assert!(!outcome.type_checks(), "./* ⊄ ./a");
+    }
+
+    #[test]
+    fn disjunction_patterns_rejected_by_complete_engines() {
+        // The coNP fragments carry disjunction; the PTIME engines must
+        // refuse rather than answer incorrectly.
+        let mut alphabet = Alphabet::new();
+        let d = Dtd::parse("s -> a? b?", &mut alphabet).unwrap();
+        let p1 = parse_pattern("./(a|b)", &mut alphabet).unwrap();
+        let p2 = parse_pattern("./*", &mut alphabet).unwrap();
+        let inst = build_containment(&d, &p1, &p2, &mut alphabet);
+        assert!(typecheck(&inst.instance).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Lemma 27: 3-CNF satisfiability reduces to intersection emptiness of
+//! unary DFAs.
+//!
+//! Truth assignments are encoded as string lengths: `x_i` is true iff the
+//! length is divisible by the `i`-th prime `p_i`. Each clause becomes a DFA
+//! accepting the lengths that satisfy it (a union of three modulus
+//! automata), so the formula is satisfiable iff `⋂ L(A_clause) ≠ ∅`.
+
+use xmlta_automata::unary::{first_primes, mod_nonzero_dfa, mod_zero_dfa};
+use xmlta_automata::Dfa;
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for a positive literal.
+    pub positive: bool,
+}
+
+/// A clause of at most three literals.
+pub type Clause = Vec<Literal>;
+
+/// A 3-CNF formula.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Evaluates the formula under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| assignment[l.var] == l.positive)
+        })
+    }
+
+    /// Brute-force satisfiability (for cross-checking the reduction).
+    pub fn brute_force_sat(&self) -> Option<Vec<bool>> {
+        let n = self.num_vars;
+        assert!(n <= 24, "brute force is for small formulas");
+        for mask in 0..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+}
+
+/// The clause automata of Lemma 27: one unary DFA per clause; the formula
+/// is satisfiable iff the intersection of their languages is non-empty.
+pub fn clause_dfas(cnf: &Cnf) -> Vec<Dfa> {
+    let primes = first_primes(cnf.num_vars);
+    cnf.clauses
+        .iter()
+        .map(|clause| {
+            let mut union: Option<Dfa> = None;
+            for l in clause {
+                let p = primes[l.var];
+                let d = if l.positive { mod_zero_dfa(p) } else { mod_nonzero_dfa(p) };
+                union = Some(match union {
+                    None => d,
+                    Some(u) => u.union(&d),
+                });
+            }
+            union.unwrap_or_else(|| Dfa::empty_language(1))
+        })
+        .collect()
+}
+
+/// Decodes a unary witness length back into an assignment.
+pub fn decode_assignment(cnf: &Cnf, length: u64) -> Vec<bool> {
+    let primes = first_primes(cnf.num_vars);
+    primes.iter().map(|&p| length % p as u64 == 0).collect()
+}
+
+/// Checks satisfiability through the reduction (product construction over
+/// the clause DFAs — exponential in the number of clauses, which is the
+/// content of Lemma 27).
+pub fn sat_via_unary_intersection(cnf: &Cnf) -> Option<Vec<bool>> {
+    if cnf.clauses.is_empty() {
+        return Some(vec![false; cnf.num_vars]);
+    }
+    let dfas = clause_dfas(cnf);
+    let refs: Vec<&Dfa> = dfas.iter().collect();
+    // The joint period is bounded by the product of all primes.
+    let cap: u64 = first_primes(cnf.num_vars)
+        .iter()
+        .map(|&p| p as u64)
+        .product::<u64>()
+        .saturating_add(1);
+    let len = xmlta_automata::unary::unary_intersection_witness(&refs, cap)?;
+    Some(decode_assignment(cnf, len))
+}
+
+/// Generates a random 3-CNF formula (benchmark substrate).
+pub fn random_cnf(rng: &mut impl rand::Rng, num_vars: usize, num_clauses: usize) -> Cnf {
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| Literal {
+                    var: rng.gen_range(0..num_vars),
+                    positive: rng.gen_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+    Cnf { num_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn lit(var: usize, positive: bool) -> Literal {
+        Literal { var, positive }
+    }
+
+    #[test]
+    fn satisfiable_formula() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1): satisfiable with x1 = true.
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![
+                vec![lit(0, true), lit(1, true)],
+                vec![lit(0, false), lit(1, true)],
+            ],
+        };
+        let a = sat_via_unary_intersection(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a), "decoded assignment must satisfy the formula");
+        assert!(cnf.brute_force_sat().is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_formula() {
+        // x0 ∧ ¬x0.
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![lit(0, true)], vec![lit(0, false)]],
+        };
+        assert!(sat_via_unary_intersection(&cnf).is_none());
+        assert!(cnf.brute_force_sat().is_none());
+    }
+
+    #[test]
+    fn reduction_agrees_with_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for _ in 0..30 {
+            let cnf = random_cnf(&mut rng, 4, 6);
+            let by_reduction = sat_via_unary_intersection(&cnf);
+            let by_brute = cnf.brute_force_sat();
+            assert_eq!(
+                by_reduction.is_some(),
+                by_brute.is_some(),
+                "disagreement on {cnf:?}"
+            );
+            if let Some(a) = by_reduction {
+                assert!(cnf.eval(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let cnf = Cnf { num_vars: 3, clauses: vec![] };
+        assert!(sat_via_unary_intersection(&cnf).is_some());
+    }
+}

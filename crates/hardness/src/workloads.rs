@@ -1,0 +1,401 @@
+//! Parameterized instance families for the benchmark harness (Table 1 and
+//! the per-theorem scaling experiments).
+//!
+//! Every family returns complete [`Instance`]s whose expected outcome is
+//! known, so benchmarks double as correctness checks.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use typecheck_core::Instance;
+use xmlta_automata::{Dfa, Regex};
+use xmlta_base::Alphabet;
+use xmlta_schema::convert::dtd_to_nta;
+use xmlta_schema::{dta, generate, Dtd, Nta, StringLang};
+use xmlta_transducer::{examples, random::RandomTransducerParams, TransducerBuilder};
+
+/// A generated instance with its expected outcome.
+pub struct Workload {
+    /// Short name for reporting.
+    pub name: String,
+    /// The instance.
+    pub instance: Instance,
+    /// Whether the instance should typecheck.
+    pub expect_typechecks: bool,
+}
+
+/// The **filtering family** (Example 10 generalized): a book DTD with
+/// `depth` nested section levels and the ToC transducer with unbounded
+/// non-copying deletion. Scales `|d_in|` while staying in `T^{1,1}_trac`.
+pub fn filtering_family(depth: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let mut rules = String::from("book -> title author+ chapter+\n");
+    rules.push_str("chapter -> title intro sec0+\n");
+    for i in 0..depth {
+        let next = if i + 1 < depth {
+            format!("sec{i} -> title paragraph+ sec{}*", i + 1)
+        } else {
+            format!("sec{i} -> title paragraph+")
+        };
+        rules.push_str(&next);
+        rules.push('\n');
+    }
+    let din = Dtd::parse(&rules, &mut a).expect("filtering DTD");
+    let mut builder = TransducerBuilder::new(&mut a)
+        .states(&["q"])
+        .rule("q", "book", "book(q)")
+        .rule("q", "chapter", "chapter q")
+        .rule("q", "title", "title");
+    for i in 0..depth {
+        builder = builder.rule("q", &format!("sec{i}"), "q");
+    }
+    let t = builder.build().expect("filtering transducer");
+    let dout = Dtd::parse("book -> title (chapter title*)*", &mut a).expect("out DTD");
+    Workload {
+        name: format!("filtering/depth={depth}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **copying family**: copying width `c` (the Lemma 14 exponent `C`).
+pub fn copying_family(c: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> x*\nx -> ", &mut a).expect("DTD");
+    let copies = (0..c).map(|_| "q").collect::<Vec<_>>().join(" ");
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["root", "q"])
+        .rule("root", "r", &format!("r({copies})"))
+        .rule("q", "x", "y")
+        .build()
+        .expect("copying transducer");
+    let dout = Dtd::parse("r -> y*", &mut a).expect("out DTD");
+    Workload {
+        name: format!("copying/C={c}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **deletion-chain family**: a chain of `k` deleting states, each of
+/// deletion width 2 — deletion path width `2^k` (the Lemma 14 exponent `K`).
+pub fn deletion_family(k: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> m\nm -> m? y*\ny -> ", &mut a).expect("DTD");
+    let names: Vec<String> = std::iter::once("root".to_string())
+        .chain((0..=k).map(|i| format!("d{i}")))
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut builder = TransducerBuilder::new(&mut a).states(&refs);
+    builder = builder.rule("root", "r", "r(d0)");
+    for i in 0..k {
+        builder = builder.rule(&format!("d{i}"), "m", &format!("d{} d{}", i + 1, i + 1));
+    }
+    builder = builder
+        .rule(&format!("d{k}"), "m", "z")
+        .rule(&format!("d{k}"), "y", "y");
+    let t = builder.build().expect("deletion transducer");
+    let dout = Dtd::parse("r -> (y|z)*", &mut a).expect("out DTD");
+    Workload {
+        name: format!("deletion/K=2^{k}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **random layered family** for the `nd,bc × DTD(DFA)` cell: random
+/// layered DTDs (compiled to DFAs) and a random non-deleting transducer.
+pub fn random_layered_family(seed: u64, layers: usize, symbols_per_layer: usize) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = Alphabet::new();
+    let params = generate::LayeredDtdParams {
+        layers,
+        symbols_per_layer,
+        ..generate::LayeredDtdParams::default()
+    };
+    let din = generate::random_layered_dtd(&mut rng, params, &mut a).compile_to_dfas();
+    let t = xmlta_transducer::random::random_transducer(
+        &mut rng,
+        a.len(),
+        RandomTransducerParams {
+            num_states: 3,
+            allow_deletion: false,
+            ..RandomTransducerParams::default()
+        },
+    );
+    // Universal output schema — the family measures engine scaling, not
+    // violation hunting. Its start symbol must match the root the random
+    // transducer actually emits on the input start symbol.
+    let out_root = match t.rule(t.initial_state(), din.start()) {
+        Some(rhs) => match rhs.nodes.as_slice() {
+            [xmlta_transducer::RhsNode::Elem(s, _)] => *s,
+            _ => din.start(),
+        },
+        None => din.start(),
+    };
+    let mut dout = Dtd::new(a.len(), out_root);
+    let universal = Dfa::universal(a.len());
+    for s in a.symbols() {
+        dout.set_rule(s, StringLang::Dfa(universal.clone()));
+    }
+    Workload {
+        name: format!("random-layered/seed={seed},layers={layers},k={symbols_per_layer}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **DTD(NFA) family**: like [`copying_family`] but the output rule is
+/// an NFA whose determinization is exponential — the `nd,bc × DTD(NFA)`
+/// PSPACE cell. `n` controls the NFA's "n-th letter from the end" width.
+pub fn nfa_schema_family(n: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> x*\nx -> ", &mut a).expect("DTD");
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["root", "q"])
+        .rule("root", "r", "r(q)")
+        .rule("q", "x", "y")
+        .build()
+        .expect("transducer");
+    let y = a.sym("y");
+    // NFA: all words over {y} — deliberately stated as "y appears at
+    // position n from the end OR any word": a padded union keeping the NFA
+    // nondeterministic with ~n states.
+    let mut nfa = xmlta_automata::Nfa::new(a.len());
+    let s0 = nfa.add_state();
+    nfa.set_initial(s0);
+    nfa.set_final(s0);
+    nfa.add_transition(s0, y.0, s0);
+    // plus a nondeterministic tail of length n
+    let mut prev = s0;
+    for _ in 0..n {
+        let s = nfa.add_state();
+        nfa.add_transition(prev, y.0, s);
+        prev = s;
+    }
+    nfa.set_final(prev);
+    let mut dout = Dtd::new(a.len(), din.start());
+    dout.set_rule(din.start(), StringLang::Nfa(nfa));
+    Workload {
+        name: format!("nfa-schema/n={n}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **RE+ family** (Theorem 37): chains of `n` RE+ rules with an
+/// unbounded-copying transducer.
+pub fn replus_family(n: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let mut rules = String::new();
+    for i in 0..n {
+        if i + 1 < n {
+            rules.push_str(&format!("s{i} -> s{} s{}+\n", i + 1, i + 1));
+        } else {
+            rules.push_str(&format!("s{i} -> leaf+\n"));
+        }
+    }
+    rules.push_str("leaf ->\n");
+    let din = Dtd::parse_replus(&rules, &mut a).expect("RE+ DTD");
+    let mut builder = TransducerBuilder::new(&mut a).states(&["q"]);
+    builder = builder.rule("q", "s0", "o0(q q)");
+    for i in 1..n {
+        builder = builder.rule("q", &format!("s{i}"), &format!("o{i}(q q)"));
+    }
+    builder = builder.rule("q", "leaf", "oleaf");
+    let t = builder.build().expect("RE+ transducer");
+    let mut out_rules = String::new();
+    for i in 0..n {
+        if i + 1 < n {
+            out_rules.push_str(&format!("o{i} -> o{}+\n", i + 1));
+        } else {
+            out_rules.push_str(&format!("o{i} -> oleaf+\n"));
+        }
+    }
+    out_rules.push_str("oleaf ->\n");
+    let dout = Dtd::parse_replus(&out_rules, &mut a).expect("RE+ out DTD");
+    Workload {
+        name: format!("replus/n={n}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **deleting-relabeling family** for the tree-automata columns
+/// (Theorem 20): DTD-derived NTAs of growing size with a relabel+delete
+/// transducer.
+pub fn delrelab_family(n: usize) -> Workload {
+    let mut a = Alphabet::new();
+    // n alternating layers; the transducer deletes odd layers and relabels
+    // even ones.
+    let mut rules = String::new();
+    for i in 0..n {
+        if i + 1 < n {
+            rules.push_str(&format!("l{i} -> l{}*\n", i + 1));
+        } else {
+            rules.push_str(&format!("l{i} -> \n"));
+        }
+    }
+    let din = Dtd::parse(&rules, &mut a).expect("layer DTD");
+    let names: Vec<String> = std::iter::once("root".into())
+        .chain((0..n).map(|i| format!("q{i}")))
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut builder = TransducerBuilder::new(&mut a).states(&refs);
+    builder = builder.rule("root", "l0", "m0(q1)");
+    for i in 1..n {
+        if i % 2 == 1 {
+            // delete this layer
+            builder = builder.rule(&format!("q{i}"), &format!("l{i}"), &format!("q{}", (i + 1).min(n - 1)));
+        } else {
+            builder = builder.rule(&format!("q{i}"), &format!("l{i}"), &format!("m{i}(q{})", (i + 1).min(n - 1)));
+        }
+    }
+    let t = builder.build().expect("delrelab transducer");
+    // Output NTA: universal complete deterministic automaton (single state).
+    let sigma = a.len();
+    let mut aout = Nta::new(sigma);
+    let q = aout.add_state();
+    for s in 0..sigma {
+        let mut star = xmlta_automata::Nfa::new(1);
+        let st = star.add_state();
+        star.set_initial(st);
+        star.set_final(st);
+        star.add_transition(st, q, st);
+        aout.set_transition(q, xmlta_base::Symbol::from_index(s), star);
+    }
+    aout.set_final(q);
+    debug_assert!(dta::is_deterministic(&aout) && dta::is_complete(&aout));
+    let ain = dtd_to_nta(&din);
+    Workload {
+        name: format!("delrelab/n={n}"),
+        instance: Instance::ntas(a, ain, aout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The **XPath family** (Theorem 23): child/wildcard patterns of depth `n`.
+pub fn xpath_family(n: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let mut rules = String::new();
+    for i in 0..n {
+        if i + 1 < n {
+            rules.push_str(&format!("v{i} -> v{}+\n", i + 1));
+        } else {
+            rules.push_str(&format!("v{i} -> leaf*\n"));
+        }
+    }
+    rules.push_str("leaf -> \n");
+    let din = Dtd::parse(&rules, &mut a).expect("xpath DTD");
+    // Pattern ./v1/v2/.../leaf
+    let mut pattern = String::from(".");
+    for i in 1..n {
+        pattern.push_str(&format!("/v{i}"));
+    }
+    pattern.push_str("/leaf");
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["root", "p"])
+        .rule("root", "v0", &format!("out(<p, {pattern}>)"))
+        .rule("p", "leaf", "hit")
+        .build()
+        .expect("xpath transducer");
+    let dout = Dtd::parse("out -> hit*", &mut a).expect("out DTD");
+    Workload {
+        name: format!("xpath/depth={n}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// A failing variant of the filtering family, for counterexample-generation
+/// benchmarks (Corollary 38): the output schema demands exactly one title
+/// per chapter.
+pub fn failing_filtering_family(depth: usize) -> Workload {
+    let mut w = filtering_family(depth);
+    let mut a = w.instance.alphabet.clone();
+    let dout = Dtd::parse("book -> title (chapter title)*", &mut a).expect("strict DTD");
+    w.instance.output = typecheck_core::Schema::Dtd(dout);
+    w.instance.alphabet = a;
+    w.name = format!("filtering-fail/depth={depth}");
+    w.expect_typechecks = false;
+    w
+}
+
+/// Builds a regex-rule DTD instance to exercise `Regex`-represented rules
+/// end to end (they are determinized inside the engine).
+pub fn regex_schema_family(width: usize) -> Workload {
+    let mut a = Alphabet::new();
+    let alts: Vec<String> = (0..width).map(|i| format!("k{i}")).collect();
+    let rule = format!("r -> ({})*", alts.join("|"));
+    let din = Dtd::parse(&rule, &mut a).expect("regex DTD");
+    let mut builder = TransducerBuilder::new(&mut a).states(&["root", "q"]);
+    builder = builder.rule("root", "r", "r(q)");
+    for alt in &alts {
+        builder = builder.rule("q", alt, "y");
+    }
+    let t = builder.build().expect("regex transducer");
+    let dout = Dtd::parse("r -> y*", &mut a).expect("out DTD");
+    Workload {
+        name: format!("regex-schema/width={width}"),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// The paper's own Example 10/11 instance, as a fixed smoke workload.
+pub fn example11_workload() -> Workload {
+    let mut a = Alphabet::new();
+    let din = examples::example10_dtd(&mut a);
+    let t = examples::example10_summary(&mut a);
+    let dout = examples::example11_output_dtd(&mut a);
+    Workload {
+        name: "example11".into(),
+        instance: Instance::dtds(a, din, dout, t),
+        expect_typechecks: true,
+    }
+}
+
+/// Regex helper kept public for bench code building custom rules.
+pub fn star_of(symbols: &[xmlta_base::Symbol]) -> Regex {
+    Regex::Star(Box::new(Regex::Alt(
+        symbols.iter().map(|s| Regex::Sym(s.0)).collect(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typecheck_core::typecheck;
+
+    #[test]
+    fn all_families_have_expected_outcomes() {
+        let workloads = vec![
+            filtering_family(2),
+            filtering_family(4),
+            copying_family(1),
+            copying_family(3),
+            deletion_family(1),
+            deletion_family(2),
+            random_layered_family(1, 2, 2),
+            nfa_schema_family(3),
+            replus_family(2),
+            replus_family(3),
+            delrelab_family(2),
+            delrelab_family(3),
+            xpath_family(2),
+            xpath_family(3),
+            failing_filtering_family(2),
+            regex_schema_family(3),
+            example11_workload(),
+        ];
+        for w in workloads {
+            let outcome = typecheck(&w.instance)
+                .unwrap_or_else(|e| panic!("{}: engine error {e}", w.name));
+            assert_eq!(
+                outcome.type_checks(),
+                w.expect_typechecks,
+                "workload {} has the wrong outcome",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Conversions between schema formalisms.
+
+use crate::dtd::Dtd;
+use crate::nta::Nta;
+use xmlta_automata::Nfa;
+use xmlta_base::Symbol;
+
+/// Converts a DTD into an equivalent NTA(NFA).
+///
+/// State `q_a` (one per symbol) means "the subtree is rooted at `a` and
+/// locally satisfies the DTD"; `δ(q_a, a)` is the children language of `a`
+/// re-lettered from symbols to states (the two coincide because states are
+/// indexed by symbols), every other `δ(q_a, b)` is empty, and the final
+/// state is the start symbol's.
+pub fn dtd_to_nta(dtd: &Dtd) -> Nta {
+    let n = dtd.alphabet_size();
+    let mut nta = Nta::new(n);
+    nta.add_states(n);
+    for i in 0..n {
+        let sym = Symbol::from_index(i);
+        let nfa = match dtd.rule(sym) {
+            Some(lang) => lang.to_nfa(n),
+            None => Nfa::single_word(n, &[]), // leaf-only default
+        };
+        nta.set_transition(i as u32, sym, nfa);
+    }
+    nta.set_final(dtd.start().0);
+    nta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    #[test]
+    fn dtd_and_nta_agree() {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse(
+            "book -> title author+ chapter+\n\
+             chapter -> title intro section+\n\
+             section -> title paragraph+ section*",
+            &mut a,
+        )
+        .unwrap();
+        let nta = dtd_to_nta(&d);
+        let good = parse_tree(
+            "book(title author chapter(title intro section(title paragraph)))",
+            &mut a,
+        )
+        .unwrap();
+        let bad = parse_tree("book(title chapter(title intro))", &mut a).unwrap();
+        let leafy = parse_tree("title", &mut a).unwrap();
+        for t in [&good, &bad, &leafy] {
+            assert_eq!(d.accepts(t), nta.accepts(t), "tree {:?}", t);
+        }
+        assert!(nta.accepts(&good));
+    }
+
+    #[test]
+    fn empty_dtd_empty_nta() {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse("a -> a", &mut a).unwrap();
+        let nta = dtd_to_nta(&d);
+        assert!(emptiness::is_empty(&nta));
+    }
+
+    #[test]
+    fn witness_of_converted_dtd_validates() {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse("r -> x* y\nx -> y y\ny -> ", &mut a).unwrap();
+        let nta = dtd_to_nta(&d);
+        let t = emptiness::witness_tree(&nta, 1000).expect("non-empty");
+        assert!(d.accepts(&t));
+    }
+}

@@ -1,0 +1,207 @@
+//! Finiteness of NTA(NFA) languages (Proposition 4(1)).
+//!
+//! A trimmed tree automaton accepts an infinite language iff it can *pump*:
+//! either horizontally (some useful transition NFA accepts arbitrarily long
+//! children strings over useful states) or vertically (some useful state can
+//! reappear strictly below itself in a run). Both are loop checks, as in the
+//! classic argument the paper cites from Comon et al.
+
+use crate::emptiness::reachable_states;
+use crate::nta::Nta;
+
+/// Usefulness analysis: a state is *useful* if it is reachable (labels the
+/// root of some subtree) and co-reachable (appears in some accepting run).
+#[derive(Debug, Clone)]
+pub struct Usefulness {
+    /// Reachable states (Fig. A.1 fixpoint).
+    pub reachable: Vec<bool>,
+    /// Useful states.
+    pub useful: Vec<bool>,
+}
+
+/// Computes the useful states.
+pub fn useful_states(nta: &Nta) -> Usefulness {
+    let n = nta.num_states();
+    let reach = reachable_states(nta);
+    let reachable = reach.reachable;
+    let mut co = vec![false; n];
+    for q in nta.final_states() {
+        if reachable[q as usize] {
+            co[q as usize] = true;
+        }
+    }
+    // q is co-reachable if some co-reachable p has δ(p,a) accepting a word
+    // over reachable states that contains q.
+    loop {
+        let mut changed = false;
+        for (p, _a, nfa) in nta.transitions() {
+            if !co[p as usize] || !reachable[p as usize] {
+                continue;
+            }
+            for q in 0..n as u32 {
+                if co[q as usize] || !reachable[q as usize] {
+                    continue;
+                }
+                if crate::dtd::nfa_accepts_word_containing(nfa, q, |l| reachable[l as usize]) {
+                    co[q as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let useful = (0..n).map(|q| reachable[q] && co[q]).collect();
+    Usefulness { reachable, useful }
+}
+
+/// Whether `L(B)` is finite.
+pub fn is_finite(nta: &Nta) -> bool {
+    let u = useful_states(nta);
+    if nta.final_states().all(|q| !u.useful[q as usize]) {
+        return true; // empty language
+    }
+    // Horizontal pumping: a useful (q, a) transition whose restriction to
+    // useful states accepts infinitely many strings.
+    for (q, _a, nfa) in nta.transitions() {
+        if !u.useful[q as usize] {
+            continue;
+        }
+        if nfa.restricted_language_is_infinite(|l| u.useful[l as usize]) {
+            return false;
+        }
+    }
+    // Vertical pumping: edge q → p when p occurs in some word of δ(q, a)
+    // over useful states; a cycle among useful states pumps depth.
+    let n = nta.num_states();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (q, _a, nfa) in nta.transitions() {
+        if !u.useful[q as usize] {
+            continue;
+        }
+        for p in 0..n as u32 {
+            if !u.useful[p as usize] || adj[q as usize].contains(&p) {
+                continue;
+            }
+            if crate::dtd::nfa_accepts_word_containing(nfa, p, |l| u.useful[l as usize]) {
+                adj[q as usize].push(p);
+            }
+        }
+    }
+    !has_cycle(&adj, &u.useful)
+}
+
+fn has_cycle(adj: &[Vec<u32>], active: &[bool]) -> bool {
+    // Kahn's algorithm over active nodes.
+    let n = adj.len();
+    let mut indeg = vec![0usize; n];
+    let mut live = 0usize;
+    for q in 0..n {
+        if !active[q] {
+            continue;
+        }
+        live += 1;
+        for &r in &adj[q] {
+            if active[r as usize] {
+                indeg[r as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&q| active[q] && indeg[q] == 0).collect();
+    let mut removed = 0;
+    while let Some(q) = queue.pop() {
+        removed += 1;
+        for &r in &adj[q] {
+            let r = r as usize;
+            if active[r] {
+                indeg[r] -= 1;
+                if indeg[r] == 0 {
+                    queue.push(r);
+                }
+            }
+        }
+    }
+    removed < live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_automata::Nfa;
+    use xmlta_base::Alphabet;
+
+    /// `L = {b(a), b(a a)}`: finite.
+    fn finite_nta() -> Nta {
+        let a = Alphabet::from_names(["a", "b"]);
+        let mut nta = Nta::new(2);
+        let qa = nta.add_state();
+        let qb = nta.add_state();
+        nta.set_transition(qa, a.sym("a"), Nfa::single_word(2, &[]));
+        let one = Nfa::single_word(2, &[qa]);
+        let two = Nfa::single_word(2, &[qa, qa]);
+        nta.set_transition(qb, a.sym("b"), one.union(&two));
+        nta.set_final(qb);
+        nta
+    }
+
+    #[test]
+    fn finite_language() {
+        assert!(is_finite(&finite_nta()));
+    }
+
+    #[test]
+    fn horizontal_pumping_is_infinite() {
+        // b(a+) — unbounded width.
+        let a = Alphabet::from_names(["a", "b"]);
+        let mut nta = Nta::new(2);
+        let qa = nta.add_state();
+        let qb = nta.add_state();
+        nta.set_transition(qa, a.sym("a"), Nfa::single_word(2, &[]));
+        let mut plus = Nfa::new(2);
+        let s0 = plus.add_state();
+        let s1 = plus.add_state();
+        plus.set_initial(s0);
+        plus.set_final(s1);
+        plus.add_transition(s0, qa, s1);
+        plus.add_transition(s1, qa, s1);
+        nta.set_transition(qb, a.sym("b"), plus);
+        nta.set_final(qb);
+        assert!(!is_finite(&nta));
+    }
+
+    #[test]
+    fn vertical_pumping_is_infinite() {
+        // Unary chains b(b(…b(a)…)) — unbounded depth.
+        let a = Alphabet::from_names(["a", "b"]);
+        let mut nta = Nta::new(2);
+        let q = nta.add_state();
+        nta.set_transition(q, a.sym("a"), Nfa::single_word(1, &[]));
+        nta.set_transition(q, a.sym("b"), Nfa::single_word(1, &[q]));
+        nta.set_final(q);
+        assert!(!is_finite(&nta));
+    }
+
+    #[test]
+    fn useless_loops_do_not_count() {
+        // A pumping state that is never co-reachable keeps the language
+        // finite.
+        let a = Alphabet::from_names(["a", "b"]);
+        let mut nta = Nta::new(2);
+        let qa = nta.add_state();
+        let dead = nta.add_state();
+        nta.set_transition(qa, a.sym("a"), Nfa::single_word(2, &[]));
+        nta.set_transition(dead, a.sym("b"), Nfa::single_word(2, &[dead]));
+        nta.set_final(qa);
+        assert!(is_finite(&nta));
+    }
+
+    #[test]
+    fn empty_language_is_finite() {
+        let mut nta = Nta::new(1);
+        let q = nta.add_state();
+        nta.set_final(q);
+        // no transitions at all
+        assert!(is_finite(&nta));
+    }
+}

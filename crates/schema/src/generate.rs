@@ -1,0 +1,132 @@
+//! Random DTD generation (workload substrate).
+//!
+//! Produces *layered* DTDs: symbols are organized in layers and the content
+//! model of a layer-`i` symbol only mentions layer-`i+1` symbols (optionally
+//! with a star-recursion back to its own layer, mirroring `section*` in
+//! Example 10). Layered DTDs are never empty and validation never diverges,
+//! which makes them good benchmark families: their *size* grows while their
+//! shape stays comparable.
+
+use crate::dtd::{Dtd, StringLang};
+use rand::Rng;
+use xmlta_automata::Regex;
+use xmlta_base::{Alphabet, Symbol};
+
+/// Parameters for [`random_layered_dtd`].
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredDtdParams {
+    /// Number of layers (tree depth of generated documents).
+    pub layers: usize,
+    /// Symbols per layer.
+    pub symbols_per_layer: usize,
+    /// Max factors in each content model.
+    pub max_factors: usize,
+    /// Probability that a factor is starred / plussed / optional.
+    pub modifier_prob: f64,
+    /// Probability that a non-leaf rule gains a `self*` recursion factor.
+    pub recursion_prob: f64,
+}
+
+impl Default for LayeredDtdParams {
+    fn default() -> Self {
+        LayeredDtdParams {
+            layers: 3,
+            symbols_per_layer: 3,
+            max_factors: 4,
+            modifier_prob: 0.5,
+            recursion_prob: 0.2,
+        }
+    }
+}
+
+/// Generates a layered DTD; symbol names are `l{layer}_{index}`.
+///
+/// Returns the DTD together with the alphabet it extends.
+pub fn random_layered_dtd(
+    rng: &mut impl Rng,
+    params: LayeredDtdParams,
+    alphabet: &mut Alphabet,
+) -> Dtd {
+    assert!(params.layers >= 1 && params.symbols_per_layer >= 1);
+    let mut table: Vec<Vec<Symbol>> = Vec::with_capacity(params.layers);
+    for layer in 0..params.layers {
+        table.push(
+            (0..params.symbols_per_layer)
+                .map(|i| alphabet.intern(&format!("l{layer}_{i}")))
+                .collect(),
+        );
+    }
+    let start = table[0][0];
+    let mut dtd = Dtd::new(alphabet.len(), start);
+    for layer in 0..params.layers {
+        for (idx, &sym) in table[layer].iter().enumerate() {
+            if layer + 1 == params.layers {
+                continue; // leaves keep the default ε rule
+            }
+            let mut items: Vec<Regex> = Vec::new();
+            let nfactors = rng.gen_range(1..=params.max_factors);
+            for _ in 0..nfactors {
+                let child = table[layer + 1][rng.gen_range(0..params.symbols_per_layer)];
+                let base = Regex::Sym(child.0);
+                let item = if rng.gen_bool(params.modifier_prob) {
+                    match rng.gen_range(0..3) {
+                        0 => Regex::Star(Box::new(base)),
+                        1 => Regex::Plus(Box::new(base)),
+                        _ => Regex::Opt(Box::new(base)),
+                    }
+                } else {
+                    base
+                };
+                items.push(item);
+            }
+            if rng.gen_bool(params.recursion_prob) {
+                // `self*` recursion in the style of `section*`.
+                let me = table[layer][idx];
+                items.push(Regex::Star(Box::new(Regex::Sym(me.0))));
+            }
+            let re = if items.len() == 1 {
+                items.pop().expect("non-empty")
+            } else {
+                Regex::Concat(items)
+            };
+            dtd.set_rule(sym, StringLang::Regex(re));
+        }
+    }
+    dtd.grow_alphabet(alphabet.len());
+    dtd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layered_dtd_is_nonempty_and_validates_its_sample() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for seed in 0..10u64 {
+            let mut rng2 = SmallRng::seed_from_u64(seed);
+            let mut a = Alphabet::new();
+            let params = LayeredDtdParams {
+                layers: 1 + (seed % 4) as usize,
+                ..LayeredDtdParams::default()
+            };
+            let d = random_layered_dtd(&mut rng2, params, &mut a);
+            assert!(!d.is_empty(), "layered DTDs are never empty");
+            let t = d.sample().expect("sample");
+            assert!(d.accepts(&t));
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn dfa_compilation_of_random_dtd() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut a = Alphabet::new();
+        let d = random_layered_dtd(&mut rng, LayeredDtdParams::default(), &mut a);
+        let dd = d.compile_to_dfas();
+        let t = d.sample().unwrap();
+        assert!(dd.accepts(&t));
+    }
+}

@@ -1,0 +1,19 @@
+//! Schema languages: DTDs and unranked tree automata.
+//!
+//! Implements Section 2.2 of Martens & Neven: DTDs parameterized by a class
+//! of string-language representations ([`StringLang`]), non-deterministic
+//! unranked tree automata `NTA(NFA)` ([`Nta`]), bottom-up deterministic
+//! (complete) tree automata, and the basic decision procedures of
+//! Proposition 4 and Lemma 3 (emptiness, finiteness, witness generation).
+
+pub mod convert;
+pub mod dta;
+pub mod dtd;
+pub mod emptiness;
+pub mod finiteness;
+pub mod generate;
+pub mod nta;
+pub mod product;
+
+pub use dtd::{Dtd, StringLang, ValidationError};
+pub use nta::Nta;

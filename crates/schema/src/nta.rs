@@ -1,0 +1,355 @@
+//! Non-deterministic unranked tree automata (Definition 2).
+
+use std::collections::HashMap;
+use xmlta_automata::Nfa;
+use xmlta_base::Symbol;
+use xmlta_tree::Tree;
+
+/// A non-deterministic (unranked) tree automaton `B = (Q, Σ, δ, F)`.
+///
+/// `δ(q, a)` is a regular language over `Q`, represented by an [`Nfa`] whose
+/// alphabet is the automaton's state set — the paper's `NTA(NFA)`. A missing
+/// entry denotes the empty language.
+#[derive(Clone, Debug)]
+pub struct Nta {
+    alphabet_size: usize,
+    num_states: usize,
+    delta: HashMap<(u32, Symbol), Nfa>,
+    is_final: Vec<bool>,
+}
+
+impl Nta {
+    /// Creates an NTA over `alphabet_size` symbols with no states.
+    pub fn new(alphabet_size: usize) -> Nta {
+        Nta { alphabet_size, num_states: 0, delta: HashMap::new(), is_final: Vec::new() }
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> u32 {
+        let id = self.num_states as u32;
+        self.num_states += 1;
+        self.is_final.push(false);
+        id
+    }
+
+    /// Adds `n` fresh states, returning the first id.
+    pub fn add_states(&mut self, n: usize) -> u32 {
+        let first = self.num_states as u32;
+        for _ in 0..n {
+            self.add_state();
+        }
+        first
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// Marks `q` final.
+    pub fn set_final(&mut self, q: u32) {
+        self.is_final[q as usize] = true;
+    }
+
+    /// Whether `q` is final.
+    pub fn is_final_state(&self, q: u32) -> bool {
+        self.is_final[q as usize]
+    }
+
+    /// Iterates over final states.
+    pub fn final_states(&self) -> impl Iterator<Item = u32> + '_ {
+        self.is_final
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| if f { Some(i as u32) } else { None })
+    }
+
+    /// Sets `δ(q, a)` to the language of `nfa` (an NFA over the state set).
+    ///
+    /// The NFA's alphabet is grown to the current number of states; adding
+    /// states *after* installing transitions is allowed as long as the
+    /// installed NFAs never mention them.
+    pub fn set_transition(&mut self, q: u32, a: Symbol, mut nfa: Nfa) {
+        assert!((q as usize) < self.num_states, "state out of range");
+        nfa.grow_alphabet(self.num_states);
+        self.delta.insert((q, a), nfa);
+    }
+
+    /// The transition language `δ(q, a)`, if non-empty.
+    pub fn transition(&self, q: u32, a: Symbol) -> Option<&Nfa> {
+        self.delta.get(&(q, a))
+    }
+
+    /// Iterates over all `(q, a, nfa)` transition entries.
+    pub fn transitions(&self) -> impl Iterator<Item = (u32, Symbol, &Nfa)> {
+        self.delta.iter().map(|(&(q, a), n)| (q, a, n))
+    }
+
+    /// The paper's size measure `|Q| + |Σ| + Σ |δ(q,a)|`.
+    pub fn size(&self) -> usize {
+        self.num_states + self.alphabet_size + self.delta.values().map(Nfa::size).sum::<usize>()
+    }
+
+    /// Bottom-up computation of the set of states assignable to the root of
+    /// `t` by some run.
+    ///
+    /// For a node with children state-sets `S₁ … S_n`, state `q` is
+    /// assignable iff the NFA for `δ(q, lab)` accepts some word in
+    /// `S₁ × ⋯ × S_n` — decided by the standard set-valued simulation of the
+    /// NFA, so membership is polynomial (no enumeration of runs).
+    pub fn root_states(&self, t: &Tree) -> Vec<u32> {
+        let child_sets: Vec<Vec<u32>> = t.children.iter().map(|c| self.root_states(c)).collect();
+        let mut out = Vec::new();
+        for q in 0..self.num_states as u32 {
+            if let Some(nfa) = self.delta.get(&(q, t.label)) {
+                if nfa_accepts_set_sequence(nfa, &child_sets) {
+                    out.push(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `t ∈ L(B)`.
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.root_states(t)
+            .iter()
+            .any(|&q| self.is_final[q as usize])
+    }
+
+    /// Computes an explicit accepting run (state per node, parent-first
+    /// pre-order), if one exists. Exponential-free: chooses states greedily
+    /// top-down against the bottom-up sets.
+    pub fn accepting_run(&self, t: &Tree) -> Option<Vec<u32>> {
+        // Bottom-up sets for every node, stored pre-order.
+        fn collect<'a>(
+            nta: &Nta,
+            t: &'a Tree,
+            out: &mut Vec<(usize, Vec<u32>)>, // (num children, set)
+        ) -> Vec<u32> {
+            let my_index = out.len();
+            out.push((t.children.len(), Vec::new()));
+            let sets: Vec<Vec<u32>> = t
+                .children
+                .iter()
+                .map(|c| collect(nta, c, out))
+                .collect();
+            let mut states = Vec::new();
+            for q in 0..nta.num_states as u32 {
+                if let Some(nfa) = nta.delta.get(&(q, t.label)) {
+                    if nfa_accepts_set_sequence(nfa, &sets) {
+                        states.push(q);
+                    }
+                }
+            }
+            out[my_index].1 = states.clone();
+            states
+        }
+        let mut sets = Vec::new();
+        let root_states = collect(self, t, &mut sets);
+        let &root = root_states.iter().find(|&&q| self.is_final[q as usize])?;
+
+        // Top-down: assign states consistent with the chosen parent state.
+        let mut run = vec![u32::MAX; sets.len()];
+        run[0] = root;
+        // Recurse mirroring the pre-order layout.
+        fn assign(
+            nta: &Nta,
+            t: &Tree,
+            index: usize,
+            sets: &[(usize, Vec<u32>)],
+            run: &mut [u32],
+        ) -> Option<usize> {
+            let q = run[index];
+            // Child pre-order indices.
+            let mut child_idx = Vec::with_capacity(t.children.len());
+            let mut next = index + 1;
+            for c in &t.children {
+                child_idx.push(next);
+                next += c.num_nodes();
+            }
+            let child_sets: Vec<&Vec<u32>> = child_idx.iter().map(|&i| &sets[i].1).collect();
+            let nfa = nta.transition(q, t.label)?;
+            let word = choose_word(nfa, &child_sets)?;
+            for ((c, &i), &s) in t.children.iter().zip(&child_idx).zip(&word) {
+                run[i] = s;
+                assign(nta, c, i, sets, run)?;
+            }
+            Some(next)
+        }
+        assign(self, t, 0, &sets, &mut run)?;
+        Some(run)
+    }
+}
+
+/// Set-valued NFA simulation: does `nfa` accept some word `w₁…w_n` with
+/// `w_i ∈ sets[i]`?
+pub(crate) fn nfa_accepts_set_sequence(nfa: &Nfa, sets: &[Vec<u32>]) -> bool {
+    let mut cur: Vec<bool> = vec![false; nfa.num_states()];
+    for &q in nfa.initial_states() {
+        cur[q as usize] = true;
+    }
+    for set in sets {
+        let mut next = vec![false; nfa.num_states()];
+        let mut member = vec![false; nfa.alphabet_size()];
+        for &s in set {
+            if (s as usize) < member.len() {
+                member[s as usize] = true;
+            }
+        }
+        for q in 0..nfa.num_states() as u32 {
+            if !cur[q as usize] {
+                continue;
+            }
+            for &(l, r) in nfa.transitions_from(q) {
+                if member[l as usize] {
+                    next[r as usize] = true;
+                }
+            }
+        }
+        cur = next;
+    }
+    (0..nfa.num_states() as u32).any(|q| cur[q as usize] && nfa.is_final_state(q))
+}
+
+/// Picks one accepted word with the i-th letter drawn from `sets[i]`.
+fn choose_word(nfa: &Nfa, sets: &[&Vec<u32>]) -> Option<Vec<u32>> {
+    // Forward set simulation remembering, per step, the reachable states.
+    let mut layers: Vec<Vec<bool>> = Vec::with_capacity(sets.len() + 1);
+    let mut cur = vec![false; nfa.num_states()];
+    for &q in nfa.initial_states() {
+        cur[q as usize] = true;
+    }
+    layers.push(cur.clone());
+    for set in sets {
+        let mut next = vec![false; nfa.num_states()];
+        for q in 0..nfa.num_states() as u32 {
+            if !cur[q as usize] {
+                continue;
+            }
+            for &(l, r) in nfa.transitions_from(q) {
+                if set.contains(&l) {
+                    next[r as usize] = true;
+                }
+            }
+        }
+        cur = next;
+        layers.push(cur.clone());
+    }
+    // Backward reconstruction from a final state.
+    let mut target = (0..nfa.num_states() as u32)
+        .find(|&q| layers[sets.len()][q as usize] && nfa.is_final_state(q))?;
+    let mut word = vec![0u32; sets.len()];
+    for i in (0..sets.len()).rev() {
+        let mut found = false;
+        'outer: for q in 0..nfa.num_states() as u32 {
+            if !layers[i][q as usize] {
+                continue;
+            }
+            for &(l, r) in nfa.transitions_from(q) {
+                if r == target && sets[i].contains(&l) {
+                    word[i] = l;
+                    target = q;
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+    }
+    Some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    /// NTA accepting trees over {a, b} where every leaf is `a` and every
+    /// internal node is `b` (state 0 = ok-subtree), root must be `b`.
+    fn leaf_a_internal_b() -> (Alphabet, Nta) {
+        let a = Alphabet::from_names(["a", "b"]);
+        let mut nta = Nta::new(2);
+        let ok_leaf = nta.add_state();
+        let ok_b = nta.add_state();
+        // δ(ok_leaf, a) = {ε}
+        nta.set_transition(ok_leaf, a.sym("a"), Nfa::single_word(2, &[]));
+        // δ(ok_b, b) = (ok_leaf | ok_b)+
+        let mut plus = Nfa::new(2);
+        let s0 = plus.add_state();
+        let s1 = plus.add_state();
+        plus.set_initial(s0);
+        plus.set_final(s1);
+        for l in [ok_leaf, ok_b] {
+            plus.add_transition(s0, l, s1);
+            plus.add_transition(s1, l, s1);
+        }
+        nta.set_transition(ok_b, a.sym("b"), plus);
+        nta.set_final(ok_b);
+        (a, nta)
+    }
+
+    #[test]
+    fn accepts_and_rejects() {
+        let (mut al, nta) = leaf_a_internal_b();
+        let good = parse_tree("b(a b(a a) a)", &mut al).unwrap();
+        assert!(nta.accepts(&good));
+        let bad_leaf = parse_tree("b(a b)", &mut al).unwrap();
+        assert!(!nta.accepts(&bad_leaf)); // leaf b not allowed
+        let bad_root = parse_tree("a", &mut al).unwrap();
+        assert!(!nta.accepts(&bad_root)); // root must be internal b
+    }
+
+    #[test]
+    fn root_states_bottom_up() {
+        let (mut al, nta) = leaf_a_internal_b();
+        let leaf = parse_tree("a", &mut al).unwrap();
+        assert_eq!(nta.root_states(&leaf), vec![0]);
+        let t = parse_tree("b(a a)", &mut al).unwrap();
+        assert_eq!(nta.root_states(&t), vec![1]);
+        let none = parse_tree("b", &mut al).unwrap();
+        assert!(nta.root_states(&none).is_empty());
+    }
+
+    #[test]
+    fn accepting_run_is_consistent() {
+        let (mut al, nta) = leaf_a_internal_b();
+        let t = parse_tree("b(a b(a) a)", &mut al).unwrap();
+        let run = nta.accepting_run(&t).expect("accepted");
+        // Pre-order: b(a b(a) a) → states [1, 0, 1, 0, 0]
+        assert_eq!(run, vec![1, 0, 1, 0, 0]);
+        let rejected = parse_tree("b", &mut al).unwrap();
+        assert!(nta.accepting_run(&rejected).is_none());
+    }
+
+    #[test]
+    fn size_measure() {
+        let (_, nta) = leaf_a_internal_b();
+        assert!(nta.size() > nta.num_states() + nta.alphabet_size());
+    }
+
+    #[test]
+    fn nondeterministic_choice() {
+        // Two states both label leaf `a`; only state 1 is final at root.
+        let a = Alphabet::from_names(["a"]);
+        let mut nta = Nta::new(1);
+        let q0 = nta.add_state();
+        let q1 = nta.add_state();
+        nta.set_transition(q0, a.sym("a"), Nfa::single_word(2, &[]));
+        nta.set_transition(q1, a.sym("a"), Nfa::single_word(2, &[]));
+        nta.set_final(q1);
+        let t = Tree::leaf(a.sym("a"));
+        assert_eq!(nta.root_states(&t), vec![q0, q1]);
+        assert!(nta.accepts(&t));
+        let run = nta.accepting_run(&t).unwrap();
+        assert_eq!(run, vec![q1]);
+    }
+}

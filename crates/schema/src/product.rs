@@ -1,0 +1,141 @@
+//! Products of unranked tree automata.
+
+use crate::nta::Nta;
+use xmlta_automata::Nfa;
+use xmlta_base::Symbol;
+
+/// Builds the product automaton accepting `L(a) ∩ L(b)`.
+///
+/// States are pairs `(q_a, q_b)` encoded as `q_a * |Q_b| + q_b`; the
+/// transition language of a pair on symbol `s` is the "zip" of the two
+/// component languages: all strings of pairs whose projections are accepted
+/// by the component NFAs. This is the construction used by the Theorem 20
+/// typechecking algorithm (`B_in ∩ B_out`).
+pub fn intersect(a: &Nta, b: &Nta) -> Nta {
+    assert_eq!(a.alphabet_size(), b.alphabet_size(), "alphabet mismatch");
+    let nb = b.num_states();
+    let pair = |qa: u32, qb: u32| qa * nb as u32 + qb;
+
+    let mut out = Nta::new(a.alphabet_size());
+    out.add_states(a.num_states() * nb);
+    for qa in a.final_states() {
+        for qb in b.final_states() {
+            out.set_final(pair(qa, qb));
+        }
+    }
+    for sym in 0..a.alphabet_size() {
+        let sym = Symbol::from_index(sym);
+        for qa in 0..a.num_states() as u32 {
+            let Some(na) = a.transition(qa, sym) else { continue };
+            for qb in 0..b.num_states() as u32 {
+                let Some(nbf) = b.transition(qb, sym) else { continue };
+                let zipped = zip_nfas(na, nbf, nb, out.num_states());
+                out.set_transition(pair(qa, qb), sym, zipped);
+            }
+        }
+    }
+    out
+}
+
+/// Product NFA over the paired state alphabet: letter `(x, y)` is encoded as
+/// `x * nb + y`.
+fn zip_nfas(a: &Nfa, b: &Nfa, nb: usize, pair_alphabet: usize) -> Nfa {
+    let mut out = Nfa::new(pair_alphabet);
+    let states = a.num_states() * b.num_states();
+    for _ in 0..states {
+        out.add_state();
+    }
+    let id = |qa: u32, qb: u32| qa * b.num_states() as u32 + qb;
+    for &ia in a.initial_states() {
+        for &ib in b.initial_states() {
+            out.set_initial(id(ia, ib));
+        }
+    }
+    for qa in 0..a.num_states() as u32 {
+        for qb in 0..b.num_states() as u32 {
+            if a.is_final_state(qa) && b.is_final_state(qb) {
+                out.set_final(id(qa, qb));
+            }
+            for &(la, ra) in a.transitions_from(qa) {
+                for &(lb, rb) in b.transitions_from(qb) {
+                    let letter = la * nb as u32 + lb;
+                    if (letter as usize) < pair_alphabet {
+                        out.add_transition(id(qa, qb), letter, id(ra, rb));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    /// NTA for: all trees over {a,b} with root b.
+    fn root_b() -> Nta {
+        let mut nta = Nta::new(2);
+        let any = nta.add_state();
+        let root = nta.add_state();
+        let star = |syms: &[u32]| {
+            let mut n = Nfa::new(2);
+            let s = n.add_state();
+            n.set_initial(s);
+            n.set_final(s);
+            for &l in syms {
+                n.add_transition(s, l, s);
+            }
+            n
+        };
+        nta.set_transition(any, Symbol(0), star(&[any]));
+        nta.set_transition(any, Symbol(1), star(&[any]));
+        nta.set_transition(root, Symbol(1), star(&[any]));
+        nta.set_final(root);
+        nta
+    }
+
+    /// NTA for: all trees of depth ≤ 2 (root + leaves).
+    fn depth_le_2() -> Nta {
+        let mut nta = Nta::new(2);
+        let leaf = nta.add_state();
+        let root = nta.add_state();
+        for s in [Symbol(0), Symbol(1)] {
+            nta.set_transition(leaf, s, Nfa::single_word(2, &[]));
+            let mut star = Nfa::new(2);
+            let st = star.add_state();
+            star.set_initial(st);
+            star.set_final(st);
+            star.add_transition(st, leaf, st);
+            nta.set_transition(root, s, star);
+        }
+        nta.set_final(root);
+        nta
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let p = intersect(&root_b(), &depth_le_2());
+        let mut al = Alphabet::from_names(["a", "b"]);
+        let yes = parse_tree("b(a b a)", &mut al).unwrap();
+        assert!(p.accepts(&yes));
+        let wrong_root = parse_tree("a(a b)", &mut al).unwrap();
+        assert!(!p.accepts(&wrong_root));
+        let too_deep = parse_tree("b(a(b))", &mut al).unwrap();
+        assert!(!p.accepts(&too_deep));
+        let leaf_b = parse_tree("b", &mut al).unwrap();
+        assert!(p.accepts(&leaf_b));
+    }
+
+    #[test]
+    fn intersection_emptiness_composes() {
+        let p = intersect(&root_b(), &depth_le_2());
+        assert!(!emptiness::is_empty(&p));
+        let t = emptiness::witness_tree(&p, 100).unwrap();
+        assert!(root_b().accepts(&t));
+        assert!(depth_le_2().accepts(&t));
+    }
+}

@@ -1,0 +1,395 @@
+//! Copying/deletion analysis (Sections 2.5, 3.1; Proposition 16; Figure 4).
+//!
+//! * the **copying width** `C`: the maximum number of state occurrences in
+//!   any sequence of siblings in a right-hand side;
+//! * **deleting states**: states occurring at the top level of an rhs;
+//! * the **deletion width** `dw(q)`: the maximum number of states in
+//!   `top(rhs(q, a))` over all `a`;
+//! * **deletion paths** and the **deletion path width** `K`: the largest
+//!   product of deletion widths along a deletion path — computed as in the
+//!   proof of Proposition 16 by reducing to longest path in the
+//!   cycle-condensed deletion path graph `G'_T`.
+
+use crate::rhs::StateId;
+use crate::transducer::Transducer;
+use std::collections::HashMap;
+use xmlta_base::Symbol;
+
+/// The deletion path graph `G_T` of Proposition 16: nodes are `(q, a)`
+/// pairs, edges go to the pairs processing deleted children, and edge costs
+/// are the number of states in `top(rhs(q, a))`.
+#[derive(Debug, Clone)]
+pub struct DeletionPathGraph {
+    /// The `(state, symbol)` pairs appearing as graph nodes.
+    pub nodes: Vec<(StateId, Symbol)>,
+    /// Adjacency: `edges[i]` lists `(target node index, cost)`.
+    pub edges: Vec<Vec<(usize, u64)>>,
+}
+
+/// Summary of a transducer's copying/deletion structure.
+#[derive(Debug, Clone)]
+pub struct TransducerAnalysis {
+    /// Copying width `C` (0 when no rhs mentions a state).
+    pub copying_width: usize,
+    /// Deletion width per state: `dw(q)`.
+    pub deletion_width: Vec<usize>,
+    /// Deletion path width `K` (`None` = unbounded: some cycle has an edge
+    /// of cost > 1). A transducer with no deleting states has `K = 1`.
+    pub deletion_path_width: Option<u64>,
+    /// States that occur twice on some deletion path.
+    pub recursively_deleting: Vec<bool>,
+    /// Whether any rhs has a state at its top level.
+    pub has_deletion: bool,
+    /// Whether any rhs uses a selector pair.
+    pub uses_selectors: bool,
+    /// Whether every rhs contains at most one state occurrence in total —
+    /// the `T_del-relab` shape of Theorem 20 (deleting relabelings).
+    pub is_del_relab: bool,
+}
+
+impl TransducerAnalysis {
+    /// Runs the full analysis (all parts are PTIME, cf. Proposition 16).
+    pub fn analyze(t: &Transducer) -> TransducerAnalysis {
+        let copying_width = t
+            .rules()
+            .map(|(_, _, rhs)| rhs.max_states_among_siblings())
+            .max()
+            .unwrap_or(0);
+
+        let mut deletion_width = vec![0usize; t.num_states()];
+        let mut has_deletion = false;
+        for (q, _a, rhs) in t.rules() {
+            let w = rhs.top_states().len();
+            has_deletion |= w > 0;
+            deletion_width[q as usize] = deletion_width[q as usize].max(w);
+        }
+
+        let graph = deletion_path_graph(t);
+        let deletion_path_width = deletion_path_width(&graph);
+        let recursively_deleting = recursively_deleting_states(t);
+
+        let is_del_relab = !t.uses_selectors()
+            && t.rules()
+                .all(|(_, _, rhs)| rhs.all_state_occurrences().len() <= 1);
+
+        TransducerAnalysis {
+            copying_width,
+            deletion_width,
+            deletion_path_width,
+            recursively_deleting,
+            has_deletion,
+            uses_selectors: t.uses_selectors(),
+            is_del_relab,
+        }
+    }
+
+    /// Whether the transducer is non-deleting (`T_nd`).
+    pub fn is_non_deleting(&self) -> bool {
+        !self.has_deletion
+    }
+
+    /// Whether the transducer belongs to `T_trac^{C,K}` for *some* finite
+    /// `C, K` — the tractable class of Theorem 15.
+    pub fn is_tractable(&self) -> bool {
+        self.deletion_path_width.is_some()
+    }
+}
+
+/// Builds `G_T` (Proposition 16).
+pub fn deletion_path_graph(t: &Transducer) -> DeletionPathGraph {
+    // Nodes: all (q, a) pairs with a rule; plus target pairs.
+    let mut index: HashMap<(StateId, Symbol), usize> = HashMap::new();
+    let mut nodes: Vec<(StateId, Symbol)> = Vec::new();
+    let intern = |nodes: &mut Vec<(StateId, Symbol)>,
+                      index: &mut HashMap<(StateId, Symbol), usize>,
+                      key: (StateId, Symbol)| {
+        *index.entry(key).or_insert_with(|| {
+            nodes.push(key);
+            nodes.len() - 1
+        })
+    };
+    let mut edge_list: Vec<(usize, usize, u64)> = Vec::new();
+    for (q, a, rhs) in t.rules() {
+        let tops = rhs.top_states();
+        if tops.is_empty() {
+            continue;
+        }
+        let cost = tops.len() as u64;
+        let from = intern(&mut nodes, &mut index, (q, a));
+        for q2 in tops {
+            for a2 in 0..t.alphabet_size() {
+                let sym2 = Symbol::from_index(a2);
+                if t.rule(q2, sym2).is_some() {
+                    let to = intern(&mut nodes, &mut index, (q2, sym2));
+                    edge_list.push((from, to, cost));
+                }
+            }
+        }
+    }
+    let mut edges = vec![Vec::new(); nodes.len()];
+    for (f, to, c) in edge_list {
+        if !edges[f].contains(&(to, c)) {
+            edges[f].push((to, c));
+        }
+    }
+    DeletionPathGraph { nodes, edges }
+}
+
+/// Computes `K` from `G_T` as in Proposition 16's proof: unbounded when a
+/// cycle contains an edge of cost > 1; otherwise the maximum edge-cost
+/// product over paths of the cycle-condensed DAG `G'_T`.
+pub fn deletion_path_width(g: &DeletionPathGraph) -> Option<u64> {
+    let n = g.nodes.len();
+    if n == 0 {
+        return Some(1);
+    }
+    let scc = tarjan_scc(&g.edges);
+    // Edge inside an SCC with cost > 1 ⇒ unbounded.
+    for (from, outs) in g.edges.iter().enumerate() {
+        for &(to, cost) in outs {
+            if scc[from] == scc[to] && cost > 1 {
+                return None;
+            }
+        }
+    }
+    // Condense and take longest (max-product) path over the DAG.
+    let num_scc = scc.iter().map(|&c| c + 1).max().unwrap_or(0);
+    let mut dag: Vec<Vec<(usize, u64)>> = vec![Vec::new(); num_scc];
+    let mut indeg = vec![0usize; num_scc];
+    for (from, outs) in g.edges.iter().enumerate() {
+        for &(to, cost) in outs {
+            if scc[from] != scc[to] {
+                dag[scc[from]].push((scc[to], cost));
+                indeg[scc[to]] += 1;
+            }
+        }
+    }
+    // Topological DP maximizing the product of edge costs; `best[c]` is the
+    // largest product of a path ending at component c (1 = empty path).
+    let mut best = vec![1u64; num_scc];
+    let mut queue: Vec<usize> = (0..num_scc).filter(|&c| indeg[c] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(c) = queue.pop() {
+        visited += 1;
+        for &(to, cost) in &dag[c] {
+            best[to] = best[to].max(best[c].saturating_mul(cost));
+            indeg[to] -= 1;
+            if indeg[to] == 0 {
+                queue.push(to);
+            }
+        }
+    }
+    debug_assert_eq!(visited, num_scc, "condensation must be acyclic");
+    // K is the width of the widest deletion path: the product of the costs
+    // of its edges, where the last node's width is not counted (it is the
+    // edge costs that matter — the paper's definition multiplies dw(q_i) for
+    // i < n, and cost(e) = dw(source)).
+    best.into_iter().max().or(Some(1))
+}
+
+/// States occurring twice on some deletion path: states on a cycle of the
+/// state-projected deletion graph.
+pub fn recursively_deleting_states(t: &Transducer) -> Vec<bool> {
+    let n = t.num_states();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (q, _a, rhs) in t.rules() {
+        for q2 in rhs.top_states() {
+            if !adj[q as usize].contains(&q2) {
+                adj[q as usize].push(q2);
+            }
+        }
+    }
+    let scc = tarjan_scc(&adj_usize(&adj));
+    // A state is on a cycle iff its SCC has ≥ 2 members or a self-loop.
+    let mut count = HashMap::new();
+    for &c in &scc {
+        *count.entry(c).or_insert(0usize) += 1;
+    }
+    (0..n)
+        .map(|q| {
+            count[&scc[q]] >= 2 || adj[q].contains(&(q as u32))
+        })
+        .collect()
+}
+
+fn adj_usize(adj: &[Vec<u32>]) -> Vec<Vec<(usize, u64)>> {
+    adj.iter()
+        .map(|outs| outs.iter().map(|&r| (r as usize, 1)).collect())
+        .collect()
+}
+
+/// Iterative Tarjan SCC; returns the component index per node (components
+/// are numbered in reverse topological order).
+fn tarjan_scc(edges: &[Vec<(usize, u64)>]) -> Vec<usize> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: frames of (node, next edge index).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&(v, i)) = frames.last() {
+            if i < edges[v].len() {
+                frames.last_mut().expect("non-empty").1 += 1;
+                let w = edges[v][i].0;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use xmlta_base::Alphabet;
+
+    #[test]
+    fn example12_widths() {
+        // Example 12/13/17: C = 3, K = 6; Figure 4's graph.
+        let mut a = Alphabet::new();
+        let t = examples::example12(&mut a);
+        let an = TransducerAnalysis::analyze(&t);
+        assert_eq!(an.copying_width, 3);
+        assert_eq!(an.deletion_path_width, Some(6));
+        // Deletion widths from the Example 12 table: q1..q8 ↦ 2,3,1,0,2,2,1,1.
+        let dw = |name: &str| an.deletion_width[t.state_by_name(name).unwrap() as usize];
+        assert_eq!(dw("q1"), 2);
+        assert_eq!(dw("q2"), 3);
+        assert_eq!(dw("q3"), 1);
+        assert_eq!(dw("q4"), 0);
+        assert_eq!(dw("q5"), 2);
+        assert_eq!(dw("q6"), 2);
+        assert_eq!(dw("q7"), 1);
+        assert_eq!(dw("q8"), 1);
+        // q7 and q8 are recursively deleting (the q7 → q8 → q7 cycle).
+        let rec = |name: &str| an.recursively_deleting[t.state_by_name(name).unwrap() as usize];
+        assert!(rec("q7"));
+        assert!(rec("q8"));
+        assert!(!rec("q1"));
+        assert!(!rec("q4"));
+    }
+
+    #[test]
+    fn example10_classes() {
+        // Example 13: the ToC transducer is in T^{1,1}_trac; the summary
+        // transducer is in T^{2,1}_trac.
+        let mut a = Alphabet::new();
+        let toc = examples::example10_toc(&mut a);
+        let an = TransducerAnalysis::analyze(&toc);
+        assert_eq!(an.copying_width, 1);
+        assert_eq!(an.deletion_path_width, Some(1));
+        assert!(an.has_deletion); // (q, section) → q and (q, chapter) → chapter q
+        assert!(an.is_tractable());
+
+        let mut a2 = Alphabet::new();
+        let summary = examples::example10_summary(&mut a2);
+        let an2 = TransducerAnalysis::analyze(&summary);
+        assert_eq!(an2.copying_width, 2);
+        assert_eq!(an2.deletion_path_width, Some(1));
+    }
+
+    #[test]
+    fn unbounded_when_copy_while_recursively_deleting() {
+        // (q, a) → q q at the top level, recursive: K unbounded.
+        let mut a = Alphabet::new();
+        let t = crate::transducer::TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "a", "r(q)")
+            .rule("q", "a", "q q")
+            .build()
+            .unwrap();
+        let an = TransducerAnalysis::analyze(&t);
+        assert_eq!(an.deletion_path_width, None);
+        assert!(!an.is_tractable());
+    }
+
+    #[test]
+    fn nondeleting_has_k1() {
+        let mut a = Alphabet::new();
+        let t = crate::transducer::TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "a", "b(q)")
+            .build()
+            .unwrap();
+        let an = TransducerAnalysis::analyze(&t);
+        assert!(an.is_non_deleting());
+        assert_eq!(an.deletion_path_width, Some(1));
+        assert_eq!(an.copying_width, 1);
+    }
+
+    #[test]
+    fn del_relab_detection() {
+        let mut a = Alphabet::new();
+        // Deleting relabeling: at most one state per rhs.
+        let t = crate::transducer::TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "a", "b(q)")
+            .rule("q", "a", "q") // recursive deletion of width 1
+            .rule("q", "b", "c(q)")
+            .build()
+            .unwrap();
+        let an = TransducerAnalysis::analyze(&t);
+        assert!(an.is_del_relab);
+        assert_eq!(an.deletion_path_width, Some(1));
+        // Two states in one rhs ⇒ not del-relab.
+        let mut a2 = Alphabet::new();
+        let t2 = crate::transducer::TransducerBuilder::new(&mut a2)
+            .states(&["root", "q"])
+            .rule("root", "a", "b(q q)")
+            .build()
+            .unwrap();
+        assert!(!TransducerAnalysis::analyze(&t2).is_del_relab);
+    }
+
+    #[test]
+    fn figure4_graph_shape() {
+        let mut a = Alphabet::new();
+        let t = examples::example12(&mut a);
+        let g = deletion_path_graph(&t);
+        // All rules are on symbol `a`; deleting states q1,q2,q3,q5,q6,q7,q8
+        // plus the initial rule's targets appear as nodes.
+        assert!(!g.nodes.is_empty());
+        // The path (q1,a)(q2,a)(q3,a)(q4,a) has cost 2*3*1 = 6.
+        assert_eq!(deletion_path_width(&g), Some(6));
+    }
+}

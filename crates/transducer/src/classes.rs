@@ -1,0 +1,181 @@
+//! Transducer class taxonomy (Sections 2.5 and 3).
+
+use crate::analysis::TransducerAnalysis;
+use crate::transducer::Transducer;
+use std::fmt;
+
+/// The classes of the paper's complexity landscape, in increasing
+/// generality. A transducer belongs to all classes at or above its
+/// classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransducerClass {
+    /// `T_del-relab`: at most one state occurrence per rhs (Theorem 20's
+    /// deleting relabelings).
+    DeletingRelabeling,
+    /// `T_nd,bc`: non-deleting with copying width `C`.
+    NonDeletingBounded {
+        /// Copying width.
+        copying: usize,
+    },
+    /// `T_trac^{C,K}`: bounded copying width and deletion path width
+    /// (Theorem 15's tractable class).
+    Tractable {
+        /// Copying width `C`.
+        copying: usize,
+        /// Deletion path width `K`.
+        deletion_path_width: u64,
+    },
+    /// `T_d,c` with finite-but-possibly-huge parameters still bounded for
+    /// this particular transducer — kept distinct from `Tractable` only when
+    /// the copying width is 0-bounded... (never constructed; see
+    /// `Tractable`).
+    ///
+    /// `T_dw,cw,fdpw`-style: deleting with unbounded deletion path width —
+    /// outside `T_trac` (Theorem 18 territory).
+    UnboundedDeletion {
+        /// Copying width `C`.
+        copying: usize,
+    },
+}
+
+/// A classification report for a transducer.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The finest class containing the transducer.
+    pub class: TransducerClass,
+    /// The underlying analysis.
+    pub analysis: TransducerAnalysis,
+}
+
+impl Classification {
+    /// Classifies `t` (Proposition 16: all of this is PTIME).
+    pub fn of(t: &Transducer) -> Classification {
+        let analysis = TransducerAnalysis::analyze(t);
+        let class = if analysis.is_del_relab {
+            TransducerClass::DeletingRelabeling
+        } else if !analysis.has_deletion {
+            TransducerClass::NonDeletingBounded { copying: analysis.copying_width }
+        } else {
+            match analysis.deletion_path_width {
+                Some(k) => TransducerClass::Tractable {
+                    copying: analysis.copying_width,
+                    deletion_path_width: k,
+                },
+                None => {
+                    TransducerClass::UnboundedDeletion { copying: analysis.copying_width }
+                }
+            }
+        };
+        Classification { class, analysis }
+    }
+
+    /// Whether typechecking against DTD(DFA) schemas is PTIME for this
+    /// transducer's class (Theorem 15 — requires membership in some
+    /// `T^{C,K}_trac`).
+    pub fn ptime_with_dfa_dtds(&self) -> bool {
+        self.analysis.deletion_path_width.is_some()
+    }
+
+    /// The Lemma 14 exponent `M = C × K` governing the engine's cost, when
+    /// bounded.
+    pub fn lemma14_exponent(&self) -> Option<u64> {
+        self.analysis
+            .deletion_path_width
+            .map(|k| k.saturating_mul(self.analysis.copying_width.max(1) as u64))
+    }
+}
+
+impl fmt::Display for TransducerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransducerClass::DeletingRelabeling => write!(f, "T_del-relab"),
+            TransducerClass::NonDeletingBounded { copying } => {
+                write!(f, "T_nd,bc (C = {copying})")
+            }
+            TransducerClass::Tractable { copying, deletion_path_width } => {
+                write!(f, "T_trac^{{{copying},{deletion_path_width}}}")
+            }
+            TransducerClass::UnboundedDeletion { copying } => {
+                write!(f, "T_d (C = {copying}, K unbounded)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use xmlta_base::Alphabet;
+
+    #[test]
+    fn classify_paper_examples() {
+        let mut a = Alphabet::new();
+        let toc = examples::example10_toc(&mut a);
+        let c = Classification::of(&toc);
+        // Every rhs of the ToC transducer has at most one state occurrence,
+        // so it is even a deleting relabeling (the finest class).
+        assert!(matches!(c.class, TransducerClass::DeletingRelabeling));
+        assert!(c.ptime_with_dfa_dtds());
+        assert_eq!(c.lemma14_exponent(), Some(1));
+
+        let mut a = Alphabet::new();
+        let summary = examples::example10_summary(&mut a);
+        let c = Classification::of(&summary);
+        assert!(matches!(
+            c.class,
+            TransducerClass::Tractable { copying: 2, deletion_path_width: 1 }
+        ));
+
+        let mut a = Alphabet::new();
+        let e12 = examples::example12(&mut a);
+        let c = Classification::of(&e12);
+        assert!(matches!(
+            c.class,
+            TransducerClass::Tractable { copying: 3, deletion_path_width: 6 }
+        ));
+        assert_eq!(c.lemma14_exponent(), Some(18));
+    }
+
+    #[test]
+    fn classify_nondeleting() {
+        let mut a = Alphabet::new();
+        let e6 = examples::example6(&mut a);
+        let c = Classification::of(&e6);
+        // Example 6 deletes: (q, a) → c p has p at top level.
+        assert!(matches!(c.class, TransducerClass::Tractable { copying: 2, .. }));
+
+        let t = crate::transducer::TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "a", "b(q q)")
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(matches!(c.class, TransducerClass::NonDeletingBounded { copying: 2 }));
+    }
+
+    #[test]
+    fn classify_unbounded() {
+        let mut a = Alphabet::new();
+        let t = crate::transducer::TransducerBuilder::new(&mut a)
+            .states(&["r", "q"])
+            .rule("r", "a", "x(q)")
+            .rule("q", "a", "q q")
+            .build()
+            .unwrap();
+        let c = Classification::of(&t);
+        assert!(matches!(c.class, TransducerClass::UnboundedDeletion { .. }));
+        assert!(!c.ptime_with_dfa_dtds());
+        assert_eq!(c.lemma14_exponent(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut a = Alphabet::new();
+        let toc = examples::example10_toc(&mut a);
+        assert_eq!(format!("{}", Classification::of(&toc).class), "T_del-relab");
+        let mut a = Alphabet::new();
+        let e12 = examples::example12(&mut a);
+        assert_eq!(format!("{}", Classification::of(&e12).class), "T_trac^{3,6}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Top–down unranked tree transducers (Section 2.3 of Martens & Neven).
+//!
+//! A transducer `T = (Q, Σ, q₀, R)` rewrites trees top–down: a rule
+//! `(q, a) → h` replaces a node labeled `a` processed in state `q` by the
+//! hedge `h`, whose state-labeled leaves are in turn replaced by the
+//! translations of the node's children (Definition 5). The crate implements
+//! the semantics, the copying/deletion analysis of Sections 2.5 and 3
+//! (including Proposition 16's computation of the copying width `C` and
+//! deletion path width `K`), the XPath- and DFA-selector extensions of
+//! Section 4 with their translations back to plain transducers (Theorems 23
+//! and 29), the XSLT rendering of Figure 1, and the paper's running examples.
+
+pub mod analysis;
+pub mod classes;
+pub mod examples;
+pub mod random;
+pub mod rhs;
+pub mod transducer;
+pub mod translate;
+pub mod xslt;
+
+pub use analysis::TransducerAnalysis;
+pub use rhs::{Rhs, RhsNode, StateId};
+pub use transducer::{Selector, Transducer, TransducerBuilder};

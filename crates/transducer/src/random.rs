@@ -1,0 +1,187 @@
+//! Random transducer generation within a prescribed class (bench/proptest
+//! substrate).
+
+use crate::rhs::{Rhs, RhsNode, StateId};
+use crate::transducer::Transducer;
+use rand::Rng;
+use xmlta_base::Symbol;
+
+/// Parameters controlling the class of the generated transducer.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomTransducerParams {
+    /// Number of states (≥ 1; state 0 is initial).
+    pub num_states: usize,
+    /// Probability that a rule exists for a given `(q, a)`.
+    pub rule_density: f64,
+    /// Maximum states among siblings (copying width bound `C`).
+    pub max_copying: usize,
+    /// Whether top-level (deleting) states may appear in non-initial rules.
+    pub allow_deletion: bool,
+    /// Probability that a top-level position holds a deleting state (when
+    /// allowed).
+    pub deletion_prob: f64,
+    /// Maximum depth of rhs element nesting.
+    pub max_rhs_depth: usize,
+    /// Maximum children per rhs element.
+    pub max_rhs_width: usize,
+}
+
+impl Default for RandomTransducerParams {
+    fn default() -> Self {
+        RandomTransducerParams {
+            num_states: 3,
+            rule_density: 0.8,
+            max_copying: 2,
+            allow_deletion: true,
+            deletion_prob: 0.3,
+            max_rhs_depth: 2,
+            max_rhs_width: 3,
+        }
+    }
+}
+
+/// Generates a random deterministic transducer over symbols
+/// `0..alphabet_size`.
+///
+/// The initial state's rules are always Σ-rooted trees as Definition 5
+/// requires. When `allow_deletion` is false the result is in `T_nd`;
+/// deleting states are only emitted *non-recursively* here (state indices
+/// only delete to strictly larger indices), so the result is always in
+/// `T_trac` — the hardness generators build their unbounded-width
+/// transducers explicitly instead.
+pub fn random_transducer(
+    rng: &mut impl Rng,
+    alphabet_size: usize,
+    params: RandomTransducerParams,
+) -> Transducer {
+    assert!(params.num_states >= 1 && alphabet_size >= 1);
+    let state_names: Vec<String> = (0..params.num_states).map(|i| format!("q{i}")).collect();
+    let mut rules: Vec<((StateId, Symbol), Rhs)> = Vec::new();
+    for q in 0..params.num_states as StateId {
+        for a in 0..alphabet_size {
+            let sym = Symbol::from_index(a);
+            if q == 0 {
+                // Initial state: always have a rule so outputs are trees.
+                let root_sym = Symbol::from_index(rng.gen_range(0..alphabet_size));
+                let children = random_nodes(rng, alphabet_size, &params, 1, q);
+                rules.push(((q, sym), Rhs::new(vec![RhsNode::Elem(root_sym, children)])));
+                continue;
+            }
+            if !rng.gen_bool(params.rule_density) {
+                continue;
+            }
+            let mut nodes = Vec::new();
+            // Possibly lead with deleting states (to larger state indices,
+            // keeping deletion paths acyclic hence K finite).
+            if params.allow_deletion && rng.gen_bool(params.deletion_prob) {
+                let deletable: Vec<StateId> =
+                    (q + 1..params.num_states as StateId).collect();
+                if !deletable.is_empty() {
+                    let p = deletable[rng.gen_range(0..deletable.len())];
+                    nodes.push(RhsNode::State(p));
+                }
+            }
+            nodes.extend(random_nodes(rng, alphabet_size, &params, 0, q));
+            rules.push(((q, sym), Rhs::new(nodes)));
+        }
+    }
+    Transducer::from_parts(
+        state_names,
+        0,
+        rules,
+        Vec::new(),
+        alphabet_size,
+    )
+    .expect("random transducer construction is well-formed")
+}
+
+fn random_nodes(
+    rng: &mut impl Rng,
+    alphabet_size: usize,
+    params: &RandomTransducerParams,
+    depth: usize,
+    current: StateId,
+) -> Vec<RhsNode> {
+    let width = rng.gen_range(0..=params.max_rhs_width);
+    let mut state_budget = params.max_copying;
+    let mut out = Vec::new();
+    for _ in 0..width {
+        let make_state = state_budget > 0 && depth > 0 && rng.gen_bool(0.4);
+        if make_state {
+            state_budget -= 1;
+            // Child-processing states can be anything ≥ current to avoid
+            // deletion cycles when they end up at top level of nested rules.
+            let p = rng.gen_range(0..params.num_states) as StateId;
+            let _ = current;
+            out.push(RhsNode::State(p));
+        } else {
+            let sym = Symbol::from_index(rng.gen_range(0..alphabet_size));
+            let children = if depth < params.max_rhs_depth && rng.gen_bool(0.5) {
+                random_nodes(rng, alphabet_size, params, depth + 1, current)
+            } else {
+                Vec::new()
+            };
+            out.push(RhsNode::Elem(sym, children));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TransducerAnalysis;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use xmlta_tree::random::random_tree;
+
+    #[test]
+    fn random_transducers_are_wellformed_and_tractable() {
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let t = random_transducer(&mut rng, 3, RandomTransducerParams::default());
+            let an = TransducerAnalysis::analyze(&t);
+            assert!(
+                an.deletion_path_width.is_some(),
+                "seed {seed}: generator must stay in T_trac"
+            );
+            // Applying to random trees terminates and yields a tree (the
+            // initial state always has rules).
+            for tseed in 0..5u64 {
+                let mut trng = SmallRng::seed_from_u64(tseed);
+                let input = random_tree(&mut trng, 3, 4, 3);
+                let out = t.apply(&input);
+                assert!(out.is_some(), "initial rules guarantee non-empty output");
+            }
+        }
+    }
+
+    #[test]
+    fn nondeleting_param_respected() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let params = RandomTransducerParams {
+                allow_deletion: false,
+                ..RandomTransducerParams::default()
+            };
+            let t = random_transducer(&mut rng, 3, params);
+            let an = TransducerAnalysis::analyze(&t);
+            assert!(an.is_non_deleting(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn copying_width_respected() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let params = RandomTransducerParams {
+                max_copying: 2,
+                ..RandomTransducerParams::default()
+            };
+            let t = random_transducer(&mut rng, 4, params);
+            let an = TransducerAnalysis::analyze(&t);
+            // Deleting lead states add at most 1 sibling state.
+            assert!(an.copying_width <= 3, "seed {seed}: C = {}", an.copying_width);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Selector elimination: Theorems 23 and 29.
+//!
+//! Both theorems translate a transducer with selectors into a plain
+//! transducer by simulating each selector automaton with deleting states of
+//! deletion width one:
+//!
+//! * **Theorem 23** — XPath{/, *} patterns compile to acyclic chain DFAs
+//!   (`xmlta_xpath::compile`); the simulation introduces only
+//!   *non-recursively* deleting states, so the copying width and deletion
+//!   path width are unchanged and the result stays in the same
+//!   `T^{C,K}_trac`.
+//! * **Theorem 29** — DFA selectors on *non-deleting* transducers; the
+//!   simulation may loop (recursively deleting states) but with width one,
+//!   so the result is in `T^{C,1}_trac`.
+//!
+//! The same code handles XPath{/, //, *} patterns via their compiled DFAs
+//! (the Green-et-al. extension discussed after Theorem 29); applied to a
+//! *deleting* transducer with a cyclic selector the result can fall outside
+//! `T_trac` — faithfully so, since Theorem 28(2) proves that combination
+//! intractable. Callers should re-classify the result.
+
+use crate::rhs::{Rhs, RhsNode, StateId};
+use crate::transducer::{Selector, Transducer};
+use std::collections::HashMap;
+use xmlta_automata::Dfa;
+use xmlta_base::Symbol;
+use xmlta_xpath::compile;
+
+/// Why selector expansion failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// An XPath selector uses filters or disjunction and has no word-automaton
+    /// equivalent in this framework.
+    NotLinear {
+        /// The selector index.
+        selector: u32,
+        /// The compile error.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::NotLinear { selector, reason } => {
+                write!(f, "selector #{selector} is not linear: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Eliminates all selectors, producing an equivalent plain transducer.
+///
+/// Uses the transducer's own alphabet size; when the instance's alphabet is
+/// larger (symbols interned by the schemas or documents), use
+/// [`expand_selectors_with_alphabet`] so that wildcard and descendant steps
+/// cover every symbol.
+pub fn expand_selectors(t: &Transducer) -> Result<Transducer, TranslateError> {
+    expand_selectors_with_alphabet(t, t.alphabet_size())
+}
+
+/// Like [`expand_selectors`] with an explicit alphabet size (≥ the
+/// transducer's own).
+pub fn expand_selectors_with_alphabet(
+    t: &Transducer,
+    alphabet_size: usize,
+) -> Result<Transducer, TranslateError> {
+    if !t.uses_selectors() {
+        return Ok(t.clone());
+    }
+    let sigma = alphabet_size.max(t.alphabet_size());
+
+    // Compile every selector to a DFA.
+    let mut dfas: Vec<Dfa> = Vec::with_capacity(t.selectors().len());
+    for (i, sel) in t.selectors().iter().enumerate() {
+        let dfa = match sel {
+            Selector::XPath(p) => compile::compile_to_dfa(p, sigma).map_err(|e| {
+                TranslateError::NotLinear { selector: i as u32, reason: e.to_string() }
+            })?,
+            // DFA selectors keep their own alphabet; letters beyond it have
+            // no transitions (see `Dfa::step`), matching the semantics of
+            // `select_by_dfa`.
+            Selector::Dfa(d) => d.clone(),
+        };
+        dfas.push(dfa);
+    }
+    // Per DFA: which states can still reach a final state (live states).
+    let live: Vec<Vec<bool>> = dfas.iter().map(live_states).collect();
+
+    let mut state_names: Vec<String> = t.state_names().to_vec();
+    // (orig state, selector, dfa state) → new state id.
+    let mut pair_ids: HashMap<(StateId, u32, u32), StateId> = HashMap::new();
+    // Discover needed (state, selector) combinations.
+    let mut combos: Vec<(StateId, u32)> = Vec::new();
+    for (_, _, rhs) in t.rules() {
+        collect_combos(&rhs.nodes, &mut combos);
+    }
+    combos.sort_unstable();
+    combos.dedup();
+    for &(p, s) in &combos {
+        for d in 0..dfas[s as usize].num_states() as u32 {
+            if !live[s as usize][d as usize] {
+                continue;
+            }
+            let id = state_names.len() as StateId;
+            state_names.push(format!("{}~s{}~{}", t.state_names()[p as usize], s, d));
+            pair_ids.insert((p, s, d), id);
+        }
+    }
+
+    // Original rules with Select nodes replaced by pair states.
+    let mut rules: Vec<((StateId, Symbol), Rhs)> = Vec::new();
+    for (q, a, rhs) in t.rules() {
+        rules.push(((q, a), rewrite_rhs(rhs, &dfas, &pair_ids)));
+    }
+
+    // Simulation rules for pair states.
+    for (&(p, s, d), &pid) in &pair_ids {
+        let dfa = &dfas[s as usize];
+        for b in 0..sigma {
+            let sym = Symbol::from_index(b);
+            let Some(r) = dfa.step(d, sym.0) else { continue };
+            if !live[s as usize][r as usize] {
+                continue;
+            }
+            let mut nodes: Vec<RhsNode> = Vec::new();
+            if dfa.is_final_state(r) {
+                // Selected: behave like state p at this node.
+                if let Some(rhs) = t.rule(p, sym) {
+                    nodes.extend(rewrite_rhs(rhs, &dfas, &pair_ids).nodes);
+                }
+            }
+            // Continue matching below this node if the DFA can still accept.
+            if has_live_successor(dfa, &live[s as usize], r) {
+                nodes.push(RhsNode::State(pair_ids[&(p, s, r)]));
+            }
+            if nodes.is_empty() {
+                continue; // equivalent to having no rule
+            }
+            rules.push(((pid, sym), Rhs::new(nodes)));
+        }
+    }
+
+    Transducer::from_parts(state_names, t.initial_state(), rules, Vec::new(), sigma)
+        .map_err(|e| unreachable!("translation preserves well-formedness: {e}"))
+}
+
+fn collect_combos(nodes: &[RhsNode], out: &mut Vec<(StateId, u32)>) {
+    for n in nodes {
+        match n {
+            RhsNode::Elem(_, cs) => collect_combos(cs, out),
+            RhsNode::Select(p, s) => out.push((*p, *s)),
+            RhsNode::State(_) => {}
+        }
+    }
+}
+
+fn rewrite_rhs(
+    rhs: &Rhs,
+    dfas: &[Dfa],
+    pair_ids: &HashMap<(StateId, u32, u32), StateId>,
+) -> Rhs {
+    fn go(
+        n: &RhsNode,
+        dfas: &[Dfa],
+        pair_ids: &HashMap<(StateId, u32, u32), StateId>,
+    ) -> Option<RhsNode> {
+        match n {
+            RhsNode::Elem(s, cs) => Some(RhsNode::Elem(
+                *s,
+                cs.iter().filter_map(|c| go(c, dfas, pair_ids)).collect(),
+            )),
+            RhsNode::State(q) => Some(RhsNode::State(*q)),
+            RhsNode::Select(p, s) => {
+                let init = dfas[*s as usize].initial_state();
+                // If the initial state is dead the selector selects nothing;
+                // dropping the node is the correct translation.
+                pair_ids.get(&(*p, *s, init)).map(|&id| RhsNode::State(id))
+            }
+        }
+    }
+    Rhs::new(rhs.nodes.iter().filter_map(|n| go(n, dfas, pair_ids)).collect())
+}
+
+/// DFA states from which a final state is reachable.
+fn live_states(dfa: &Dfa) -> Vec<bool> {
+    let n = dfa.num_states();
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for q in 0..n as u32 {
+        for l in 0..dfa.alphabet_size() as u32 {
+            if let Some(r) = dfa.step(q, l) {
+                rev[r as usize].push(q);
+            }
+        }
+    }
+    let mut live = vec![false; n];
+    let mut stack: Vec<u32> =
+        (0..n as u32).filter(|&q| dfa.is_final_state(q)).collect();
+    for &q in &stack {
+        live[q as usize] = true;
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &rev[q as usize] {
+            if !live[p as usize] {
+                live[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    live
+}
+
+/// Whether some transition from `q` leads to a live state (i.e. matching can
+/// usefully continue below the current node).
+fn has_live_successor(dfa: &Dfa, live: &[bool], q: u32) -> bool {
+    (0..dfa.alphabet_size() as u32)
+        .any(|l| dfa.step(q, l).is_some_and(|r| live[r as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TransducerAnalysis;
+    use crate::examples;
+    use crate::transducer::TransducerBuilder;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    #[test]
+    fn example22_expansion_equivalent() {
+        let mut a = Alphabet::new();
+        // Intern the document's symbols first so the compiled selector DFAs
+        // cover the full alphabet.
+        let _ = examples::figure3_document(&mut a);
+        let t = examples::example22(&mut a);
+        let plain = expand_selectors(&t).expect("expandable");
+        assert!(!plain.uses_selectors());
+        let doc = examples::figure3_document(&mut a);
+        assert_eq!(t.apply(&doc), plain.apply(&doc));
+        // Theorem 29-shape guarantee: the result is tractable with K = 1
+        // (the original was non-deleting except for the selector).
+        let an = TransducerAnalysis::analyze(&plain);
+        assert_eq!(an.deletion_path_width, Some(1));
+    }
+
+    #[test]
+    fn child_wildcard_pattern_expansion() {
+        // Theorem 23 fragment: ./*/b selects b-grandchildren.
+        let mut a = Alphabet::new();
+        for sym in ["r", "x", "y", "b", "c"] {
+            a.intern(sym); // full document alphabet, known up front
+        }
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "p"])
+            .rule("root", "r", "out(<p, ./*/b>)")
+            .rule("p", "b", "hit")
+            .build()
+            .unwrap();
+        let plain = expand_selectors(&t).unwrap();
+        let an = TransducerAnalysis::analyze(&plain);
+        // Acyclic pattern ⇒ non-recursive width-1 deletion; K stays 1.
+        assert_eq!(an.deletion_path_width, Some(1));
+        for src in ["r(x(b) y(b c) b)", "r(b)", "r(x(y(b)))"] {
+            let doc = parse_tree(src, &mut a).unwrap();
+            assert_eq!(t.apply(&doc), plain.apply(&doc), "doc {src}");
+        }
+    }
+
+    #[test]
+    fn descendant_pattern_expansion_loops() {
+        // .//x keeps matching below selected nodes.
+        let mut a = Alphabet::new();
+        for sym in ["r", "x", "y"] {
+            a.intern(sym);
+        }
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "p"])
+            .rule("root", "r", "out(<p, .//x>)")
+            .rule("p", "x", "hit")
+            .build()
+            .unwrap();
+        let plain = expand_selectors(&t).unwrap();
+        for src in ["r(x(x) y(x))", "r", "r(y(y(x(x(x)))))"] {
+            let doc = parse_tree(src, &mut a).unwrap();
+            assert_eq!(t.apply(&doc), plain.apply(&doc), "doc {src}");
+        }
+    }
+
+    #[test]
+    fn dfa_selector_expansion() {
+        // Selector: exactly the grandchildren.
+        let mut a = Alphabet::new();
+        for s in ["r", "a", "hit"] {
+            a.intern(s);
+        }
+        let sigma = a.len();
+        let mut d = Dfa::new(sigma);
+        let s1 = d.add_state();
+        let s2 = d.add_state();
+        for l in 0..sigma as u32 {
+            d.set_transition(0, l, s1);
+            d.set_transition(s1, l, s2);
+        }
+        d.set_final(s2);
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "p"])
+            .dfa_selector("grand", d)
+            .rule("root", "r", "out(<p, $grand>)")
+            .rule("p", "a", "hit")
+            .build()
+            .unwrap();
+        let plain = expand_selectors(&t).unwrap();
+        for src in ["r(a(a a) a)", "r(a(a(a)))", "r"] {
+            let doc = parse_tree(src, &mut a).unwrap();
+            assert_eq!(t.apply(&doc), plain.apply(&doc), "doc {src}");
+        }
+    }
+
+    #[test]
+    fn nonlinear_pattern_rejected() {
+        let mut a = Alphabet::new();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["root", "p"])
+            .rule("root", "r", "out(<p, ./a[./b]>)")
+            .rule("p", "a", "hit")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            expand_selectors(&t),
+            Err(TranslateError::NotLinear { .. })
+        ));
+    }
+
+    #[test]
+    fn no_selectors_is_identity() {
+        let mut a = Alphabet::new();
+        let t = examples::example6(&mut a);
+        let plain = expand_selectors(&t).unwrap();
+        assert_eq!(plain.num_states(), t.num_states());
+        let doc = parse_tree("b(a b)", &mut a).unwrap();
+        assert_eq!(t.apply(&doc), plain.apply(&doc));
+    }
+}

@@ -1,0 +1,63 @@
+//! Hedges: finite sequences of trees.
+
+use crate::tree::Tree;
+use xmlta_base::{Alphabet, Symbol};
+
+/// A hedge `t₁ ⋯ t_n` (possibly empty).
+pub type Hedge = Vec<Tree>;
+
+/// The paper's `top(h)`: the string of root labels of the hedge.
+pub fn top(hedge: &[Tree]) -> Vec<Symbol> {
+    hedge.iter().map(|t| t.label).collect()
+}
+
+/// Depth of a hedge: the maximum depth of its trees (0 when empty).
+pub fn hedge_depth(hedge: &[Tree]) -> usize {
+    hedge.iter().map(Tree::depth).max().unwrap_or(0)
+}
+
+/// Total number of nodes in a hedge.
+pub fn hedge_num_nodes(hedge: &[Tree]) -> usize {
+    hedge.iter().map(Tree::num_nodes).sum()
+}
+
+/// Renders a hedge in term syntax.
+pub fn display_hedge(hedge: &[Tree], alphabet: &Alphabet) -> String {
+    hedge
+        .iter()
+        .map(|t| format!("{}", t.display(alphabet)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_hedge;
+
+    #[test]
+    fn top_of_hedge() {
+        let mut a = Alphabet::new();
+        let h = parse_hedge("a(b) c d(e f)", &mut a).unwrap();
+        let names: Vec<&str> = top(&h).iter().map(|&s| a.name(s)).collect();
+        assert_eq!(names, vec!["a", "c", "d"]);
+    }
+
+    #[test]
+    fn hedge_measures() {
+        let mut a = Alphabet::new();
+        let h = parse_hedge("a(b) c d(e(f))", &mut a).unwrap();
+        assert_eq!(hedge_depth(&h), 3);
+        assert_eq!(hedge_num_nodes(&h), 6);
+        assert_eq!(hedge_depth(&[]), 0);
+        assert_eq!(hedge_num_nodes(&[]), 0);
+    }
+
+    #[test]
+    fn display() {
+        let mut a = Alphabet::new();
+        let h = parse_hedge("a(b) c", &mut a).unwrap();
+        assert_eq!(display_hedge(&h, &a), "a(b) c");
+        assert_eq!(display_hedge(&[], &a), "");
+    }
+}

@@ -1,0 +1,18 @@
+//! Unranked Σ-trees and hedges (Section 2.1 of Martens & Neven).
+//!
+//! A *tree* is `a(t₁ ⋯ t_n)` with label `a` and an arbitrary (unranked)
+//! number of child trees; a *hedge* is a finite sequence of trees. The paper
+//! writes trees in term syntax (`book(title chapter(…))`) and so do we: see
+//! [`parse::parse_tree`] and the `Display` impls.
+
+pub mod hedge;
+pub mod parse;
+pub mod path;
+pub mod random;
+pub mod tree;
+pub mod xml;
+
+pub use hedge::{hedge_depth, top, Hedge};
+pub use parse::{parse_hedge, parse_tree};
+pub use path::TreePath;
+pub use tree::Tree;

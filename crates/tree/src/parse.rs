@@ -1,0 +1,172 @@
+//! Parsing the paper's term syntax for trees and hedges.
+//!
+//! Grammar: `tree := name ( '(' hedge ')' )?`, `hedge := tree*`, with
+//! whitespace separating sibling trees. Example: `book(title chapter(title))`.
+
+use crate::hedge::Hedge;
+use crate::tree::Tree;
+use std::fmt;
+use xmlta_base::Alphabet;
+
+/// Error from [`parse_tree`] / [`parse_hedge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for TreeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TreeParseError {}
+
+/// Parses a single tree in term syntax, interning names into `alphabet`.
+pub fn parse_tree(input: &str, alphabet: &mut Alphabet) -> Result<Tree, TreeParseError> {
+    let mut p = P { input, pos: 0, alphabet };
+    p.skip_ws();
+    let t = p.tree()?;
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(p.err("trailing input after tree (did you mean parse_hedge?)"));
+    }
+    Ok(t)
+}
+
+/// Parses a hedge (a whitespace-separated sequence of trees).
+pub fn parse_hedge(input: &str, alphabet: &mut Alphabet) -> Result<Hedge, TreeParseError> {
+    let mut p = P { input, pos: 0, alphabet };
+    let h = p.hedge()?;
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(p.err(format!("unexpected input `{}`", p.rest())));
+    }
+    Ok(h)
+}
+
+struct P<'a, 'b> {
+    input: &'a str,
+    pos: usize,
+    alphabet: &'b mut Alphabet,
+}
+
+impl P<'_, '_> {
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, message: impl Into<String>) -> TreeParseError {
+        TreeParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        let r = self.rest();
+        let t = r.trim_start();
+        self.pos += r.len() - t.len();
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn hedge(&mut self) -> Result<Hedge, TreeParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(c) if is_name_char(c) => out.push(self.tree()?),
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn tree(&mut self) -> Result<Tree, TreeParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().map_or(false, is_name_char) {
+            self.pos += self.peek().expect("peeked").len_utf8();
+        }
+        if self.pos == start {
+            return Err(self.err("expected an element name"));
+        }
+        let label = self.alphabet.intern(&self.input[start..self.pos]);
+        self.skip_ws();
+        let children = if self.peek() == Some('(') {
+            self.pos += 1;
+            let h = self.hedge()?;
+            self.skip_ws();
+            if self.peek() != Some(')') {
+                return Err(self.err("expected `)`"));
+            }
+            self.pos += 1;
+            h
+        } else {
+            Vec::new()
+        };
+        Ok(Tree { label, children })
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '#' | '$' | '-' | '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_leaf() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("title", &mut a).unwrap();
+        assert_eq!(a.name(t.label), "title");
+        assert!(t.children.is_empty());
+    }
+
+    #[test]
+    fn parse_nested() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("book(title chapter(title intro))", &mut a).unwrap();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(a.name(t.children[1].children[1].label), "intro");
+    }
+
+    #[test]
+    fn parse_empty_parens() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("a()", &mut a).unwrap();
+        assert_eq!(t, Tree::leaf(a.sym("a")));
+    }
+
+    #[test]
+    fn parse_hedge_multi() {
+        let mut a = Alphabet::new();
+        let h = parse_hedge("a b(c) d", &mut a).unwrap();
+        assert_eq!(h.len(), 3);
+        let empty = parse_hedge("  ", &mut a).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        let mut a = Alphabet::new();
+        assert!(parse_tree("a(b", &mut a).is_err());
+        assert!(parse_tree("a b", &mut a).is_err());
+        assert!(parse_tree("(a)", &mut a).is_err());
+        assert!(parse_tree("", &mut a).is_err());
+        assert!(parse_hedge("a )", &mut a).is_err());
+    }
+
+    #[test]
+    fn hash_and_dollar_names() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("#(r($ a))", &mut a).unwrap();
+        assert_eq!(a.name(t.label), "#");
+        assert_eq!(a.name(t.children[0].children[0].label), "$");
+    }
+}

@@ -1,0 +1,116 @@
+//! Node addresses within trees.
+
+use std::fmt;
+
+/// A path from the root to a node: the sequence of 0-based child indices.
+///
+/// The paper addresses tree-nodes by strings over ℕ with 1-based indices
+/// (`Dom_T`); we use 0-based indices internally and render 1-based in
+/// `Display` to match the paper's notation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TreePath(Vec<u32>);
+
+impl TreePath {
+    /// The root address (the paper's ε).
+    pub fn root() -> TreePath {
+        TreePath(Vec::new())
+    }
+
+    /// Builds a path from indices.
+    pub fn from_indices(indices: Vec<u32>) -> TreePath {
+        TreePath(indices)
+    }
+
+    /// The path of this node's `i`-th child.
+    pub fn child(&self, i: u32) -> TreePath {
+        let mut v = self.0.clone();
+        v.push(i);
+        TreePath(v)
+    }
+
+    /// The parent path, or `None` at the root.
+    pub fn parent(&self) -> Option<TreePath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(TreePath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The underlying indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Whether this is the root.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Depth of the node: the root has depth 1, as in the paper.
+    pub fn depth(&self) -> usize {
+        self.0.len() + 1
+    }
+
+    /// Whether `self` is a strict ancestor of `other`.
+    pub fn is_strict_ancestor_of(&self, other: &TreePath) -> bool {
+        other.0.len() > self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Debug for TreePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for TreePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{}", x + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_children() {
+        let r = TreePath::root();
+        assert!(r.is_root());
+        assert_eq!(r.depth(), 1);
+        let c = r.child(0).child(2);
+        assert_eq!(c.indices(), &[0, 2]);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.parent(), Some(r.child(0)));
+        assert_eq!(r.parent(), None);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        let r = TreePath::root();
+        let a = r.child(1);
+        let b = a.child(0);
+        assert!(r.is_strict_ancestor_of(&a));
+        assert!(a.is_strict_ancestor_of(&b));
+        assert!(!a.is_strict_ancestor_of(&a));
+        assert!(!b.is_strict_ancestor_of(&a));
+        assert!(!r.child(0).is_strict_ancestor_of(&a));
+    }
+
+    #[test]
+    fn display_one_based() {
+        let p = TreePath::from_indices(vec![0, 1, 2]);
+        assert_eq!(format!("{p}"), "1.2.3");
+        assert_eq!(format!("{}", TreePath::root()), "ε");
+    }
+}

@@ -1,0 +1,96 @@
+//! Random tree generation (property-test substrate).
+
+use crate::tree::Tree;
+use rand::Rng;
+use xmlta_base::Symbol;
+
+/// Generates a random tree over symbols `0..alphabet_size` with at most
+/// `max_depth` levels and at most `max_width` children per node.
+pub fn random_tree(
+    rng: &mut impl Rng,
+    alphabet_size: usize,
+    max_depth: usize,
+    max_width: usize,
+) -> Tree {
+    assert!(alphabet_size >= 1 && max_depth >= 1);
+    let label = Symbol(rng.gen_range(0..alphabet_size) as u32);
+    if max_depth == 1 {
+        return Tree::leaf(label);
+    }
+    let width = rng.gen_range(0..=max_width);
+    let children = (0..width)
+        .map(|_| random_tree(rng, alphabet_size, max_depth - 1, max_width))
+        .collect();
+    Tree::node(label, children)
+}
+
+/// Enumerates all trees over `alphabet_size` symbols with depth ≤ `max_depth`
+/// and ≤ `max_width` children per node. Counts explode fast; intended for
+/// exhaustive cross-validation at tiny sizes.
+pub fn enumerate_trees(alphabet_size: usize, max_depth: usize, max_width: usize) -> Vec<Tree> {
+    if max_depth == 0 {
+        return Vec::new();
+    }
+    let smaller = enumerate_trees(alphabet_size, max_depth - 1, max_width);
+    // All hedges of length ≤ max_width over `smaller`.
+    let mut hedges: Vec<Vec<Tree>> = vec![Vec::new()];
+    let mut layer: Vec<Vec<Tree>> = vec![Vec::new()];
+    for _ in 0..max_width {
+        let mut next = Vec::new();
+        for h in &layer {
+            for t in &smaller {
+                let mut h2 = h.clone();
+                h2.push(t.clone());
+                next.push(h2);
+            }
+        }
+        hedges.extend(next.iter().cloned());
+        layer = next;
+    }
+    let mut out = Vec::new();
+    for s in 0..alphabet_size as u32 {
+        for h in &hedges {
+            out.push(Tree::node(Symbol(s), h.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_tree_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = random_tree(&mut rng, 3, 4, 3);
+            assert!(t.depth() <= 4);
+            assert!(t.labels().iter().all(|s| s.index() < 3));
+        }
+    }
+
+    #[test]
+    fn enumerate_small() {
+        // depth ≤ 1, width ≤ anything: just the leaves.
+        let ts = enumerate_trees(2, 1, 3);
+        assert_eq!(ts.len(), 2);
+        // depth ≤ 2, width ≤ 1, 1 symbol: a, a(a) → 2 trees.
+        let ts = enumerate_trees(1, 2, 1);
+        assert_eq!(ts.len(), 2);
+        // depth ≤ 2, width ≤ 2, 1 symbol: a, a(a), a(a a) → 3.
+        let ts = enumerate_trees(1, 2, 2);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_has_no_duplicates() {
+        let ts = enumerate_trees(2, 2, 2);
+        let mut set = std::collections::HashSet::new();
+        for t in &ts {
+            assert!(set.insert(t.clone()), "duplicate {t:?}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The unranked tree type.
+
+use crate::hedge::Hedge;
+use crate::path::TreePath;
+use xmlta_base::{Alphabet, Symbol};
+
+/// An unranked Σ-tree `a(t₁ ⋯ t_n)`.
+///
+/// The paper additionally has the *empty tree* ε; we model hedges/optional
+/// trees with `Vec<Tree>` / `Option<Tree>` instead, which removes an entire
+/// class of "is it empty?" bugs — every [`Tree`] value has at least its root
+/// node.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tree {
+    /// The root label.
+    pub label: Symbol,
+    /// The child trees, in document order.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// A leaf `a`.
+    pub fn leaf(label: Symbol) -> Tree {
+        Tree { label, children: Vec::new() }
+    }
+
+    /// A tree `a(children)`.
+    pub fn node(label: Symbol, children: Vec<Tree>) -> Tree {
+        Tree { label, children }
+    }
+
+    /// Number of nodes (`|Dom(t)|`).
+    pub fn num_nodes(&self) -> usize {
+        1 + self.children.iter().map(Tree::num_nodes).sum::<usize>()
+    }
+
+    /// Depth as defined in the paper: a single root has depth 1.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Tree::depth).max().unwrap_or(0)
+    }
+
+    /// The subtree rooted at `path` (the paper's `t/u`), if the path exists.
+    pub fn subtree(&self, path: &TreePath) -> Option<&Tree> {
+        let mut cur = self;
+        for &i in path.indices() {
+            cur = cur.children.get(i as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// The label at `path` (the paper's `lab_t(u)`).
+    pub fn label_at(&self, path: &TreePath) -> Option<Symbol> {
+        self.subtree(path).map(|t| t.label)
+    }
+
+    /// Pre-order (document order) traversal of all `(path, subtree)` pairs.
+    pub fn nodes(&self) -> Vec<(TreePath, &Tree)> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        let mut stack: Vec<(TreePath, &Tree)> = vec![(TreePath::root(), self)];
+        while let Some((p, t)) = stack.pop() {
+            out.push((p.clone(), t));
+            for (i, c) in t.children.iter().enumerate().rev() {
+                stack.push((p.child(i as u32), c));
+            }
+        }
+        out
+    }
+
+    /// The string of child labels of the root.
+    pub fn child_labels(&self) -> Vec<Symbol> {
+        self.children.iter().map(|c| c.label).collect()
+    }
+
+    /// Renders the tree in the paper's term syntax through `alphabet`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> TreeDisplay<'a> {
+        TreeDisplay { tree: self, alphabet }
+    }
+
+    /// Iterates over all labels (pre-order).
+    pub fn labels(&self) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(self.num_nodes());
+        fn go(t: &Tree, out: &mut Vec<Symbol>) {
+            out.push(t.label);
+            for c in &t.children {
+                go(c, out);
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Replaces the subtree at `path` (must exist) with `replacement`.
+    pub fn replace_at(&mut self, path: &TreePath, replacement: Tree) -> bool {
+        let mut cur = self;
+        for &i in path.indices() {
+            match cur.children.get_mut(i as usize) {
+                Some(c) => cur = c,
+                None => return false,
+            }
+        }
+        *cur = replacement;
+        true
+    }
+
+    /// Interprets a hedge as a tree, as the paper does for transducer output
+    /// at the root: a singleton hedge is its tree; anything else is `None`.
+    pub fn from_hedge(mut hedge: Hedge) -> Option<Tree> {
+        if hedge.len() == 1 {
+            hedge.pop()
+        } else {
+            None
+        }
+    }
+}
+
+/// Pretty-printer handle returned by [`Tree::display`].
+pub struct TreeDisplay<'a> {
+    tree: &'a Tree,
+    alphabet: &'a Alphabet,
+}
+
+impl std::fmt::Display for TreeDisplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn go(t: &Tree, a: &Alphabet, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", a.name(t.label))?;
+            if !t.children.is_empty() {
+                write!(f, "(")?;
+                for (i, c) in t.children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    go(c, a, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self.tree, self.alphabet, f)
+    }
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.label)?;
+        if !self.children.is_empty() {
+            write!(f, "(")?;
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{c:?}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+
+    fn setup() -> (Alphabet, Tree) {
+        let mut a = Alphabet::new();
+        let t = parse_tree("b(a b(a b) a)", &mut a).expect("parse");
+        (a, t)
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let (_, t) = setup();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(Tree::leaf(Symbol(0)).depth(), 1);
+    }
+
+    #[test]
+    fn subtree_navigation() {
+        let (a, t) = setup();
+        let p = TreePath::from_indices(vec![1, 0]);
+        assert_eq!(t.label_at(&p), Some(a.sym("a")));
+        assert_eq!(t.label_at(&TreePath::root()), Some(a.sym("b")));
+        assert_eq!(t.label_at(&TreePath::from_indices(vec![5])), None);
+    }
+
+    #[test]
+    fn preorder_is_document_order() {
+        let (a, t) = setup();
+        let labels: Vec<&str> = t.nodes().iter().map(|(_, n)| a.name(n.label)).collect();
+        assert_eq!(labels, vec!["b", "a", "b", "a", "b", "a"]);
+    }
+
+    #[test]
+    fn replace_subtree() {
+        let (mut a, mut t) = setup();
+        let c = a.intern("c");
+        assert!(t.replace_at(&TreePath::from_indices(vec![1]), Tree::leaf(c)));
+        assert_eq!(format!("{}", t.display(&a)), "b(a c a)");
+        assert!(!t.replace_at(&TreePath::from_indices(vec![9]), Tree::leaf(c)));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let (mut a, t) = setup();
+        let s = format!("{}", t.display(&a));
+        assert_eq!(s, "b(a b(a b) a)");
+        let t2 = parse_tree(&s, &mut a).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_hedge() {
+        let (_, t) = setup();
+        assert_eq!(Tree::from_hedge(vec![t.clone()]), Some(t.clone()));
+        assert_eq!(Tree::from_hedge(vec![]), None);
+        assert_eq!(Tree::from_hedge(vec![t.clone(), t]), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! XML rendering of trees.
+//!
+//! The paper abstracts XML documents as unranked trees over element names
+//! (structure only — no attributes, text, or namespaces, following Milo,
+//! Suciu & Vianu). This module renders such trees back as indented XML,
+//! which the examples use to show documents the way the paper's figures do.
+
+use crate::tree::Tree;
+use xmlta_base::Alphabet;
+
+/// Renders `tree` as indented XML with two-space indentation.
+pub fn to_xml(tree: &Tree, alphabet: &Alphabet) -> String {
+    let mut out = String::new();
+    render(tree, alphabet, 0, &mut out);
+    out
+}
+
+fn render(tree: &Tree, alphabet: &Alphabet, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let name = alphabet.name(tree.label);
+    if tree.children.is_empty() {
+        out.push_str(&format!("{pad}<{name}/>\n"));
+    } else {
+        out.push_str(&format!("{pad}<{name}>\n"));
+        for c in &tree.children {
+            render(c, alphabet, indent + 1, out);
+        }
+        out.push_str(&format!("{pad}</{name}>\n"));
+    }
+}
+
+/// Parses the minimal XML subset produced by [`to_xml`] (open/close/empty
+/// tags only) back into a tree.
+pub fn from_xml(input: &str, alphabet: &mut Alphabet) -> Result<Tree, String> {
+    let mut stack: Vec<Tree> = Vec::new();
+    let mut root: Option<Tree> = None;
+    let mut rest = input.trim();
+    while !rest.is_empty() {
+        let open = rest.find('<').ok_or_else(|| format!("expected tag near `{rest}`"))?;
+        let close = rest[open..]
+            .find('>')
+            .map(|i| i + open)
+            .ok_or_else(|| "unterminated tag".to_string())?;
+        let tag = rest[open + 1..close].trim();
+        rest = rest[close + 1..].trim_start();
+        if let Some(name) = tag.strip_prefix('/') {
+            // closing tag
+            let done = stack.pop().ok_or_else(|| format!("unmatched </{name}>"))?;
+            if alphabet.name(done.label) != name.trim() {
+                return Err(format!(
+                    "mismatched closing tag </{}> for <{}>",
+                    name.trim(),
+                    alphabet.name(done.label)
+                ));
+            }
+            attach(&mut stack, &mut root, done)?;
+        } else if let Some(name) = tag.strip_suffix('/') {
+            let t = Tree::leaf(alphabet.intern(name.trim()));
+            attach(&mut stack, &mut root, t)?;
+        } else {
+            stack.push(Tree::leaf(alphabet.intern(tag)));
+        }
+    }
+    if !stack.is_empty() {
+        return Err("unclosed element".to_string());
+    }
+    root.ok_or_else(|| "empty document".to_string())
+}
+
+fn attach(stack: &mut Vec<Tree>, root: &mut Option<Tree>, t: Tree) -> Result<(), String> {
+    match stack.last_mut() {
+        Some(parent) => {
+            parent.children.push(t);
+            Ok(())
+        }
+        None => {
+            if root.is_some() {
+                return Err("multiple root elements".to_string());
+            }
+            *root = Some(t);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+
+    #[test]
+    fn render_example() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("book(title chapter(title))", &mut a).unwrap();
+        let xml = to_xml(&t, &a);
+        assert_eq!(
+            xml,
+            "<book>\n  <title/>\n  <chapter>\n    <title/>\n  </chapter>\n</book>\n"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(b c) d a)", &mut a).unwrap();
+        let xml = to_xml(&t, &a);
+        let back = from_xml(&xml, &mut a).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_xml_errors() {
+        let mut a = Alphabet::new();
+        assert!(from_xml("<a><b></a>", &mut a).is_err());
+        assert!(from_xml("<a>", &mut a).is_err());
+        assert!(from_xml("<a/><b/>", &mut a).is_err());
+        assert!(from_xml("", &mut a).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Abstract syntax of XPath{/, //, [], |, *} patterns (Definition 21).
+
+use std::fmt;
+use xmlta_base::{Alphabet, Symbol};
+
+/// The axis connecting to the next step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — child.
+    Child,
+    /// `//` — descendant.
+    Descendant,
+}
+
+/// A pattern `·/φ` or `·//φ`: patterns always start at the context node and
+/// never select it (which guarantees transducer termination, cf. Section 4).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// The leading axis (from the context node).
+    pub axis: Axis,
+    /// The body `φ`.
+    pub expr: Expr,
+}
+
+/// The body grammar `φ` of Definition 21.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `φ₁ | φ₂`.
+    Disj(Box<Expr>, Box<Expr>),
+    /// `φ₁ / φ₂`.
+    Child(Box<Expr>, Box<Expr>),
+    /// `φ₁ // φ₂`.
+    Desc(Box<Expr>, Box<Expr>),
+    /// `φ₁[P]`.
+    Filter(Box<Expr>, Box<Pattern>),
+    /// Element test `a`.
+    Test(Symbol),
+    /// Wildcard `*`.
+    Wildcard,
+}
+
+impl Pattern {
+    /// Convenience constructor for `·/φ`.
+    pub fn child(expr: Expr) -> Pattern {
+        Pattern { axis: Axis::Child, expr }
+    }
+
+    /// Convenience constructor for `·//φ`.
+    pub fn descendant(expr: Expr) -> Pattern {
+        Pattern { axis: Axis::Descendant, expr }
+    }
+
+    /// Number of AST nodes (the pattern size used in the bounds).
+    pub fn size(&self) -> usize {
+        1 + self.expr.size()
+    }
+
+    /// Renders through an alphabet.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> PatternDisplay<'a> {
+        PatternDisplay { p: self, alphabet }
+    }
+}
+
+impl Expr {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Disj(a, b) | Expr::Child(a, b) | Expr::Desc(a, b) => 1 + a.size() + b.size(),
+            Expr::Filter(e, p) => 1 + e.size() + p.size(),
+            Expr::Test(_) | Expr::Wildcard => 1,
+        }
+    }
+}
+
+/// Pretty-printer handle returned by [`Pattern::display`].
+pub struct PatternDisplay<'a> {
+    p: &'a Pattern,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", axis_str(self.p.axis))?;
+        fmt_expr(&self.p.expr, self.alphabet, f, 0)
+    }
+}
+
+fn axis_str(a: Axis) -> &'static str {
+    match a {
+        Axis::Child => "/",
+        Axis::Descendant => "//",
+    }
+}
+
+fn fmt_expr(e: &Expr, a: &Alphabet, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match e {
+        Expr::Disj(l, r) => {
+            let need = prec > 0;
+            if need {
+                write!(f, "(")?;
+            }
+            fmt_expr(l, a, f, 0)?;
+            write!(f, "|")?;
+            fmt_expr(r, a, f, 0)?;
+            if need {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Child(l, r) => {
+            fmt_expr(l, a, f, 1)?;
+            write!(f, "/")?;
+            fmt_expr(r, a, f, 1)
+        }
+        Expr::Desc(l, r) => {
+            fmt_expr(l, a, f, 1)?;
+            write!(f, "//")?;
+            fmt_expr(r, a, f, 1)
+        }
+        Expr::Filter(l, p) => {
+            fmt_expr(l, a, f, 2)?;
+            write!(f, "[{}]", p.display(a))
+        }
+        Expr::Test(s) => write!(f, "{}", a.name(*s)),
+        Expr::Wildcard => write!(f, "*"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let mut a = Alphabet::new();
+        let s = a.intern("a");
+        let e = Expr::Child(Box::new(Expr::Test(s)), Box::new(Expr::Wildcard));
+        assert_eq!(e.size(), 3);
+        let p = Pattern::child(e);
+        assert_eq!(p.size(), 4);
+    }
+
+    #[test]
+    fn display_shapes() {
+        let mut al = Alphabet::new();
+        let a = al.intern("a");
+        let b = al.intern("b");
+        let p = Pattern::descendant(Expr::Filter(
+            Box::new(Expr::Disj(Box::new(Expr::Test(a)), Box::new(Expr::Test(b)))),
+            Box::new(Pattern::child(Expr::Wildcard)),
+        ));
+        assert_eq!(format!("{}", p.display(&al)), ".//(a|b)[./*]");
+    }
+}

@@ -1,0 +1,214 @@
+//! Compiling linear patterns (no filters, no disjunction) to word automata.
+//!
+//! A linear pattern `·ax₁ s₁ ax₂ s₂ ⋯ ax_k s_k` selects a node `v` iff the
+//! string of labels on the path from the context node's children down to `v`
+//! (inclusive) is accepted by a small automaton: each step consumes one
+//! letter, and a descendant axis allows any letters in between. This is the
+//! automaton `A_P` used by Theorem 23 (XPath{/, *}) and, through Green et
+//! al.'s bound, by the XPath{/, //, *} discussion after Theorem 29.
+
+use crate::ast::{Axis, Expr, Pattern};
+use xmlta_automata::ops::determinize;
+use xmlta_automata::{Dfa, Nfa};
+use xmlta_base::Symbol;
+
+/// One step of a linear pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The axis leading into the step.
+    pub axis: Axis,
+    /// The node test: `Some(a)` for an element test, `None` for `*`.
+    pub test: Option<Symbol>,
+}
+
+/// Why a pattern could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pattern uses a filter `[·]`.
+    HasFilter,
+    /// The pattern uses disjunction `|`.
+    HasDisjunction,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::HasFilter => write!(f, "pattern uses filters and is not linear"),
+            CompileError::HasDisjunction => {
+                write!(f, "pattern uses disjunction and is not linear")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Flattens a linear pattern into its step sequence.
+pub fn linearize(pattern: &Pattern) -> Result<Vec<Step>, CompileError> {
+    let mut steps = Vec::new();
+    flatten(&pattern.expr, pattern.axis, &mut steps)?;
+    Ok(steps)
+}
+
+fn flatten(e: &Expr, incoming: Axis, out: &mut Vec<Step>) -> Result<(), CompileError> {
+    match e {
+        Expr::Test(s) => {
+            out.push(Step { axis: incoming, test: Some(*s) });
+            Ok(())
+        }
+        Expr::Wildcard => {
+            out.push(Step { axis: incoming, test: None });
+            Ok(())
+        }
+        Expr::Child(l, r) => {
+            flatten(l, incoming, out)?;
+            flatten(r, Axis::Child, out)
+        }
+        Expr::Desc(l, r) => {
+            flatten(l, incoming, out)?;
+            flatten(r, Axis::Descendant, out)
+        }
+        Expr::Filter(_, _) => Err(CompileError::HasFilter),
+        Expr::Disj(_, _) => Err(CompileError::HasDisjunction),
+    }
+}
+
+/// Compiles a linear pattern to an NFA over the alphabet.
+///
+/// The NFA has one state per step plus the start state; descendant steps add
+/// a self-loop over all letters, so the automaton is linear in the pattern
+/// size (the paper's "AP has a linear number of states ... and at most a
+/// quadratic number of transitions").
+pub fn compile_to_nfa(pattern: &Pattern, alphabet_size: usize) -> Result<Nfa, CompileError> {
+    let steps = linearize(pattern)?;
+    let mut nfa = Nfa::new(alphabet_size);
+    let mut cur = nfa.add_state();
+    nfa.set_initial(cur);
+    for step in &steps {
+        if step.axis == Axis::Descendant {
+            for l in 0..alphabet_size as u32 {
+                nfa.add_transition(cur, l, cur);
+            }
+        }
+        let next = nfa.add_state();
+        match step.test {
+            Some(sym) => nfa.add_transition(cur, sym.0, next),
+            None => {
+                for l in 0..alphabet_size as u32 {
+                    nfa.add_transition(cur, l, next);
+                }
+            }
+        }
+        cur = next;
+    }
+    nfa.set_final(cur);
+    Ok(nfa)
+}
+
+/// Compiles a linear pattern to a DFA (subset construction on the NFA).
+///
+/// For XPath{/, *} the result has one state per step (no blow-up — the
+/// Theorem 23 case); with descendant axes the size is `O(n^c)` where `c`
+/// bounds the wildcards between descendant axes (Green et al.).
+pub fn compile_to_dfa(pattern: &Pattern, alphabet_size: usize) -> Result<Dfa, CompileError> {
+    Ok(determinize(&compile_to_nfa(pattern, alphabet_size)?))
+}
+
+/// Whether a pattern is a single fixed-length chain (XPath{/, *} property):
+/// all strings selected have the same length. Used by Theorem 23's
+/// translation, which relies on `A_P` being acyclic with uniform depth.
+pub fn uniform_depth(pattern: &Pattern) -> Option<usize> {
+    let steps = linearize(pattern).ok()?;
+    if steps.iter().all(|s| s.axis == Axis::Child) {
+        Some(steps.len())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::select;
+    use crate::parser::parse_pattern;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::{parse_tree, Tree, TreePath};
+
+    /// Cross-validation: DFA path-acceptance must equal the evaluator.
+    fn check_agreement(pattern_src: &str, tree_src: &str) {
+        let mut al = Alphabet::new();
+        let t = parse_tree(tree_src, &mut al).unwrap();
+        let p = parse_pattern(pattern_src, &mut al).unwrap();
+        let dfa = compile_to_dfa(&p, al.len()).unwrap();
+        let selected: std::collections::HashSet<TreePath> =
+            select(&p, &t).into_iter().collect();
+        for (path, _) in t.nodes() {
+            if path.is_root() {
+                continue;
+            }
+            let labels: Vec<u32> = path_labels(&t, &path);
+            assert_eq!(
+                dfa.accepts(&labels),
+                selected.contains(&path),
+                "pattern {pattern_src} node {path} in {tree_src}"
+            );
+        }
+    }
+
+    fn path_labels(t: &Tree, path: &TreePath) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = t;
+        for &i in path.indices() {
+            cur = &cur.children[i as usize];
+            out.push(cur.label.0);
+        }
+        out
+    }
+
+    #[test]
+    fn child_only_patterns() {
+        check_agreement("./a/b", "r(a(b c) b(b) a(a(b)))");
+        check_agreement("./*/b", "r(a(b) c(b x) b)");
+        check_agreement("./a", "r(a b a)");
+    }
+
+    #[test]
+    fn descendant_patterns() {
+        check_agreement(".//a", "r(a(a(b a)) c(a))");
+        check_agreement(".//b/a", "r(b(a) a(b(x a)))");
+        check_agreement("./a//c", "r(a(c b(c)) c)");
+        check_agreement(".//*", "r(a(b) c)");
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        check_agreement("./*//*", "r(a(b(c)) d)");
+        check_agreement(".//a/*", "r(a(x) b(a(y z)))");
+    }
+
+    #[test]
+    fn linearize_rejects_nonlinear() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern("./a[./b]", &mut a).unwrap();
+        assert_eq!(linearize(&p), Err(CompileError::HasFilter));
+        let p = parse_pattern("./(a|b)", &mut a).unwrap();
+        assert_eq!(linearize(&p), Err(CompileError::HasDisjunction));
+    }
+
+    #[test]
+    fn uniform_depth_detection() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern("./a/*/b", &mut a).unwrap();
+        assert_eq!(uniform_depth(&p), Some(3));
+        let p = parse_pattern(".//a", &mut a).unwrap();
+        assert_eq!(uniform_depth(&p), None);
+    }
+
+    #[test]
+    fn nfa_size_is_linear() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern(".//a/b//c/d", &mut a).unwrap();
+        let nfa = compile_to_nfa(&p, a.len()).unwrap();
+        assert_eq!(nfa.num_states(), 5); // start + 4 steps
+    }
+}

@@ -1,0 +1,224 @@
+//! The semantics `f_P : t × Dom(t) → 2^{Dom(t)}` of Definition 21.
+
+use crate::ast::{Axis, Expr, Pattern};
+use std::collections::BTreeSet;
+use xmlta_tree::{Tree, TreePath};
+
+/// Evaluates `f_P(t, u)`: the set of nodes selected by `P` from context
+/// node `u`, in document order.
+///
+/// `TreePath`'s `Ord` is the prefix/lexicographic order on child indices,
+/// which *is* document order (pre-order), so returning a `BTreeSet` walk
+/// directly yields the order the transducer semantics needs.
+pub fn select_from(pattern: &Pattern, t: &Tree, u: &TreePath) -> Vec<TreePath> {
+    let start: BTreeSet<TreePath> = match pattern.axis {
+        Axis::Child => children(t, u).into_iter().collect(),
+        Axis::Descendant => strict_descendants(t, u).into_iter().collect(),
+    };
+    let out = eval_expr(&pattern.expr, t, &start);
+    out.into_iter().collect()
+}
+
+/// Evaluates a pattern from the root (the transducer use case: the context
+/// node is the root of the subtree being processed).
+pub fn select(pattern: &Pattern, t: &Tree) -> Vec<TreePath> {
+    select_from(pattern, t, &TreePath::root())
+}
+
+/// `f_φ` lifted to sets of candidate nodes: the paper's semantics evaluates
+/// `φ` at single nodes (`f_φ(t, uz)`); evaluating at a set at once keeps the
+/// complexity polynomial.
+fn eval_expr(expr: &Expr, t: &Tree, nodes: &BTreeSet<TreePath>) -> BTreeSet<TreePath> {
+    match expr {
+        Expr::Test(sym) => nodes
+            .iter()
+            .filter(|p| t.label_at(p) == Some(*sym))
+            .cloned()
+            .collect(),
+        Expr::Wildcard => nodes.clone(),
+        Expr::Disj(a, b) => {
+            let mut out = eval_expr(a, t, nodes);
+            out.extend(eval_expr(b, t, nodes));
+            out
+        }
+        Expr::Child(a, b) => {
+            let selected = eval_expr(a, t, nodes);
+            let mut next = BTreeSet::new();
+            for w in &selected {
+                next.extend(children(t, w));
+            }
+            eval_expr(b, t, &next)
+        }
+        Expr::Desc(a, b) => {
+            let selected = eval_expr(a, t, nodes);
+            let mut next = BTreeSet::new();
+            for w in &selected {
+                next.extend(strict_descendants(t, w));
+            }
+            eval_expr(b, t, &next)
+        }
+        Expr::Filter(a, p) => {
+            let selected = eval_expr(a, t, nodes);
+            selected
+                .into_iter()
+                .filter(|v| !select_from(p, t, v).is_empty())
+                .collect()
+        }
+    }
+}
+
+fn children(t: &Tree, u: &TreePath) -> Vec<TreePath> {
+    match t.subtree(u) {
+        Some(sub) => (0..sub.children.len() as u32).map(|i| u.child(i)).collect(),
+        None => Vec::new(),
+    }
+}
+
+fn strict_descendants(t: &Tree, u: &TreePath) -> Vec<TreePath> {
+    let Some(sub) = t.subtree(u) else { return Vec::new() };
+    let mut out = Vec::new();
+    for (p, _) in sub.nodes() {
+        if p.is_root() {
+            continue;
+        }
+        // Re-anchor relative path at u.
+        let mut idx = u.indices().to_vec();
+        idx.extend_from_slice(p.indices());
+        out.push(TreePath::from_indices(idx));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    fn labels_of(t: &Tree, a: &Alphabet, paths: &[TreePath]) -> Vec<String> {
+        paths
+            .iter()
+            .map(|p| a.name(t.label_at(p).expect("path exists")).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn child_axis_selects_children_only() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a b(a) a)", &mut a).unwrap();
+        let p = parse_pattern("./a", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(labels_of(&t, &a, &sel), vec!["a", "a"]);
+        assert_eq!(sel[0].indices(), &[0]);
+        assert_eq!(sel[1].indices(), &[2]);
+    }
+
+    #[test]
+    fn descendant_axis_selects_all_depths() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a b(a(a)) c)", &mut a).unwrap();
+        let p = parse_pattern(".//a", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 3);
+        // document order
+        assert_eq!(sel[0].indices(), &[0]);
+        assert_eq!(sel[1].indices(), &[1, 0]);
+        assert_eq!(sel[2].indices(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn context_node_never_selected() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("a(a)", &mut a).unwrap();
+        let p = parse_pattern(".//a", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].indices(), &[0]);
+    }
+
+    #[test]
+    fn disjunction_and_wildcard() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a b c)", &mut a).unwrap();
+        let p = parse_pattern("./(a|c)", &mut a).unwrap();
+        assert_eq!(labels_of(&t, &a, &select(&p, &t)), vec!["a", "c"]);
+        let w = parse_pattern("./*", &mut a).unwrap();
+        assert_eq!(select(&w, &t).len(), 3);
+    }
+
+    #[test]
+    fn path_composition() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(x y) b(x) a(z))", &mut a).unwrap();
+        let p = parse_pattern("./a/*", &mut a).unwrap();
+        assert_eq!(labels_of(&t, &a, &select(&p, &t)), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn descendant_composition() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(b(c)) c)", &mut a).unwrap();
+        // .//b//c: c nodes strictly below a b node.
+        let p = parse_pattern(".//b//c", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].indices(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn filters() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(b) a(c) a)", &mut a).unwrap();
+        // ./a[./b]: a-children that have a b child.
+        let p = parse_pattern("./a[./b]", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].indices(), &[0]);
+        // ./a[./d] selects nothing.
+        let p2 = parse_pattern("./a[./d]", &mut a).unwrap();
+        assert!(select(&p2, &t).is_empty());
+    }
+
+    #[test]
+    fn nested_filters() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(b(c)) a(b))", &mut a).unwrap();
+        let p = parse_pattern("./a[./b[./c]]", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].indices(), &[0]);
+    }
+
+    #[test]
+    fn example22_toc_pattern() {
+        // Example 22: (q, chapter) → chapter ⟨q, ·//title⟩ — from a chapter,
+        // ·//title selects all title descendants.
+        let mut a = Alphabet::new();
+        let t = parse_tree(
+            "chapter(title intro section(title paragraph section(title paragraph)))",
+            &mut a,
+        )
+        .unwrap();
+        let p = parse_pattern("·//title", &mut a).unwrap();
+        let sel = select(&p, &t);
+        assert_eq!(sel.len(), 3);
+        assert_eq!(labels_of(&t, &a, &sel), vec!["title", "title", "title"]);
+        // Document order: chapter title, then outer then inner section title.
+        assert_eq!(sel[0].indices(), &[0]);
+        assert_eq!(sel[1].indices(), &[2, 0]);
+        assert_eq!(sel[2].indices(), &[2, 2, 0]);
+    }
+
+    #[test]
+    fn select_from_non_root_context() {
+        let mut a = Alphabet::new();
+        let t = parse_tree("r(a(x) a(y))", &mut a).unwrap();
+        let p = parse_pattern("./*", &mut a).unwrap();
+        let ctx = TreePath::from_indices(vec![1]);
+        let sel = select_from(&p, &t, &ctx);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].indices(), &[1, 0]);
+    }
+}

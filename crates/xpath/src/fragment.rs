@@ -1,0 +1,117 @@
+//! Fragment analysis: which axes/operators a pattern uses.
+//!
+//! The paper's results are parameterized by XPath fragments — e.g.
+//! Theorem 23 needs XPath{/, *}, Theorem 28 lists four coNP-hard fragments.
+//! [`Fragment`] records the operators present so the typechecker can route a
+//! pattern to the right algorithm (or reject it with a precise reason).
+
+use crate::ast::{Expr, Pattern};
+
+/// The set of operators occurring in a pattern (element tests are always
+/// allowed and not tracked).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fragment {
+    /// Uses the child axis `/` (beyond the mandatory leading axis).
+    pub child: bool,
+    /// Uses the descendant axis `//`.
+    pub descendant: bool,
+    /// Uses filters `[·]`.
+    pub filter: bool,
+    /// Uses disjunction `|`.
+    pub disjunction: bool,
+    /// Uses the wildcard `*`.
+    pub wildcard: bool,
+}
+
+impl Fragment {
+    /// Computes the fragment of a pattern.
+    pub fn of(pattern: &Pattern) -> Fragment {
+        let mut f = Fragment::default();
+        match pattern.axis {
+            crate::ast::Axis::Child => f.child = true,
+            crate::ast::Axis::Descendant => f.descendant = true,
+        }
+        scan(&pattern.expr, &mut f);
+        f
+    }
+
+    /// Whether the pattern lies in XPath{/, *} (Theorem 23's PTIME fragment).
+    pub fn is_child_wildcard_only(&self) -> bool {
+        !self.descendant && !self.filter && !self.disjunction
+    }
+
+    /// Whether the pattern lies in XPath{/, //, *} (compilable to a word
+    /// automaton; DFA size depends on wildcard count, Green et al.).
+    pub fn is_linear(&self) -> bool {
+        !self.filter && !self.disjunction
+    }
+}
+
+fn scan(e: &Expr, f: &mut Fragment) {
+    match e {
+        Expr::Disj(a, b) => {
+            f.disjunction = true;
+            scan(a, f);
+            scan(b, f);
+        }
+        Expr::Child(a, b) => {
+            f.child = true;
+            scan(a, f);
+            scan(b, f);
+        }
+        Expr::Desc(a, b) => {
+            f.descendant = true;
+            scan(a, f);
+            scan(b, f);
+        }
+        Expr::Filter(a, p) => {
+            f.filter = true;
+            scan(a, f);
+            let sub = Fragment::of(p);
+            f.child |= sub.child;
+            f.descendant |= sub.descendant;
+            f.filter |= sub.filter;
+            f.disjunction |= sub.disjunction;
+            f.wildcard |= sub.wildcard;
+        }
+        Expr::Test(_) => {}
+        Expr::Wildcard => f.wildcard = true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+    use xmlta_base::Alphabet;
+
+    #[test]
+    fn fragments_detected() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern("./a/b/*", &mut a).unwrap();
+        let f = Fragment::of(&p);
+        assert!(f.is_child_wildcard_only());
+        assert!(f.is_linear());
+        assert!(f.wildcard && f.child);
+
+        let p = parse_pattern(".//a", &mut a).unwrap();
+        let f = Fragment::of(&p);
+        assert!(!f.is_child_wildcard_only());
+        assert!(f.is_linear());
+
+        let p = parse_pattern("./a[./b]", &mut a).unwrap();
+        assert!(!Fragment::of(&p).is_linear());
+
+        let p = parse_pattern("./(a|b)", &mut a).unwrap();
+        assert!(!Fragment::of(&p).is_linear());
+    }
+
+    #[test]
+    fn filter_contents_counted() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern("./a[.//b]", &mut a).unwrap();
+        let f = Fragment::of(&p);
+        assert!(f.descendant, "descendant inside filter must be detected");
+        assert!(f.filter);
+    }
+}

@@ -1,0 +1,19 @@
+//! Downward XPath patterns (Section 4, Definition 21).
+//!
+//! Patterns are `·/φ` or `·//φ` where `φ` is built from element tests,
+//! wildcard `*`, child `/`, descendant `//`, disjunction `|`, and filters
+//! `[P]`. The crate provides the paper's semantics `f_P` ([`eval`]), a
+//! parser for the paper's concrete syntax ([`parser`]), compilation of
+//! filter/disjunction-free patterns to word automata ([`compile`], used by
+//! Theorems 23 and 29), and the selecting-literal machinery of Lemma 26
+//! ([`selecting`]).
+
+pub mod ast;
+pub mod compile;
+pub mod eval;
+pub mod fragment;
+pub mod parser;
+pub mod selecting;
+
+pub use ast::{Axis, Expr, Pattern};
+pub use fragment::Fragment;

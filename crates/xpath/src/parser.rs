@@ -1,0 +1,229 @@
+//! Parser for the paper's XPath syntax, e.g. `·/(a|b)//c[·//e]/*`.
+//!
+//! Both `·` (the paper's context-node dot) and plain `.` are accepted.
+
+use crate::ast::{Axis, Expr, Pattern};
+use std::fmt;
+use xmlta_base::Alphabet;
+
+/// Error from [`parse_pattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xpath parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+/// Parses a pattern, interning element names into `alphabet`.
+pub fn parse_pattern(input: &str, alphabet: &mut Alphabet) -> Result<Pattern, XPathParseError> {
+    let mut p = P { input, pos: 0, alphabet };
+    let pat = p.pattern()?;
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(p.err(format!("trailing input `{}`", p.rest())));
+    }
+    Ok(pat)
+}
+
+struct P<'a, 'b> {
+    input: &'a str,
+    pos: usize,
+    alphabet: &'b mut Alphabet,
+}
+
+impl P<'_, '_> {
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, message: impl Into<String>) -> XPathParseError {
+        XPathParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        let r = self.rest();
+        let t = r.trim_start();
+        self.pos += r.len() - t.len();
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, XPathParseError> {
+        self.skip_ws();
+        if !(self.eat("·") || self.eat(".")) {
+            return Err(self.err("pattern must start with `·` or `.`"));
+        }
+        let axis = self.axis()?;
+        let expr = self.disj()?;
+        Ok(Pattern { axis, expr })
+    }
+
+    fn axis(&mut self) -> Result<Axis, XPathParseError> {
+        if self.eat("//") {
+            Ok(Axis::Descendant)
+        } else if self.eat("/") {
+            Ok(Axis::Child)
+        } else {
+            Err(self.err("expected `/` or `//`"))
+        }
+    }
+
+    fn disj(&mut self) -> Result<Expr, XPathParseError> {
+        let mut e = self.path()?;
+        loop {
+            self.skip_ws();
+            if self.eat("|") {
+                let r = self.path()?;
+                e = Expr::Disj(Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn path(&mut self) -> Result<Expr, XPathParseError> {
+        let mut e = self.postfix()?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("//") {
+                self.pos += 2;
+                let r = self.postfix()?;
+                e = Expr::Desc(Box::new(e), Box::new(r));
+            } else if self.rest().starts_with('/') {
+                self.pos += 1;
+                let r = self.postfix()?;
+                e = Expr::Child(Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, XPathParseError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            if self.eat("[") {
+                let p = self.pattern()?;
+                self.skip_ws();
+                if !self.eat("]") {
+                    return Err(self.err("expected `]`"));
+                }
+                e = Expr::Filter(Box::new(e), Box::new(p));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, XPathParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(Expr::Wildcard);
+        }
+        if self.eat("(") {
+            let e = self.disj()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(e);
+        }
+        let start = self.pos;
+        while self
+            .rest()
+            .chars()
+            .next()
+            .map_or(false, |c| c.is_alphanumeric() || matches!(c, '_' | '#' | '$' | '-'))
+        {
+            let c = self.rest().chars().next().expect("peeked");
+            self.pos += c.len_utf8();
+        }
+        if self.pos == start {
+            return Err(self.err("expected an element test, `*`, or `(`"));
+        }
+        let sym = self.alphabet.intern(&self.input[start..self.pos]);
+        Ok(Expr::Test(sym))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // The pattern from Definition 21's example.
+        let mut a = Alphabet::new();
+        let p = parse_pattern("·/(a|b)//c[·//e]/*", &mut a).expect("parse");
+        assert_eq!(p.axis, Axis::Child);
+        // Structure: ((a|b) // c[.//e]) / *
+        match &p.expr {
+            Expr::Child(l, r) => {
+                assert!(matches!(**r, Expr::Wildcard));
+                match &**l {
+                    Expr::Desc(d1, d2) => {
+                        assert!(matches!(**d1, Expr::Disj(_, _)));
+                        assert!(matches!(**d2, Expr::Filter(_, _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_and_middle_dot_equivalent() {
+        let mut a = Alphabet::new();
+        let p1 = parse_pattern("./a//b", &mut a).unwrap();
+        let p2 = parse_pattern("·/a//b", &mut a).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn descendant_root_axis() {
+        let mut a = Alphabet::new();
+        let p = parse_pattern(".//title", &mut a).unwrap();
+        assert_eq!(p.axis, Axis::Descendant);
+        assert!(matches!(p.expr, Expr::Test(_)));
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        let mut a = Alphabet::new();
+        for s in ["./a/b", ".//a", "./(a|b)/c", "./a[./b]/*", ".//a[.//b[./c]]"] {
+            let p = parse_pattern(s, &mut a).unwrap();
+            let shown = format!("{}", p.display(&a));
+            let p2 = parse_pattern(&shown, &mut a).unwrap();
+            assert_eq!(p, p2, "roundtrip of {s} via {shown}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let mut a = Alphabet::new();
+        assert!(parse_pattern("a/b", &mut a).is_err()); // missing dot
+        assert!(parse_pattern("./", &mut a).is_err());
+        assert!(parse_pattern("./a[", &mut a).is_err());
+        assert!(parse_pattern("./a[./b", &mut a).is_err());
+        assert!(parse_pattern("./(a|b", &mut a).is_err());
+        assert!(parse_pattern("./a extra", &mut a).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Selecting literals and the Lemma 26 rewriting.
+//!
+//! A literal (element test or wildcard) is *selecting* when it is used to
+//! select nodes rather than to navigate: the last step of every disjunct.
+//! Lemma 26 reduces XPath containment to a "if P₁ selects an x₁ node then
+//! P₂ selects an x₂ node" condition by appending `/x_i` (child-axis case) or
+//! `//x_i` (descendant-axis case) after every selecting literal and its
+//! filters. Theorem 28(1) turns that condition into a typechecking instance.
+
+use crate::ast::{Axis, Expr, Pattern};
+use xmlta_base::Symbol;
+
+/// Collects the selecting literals of a pattern (labels; `None` = wildcard).
+pub fn selecting_literals(pattern: &Pattern) -> Vec<Option<Symbol>> {
+    let mut out = Vec::new();
+    collect(&pattern.expr, &mut out);
+    out
+}
+
+fn collect(e: &Expr, out: &mut Vec<Option<Symbol>>) {
+    match e {
+        Expr::Disj(a, b) => {
+            collect(a, out);
+            collect(b, out);
+        }
+        // ℓ is selecting in φ₁/φ₂ and φ₁//φ₂ iff it is selecting in φ₂.
+        Expr::Child(_, b) | Expr::Desc(_, b) => collect(b, out),
+        // ℓ is selecting in φ₂[P] iff it is selecting in φ₂.
+        Expr::Filter(a, _) => collect(a, out),
+        Expr::Test(s) => out.push(Some(*s)),
+        Expr::Wildcard => out.push(None),
+    }
+}
+
+/// The Lemma 26 rewriting: appends a step selecting `marker` after every
+/// selecting literal (and its attached filters). Child-axis occurrences get
+/// `/marker`, descendant-axis occurrences get `//marker`.
+pub fn append_marker(pattern: &Pattern, marker: Symbol) -> Pattern {
+    Pattern {
+        axis: pattern.axis,
+        expr: rewrite(&pattern.expr, pattern.axis, marker),
+    }
+}
+
+fn rewrite(e: &Expr, incoming: Axis, marker: Symbol) -> Expr {
+    if is_literal_chain(e) {
+        // `/ℓ[φ₁]⋯[φ_n]` ⇒ `/ℓ[φ₁]⋯[φ_n]/x_i` (resp. `//…//x_i`).
+        return match incoming {
+            Axis::Child => Expr::Child(Box::new(e.clone()), Box::new(Expr::Test(marker))),
+            Axis::Descendant => Expr::Desc(Box::new(e.clone()), Box::new(Expr::Test(marker))),
+        };
+    }
+    match e {
+        Expr::Disj(a, b) => Expr::Disj(
+            Box::new(rewrite(a, incoming, marker)),
+            Box::new(rewrite(b, incoming, marker)),
+        ),
+        Expr::Child(a, b) => {
+            Expr::Child(a.clone(), Box::new(rewrite(b, Axis::Child, marker)))
+        }
+        Expr::Desc(a, b) => {
+            Expr::Desc(a.clone(), Box::new(rewrite(b, Axis::Descendant, marker)))
+        }
+        Expr::Filter(a, p) => {
+            // Composite expression under a filter (does not occur in the
+            // Lemma 26 fragments): rewrite inside, keep the filter.
+            Expr::Filter(Box::new(rewrite(a, incoming, marker)), p.clone())
+        }
+        Expr::Test(_) | Expr::Wildcard => unreachable!("literal chains handled above"),
+    }
+}
+
+/// A literal possibly wrapped in filters: `ℓ[φ₁]⋯[φ_n]`.
+fn is_literal_chain(e: &Expr) -> bool {
+    match e {
+        Expr::Test(_) | Expr::Wildcard => true,
+        Expr::Filter(inner, _) => is_literal_chain(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::select;
+    use crate::parser::parse_pattern;
+    use xmlta_base::Alphabet;
+    use xmlta_tree::parse_tree;
+
+    #[test]
+    fn example_25_first() {
+        // selecting literals of ·//a/b/((c/d)|(b/e)) are d and e.
+        let mut al = Alphabet::new();
+        let p = parse_pattern(".//a/b/((c/d)|(b/e))", &mut al).unwrap();
+        let lits = selecting_literals(&p);
+        let names: Vec<&str> = lits
+            .iter()
+            .map(|l| l.map(|s| al.name(s)).unwrap_or("*"))
+            .collect();
+        assert_eq!(names, vec!["d", "e"]);
+    }
+
+    #[test]
+    fn example_25_second() {
+        // selecting literal of ·/a[·/c]//∗[·/(b|c)] is the wildcard.
+        let mut al = Alphabet::new();
+        let p = parse_pattern("./a[./c]//*[./(b|c)]", &mut al).unwrap();
+        let lits = selecting_literals(&p);
+        assert_eq!(lits, vec![None]);
+    }
+
+    #[test]
+    fn append_marker_child_axis() {
+        let mut al = Alphabet::new();
+        let p = parse_pattern("./a/b", &mut al).unwrap();
+        let x = al.intern("x1");
+        let p2 = append_marker(&p, x);
+        assert_eq!(format!("{}", p2.display(&al)), "./a/b/x1");
+    }
+
+    #[test]
+    fn append_marker_descendant_axis() {
+        let mut al = Alphabet::new();
+        let p = parse_pattern(".//a", &mut al).unwrap();
+        let x = al.intern("x2");
+        let p2 = append_marker(&p, x);
+        assert_eq!(format!("{}", p2.display(&al)), ".//a//x2");
+    }
+
+    #[test]
+    fn append_marker_past_filters() {
+        let mut al = Alphabet::new();
+        let p = parse_pattern("./a[./c]", &mut al).unwrap();
+        let x = al.intern("x1");
+        let p2 = append_marker(&p, x);
+        assert_eq!(format!("{}", p2.display(&al)), "./a[./c]/x1");
+    }
+
+    #[test]
+    fn append_marker_in_disjuncts() {
+        let mut al = Alphabet::new();
+        let p = parse_pattern("./(a|b/c)", &mut al).unwrap();
+        let x = al.intern("x1");
+        let p2 = append_marker(&p, x);
+        assert_eq!(format!("{}", p2.display(&al)), "./a/x1|b/c/x1");
+        // The rewrite right-nests paths; that is semantically equivalent to
+        // the left-nested reparse (path composition is associative), so we
+        // compare selections rather than ASTs.
+        let reparsed = parse_pattern("./(a/x1|b/c/x1)", &mut al).unwrap();
+        let t = parse_tree("r(a(x1) b(c(x1)) b(x1))", &mut al).unwrap();
+        assert_eq!(select(&p2, &t), select(&reparsed, &t));
+        assert_eq!(select(&p2, &t).len(), 2);
+    }
+
+    #[test]
+    fn rewritten_pattern_selects_marker_nodes() {
+        // Semantics check: P' selects exactly the x1-children of nodes P
+        // selects (in the marker-enriched tree).
+        let mut al = Alphabet::new();
+        let t = parse_tree("r(a(x1 b) a(x1) b(x1))", &mut al).unwrap();
+        let p = parse_pattern("./a", &mut al).unwrap();
+        let x1 = al.sym("x1");
+        let p2 = append_marker(&p, x1);
+        let sel = select(&p2, &t);
+        assert_eq!(sel.len(), 2);
+        for path in &sel {
+            assert_eq!(t.label_at(path), Some(x1));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Corollaries 38 & 39: counterexample generation and almost-always
+//! typechecking.
+//!
+//! Run with `cargo run -p xmlta-examples --example counterexamples`.
+
+use typecheck_core::almost_always::{almost_always_typechecks, AlmostAlways};
+use typecheck_core::{typecheck, Instance};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::TransducerBuilder;
+
+fn main() {
+    // A filtering transducer that forgets to cap the number of emitted
+    // items: the output schema allows at most one `y`.
+    let mut alphabet = Alphabet::new();
+    let din = Dtd::parse("r -> x*\nx -> ", &mut alphabet).unwrap();
+    let t = TransducerBuilder::new(&mut alphabet)
+        .states(&["root", "q"])
+        .rule("root", "r", "r(q)")
+        .rule("q", "x", "y")
+        .build()
+        .unwrap();
+    let dout = Dtd::parse("r -> y?", &mut alphabet).unwrap();
+
+    let instance = Instance::dtds(alphabet.clone(), din.clone(), dout.clone(), t.clone());
+    let outcome = typecheck(&instance).expect("engine runs");
+    let ce = outcome.counter_example().expect("two x's break y?");
+    println!("counterexample input:  {}", ce.input.display(&alphabet));
+    match &ce.output {
+        Some(o) => println!("counterexample output: {}", o.display(&alphabet)),
+        None => println!("counterexample output: (not a tree)"),
+    }
+
+    // Almost-always analysis: infinitely many counterexamples here (any
+    // r(x^k) with k ≥ 2 fails).
+    let verdict = almost_always_typechecks(&din, &dout, &t, alphabet.len()).unwrap();
+    println!("almost always typechecks? {verdict:?}");
+    assert_eq!(verdict, AlmostAlways::InfinitelyMany);
+
+    // Shrink the input language to {r, r(x), r(x x)}: finitely many.
+    let mut alphabet2 = Alphabet::new();
+    let din_fin = Dtd::parse("r -> x? x?\nx -> ", &mut alphabet2).unwrap();
+    let t2 = TransducerBuilder::new(&mut alphabet2)
+        .states(&["root", "q"])
+        .rule("root", "r", "r(q)")
+        .rule("q", "x", "y")
+        .build()
+        .unwrap();
+    let dout2 = Dtd::parse("r -> y?", &mut alphabet2).unwrap();
+    let verdict = almost_always_typechecks(&din_fin, &dout2, &t2, alphabet2.len()).unwrap();
+    println!("finite input language: {verdict:?}");
+    assert_eq!(verdict, AlmostAlways::FinitelyMany);
+}

@@ -1,0 +1,53 @@
+//! Quickstart: typecheck the paper's running example (Example 10).
+//!
+//! Builds the book DTD, the table-of-contents transducer, and an output
+//! schema; typechecks; then breaks the schema and shows the counterexample.
+//!
+//! Run with `cargo run -p xmlta-examples --example quickstart`.
+
+use typecheck_core::{typecheck, Instance};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::examples;
+use xmlta_tree::xml;
+
+fn main() {
+    let mut alphabet = Alphabet::new();
+
+    // The Example 10 input schema:
+    //   book    -> title author+ chapter+
+    //   chapter -> title intro section+
+    //   section -> title paragraph+ section*
+    let din = examples::example10_dtd(&mut alphabet);
+
+    // The filtering transducer: builds a table of contents, deleting the
+    // section structure (arbitrary-depth deletion, no copying).
+    let toc = examples::example10_toc(&mut alphabet);
+
+    // Transform the Figure 3 document, just to see it work.
+    let doc = examples::figure3_document(&mut alphabet);
+    let out = toc.apply(&doc).expect("output is a tree");
+    println!("Figure 3 document:\n{}", xml::to_xml(&doc, &alphabet));
+    println!("Its table of contents:\n{}", xml::to_xml(&out, &alphabet));
+
+    // An output schema the ToC satisfies: book -> title (chapter title*)*.
+    let dout = Dtd::parse("book -> title (chapter title*)*", &mut alphabet).unwrap();
+    let instance = Instance::dtds(alphabet.clone(), din.clone(), dout, toc.clone());
+    let outcome = typecheck(&instance).expect("engine runs");
+    println!("typechecks against `book -> title (chapter title*)*`? {}", outcome.type_checks());
+    assert!(outcome.type_checks());
+
+    // Break the schema: demand exactly one title per chapter.
+    let strict = Dtd::parse("book -> title (chapter title)*", &mut alphabet).unwrap();
+    let instance = Instance::dtds(alphabet.clone(), din, strict, toc);
+    let outcome = typecheck(&instance).expect("engine runs");
+    assert!(!outcome.type_checks());
+    let ce = outcome.counter_example().expect("counterexample");
+    println!(
+        "strict schema fails; counterexample input: {}",
+        ce.input.display(&alphabet)
+    );
+    if let Some(o) = &ce.output {
+        println!("its image: {}", o.display(&alphabet));
+    }
+}

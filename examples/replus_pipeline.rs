@@ -1,0 +1,54 @@
+//! Theorem 37: arbitrary copying *and* deletion, tractable thanks to RE+
+//! schemas — including the canonical t_min / t_vast counterexamples of
+//! Section 5.
+//!
+//! Run with `cargo run -p xmlta-examples --example replus_pipeline`.
+
+use typecheck_core::{typecheck, Instance};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::TransducerBuilder;
+
+fn main() {
+    let mut alphabet = Alphabet::new();
+    // RE+ schemas: every factor is mandatory (a or a+).
+    let din = Dtd::parse_replus(
+        "book -> title author+ chapter\nchapter -> title intro",
+        &mut alphabet,
+    )
+    .unwrap();
+
+    // Unbounded copying: the rhs duplicates the children twice; deletion:
+    // chapters are flattened away.
+    let t = TransducerBuilder::new(&mut alphabet)
+        .states(&["root", "q", "d"])
+        .rule("root", "book", "book(q q)")
+        .rule("q", "title", "t")
+        .rule("q", "author", "a")
+        .rule("q", "chapter", "d")
+        .rule("d", "title", "t")
+        .rule("d", "intro", "i")
+        .build()
+        .unwrap();
+
+    let dout_ok = Dtd::parse_replus(
+        "book -> t a+ t i t a+ t i",
+        &mut alphabet,
+    )
+    .unwrap();
+    let instance = Instance::dtds(alphabet.clone(), din.clone(), dout_ok, t.clone());
+    let outcome = typecheck(&instance).expect("engine runs");
+    println!("copy-twice against the doubled schema: typechecks={}", outcome.type_checks());
+    assert!(outcome.type_checks());
+
+    // Tighten: only one copy expected — t_vast exposes the failure.
+    let dout_one = Dtd::parse_replus("book -> t a+ t i", &mut alphabet).unwrap();
+    let instance = Instance::dtds(alphabet.clone(), din, dout_one, t);
+    let outcome = typecheck(&instance).expect("engine runs");
+    assert!(!outcome.type_checks());
+    let ce = outcome.counter_example().expect("counterexample");
+    println!(
+        "single-copy schema fails; canonical counterexample (t_min or t_vast): {}",
+        ce.input.display(&alphabet)
+    );
+}

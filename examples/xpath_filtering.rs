@@ -1,0 +1,40 @@
+//! Example 22: the XPath variant of the table-of-contents transducer, its
+//! translation to a plain transducer (Theorem 23 / 29), and typechecking.
+//!
+//! Run with `cargo run -p xmlta-examples --example xpath_filtering`.
+
+use typecheck_core::{typecheck, Instance};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::{analysis::TransducerAnalysis, examples, translate};
+
+fn main() {
+    let mut alphabet = Alphabet::new();
+    let din = examples::example10_dtd(&mut alphabet);
+    let t22 = examples::example22(&mut alphabet);
+
+    // Translate ⟨q, .//title⟩ away (the Theorem 29-style simulation).
+    let plain = translate::expand_selectors_with_alphabet(&t22, alphabet.len())
+        .expect(".//title is a linear pattern");
+    let analysis = TransducerAnalysis::analyze(&plain);
+    println!(
+        "expanded transducer: {} states, deletion path width {:?} (width-1 \
+         recursive deletion only — still tractable)",
+        plain.num_states(),
+        analysis.deletion_path_width
+    );
+
+    let doc = examples::figure3_document(&mut alphabet);
+    assert_eq!(t22.apply(&doc), plain.apply(&doc), "translation is equivalent");
+    println!(
+        "Example 22 output: {}",
+        t22.apply(&doc).unwrap().display(&alphabet)
+    );
+
+    // Typecheck (the dispatcher expands selectors internally too).
+    let dout = Dtd::parse("book -> title* (chapter title*)*", &mut alphabet).unwrap();
+    let instance = Instance::dtds(alphabet, din, dout, t22);
+    let outcome = typecheck(&instance).expect("engine runs");
+    println!("typechecks? {}", outcome.type_checks());
+    assert!(outcome.type_checks());
+}

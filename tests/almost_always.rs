@@ -1,0 +1,93 @@
+//! Corollary 39: almost-always typechecking across instance shapes.
+
+use typecheck_core::almost_always::{almost_always_typechecks, AlmostAlways};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::TransducerBuilder;
+
+fn run(din: &str, rules: &[(&str, &str, &str)], dout: &str) -> AlmostAlways {
+    let mut a = Alphabet::new();
+    let din = Dtd::parse(din, &mut a).unwrap();
+    let states: Vec<&str> = {
+        let mut s: Vec<&str> = rules.iter().map(|(q, _, _)| *q).collect();
+        s.dedup();
+        s
+    };
+    let mut b = TransducerBuilder::new(&mut a).states(&states);
+    for (q, sym, rhs) in rules {
+        b = b.rule(q, sym, rhs);
+    }
+    let t = b.build().unwrap();
+    let dout = Dtd::parse(dout, &mut a).unwrap();
+    almost_always_typechecks(&din, &dout, &t, a.len()).unwrap()
+}
+
+#[test]
+fn passing_instances_are_almost_always() {
+    let v = run(
+        "r -> x*\nx -> ",
+        &[("root", "r", "r(q)"), ("q", "x", "y")],
+        "r -> y*",
+    );
+    assert_eq!(v, AlmostAlways::TypeChecks);
+}
+
+#[test]
+fn finite_violation_families() {
+    // Only r(x) and r(x x) are counterexamples; the input language is
+    // finite.
+    let v = run(
+        "r -> x? x?\nx -> ",
+        &[("root", "r", "r(q)"), ("q", "x", "y")],
+        "r -> ",
+    );
+    assert_eq!(v, AlmostAlways::FinitelyMany);
+}
+
+#[test]
+fn width_pumping_is_infinite() {
+    let v = run(
+        "r -> x x*\nx -> ",
+        &[("root", "r", "r(q)"), ("q", "x", "y")],
+        "r -> ",
+    );
+    assert_eq!(v, AlmostAlways::InfinitelyMany);
+}
+
+#[test]
+fn depth_pumping_is_infinite() {
+    let v = run(
+        "r -> m\nm -> m | x\nx -> ",
+        &[
+            ("root", "r", "r(q)"),
+            ("q", "m", "k(q)"),
+            ("q", "x", "bad"),
+        ],
+        "r -> k?\nk -> k?",
+    );
+    assert_eq!(v, AlmostAlways::InfinitelyMany);
+}
+
+#[test]
+fn subtree_variation_is_infinite() {
+    // The violating node is the root; its child subtree varies infinitely
+    // but the behavior stays the same.
+    let v = run(
+        "r -> m\nm -> m?\nx -> ",
+        &[("root", "r", "r(q)"), ("q", "m", "y")],
+        "r -> ",
+    );
+    assert_eq!(v, AlmostAlways::InfinitelyMany);
+}
+
+#[test]
+fn almost_always_is_weaker_than_typechecking() {
+    // A failing instance can still "almost always typecheck".
+    let v = run(
+        "r -> x?\nx -> ",
+        &[("root", "r", "r(q)"), ("q", "x", "y")],
+        "r -> ",
+    );
+    assert_eq!(v, AlmostAlways::FinitelyMany);
+    assert!(v.almost_always());
+}

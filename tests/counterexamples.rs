@@ -1,0 +1,97 @@
+//! Corollary 38: counterexample generation across all engines.
+
+use typecheck_core::{typecheck, Instance, Outcome, Schema};
+use xmlta_base::Alphabet;
+use xmlta_hardness::workloads;
+use xmlta_schema::Dtd;
+use xmlta_transducer::TransducerBuilder;
+
+/// Validates a counterexample against its instance.
+fn validate(inst: &Instance, outcome: &Outcome) {
+    let ce = outcome.counter_example().expect("expected failure");
+    match (&inst.input, &inst.output) {
+        (Schema::Dtd(din), Schema::Dtd(dout)) => {
+            assert!(din.compile_to_dfas().accepts(&ce.input));
+            let ok = match &ce.output {
+                Some(o) => dout.compile_to_dfas().accepts(o),
+                None => false,
+            };
+            assert!(!ok);
+        }
+        (Schema::Nta(ain), Schema::Nta(aout)) => {
+            assert!(ain.accepts(&ce.input));
+            let ok = match &ce.output {
+                Some(o) => aout.accepts(o),
+                None => false,
+            };
+            assert!(!ok);
+        }
+        _ => unreachable!(),
+    }
+    assert_eq!(inst.transducer.apply(&ce.input), ce.output);
+}
+
+#[test]
+fn lemma14_counterexamples_validate() {
+    for depth in [1usize, 2, 4] {
+        let w = workloads::failing_filtering_family(depth);
+        let outcome = typecheck(&w.instance).unwrap();
+        validate(&w.instance, &outcome);
+    }
+}
+
+#[test]
+fn replus_counterexamples_are_canonical() {
+    // Section 5 / Corollary 38: the counterexample is t_min or t_vast.
+    let mut a = Alphabet::new();
+    let din = Dtd::parse_replus("r -> x+", &mut a).unwrap();
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["root", "q"])
+        .rule("root", "r", "r(q)")
+        .rule("q", "x", "y")
+        .build()
+        .unwrap();
+    let dout = Dtd::parse_replus("r -> y", &mut a).unwrap();
+    let inst = Instance::dtds(a.clone(), din, dout, t);
+    let outcome = typecheck(&inst).unwrap();
+    validate(&inst, &outcome);
+    let ce = outcome.counter_example().unwrap();
+    // t_min = r(x) passes (one y), so the counterexample is t_vast = r(x x).
+    assert_eq!(format!("{}", ce.input.display(&a)), "r(x x)");
+}
+
+#[test]
+fn delrelab_counterexamples_validate() {
+    use xmlta_schema::{convert::dtd_to_nta, dta};
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["q"])
+        .rule("q", "r", "s(q)")
+        .rule("q", "x", "y")
+        .build()
+        .unwrap();
+    let dout = Dtd::parse("s -> y?", &mut a).unwrap();
+    let ain = dtd_to_nta(&din);
+    let aout = dta::complete(&dtd_to_nta(&dout));
+    let inst = Instance::ntas(a, ain, aout, t);
+    let outcome = typecheck(&inst).unwrap();
+    validate(&inst, &outcome);
+}
+
+#[test]
+fn empty_output_counterexamples() {
+    // A transducer with no root rule: every input maps to ε.
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> ", &mut a).unwrap();
+    let t = TransducerBuilder::new(&mut a)
+        .states(&["q"])
+        .rule("q", "nothing", "x")
+        .build()
+        .unwrap();
+    let dout = Dtd::parse("r -> ", &mut a).unwrap();
+    let inst = Instance::dtds(a, din, dout, t);
+    let outcome = typecheck(&inst).unwrap();
+    let ce = outcome.counter_example().expect("ε output fails");
+    assert_eq!(ce.output, None);
+}

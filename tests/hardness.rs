@@ -1,0 +1,111 @@
+//! The lower-bound reductions, cross-checked end to end: the generated
+//! instances' typechecking answers must equal the source problems' answers.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use typecheck_core::typecheck;
+use xmlta_automata::unary::{mod_nonzero_dfa, mod_zero_dfa};
+use xmlta_automata::{ops, Dfa};
+use xmlta_hardness::{path_systems, thm18, thm28, unary_sat};
+
+#[test]
+fn thm18_roundtrip_families() {
+    // Intersections of residue automata: both empty and non-empty cases.
+    let cases: Vec<(Vec<Dfa>, &str)> = vec![
+        (vec![mod_zero_dfa(2), mod_zero_dfa(3)], "2∩3"),
+        (vec![mod_nonzero_dfa(2), mod_zero_dfa(2)], "odd∩even"),
+        (vec![mod_zero_dfa(2), mod_zero_dfa(3), mod_nonzero_dfa(5)], "triple"),
+    ];
+    for (dfas, name) in cases {
+        let refs: Vec<&Dfa> = dfas.iter().collect();
+        let truth = ops::dfa_intersection_is_empty(&refs);
+        let inst = thm18::build(&dfas, 1);
+        assert_eq!(inst.intersection_empty, truth, "{name}");
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert_eq!(outcome.type_checks(), truth, "{name}");
+    }
+}
+
+#[test]
+fn thm18_multiletter_alphabet() {
+    // Words over two letters: contains-d0 ∩ contains-d1.
+    let contains = |letter: u32| {
+        let mut d = Dfa::new(2);
+        let hit = d.add_state();
+        for l in 0..2u32 {
+            d.set_transition(0, l, if l == letter { hit } else { 0 });
+            d.set_transition(hit, l, hit);
+        }
+        d.set_final(hit);
+        d
+    };
+    let inst = thm18::build(&[contains(0), contains(1)], 2);
+    assert!(!inst.intersection_empty);
+    assert!(!typecheck(&inst.instance).unwrap().type_checks());
+}
+
+#[test]
+fn thm28_unary_roundtrip() {
+    let cases = vec![
+        (vec![mod_zero_dfa(2), mod_zero_dfa(3)], false),
+        (vec![mod_nonzero_dfa(2), mod_zero_dfa(2)], true),
+        (vec![mod_zero_dfa(3), mod_nonzero_dfa(3)], true),
+    ];
+    for (dfas, expect_empty) in cases {
+        let inst = thm28::build_unary(&dfas);
+        assert_eq!(inst.intersection_empty, expect_empty);
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert_eq!(outcome.type_checks(), expect_empty);
+    }
+}
+
+#[test]
+fn lemma27_random_formulas() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..25 {
+        let cnf = unary_sat::random_cnf(&mut rng, 4, 5);
+        let red = unary_sat::sat_via_unary_intersection(&cnf);
+        let brute = cnf.brute_force_sat();
+        assert_eq!(red.is_some(), brute.is_some(), "{cnf:?}");
+        if let Some(a) = red {
+            assert!(cnf.eval(&a));
+        }
+    }
+}
+
+#[test]
+fn lemma27_composed_with_thm28() {
+    // Full pipeline: 3-CNF → unary DFAs → XPath{//} typechecking instance.
+    // Tiny formulas only: the composed instance is coNP-hard and the
+    // complete engine's cost explodes with the clause DFA product (which is
+    // the point of the reduction).
+    use xmlta_hardness::unary_sat::{Cnf, Literal};
+    let lit = |var, positive| Literal { var, positive };
+    let satisfiable = Cnf {
+        num_vars: 2,
+        clauses: vec![vec![lit(0, true), lit(1, true)], vec![lit(1, true)]],
+    };
+    let unsatisfiable = Cnf {
+        num_vars: 1,
+        clauses: vec![vec![lit(0, true)], vec![lit(0, false)]],
+    };
+    for (cnf, sat) in [(satisfiable, true), (unsatisfiable, false)] {
+        assert_eq!(cnf.brute_force_sat().is_some(), sat);
+        let dfas = unary_sat::clause_dfas(&cnf);
+        let inst = thm28::build_unary(&dfas);
+        assert_eq!(inst.intersection_empty, !sat);
+        let outcome = typecheck(&inst.instance).expect("engine runs");
+        assert_eq!(outcome.type_checks(), !sat, "{cnf:?}");
+    }
+}
+
+#[test]
+fn lemma3_random_path_systems() {
+    let mut rng = SmallRng::seed_from_u64(17);
+    for layers in 2..5 {
+        for _ in 0..5 {
+            let ps = path_systems::random_path_system(&mut rng, layers, 3, 2);
+            assert_eq!(ps.goal_provable(), path_systems::provable_via_emptiness(&ps));
+        }
+    }
+}

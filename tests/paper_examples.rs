@@ -1,0 +1,123 @@
+//! End-to-end reproduction of the paper's worked examples and figures.
+
+use typecheck_core::{typecheck, Instance};
+use xmlta_base::Alphabet;
+use xmlta_schema::Dtd;
+use xmlta_transducer::analysis::{deletion_path_graph, deletion_path_width, TransducerAnalysis};
+use xmlta_transducer::classes::{Classification, TransducerClass};
+use xmlta_transducer::{examples, xslt};
+use xmlta_tree::parse_tree;
+
+/// Figure 2 flavor: Example 6's transducer on a concrete tree.
+#[test]
+fn example6_and_7_translation() {
+    let mut a = Alphabet::new();
+    let t = examples::example6(&mut a);
+    let input = parse_tree("b(b(a b) a)", &mut a).unwrap();
+    let expected = parse_tree("d(c(d(e) d c c) c)", &mut a).unwrap();
+    assert_eq!(t.apply(&input), Some(expected));
+}
+
+/// Figure 1: the XSLT rendering of Example 6.
+#[test]
+fn figure1_xslt() {
+    let mut a = Alphabet::new();
+    let t = examples::example6(&mut a);
+    let program = xslt::to_xslt(&t, &a);
+    for frag in [
+        "<xsl:template match=\"a\" mode=\"p\">",
+        "<xsl:template match=\"b\" mode=\"p\">",
+        "<xsl:template match=\"a\" mode=\"q\">",
+        "<xsl:template match=\"b\" mode=\"q\">",
+        "<xsl:apply-templates mode=\"q\"/>",
+    ] {
+        assert!(program.contains(frag), "missing {frag}:\n{program}");
+    }
+}
+
+/// Figure 3 + Example 10: the document validates, the transformations run.
+#[test]
+fn figure3_and_example10() {
+    let mut a = Alphabet::new();
+    let din = examples::example10_dtd(&mut a);
+    let doc = examples::figure3_document(&mut a);
+    assert!(din.accepts(&doc));
+    let toc = examples::example10_toc(&mut a);
+    let summary = examples::example10_summary(&mut a);
+    let toc_out = toc.apply(&doc).unwrap();
+    let sum_out = summary.apply(&doc).unwrap();
+    assert!(toc_out.num_nodes() < sum_out.num_nodes());
+}
+
+/// Example 11: the summary transducer typechecks against the Example 11
+/// output DTD — decided by the complete engine, not just on one document.
+#[test]
+fn example11_typechecks() {
+    let mut a = Alphabet::new();
+    let din = examples::example10_dtd(&mut a);
+    let t = examples::example10_summary(&mut a);
+    let dout = examples::example11_output_dtd(&mut a);
+    let outcome = typecheck(&Instance::dtds(a, din, dout, t)).unwrap();
+    assert!(outcome.type_checks());
+}
+
+/// Examples 12, 13, 17 and Figure 4: C = 3, K = 6 for the Example 12
+/// transducer; class memberships of the Example 10 transducers.
+#[test]
+fn example12_13_17_figure4() {
+    let mut a = Alphabet::new();
+    let t = examples::example12(&mut a);
+    let an = TransducerAnalysis::analyze(&t);
+    assert_eq!(an.copying_width, 3);
+    assert_eq!(an.deletion_path_width, Some(6));
+    let g = deletion_path_graph(&t);
+    assert_eq!(deletion_path_width(&g), Some(6));
+
+    let mut a = Alphabet::new();
+    let toc = examples::example10_toc(&mut a);
+    let c = Classification::of(&toc);
+    assert!(matches!(c.class, TransducerClass::DeletingRelabeling));
+    let mut a = Alphabet::new();
+    let summary = examples::example10_summary(&mut a);
+    let c = Classification::of(&summary);
+    assert!(matches!(
+        c.class,
+        TransducerClass::Tractable { copying: 2, deletion_path_width: 1 }
+    ));
+}
+
+/// Example 22: the XPath transducer agrees with Example 10's and
+/// typechecks through the Theorem 23/29 translation.
+#[test]
+fn example22_roundtrip() {
+    let mut a = Alphabet::new();
+    let din = examples::example10_dtd(&mut a);
+    let doc = examples::figure3_document(&mut a);
+    let t22 = examples::example22(&mut a);
+    let t10 = examples::example10_toc(&mut a);
+    assert_eq!(t22.apply(&doc), t10.apply(&doc));
+    let dout = Dtd::parse("book -> title* (chapter title*)*", &mut a).unwrap();
+    let outcome = typecheck(&Instance::dtds(a, din, dout, t22)).unwrap();
+    assert!(outcome.type_checks());
+}
+
+/// The unbounded-deletion observation of Section 3: transformations with
+/// arbitrary non-copying deletion typecheck in the tractable fragment.
+#[test]
+fn unbounded_noncopying_deletion_is_tractable() {
+    let mut a = Alphabet::new();
+    let din = Dtd::parse("r -> m\nm -> m | y\ny -> ", &mut a).unwrap();
+    let t = xmlta_transducer::TransducerBuilder::new(&mut a)
+        .states(&["root", "d"])
+        .rule("root", "r", "r(d)")
+        .rule("d", "m", "d")
+        .rule("d", "y", "y")
+        .build()
+        .unwrap();
+    let an = TransducerAnalysis::analyze(&t);
+    assert!(an.recursively_deleting[t.state_by_name("d").unwrap() as usize]);
+    assert_eq!(an.deletion_path_width, Some(1));
+    let dout = Dtd::parse("r -> y", &mut a).unwrap();
+    let outcome = typecheck(&Instance::dtds(a, din, dout, t)).unwrap();
+    assert!(outcome.type_checks());
+}
