@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI for the xml-typecheck workspace. Run from the repo root.
+#
+#   ./ci.sh          # build, test, lint, format-check
+#   ./ci.sh --bench  # additionally compile benches and refresh BENCH_lemma14.json
+#
+# All third-party dependencies are vendored as offline shims under
+# crates/shims/, so this script needs no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== compile benches"
+    cargo bench --no-run -q
+    echo "== refresh BENCH_lemma14.json"
+    cargo run --release -q -p xmlta-bench --bin lemma14_report -- "ci-$(date +%Y%m%d)"
+fi
+
+echo "CI OK"

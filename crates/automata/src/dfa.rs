@@ -82,7 +82,8 @@ impl Dfa {
     pub fn add_state(&mut self) -> u32 {
         let id = self.num_states as u32;
         self.num_states += 1;
-        self.table.extend(std::iter::repeat(None).take(self.alphabet_size));
+        self.table
+            .extend(std::iter::repeat_n(None, self.alphabet_size));
         self.is_final.push(false);
         id
     }
@@ -148,9 +149,7 @@ impl Dfa {
 
     /// The paper's size measure `|Q| + |Σ| + Σ |δ(q,a)|`.
     pub fn size(&self) -> usize {
-        self.num_states
-            + self.alphabet_size
-            + self.table.iter().filter(|t| t.is_some()).count()
+        self.num_states + self.alphabet_size + self.table.iter().filter(|t| t.is_some()).count()
     }
 
     /// Whether the transition table is total.
@@ -193,20 +192,24 @@ impl Dfa {
         let a = self.complete();
         let b = other.complete();
         let mut d = Dfa::new(self.alphabet_size);
-        // Map (qa, qb) -> product state, built on the fly (reachable part).
-        let mut map = std::collections::HashMap::new();
-        let start = (a.initial, b.initial);
-        map.insert(start, 0u32);
-        if both(a.is_final[a.initial as usize], b.is_final[b.initial as usize]) {
+        // Map packed (qa, qb) -> product state, built on the fly (reachable
+        // part). Pairs are single u64 keys under an Fx map: no tuple hashing.
+        let pack = |qa: u32, qb: u32| (u64::from(qa) << 32) | u64::from(qb);
+        let mut map: xmlta_base::FxHashMap<u64, u32> = xmlta_base::FxHashMap::default();
+        map.insert(pack(a.initial, b.initial), 0u32);
+        if both(
+            a.is_final[a.initial as usize],
+            b.is_final[b.initial as usize],
+        ) {
             d.set_final(0);
         }
-        let mut queue = VecDeque::from([start]);
+        let mut queue = VecDeque::from([(a.initial, b.initial)]);
         while let Some((qa, qb)) = queue.pop_front() {
-            let from = map[&(qa, qb)];
+            let from = map[&pack(qa, qb)];
             for l in 0..self.alphabet_size as u32 {
                 let ra = a.step(qa, l).expect("complete");
                 let rb = b.step(qb, l).expect("complete");
-                let to = *map.entry((ra, rb)).or_insert_with(|| {
+                let to = *map.entry(pack(ra, rb)).or_insert_with(|| {
                     let s = d.add_state();
                     if both(a.is_final[ra as usize], b.is_final[rb as usize]) {
                         d.set_final(s);

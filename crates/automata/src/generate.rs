@@ -13,7 +13,12 @@ use rand::Rng;
 /// Generates a random *trimmed* DFA: `num_states` states over
 /// `alphabet_size` letters with transition density `density ∈ (0, 1]`,
 /// at least one final state, and a non-empty language.
-pub fn random_dfa(rng: &mut impl Rng, num_states: usize, alphabet_size: usize, density: f64) -> Dfa {
+pub fn random_dfa(
+    rng: &mut impl Rng,
+    num_states: usize,
+    alphabet_size: usize,
+    density: f64,
+) -> Dfa {
     assert!(num_states >= 1 && alphabet_size >= 1);
     loop {
         let mut d = Dfa::new(alphabet_size);
@@ -82,12 +87,20 @@ pub fn random_regex(rng: &mut impl Rng, size: usize, alphabet_size: usize) -> Re
         0 => {
             let n = rng.gen_range(2..=3.min(size));
             let each = (size - 1) / n;
-            Regex::Concat((0..n).map(|_| random_regex(rng, each.max(1), alphabet_size)).collect())
+            Regex::Concat(
+                (0..n)
+                    .map(|_| random_regex(rng, each.max(1), alphabet_size))
+                    .collect(),
+            )
         }
         1 => {
             let n = rng.gen_range(2..=3.min(size));
             let each = (size - 1) / n;
-            Regex::Alt((0..n).map(|_| random_regex(rng, each.max(1), alphabet_size)).collect())
+            Regex::Alt(
+                (0..n)
+                    .map(|_| random_regex(rng, each.max(1), alphabet_size))
+                    .collect(),
+            )
         }
         2 => Regex::Star(Box::new(random_regex(rng, size - 1, alphabet_size))),
         3 => Regex::Plus(Box::new(random_regex(rng, size - 1, alphabet_size))),
@@ -110,7 +123,9 @@ pub fn random_replus(rng: &mut impl Rng, num_factors: usize, alphabet_size: usiz
 
 /// Generates a random word of length `len`.
 pub fn random_word(rng: &mut impl Rng, len: usize, alphabet_size: usize) -> Vec<u32> {
-    (0..len).map(|_| rng.gen_range(0..alphabet_size) as u32).collect()
+    (0..len)
+        .map(|_| rng.gen_range(0..alphabet_size) as u32)
+        .collect()
 }
 
 #[cfg(test)]

@@ -21,7 +21,12 @@ pub struct Nfa {
 impl Nfa {
     /// Creates an empty NFA over an alphabet of `alphabet_size` letters.
     pub fn new(alphabet_size: usize) -> Self {
-        Nfa { alphabet_size, edges: Vec::new(), initial: Vec::new(), is_final: Vec::new() }
+        Nfa {
+            alphabet_size,
+            edges: Vec::new(),
+            initial: Vec::new(),
+            is_final: Vec::new(),
+        }
     }
 
     /// Creates an NFA that accepts exactly the given single word.
@@ -177,7 +182,10 @@ impl Nfa {
     /// This is the primitive behind the unranked tree-automaton emptiness
     /// algorithm (Proposition 4): checking `δ(q,a) ∩ R* ≠ ∅` is exactly a
     /// reachability query in the NFA restricted to the letters in `R`.
-    pub fn shortest_word_restricted(&self, mut allowed: impl FnMut(Letter) -> bool) -> Option<Vec<Letter>> {
+    pub fn shortest_word_restricted(
+        &self,
+        mut allowed: impl FnMut(Letter) -> bool,
+    ) -> Option<Vec<Letter>> {
         // BFS over states; parent pointers reconstruct the witness.
         let n = self.num_states();
         let mut seen = vec![false; n];
@@ -230,8 +238,8 @@ impl Nfa {
             fwd[q as usize] = true;
         }
         let mut allowed_edge = vec![Vec::new(); n];
-        for q in 0..n {
-            for &(l, r) in &self.edges[q] {
+        for (q, edges) in self.edges.iter().enumerate() {
+            for &(l, r) in edges {
                 if allowed(l) {
                     allowed_edge[q].push(r);
                 }
@@ -247,12 +255,14 @@ impl Nfa {
         }
         let mut bwd = vec![false; n];
         let mut rev = vec![Vec::new(); n];
-        for q in 0..n {
-            for &r in &allowed_edge[q] {
+        for (q, targets) in allowed_edge.iter().enumerate() {
+            for &r in targets {
                 rev[r as usize].push(q as u32);
             }
         }
-        let mut stack: Vec<u32> = (0..n as u32).filter(|&q| self.is_final[q as usize]).collect();
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&q| self.is_final[q as usize])
+            .collect();
         for &q in &stack {
             bwd[q as usize] = true;
         }
@@ -260,7 +270,7 @@ impl Nfa {
             for &r in &rev[q as usize] {
                 if !bwd[r as usize] {
                     bwd[r as usize] = true;
-                    stack.push(r as u32);
+                    stack.push(r);
                 }
             }
         }
@@ -281,8 +291,7 @@ impl Nfa {
                 }
             }
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&q| useful[q] && indeg[q] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&q| useful[q] && indeg[q] == 0).collect();
         let mut removed = 0usize;
         while let Some(q) = queue.pop_front() {
             removed += 1;
@@ -369,7 +378,11 @@ impl Nfa {
     pub fn to_dot(&self, mut letter_name: impl FnMut(Letter) -> String) -> String {
         let mut s = String::from("digraph nfa {\n  rankdir=LR;\n");
         for q in 0..self.num_states() as u32 {
-            let shape = if self.is_final[q as usize] { "doublecircle" } else { "circle" };
+            let shape = if self.is_final[q as usize] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             s.push_str(&format!("  q{q} [shape={shape}];\n"));
         }
         for &q in &self.initial {

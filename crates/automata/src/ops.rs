@@ -1,68 +1,155 @@
 //! Automata operations spanning NFA and DFA: determinization, products,
 //! and multi-automata intersection.
+//!
+//! This module is the workspace's hottest kernel: every engine (the
+//! Lemma 14 profile fixpoint, the Theorem 20 delrelab pipeline, the
+//! Section 5 RE+ algorithm, and all the hardness-reduction checkers) bottoms
+//! out here. The implementations therefore avoid the two classic sins of
+//! naive subset/product constructions:
+//!
+//! * **per-step allocation + SipHash of `Vec<u32>` keys** — state sets are
+//!   dense [`BitSet`]s interned once per *discovered* state (never cloned
+//!   per expansion), product states are packed into `u64` indices, and all
+//!   maps use [`FxHashMap`];
+//! * **rescanning the transition list per letter** — subset construction
+//!   walks a letter-indexed CSR successor table built once up front, so
+//!   expanding a state-set costs O(Σ out-degree) instead of O(σ · deg).
 
 use crate::dfa::Dfa;
 use crate::nfa::Nfa;
 use crate::Letter;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use xmlta_base::{BitSet, FxHashMap};
+
+/// Letter-indexed successor table in CSR layout: `successors(l, q)` is the
+/// slice of states reachable from `q` on `l`, laid out contiguously per
+/// letter so a subset-expansion sweep for one letter walks memory linearly.
+struct LetterCsr {
+    num_states: usize,
+    /// Offsets: `off[l * num_states + q] .. off[l * num_states + q + 1]`.
+    off: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl LetterCsr {
+    fn build(nfa: &Nfa) -> LetterCsr {
+        let n = nfa.num_states();
+        let sigma = nfa.alphabet_size();
+        let mut off = vec![0u32; sigma * n + 1];
+        for (q, l, _) in nfa.transitions() {
+            off[l as usize * n + q as usize + 1] += 1;
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        let mut cursor = off.clone();
+        let mut data = vec![0u32; *off.last().unwrap() as usize];
+        for (q, l, r) in nfa.transitions() {
+            let slot = l as usize * n + q as usize;
+            data[cursor[slot] as usize] = r;
+            cursor[slot] += 1;
+        }
+        LetterCsr {
+            num_states: n,
+            off,
+            data,
+        }
+    }
+
+    #[inline]
+    fn successors(&self, l: u32, q: u32) -> &[u32] {
+        let slot = l as usize * self.num_states + q as usize;
+        &self.data[self.off[slot] as usize..self.off[slot + 1] as usize]
+    }
+}
 
 /// Subset construction: builds a DFA for `L(nfa)`.
 ///
 /// Only the reachable subsets are materialized, so determinizing the small
 /// NFAs appearing in DTD rules stays cheap even though the worst case is
 /// exponential (the paper's PSPACE/EXPTIME cells live in that worst case).
+///
+/// State sets are bitsets; the elements of each discovered set are also
+/// recorded once in a flat arena so expansion scans a `&[u32]` slice
+/// instead of re-walking bitset blocks, and no set is cloned per expansion.
 pub fn determinize(nfa: &Nfa) -> Dfa {
     let sigma = nfa.alphabet_size();
-    let mut start: Vec<u32> = nfa.initial_states().to_vec();
-    start.sort_unstable();
-    start.dedup();
+    let csr = LetterCsr::build(nfa);
 
     let mut dfa = Dfa::new(sigma);
-    let mut map: HashMap<Vec<u32>, u32> = HashMap::new();
-    map.insert(start.clone(), 0);
-    if start.iter().any(|&q| nfa.is_final_state(q)) {
+    // Interned state sets: the map owns the canonical bitset; `elem_data`
+    // holds each set's sorted elements (bitset iteration is in-order).
+    let mut ids: FxHashMap<BitSet, u32> = FxHashMap::default();
+    let mut elem_data: Vec<u32> = Vec::new();
+    let mut elem_off: Vec<u32> = vec![0];
+
+    let mut start = BitSet::with_capacity(csr.num_states);
+    for &q in nfa.initial_states() {
+        start.insert(q);
+    }
+    elem_data.extend(start.iter());
+    elem_off.push(elem_data.len() as u32);
+    if start.iter().any(|q| nfa.is_final_state(q)) {
         dfa.set_final(0);
     }
-    let mut queue = VecDeque::from([start]);
-    while let Some(set) = queue.pop_front() {
-        let from = map[&set];
+    ids.insert(start, 0);
+
+    let mut next = BitSet::new();
+    let mut from = 0usize;
+    while from < elem_off.len() - 1 {
+        let (lo, hi) = (elem_off[from] as usize, elem_off[from + 1] as usize);
         for l in 0..sigma as u32 {
-            let mut next: Vec<u32> = Vec::new();
-            for &q in &set {
-                for &(el, r) in nfa.transitions_from(q) {
-                    if el == l {
-                        next.push(r);
-                    }
+            next.clear();
+            for &q in &elem_data[lo..hi] {
+                for &r in csr.successors(l, q) {
+                    next.insert(r);
                 }
             }
             if next.is_empty() {
                 continue; // leave partial: dead subset
             }
-            next.sort_unstable();
-            next.dedup();
-            let to = *map.entry(next.clone()).or_insert_with(|| {
-                let s = dfa.add_state();
-                if next.iter().any(|&q| nfa.is_final_state(q)) {
-                    dfa.set_final(s);
+            let to = match ids.get(&next) {
+                Some(&id) => id,
+                None => {
+                    let s = dfa.add_state();
+                    elem_data.extend(next.iter());
+                    elem_off.push(elem_data.len() as u32);
+                    if next.iter().any(|q| nfa.is_final_state(q)) {
+                        dfa.set_final(s);
+                    }
+                    // Move the set into the map; `next` is left empty and
+                    // reused, so discovery costs one bitset, not three.
+                    ids.insert(std::mem::take(&mut next), s);
+                    s
                 }
-                queue.push_back(next.clone());
-                s
-            });
-            dfa.set_transition(from, l, to);
+            };
+            dfa.set_transition(from as u32, l, to);
         }
+        from += 1;
     }
     dfa
 }
 
+/// Packs a state pair into one map key.
+#[inline]
+fn pack(a: u32, b: u32) -> u64 {
+    (u64::from(a) << 32) | u64::from(b)
+}
+
 /// Product NFA accepting `L(a) ∩ L(b)` (reachable part only).
+///
+/// `b`'s transitions are pre-grouped by letter (CSR), so expanding a pair
+/// costs one slice lookup per transition of `a` instead of a full rescan of
+/// `b`'s out-edges per edge of `a`.
 pub fn intersect_nfa(a: &Nfa, b: &Nfa) -> Nfa {
     assert_eq!(a.alphabet_size(), b.alphabet_size(), "alphabet mismatch");
+    let b_csr = LetterCsr::build(b);
     let mut out = Nfa::new(a.alphabet_size());
-    let mut map: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut map: FxHashMap<u64, u32> = FxHashMap::default();
     let mut queue = VecDeque::new();
     for &qa in a.initial_states() {
         for &qb in b.initial_states() {
-            map.entry((qa, qb)).or_insert_with(|| {
+            map.entry(pack(qa, qb)).or_insert_with(|| {
                 let s = out.add_state();
                 out.set_initial(s);
                 if a.is_final_state(qa) && b.is_final_state(qb) {
@@ -74,13 +161,10 @@ pub fn intersect_nfa(a: &Nfa, b: &Nfa) -> Nfa {
         }
     }
     while let Some((qa, qb)) = queue.pop_front() {
-        let from = map[&(qa, qb)];
+        let from = map[&pack(qa, qb)];
         for &(la, ra) in a.transitions_from(qa) {
-            for &(lb, rb) in b.transitions_from(qb) {
-                if la != lb {
-                    continue;
-                }
-                let to = *map.entry((ra, rb)).or_insert_with(|| {
+            for &rb in b_csr.successors(la, qb) {
+                let to = *map.entry(pack(ra, rb)).or_insert_with(|| {
                     let s = out.add_state();
                     if a.is_final_state(ra) && b.is_final_state(rb) {
                         out.set_final(s);
@@ -95,26 +179,123 @@ pub fn intersect_nfa(a: &Nfa, b: &Nfa) -> Nfa {
     out
 }
 
+/// Mixed-radix packing of a multi-DFA product state into a `u64` index.
+///
+/// Valid when `Π num_states` fits in a `u64`; the BFS in
+/// [`dfa_intersection_witness`] then never hashes a `Vec` — keys are single
+/// integers and decoding is a div/mod chain.
+struct TuplePacker {
+    radices: Vec<u64>,
+}
+
+impl TuplePacker {
+    /// Returns `None` when the product index space overflows `u64`.
+    fn new(dfas: &[&Dfa]) -> Option<TuplePacker> {
+        let mut product: u128 = 1;
+        let radices: Vec<u64> = dfas.iter().map(|d| d.num_states() as u64).collect();
+        for &r in &radices {
+            product = product.checked_mul(u128::from(r))?;
+            if product > u128::from(u64::MAX) {
+                return None;
+            }
+        }
+        Some(TuplePacker { radices })
+    }
+
+    #[inline]
+    fn encode(&self, tuple: &[u32]) -> u64 {
+        let mut code = 0u64;
+        for (&q, &r) in tuple.iter().zip(&self.radices) {
+            code = code * r + u64::from(q);
+        }
+        code
+    }
+
+    fn decode_into(&self, mut code: u64, out: &mut [u32]) {
+        for i in (0..self.radices.len()).rev() {
+            out[i] = (code % self.radices[i]) as u32;
+            code /= self.radices[i];
+        }
+    }
+}
+
 /// Decides emptiness of `⋂ L(d_i)` by an on-the-fly product BFS; returns a
 /// shortest witness word when the intersection is non-empty.
 ///
 /// This is the *intersection emptiness problem for DFAs* used in the
-/// reductions of Theorem 18 and Lemma 27 (there it is the hard direction; the
-/// product construction here is exponential in the number of automata, which
-/// is exactly what the reductions exploit).
+/// reductions of Theorem 18 and Lemma 27 (there it is the hard direction;
+/// the product construction here is exponential in the number of automata,
+/// which is exactly what the reductions exploit). Product states are packed
+/// into `u64` indices (mixed radix over the per-DFA state counts) so the
+/// frontier maps hash integers, not vectors; the unpackable case (product
+/// space beyond `u64`) falls back to tuple keys and would exhaust memory
+/// long before the packing matters.
 pub fn dfa_intersection_witness(dfas: &[&Dfa]) -> Option<Vec<Letter>> {
     assert!(!dfas.is_empty(), "need at least one DFA");
     let sigma = dfas[0].alphabet_size();
     for d in dfas {
         assert_eq!(d.alphabet_size(), sigma, "alphabet mismatch");
     }
-    let start: Vec<u32> = dfas.iter().map(|d| d.initial_state()).collect();
-    let accepting =
-        |v: &[u32]| v.iter().zip(dfas).all(|(&q, d)| d.is_final_state(q));
-    let mut seen: HashMap<Vec<u32>, Option<(Vec<u32>, Letter)>> = HashMap::new();
-    seen.insert(start.clone(), None);
+    let Some(packer) = TuplePacker::new(dfas) else {
+        return dfa_intersection_witness_wide(dfas, sigma);
+    };
+    let k = dfas.len();
+    let accepting = |v: &[u32]| v.iter().zip(dfas).all(|(&q, d)| d.is_final_state(q));
+
+    let start_tuple: Vec<u32> = dfas.iter().map(|d| d.initial_state()).collect();
+    let start = packer.encode(&start_tuple);
+    // parent[s] = (predecessor, letter); the start node carries itself.
+    let mut parent: FxHashMap<u64, (u64, Letter)> = FxHashMap::default();
+    parent.insert(start, (start, 0));
+    let mut queue = VecDeque::from([start]);
+    let mut hit: Option<u64> = None;
+    if accepting(&start_tuple) {
+        hit = Some(start);
+    }
+    let mut cur_tuple = vec![0u32; k];
+    let mut next_tuple = vec![0u32; k];
+    while hit.is_none() {
+        let Some(cur) = queue.pop_front() else { break };
+        packer.decode_into(cur, &mut cur_tuple);
+        'letters: for l in 0..sigma as u32 {
+            for (i, (&q, d)) in cur_tuple.iter().zip(dfas).enumerate() {
+                match d.step(q, l) {
+                    Some(r) => next_tuple[i] = r,
+                    None => continue 'letters,
+                }
+            }
+            let next = packer.encode(&next_tuple);
+            if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
+                e.insert((cur, l));
+                if accepting(&next_tuple) {
+                    hit = Some(next);
+                    break;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut cur = hit?;
+    let mut word = Vec::new();
+    while cur != start {
+        let &(prev, l) = parent.get(&cur).expect("visited");
+        word.push(l);
+        cur = prev;
+    }
+    word.reverse();
+    Some(word)
+}
+
+/// Fallback BFS for product spaces too large to index in a `u64` (only
+/// reachable with dozens of large DFAs; kept for completeness).
+fn dfa_intersection_witness_wide(dfas: &[&Dfa], sigma: usize) -> Option<Vec<Letter>> {
+    type Key = Box<[u32]>;
+    let accepting = |v: &[u32]| v.iter().zip(dfas).all(|(&q, d)| d.is_final_state(q));
+    let start: Key = dfas.iter().map(|d| d.initial_state()).collect();
+    let mut parent: FxHashMap<Key, Option<(Key, Letter)>> = FxHashMap::default();
+    parent.insert(start.clone(), None);
     let mut queue = VecDeque::from([start.clone()]);
-    let mut hit: Option<Vec<u32>> = None;
+    let mut hit: Option<Key> = None;
     if accepting(&start) {
         hit = Some(start);
     }
@@ -128,8 +309,9 @@ pub fn dfa_intersection_witness(dfas: &[&Dfa]) -> Option<Vec<Letter>> {
                     None => continue 'letters,
                 }
             }
-            if !seen.contains_key(&next) {
-                seen.insert(next.clone(), Some((cur.clone(), l)));
+            let next: Key = next.into();
+            if !parent.contains_key(&next) {
+                parent.insert(next.clone(), Some((cur.clone(), l)));
                 if accepting(&next) {
                     hit = Some(next);
                     break;
@@ -140,7 +322,7 @@ pub fn dfa_intersection_witness(dfas: &[&Dfa]) -> Option<Vec<Letter>> {
     }
     let mut cur = hit?;
     let mut word = Vec::new();
-    while let Some(Some((prev, l))) = seen.get(&cur) {
+    while let Some(Some((prev, l))) = parent.get(&cur) {
         word.push(*l);
         cur = prev.clone();
     }
@@ -157,40 +339,45 @@ pub fn dfa_intersection_is_empty(dfas: &[&Dfa]) -> bool {
 /// counterexample word otherwise.
 pub fn nfa_subset_of_dfa(a: &Nfa, b: &Dfa) -> Result<(), Vec<Letter>> {
     // Product of `a` with the complement of `b`: BFS for an accepting pair.
+    // Pairs are packed into `u64` keys.
     let bc = b.complement();
-    let mut seen: HashMap<(u32, u32), Option<((u32, u32), Letter)>> = HashMap::new();
+    let mut parent: FxHashMap<u64, Option<(u64, Letter)>> = FxHashMap::default();
     let mut queue = VecDeque::new();
     let mut hit = None;
     for &qa in a.initial_states() {
-        let key = (qa, bc.initial_state());
-        if seen.insert(key, None).is_none() {
+        let key = pack(qa, bc.initial_state());
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(key) {
+            e.insert(None);
             if a.is_final_state(qa) && bc.is_final_state(bc.initial_state()) {
                 hit = Some(key);
             }
-            queue.push_back(key);
+            queue.push_back((qa, bc.initial_state()));
         }
     }
     while hit.is_none() {
-        let Some((qa, qb)) = queue.pop_front() else { break };
+        let Some((qa, qb)) = queue.pop_front() else {
+            break;
+        };
+        let from = pack(qa, qb);
         for &(l, ra) in a.transitions_from(qa) {
             let rb = bc.step(qb, l).expect("complement is complete");
-            let key = (ra, rb);
-            if seen.contains_key(&key) {
+            let key = pack(ra, rb);
+            if parent.contains_key(&key) {
                 continue;
             }
-            seen.insert(key, Some(((qa, qb), l)));
+            parent.insert(key, Some((from, l)));
             if a.is_final_state(ra) && bc.is_final_state(rb) {
                 hit = Some(key);
                 break;
             }
-            queue.push_back(key);
+            queue.push_back((ra, rb));
         }
     }
     match hit {
         None => Ok(()),
         Some(mut cur) => {
             let mut word = Vec::new();
-            while let Some(Some((prev, l))) = seen.get(&cur) {
+            while let Some(Some((prev, l))) = parent.get(&cur) {
                 word.push(*l);
                 cur = *prev;
             }
@@ -250,6 +437,24 @@ mod tests {
     }
 
     #[test]
+    fn determinize_many_initial_states() {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.set_initial(q0);
+        n.set_initial(q1);
+        n.add_transition(q0, 0, q2);
+        n.add_transition(q1, 1, q2);
+        n.set_final(q2);
+        let d = determinize(&n);
+        assert!(d.accepts(&[0]));
+        assert!(d.accepts(&[1]));
+        assert!(!d.accepts(&[]));
+        assert!(!d.accepts(&[0, 0]));
+    }
+
+    #[test]
     fn intersect_nfa_works() {
         let a = ab_star_nfa(); // (ab)*
         let b = Nfa::single_word(2, &[0, 1]);
@@ -278,6 +483,27 @@ mod tests {
         // Add a third DFA accepting only ε: intersection becomes empty.
         let d3 = Dfa::epsilon_only(2);
         assert!(dfa_intersection_is_empty(&[&d1, &d2, &d3]));
+    }
+
+    #[test]
+    fn wide_fallback_agrees_with_packed_path() {
+        // Force the fallback by an artificial radix overflow: 33 copies of a
+        // 4-state DFA (4^33 > 2^64).
+        let mut d = Dfa::new(2); // words of length ≡ 3 (mod 3)... a 4-state cycle
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        let q3 = d.add_state();
+        d.set_transition(0, 0, q1);
+        d.set_transition(q1, 0, q2);
+        d.set_transition(q2, 0, q3);
+        d.set_transition(q3, 0, 0);
+        d.set_final(q3);
+        let refs: Vec<&Dfa> = std::iter::repeat_n(&d, 33).collect();
+        assert!(TuplePacker::new(&refs).is_none(), "should overflow");
+        let w = dfa_intersection_witness(&refs).expect("aaa works for all");
+        assert_eq!(w, vec![0, 0, 0]);
+        let packed_w = dfa_intersection_witness(&[&d]).expect("single");
+        assert_eq!(packed_w, w);
     }
 
     #[test]

@@ -249,7 +249,12 @@ impl GlushkovInfo {
                     last.extend(info.last);
                     merge_follow(&mut follow, info.follow, positions.len());
                 }
-                GlushkovInfo { nullable, first, last, follow }
+                GlushkovInfo {
+                    nullable,
+                    first,
+                    last,
+                    follow,
+                }
             }
             Regex::Star(r) | Regex::Plus(r) => {
                 let mut info = GlushkovInfo::build(r, positions);
@@ -311,7 +316,12 @@ fn concat_info(a: GlushkovInfo, b: GlushkovInfo, n: usize) -> GlushkovInfo {
     if b.nullable {
         last.extend(a.last.iter().copied());
     }
-    GlushkovInfo { nullable: a.nullable && b.nullable, first, last, follow }
+    GlushkovInfo {
+        nullable: a.nullable && b.nullable,
+        first,
+        last,
+        follow,
+    }
 }
 
 /// Error produced by [`Regex::parse`].
@@ -325,7 +335,11 @@ pub struct RegexParseError {
 
 impl fmt::Display for RegexParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -339,11 +353,18 @@ struct Parser<'a, 'b> {
 
 impl<'a, 'b> Parser<'a, 'b> {
     fn new(input: &'a str, alphabet: &'b mut Alphabet) -> Self {
-        Parser { input, pos: 0, alphabet }
+        Parser {
+            input,
+            pos: 0,
+            alphabet,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> RegexParseError {
-        RegexParseError { message: message.into(), offset: self.pos }
+        RegexParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn rest(&self) -> &str {
@@ -448,7 +469,7 @@ impl<'a, 'b> Parser<'a, 'b> {
             }
             Some(c) if is_ident_char(c) => {
                 let start = self.pos;
-                while self.peek().map_or(false, is_ident_char) {
+                while self.peek().is_some_and(is_ident_char) {
                     self.pos += self.peek().expect("peeked").len_utf8();
                 }
                 let name = &self.input[start..self.pos];
@@ -483,14 +504,20 @@ mod tests {
     #[test]
     fn parse_and_match_paper_dtd_rules() {
         // book → title author+ chapter+
-        assert!(accepts("title author+ chapter+", &["title", "author", "chapter"]));
+        assert!(accepts(
+            "title author+ chapter+",
+            &["title", "author", "chapter"]
+        ));
         assert!(accepts(
             "title author+ chapter+",
             &["title", "author", "author", "chapter", "chapter"]
         ));
         assert!(!accepts("title author+ chapter+", &["title", "chapter"]));
         // section → title paragraph+ section*
-        assert!(accepts("title paragraph+ section*", &["title", "paragraph"]));
+        assert!(accepts(
+            "title paragraph+ section*",
+            &["title", "paragraph"]
+        ));
         assert!(accepts(
             "title paragraph+ section*",
             &["title", "paragraph", "section", "section"]
@@ -502,7 +529,10 @@ mod tests {
         // book → title, (chapter, title*)*, chapter*
         let re = "title, (chapter, title*)*, chapter*";
         assert!(accepts(re, &["title"]));
-        assert!(accepts(re, &["title", "chapter", "title", "title", "chapter"]));
+        assert!(accepts(
+            re,
+            &["title", "chapter", "title", "title", "chapter"]
+        ));
         assert!(!accepts(re, &["chapter"]));
         // chapter → title, intro | eps
         let re2 = "title, intro | eps";

@@ -66,7 +66,9 @@ impl RePlus {
                 return Err(format!("dangling `+` in `{input}`"));
             }
             if name.contains(['*', '?', '|', '(', ')']) {
-                return Err(format!("`{tok}` is not an RE+ factor (only `a` and `a+` allowed)"));
+                return Err(format!(
+                    "`{tok}` is not an RE+ factor (only `a` and `a+` allowed)"
+                ));
             }
             if name == "eps" || name == "ε" {
                 if plus {
@@ -74,7 +76,10 @@ impl RePlus {
                 }
                 continue;
             }
-            factors.push(Factor { sym: alphabet.intern(name).0, plus });
+            factors.push(Factor {
+                sym: alphabet.intern(name).0,
+                plus,
+            });
         }
         Ok(RePlus { factors })
     }
@@ -108,7 +113,11 @@ impl RePlus {
                     last.count += 1;
                     last.open |= f.plus;
                 }
-                _ => out.push(NormFactor { sym: f.sym, count: 1, open: f.plus }),
+                _ => out.push(NormFactor {
+                    sym: f.sym,
+                    count: 1,
+                    open: f.plus,
+                }),
             }
         }
         out
@@ -118,7 +127,7 @@ impl RePlus {
     pub fn min_string(&self) -> Vec<Letter> {
         let mut out = Vec::new();
         for nf in self.normalize() {
-            out.extend(std::iter::repeat(nf.sym).take(nf.count as usize));
+            out.extend(std::iter::repeat_n(nf.sym, nf.count as usize));
         }
         out
     }
@@ -129,7 +138,7 @@ impl RePlus {
         let mut out = Vec::new();
         for nf in self.normalize() {
             let reps = nf.count as usize + usize::from(nf.open);
-            out.extend(std::iter::repeat(nf.sym).take(reps));
+            out.extend(std::iter::repeat_n(nf.sym, reps));
         }
         out
     }

@@ -45,7 +45,7 @@ pub fn first_primes(n: usize) -> Vec<u32> {
     let mut primes = Vec::with_capacity(n);
     let mut cand = 2u32;
     while primes.len() < n {
-        if primes.iter().all(|&p| cand % p != 0) {
+        if primes.iter().all(|&p| !cand.is_multiple_of(p)) {
             primes.push(cand);
         }
         cand += 1;
@@ -63,11 +63,7 @@ pub fn unary_intersection_witness(dfas: &[&Dfa], cap: u64) -> Option<u64> {
     let mut states: Vec<u32> = dfas.iter().map(|d| d.initial_state()).collect();
     let mut len = 0u64;
     loop {
-        if states
-            .iter()
-            .zip(dfas)
-            .all(|(&q, d)| d.is_final_state(q))
-        {
+        if states.iter().zip(dfas).all(|(&q, d)| d.is_final_state(q)) {
             return Some(len);
         }
         if len >= cap {

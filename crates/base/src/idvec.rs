@@ -43,12 +43,18 @@ impl DenseId for u32 {
 impl<I: DenseId, T> IdVec<I, T> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        Self { items: Vec::new(), _marker: PhantomData }
+        Self {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a vector with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { items: Vec::with_capacity(cap), _marker: PhantomData }
+        Self {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Appends an item and returns its id.
@@ -70,7 +76,10 @@ impl<I: DenseId, T> IdVec<I, T> {
 
     /// Iterates over `(id, &item)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
-        self.items.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates over all ids.
@@ -97,7 +106,10 @@ impl<I: DenseId, T> Default for IdVec<I, T> {
 
 impl<I: DenseId, T: Clone> Clone for IdVec<I, T> {
     fn clone(&self) -> Self {
-        Self { items: self.items.clone(), _marker: PhantomData }
+        Self {
+            items: self.items.clone(),
+            _marker: PhantomData,
+        }
     }
 }
 

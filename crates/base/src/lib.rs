@@ -5,8 +5,18 @@
 //! compact we intern element names once into an [`Alphabet`] and refer to
 //! them by a dense [`Symbol`] id afterwards.
 
+//!
+//! Two further primitives back the automata kernel introduced for the
+//! performance work: [`bitset::BitSet`] (dense `u64`-block state sets) and
+//! [`fxhash`] (an Fx-style hasher with [`FxHashMap`]/[`FxHashSet`] aliases
+//! replacing SipHash on every hot map).
+
 pub mod alphabet;
+pub mod bitset;
+pub mod fxhash;
 pub mod idvec;
 
 pub use alphabet::{Alphabet, Symbol};
+pub use bitset::BitSet;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use idvec::IdVec;

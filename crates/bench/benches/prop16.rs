@@ -12,7 +12,11 @@ fn chain_transducer(n: usize) -> xmlta_transducer::Transducer {
     let mut b = TransducerBuilder::new(&mut a).states(&refs);
     b = b.rule("q0", "x", "r(q1)");
     for i in 1..n.saturating_sub(1) {
-        b = b.rule(&names[i], "x", &format!("{} x {}", names[i + 1], names[i + 1]));
+        b = b.rule(
+            &names[i],
+            "x",
+            &format!("{} x {}", names[i + 1], names[i + 1]),
+        );
     }
     b.build().expect("chain transducer")
 }

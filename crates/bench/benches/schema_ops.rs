@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use xmlta_base::Alphabet;
 use xmlta_hardness::path_systems;
 use xmlta_schema::convert::dtd_to_nta;
 use xmlta_schema::{emptiness, finiteness, generate};
-use xmlta_base::Alphabet;
 
 fn bench_emptiness(c: &mut Criterion) {
     let mut group = c.benchmark_group("prop4/emptiness");
@@ -16,7 +16,10 @@ fn bench_emptiness(c: &mut Criterion) {
         let mut a = Alphabet::new();
         let dtd = generate::random_layered_dtd(
             &mut rng,
-            generate::LayeredDtdParams { layers, ..Default::default() },
+            generate::LayeredDtdParams {
+                layers,
+                ..Default::default()
+            },
             &mut a,
         );
         let nta = dtd_to_nta(&dtd);
@@ -34,7 +37,10 @@ fn bench_finiteness(c: &mut Criterion) {
         let mut a = Alphabet::new();
         let dtd = generate::random_layered_dtd(
             &mut rng,
-            generate::LayeredDtdParams { layers, ..Default::default() },
+            generate::LayeredDtdParams {
+                layers,
+                ..Default::default()
+            },
             &mut a,
         );
         let nta = dtd_to_nta(&dtd);
@@ -54,7 +60,10 @@ fn bench_witness(c: &mut Criterion) {
         let mut a = Alphabet::new();
         let dtd = generate::random_layered_dtd(
             &mut rng,
-            generate::LayeredDtdParams { layers, ..Default::default() },
+            generate::LayeredDtdParams {
+                layers,
+                ..Default::default()
+            },
             &mut a,
         );
         let nta = dtd_to_nta(&dtd);
@@ -80,5 +89,11 @@ fn bench_path_systems(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(prop4, bench_emptiness, bench_finiteness, bench_witness, bench_path_systems);
+criterion_group!(
+    prop4,
+    bench_emptiness,
+    bench_finiteness,
+    bench_witness,
+    bench_path_systems
+);
 criterion_main!(prop4);

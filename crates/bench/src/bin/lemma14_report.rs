@@ -1,0 +1,207 @@
+//! Emits `BENCH_lemma14.json`: wall-clock timings of the Lemma 14 engine
+//! over the scaling families of `lemma14_scaling` plus the schema-ops
+//! determinize/minimize kernels, so the perf trajectory is tracked PR over
+//! PR.
+//!
+//! Usage: `cargo run --release -p xmlta-bench --bin lemma14_report -- [label]`
+//!
+//! The report is written to `BENCH_lemma14.json` in the current directory.
+//! If the file already exists, the new run is *appended* to its `runs`
+//! array, so a before/after pair can live in one file:
+//!
+//! ```text
+//! cargo run --release -p xmlta-bench --bin lemma14_report -- seed-baseline
+//! # ... land the optimization ...
+//! cargo run --release -p xmlta-bench --bin lemma14_report -- bitset-kernel
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use typecheck_core::typecheck;
+use xmlta_automata::generate::{random_dfa, random_nfa};
+use xmlta_automata::minimize::minimize;
+use xmlta_automata::ops::determinize;
+use xmlta_hardness::workloads::{self, Workload};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One measured series point.
+struct Point {
+    param: usize,
+    millis: f64,
+}
+
+/// Median-of-`reps` wall-clock time of `f`, in milliseconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn typecheck_series(name: &str, reps: usize, points: &[(usize, Workload)]) -> (String, Vec<Point>) {
+    let measured = points
+        .iter()
+        .map(|(param, w)| {
+            let millis = time_median(reps, || {
+                let outcome = typecheck(&w.instance).expect("engine runs");
+                assert_eq!(outcome.type_checks(), w.expect_typechecks, "{}", w.name);
+            });
+            println!("  {name:<28} {param:>4}: {millis:>9.3} ms");
+            Point {
+                param: *param,
+                millis,
+            }
+        })
+        .collect();
+    (name.to_string(), measured)
+}
+
+fn main() {
+    // The label lands inside the machine-scanned JSON: restrict it to
+    // characters that can't break string quoting or the brace scan.
+    let label: String = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unlabeled".to_string())
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || "._-+".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    println!("== lemma14 perf report ({label}) ==");
+
+    // The four lemma14_scaling sweeps.
+    let mut series: Vec<(String, Vec<Point>)> = vec![
+        typecheck_series(
+            "lemma14/din-size",
+            5,
+            &[2usize, 4, 8, 16, 32].map(|d| (d, workloads::filtering_family(d))),
+        ),
+        typecheck_series(
+            "lemma14/copying-width",
+            5,
+            &[1usize, 2, 4, 8].map(|c| (c, workloads::copying_family(c))),
+        ),
+        typecheck_series(
+            "lemma14/deletion-path-width",
+            5,
+            &[1usize, 2, 3, 4].map(|k| (k, workloads::deletion_family(k))),
+        ),
+        typecheck_series(
+            "lemma14/dout-size",
+            5,
+            &[2usize, 4, 8, 16].map(|w| (w, workloads::regex_schema_family(w))),
+        ),
+    ];
+
+    // Automata-kernel series: determinize + minimize on random machines.
+    {
+        let mut points = Vec::new();
+        for n in [8usize, 12, 16, 20] {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let nfas: Vec<_> = (0..8).map(|_| random_nfa(&mut rng, n, 4, 4 * n)).collect();
+            let millis = time_median(5, || {
+                for nfa in &nfas {
+                    std::hint::black_box(determinize(nfa));
+                }
+            });
+            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "kernel/determinize");
+            points.push(Point { param: n, millis });
+        }
+        series.push(("kernel/determinize".to_string(), points));
+    }
+    {
+        let mut points = Vec::new();
+        for n in [64usize, 128, 256, 512] {
+            let mut rng = SmallRng::seed_from_u64(13);
+            let dfas: Vec<_> = (0..4).map(|_| random_dfa(&mut rng, n, 4, 0.9)).collect();
+            let millis = time_median(5, || {
+                for dfa in &dfas {
+                    std::hint::black_box(minimize(dfa));
+                }
+            });
+            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "kernel/minimize");
+            points.push(Point { param: n, millis });
+        }
+        series.push(("kernel/minimize".to_string(), points));
+    }
+
+    // Serialize this run.
+    let mut run = String::new();
+    let _ = write!(
+        run,
+        "    {{\n      \"label\": \"{label}\",\n      \"series\": {{\n"
+    );
+    for (i, (name, points)) in series.iter().enumerate() {
+        let body: Vec<String> = points
+            .iter()
+            .map(|p| format!("{{\"param\": {}, \"ms\": {:.3}}}", p.param, p.millis))
+            .collect();
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let _ = writeln!(run, "        \"{name}\": [{}]{comma}", body.join(", "));
+    }
+    let _ = write!(run, "      }}\n    }}");
+
+    // Merge with an existing report if present.
+    let path = "BENCH_lemma14.json";
+    let existing: Vec<String> = match std::fs::read_to_string(path) {
+        Ok(s) => extract_runs(&s),
+        Err(_) => Vec::new(),
+    };
+    let mut runs = existing;
+    runs.push(run);
+    let json = format!(
+        "{{\n  \"benchmark\": \"lemma14\",\n  \"unit\": \"ms\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    std::fs::write(path, json).expect("write BENCH_lemma14.json");
+    println!("wrote {path} ({} run(s))", runs.len());
+}
+
+/// Pulls the previously serialized run objects back out of the report.
+///
+/// The file is machine-written with exactly the layout produced above, so a
+/// structural scan (brace matching inside the `runs` array) is sufficient —
+/// no JSON parser dependency needed offline.
+fn extract_runs(s: &str) -> Vec<String> {
+    let Some(start) = s.find("\"runs\": [") else {
+        return Vec::new();
+    };
+    let tail = &s[start + "\"runs\": [".len()..];
+    let mut runs = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in tail.chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' => {
+                depth -= 1;
+                cur.push(ch);
+                if depth == 0 {
+                    runs.push(format!("    {}", cur.trim()));
+                    cur.clear();
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {
+                if depth > 0 {
+                    cur.push(ch);
+                }
+            }
+        }
+    }
+    runs
+}

@@ -17,9 +17,14 @@ fn time_workload(w: &workloads::Workload) -> f64 {
 }
 
 fn print_series(label: &str, paper: &str, points: Vec<(usize, f64)>) {
-    let series: Vec<String> =
-        points.iter().map(|(s, ms)| format!("{s}:{ms:.2}ms")).collect();
-    println!("{label:<34} paper: {paper:<16} measured: {}", series.join("  "));
+    let series: Vec<String> = points
+        .iter()
+        .map(|(s, ms)| format!("{s}:{ms:.2}ms"))
+        .collect();
+    println!(
+        "{label:<34} paper: {paper:<16} measured: {}",
+        series.join("  ")
+    );
 }
 
 fn main() {

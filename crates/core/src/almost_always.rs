@@ -25,12 +25,12 @@
 use crate::behavior::BehaviorId;
 use crate::lemma14::{Lemma14Engine, ProfileId};
 use crate::TypecheckError;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use xmlta_automata::Nfa;
 use xmlta_base::Symbol;
+use xmlta_schema::Dtd;
 use xmlta_transducer::rhs::StateId;
 use xmlta_transducer::Transducer;
-use xmlta_schema::Dtd;
 
 /// The three-valued answer of Corollary 39.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +84,11 @@ impl Analysis {
         {
             let inf = symbol_language_infinite(engine)[engine.din_start];
             return Ok(Analysis {
-                verdict: if inf { AlmostAlways::InfinitelyMany } else { AlmostAlways::FinitelyMany },
+                verdict: if inf {
+                    AlmostAlways::InfinitelyMany
+                } else {
+                    AlmostAlways::FinitelyMany
+                },
             });
         }
 
@@ -95,29 +99,41 @@ impl Analysis {
         let mut used_profiles: HashSet<(usize, ProfileId)> = HashSet::new();
         let pairs: Vec<(StateId, usize)> = engine.reachable.keys().copied().collect();
         for (q, a) in pairs {
-            let Some(report) = violating_walk_report(engine, q, a)? else { continue };
+            let Some(report) = violating_walk_report(engine, q, a)? else {
+                continue;
+            };
             violating_pairs.push((q, a));
             any_walk_cycle |= report.has_cycle;
             used_profiles.extend(report.profiles);
         }
         if violating_pairs.is_empty() {
-            return Ok(Analysis { verdict: AlmostAlways::TypeChecks });
+            return Ok(Analysis {
+                verdict: AlmostAlways::TypeChecks,
+            });
         }
         if any_walk_cycle {
-            return Ok(Analysis { verdict: AlmostAlways::InfinitelyMany });
+            return Ok(Analysis {
+                verdict: AlmostAlways::InfinitelyMany,
+            });
         }
 
         // (3) profile pumpability.
         let pump = pumpable_profiles(engine)?;
         if used_profiles.iter().any(|k| pump.contains(k)) {
-            return Ok(Analysis { verdict: AlmostAlways::InfinitelyMany });
+            return Ok(Analysis {
+                verdict: AlmostAlways::InfinitelyMany,
+            });
         }
 
         // (1) context pumpability over the relevant reachability subgraph.
         if context_pumpable(engine, &violating_pairs) {
-            return Ok(Analysis { verdict: AlmostAlways::InfinitelyMany });
+            return Ok(Analysis {
+                verdict: AlmostAlways::InfinitelyMany,
+            });
         }
-        Ok(Analysis { verdict: AlmostAlways::FinitelyMany })
+        Ok(Analysis {
+            verdict: AlmostAlways::FinitelyMany,
+        })
     }
 }
 
@@ -136,7 +152,7 @@ fn symbol_language_infinite(engine: &Lemma14Engine) -> Vec<bool> {
         let productive = engine.productive.clone();
         wide[a] = nfa.restricted_language_is_infinite(|l| productive[l as usize]);
         for b in 0..sigma {
-            if engine.productive[b] && engine.word_with_child(a, b).is_some() {
+            if engine.productive[b] && engine.child_letters[a].contains(b as u32) {
                 adj[a].push(b);
             }
         }
@@ -253,8 +269,8 @@ fn violating_walk_report(
     // Backward closure from violating nodes.
     let n = report.num_nodes;
     let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for &(from, to, _, _) in &report.edges {
-        rev[to].push(from);
+    for &(from, to, _, _) in report.edges.iter() {
+        rev[to as usize].push(from as usize);
     }
     let mut relevant = vec![false; n];
     let mut stack: Vec<usize> = report.violating.clone();
@@ -272,16 +288,19 @@ fn violating_walk_report(
     // Cycle within the relevant subgraph?
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut profiles = Vec::new();
-    for &(from, to, c, pid) in &report.edges {
-        if relevant[from] && relevant[to] {
-            adj[from].push(to);
+    for &(from, to, c, pid) in report.edges.iter() {
+        if relevant[from as usize] && relevant[to as usize] {
+            adj[from as usize].push(to as usize);
             profiles.push((c, pid));
         }
     }
     profiles.sort_unstable();
     profiles.dedup();
     let has_cycle = subgraph_has_cycle(&adj, &relevant);
-    Ok(Some(WalkReport { has_cycle, profiles }))
+    Ok(Some(WalkReport {
+        has_cycle,
+        profiles,
+    }))
 }
 
 /// Profiles realized by infinitely many trees.
@@ -300,8 +319,8 @@ fn pumpable_profiles(
             // Backward closure from the accepting nodes assembling pid.
             let n = graph.num_nodes;
             let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-            for &(from, to, _, _) in &graph.edges {
-                rev[to].push(from);
+            for &(from, to, _, _) in graph.edges.iter() {
+                rev[to as usize].push(from as usize);
             }
             let mut relevant = vec![false; n];
             let mut stack = graph.violating.clone(); // here: assembling nodes
@@ -318,9 +337,9 @@ fn pumpable_profiles(
             }
             let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
             let mut ds = Vec::new();
-            for &(from, to, c, p2) in &graph.edges {
-                if relevant[from] && relevant[to] {
-                    adj[from].push(to);
+            for &(from, to, c, p2) in graph.edges.iter() {
+                if relevant[from as usize] && relevant[to as usize] {
+                    adj[from as usize].push(to as usize);
                     ds.push((c, p2));
                 }
             }
@@ -338,8 +357,12 @@ fn pumpable_profiles(
     let mut pumpable = direct;
     // Dependency cycles: Kahn over the dependency graph.
     {
-        let index: HashMap<(usize, ProfileId), usize> =
-            keys.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+        let index: HashMap<(usize, ProfileId), usize> = keys
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .collect();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
         for (k, ds) in &deps {
             for d in ds {
@@ -398,11 +421,17 @@ fn on_cycle_usize(adj: &[Vec<usize>], node: usize) -> bool {
 fn context_pumpable(engine: &Lemma14Engine, violating: &[(StateId, usize)]) -> bool {
     // Rebuild the reachability edge relation.
     let pairs: Vec<(StateId, usize)> = engine.reachable.keys().copied().collect();
-    let index: HashMap<(StateId, usize), usize> =
-        pairs.iter().copied().enumerate().map(|(i, k)| (k, i)).collect();
+    let index: HashMap<(StateId, usize), usize> = pairs
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); pairs.len()]; // (target, child symbol)
     for (i, &(q, a)) in pairs.iter().enumerate() {
-        let Some(rhs) = engine.t.rule(q, Symbol::from_index(a)) else { continue };
+        let Some(rhs) = engine.t.rule(q, Symbol::from_index(a)) else {
+            continue;
+        };
         for p in rhs.all_state_occurrences() {
             for b in 0..engine.sigma {
                 if let Some(&j) = index.get(&(p, b)) {
@@ -507,12 +536,7 @@ fn step_word_choices_unbounded(engine: &Lemma14Engine, a: usize, b: usize) -> bo
 
 /// Whether some `d_in(a)` word contains `b` and, at a *different* position,
 /// a symbol whose subtree language is infinite.
-fn step_has_infinite_sibling(
-    engine: &Lemma14Engine,
-    a: usize,
-    b: usize,
-    inf_sym: &[bool],
-) -> bool {
+fn step_has_infinite_sibling(engine: &Lemma14Engine, a: usize, b: usize, inf_sym: &[bool]) -> bool {
     let dfa = &engine.din_dfas[a];
     let n = dfa.num_states();
     // Four layers: (b seen?, infinite sibling seen?).
@@ -548,6 +572,109 @@ fn step_has_infinite_sibling(
         }
     }
     false
+}
+
+// Engine extensions used by this module live here to keep `lemma14.rs`
+// focused on the decision procedure.
+impl Lemma14Engine {
+    /// Rebuilds the violation walk for `(q, a)` with *all* edges, returning
+    /// `None` when the pair has no violating accepting node.
+    pub(crate) fn violation_walk_graph(
+        &mut self,
+        q: StateId,
+        a: usize,
+    ) -> Result<Option<WalkGraph>, TypecheckError> {
+        let checks = self.checks_for(q, a);
+        if checks.is_empty() {
+            return Ok(None);
+        }
+        let mut needed: Vec<StateId> = Vec::new();
+        for c in &checks {
+            for item in &c.1 {
+                if let crate::lemma14::TopItem::St(p) = item {
+                    if !needed.contains(p) {
+                        needed.push(*p);
+                    }
+                }
+            }
+        }
+        needed.sort_unstable();
+        let graph = self.explore_recording_edges(a, &needed)?;
+        let mut violating = Vec::new();
+        for &node in &graph.accepting {
+            let hvec = graph.hvec_of(node);
+            for (start, items) in &checks {
+                let mut x = *start;
+                for item in items {
+                    x = match item {
+                        crate::lemma14::TopItem::Beh(b) => self.behaviors.apply(*b, x),
+                        crate::lemma14::TopItem::St(p) => {
+                            let pos = needed.iter().position(|y| y == p).expect("tracked");
+                            self.behaviors.apply(hvec[pos], x)
+                        }
+                    };
+                    if x == crate::behavior::DEAD {
+                        break;
+                    }
+                }
+                if x == crate::behavior::DEAD || !self.out.is_final(x) {
+                    violating.push(node as usize);
+                    break;
+                }
+            }
+        }
+        if violating.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(WalkGraph {
+            num_nodes: graph.nodes.len(),
+            edges: std::rc::Rc::new(graph.edges),
+            violating,
+        }))
+    }
+
+    /// For each profile realizable at `a`, the full derivation walk graph
+    /// with its assembling (accepting) nodes.
+    pub(crate) fn profile_walk_graph(
+        &mut self,
+        a: usize,
+    ) -> Result<Vec<(ProfileId, WalkGraph)>, TypecheckError> {
+        let needed = self.top_states_public(a);
+        let mut graph = self.explore_recording_edges(a, &needed)?;
+        let edges = std::rc::Rc::new(std::mem::take(&mut graph.edges));
+        let mut per_profile: HashMap<ProfileId, Vec<usize>> = HashMap::new();
+        for &node in &graph.accepting {
+            let hvec: Box<[BehaviorId]> = graph.hvec_of(node).into();
+            let profile = self.assemble_profile_public(a, &needed, &hvec);
+            if let Some(pid) = self.lookup_profile(&profile) {
+                per_profile.entry(pid).or_default().push(node as usize);
+            }
+        }
+        Ok(per_profile
+            .into_iter()
+            .map(|(pid, violating)| {
+                (
+                    pid,
+                    WalkGraph {
+                        num_nodes: graph.nodes.len(),
+                        edges: edges.clone(),
+                        violating,
+                    },
+                )
+            })
+            .collect())
+    }
+}
+
+/// A fully materialized walk graph. The edge list is shared (`Rc`) so that
+/// the per-profile graphs of [`Lemma14Engine::profile_walk_graph`] don't
+/// duplicate O(edges) memory per profile.
+pub(crate) struct WalkGraph {
+    pub(crate) num_nodes: usize,
+    /// (from, to, child symbol, child profile).
+    pub(crate) edges: std::rc::Rc<Vec<(u32, u32, usize, ProfileId)>>,
+    /// Nodes of interest (violating / assembling).
+    pub(crate) violating: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -654,170 +781,9 @@ mod tests {
         // Finite input language, missing root rule: finitely many.
         assert_eq!(run(&din, &dout, &t, a.len()), AlmostAlways::FinitelyMany);
         let din_inf = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
-        assert_eq!(run(&din_inf, &dout, &t, a.len()), AlmostAlways::InfinitelyMany);
+        assert_eq!(
+            run(&din_inf, &dout, &t, a.len()),
+            AlmostAlways::InfinitelyMany
+        );
     }
-}
-
-// Engine extensions used by this module live here to keep `lemma14.rs`
-// focused on the decision procedure.
-impl Lemma14Engine {
-    /// Rebuilds the violation walk for `(q, a)` with *all* edges, returning
-    /// `None` when the pair has no violating accepting node.
-    pub(crate) fn violation_walk_graph(
-        &mut self,
-        q: StateId,
-        a: usize,
-    ) -> Result<Option<WalkGraph>, TypecheckError> {
-        let checks = self.checks_for(q, a);
-        if checks.is_empty() {
-            return Ok(None);
-        }
-        let mut needed: Vec<StateId> = Vec::new();
-        for c in &checks {
-            for item in &c.1 {
-                if let crate::lemma14::TopItem::St(p) = item {
-                    if !needed.contains(p) {
-                        needed.push(*p);
-                    }
-                }
-            }
-        }
-        needed.sort_unstable();
-        let graph = self.explore_graph(a, &needed)?;
-        let mut violating = Vec::new();
-        for &node in &graph.accepting {
-            let hvec = graph.hvecs[node].clone();
-            for (start, items) in &checks {
-                let mut x = *start;
-                for item in items {
-                    x = match item {
-                        crate::lemma14::TopItem::Beh(b) => self.behaviors.apply(*b, x),
-                        crate::lemma14::TopItem::St(p) => {
-                            let pos = needed.iter().position(|y| y == p).expect("tracked");
-                            self.behaviors.apply(hvec[pos], x)
-                        }
-                    };
-                    if x == crate::behavior::DEAD {
-                        break;
-                    }
-                }
-                if x == crate::behavior::DEAD || !self.out.is_final(x) {
-                    violating.push(node);
-                    break;
-                }
-            }
-        }
-        if violating.is_empty() {
-            return Ok(None);
-        }
-        Ok(Some(WalkGraph {
-            num_nodes: graph.hvecs.len(),
-            edges: graph.edges,
-            violating,
-        }))
-    }
-
-    /// For each profile realizable at `a`, the full derivation walk graph
-    /// with its assembling (accepting) nodes.
-    pub(crate) fn profile_walk_graph(
-        &mut self,
-        a: usize,
-    ) -> Result<Vec<(ProfileId, WalkGraph)>, TypecheckError> {
-        let needed = self.top_states_public(a);
-        let graph = self.explore_graph(a, &needed)?;
-        let mut per_profile: HashMap<ProfileId, Vec<usize>> = HashMap::new();
-        for &node in &graph.accepting {
-            let hvec = graph.hvecs[node].clone();
-            let profile = self.assemble_profile_public(a, &needed, &hvec);
-            if let Some(pid) = self.lookup_profile(&profile) {
-                per_profile.entry(pid).or_default().push(node);
-            }
-        }
-        Ok(per_profile
-            .into_iter()
-            .map(|(pid, violating)| {
-                (
-                    pid,
-                    WalkGraph {
-                        num_nodes: graph.hvecs.len(),
-                        edges: graph.edges.clone(),
-                        violating,
-                    },
-                )
-            })
-            .collect())
-    }
-
-    /// Full-graph exploration (records every edge, not just BFS parents).
-    fn explore_graph(
-        &mut self,
-        a: usize,
-        needed: &[StateId],
-    ) -> Result<GraphExplore, TypecheckError> {
-        let dfa = self.din_dfas[a].clone();
-        let ident = self.behaviors.identity();
-        let mut hvecs: Vec<Box<[BehaviorId]>> = Vec::new();
-        let mut dstates: Vec<u32> = Vec::new();
-        let mut index: HashMap<(u32, Box<[BehaviorId]>), usize> = HashMap::new();
-        let mut edges: Vec<(usize, usize, usize, ProfileId)> = Vec::new();
-        let mut accepting = Vec::new();
-
-        let start_h: Box<[BehaviorId]> = vec![ident; needed.len()].into_boxed_slice();
-        index.insert((dfa.initial_state(), start_h.clone()), 0);
-        hvecs.push(start_h);
-        dstates.push(dfa.initial_state());
-        let mut queue = VecDeque::from([0usize]);
-        while let Some(n) = queue.pop_front() {
-            let d = dstates[n];
-            let hvec = hvecs[n].clone();
-            if dfa.is_final_state(d) && !accepting.contains(&n) {
-                accepting.push(n);
-            }
-            for c in 0..self.sigma {
-                let Some(d2) = dfa.step(d, c as u32) else { continue };
-                let pids = self.s_sets[c].clone();
-                for pid in pids {
-                    let mut h2 = Vec::with_capacity(hvec.len());
-                    for (i, &p) in needed.iter().enumerate() {
-                        let f_p = self.profiles[pid as usize][p as usize];
-                        h2.push(self.behaviors.compose(hvec[i], f_p));
-                    }
-                    let key = (d2, h2.into_boxed_slice());
-                    let to = match index.get(&key) {
-                        Some(&id) => id,
-                        None => {
-                            if hvecs.len() >= 400_000 {
-                                return Err(TypecheckError::ResourceLimit(
-                                    "walk graph too large".into(),
-                                ));
-                            }
-                            let id = hvecs.len();
-                            hvecs.push(key.1.clone());
-                            dstates.push(key.0);
-                            index.insert(key, id);
-                            queue.push_back(id);
-                            id
-                        }
-                    };
-                    edges.push((n, to, c, pid));
-                }
-            }
-        }
-        Ok(GraphExplore { hvecs, edges, accepting })
-    }
-}
-
-/// A fully materialized walk graph.
-pub(crate) struct WalkGraph {
-    pub(crate) num_nodes: usize,
-    /// (from, to, child symbol, child profile).
-    pub(crate) edges: Vec<(usize, usize, usize, ProfileId)>,
-    /// Nodes of interest (violating / assembling).
-    pub(crate) violating: Vec<usize>,
-}
-
-struct GraphExplore {
-    hvecs: Vec<Box<[BehaviorId]>>,
-    edges: Vec<(usize, usize, usize, ProfileId)>,
-    accepting: Vec<usize>,
 }

@@ -8,9 +8,8 @@
 //! DFAs. A behavior is the set of all valid `(ℓ, r)` guesses, so the engine
 //! is a deterministic quotient of the paper's construction.
 
-use std::collections::HashMap;
 use xmlta_automata::Dfa;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_schema::{Dtd, StringLang};
 
 /// Sentinel for "the run died".
@@ -69,7 +68,14 @@ impl OutputAutomaton {
         let root_dfa = Dfa::single_word(sigma, &[dout.start().0]);
         let root_initial = push_dfa(&root_dfa, &mut trans, &mut is_final);
         let total = is_final.len();
-        OutputAutomaton { sigma, trans, is_final, initial, root_initial, total }
+        OutputAutomaton {
+            sigma,
+            trans,
+            is_final,
+            initial,
+            root_initial,
+            total,
+        }
     }
 
     /// Number of joint states.
@@ -106,12 +112,28 @@ impl OutputAutomaton {
 /// A behavior id (index into [`BehaviorTable`]).
 pub type BehaviorId = u32;
 
-/// Interner for behaviors (total functions `joint-state → joint-state ∪ {DEAD}`).
+/// Interner + composition arena for behaviors (total functions
+/// `joint-state → joint-state ∪ {DEAD}`).
+///
+/// Every distinct behavior vector is stored once and addressed by a dense
+/// [`BehaviorId`]; the table additionally memoizes *compositions* under
+/// their packed id pair, so the Lemma 14 fixpoint — which composes the same
+/// behaviors millions of times while exploring walks — pays one `u64` Fx
+/// lookup instead of an O(total) vector build per repeat composition.
+///
+/// A table is tied to the *single* [`OutputAutomaton`] whose joint-state
+/// count it was created with: `of_symbol`/`of_string` cache per symbol and
+/// would silently return stale behaviors if fed a different automaton (the
+/// `debug_assert` on the state count catches differently-sized mixups).
 #[derive(Debug)]
 pub struct BehaviorTable {
     total: usize,
     items: Vec<Box<[u32]>>,
-    ids: HashMap<Box<[u32]>, BehaviorId>,
+    ids: FxHashMap<Box<[u32]>, BehaviorId>,
+    /// Memoized compositions: packed `(a << 32) | b` → `a ; b`.
+    compose_memo: FxHashMap<u64, BehaviorId>,
+    /// Per-symbol behavior cache (lazy).
+    symbol_cache: Vec<Option<BehaviorId>>,
     identity: BehaviorId,
 }
 
@@ -121,7 +143,9 @@ impl BehaviorTable {
         let mut t = BehaviorTable {
             total,
             items: Vec::new(),
-            ids: HashMap::new(),
+            ids: FxHashMap::default(),
+            compose_memo: FxHashMap::default(),
+            symbol_cache: Vec::new(),
             identity: 0,
         };
         let id: Box<[u32]> = (0..total as u32).collect();
@@ -161,7 +185,7 @@ impl BehaviorTable {
         &self.items[id as usize]
     }
 
-    /// Left-to-right composition: `(a ; b)(x) = b(a(x))`.
+    /// Left-to-right composition: `(a ; b)(x) = b(a(x))`. Memoized.
     pub fn compose(&mut self, a: BehaviorId, b: BehaviorId) -> BehaviorId {
         if a == self.identity {
             return b;
@@ -169,19 +193,38 @@ impl BehaviorTable {
         if b == self.identity {
             return a;
         }
+        let key = (u64::from(a) << 32) | u64::from(b);
+        if let Some(&id) = self.compose_memo.get(&key) {
+            return id;
+        }
         let fa = &self.items[a as usize];
         let fb = &self.items[b as usize];
         let composed: Box<[u32]> = fa
             .iter()
             .map(|&x| if x == DEAD { DEAD } else { fb[x as usize] })
             .collect();
-        self.intern(composed)
+        let id = self.intern(composed);
+        self.compose_memo.insert(key, id);
+        id
     }
 
-    /// The behavior of a single output symbol.
+    /// The behavior of a single output symbol (cached per symbol).
     pub fn of_symbol(&mut self, out: &OutputAutomaton, c: Symbol) -> BehaviorId {
+        debug_assert_eq!(
+            out.total(),
+            self.total,
+            "BehaviorTable used with a different OutputAutomaton"
+        );
+        if self.symbol_cache.len() <= c.index() {
+            self.symbol_cache.resize(c.index() + 1, None);
+        }
+        if let Some(id) = self.symbol_cache[c.index()] {
+            return id;
+        }
         let b: Box<[u32]> = (0..self.total as u32).map(|x| out.step(x, c)).collect();
-        self.intern(b)
+        let id = self.intern(b);
+        self.symbol_cache[c.index()] = Some(id);
+        id
     }
 
     /// The behavior of a string of output symbols.

@@ -19,9 +19,8 @@
 //!    input counterexample through `B_in`'s accepting run.
 
 use crate::{CounterExample, Outcome, TypecheckError};
-use std::collections::HashMap;
 use xmlta_automata::Nfa;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_schema::emptiness::{self, reachable_states};
 use xmlta_schema::{dta, product, Nta};
 use xmlta_transducer::rhs::{Rhs, RhsNode, StateId};
@@ -38,7 +37,9 @@ pub fn typecheck_delrelab(
     t: &Transducer,
     alphabet_size: usize,
 ) -> Result<Outcome, TypecheckError> {
-    let sigma = alphabet_size.max(ain.alphabet_size()).max(aout.alphabet_size());
+    let sigma = alphabet_size
+        .max(ain.alphabet_size())
+        .max(aout.alphabet_size());
     if t.uses_selectors() {
         return Err(TypecheckError::Unsupported(
             "expand selectors before the Theorem 20 engine".into(),
@@ -98,7 +99,7 @@ pub fn typecheck_delrelab(
 /// The `T'` of the pipeline: per (state, symbol) a single-rooted rhs tree.
 struct Wrapped {
     /// rhs'(q, a) as a tree of rhs nodes; root is index 0 of `nodes`.
-    rules: HashMap<(StateId, usize), WrappedRhs>,
+    rules: FxHashMap<(StateId, usize), WrappedRhs>,
     num_states: usize,
     initial: StateId,
 }
@@ -117,7 +118,7 @@ enum WNode {
 }
 
 fn wrap_transducer(t: &Transducer, sigma: usize, hash: usize) -> Wrapped {
-    let mut rules = HashMap::new();
+    let mut rules = FxHashMap::default();
     for q in 0..t.num_states() as StateId {
         for a in 0..sigma {
             let rhs = t.rule(q, Symbol::from_index(a));
@@ -125,14 +126,20 @@ fn wrap_transducer(t: &Transducer, sigma: usize, hash: usize) -> Wrapped {
                 None => {
                     // Filler: #() — keeps T' total so every input child is
                     // observable in the image.
-                    WrappedRhs { nodes: vec![WNode::Elem(hash, vec![])] }
+                    WrappedRhs {
+                        nodes: vec![WNode::Elem(hash, vec![])],
+                    }
                 }
                 Some(r) => wrap_rhs(r, hash),
             };
             rules.insert((q, a), wrapped);
         }
     }
-    Wrapped { rules, num_states: t.num_states(), initial: t.initial_state() }
+    Wrapped {
+        rules,
+        num_states: t.num_states(),
+        initial: t.initial_state(),
+    }
 }
 
 fn wrap_rhs(rhs: &Rhs, hash: usize) -> WrappedRhs {
@@ -183,7 +190,7 @@ struct BinMeta {
     decode: Vec<(usize, u32, StateId, usize)>,
     /// (a, qA, qT, node) → state id (kept for debugging/decoding tools).
     #[allow(dead_code)]
-    encode: HashMap<(usize, u32, StateId, usize), u32>,
+    encode: FxHashMap<(usize, u32, StateId, usize), u32>,
     wrapped: Wrapped,
     realizable: Vec<bool>,
 }
@@ -196,7 +203,7 @@ fn forward_image(ain: &Nta, tp: &Wrapped, sigma: usize, sigma2: usize) -> (Nta, 
 
     // Enumerate states.
     let mut decode = Vec::new();
-    let mut encode = HashMap::new();
+    let mut encode = FxHashMap::default();
     for a in 0..sigma {
         for q_a in 0..na as u32 {
             for q_t in 0..tp.num_states as StateId {
@@ -238,8 +245,9 @@ fn forward_image(ain: &Nta, tp: &Wrapped, sigma: usize, sigma2: usize) -> (Nta, 
                         // existence of a realizable children word.
                         if u == 0 && !rhs.nodes.iter().any(|n| matches!(n, WNode::State(_))) {
                             let ok = match ain.transition(q_a, Symbol::from_index(a)) {
-                                Some(nfa) => nfa
-                                    .accepts_some_restricted(|l| realizable[l as usize]),
+                                Some(nfa) => {
+                                    nfa.accepts_some_restricted(|l| realizable[l as usize])
+                                }
                                 None => false,
                             };
                             if !ok {
@@ -314,7 +322,7 @@ fn hash_complement(aout: &Nta, sigma: usize, sigma2: usize) -> Nta {
 
     // Joint space J: states of all transition NFAs, plus the virtual root
     // component V' (4 states).
-    let mut offsets: HashMap<(u32, usize), u32> = HashMap::new(); // (q, b) → offset
+    let mut offsets: FxHashMap<(u32, usize), u32> = FxHashMap::default(); // (q, b) → offset
     let mut total = 0u32;
     for b in 0..sigma {
         for q in 0..na as u32 {
@@ -391,7 +399,9 @@ fn hash_complement(aout: &Nta, sigma: usize, sigma2: usize) -> Nta {
     for b in 0..sigma {
         let bsym = Symbol::from_index(b);
         for q in 0..na as u32 {
-            let Some(n) = aout.transition(q, bsym) else { continue };
+            let Some(n) = aout.transition(q, bsym) else {
+                continue;
+            };
             let offset = offsets[&(q, b)];
             let edges: Vec<(u32, u32, u32)> = n.transitions().collect();
             let initials: Vec<u32> = n.initial_states().to_vec();
@@ -405,13 +415,14 @@ fn hash_complement(aout: &Nta, sigma: usize, sigma2: usize) -> Nta {
     // Transition-NFA components:
     for b in 0..sigma {
         for q in 0..na as u32 {
-            let Some(n) = aout.transition(q, Symbol::from_index(b)) else { continue };
+            let Some(n) = aout.transition(q, Symbol::from_index(b)) else {
+                continue;
+            };
             let offset = offsets[&(q, b)];
             let edges: Vec<(u32, u32, u32)> = n.transitions().collect();
             for x in 0..n.num_states() as u32 {
                 for y in 0..n.num_states() as u32 {
-                    let nfa =
-                        build_component_nfa(&edges, n.num_states(), offset, &[x], &[y]);
+                    let nfa = build_component_nfa(&edges, n.num_states(), offset, &[x], &[y]);
                     bout.set_transition(pair(offset + x, offset + y), hash, nfa);
                 }
             }
@@ -440,14 +451,8 @@ fn hash_complement(aout: &Nta, sigma: usize, sigma2: usize) -> Nta {
 
 /// Decodes the product witness (an output tree over `Σ ∪ {#}`) back into an
 /// input tree using `B_in`'s accepting run.
-fn rebuild_input(
-    meta: &BinMeta,
-    ain: &Nta,
-    out_tree: &Tree,
-    run: &[u32],
-    index: usize,
-) -> Tree {
-    let (a, q_a, q_t, u) = meta.decode[run[index]as usize];
+fn rebuild_input(meta: &BinMeta, ain: &Nta, out_tree: &Tree, run: &[u32], index: usize) -> Tree {
+    let (a, q_a, q_t, u) = meta.decode[run[index] as usize];
     debug_assert_eq!(u, 0, "input nodes correspond to rhs roots");
     let rhs = &meta.wrapped.rules[&(q_t, a)].clone();
 
@@ -475,9 +480,8 @@ fn rebuild_input(
         }
         Some((parent_rhs_node, pos_in_children)) => {
             // Walk the output tree to the node for `parent_rhs_node`.
-            let (out_idx, out_node) =
-                locate_output_node(rhs, out_tree, index, 0, parent_rhs_node)
-                    .expect("rhs structure mirrors the output");
+            let (out_idx, out_node) = locate_output_node(rhs, out_tree, index, 0, parent_rhs_node)
+                .expect("rhs structure mirrors the output");
             // The D′-consumed children occupy positions pos.. in the output
             // node, spanning consumed = out_children - (structural - 1).
             let structural = match &rhs.nodes[parent_rhs_node] {

@@ -26,9 +26,9 @@
 
 use crate::behavior::{BehaviorId, BehaviorTable, OutputAutomaton, DEAD};
 use crate::{CounterExample, Outcome, TypecheckError};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use xmlta_automata::Dfa;
-use xmlta_base::Symbol;
+use xmlta_base::{BitSet, FxHashMap, Symbol};
 use xmlta_schema::{Dtd, StringLang};
 use xmlta_transducer::rhs::{RhsNode, StateId};
 use xmlta_transducer::Transducer;
@@ -69,8 +69,6 @@ pub type ProfileId = u32;
 pub struct Lemma14Engine {
     pub(crate) sigma: usize,
     pub(crate) din: Dtd,
-    #[allow(dead_code)]
-    pub(crate) dout: Dtd,
     pub(crate) din_dfas: Vec<Dfa>,
     pub(crate) din_start: usize,
     pub(crate) productive: Vec<bool>,
@@ -79,27 +77,37 @@ pub struct Lemma14Engine {
     pub(crate) t: Transducer,
     /// Profile id → per-transducer-state behavior ids.
     pub(crate) profiles: Vec<Box<[BehaviorId]>>,
-    profile_ids: HashMap<Box<[BehaviorId]>, ProfileId>,
-    /// Per symbol: realizable profiles.
+    profile_ids: FxHashMap<Box<[BehaviorId]>, ProfileId>,
+    /// Per symbol: realizable profiles, in discovery order.
     pub(crate) s_sets: Vec<Vec<ProfileId>>,
-    s_member: Vec<HashSet<ProfileId>>,
+    /// Per symbol: the same sets as bitsets (O(1) membership).
+    s_member: Vec<BitSet>,
     /// Witness derivation per (symbol, profile): the children sequence.
-    pub(crate) witness: HashMap<(usize, ProfileId), Vec<(usize, ProfileId)>>,
+    pub(crate) witness: FxHashMap<(usize, ProfileId), Vec<(usize, ProfileId)>>,
     /// `top(rhs(q, a))` items per rule.
-    tops: HashMap<(StateId, usize), Vec<TopItem>>,
+    tops: FxHashMap<(StateId, usize), Vec<TopItem>>,
     /// Checks per rule.
-    checks: HashMap<(StateId, usize), Vec<Check>>,
+    checks: FxHashMap<(StateId, usize), Vec<Check>>,
     /// Reachable (state, symbol) pairs with context provenance.
-    pub(crate) reachable: HashMap<(StateId, usize), Option<ReachStep>>,
+    pub(crate) reachable: FxHashMap<(StateId, usize), Option<ReachStep>>,
+    /// Per symbol `a`: the letters occurring in some word of `L(d_in(a))`
+    /// over productive symbols. Filled by [`Lemma14Engine::compute_reachable`];
+    /// one trimmed-DFA scan per symbol replaces the per-(a, b) witness BFS
+    /// the reachability loop used to run (the dominant cost on deep DTDs).
+    pub(crate) child_letters: Vec<BitSet>,
 }
 
-/// How a reachable pair was reached: from `parent`, via a children word of
-/// the parent symbol with the child at `position`.
+/// How a reachable pair was reached: from `parent`, via some children word
+/// of the parent symbol containing the child symbol.
+///
+/// The witness word itself is *not* stored: it is only needed when a
+/// counterexample context is actually built, so
+/// [`Lemma14Engine::build_counterexample`] re-derives it lazily with
+/// [`Lemma14Engine::word_with_child`].
 #[derive(Debug, Clone)]
 pub struct ReachStep {
     pub(crate) parent: (StateId, usize),
-    pub(crate) word: Vec<Symbol>,
-    pub(crate) position: usize,
+    pub(crate) child: usize,
 }
 
 /// A violating configuration found by the search.
@@ -129,11 +137,12 @@ impl Lemma14Engine {
             .max(din.alphabet_size())
             .max(dout.alphabet_size())
             .max(t.alphabet_size());
-        let mut din = din.clone();
-        din.grow_alphabet(sigma);
-        let mut dout = dout.clone();
-        dout.grow_alphabet(sigma);
 
+        // Each rule DFA is materialized exactly once. The engine used to
+        // build this vector *and* re-wrap clones of every DFA into a second
+        // DTD; witnesses only need language-level agreement, which
+        // determinization preserves, so the original-representation `din`
+        // (grown to the joint alphabet) serves for sampling and validation.
         let din_dfas: Vec<Dfa> = (0..sigma)
             .map(|s| match din.rule(Symbol::from_index(s)) {
                 Some(StringLang::Dfa(d)) => d.clone(),
@@ -141,20 +150,18 @@ impl Lemma14Engine {
                 None => Dfa::epsilon_only(sigma),
             })
             .collect();
-        // Re-wrap as a DFA DTD so validation and witnesses agree with the
-        // engine's view.
-        let mut din_dfa_dtd = Dtd::new(sigma, din.start());
-        for (s, dfa) in din_dfas.iter().enumerate() {
-            din_dfa_dtd.set_rule(Symbol::from_index(s), StringLang::Dfa(dfa.clone()));
-        }
+        let mut din = din.clone();
+        din.grow_alphabet(sigma);
 
-        let out = OutputAutomaton::build(&dout, sigma);
+        // `dout` is consumed here: the joint output automaton and the
+        // precomputed behaviors are all the engine ever reads from it.
+        let out = OutputAutomaton::build(dout, sigma);
         let mut behaviors = BehaviorTable::new(out.total());
-        let productive = din_dfa_dtd.productive_symbols();
+        let productive = productive_from_dfas(&din_dfas);
 
         // Precompute top items and checks per rule.
-        let mut tops = HashMap::new();
-        let mut checks = HashMap::new();
+        let mut tops = FxHashMap::default();
+        let mut checks = FxHashMap::default();
         for (q, a, rhs) in t.rules() {
             let top_items = items_of_children(&rhs.nodes, &out, &mut behaviors);
             tops.insert((q, a.index()), top_items);
@@ -165,22 +172,22 @@ impl Lemma14Engine {
 
         Ok(Lemma14Engine {
             sigma,
-            din: din_dfa_dtd,
-            dout,
-            din_dfas,
             din_start: din.start().index(),
+            din,
+            din_dfas,
             productive,
             out,
             behaviors,
             t: t.clone(),
             profiles: Vec::new(),
-            profile_ids: HashMap::new(),
+            profile_ids: FxHashMap::default(),
             s_sets: vec![Vec::new(); sigma],
-            s_member: vec![HashSet::new(); sigma],
-            witness: HashMap::new(),
+            s_member: vec![BitSet::new(); sigma],
+            witness: FxHashMap::default(),
             tops,
             checks,
-            reachable: HashMap::new(),
+            reachable: FxHashMap::default(),
+            child_letters: Vec::new(),
         })
     }
 
@@ -215,17 +222,44 @@ impl Lemma14Engine {
 
     /// Runs the profile fixpoint (the bottom-up reachability of the paper's
     /// `B`, quotiented by behavior).
+    ///
+    /// Worklist-driven: a symbol is only re-explored when the realizable
+    /// profile set of one of its possible child symbols grew since its last
+    /// exploration. The seed engine rescanned every symbol every round,
+    /// which costs a full walk rebuild per symbol per DTD level on deep
+    /// schemas; dirty tracking makes the total work proportional to the
+    /// number of actual profile propagations.
     pub fn run_fixpoint(&mut self) -> Result<(), TypecheckError> {
+        // parents_of[c]: productive symbols whose rule DFA mentions `c` —
+        // exactly the symbols whose walks can consume a profile of `c`.
+        let mut parents_of: Vec<Vec<usize>> = vec![Vec::new(); self.sigma];
+        for a in 0..self.sigma {
+            if !self.productive[a] {
+                continue;
+            }
+            let dfa = &self.din_dfas[a];
+            let mut seen = BitSet::new();
+            for q in 0..dfa.num_states() as u32 {
+                for c in 0..self.sigma as u32 {
+                    if dfa.step(q, c).is_some() && seen.insert(c) {
+                        parents_of[c as usize].push(a);
+                    }
+                }
+            }
+        }
+        let mut dirty: Vec<bool> = self.productive.clone();
         loop {
-            let mut changed = false;
+            let mut any_grew = false;
             for a in 0..self.sigma {
-                if !self.productive[a] {
+                if !dirty[a] {
                     continue;
                 }
+                dirty[a] = false;
                 let needed = self.top_states_of(a);
                 let walk = self.explore(a, &needed)?;
+                let mut grew = false;
                 for &node in &walk.accepting {
-                    let profile = self.assemble_profile(a, &needed, &walk.nodes[node as usize].1);
+                    let profile = self.assemble_profile(a, &needed, walk.hvec_of(node));
                     let pid = self.intern_profile(profile);
                     if self.profiles.len() > PROFILE_CAP {
                         return Err(TypecheckError::ResourceLimit(format!(
@@ -237,11 +271,17 @@ impl Lemma14Engine {
                         self.s_sets[a].push(pid);
                         let children = walk.path_to(node);
                         self.witness.insert((a, pid), children);
-                        changed = true;
+                        grew = true;
+                    }
+                }
+                if grew {
+                    any_grew = true;
+                    for &p in &parents_of[a] {
+                        dirty[p] = true;
                     }
                 }
             }
-            if !changed {
+            if !any_grew {
                 return Ok(());
             }
         }
@@ -254,20 +294,23 @@ impl Lemma14Engine {
         needed: &[StateId],
         hvec: &[BehaviorId],
     ) -> Box<[BehaviorId]> {
+        // Split borrows: `tops` is only read, `behaviors` only composes.
+        let Lemma14Engine {
+            tops, behaviors, t, ..
+        } = self;
         let pos = |p: StateId| needed.iter().position(|&x| x == p).expect("tracked");
-        let mut out = Vec::with_capacity(self.t.num_states());
-        for q in 0..self.t.num_states() as StateId {
-            let f = match self.tops.get(&(q, a)) {
-                None => self.behaviors.identity(),
+        let mut out = Vec::with_capacity(t.num_states());
+        for q in 0..t.num_states() as StateId {
+            let f = match tops.get(&(q, a)) {
+                None => behaviors.identity(),
                 Some(items) => {
-                    let items = items.clone();
-                    let mut acc = self.behaviors.identity();
+                    let mut acc = behaviors.identity();
                     for item in items {
                         let b = match item {
-                            TopItem::Beh(b) => b,
-                            TopItem::St(p) => hvec[pos(p)],
+                            TopItem::Beh(b) => *b,
+                            TopItem::St(p) => hvec[pos(*p)],
                         };
-                        acc = self.behaviors.compose(acc, b);
+                        acc = behaviors.compose(acc, b);
                     }
                     acc
                 }
@@ -279,39 +322,103 @@ impl Lemma14Engine {
 
     /// Explores the derivation walk for symbol `a`, tracking compositions
     /// for `needed` states.
+    ///
+    /// The hot loop is allocation-free on the repeat paths: composition
+    /// vectors are interned into the walk's hvec arena, walk nodes are
+    /// packed `(DFA state, hvec id)` keys in an Fx map, and the
+    /// `(hvec, profile) → hvec'` transition is memoized so re-deriving a
+    /// known composition costs one u64 lookup.
     fn explore(&mut self, a: usize, needed: &[StateId]) -> Result<Walk, TypecheckError> {
-        let dfa = self.din_dfas[a].clone();
-        let ident = self.behaviors.identity();
-        let start_h: Box<[BehaviorId]> = vec![ident; needed.len()].into_boxed_slice();
+        self.explore_inner(a, needed, false)
+    }
+
+    /// [`Lemma14Engine::explore`] variant that additionally records *every*
+    /// edge (not just BFS parents) in [`Walk::edges`], for the pumping
+    /// analyses of the almost-always module.
+    pub(crate) fn explore_recording_edges(
+        &mut self,
+        a: usize,
+        needed: &[StateId],
+    ) -> Result<Walk, TypecheckError> {
+        self.explore_inner(a, needed, true)
+    }
+
+    fn explore_inner(
+        &mut self,
+        a: usize,
+        needed: &[StateId],
+        record_edges: bool,
+    ) -> Result<Walk, TypecheckError> {
+        let sigma = self.sigma;
+        // Split borrows: the DFA and profile tables are read-only here while
+        // `behaviors` interns compositions — no clones of any of them.
+        let Lemma14Engine {
+            din_dfas,
+            behaviors,
+            s_sets,
+            profiles,
+            ..
+        } = self;
+        let dfa = &din_dfas[a];
+        let ident = behaviors.identity();
         let mut walk = Walk::default();
-        let start = walk.intern(dfa.initial_state(), start_h, None);
-        let mut queue = VecDeque::from([start]);
-        while let Some(n) = queue.pop_front() {
-            let (d, hvec) = walk.nodes[n as usize].clone();
-            if dfa.is_final_state(d) && !walk.accepting.contains(&n) {
-                walk.accepting.push(n);
-            }
-            for c in 0..self.sigma {
-                let Some(d2) = dfa.step(d, c as u32) else { continue };
-                let pids = self.s_sets[c].clone();
-                for pid in pids {
-                    let mut h2 = Vec::with_capacity(hvec.len());
-                    for (i, &p) in needed.iter().enumerate() {
-                        let f_p = self.profiles[pid as usize][p as usize];
-                        h2.push(self.behaviors.compose(hvec[i], f_p));
-                    }
-                    let key = (d2, h2.into_boxed_slice());
-                    if !walk.index.contains_key(&key) {
-                        if walk.nodes.len() >= WALK_NODE_CAP {
-                            return Err(TypecheckError::ResourceLimit(format!(
-                                "walk for symbol #{a} exceeded {WALK_NODE_CAP} nodes"
-                            )));
+        let start_h: Box<[BehaviorId]> = vec![ident; needed.len()].into_boxed_slice();
+        let h0 = walk.intern_hvec(start_h);
+        let init = dfa.initial_state();
+        walk.intern_node(init, h0, dfa.is_final_state(init), None);
+        // Memo: packed (hvec id, profile id) → successor hvec id.
+        let mut step_memo: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut scratch: Vec<BehaviorId> = Vec::with_capacity(needed.len());
+        let mut n = 0usize;
+        // Nodes are appended in discovery order, so the index scan is BFS.
+        while n < walk.nodes.len() {
+            let (d, h) = walk.nodes[n];
+            for (c, pids) in s_sets.iter().enumerate().take(sigma) {
+                let Some(d2) = dfa.step(d, c as u32) else {
+                    continue;
+                };
+                for &pid in pids {
+                    let memo_key = (u64::from(h) << 32) | u64::from(pid);
+                    let h2 = match step_memo.get(&memo_key) {
+                        Some(&h2) => h2,
+                        None => {
+                            scratch.clear();
+                            let hvec = &walk.hvecs[h as usize];
+                            for (i, &p) in needed.iter().enumerate() {
+                                let f_p = profiles[pid as usize][p as usize];
+                                scratch.push(behaviors.compose(hvec[i], f_p));
+                            }
+                            let h2 = walk.intern_hvec(scratch.as_slice().into());
+                            step_memo.insert(memo_key, h2);
+                            h2
                         }
-                        let id = walk.intern(key.0, key.1, Some((n, c, pid)));
-                        queue.push_back(id);
+                    };
+                    match walk.node_id(d2, h2) {
+                        Some(to) => {
+                            if record_edges {
+                                walk.edges.push((n as u32, to, c, pid));
+                            }
+                        }
+                        None => {
+                            if walk.nodes.len() >= WALK_NODE_CAP {
+                                return Err(TypecheckError::ResourceLimit(format!(
+                                    "walk for symbol #{a} exceeded {WALK_NODE_CAP} nodes"
+                                )));
+                            }
+                            let to = walk.intern_node(
+                                d2,
+                                h2,
+                                dfa.is_final_state(d2),
+                                Some((n as u32, c, pid)),
+                            );
+                            if record_edges {
+                                walk.edges.push((n as u32, to, c, pid));
+                            }
+                        }
                     }
                 }
             }
+            n += 1;
         }
         Ok(walk)
     }
@@ -319,6 +426,7 @@ impl Lemma14Engine {
     /// Computes the reachable `(state, symbol)` pairs (the descent of the
     /// paper's construction), with provenance for counterexample contexts.
     pub fn compute_reachable(&mut self) {
+        self.compute_child_letters();
         self.reachable.clear();
         if !self.productive[self.din_start] {
             return; // empty input language
@@ -327,28 +435,111 @@ impl Lemma14Engine {
         self.reachable.insert(root, None);
         let mut queue = VecDeque::from([root]);
         while let Some((q, a)) = queue.pop_front() {
-            let Some(rhs) = self.t.rule(q, Symbol::from_index(a)) else { continue };
+            let Some(rhs) = self.t.rule(q, Symbol::from_index(a)) else {
+                continue;
+            };
             let states = rhs.all_state_occurrences();
             if states.is_empty() {
                 continue;
             }
-            for b in 0..self.sigma {
-                if !self.productive[b] {
-                    continue;
-                }
-                let Some((word, position)) = self.word_with_child(a, b) else { continue };
+            for b in self.child_letters[a].clone().iter() {
+                let b = b as usize;
                 for &p in &states {
                     let key = (p, b);
-                    if !self.reachable.contains_key(&key) {
-                        self.reachable.insert(
-                            key,
-                            Some(ReachStep { parent: (q, a), word: word.clone(), position }),
-                        );
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.reachable.entry(key)
+                    {
+                        e.insert(Some(ReachStep {
+                            parent: (q, a),
+                            child: b,
+                        }));
                         queue.push_back(key);
                     }
                 }
             }
         }
+    }
+
+    /// Fills [`Lemma14Engine::child_letters`]: for each productive symbol
+    /// `a`, trims `d_in(a)`'s DFA to the productive-letter part that is both
+    /// reachable and co-reachable, and collects the letters on the surviving
+    /// edges. `b ∈ child_letters[a]` iff some word of `L(d_in(a))` over
+    /// productive symbols contains `b` — exactly the adjacency the
+    /// reachability descent and the pumping analyses test.
+    fn compute_child_letters(&mut self) {
+        self.child_letters = (0..self.sigma)
+            .map(|a| {
+                let mut letters = BitSet::new();
+                if !self.productive[a] {
+                    return letters;
+                }
+                let dfa = &self.din_dfas[a];
+                let n = dfa.num_states();
+                // Forward reachability over productive letters.
+                let mut fwd = vec![false; n];
+                let mut stack = vec![dfa.initial_state()];
+                fwd[dfa.initial_state() as usize] = true;
+                while let Some(q) = stack.pop() {
+                    for c in 0..self.sigma as u32 {
+                        if !self.productive[c as usize] {
+                            continue;
+                        }
+                        if let Some(r) = dfa.step(q, c) {
+                            if !fwd[r as usize] {
+                                fwd[r as usize] = true;
+                                stack.push(r);
+                            }
+                        }
+                    }
+                }
+                // Backward co-reachability to a final state.
+                let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+                for q in 0..n as u32 {
+                    if !fwd[q as usize] {
+                        continue;
+                    }
+                    for c in 0..self.sigma as u32 {
+                        if !self.productive[c as usize] {
+                            continue;
+                        }
+                        if let Some(r) = dfa.step(q, c) {
+                            rev[r as usize].push(q);
+                        }
+                    }
+                }
+                let mut bwd = vec![false; n];
+                let mut stack: Vec<u32> = (0..n as u32)
+                    .filter(|&q| fwd[q as usize] && dfa.is_final_state(q))
+                    .collect();
+                for &q in &stack {
+                    bwd[q as usize] = true;
+                }
+                while let Some(q) = stack.pop() {
+                    for &p in &rev[q as usize] {
+                        if !bwd[p as usize] {
+                            bwd[p as usize] = true;
+                            stack.push(p);
+                        }
+                    }
+                }
+                // Letters on trimmed edges.
+                for q in 0..n as u32 {
+                    if !(fwd[q as usize] && bwd[q as usize]) {
+                        continue;
+                    }
+                    for c in 0..self.sigma as u32 {
+                        if !self.productive[c as usize] || letters.contains(c) {
+                            continue;
+                        }
+                        if let Some(r) = dfa.step(q, c) {
+                            if fwd[r as usize] && bwd[r as usize] {
+                                letters.insert(c);
+                            }
+                        }
+                    }
+                }
+                letters
+            })
+            .collect();
     }
 
     /// A word of `L(d_in(a))` over productive symbols containing `b`, with
@@ -440,15 +631,14 @@ impl Lemma14Engine {
             needed.sort_unstable();
             let walk = self.explore(a, &needed)?;
             for &node in &walk.accepting {
-                let hvec = walk.nodes[node as usize].1.clone();
+                let hvec = walk.hvec_of(node);
                 for check in &checks {
                     let mut x = check.start;
                     for item in &check.items {
                         x = match item {
                             TopItem::Beh(b) => self.behaviors.apply(*b, x),
                             TopItem::St(p) => {
-                                let pos =
-                                    needed.iter().position(|y| y == p).expect("tracked");
+                                let pos = needed.iter().position(|y| y == p).expect("tracked");
                                 self.behaviors.apply(hvec[pos], x)
                             }
                         };
@@ -506,13 +696,17 @@ impl Lemma14Engine {
             kids.push(self.witness_tree(c, p, &mut budget)?);
         }
         let mut tree = xmlta_tree::Tree::node(Symbol::from_index(v.pair.1), kids);
-        // Wrap in the context up to the root.
+        // Wrap in the context up to the root. The context word per step is
+        // derived here, lazily — reachability itself only records adjacency.
         let mut cur = v.pair;
         while let Some(Some(step)) = self.reachable.get(&cur).cloned() {
             let (pq, pa) = step.parent;
-            let mut children = Vec::with_capacity(step.word.len());
-            for (i, &c) in step.word.iter().enumerate() {
-                if i == step.position {
+            let (word, position) = self
+                .word_with_child(pa, step.child)
+                .expect("recorded reach step has a witness word");
+            let mut children = Vec::with_capacity(word.len());
+            for (i, &c) in word.iter().enumerate() {
+                if i == position {
                     children.push(tree.clone());
                 } else {
                     let sub = self
@@ -526,7 +720,10 @@ impl Lemma14Engine {
             cur = (pq, pa);
         }
         let output = self.t.apply(&tree);
-        Ok(CounterExample { input: tree, output })
+        Ok(CounterExample {
+            input: tree,
+            output,
+        })
     }
 }
 
@@ -569,31 +766,66 @@ impl Lemma14Engine {
 }
 
 /// The walk structure: BFS over (DTD-DFA state, tracked compositions).
+///
+/// Composition vectors are interned once in `hvecs` and nodes refer to them
+/// by id; the node index maps a packed `(DFA state << 32) | hvec id` key,
+/// so neither lookups nor insertions hash or clone a vector.
 #[derive(Default)]
 pub(crate) struct Walk {
-    pub(crate) nodes: Vec<(u32, Box<[BehaviorId]>)>,
-    pub(crate) index: HashMap<(u32, Box<[BehaviorId]>), u32>,
+    /// Node → (DTD-DFA state, hvec id).
+    pub(crate) nodes: Vec<(u32, u32)>,
+    /// The hvec arena: tracked-composition vectors, interned.
+    hvecs: Vec<Box<[BehaviorId]>>,
+    hvec_ids: FxHashMap<Box<[BehaviorId]>, u32>,
+    index: FxHashMap<u64, u32>,
     /// Parent pointer: (parent node, child symbol, child profile).
     pub(crate) parents: Vec<Option<(u32, usize, ProfileId)>>,
     pub(crate) accepting: Vec<u32>,
+    /// Every walk edge `(from, to, child symbol, child profile)` — filled
+    /// only by [`Lemma14Engine::explore_recording_edges`].
+    pub(crate) edges: Vec<(u32, u32, usize, ProfileId)>,
 }
 
 impl Walk {
-    fn intern(
-        &mut self,
-        d: u32,
-        h: Box<[BehaviorId]>,
-        parent: Option<(u32, usize, ProfileId)>,
-    ) -> u32 {
-        let key = (d, h);
-        if let Some(&id) = self.index.get(&key) {
+    /// Interns a tracked-composition vector, returning its dense id.
+    fn intern_hvec(&mut self, h: Box<[BehaviorId]>) -> u32 {
+        if let Some(&id) = self.hvec_ids.get(&h) {
             return id;
         }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(key.clone());
-        self.index.insert(key, id);
-        self.parents.push(parent);
+        let id = self.hvecs.len() as u32;
+        self.hvecs.push(h.clone());
+        self.hvec_ids.insert(h, id);
         id
+    }
+
+    /// The id of node `(d, h)`, if it exists.
+    fn node_id(&self, d: u32, h: u32) -> Option<u32> {
+        self.index
+            .get(&((u64::from(d) << 32) | u64::from(h)))
+            .copied()
+    }
+
+    /// Adds the node `(d, h)` (must be fresh) and returns its id.
+    fn intern_node(
+        &mut self,
+        d: u32,
+        h: u32,
+        accepting: bool,
+        parent: Option<(u32, usize, ProfileId)>,
+    ) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push((d, h));
+        self.index.insert((u64::from(d) << 32) | u64::from(h), id);
+        self.parents.push(parent);
+        if accepting {
+            self.accepting.push(id);
+        }
+        id
+    }
+
+    /// The tracked compositions at `node`.
+    pub(crate) fn hvec_of(&self, node: u32) -> &[BehaviorId] {
+        &self.hvecs[self.nodes[node as usize].1 as usize]
     }
 
     /// The children sequence labelling the path from the start to `node`.
@@ -606,6 +838,33 @@ impl Walk {
         }
         out.reverse();
         out
+    }
+}
+
+/// *Productive* symbols computed from the materialized rule DFAs: `a` is
+/// productive iff some finite tree rooted at `a` locally satisfies the DTD.
+/// Same fixpoint as [`Dtd::productive_symbols`], but over the engine's DFA
+/// vector — symbols without a rule hold an ε-only DFA, which the restricted
+/// acceptance check classifies as productive leaves, and no rule has to be
+/// re-converted from its regex form.
+fn productive_from_dfas(din_dfas: &[Dfa]) -> Vec<bool> {
+    let sigma = din_dfas.len();
+    let nfas: Vec<xmlta_automata::Nfa> = din_dfas.iter().map(Dfa::to_nfa).collect();
+    let mut productive = vec![false; sigma];
+    loop {
+        let mut changed = false;
+        for (s, nfa) in nfas.iter().enumerate() {
+            if productive[s] {
+                continue;
+            }
+            if nfa.accepts_some_restricted(|l| productive[l as usize]) {
+                productive[s] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return productive;
+        }
     }
 }
 
@@ -680,7 +939,10 @@ pub fn typecheck_dtds(
     // valid input maps to ε, which is never a valid output tree.
     let root_pair = (engine.t.initial_state(), engine.din_start);
     if engine.productive[engine.din_start]
-        && engine.t.rule(root_pair.0, Symbol::from_index(root_pair.1)).is_none()
+        && engine
+            .t
+            .rule(root_pair.0, Symbol::from_index(root_pair.1))
+            .is_none()
     {
         let input = engine.din.sample().expect("productive start");
         let output = engine.t.apply(&input);
@@ -702,12 +964,7 @@ mod tests {
     use xmlta_transducer::examples;
     use xmlta_transducer::TransducerBuilder;
 
-    fn check(
-        din: &Dtd,
-        dout: &Dtd,
-        t: &Transducer,
-        sigma: usize,
-    ) -> Outcome {
+    fn check(din: &Dtd, dout: &Dtd, t: &Transducer, sigma: usize) -> Outcome {
         let outcome = typecheck_dtds(din, dout, t, sigma).expect("engine runs");
         // Counterexamples must really be counterexamples.
         if let Outcome::CounterExample(ce) = &outcome {

@@ -26,7 +26,11 @@ pub struct Bounds {
 
 impl Default for Bounds {
     fn default() -> Self {
-        Bounds { max_depth: 4, max_width: 3, max_trees: 20_000 }
+        Bounds {
+            max_depth: 4,
+            max_width: 3,
+            max_trees: 20_000,
+        }
     }
 }
 
@@ -65,8 +69,11 @@ fn trees_for(
             if *budget == 0 {
                 return out;
             }
-            let children: Vec<Tree> =
-                idx.iter().zip(&choices).map(|(&i, ts)| ts[i].clone()).collect();
+            let children: Vec<Tree> = idx
+                .iter()
+                .zip(&choices)
+                .map(|(&i, ts)| ts[i].clone())
+                .collect();
             out.push(Tree::node(sym, children));
             *budget -= 1;
             // Increment mixed-radix counter.

@@ -16,9 +16,9 @@
 //! the canonical trees `t_min` / `t_vast` is a counterexample.
 
 use crate::{CounterExample, Outcome, TypecheckError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use xmlta_automata::Dfa;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_schema::{Dtd, StringLang};
 use xmlta_transducer::rhs::{RhsNode, StateId};
 use xmlta_transducer::Transducer;
@@ -95,9 +95,11 @@ impl RePlusEngine {
         let din_empty = din.is_empty();
         let din_factors: Vec<Vec<(Symbol, bool)>> = (0..sigma)
             .map(|s| match din.rule(Symbol::from_index(s)) {
-                Some(StringLang::RePlus(r)) => {
-                    r.factors().iter().map(|f| (Symbol(f.sym), f.plus)).collect()
-                }
+                Some(StringLang::RePlus(r)) => r
+                    .factors()
+                    .iter()
+                    .map(|f| (Symbol(f.sym), f.plus))
+                    .collect(),
                 _ => Vec::new(),
             })
             .collect();
@@ -106,12 +108,14 @@ impl RePlusEngine {
         let mut reachable = Vec::new();
         if !din_empty {
             let root = (t.initial_state(), din.start().index());
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = xmlta_base::FxHashSet::default();
             seen.insert(root);
             reachable.push(root);
             let mut queue = VecDeque::from([root]);
             while let Some((q, a)) = queue.pop_front() {
-                let Some(rhs) = t.rule(q, Symbol::from_index(a)) else { continue };
+                let Some(rhs) = t.rule(q, Symbol::from_index(a)) else {
+                    continue;
+                };
                 for p in rhs.all_state_occurrences() {
                     for &(b, _) in &din_factors[a] {
                         let key = (p, b.index());
@@ -123,7 +127,15 @@ impl RePlusEngine {
                 }
             }
         }
-        RePlusEngine { sigma, din, dout, t: t.clone(), din_empty, din_factors, reachable }
+        RePlusEngine {
+            sigma,
+            din,
+            dout,
+            t: t.clone(),
+            din_empty,
+            din_factors,
+            reachable,
+        }
     }
 
     /// The output-children items of a hedge of rhs nodes, with states
@@ -220,9 +232,9 @@ impl RePlusEngine {
         let d = lang.complete();
         let n = d.num_states();
         // Discover reachable nonterminals.
-        let mut bodies: HashMap<u32, Vec<Item>> = HashMap::new();
+        let mut bodies: FxHashMap<u32, Vec<Item>> = FxHashMap::default();
         let mut stack: Vec<u32> = Vec::new();
-        let discover = |body: &[Item], stack: &mut Vec<u32>, bodies: &HashMap<u32, Vec<Item>>| {
+        let discover = |body: &[Item], stack: &mut Vec<u32>, bodies: &FxHashMap<u32, Vec<Item>>| {
             for item in body {
                 if let Item::Nt(m) | Item::NtPlus(m) = item {
                     if !bodies.contains_key(m) {
@@ -241,10 +253,8 @@ impl RePlusEngine {
             bodies.insert(m, body);
         }
         // Fixpoint on per-nonterminal reachability matrices (n × n booleans).
-        let mut mat: HashMap<u32, Vec<bool>> = bodies
-            .keys()
-            .map(|&m| (m, vec![false; n * n]))
-            .collect();
+        let mut mat: FxHashMap<u32, Vec<bool>> =
+            bodies.keys().map(|&m| (m, vec![false; n * n])).collect();
         loop {
             let mut changed = false;
             for (&m, body) in &bodies {
@@ -284,7 +294,10 @@ impl RePlusEngine {
                 None => false,
             };
             if !ok {
-                return Ok(CounterExample { input: tree, output });
+                return Ok(CounterExample {
+                    input: tree,
+                    output,
+                });
             }
         }
         Err(TypecheckError::ResourceLimit(
@@ -311,7 +324,7 @@ impl RePlusEngine {
 
 /// Evaluates a body from DFA state `x`: the set of states reachable after
 /// deriving any word of the body, given the current nonterminal matrices.
-fn eval_body(body: &[Item], x: u32, d: &Dfa, mat: &HashMap<u32, Vec<bool>>) -> Vec<u32> {
+fn eval_body(body: &[Item], x: u32, d: &Dfa, mat: &FxHashMap<u32, Vec<bool>>) -> Vec<u32> {
     let n = d.num_states();
     let mut cur = vec![false; n];
     cur[x as usize] = true;
@@ -319,8 +332,8 @@ fn eval_body(body: &[Item], x: u32, d: &Dfa, mat: &HashMap<u32, Vec<bool>>) -> V
         let mut next = vec![false; n];
         match item {
             Item::Term(s) => {
-                for q in 0..n {
-                    if cur[q] {
+                for (q, &on) in cur.iter().enumerate() {
+                    if on {
                         if let Some(r) = d.step(q as u32, s.0) {
                             next[r as usize] = true;
                         }
@@ -385,7 +398,10 @@ mod tests {
     fn check(din: &Dtd, dout: &Dtd, t: &Transducer, sigma: usize) -> Outcome {
         let outcome = typecheck_replus(din, dout, t, sigma).expect("engine runs");
         if let Outcome::CounterExample(ce) = &outcome {
-            assert!(din.accepts(&ce.input), "counterexample not in input language");
+            assert!(
+                din.accepts(&ce.input),
+                "counterexample not in input language"
+            );
             let ok = match &ce.output {
                 Some(o) => dout.accepts(o),
                 None => false,
@@ -512,8 +528,7 @@ mod tests {
             let mut a2 = a.clone();
             let dout = Dtd::parse_replus(dout_src, &mut a2).unwrap();
             let r1 = typecheck_replus(&din, &dout, &t, a2.len()).unwrap();
-            let r2 =
-                crate::lemma14::typecheck_dtds(&din, &dout, &t, a2.len()).unwrap();
+            let r2 = crate::lemma14::typecheck_dtds(&din, &dout, &t, a2.len()).unwrap();
             assert_eq!(
                 r1.type_checks(),
                 r2.type_checks(),

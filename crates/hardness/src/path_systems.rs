@@ -114,7 +114,12 @@ pub fn random_path_system(
         }
     }
     let goal = num_props - 1;
-    PathSystem { num_props, axioms, rules, goal }
+    PathSystem {
+        num_props,
+        axioms,
+        rules,
+        goal,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +143,11 @@ mod tests {
     fn solver_fixpoint() {
         let ps = sample();
         assert!(ps.goal_provable());
-        let unprovable = PathSystem { goal: 3, rules: vec![(0, 1, 2)], ..sample() };
+        let unprovable = PathSystem {
+            goal: 3,
+            rules: vec![(0, 1, 2)],
+            ..sample()
+        };
         assert!(!unprovable.goal_provable());
     }
 
@@ -146,8 +155,15 @@ mod tests {
     fn reduction_agrees_with_solver() {
         let ps = sample();
         assert_eq!(ps.goal_provable(), provable_via_emptiness(&ps));
-        let unprovable = PathSystem { goal: 3, rules: vec![(0, 1, 2)], ..sample() };
-        assert_eq!(unprovable.goal_provable(), provable_via_emptiness(&unprovable));
+        let unprovable = PathSystem {
+            goal: 3,
+            rules: vec![(0, 1, 2)],
+            ..sample()
+        };
+        assert_eq!(
+            unprovable.goal_provable(),
+            provable_via_emptiness(&unprovable)
+        );
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! per level (producing ≥ n copies separated by `#`), and the output DFA
 //! simulates `A_i` on the `i`-th copy, accepting when some `A_i` rejects.
 
+use typecheck_core::Instance;
 use xmlta_automata::{ops, Dfa};
 use xmlta_base::{Alphabet, Symbol};
 use xmlta_schema::{Dtd, StringLang};
 use xmlta_transducer::{Transducer, TransducerBuilder};
-use typecheck_core::Instance;
 
 /// The generated instance plus the ground-truth answer.
 pub struct Thm18Instance {
@@ -40,8 +40,9 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
     let r = alphabet.intern("r");
     let hash = alphabet.intern("#");
     let ok = alphabet.intern("ok");
-    let delta_syms: Vec<Symbol> =
-        (0..delta).map(|i| alphabet.intern(&format!("d{i}"))).collect();
+    let delta_syms: Vec<Symbol> = (0..delta)
+        .map(|i| alphabet.intern(&format!("d{i}")))
+        .collect();
     let sigma = alphabet.len();
 
     // Input DTD: r → #, # → # | Δ*, so documents are unary chains of #'s
@@ -81,7 +82,11 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
     builder = builder.states(&name_refs);
     builder = builder.rule("q0", "r", "r(q1 # q1)");
     for i in 1..levels {
-        builder = builder.rule(&names[i], "#", &format!("{} # {}", names[i + 1], names[i + 1]));
+        builder = builder.rule(
+            &names[i],
+            "#",
+            &format!("{} # {}", names[i + 1], names[i + 1]),
+        );
     }
     builder = builder.rule(&names[levels], "#", "id # id");
     builder = builder.rule("id", "#", "ok");
@@ -91,7 +96,9 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
             builder = builder.rule(name, &format!("d{i}"), "ok");
         }
     }
-    let t: Transducer = builder.build().expect("Theorem 18 transducer is well-formed");
+    let t: Transducer = builder
+        .build()
+        .expect("Theorem 18 transducer is well-formed");
 
     // Output DTD: r → DFA simulating A_i on the i-th #-separated block,
     // accepting iff some A_i rejects or `ok` occurs.
@@ -101,8 +108,7 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
     let mut dout = Dtd::new(sigma, r);
     dout.set_rule(r, StringLang::Dfa(dout_dfa));
 
-    let intersection_empty =
-        ops::dfa_intersection_is_empty(&dfas.iter().collect::<Vec<_>>());
+    let intersection_empty = ops::dfa_intersection_is_empty(&dfas.iter().collect::<Vec<_>>());
 
     Thm18Instance {
         instance: Instance::dtds(alphabet, din, dout, t),

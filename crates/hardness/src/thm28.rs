@@ -198,14 +198,8 @@ pub fn build_containment(
         ((1u32, x1), Rhs::new(vec![RhsNode::Elem(x1, vec![])])),
         ((1u32, x2), Rhs::new(vec![RhsNode::Elem(x2, vec![])])),
     ];
-    let t = Transducer::from_parts(
-        vec!["q0".into(), "q1".into()],
-        0,
-        rules,
-        selectors,
-        sigma,
-    )
-    .expect("Theorem 28(1) transducer");
+    let t = Transducer::from_parts(vec!["q0".into(), "q1".into()], 0, rules, selectors, sigma)
+        .expect("Theorem 28(1) transducer");
 
     // d_out(r) = x2* | x1 x1* x2 x2*.
     let mut dout = Dtd::new(sigma, r);
@@ -242,8 +236,7 @@ pub fn bounded_containment_truth(
         typecheck_core::Schema::Dtd(d) => d.compile_to_dfas(),
         _ => unreachable!(),
     };
-    let trees: Vec<Tree> =
-        typecheck_core::naive::enumerate_valid_trees(&din, din.start(), bounds);
+    let trees: Vec<Tree> = typecheck_core::naive::enumerate_valid_trees(&din, din.start(), bounds);
     for t in trees {
         let s1 = eval::select(&inst.patterns.0, &t);
         let s2 = eval::select(&inst.patterns.1, &t);
@@ -297,9 +290,9 @@ mod tests {
     fn containment_instance_matches_bounded_truth() {
         // d: s → a? b?; patterns over {a, b}.
         let cases = [
-            ("./a", "./*", true),   // ./a ⊆ ./* always
-            ("./*", "./a", false),  // a b-child breaks it
-            (".//b", "./b", true),  // depth ≤ 1 below s... b children only at depth 1? d' adds x1/x2 leaves; .//b selects b at any depth — with d: s → a? b?, a/b are leaves (plus markers), so .//b ≡ ./b here.
+            ("./a", "./*", true),  // ./a ⊆ ./* always
+            ("./*", "./a", false), // a b-child breaks it
+            (".//b", "./b", true), // depth ≤ 1 below s... b children only at depth 1? d' adds x1/x2 leaves; .//b selects b at any depth — with d: s → a? b?, a/b are leaves (plus markers), so .//b ≡ ./b here.
             ("./a", "./b", false),
         ];
         for (src1, src2, _expect) in cases {
@@ -310,7 +303,11 @@ mod tests {
             let inst = build_containment(&d, &p1, &p2, &mut alphabet);
             let truth = bounded_containment_truth(
                 &inst,
-                Bounds { max_depth: 4, max_width: 4, max_trees: 4000 },
+                Bounds {
+                    max_depth: 4,
+                    max_width: 4,
+                    max_trees: 4000,
+                },
             );
             // Cross-check with the naive typechecker on the same instance.
             let (din, dout) = match (&inst.instance.input, &inst.instance.output) {
@@ -321,7 +318,11 @@ mod tests {
                 din,
                 dout,
                 &inst.instance.transducer,
-                Bounds { max_depth: 4, max_width: 4, max_trees: 4000 },
+                Bounds {
+                    max_depth: 4,
+                    max_width: 4,
+                    max_trees: 4000,
+                },
             );
             assert_eq!(
                 naive.type_checks(),

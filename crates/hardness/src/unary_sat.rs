@@ -33,11 +33,9 @@ pub struct Cnf {
 impl Cnf {
     /// Evaluates the formula under an assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// Brute-force satisfiability (for cross-checking the reduction).
@@ -64,7 +62,11 @@ pub fn clause_dfas(cnf: &Cnf) -> Vec<Dfa> {
             let mut union: Option<Dfa> = None;
             for l in clause {
                 let p = primes[l.var];
-                let d = if l.positive { mod_zero_dfa(p) } else { mod_nonzero_dfa(p) };
+                let d = if l.positive {
+                    mod_zero_dfa(p)
+                } else {
+                    mod_nonzero_dfa(p)
+                };
                 union = Some(match union {
                     None => d,
                     Some(u) => u.union(&d),
@@ -78,7 +80,10 @@ pub fn clause_dfas(cnf: &Cnf) -> Vec<Dfa> {
 /// Decodes a unary witness length back into an assignment.
 pub fn decode_assignment(cnf: &Cnf, length: u64) -> Vec<bool> {
     let primes = first_primes(cnf.num_vars);
-    primes.iter().map(|&p| length % p as u64 == 0).collect()
+    primes
+        .iter()
+        .map(|&p| length.is_multiple_of(p as u64))
+        .collect()
 }
 
 /// Checks satisfiability through the reduction (product construction over
@@ -171,7 +176,10 @@ mod tests {
 
     #[test]
     fn empty_formula_is_satisfiable() {
-        let cnf = Cnf { num_vars: 3, clauses: vec![] };
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![],
+        };
         assert!(sat_via_unary_intersection(&cnf).is_some());
     }
 }

@@ -245,9 +245,17 @@ pub fn delrelab_family(n: usize) -> Workload {
     for i in 1..n {
         if i % 2 == 1 {
             // delete this layer
-            builder = builder.rule(&format!("q{i}"), &format!("l{i}"), &format!("q{}", (i + 1).min(n - 1)));
+            builder = builder.rule(
+                &format!("q{i}"),
+                &format!("l{i}"),
+                &format!("q{}", (i + 1).min(n - 1)),
+            );
         } else {
-            builder = builder.rule(&format!("q{i}"), &format!("l{i}"), &format!("m{i}(q{})", (i + 1).min(n - 1)));
+            builder = builder.rule(
+                &format!("q{i}"),
+                &format!("l{i}"),
+                &format!("m{i}(q{})", (i + 1).min(n - 1)),
+            );
         }
     }
     let t = builder.build().expect("delrelab transducer");
@@ -388,8 +396,8 @@ mod tests {
             example11_workload(),
         ];
         for w in workloads {
-            let outcome = typecheck(&w.instance)
-                .unwrap_or_else(|e| panic!("{}: engine error {e}", w.name));
+            let outcome =
+                typecheck(&w.instance).unwrap_or_else(|e| panic!("{}: engine error {e}", w.name));
             assert_eq!(
                 outcome.type_checks(),
                 w.expect_typechecks,

@@ -63,7 +63,10 @@ pub fn is_complete(nta: &Nta) -> bool {
 /// The result is bottom-up deterministic and complete, and accepts the same
 /// language.
 pub fn complete(nta: &Nta) -> Nta {
-    debug_assert!(is_deterministic(nta), "complete() expects a deterministic NTA");
+    debug_assert!(
+        is_deterministic(nta),
+        "complete() expects a deterministic NTA"
+    );
     let old_states = nta.num_states();
     let mut out = Nta::new(nta.alphabet_size());
     out.add_states(old_states + 1);

@@ -1,9 +1,8 @@
 //! DTDs parameterized by a string-language representation (Definition 1).
 
-use std::collections::HashMap;
 use std::fmt;
-use xmlta_automata::{Dfa, Nfa, Regex, RePlus};
-use xmlta_base::{Alphabet, Symbol};
+use xmlta_automata::{Dfa, Nfa, RePlus, Regex};
+use xmlta_base::{Alphabet, FxHashMap, Symbol};
 use xmlta_tree::{Tree, TreePath};
 
 /// A representation of a regular string language over Σ — the paper's
@@ -134,13 +133,17 @@ impl StringLang {
 pub struct Dtd {
     alphabet_size: usize,
     start: Symbol,
-    rules: HashMap<Symbol, StringLang>,
+    rules: FxHashMap<Symbol, StringLang>,
 }
 
 impl Dtd {
     /// Creates a DTD with start symbol `start` and no rules yet.
     pub fn new(alphabet_size: usize, start: Symbol) -> Dtd {
-        Dtd { alphabet_size, start, rules: HashMap::new() }
+        Dtd {
+            alphabet_size,
+            start,
+            rules: FxHashMap::default(),
+        }
     }
 
     /// Parses a DTD from rules in the paper's notation, e.g.
@@ -255,7 +258,11 @@ impl Dtd {
 
     /// Total size (paper's measure: sum of rule representation sizes).
     pub fn size(&self) -> usize {
-        self.rules.values().map(StringLang::size).sum::<usize>().max(1)
+        self.rules
+            .values()
+            .map(StringLang::size)
+            .sum::<usize>()
+            .max(1)
     }
 
     /// Whether the children-string `word` is allowed below `sym`.
@@ -273,7 +280,9 @@ impl Dtd {
             return Err(ValidationError {
                 path: TreePath::root(),
                 label: t.label,
-                reason: Reason::WrongRoot { expected: self.start },
+                reason: Reason::WrongRoot {
+                    expected: self.start,
+                },
             });
         }
         self.validate_partial_at(t, &TreePath::root())
@@ -297,7 +306,9 @@ impl Dtd {
             return Err(ValidationError {
                 path: path.clone(),
                 label: t.label,
-                reason: Reason::ChildrenRejected { children: t.child_labels() },
+                reason: Reason::ChildrenRejected {
+                    children: t.child_labels(),
+                },
             });
         }
         for (i, c) in t.children.iter().enumerate() {
@@ -322,7 +333,9 @@ impl Dtd {
 
     /// Whether every rule is an `RE+` expression.
     pub fn is_replus_dtd(&self) -> bool {
-        self.rules.values().all(|l| matches!(l, StringLang::RePlus(_)))
+        self.rules
+            .values()
+            .all(|l| matches!(l, StringLang::RePlus(_)))
     }
 
     /// *Productive* symbols: `a` is productive iff some finite tree rooted
@@ -330,13 +343,13 @@ impl Dtd {
     pub fn productive_symbols(&self) -> Vec<bool> {
         let mut productive = vec![false; self.alphabet_size];
         // Symbols without a rule are leaves — always productive.
-        for i in 0..self.alphabet_size {
+        for (i, p) in productive.iter_mut().enumerate() {
             if !self.rules.contains_key(&Symbol::from_index(i)) {
-                productive[i] = true;
+                *p = true;
             }
         }
         // Cache NFAs once.
-        let nfas: HashMap<Symbol, Nfa> = self
+        let nfas: FxHashMap<Symbol, Nfa> = self
             .rules
             .iter()
             .map(|(&s, l)| (s, l.to_nfa(self.alphabet_size)))
@@ -374,7 +387,9 @@ impl Dtd {
         reachable[self.start.index()] = true;
         let mut stack = vec![self.start];
         while let Some(sym) = stack.pop() {
-            let Some(lang) = self.rules.get(&sym) else { continue };
+            let Some(lang) = self.rules.get(&sym) else {
+                continue;
+            };
             let nfa = lang.to_nfa(self.alphabet_size);
             // A child symbol b is possible below `sym` iff some word of the
             // children language uses b with all letters productive.
@@ -574,14 +589,20 @@ mod tests {
         let mut a = Alphabet::new();
         let d = book_dtd(&mut a);
         // Missing author.
-        let t = parse_tree("book(title chapter(title intro section(title paragraph)))", &mut a)
-            .unwrap();
+        let t = parse_tree(
+            "book(title chapter(title intro section(title paragraph)))",
+            &mut a,
+        )
+        .unwrap();
         let err = d.validate(&t).unwrap_err();
         assert!(matches!(err.reason, Reason::ChildrenRejected { .. }));
         assert!(err.path.is_root());
         // Wrong root.
         let t2 = parse_tree("chapter(title intro section(title paragraph))", &mut a).unwrap();
-        assert!(matches!(d.validate(&t2).unwrap_err().reason, Reason::WrongRoot { .. }));
+        assert!(matches!(
+            d.validate(&t2).unwrap_err().reason,
+            Reason::WrongRoot { .. }
+        ));
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! expansion (memoized, size-capped) is a member of the language.
 
 use crate::nta::Nta;
-use std::collections::HashMap;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_tree::Tree;
 
 /// The result of the reachability fixpoint.
@@ -61,7 +60,7 @@ pub fn is_empty(nta: &Nta) -> bool {
 pub fn witness_tree(nta: &Nta, node_cap: usize) -> Option<Tree> {
     let r = reachable_states(nta);
     let root = nta.final_states().find(|&q| r.reachable[q as usize])?;
-    let mut memo: HashMap<u32, Tree> = HashMap::new();
+    let mut memo: FxHashMap<u32, Tree> = FxHashMap::default();
     let mut budget = node_cap;
     expand(&r, root, &mut memo, &mut budget)
 }
@@ -70,7 +69,7 @@ pub fn witness_tree(nta: &Nta, node_cap: usize) -> Option<Tree> {
 fn expand(
     r: &Reachability,
     q: u32,
-    memo: &mut HashMap<u32, Tree>,
+    memo: &mut FxHashMap<u32, Tree>,
     budget: &mut usize,
 ) -> Option<Tree> {
     if let Some(t) = memo.get(&q) {
@@ -102,7 +101,7 @@ pub fn witness_tree_for_state(nta: &Nta, q: u32, node_cap: usize) -> Option<Tree
     if !r.reachable[q as usize] {
         return None;
     }
-    let mut memo: HashMap<u32, Tree> = HashMap::new();
+    let mut memo: FxHashMap<u32, Tree> = FxHashMap::default();
     let mut budget = node_cap;
     expand(&r, q, &mut memo, &mut budget)
 }
@@ -110,10 +109,13 @@ pub fn witness_tree_for_state(nta: &Nta, q: u32, node_cap: usize) -> Option<Tree
 /// A compact description of a witness: for each state used, the symbol and
 /// children states. This is the "description of some tree t ∈ L(N)" of
 /// Proposition 4(3) and stays polynomial even when the tree itself does not.
-pub fn witness_dag(nta: &Nta) -> Option<(u32, HashMap<u32, (Symbol, Vec<u32>)>)> {
+pub type WitnessDag = FxHashMap<u32, (Symbol, Vec<u32>)>;
+
+/// Computes a [`WitnessDag`] rooted at an accepting reachable state.
+pub fn witness_dag(nta: &Nta) -> Option<(u32, WitnessDag)> {
     let r = reachable_states(nta);
     let root = nta.final_states().find(|&q| r.reachable[q as usize])?;
-    let mut dag = HashMap::new();
+    let mut dag = FxHashMap::default();
     let mut stack = vec![root];
     while let Some(q) = stack.pop() {
         if dag.contains_key(&q) {
@@ -192,7 +194,7 @@ mod tests {
         let (_, nta) = simple_nta();
         let (root, dag) = witness_dag(&nta).expect("non-empty");
         assert!(dag.contains_key(&root));
-        for (_, (_, children)) in &dag {
+        for (_, children) in dag.values() {
             for c in children {
                 assert!(dag.contains_key(c), "child state {c} missing from DAG");
             }

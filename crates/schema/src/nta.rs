@@ -1,8 +1,7 @@
 //! Non-deterministic unranked tree automata (Definition 2).
 
-use std::collections::HashMap;
 use xmlta_automata::Nfa;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_tree::Tree;
 
 /// A non-deterministic (unranked) tree automaton `B = (Q, Σ, δ, F)`.
@@ -14,14 +13,19 @@ use xmlta_tree::Tree;
 pub struct Nta {
     alphabet_size: usize,
     num_states: usize,
-    delta: HashMap<(u32, Symbol), Nfa>,
+    delta: FxHashMap<(u32, Symbol), Nfa>,
     is_final: Vec<bool>,
 }
 
 impl Nta {
     /// Creates an NTA over `alphabet_size` symbols with no states.
     pub fn new(alphabet_size: usize) -> Nta {
-        Nta { alphabet_size, num_states: 0, delta: HashMap::new(), is_final: Vec::new() }
+        Nta {
+            alphabet_size,
+            num_states: 0,
+            delta: FxHashMap::default(),
+            is_final: Vec::new(),
+        }
     }
 
     /// Adds a fresh state.
@@ -127,18 +131,14 @@ impl Nta {
     /// top-down against the bottom-up sets.
     pub fn accepting_run(&self, t: &Tree) -> Option<Vec<u32>> {
         // Bottom-up sets for every node, stored pre-order.
-        fn collect<'a>(
+        fn collect(
             nta: &Nta,
-            t: &'a Tree,
+            t: &Tree,
             out: &mut Vec<(usize, Vec<u32>)>, // (num children, set)
         ) -> Vec<u32> {
             let my_index = out.len();
             out.push((t.children.len(), Vec::new()));
-            let sets: Vec<Vec<u32>> = t
-                .children
-                .iter()
-                .map(|c| collect(nta, c, out))
-                .collect();
+            let sets: Vec<Vec<u32>> = t.children.iter().map(|c| collect(nta, c, out)).collect();
             let mut states = Vec::new();
             for q in 0..nta.num_states as u32 {
                 if let Some(nfa) = nta.delta.get(&(q, t.label)) {

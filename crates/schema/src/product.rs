@@ -26,9 +26,13 @@ pub fn intersect(a: &Nta, b: &Nta) -> Nta {
     for sym in 0..a.alphabet_size() {
         let sym = Symbol::from_index(sym);
         for qa in 0..a.num_states() as u32 {
-            let Some(na) = a.transition(qa, sym) else { continue };
+            let Some(na) = a.transition(qa, sym) else {
+                continue;
+            };
             for qb in 0..b.num_states() as u32 {
-                let Some(nbf) = b.transition(qb, sym) else { continue };
+                let Some(nbf) = b.transition(qb, sym) else {
+                    continue;
+                };
                 let zipped = zip_nfas(na, nbf, nb, out.num_states());
                 out.set_transition(pair(qa, qb), sym, zipped);
             }

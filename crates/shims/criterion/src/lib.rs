@@ -1,0 +1,196 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses: benchmark groups, `bench_with_input`/`bench_function`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark point the harness runs
+//! a warmup call, sizes an iteration batch to a few milliseconds, takes
+//! `sample_size` timed samples, and prints the median per-iteration time.
+//! Set `BENCH_SAMPLES` to override the sample count globally (useful to
+//! keep `cargo bench` quick in CI).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Target per-sample batch duration.
+const BATCH_TARGET: Duration = Duration::from_millis(5);
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_point(&id.to_string(), self.default_samples, |b| f(b));
+        self
+    }
+}
+
+/// A named group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per point.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_point(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_point(&label, self.samples, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark point id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Runs one benchmark point and prints its median sample.
+fn run_point(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warmup + batch sizing: grow the batch until it costs >= BATCH_TARGET.
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let mut iters = 1u64;
+    while per_iter.saturating_mul(iters as u32) < BATCH_TARGET && iters < 1 << 20 {
+        iters *= 2;
+    }
+    if iters > 1 {
+        b.iters = iters;
+        f(&mut b);
+        per_iter = b.elapsed / iters as u32;
+    }
+    let mut measured: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        measured.push(b.elapsed / iters as u32);
+    }
+    measured.sort_unstable();
+    let median = measured[measured.len() / 2];
+    let _ = per_iter;
+    println!("bench {label:<44} median {median:>12?}  ({samples} samples x {iters} iters)");
+}
+
+/// The per-point timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the harness sets `iters`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group-runner function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_point_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a tiny API-compatible replacement: [`Rng::gen_range`]
+//! over integer ranges, [`Rng::gen_bool`], and a seedable
+//! [`rngs::SmallRng`] backed by SplitMix64. The generators in this
+//! workspace only need deterministic, well-distributed streams — not
+//! cryptographic quality — and SplitMix64 passes BigCrush on that front.
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics on empty ranges, like the real `rand`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform `0..span` without modulo bias (rejection sampling).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let rem = ((u128::from(u64::MAX) + 1) % u128::from(span)) as u64;
+    let zone = u64::MAX - rem;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// A range that can be sampled from, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as $t as u64 && <$t>::BITS == 64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+    }
+
+    /// Alias: the workspace does not need a distinct standard generator.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0..5);
+            assert!(x < 5);
+            let y: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let z: i32 = rng.gen_range(-4..4);
+            assert!((-4..4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_is_sane() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn reborrowed_rng_works() {
+        fn takes_impl(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = takes_impl(&mut rng);
+        let _ = takes_impl(&mut rng);
+    }
+}

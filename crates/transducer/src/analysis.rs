@@ -12,8 +12,7 @@
 
 use crate::rhs::StateId;
 use crate::transducer::Transducer;
-use std::collections::HashMap;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 
 /// The deletion path graph `G_T` of Proposition 16: nodes are `(q, a)`
 /// pairs, edges go to the pairs processing deleted children, and edge costs
@@ -98,11 +97,11 @@ impl TransducerAnalysis {
 /// Builds `G_T` (Proposition 16).
 pub fn deletion_path_graph(t: &Transducer) -> DeletionPathGraph {
     // Nodes: all (q, a) pairs with a rule; plus target pairs.
-    let mut index: HashMap<(StateId, Symbol), usize> = HashMap::new();
+    let mut index: FxHashMap<(StateId, Symbol), usize> = FxHashMap::default();
     let mut nodes: Vec<(StateId, Symbol)> = Vec::new();
     let intern = |nodes: &mut Vec<(StateId, Symbol)>,
-                      index: &mut HashMap<(StateId, Symbol), usize>,
-                      key: (StateId, Symbol)| {
+                  index: &mut FxHashMap<(StateId, Symbol), usize>,
+                  key: (StateId, Symbol)| {
         *index.entry(key).or_insert_with(|| {
             nodes.push(key);
             nodes.len() - 1
@@ -201,14 +200,12 @@ pub fn recursively_deleting_states(t: &Transducer) -> Vec<bool> {
     }
     let scc = tarjan_scc(&adj_usize(&adj));
     // A state is on a cycle iff its SCC has ≥ 2 members or a self-loop.
-    let mut count = HashMap::new();
+    let mut count = FxHashMap::default();
     for &c in &scc {
         *count.entry(c).or_insert(0usize) += 1;
     }
     (0..n)
-        .map(|q| {
-            count[&scc[q]] >= 2 || adj[q].contains(&(q as u32))
-        })
+        .map(|q| count[&scc[q]] >= 2 || adj[q].contains(&(q as u32)))
         .collect()
 }
 

@@ -54,16 +54,18 @@ impl Classification {
         let class = if analysis.is_del_relab {
             TransducerClass::DeletingRelabeling
         } else if !analysis.has_deletion {
-            TransducerClass::NonDeletingBounded { copying: analysis.copying_width }
+            TransducerClass::NonDeletingBounded {
+                copying: analysis.copying_width,
+            }
         } else {
             match analysis.deletion_path_width {
                 Some(k) => TransducerClass::Tractable {
                     copying: analysis.copying_width,
                     deletion_path_width: k,
                 },
-                None => {
-                    TransducerClass::UnboundedDeletion { copying: analysis.copying_width }
-                }
+                None => TransducerClass::UnboundedDeletion {
+                    copying: analysis.copying_width,
+                },
             }
         };
         Classification { class, analysis }
@@ -92,7 +94,10 @@ impl fmt::Display for TransducerClass {
             TransducerClass::NonDeletingBounded { copying } => {
                 write!(f, "T_nd,bc (C = {copying})")
             }
-            TransducerClass::Tractable { copying, deletion_path_width } => {
+            TransducerClass::Tractable {
+                copying,
+                deletion_path_width,
+            } => {
                 write!(f, "T_trac^{{{copying},{deletion_path_width}}}")
             }
             TransducerClass::UnboundedDeletion { copying } => {
@@ -124,7 +129,10 @@ mod tests {
         let c = Classification::of(&summary);
         assert!(matches!(
             c.class,
-            TransducerClass::Tractable { copying: 2, deletion_path_width: 1 }
+            TransducerClass::Tractable {
+                copying: 2,
+                deletion_path_width: 1
+            }
         ));
 
         let mut a = Alphabet::new();
@@ -132,7 +140,10 @@ mod tests {
         let c = Classification::of(&e12);
         assert!(matches!(
             c.class,
-            TransducerClass::Tractable { copying: 3, deletion_path_width: 6 }
+            TransducerClass::Tractable {
+                copying: 3,
+                deletion_path_width: 6
+            }
         ));
         assert_eq!(c.lemma14_exponent(), Some(18));
     }
@@ -143,7 +154,10 @@ mod tests {
         let e6 = examples::example6(&mut a);
         let c = Classification::of(&e6);
         // Example 6 deletes: (q, a) → c p has p at top level.
-        assert!(matches!(c.class, TransducerClass::Tractable { copying: 2, .. }));
+        assert!(matches!(
+            c.class,
+            TransducerClass::Tractable { copying: 2, .. }
+        ));
 
         let t = crate::transducer::TransducerBuilder::new(&mut a)
             .states(&["q"])
@@ -151,7 +165,10 @@ mod tests {
             .build()
             .unwrap();
         let c = Classification::of(&t);
-        assert!(matches!(c.class, TransducerClass::NonDeletingBounded { copying: 2 }));
+        assert!(matches!(
+            c.class,
+            TransducerClass::NonDeletingBounded { copying: 2 }
+        ));
     }
 
     #[test]
@@ -176,6 +193,9 @@ mod tests {
         assert_eq!(format!("{}", Classification::of(&toc).class), "T_del-relab");
         let mut a = Alphabet::new();
         let e12 = examples::example12(&mut a);
-        assert_eq!(format!("{}", Classification::of(&e12).class), "T_trac^{3,6}");
+        assert_eq!(
+            format!("{}", Classification::of(&e12).class),
+            "T_trac^{3,6}"
+        );
     }
 }

@@ -74,8 +74,7 @@ pub fn random_transducer(
             // Possibly lead with deleting states (to larger state indices,
             // keeping deletion paths acyclic hence K finite).
             if params.allow_deletion && rng.gen_bool(params.deletion_prob) {
-                let deletable: Vec<StateId> =
-                    (q + 1..params.num_states as StateId).collect();
+                let deletable: Vec<StateId> = (q + 1..params.num_states as StateId).collect();
                 if !deletable.is_empty() {
                     let p = deletable[rng.gen_range(0..deletable.len())];
                     nodes.push(RhsNode::State(p));
@@ -85,14 +84,8 @@ pub fn random_transducer(
             rules.push(((q, sym), Rhs::new(nodes)));
         }
     }
-    Transducer::from_parts(
-        state_names,
-        0,
-        rules,
-        Vec::new(),
-        alphabet_size,
-    )
-    .expect("random transducer construction is well-formed")
+    Transducer::from_parts(state_names, 0, rules, Vec::new(), alphabet_size)
+        .expect("random transducer construction is well-formed")
 }
 
 fn random_nodes(
@@ -181,7 +174,11 @@ mod tests {
             let t = random_transducer(&mut rng, 4, params);
             let an = TransducerAnalysis::analyze(&t);
             // Deleting lead states add at most 1 sibling state.
-            assert!(an.copying_width <= 3, "seed {seed}: C = {}", an.copying_width);
+            assert!(
+                an.copying_width <= 3,
+                "seed {seed}: C = {}",
+                an.copying_width
+            );
         }
     }
 }

@@ -184,7 +184,11 @@ mod tests {
     #[test]
     fn sibling_state_count() {
         assert_eq!(sample().max_states_among_siblings(), 2);
-        let flat = Rhs::new(vec![RhsNode::State(0), RhsNode::State(1), RhsNode::State(2)]);
+        let flat = Rhs::new(vec![
+            RhsNode::State(0),
+            RhsNode::State(1),
+            RhsNode::State(2),
+        ]);
         assert_eq!(flat.max_states_among_siblings(), 3);
         assert_eq!(Rhs::empty().max_states_among_siblings(), 0);
     }

@@ -1,9 +1,8 @@
 //! The tree transducer type, builder, and semantics (Definition 5).
 
 use crate::rhs::{Rhs, RhsNode, StateId};
-use std::collections::HashMap;
 use xmlta_automata::Dfa;
-use xmlta_base::{Alphabet, Symbol};
+use xmlta_base::{Alphabet, FxHashMap, Symbol};
 use xmlta_tree::{Hedge, Tree, TreePath};
 use xmlta_xpath::{eval, parser, Pattern};
 
@@ -26,7 +25,7 @@ pub enum Selector {
 pub struct Transducer {
     state_names: Vec<String>,
     initial: StateId,
-    rules: HashMap<(StateId, Symbol), Rhs>,
+    rules: FxHashMap<(StateId, Symbol), Rhs>,
     selectors: Vec<Selector>,
     alphabet_size: usize,
 }
@@ -49,7 +48,10 @@ impl Transducer {
 
     /// Resolves a state name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.state_names.iter().position(|n| n == name).map(|i| i as StateId)
+        self.state_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as StateId)
     }
 
     /// The rule `rhs(q, a)`, if present.
@@ -172,7 +174,7 @@ impl Transducer {
         selectors: Vec<Selector>,
         alphabet_size: usize,
     ) -> Result<Transducer, BuildError> {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         for ((q, a), rhs) in rules {
             if map.insert((q, a), rhs).is_some() {
                 return Err(BuildError::DuplicateRule(
@@ -187,7 +189,13 @@ impl Transducer {
         if state_names.is_empty() {
             return Err(BuildError::NoStates);
         }
-        Ok(Transducer { state_names, initial, rules: map, selectors, alphabet_size })
+        Ok(Transducer {
+            state_names,
+            initial,
+            rules: map,
+            selectors,
+            alphabet_size,
+        })
     }
 }
 
@@ -291,7 +299,8 @@ impl<'a> TransducerBuilder<'a> {
 
     /// Adds the rule `(state, symbol) → rhs`.
     pub fn rule(mut self, state: &str, symbol: &str, rhs: &str) -> Self {
-        self.rules.push((state.to_string(), symbol.to_string(), rhs.to_string()));
+        self.rules
+            .push((state.to_string(), symbol.to_string(), rhs.to_string()));
         self
     }
 
@@ -324,12 +333,11 @@ impl<'a> TransducerBuilder<'a> {
             .ok_or_else(|| BuildError::UnknownState(initial_name.clone()))?
             as StateId;
 
-        let mut selectors: Vec<Selector> =
-            dfa_selectors.into_iter().map(Selector::Dfa).collect();
+        let mut selectors: Vec<Selector> = dfa_selectors.into_iter().map(Selector::Dfa).collect();
         let mut t = Transducer {
             state_names: state_names.clone(),
             initial,
-            rules: HashMap::new(),
+            rules: FxHashMap::default(),
             selectors: Vec::new(),
             alphabet_size: alphabet.len(),
         };
@@ -338,7 +346,8 @@ impl<'a> TransducerBuilder<'a> {
             let q = state_names
                 .iter()
                 .position(|n| *n == state)
-                .ok_or_else(|| BuildError::UnknownState(state.clone()))? as StateId;
+                .ok_or_else(|| BuildError::UnknownState(state.clone()))?
+                as StateId;
             let sym = alphabet.intern(&symbol);
             let rhs = parse_rhs(
                 &rhs_src,
@@ -402,7 +411,7 @@ fn parse_rhs(
                     p.pos += 1;
                     p.skip_ws();
                     let start = p.pos;
-                    while p.peek().map_or(false, name_char) {
+                    while p.peek().is_some_and(name_char) {
                         p.pos += p.peek().expect("peeked").len_utf8();
                     }
                     let state = p.src[start..p.pos].to_string();
@@ -442,7 +451,7 @@ fn parse_rhs(
                 }
                 Some(c) if name_char(c) => {
                     let start = p.pos;
-                    while p.peek().map_or(false, name_char) {
+                    while p.peek().is_some_and(name_char) {
                         p.pos += p.peek().expect("peeked").len_utf8();
                     }
                     let name = p.src[start..p.pos].to_string();
@@ -459,7 +468,8 @@ fn parse_rhs(
                         let sym = alphabet.intern(&name);
                         let children = if has_children {
                             p.pos += 1;
-                            let cs = items(p, alphabet, state_names, dfa_selector_names, selectors)?;
+                            let cs =
+                                items(p, alphabet, state_names, dfa_selector_names, selectors)?;
                             p.skip_ws();
                             if p.peek() != Some(')') {
                                 return Err(BuildError::RhsSyntax("expected `)`".into()));
@@ -481,7 +491,10 @@ fn parse_rhs(
     let nodes = items(&mut p, alphabet, state_names, dfa_selector_names, selectors)?;
     p.skip_ws();
     if !p.rest().is_empty() {
-        return Err(BuildError::RhsSyntax(format!("unexpected input `{}`", p.rest())));
+        return Err(BuildError::RhsSyntax(format!(
+            "unexpected input `{}`",
+            p.rest()
+        )));
     }
     Ok(Rhs::new(nodes))
 }

@@ -21,9 +21,8 @@
 
 use crate::rhs::{Rhs, RhsNode, StateId};
 use crate::transducer::{Selector, Transducer};
-use std::collections::HashMap;
 use xmlta_automata::Dfa;
-use xmlta_base::Symbol;
+use xmlta_base::{FxHashMap, Symbol};
 use xmlta_xpath::compile;
 
 /// Why selector expansion failed.
@@ -76,9 +75,12 @@ pub fn expand_selectors_with_alphabet(
     let mut dfas: Vec<Dfa> = Vec::with_capacity(t.selectors().len());
     for (i, sel) in t.selectors().iter().enumerate() {
         let dfa = match sel {
-            Selector::XPath(p) => compile::compile_to_dfa(p, sigma).map_err(|e| {
-                TranslateError::NotLinear { selector: i as u32, reason: e.to_string() }
-            })?,
+            Selector::XPath(p) => {
+                compile::compile_to_dfa(p, sigma).map_err(|e| TranslateError::NotLinear {
+                    selector: i as u32,
+                    reason: e.to_string(),
+                })?
+            }
             // DFA selectors keep their own alphabet; letters beyond it have
             // no transitions (see `Dfa::step`), matching the semantics of
             // `select_by_dfa`.
@@ -91,7 +93,7 @@ pub fn expand_selectors_with_alphabet(
 
     let mut state_names: Vec<String> = t.state_names().to_vec();
     // (orig state, selector, dfa state) → new state id.
-    let mut pair_ids: HashMap<(StateId, u32, u32), StateId> = HashMap::new();
+    let mut pair_ids: FxHashMap<(StateId, u32, u32), StateId> = FxHashMap::default();
     // Discover needed (state, selector) combinations.
     let mut combos: Vec<(StateId, u32)> = Vec::new();
     for (_, _, rhs) in t.rules() {
@@ -121,7 +123,9 @@ pub fn expand_selectors_with_alphabet(
         let dfa = &dfas[s as usize];
         for b in 0..sigma {
             let sym = Symbol::from_index(b);
-            let Some(r) = dfa.step(d, sym.0) else { continue };
+            let Some(r) = dfa.step(d, sym.0) else {
+                continue;
+            };
             if !live[s as usize][r as usize] {
                 continue;
             }
@@ -157,15 +161,11 @@ fn collect_combos(nodes: &[RhsNode], out: &mut Vec<(StateId, u32)>) {
     }
 }
 
-fn rewrite_rhs(
-    rhs: &Rhs,
-    dfas: &[Dfa],
-    pair_ids: &HashMap<(StateId, u32, u32), StateId>,
-) -> Rhs {
+fn rewrite_rhs(rhs: &Rhs, dfas: &[Dfa], pair_ids: &FxHashMap<(StateId, u32, u32), StateId>) -> Rhs {
     fn go(
         n: &RhsNode,
         dfas: &[Dfa],
-        pair_ids: &HashMap<(StateId, u32, u32), StateId>,
+        pair_ids: &FxHashMap<(StateId, u32, u32), StateId>,
     ) -> Option<RhsNode> {
         match n {
             RhsNode::Elem(s, cs) => Some(RhsNode::Elem(
@@ -181,7 +181,12 @@ fn rewrite_rhs(
             }
         }
     }
-    Rhs::new(rhs.nodes.iter().filter_map(|n| go(n, dfas, pair_ids)).collect())
+    Rhs::new(
+        rhs.nodes
+            .iter()
+            .filter_map(|n| go(n, dfas, pair_ids))
+            .collect(),
+    )
 }
 
 /// DFA states from which a final state is reachable.
@@ -196,8 +201,7 @@ fn live_states(dfa: &Dfa) -> Vec<bool> {
         }
     }
     let mut live = vec![false; n];
-    let mut stack: Vec<u32> =
-        (0..n as u32).filter(|&q| dfa.is_final_state(q)).collect();
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&q| dfa.is_final_state(q)).collect();
     for &q in &stack {
         live[q as usize] = true;
     }
@@ -215,8 +219,7 @@ fn live_states(dfa: &Dfa) -> Vec<bool> {
 /// Whether some transition from `q` leads to a live state (i.e. matching can
 /// usefully continue below the current node).
 fn has_live_successor(dfa: &Dfa, live: &[bool], q: u32) -> bool {
-    (0..dfa.alphabet_size() as u32)
-        .any(|l| dfa.step(q, l).is_some_and(|r| live[r as usize]))
+    (0..dfa.alphabet_size() as u32).any(|l| dfa.step(q, l).is_some_and(|r| live[r as usize]))
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ pub struct TreeParseError {
 
 impl fmt::Display for TreeParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tree parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "tree parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -27,7 +31,11 @@ impl std::error::Error for TreeParseError {}
 
 /// Parses a single tree in term syntax, interning names into `alphabet`.
 pub fn parse_tree(input: &str, alphabet: &mut Alphabet) -> Result<Tree, TreeParseError> {
-    let mut p = P { input, pos: 0, alphabet };
+    let mut p = P {
+        input,
+        pos: 0,
+        alphabet,
+    };
     p.skip_ws();
     let t = p.tree()?;
     p.skip_ws();
@@ -39,7 +47,11 @@ pub fn parse_tree(input: &str, alphabet: &mut Alphabet) -> Result<Tree, TreePars
 
 /// Parses a hedge (a whitespace-separated sequence of trees).
 pub fn parse_hedge(input: &str, alphabet: &mut Alphabet) -> Result<Hedge, TreeParseError> {
-    let mut p = P { input, pos: 0, alphabet };
+    let mut p = P {
+        input,
+        pos: 0,
+        alphabet,
+    };
     let h = p.hedge()?;
     p.skip_ws();
     if !p.rest().is_empty() {
@@ -60,7 +72,10 @@ impl P<'_, '_> {
     }
 
     fn err(&self, message: impl Into<String>) -> TreeParseError {
-        TreeParseError { message: message.into(), offset: self.pos }
+        TreeParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -88,7 +103,7 @@ impl P<'_, '_> {
     fn tree(&mut self) -> Result<Tree, TreeParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.peek().map_or(false, is_name_char) {
+        while self.peek().is_some_and(is_name_char) {
             self.pos += self.peek().expect("peeked").len_utf8();
         }
         if self.pos == start {

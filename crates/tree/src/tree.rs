@@ -21,7 +21,10 @@ pub struct Tree {
 impl Tree {
     /// A leaf `a`.
     pub fn leaf(label: Symbol) -> Tree {
-        Tree { label, children: Vec::new() }
+        Tree {
+            label,
+            children: Vec::new(),
+        }
     }
 
     /// A tree `a(children)`.
@@ -73,7 +76,10 @@ impl Tree {
 
     /// Renders the tree in the paper's term syntax through `alphabet`.
     pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> TreeDisplay<'a> {
-        TreeDisplay { tree: self, alphabet }
+        TreeDisplay {
+            tree: self,
+            alphabet,
+        }
     }
 
     /// Iterates over all labels (pre-order).

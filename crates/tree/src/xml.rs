@@ -36,7 +36,9 @@ pub fn from_xml(input: &str, alphabet: &mut Alphabet) -> Result<Tree, String> {
     let mut root: Option<Tree> = None;
     let mut rest = input.trim();
     while !rest.is_empty() {
-        let open = rest.find('<').ok_or_else(|| format!("expected tag near `{rest}`"))?;
+        let open = rest
+            .find('<')
+            .ok_or_else(|| format!("expected tag near `{rest}`"))?;
         let close = rest[open..]
             .find('>')
             .map(|i| i + open)
@@ -67,7 +69,7 @@ pub fn from_xml(input: &str, alphabet: &mut Alphabet) -> Result<Tree, String> {
     root.ok_or_else(|| "empty document".to_string())
 }
 
-fn attach(stack: &mut Vec<Tree>, root: &mut Option<Tree>, t: Tree) -> Result<(), String> {
+fn attach(stack: &mut [Tree], root: &mut Option<Tree>, t: Tree) -> Result<(), String> {
     match stack.last_mut() {
         Some(parent) => {
             parent.children.push(t);

@@ -42,12 +42,18 @@ pub enum Expr {
 impl Pattern {
     /// Convenience constructor for `·/φ`.
     pub fn child(expr: Expr) -> Pattern {
-        Pattern { axis: Axis::Child, expr }
+        Pattern {
+            axis: Axis::Child,
+            expr,
+        }
     }
 
     /// Convenience constructor for `·//φ`.
     pub fn descendant(expr: Expr) -> Pattern {
-        Pattern { axis: Axis::Descendant, expr }
+        Pattern {
+            axis: Axis::Descendant,
+            expr,
+        }
     }
 
     /// Number of AST nodes (the pattern size used in the bounds).

@@ -53,11 +53,17 @@ pub fn linearize(pattern: &Pattern) -> Result<Vec<Step>, CompileError> {
 fn flatten(e: &Expr, incoming: Axis, out: &mut Vec<Step>) -> Result<(), CompileError> {
     match e {
         Expr::Test(s) => {
-            out.push(Step { axis: incoming, test: Some(*s) });
+            out.push(Step {
+                axis: incoming,
+                test: Some(*s),
+            });
             Ok(())
         }
         Expr::Wildcard => {
-            out.push(Step { axis: incoming, test: None });
+            out.push(Step {
+                axis: incoming,
+                test: None,
+            });
             Ok(())
         }
         Expr::Child(l, r) => {
@@ -140,8 +146,7 @@ mod tests {
         let t = parse_tree(tree_src, &mut al).unwrap();
         let p = parse_pattern(pattern_src, &mut al).unwrap();
         let dfa = compile_to_dfa(&p, al.len()).unwrap();
-        let selected: std::collections::HashSet<TreePath> =
-            select(&p, &t).into_iter().collect();
+        let selected: std::collections::HashSet<TreePath> = select(&p, &t).into_iter().collect();
         for (path, _) in t.nodes() {
             if path.is_root() {
                 continue;

@@ -75,7 +75,9 @@ fn children(t: &Tree, u: &TreePath) -> Vec<TreePath> {
 }
 
 fn strict_descendants(t: &Tree, u: &TreePath) -> Vec<TreePath> {
-    let Some(sub) = t.subtree(u) else { return Vec::new() };
+    let Some(sub) = t.subtree(u) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for (p, _) in sub.nodes() {
         if p.is_root() {

@@ -17,7 +17,11 @@ pub struct XPathParseError {
 
 impl fmt::Display for XPathParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xpath parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xpath parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -25,7 +29,11 @@ impl std::error::Error for XPathParseError {}
 
 /// Parses a pattern, interning element names into `alphabet`.
 pub fn parse_pattern(input: &str, alphabet: &mut Alphabet) -> Result<Pattern, XPathParseError> {
-    let mut p = P { input, pos: 0, alphabet };
+    let mut p = P {
+        input,
+        pos: 0,
+        alphabet,
+    };
     let pat = p.pattern()?;
     p.skip_ws();
     if !p.rest().is_empty() {
@@ -46,7 +54,10 @@ impl P<'_, '_> {
     }
 
     fn err(&self, message: impl Into<String>) -> XPathParseError {
-        XPathParseError { message: message.into(), offset: self.pos }
+        XPathParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -150,7 +161,7 @@ impl P<'_, '_> {
             .rest()
             .chars()
             .next()
-            .map_or(false, |c| c.is_alphanumeric() || matches!(c, '_' | '#' | '$' | '-'))
+            .is_some_and(|c| c.is_alphanumeric() || matches!(c, '_' | '#' | '$' | '-'))
         {
             let c = self.rest().chars().next().expect("peeked");
             self.pos += c.len_utf8();
@@ -208,7 +219,13 @@ mod tests {
     #[test]
     fn roundtrip_display() {
         let mut a = Alphabet::new();
-        for s in ["./a/b", ".//a", "./(a|b)/c", "./a[./b]/*", ".//a[.//b[./c]]"] {
+        for s in [
+            "./a/b",
+            ".//a",
+            "./(a|b)/c",
+            "./a[./b]/*",
+            ".//a[.//b[./c]]",
+        ] {
             let p = parse_pattern(s, &mut a).unwrap();
             let shown = format!("{}", p.display(&a));
             let p2 = parse_pattern(&shown, &mut a).unwrap();

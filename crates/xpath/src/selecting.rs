@@ -55,12 +55,8 @@ fn rewrite(e: &Expr, incoming: Axis, marker: Symbol) -> Expr {
             Box::new(rewrite(a, incoming, marker)),
             Box::new(rewrite(b, incoming, marker)),
         ),
-        Expr::Child(a, b) => {
-            Expr::Child(a.clone(), Box::new(rewrite(b, Axis::Child, marker)))
-        }
-        Expr::Desc(a, b) => {
-            Expr::Desc(a.clone(), Box::new(rewrite(b, Axis::Descendant, marker)))
-        }
+        Expr::Child(a, b) => Expr::Child(a.clone(), Box::new(rewrite(b, Axis::Child, marker))),
+        Expr::Desc(a, b) => Expr::Desc(a.clone(), Box::new(rewrite(b, Axis::Descendant, marker))),
         Expr::Filter(a, p) => {
             // Composite expression under a filter (does not occur in the
             // Lemma 26 fragments): rewrite inside, keep the filter.

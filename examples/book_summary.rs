@@ -19,10 +19,16 @@ fn main() {
 
     let doc = examples::figure3_document(&mut alphabet);
     let out = summary.apply(&doc).expect("tree output");
-    println!("Summary of the Figure 3 document:\n{}", out.display(&alphabet));
+    println!(
+        "Summary of the Figure 3 document:\n{}",
+        out.display(&alphabet)
+    );
 
     let instance = Instance::dtds(alphabet, din, dout, summary);
     let outcome = typecheck(&instance).expect("engine runs");
-    println!("\ntypechecks against the Example 11 schema? {}", outcome.type_checks());
+    println!(
+        "\ntypechecks against the Example 11 schema? {}",
+        outcome.type_checks()
+    );
     assert!(outcome.type_checks(), "the paper's Example 11 typechecks");
 }

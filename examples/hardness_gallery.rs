@@ -4,18 +4,24 @@
 //!
 //! Run with `cargo run --release -p xmlta-examples --example hardness_gallery`.
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use typecheck_core::typecheck;
 use xmlta_automata::unary::{mod_nonzero_dfa, mod_zero_dfa};
 use xmlta_hardness::{path_systems, thm18, thm28, unary_sat};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     println!("== Theorem 18: DFA intersection -> typechecking ==");
     for (name, dfas) in [
-        ("mod2 ∩ mod3 (non-empty)", vec![mod_zero_dfa(2), mod_zero_dfa(3)]),
-        ("odd ∩ even (empty)", vec![mod_nonzero_dfa(2), mod_zero_dfa(2)]),
+        (
+            "mod2 ∩ mod3 (non-empty)",
+            vec![mod_zero_dfa(2), mod_zero_dfa(3)],
+        ),
+        (
+            "odd ∩ even (empty)",
+            vec![mod_nonzero_dfa(2), mod_zero_dfa(2)],
+        ),
     ] {
         let inst = thm18::build(&dfas, 1);
         let start = Instant::now();

@@ -34,7 +34,10 @@ fn main() {
     let dout = Dtd::parse("book -> title (chapter title*)*", &mut alphabet).unwrap();
     let instance = Instance::dtds(alphabet.clone(), din.clone(), dout, toc.clone());
     let outcome = typecheck(&instance).expect("engine runs");
-    println!("typechecks against `book -> title (chapter title*)*`? {}", outcome.type_checks());
+    println!(
+        "typechecks against `book -> title (chapter title*)*`? {}",
+        outcome.type_checks()
+    );
     assert!(outcome.type_checks());
 
     // Break the schema: demand exactly one title per chapter.

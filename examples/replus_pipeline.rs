@@ -31,14 +31,13 @@ fn main() {
         .build()
         .unwrap();
 
-    let dout_ok = Dtd::parse_replus(
-        "book -> t a+ t i t a+ t i",
-        &mut alphabet,
-    )
-    .unwrap();
+    let dout_ok = Dtd::parse_replus("book -> t a+ t i t a+ t i", &mut alphabet).unwrap();
     let instance = Instance::dtds(alphabet.clone(), din.clone(), dout_ok, t.clone());
     let outcome = typecheck(&instance).expect("engine runs");
-    println!("copy-twice against the doubled schema: typechecks={}", outcome.type_checks());
+    println!(
+        "copy-twice against the doubled schema: typechecks={}",
+        outcome.type_checks()
+    );
     assert!(outcome.type_checks());
 
     // Tighten: only one copy expected — t_vast exposes the failure.

@@ -25,7 +25,11 @@ fn main() {
     );
 
     let doc = examples::figure3_document(&mut alphabet);
-    assert_eq!(t22.apply(&doc), plain.apply(&doc), "translation is equivalent");
+    assert_eq!(
+        t22.apply(&doc),
+        plain.apply(&doc),
+        "translation is equivalent"
+    );
     println!(
         "Example 22 output: {}",
         t22.apply(&doc).unwrap().display(&alphabet)

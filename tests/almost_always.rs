@@ -58,11 +58,7 @@ fn width_pumping_is_infinite() {
 fn depth_pumping_is_infinite() {
     let v = run(
         "r -> m\nm -> m | x\nx -> ",
-        &[
-            ("root", "r", "r(q)"),
-            ("q", "m", "k(q)"),
-            ("q", "x", "bad"),
-        ],
+        &[("root", "r", "r(q)"), ("q", "m", "k(q)"), ("q", "x", "bad")],
         "r -> k?\nk -> k?",
     );
     assert_eq!(v, AlmostAlways::InfinitelyMany);

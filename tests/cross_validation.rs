@@ -65,7 +65,11 @@ fn random_instance(seed: u64) -> (Alphabet, Dtd, Dtd, xmlta_transducer::Transduc
 /// says "typechecks", brute force must not find a counterexample.
 #[test]
 fn lemma14_agrees_with_bruteforce_on_random_instances() {
-    let bounds = Bounds { max_depth: 3, max_width: 2, max_trees: 3000 };
+    let bounds = Bounds {
+        max_depth: 3,
+        max_width: 2,
+        max_trees: 3000,
+    };
     let mut checked = 0;
     for seed in 0..120u64 {
         let (a, din, dout, t) = random_instance(seed);
@@ -119,8 +123,7 @@ fn dispatcher_routes_consistently() {
     for seed in 0..40u64 {
         let (a, din, dout, t) = random_instance(seed);
         let direct = lemma14::typecheck_dtds(&din, &dout, &t, a.len()).unwrap();
-        let routed =
-            typecheck(&Instance::dtds(a, din, dout, t)).unwrap();
+        let routed = typecheck(&Instance::dtds(a, din, dout, t)).unwrap();
         assert_eq!(direct.type_checks(), routed.type_checks(), "seed {seed}");
     }
 }

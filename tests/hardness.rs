@@ -14,7 +14,10 @@ fn thm18_roundtrip_families() {
     let cases: Vec<(Vec<Dfa>, &str)> = vec![
         (vec![mod_zero_dfa(2), mod_zero_dfa(3)], "2∩3"),
         (vec![mod_nonzero_dfa(2), mod_zero_dfa(2)], "odd∩even"),
-        (vec![mod_zero_dfa(2), mod_zero_dfa(3), mod_nonzero_dfa(5)], "triple"),
+        (
+            vec![mod_zero_dfa(2), mod_zero_dfa(3), mod_nonzero_dfa(5)],
+            "triple",
+        ),
     ];
     for (dfas, name) in cases {
         let refs: Vec<&Dfa> = dfas.iter().collect();
@@ -105,7 +108,10 @@ fn lemma3_random_path_systems() {
     for layers in 2..5 {
         for _ in 0..5 {
             let ps = path_systems::random_path_system(&mut rng, layers, 3, 2);
-            assert_eq!(ps.goal_provable(), path_systems::provable_via_emptiness(&ps));
+            assert_eq!(
+                ps.goal_provable(),
+                path_systems::provable_via_emptiness(&ps)
+            );
         }
     }
 }

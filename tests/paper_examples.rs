@@ -82,7 +82,10 @@ fn example12_13_17_figure4() {
     let c = Classification::of(&summary);
     assert!(matches!(
         c.class,
-        TransducerClass::Tractable { copying: 2, deletion_path_width: 1 }
+        TransducerClass::Tractable {
+            copying: 2,
+            deletion_path_width: 1
+        }
     ));
 }
 

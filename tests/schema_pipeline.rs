@@ -12,7 +12,10 @@ fn random_dtd(seed: u64, layers: usize) -> (Alphabet, Dtd) {
     let mut a = Alphabet::new();
     let d = generate::random_layered_dtd(
         &mut rng,
-        generate::LayeredDtdParams { layers, ..Default::default() },
+        generate::LayeredDtdParams {
+            layers,
+            ..Default::default()
+        },
         &mut a,
     );
     (a, d)
@@ -58,7 +61,10 @@ fn completion_preserves_language_and_determinism() {
     for seed in 0..6u64 {
         let (_, d) = random_dtd(seed, 2);
         let nta = convert::dtd_to_nta(&d);
-        assert!(dta::is_deterministic(&nta), "DTD automata are deterministic");
+        assert!(
+            dta::is_deterministic(&nta),
+            "DTD automata are deterministic"
+        );
         let completed = dta::complete(&nta);
         assert!(dta::is_deterministic(&completed));
         assert!(dta::is_complete(&completed));
