@@ -21,6 +21,25 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== xmlta CLI smoke (gen + typecheck + batch + report)"
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+cargo run --release -q -p xmlta-service --bin xmlta -- \
+    gen mixed --count 24 --groups 4 --out "$smoke/instances" > "$smoke/files.txt"
+# The first generated file always typechecks (exit 0).
+cargo run --release -q -p xmlta-service --bin xmlta -- \
+    typecheck "$(head -n1 "$smoke/files.txt")"
+cargo run --release -q -p xmlta-service --bin xmlta -- \
+    batch --threads 1 --out "$smoke/b1.json" "$smoke/instances"
+cargo run --release -q -p xmlta-service --bin xmlta -- \
+    batch --threads 4 --out "$smoke/b4.json" "$smoke/instances"
+cmp "$smoke/b1.json" "$smoke/b4.json" \
+    || { echo "batch JSON differs across thread counts"; exit 1; }
+cargo run --release -q -p xmlta-service --bin xmlta -- report "$smoke/b1.json"
+
+echo "== quickstart example"
+cargo run --release -q -p xmlta-examples --example quickstart > /dev/null
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== compile benches"
     cargo bench --no-run -q

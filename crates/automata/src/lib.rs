@@ -20,6 +20,7 @@ pub mod nfa;
 pub mod ops;
 pub mod regex;
 pub mod replus;
+pub mod to_regex;
 pub mod unary;
 
 pub use dfa::Dfa;

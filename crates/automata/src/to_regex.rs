@@ -1,0 +1,161 @@
+//! Regular-expression extraction from NFAs (Kleene's state elimination).
+//!
+//! The service layer's textual instance format stores tree-automaton
+//! transition languages as regular expressions over state names; this module
+//! provides the reverse direction so that programmatically built NTAs can be
+//! pretty-printed. The extracted expression denotes exactly the NFA's
+//! language but is in general *not* structurally minimal — round-tripping
+//! through the textual format preserves languages, not automaton shapes.
+
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// Smart union: flattens nested alternations and drops `empty` operands.
+fn alt(a: Option<Regex>, b: Option<Regex>) -> Option<Regex> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) if x == y => Some(x),
+        (Some(Regex::Alt(mut xs)), Some(Regex::Alt(ys))) => {
+            xs.extend(ys);
+            Some(Regex::Alt(xs))
+        }
+        (Some(Regex::Alt(mut xs)), Some(y)) => {
+            xs.push(y);
+            Some(Regex::Alt(xs))
+        }
+        (Some(x), Some(Regex::Alt(mut ys))) => {
+            ys.insert(0, x);
+            Some(Regex::Alt(ys))
+        }
+        (Some(x), Some(y)) => Some(Regex::Alt(vec![x, y])),
+    }
+}
+
+/// Smart concatenation: `empty` annihilates, `eps` is the unit.
+fn cat(a: Option<Regex>, b: Option<Regex>) -> Option<Regex> {
+    let (x, y) = (a?, b?);
+    Some(match (x, y) {
+        (Regex::Epsilon, z) | (z, Regex::Epsilon) => z,
+        (Regex::Concat(mut xs), Regex::Concat(ys)) => {
+            xs.extend(ys);
+            Regex::Concat(xs)
+        }
+        (Regex::Concat(mut xs), z) => {
+            xs.push(z);
+            Regex::Concat(xs)
+        }
+        (z, Regex::Concat(mut ys)) => {
+            ys.insert(0, z);
+            Regex::Concat(ys)
+        }
+        (x, y) => Regex::Concat(vec![x, y]),
+    })
+}
+
+/// Smart star: `∅* = ε* = ε`, `(r*)* = r*`, `(r+)* = r*`.
+fn star(a: Option<Regex>) -> Option<Regex> {
+    Some(match a {
+        None | Some(Regex::Epsilon) => Regex::Epsilon,
+        Some(Regex::Star(r)) | Some(Regex::Plus(r)) => Regex::Star(r),
+        Some(r) => Regex::Star(Box::new(r)),
+    })
+}
+
+/// Extracts a regular expression denoting `L(nfa)` by state elimination.
+///
+/// Builds the generalized NFA with a fresh source and sink, then eliminates
+/// the original states in order, folding self-loops into stars. Worst-case
+/// output size is exponential in the state count; the tree-automaton
+/// transition NFAs this is used on have a handful of states.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    let n = nfa.num_states();
+    // GNFA edge matrix over states 0..n plus source `n` and sink `n + 1`.
+    let m = n + 2;
+    let (src, snk) = (n, n + 1);
+    let mut edge: Vec<Option<Regex>> = vec![None; m * m];
+    let at = |i: usize, j: usize| i * m + j;
+    for (q, l, r) in nfa.transitions() {
+        let e = &mut edge[at(q as usize, r as usize)];
+        *e = alt(e.take(), Some(Regex::Sym(l)));
+    }
+    for &q in nfa.initial_states() {
+        let e = &mut edge[at(src, q as usize)];
+        *e = alt(e.take(), Some(Regex::Epsilon));
+    }
+    for q in 0..n {
+        if nfa.is_final_state(q as u32) {
+            let e = &mut edge[at(q, snk)];
+            *e = alt(e.take(), Some(Regex::Epsilon));
+        }
+    }
+    for k in 0..n {
+        let loop_star = star(edge[at(k, k)].clone());
+        for i in 0..m {
+            if i == k || edge[at(i, k)].is_none() {
+                continue;
+            }
+            for j in 0..m {
+                if j == k || edge[at(k, j)].is_none() {
+                    continue;
+                }
+                let through = cat(
+                    cat(edge[at(i, k)].clone(), loop_star.clone()),
+                    edge[at(k, j)].clone(),
+                );
+                let e = &mut edge[at(i, j)];
+                *e = alt(e.take(), through);
+            }
+        }
+        for x in 0..m {
+            edge[at(k, x)] = None;
+            edge[at(x, k)] = None;
+        }
+    }
+    edge[at(src, snk)].take().unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_nfa, random_word};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrips_simple_languages() {
+        let sigma = 3;
+        // a b* c
+        let mut nfa = Nfa::new(sigma);
+        let (q0, q1, q2) = (0, nfa.add_state(), nfa.add_state());
+        nfa.add_transition(q0, 0, q1);
+        nfa.add_transition(q1, 1, q1);
+        nfa.add_transition(q1, 2, q2);
+        nfa.set_final(q2);
+        let re = nfa_to_regex(&nfa);
+        let back = re.to_nfa(sigma);
+        for w in [vec![0, 2], vec![0, 1, 1, 2], vec![0], vec![2], vec![]] {
+            assert_eq!(nfa.accepts(&w), back.accepts(&w), "word {w:?} of {re:?}");
+        }
+    }
+
+    #[test]
+    fn empty_language_extracts_empty() {
+        let nfa = Nfa::empty_language(2);
+        assert_eq!(nfa_to_regex(&nfa), Regex::Empty);
+    }
+
+    #[test]
+    fn random_nfas_language_preserved() {
+        let sigma = 3;
+        for seed in 0..40u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let nfa = random_nfa(&mut rng, 5, sigma, 10);
+            let back = nfa_to_regex(&nfa).to_nfa(sigma);
+            let mut wrng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+            for len in 0..7 {
+                let w = random_word(&mut wrng, len, sigma);
+                assert_eq!(nfa.accepts(&w), back.accepts(&w), "seed {seed} word {w:?}");
+            }
+        }
+    }
+}

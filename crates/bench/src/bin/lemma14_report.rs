@@ -1,13 +1,15 @@
 //! Emits `BENCH_lemma14.json`: wall-clock timings of the Lemma 14 engine
-//! over the scaling families of `lemma14_scaling` plus the schema-ops
-//! determinize/minimize kernels, so the perf trajectory is tracked PR over
-//! PR.
+//! over the scaling families of `lemma14_scaling`, the schema-ops
+//! determinize/minimize kernels, and the service-layer batch driver (cold
+//! vs warm schema cache), so the perf trajectory is tracked PR over PR.
 //!
-//! Usage: `cargo run --release -p xmlta-bench --bin lemma14_report -- [label]`
+//! Usage:
+//! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH]`
 //!
-//! The report is written to `BENCH_lemma14.json` in the current directory.
-//! If the file already exists, the new run is *appended* to its `runs`
-//! array, so a before/after pair can live in one file:
+//! The report is written to `BENCH_lemma14.json` (or `--out PATH`). If the
+//! file already exists, the new run is *appended* to its `runs` array, so a
+//! before/after pair can live in one file; if the existing file is not a
+//! well-formed report, the process exits nonzero instead of overwriting it:
 //!
 //! ```text
 //! cargo run --release -p xmlta-bench --bin lemma14_report -- seed-baseline
@@ -16,12 +18,15 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 use typecheck_core::typecheck;
 use xmlta_automata::generate::{random_dfa, random_nfa};
 use xmlta_automata::minimize::minimize;
 use xmlta_automata::ops::determinize;
 use xmlta_hardness::workloads::{self, Workload};
+use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::{gen, SchemaCache};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -63,11 +68,33 @@ fn typecheck_series(name: &str, reps: usize, points: &[(usize, Workload)]) -> (S
     (name.to_string(), measured)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut label: Option<String> = None;
+    let mut path = "BENCH_lemma14.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => path = p,
+                None => {
+                    eprintln!("lemma14_report: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("lemma14_report: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+            other if label.is_none() => label = Some(other.to_string()),
+            other => {
+                eprintln!("lemma14_report: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // The label lands inside the machine-scanned JSON: restrict it to
     // characters that can't break string quoting or the brace scan.
-    let label: String = std::env::args()
-        .nth(1)
+    let label: String = label
         .unwrap_or_else(|| "unlabeled".to_string())
         .chars()
         .map(|c| {
@@ -78,6 +105,21 @@ fn main() {
             }
         })
         .collect();
+
+    // Refuse to clobber a report we cannot merge with *before* spending
+    // minutes measuring.
+    let existing: Vec<String> = match std::fs::read_to_string(&path) {
+        Ok(s) => {
+            match extract_runs(&s) {
+                Ok(runs) => runs,
+                Err(e) => {
+                    eprintln!("lemma14_report: {path} exists but is malformed ({e}); refusing to overwrite");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Err(_) => Vec::new(),
+    };
     println!("== lemma14 perf report ({label}) ==");
 
     // The four lemma14_scaling sweeps.
@@ -136,6 +178,40 @@ fn main() {
         series.push(("kernel/minimize".to_string(), points));
     }
 
+    // Service-layer batch throughput: the same mixed repeated-schema batch
+    // (8 schema groups) checked with the schema-compilation cache disabled
+    // (cold: every instance recompiles its rules) and enabled (warm). The
+    // gap is the cache's win on repeated-schema workloads.
+    {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        for n in [128usize, 512, 1024] {
+            let items: Vec<BatchItem> = gen::mixed_sources(n, 8, 7)
+                .expect("generators print")
+                .into_iter()
+                .map(|(name, source)| BatchItem { name, source })
+                .collect();
+            let millis = time_median(3, || {
+                let out = run_batch(&items, threads, None);
+                assert_eq!(out.tally().2, 0, "no batch item may error");
+            });
+            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/batch-cold");
+            cold.push(Point { param: n, millis });
+            let millis = time_median(3, || {
+                let cache = SchemaCache::new();
+                let out = run_batch(&items, threads, Some(&cache));
+                assert_eq!(out.tally().2, 0, "no batch item may error");
+            });
+            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/batch-warm");
+            warm.push(Point { param: n, millis });
+        }
+        series.push(("service/batch-cold".to_string(), cold));
+        series.push(("service/batch-warm".to_string(), warm));
+    }
+
     // Serialize this run.
     let mut run = String::new();
     let _ = write!(
@@ -152,35 +228,33 @@ fn main() {
     }
     let _ = write!(run, "      }}\n    }}");
 
-    // Merge with an existing report if present.
-    let path = "BENCH_lemma14.json";
-    let existing: Vec<String> = match std::fs::read_to_string(path) {
-        Ok(s) => extract_runs(&s),
-        Err(_) => Vec::new(),
-    };
+    // Merge with the existing report (validated before measuring).
     let mut runs = existing;
     runs.push(run);
     let json = format!(
         "{{\n  \"benchmark\": \"lemma14\",\n  \"unit\": \"ms\",\n  \"runs\": [\n{}\n  ]\n}}\n",
         runs.join(",\n")
     );
-    std::fs::write(path, json).expect("write BENCH_lemma14.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path} ({} run(s))", runs.len());
+    ExitCode::SUCCESS
 }
 
 /// Pulls the previously serialized run objects back out of the report.
 ///
 /// The file is machine-written with exactly the layout produced above, so a
 /// structural scan (brace matching inside the `runs` array) is sufficient —
-/// no JSON parser dependency needed offline.
-fn extract_runs(s: &str) -> Vec<String> {
+/// no JSON parser dependency needed offline. Anything that does not look
+/// like such a report is an error: appending to it would destroy data.
+fn extract_runs(s: &str) -> Result<Vec<String>, String> {
     let Some(start) = s.find("\"runs\": [") else {
-        return Vec::new();
+        return Err("missing `\"runs\": [` array".to_string());
     };
     let tail = &s[start + "\"runs\": [".len()..];
     let mut runs = Vec::new();
     let mut depth = 0usize;
     let mut cur = String::new();
+    let mut closed = false;
     for ch in tail.chars() {
         match ch {
             '{' => {
@@ -188,6 +262,9 @@ fn extract_runs(s: &str) -> Vec<String> {
                 cur.push(ch);
             }
             '}' => {
+                if depth == 0 {
+                    return Err("unbalanced braces in runs array".to_string());
+                }
                 depth -= 1;
                 cur.push(ch);
                 if depth == 0 {
@@ -195,7 +272,10 @@ fn extract_runs(s: &str) -> Vec<String> {
                     cur.clear();
                 }
             }
-            ']' if depth == 0 => break,
+            ']' if depth == 0 => {
+                closed = true;
+                break;
+            }
             _ => {
                 if depth > 0 {
                     cur.push(ch);
@@ -203,5 +283,8 @@ fn extract_runs(s: &str) -> Vec<String> {
             }
         }
     }
-    runs
+    if !closed {
+        return Err("unterminated runs array".to_string());
+    }
+    Ok(runs)
 }

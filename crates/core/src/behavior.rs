@@ -57,12 +57,22 @@ impl OutputAutomaton {
 
         for s in 0..sigma {
             let sym = Symbol::from_index(s);
-            let dfa = match dout.rule(sym) {
-                Some(StringLang::Dfa(d)) => d.clone(),
-                Some(other) => other.to_dfa(sigma),
-                None => Dfa::epsilon_only(sigma),
+            // Already-compiled rules are read in place; only non-DFA rule
+            // representations are materialized (and dropped right after
+            // their states are copied into the joint table).
+            let compiled;
+            let dfa: &Dfa = match dout.rule(sym) {
+                Some(StringLang::Dfa(d)) => d,
+                Some(other) => {
+                    compiled = other.to_dfa(sigma);
+                    &compiled
+                }
+                None => {
+                    compiled = Dfa::epsilon_only(sigma);
+                    &compiled
+                }
             };
-            initial.push(push_dfa(&dfa, &mut trans, &mut is_final));
+            initial.push(push_dfa(dfa, &mut trans, &mut is_final));
         }
         // Virtual root: accepts exactly the single-symbol string `s_dout`.
         let root_dfa = Dfa::single_word(sigma, &[dout.start().0]);

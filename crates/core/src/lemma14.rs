@@ -27,9 +27,10 @@
 use crate::behavior::{BehaviorId, BehaviorTable, OutputAutomaton, DEAD};
 use crate::{CounterExample, Outcome, TypecheckError};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use xmlta_automata::Dfa;
 use xmlta_base::{BitSet, FxHashMap, Symbol};
-use xmlta_schema::{Dtd, StringLang};
+use xmlta_schema::Dtd;
 use xmlta_transducer::rhs::{RhsNode, StateId};
 use xmlta_transducer::Transducer;
 
@@ -69,7 +70,7 @@ pub type ProfileId = u32;
 pub struct Lemma14Engine {
     pub(crate) sigma: usize,
     pub(crate) din: Dtd,
-    pub(crate) din_dfas: Vec<Dfa>,
+    pub(crate) din_dfas: Vec<Arc<Dfa>>,
     pub(crate) din_start: usize,
     pub(crate) productive: Vec<bool>,
     pub(crate) out: OutputAutomaton,
@@ -138,16 +139,13 @@ impl Lemma14Engine {
             .max(dout.alphabet_size())
             .max(t.alphabet_size());
 
-        // Each rule DFA is materialized exactly once. The engine used to
-        // build this vector *and* re-wrap clones of every DFA into a second
-        // DTD; witnesses only need language-level agreement, which
-        // determinization preserves, so the original-representation `din`
-        // (grown to the joint alphabet) serves for sampling and validation.
-        let din_dfas: Vec<Dfa> = (0..sigma)
+        // Each rule DFA is materialized exactly once and *shared*: a
+        // `StringLang::Dfa` rule (e.g. handed out by the service layer's
+        // schema-compilation cache) is adopted by `Arc` bump, never cloned.
+        let din_dfas: Vec<Arc<Dfa>> = (0..sigma)
             .map(|s| match din.rule(Symbol::from_index(s)) {
-                Some(StringLang::Dfa(d)) => d.clone(),
-                Some(other) => other.to_dfa(sigma),
-                None => Dfa::epsilon_only(sigma),
+                Some(lang) => lang.to_shared_dfa(sigma),
+                None => Arc::new(Dfa::epsilon_only(sigma)),
             })
             .collect();
         let mut din = din.clone();
@@ -847,9 +845,9 @@ impl Walk {
 /// vector — symbols without a rule hold an ε-only DFA, which the restricted
 /// acceptance check classifies as productive leaves, and no rule has to be
 /// re-converted from its regex form.
-fn productive_from_dfas(din_dfas: &[Dfa]) -> Vec<bool> {
+fn productive_from_dfas(din_dfas: &[Arc<Dfa>]) -> Vec<bool> {
     let sigma = din_dfas.len();
-    let nfas: Vec<xmlta_automata::Nfa> = din_dfas.iter().map(Dfa::to_nfa).collect();
+    let nfas: Vec<xmlta_automata::Nfa> = din_dfas.iter().map(|d| d.to_nfa()).collect();
     let mut productive = vec![false; sigma];
     loop {
         let mut changed = false;

@@ -48,7 +48,7 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
     // Input DTD: r → #, # → # | Δ*, so documents are unary chains of #'s
     // ending in a Δ-string.
     let mut din = Dtd::new(sigma, r);
-    din.set_rule(r, StringLang::Dfa(Dfa::single_word(sigma, &[hash.0])));
+    din.set_rule(r, StringLang::dfa(Dfa::single_word(sigma, &[hash.0])));
     {
         // # → # + Δ*
         let single_hash = Dfa::single_word(sigma, &[hash.0]);
@@ -58,7 +58,7 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
             delta_star.set_transition(0, s.0, 0);
         }
         let union = single_hash.union(&delta_star);
-        din.set_rule(hash, StringLang::Dfa(union));
+        din.set_rule(hash, StringLang::dfa(union));
     }
 
     // Transducer: a doubling chain. State q_i processes the i-th # of the
@@ -106,7 +106,7 @@ pub fn build(dfas: &[Dfa], delta: usize) -> Thm18Instance {
     // rejection evidence; the run of block i ends at the next '#'.
     let dout_dfa = output_dfa(dfas, copies, sigma, hash, ok, &delta_syms);
     let mut dout = Dtd::new(sigma, r);
-    dout.set_rule(r, StringLang::Dfa(dout_dfa));
+    dout.set_rule(r, StringLang::dfa(dout_dfa));
 
     let intersection_empty = ops::dfa_intersection_is_empty(&dfas.iter().collect::<Vec<_>>());
 

@@ -43,17 +43,17 @@ pub fn build_unary(dfas: &[Dfa]) -> Thm28UnaryInstance {
 
     // d_in: r → #, # → # + $, $ → a*.
     let mut din = Dtd::new(sigma, r);
-    din.set_rule(r, StringLang::Dfa(Dfa::single_word(sigma, &[hash.0])));
+    din.set_rule(r, StringLang::dfa(Dfa::single_word(sigma, &[hash.0])));
     {
         let h = Dfa::single_word(sigma, &[hash.0]);
         let d = Dfa::single_word(sigma, &[dollar.0]);
-        din.set_rule(hash, StringLang::Dfa(h.union(&d)));
+        din.set_rule(hash, StringLang::dfa(h.union(&d)));
     }
     {
         let mut astar = Dfa::new(sigma);
         astar.set_final(0);
         astar.set_transition(0, a_sym.0, 0);
-        din.set_rule(dollar, StringLang::Dfa(astar));
+        din.set_rule(dollar, StringLang::dfa(astar));
     }
 
     // The transducer of the proof, built directly from parts (patterns are
@@ -70,7 +70,7 @@ pub fn build_unary(dfas: &[Dfa]) -> Thm28UnaryInstance {
     // d_out(r): run A_i on the i-th `a^m $` block.
     let dout_dfa = unary_output_dfa(dfas, sigma, a_sym, dollar);
     let mut dout = Dtd::new(sigma, r);
-    dout.set_rule(r, StringLang::Dfa(dout_dfa));
+    dout.set_rule(r, StringLang::dfa(dout_dfa));
 
     // Ground truth: joint residue simulation.
     let refs: Vec<&Dfa> = dfas.iter().collect();
@@ -178,9 +178,9 @@ pub fn build_containment(
             Some(lang) => lang.to_dfa(sigma),
             None => Dfa::epsilon_only(sigma),
         };
-        dprime.set_rule(sym, StringLang::Dfa(concat_dfa(&base, &tail, sigma)));
+        dprime.set_rule(sym, StringLang::dfa(concat_dfa(&base, &tail, sigma)));
     }
-    dprime.set_rule(r, StringLang::Dfa(Dfa::single_word(sigma, &[d.start().0])));
+    dprime.set_rule(r, StringLang::dfa(Dfa::single_word(sigma, &[d.start().0])));
 
     let p1m = selecting::append_marker(p1, x1);
     let p2m = selecting::append_marker(p2, x2);
@@ -215,7 +215,7 @@ pub fn build_containment(
         both.set_transition(s1, x2.0, s2);
         both.set_transition(s2, x2.0, s2);
         both.set_final(s2);
-        dout.set_rule(r, StringLang::Dfa(x2star.union(&both)));
+        dout.set_rule(r, StringLang::dfa(x2star.union(&both)));
     }
 
     Thm28ContainmentInstance {

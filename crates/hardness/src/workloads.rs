@@ -135,7 +135,7 @@ pub fn random_layered_family(seed: u64, layers: usize, symbols_per_layer: usize)
     let mut dout = Dtd::new(a.len(), out_root);
     let universal = Dfa::universal(a.len());
     for s in a.symbols() {
-        dout.set_rule(s, StringLang::Dfa(universal.clone()));
+        dout.set_rule(s, StringLang::dfa(universal.clone()));
     }
     Workload {
         name: format!("random-layered/seed={seed},layers={layers},k={symbols_per_layer}"),

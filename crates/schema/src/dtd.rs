@@ -1,6 +1,7 @@
 //! DTDs parameterized by a string-language representation (Definition 1).
 
 use std::fmt;
+use std::sync::Arc;
 use xmlta_automata::{Dfa, Nfa, RePlus, Regex};
 use xmlta_base::{Alphabet, FxHashMap, Symbol};
 use xmlta_tree::{Tree, TreePath};
@@ -13,8 +14,10 @@ use xmlta_tree::{Tree, TreePath};
 /// examples) and `DTD(RE+)` (Section 5).
 #[derive(Clone, Debug)]
 pub enum StringLang {
-    /// Deterministic finite automaton.
-    Dfa(Dfa),
+    /// Deterministic finite automaton, shared so that compiled schemas and
+    /// caches can hand the same DFA to many DTDs without deep-cloning the
+    /// transition table (cloning a `StringLang::Dfa` is an `Arc` bump).
+    Dfa(Arc<Dfa>),
     /// Non-deterministic finite automaton.
     Nfa(Nfa),
     /// Regular expression.
@@ -24,6 +27,11 @@ pub enum StringLang {
 }
 
 impl StringLang {
+    /// Wraps a DFA (the common construction in tests and generators).
+    pub fn dfa(d: Dfa) -> StringLang {
+        StringLang::Dfa(Arc::new(d))
+    }
+
     /// Whether the word (of child labels) belongs to the language.
     pub fn contains(&self, word: &[Symbol]) -> bool {
         let letters: Vec<u32> = word.iter().map(|s| s.0).collect();
@@ -79,9 +87,19 @@ impl StringLang {
     /// paper's hard typechecking cells hide exactly here.
     pub fn to_dfa(&self, alphabet_size: usize) -> Dfa {
         match self {
-            StringLang::Dfa(d) => d.clone(),
+            StringLang::Dfa(d) => (**d).clone(),
             StringLang::RePlus(r) => r.to_dfa(alphabet_size),
             _ => xmlta_automata::ops::determinize(&self.to_nfa(alphabet_size)),
+        }
+    }
+
+    /// Like [`StringLang::to_dfa`] but shared: the `Dfa` variant is returned
+    /// by reference count instead of deep-cloned. This is the conversion the
+    /// engines and the schema-compilation cache use.
+    pub fn to_shared_dfa(&self, alphabet_size: usize) -> Arc<Dfa> {
+        match self {
+            StringLang::Dfa(d) => Arc::clone(d),
+            other => Arc::new(other.to_dfa(alphabet_size)),
         }
     }
 
@@ -321,7 +339,10 @@ impl Dtd {
     pub fn compile_to_dfas(&self) -> Dtd {
         let mut d = Dtd::new(self.alphabet_size, self.start);
         for (sym, lang) in &self.rules {
-            d.set_rule(*sym, StringLang::Dfa(lang.to_dfa(self.alphabet_size)));
+            d.set_rule(
+                *sym,
+                StringLang::Dfa(lang.to_shared_dfa(self.alphabet_size)),
+            );
         }
         d
     }

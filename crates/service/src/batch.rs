@@ -1,0 +1,318 @@
+//! The concurrent batch driver.
+//!
+//! [`run_batch`] typechecks many textual instances on a fixed pool of
+//! `std::thread` workers pulling item indices from an atomic counter and
+//! sending results back over a channel. Results are re-ordered by item
+//! index before anything is rendered, and the JSON report contains no
+//! timings or cache counters, so **the output is byte-identical across
+//! thread counts** — the acceptance property the integration tests and
+//! `ci.sh` check.
+
+use crate::cache::{typecheck_cached, CacheStats, SchemaCache};
+use crate::json::push_escaped;
+use crate::parse::parse_instance;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use typecheck_core::Outcome;
+
+/// One unit of work: a named instance source (typically a file).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Display name (file path or generated id); lands in the JSON report.
+    pub name: String,
+    /// Instance source in the textual format.
+    pub source: String,
+}
+
+/// The outcome of one item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemStatus {
+    /// Every valid input maps into the output schema.
+    TypeChecks,
+    /// A witness violating the output schema exists.
+    CounterExample {
+        /// The input tree, in term syntax.
+        input: String,
+        /// Its image, in term syntax; `None` when the image is not a tree.
+        output: Option<String>,
+    },
+    /// The item could not be checked (parse error, unsupported instance,
+    /// resource limit).
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// A completed item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemResult {
+    /// The item's display name.
+    pub name: String,
+    /// Its status.
+    pub status: ItemStatus,
+}
+
+/// The result of a whole batch, in submission order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-item results, ordered by submission index.
+    pub results: Vec<ItemResult>,
+    /// Cache counters after the run (worker-interleaving dependent; kept
+    /// out of the JSON report).
+    pub stats: CacheStats,
+}
+
+impl BatchOutcome {
+    /// Counts `(typechecks, counterexamples, errors)`.
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for r in &self.results {
+            match r.status {
+                ItemStatus::TypeChecks => t.0 += 1,
+                ItemStatus::CounterExample { .. } => t.1 += 1,
+                ItemStatus::Error { .. } => t.2 += 1,
+            }
+        }
+        t
+    }
+
+    /// Renders the deterministic JSON report (see the module docs).
+    pub fn to_json(&self) -> String {
+        let (ok, ce, err) = self.tally();
+        let mut out = String::new();
+        out.push_str("{\n  \"xmlta\": \"batch\",\n");
+        let _ = writeln!(out, "  \"total\": {},", self.results.len());
+        let _ = writeln!(out, "  \"typechecks\": {ok},");
+        let _ = writeln!(out, "  \"counterexamples\": {ce},");
+        let _ = writeln!(out, "  \"errors\": {err},");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            push_escaped(&mut out, &r.name);
+            match &r.status {
+                ItemStatus::TypeChecks => {
+                    out.push_str(", \"status\": \"typechecks\"");
+                }
+                ItemStatus::CounterExample { input, output } => {
+                    out.push_str(", \"status\": \"counterexample\", \"input\": ");
+                    push_escaped(&mut out, input);
+                    out.push_str(", \"output\": ");
+                    match output {
+                        Some(o) => push_escaped(&mut out, o),
+                        None => out.push_str("null"),
+                    }
+                }
+                ItemStatus::Error { message } => {
+                    out.push_str(", \"status\": \"error\", \"message\": ");
+                    push_escaped(&mut out, message);
+                }
+            }
+            out.push('}');
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Parses and typechecks one item, converting panics into error records:
+/// one adversarial instance must not take down a thousand-item batch.
+fn process(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_inner(item, cache))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            ItemResult {
+                name: item.name.clone(),
+                status: ItemStatus::Error {
+                    message: format!("internal error: {msg}"),
+                },
+            }
+        }
+    }
+}
+
+fn process_inner(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
+    let status = match parse_instance(&item.source) {
+        Err(e) => ItemStatus::Error {
+            message: format!("parse error: {e}"),
+        },
+        Ok(instance) => {
+            let outcome = match cache {
+                Some(cache) => typecheck_cached(cache, &instance),
+                None => typecheck_core::typecheck(&instance),
+            };
+            match outcome {
+                Ok(Outcome::TypeChecks) => ItemStatus::TypeChecks,
+                Ok(Outcome::CounterExample(ce)) => ItemStatus::CounterExample {
+                    input: ce.input.display(&instance.alphabet).to_string(),
+                    output: ce
+                        .output
+                        .as_ref()
+                        .map(|o| o.display(&instance.alphabet).to_string()),
+                },
+                Err(e) => ItemStatus::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+    };
+    ItemResult {
+        name: item.name.clone(),
+        status,
+    }
+}
+
+/// Typechecks `items` on `threads` workers (clamped to ≥ 1), sharing
+/// `cache` across workers when given.
+///
+/// Work distribution is dynamic (an atomic next-index counter), so slow
+/// items don't serialize behind a static partition; result order is by
+/// submission index regardless of completion order.
+pub fn run_batch(items: &[BatchItem], threads: usize, cache: Option<&SchemaCache>) -> BatchOutcome {
+    let threads = threads.max(1).min(items.len().max(1));
+    let mut slots: Vec<Option<ItemResult>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    if threads <= 1 {
+        for (slot, item) in slots.iter_mut().zip(items) {
+            *slot = Some(process(item, cache));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ItemResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    if tx.send((i, process(&items[i], cache))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+    }
+    BatchOutcome {
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("every item processed"))
+            .collect(),
+        stats: cache.map(SchemaCache::stats).unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+input dtd {
+  start r
+  r -> x*
+  x -> eps
+}
+output dtd {
+  start r
+  r -> y*
+}
+transducer {
+  states root q
+  initial root
+  (root, r) -> r(q)
+  (q, x) -> y
+}
+";
+
+    const BAD_SCHEMA: &str = "\
+input dtd {
+  start r
+  r -> x x
+  x -> eps
+}
+output dtd {
+  start r
+  r -> y
+}
+transducer {
+  states root q
+  initial root
+  (root, r) -> r(q)
+  (q, x) -> y
+}
+";
+
+    fn items(n: usize) -> Vec<BatchItem> {
+        (0..n)
+            .map(|i| BatchItem {
+                name: format!("item-{i:03}"),
+                source: match i % 3 {
+                    0 => GOOD.to_string(),
+                    1 => BAD_SCHEMA.to_string(),
+                    _ => "input dtd {".to_string(), // parse error
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn statuses_and_order() {
+        let out = run_batch(&items(6), 1, None);
+        assert_eq!(out.results.len(), 6);
+        assert!(matches!(out.results[0].status, ItemStatus::TypeChecks));
+        assert!(matches!(
+            out.results[1].status,
+            ItemStatus::CounterExample { .. }
+        ));
+        assert!(matches!(out.results[2].status, ItemStatus::Error { .. }));
+        assert_eq!(out.tally(), (2, 2, 2));
+        assert_eq!(out.results[4].name, "item-004");
+    }
+
+    #[test]
+    fn json_is_identical_across_thread_counts() {
+        let items = items(24);
+        let cache = SchemaCache::new();
+        let one = run_batch(&items, 1, Some(&cache)).to_json();
+        let four = run_batch(&items, 4, Some(&cache)).to_json();
+        let uncached = run_batch(&items, 4, None).to_json();
+        assert_eq!(one, four);
+        assert_eq!(one, uncached);
+        assert!(one.contains("\"status\": \"counterexample\""));
+    }
+
+    #[test]
+    fn counterexample_renders_trees() {
+        let out = run_batch(
+            &[BatchItem {
+                name: "bad".into(),
+                source: BAD_SCHEMA.to_string(),
+            }],
+            1,
+            None,
+        );
+        match &out.results[0].status {
+            ItemStatus::CounterExample { input, output } => {
+                assert!(input.starts_with("r("), "input tree rendered: {input}");
+                assert!(output.as_deref().is_some_and(|o| o.starts_with("r(")));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

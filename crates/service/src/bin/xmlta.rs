@@ -1,0 +1,368 @@
+//! The `xmlta` command-line interface.
+//!
+//! ```text
+//! xmlta typecheck [--no-cache] FILE...
+//! xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
+//! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
+//! xmlta report FILE
+//! ```
+//!
+//! Exit codes: for `typecheck`, `0` everything typechecks / `1` some
+//! instance has a counterexample / `2` some file errored. All other
+//! subcommands exit `0` when the run itself completes — `batch` records
+//! per-instance counterexamples and errors *inside the JSON report*, which
+//! is the artifact pipelines should inspect — and `2` on usage/IO errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::cache::SchemaCache;
+use xmlta_service::{gen, parse_instance, typecheck_cached};
+
+const USAGE: &str = "\
+xmlta — batch typechecker for simple XML transformations
+
+USAGE:
+  xmlta typecheck [--no-cache] FILE...
+      Typecheck instance files; prints one line per file.
+      Exit 0: all typecheck; 1: some counterexample; 2: some error.
+
+  xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
+      Typecheck many instances (files, or directories scanned for *.xti,
+      sorted) on a worker pool and write a deterministic JSON report to
+      stdout or FILE. The report is byte-identical for every N. Exits 0
+      when the run completes; per-instance counterexamples and errors are
+      recorded in the report, not the exit code.
+
+  xmlta gen <family> [--out DIR] [--count N] [--groups G] [--seed S]
+            [--depth D] [--layers L] [--width K]
+      Write generated instance files into DIR (default `instances/`),
+      printing each path. Families:
+        mixed           N instances over G schema groups (default
+                        1000/8/seed 7); every 11th has a counterexample
+        filtering       one instance, --depth D (default 64) section levels
+        filtering-fail  its failing variant
+        layered         N random layered instances sharing one schema
+                        group: --layers L --width K --count N --seed S
+
+  xmlta report FILE
+      Summarize a batch JSON report.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "typecheck" => cmd_typecheck(rest),
+        "batch" => cmd_batch(rest),
+        "gen" => cmd_gen(rest),
+        "report" => cmd_report(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("xmlta: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `--flag value` style options out of `args`; returns positionals.
+struct Opts {
+    positional: Vec<String>,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    no_cache: bool,
+    count: Option<usize>,
+    groups: Option<usize>,
+    seed: Option<u64>,
+    depth: Option<usize>,
+    layers: Option<usize>,
+    width: Option<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        threads: None,
+        out: None,
+        no_cache: false,
+        count: None,
+        groups: None,
+        seed: None,
+        depth: None,
+        layers: None,
+        width: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => o.threads = Some(parse_num(value("--threads")?)?),
+            "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            "--no-cache" => o.no_cache = true,
+            "--count" => o.count = Some(parse_num(value("--count")?)?),
+            "--groups" => o.groups = Some(parse_num(value("--groups")?)?),
+            "--seed" => o.seed = Some(parse_num(value("--seed")?)?),
+            "--depth" => o.depth = Some(parse_num(value("--depth")?)?),
+            "--layers" => o.layers = Some(parse_num(value("--layers")?)?),
+            "--width" => o.width = Some(parse_num(value("--width")?)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            _ => o.positional.push(arg.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_typecheck(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    if opts.positional.is_empty() {
+        return Err("typecheck needs at least one FILE".into());
+    }
+    let cache = SchemaCache::new();
+    let mut saw_counterexample = false;
+    let mut saw_error = false;
+    for path in &opts.positional {
+        let source = read(path)?;
+        match parse_instance(&source) {
+            Err(e) => {
+                println!("{path}: parse error at {e}");
+                saw_error = true;
+            }
+            Ok(instance) => {
+                let outcome = if opts.no_cache {
+                    typecheck_core::typecheck(&instance)
+                } else {
+                    typecheck_cached(&cache, &instance)
+                };
+                match outcome {
+                    Ok(o) if o.type_checks() => println!("{path}: typechecks"),
+                    Ok(o) => {
+                        let ce = o.counter_example().expect("non-typechecking outcome");
+                        println!(
+                            "{path}: counterexample input: {}",
+                            ce.input.display(&instance.alphabet)
+                        );
+                        match &ce.output {
+                            Some(t) => println!(
+                                "{path}: counterexample image: {}",
+                                t.display(&instance.alphabet)
+                            ),
+                            None => println!("{path}: counterexample image is not a tree"),
+                        }
+                        saw_counterexample = true;
+                    }
+                    Err(e) => {
+                        println!("{path}: error: {e}");
+                        saw_error = true;
+                    }
+                }
+            }
+        }
+    }
+    Ok(if saw_error {
+        ExitCode::from(2)
+    } else if saw_counterexample {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Expands files and directories (scanned non-recursively for `*.xti`,
+/// sorted by name) into an ordered item list.
+fn collect_items(paths: &[String]) -> Result<Vec<BatchItem>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("{p}: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "xti"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    files
+        .iter()
+        .map(|f| {
+            let name = f.display().to_string();
+            let source = std::fs::read_to_string(f).map_err(|e| format!("{name}: {e}"))?;
+            Ok(BatchItem { name, source })
+        })
+        .collect()
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    if opts.positional.is_empty() {
+        return Err("batch needs at least one PATH".into());
+    }
+    let items = collect_items(&opts.positional)?;
+    if items.is_empty() {
+        return Err("no instance files found".into());
+    }
+    let threads = opts.threads.unwrap_or_else(default_threads);
+    let cache = SchemaCache::new();
+    let cache_ref = (!opts.no_cache).then_some(&cache);
+    let start = Instant::now();
+    let outcome = run_batch(&items, threads, cache_ref);
+    let elapsed = start.elapsed();
+    let json = outcome.to_json();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => print!("{json}"),
+    }
+    let (ok, ce, err) = outcome.tally();
+    let stats = outcome.stats;
+    eprintln!(
+        "xmlta batch: {} instance(s) on {threads} thread(s) in {:.1} ms \
+         ({ok} typecheck, {ce} counterexample(s), {err} error(s))",
+        items.len(),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    if !opts.no_cache {
+        eprintln!(
+            "xmlta batch: schema cache {}+{} hits / {}+{} misses (schema+rule)",
+            stats.schema_hits, stats.rule_hits, stats.schema_misses, stats.rule_misses,
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let family = opts
+        .positional
+        .first()
+        .ok_or("gen needs a family (mixed, filtering, filtering-fail, layered)")?;
+    let seed = opts.seed.unwrap_or(7);
+    let files: Vec<gen::GeneratedFile> = match family.as_str() {
+        "mixed" => gen::mixed_sources(opts.count.unwrap_or(1000), opts.groups.unwrap_or(8), seed)
+            .map_err(|e| e.to_string())?,
+        "filtering" => {
+            let depth = opts.depth.unwrap_or(64);
+            vec![(
+                format!("filtering-{depth:04}.xti"),
+                gen::filtering_source(depth).map_err(|e| e.to_string())?,
+            )]
+        }
+        "filtering-fail" => {
+            let depth = opts.depth.unwrap_or(64);
+            vec![(
+                format!("filtering-fail-{depth:04}.xti"),
+                gen::failing_filtering_source(depth).map_err(|e| e.to_string())?,
+            )]
+        }
+        "layered" => {
+            let (layers, width) = (opts.layers.unwrap_or(4), opts.width.unwrap_or(4));
+            (0..opts.count.unwrap_or(100) as u64)
+                .map(|v| {
+                    Ok((
+                        format!("layered-{v:05}.xti"),
+                        gen::layered_source(seed, layers, width, v).map_err(|e| e.to_string())?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    let dir = opts.out.unwrap_or_else(|| PathBuf::from("instances"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for (name, contents) in &files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("{}", path.display());
+    }
+    eprintln!(
+        "xmlta gen: wrote {} file(s) to {}",
+        files.len(),
+        dir.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("report needs exactly one batch JSON FILE".into());
+    };
+    let text = read(path)?;
+    if !text.contains("\"xmlta\": \"batch\"") {
+        return Err(format!("{path}: not an xmlta batch report"));
+    }
+    // The report is machine-written by `BatchOutcome::to_json`, so a
+    // line-oriented scan suffices — no JSON parser dependency offline.
+    let field = |name: &str| -> Result<usize, String> {
+        let key = format!("\"{name}\": ");
+        text.lines()
+            .find_map(|l| l.trim().strip_prefix(&key))
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+            .ok_or_else(|| format!("{path}: malformed report (missing `{name}`)"))
+    };
+    let (total, ok, ce, err) = (
+        field("total")?,
+        field("typechecks")?,
+        field("counterexamples")?,
+        field("errors")?,
+    );
+    if ok + ce + err != total {
+        return Err(format!("{path}: malformed report (counts do not add up)"));
+    }
+    println!("batch report: {total} instance(s)");
+    println!("  typechecks:      {ok}");
+    println!("  counterexamples: {ce}");
+    println!("  errors:          {err}");
+    for (label, status) in [
+        ("counterexample", "\"status\": \"counterexample\""),
+        ("error", "\"status\": \"error\""),
+    ] {
+        let mut shown = 0;
+        for line in text.lines().filter(|l| l.contains(status)) {
+            if shown == 5 {
+                println!("  ... more {label}s elided");
+                break;
+            }
+            if let Some(name) = line
+                .trim()
+                .strip_prefix("{\"name\": \"")
+                .and_then(|r| r.split('"').next())
+            {
+                println!("  {label}: {name}");
+                shown += 1;
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

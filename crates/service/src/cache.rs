@@ -1,0 +1,416 @@
+//! The compiled-schema cache.
+//!
+//! Engine setup on small instances is dominated by regex→DFA compilation of
+//! DTD rules (Glushkov + subset construction per rule, per typecheck call).
+//! Batch workloads repeat schemas across thousands of instances, so the
+//! service layer compiles each schema once and shares the result:
+//!
+//! * **schema level** — a DTD is fingerprinted structurally; a hit returns
+//!   the previously compiled `DTD(DFA)` (an `Arc` bump);
+//! * **rule level** — on a schema miss, each rule is looked up by its own
+//!   fingerprint, so two schemas sharing a rule share one compiled
+//!   [`Dfa`]. Rules are stored as [`StringLang::Dfa`]`(Arc<Dfa>)`, which the
+//!   Lemma 14 engine adopts without cloning (`to_shared_dfa` is an `Arc`
+//!   bump on already-compiled rules).
+//!
+//! Keys are 64-bit Fx fingerprints of the full structure (content hashes —
+//! all rule tables, finals, AST shapes — not names), so equal content hits
+//! regardless of which parse produced it. The cache is shared across the
+//! batch driver's workers behind a mutex; compilation runs outside the
+//! lock, so a racing miss can compile twice but never corrupts the cache.
+
+use std::sync::{Arc, Mutex};
+use typecheck_core::{Instance, Outcome, Schema, TypecheckError};
+use xmlta_automata::{Dfa, Regex};
+use xmlta_base::fxhash::FxHasher;
+use xmlta_base::FxHashMap;
+use xmlta_schema::{Dtd, StringLang};
+
+use std::hash::Hasher;
+
+/// Hit/miss counters, readable at any time via [`SchemaCache::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whole-schema fingerprint hits.
+    pub schema_hits: u64,
+    /// Whole-schema misses (schema compiled this call).
+    pub schema_misses: u64,
+    /// Per-rule hits within schema misses.
+    pub rule_hits: u64,
+    /// Per-rule misses (rule compiled this call).
+    pub rule_misses: u64,
+}
+
+/// A cache entry keeps the *source* object alongside the compiled one:
+/// lookups verify structural equality of the source on every fingerprint
+/// hit, so a 64-bit hash collision degrades to an uncached compile instead
+/// of silently serving another schema's automata.
+#[derive(Default)]
+struct Inner {
+    schemas: FxHashMap<u64, (Dtd, Arc<Dtd>)>,
+    rules: FxHashMap<(u64, usize), (StringLang, Arc<Dfa>)>,
+    stats: CacheStats,
+}
+
+/// A thread-safe compiled-schema cache. See the module docs.
+#[derive(Default)]
+pub struct SchemaCache {
+    inner: Mutex<Inner>,
+}
+
+impl SchemaCache {
+    /// Creates an empty cache.
+    pub fn new() -> SchemaCache {
+        SchemaCache::default()
+    }
+
+    /// Compiles `dtd` to `DTD(DFA)` form with `Arc`-shared rules, reusing
+    /// previously compiled schemas and rules.
+    pub fn compile_dtd(&self, dtd: &Dtd) -> Arc<Dtd> {
+        let fp = fingerprint_dtd(dtd);
+        let collided;
+        {
+            let mut inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match inner.schemas.get(&fp) {
+                Some((source, hit)) if dtd_eq(source, dtd) => {
+                    let hit = Arc::clone(hit);
+                    inner.stats.schema_hits += 1;
+                    return hit;
+                }
+                entry => collided = entry.is_some(),
+            }
+            inner.stats.schema_misses += 1;
+        }
+        let sigma = dtd.alphabet_size();
+        let mut compiled = Dtd::new(sigma, dtd.start());
+        let mut rules: Vec<_> = dtd.rules().collect();
+        rules.sort_by_key(|(s, _)| *s);
+        for (sym, lang) in rules {
+            compiled.set_rule(sym, StringLang::Dfa(self.compile_rule(lang, sigma)));
+        }
+        let compiled = Arc::new(compiled);
+        if collided {
+            // A different schema owns this fingerprint slot: serve the
+            // fresh compile uncached rather than evict (collisions are
+            // ~2^-64 per pair; correctness must not depend on that).
+            return compiled;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(&inner.schemas.entry(fp).or_insert((dtd.clone(), compiled)).1)
+    }
+
+    /// Compiles one rule language to a shared DFA, reusing equal rules.
+    pub fn compile_rule(&self, lang: &StringLang, sigma: usize) -> Arc<Dfa> {
+        // Already-compiled rules are adopted as-is — no cache entry needed,
+        // `to_shared_dfa` is an `Arc` bump.
+        if let StringLang::Dfa(_) = lang {
+            return lang.to_shared_dfa(sigma);
+        }
+        let key = (fingerprint_lang(lang), sigma);
+        let collided;
+        {
+            let mut inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match inner.rules.get(&key) {
+                Some((source, hit)) if lang_eq(source, lang) => {
+                    let hit = Arc::clone(hit);
+                    inner.stats.rule_hits += 1;
+                    return hit;
+                }
+                entry => collided = entry.is_some(),
+            }
+            inner.stats.rule_misses += 1;
+        }
+        let dfa = lang.to_shared_dfa(sigma);
+        if collided {
+            return dfa;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(&inner.rules.entry(key).or_insert((lang.clone(), dfa)).1)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .stats
+    }
+
+    /// Number of distinct schemas and rules currently cached.
+    pub fn len(&self) -> (usize, usize) {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (inner.schemas.len(), inner.rules.len())
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+}
+
+/// Typechecks `instance`, compiling DTD schemas through the cache. NTA
+/// schemas pass through unchanged (the Theorem 20 pipeline has no
+/// per-rule regex compilation to amortize).
+pub fn typecheck_cached(
+    cache: &SchemaCache,
+    instance: &Instance,
+) -> Result<Outcome, TypecheckError> {
+    let compile = |schema: &Schema| -> Schema {
+        match schema {
+            Schema::Dtd(d) => Schema::Dtd((*cache.compile_dtd(d)).clone()),
+            Schema::Nta(n) => Schema::Nta(n.clone()),
+        }
+    };
+    let prepared = Instance {
+        alphabet: instance.alphabet.clone(),
+        input: compile(&instance.input),
+        output: compile(&instance.output),
+        transducer: instance.transducer.clone(),
+    };
+    typecheck_core::typecheck(&prepared)
+}
+
+fn finish(h: FxHasher) -> u64 {
+    h.finish()
+}
+
+/// Structural equality of two DTDs (the cache-hit verification; see
+/// [`Inner`]).
+fn dtd_eq(a: &Dtd, b: &Dtd) -> bool {
+    if a.alphabet_size() != b.alphabet_size() || a.start() != b.start() {
+        return false;
+    }
+    let mut ra: Vec<_> = a.rules().collect();
+    let mut rb: Vec<_> = b.rules().collect();
+    ra.sort_by_key(|(s, _)| *s);
+    rb.sort_by_key(|(s, _)| *s);
+    ra.len() == rb.len()
+        && ra
+            .iter()
+            .zip(&rb)
+            .all(|((sa, la), (sb, lb))| sa == sb && lang_eq(la, lb))
+}
+
+/// Structural equality of two rule languages.
+fn lang_eq(a: &StringLang, b: &StringLang) -> bool {
+    match (a, b) {
+        (StringLang::Dfa(x), StringLang::Dfa(y)) => dfa_eq(x, y),
+        (StringLang::Nfa(x), StringLang::Nfa(y)) => {
+            x.num_states() == y.num_states()
+                && x.alphabet_size() == y.alphabet_size()
+                && x.initial_states() == y.initial_states()
+                && (0..x.num_states() as u32).all(|q| {
+                    x.is_final_state(q) == y.is_final_state(q)
+                        && x.transitions_from(q) == y.transitions_from(q)
+                })
+        }
+        (StringLang::Regex(x), StringLang::Regex(y)) => x == y,
+        (StringLang::RePlus(x), StringLang::RePlus(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn dfa_eq(a: &Dfa, b: &Dfa) -> bool {
+    a.num_states() == b.num_states()
+        && a.alphabet_size() == b.alphabet_size()
+        && a.initial_state() == b.initial_state()
+        && (0..a.num_states() as u32).all(|q| {
+            a.is_final_state(q) == b.is_final_state(q)
+                && (0..a.alphabet_size() as u32).all(|l| a.step(q, l) == b.step(q, l))
+        })
+}
+
+/// Structural fingerprint of a DTD: alphabet size, start symbol, and every
+/// rule in symbol order.
+pub fn fingerprint_dtd(dtd: &Dtd) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(0xD7D0);
+    h.write_u64(dtd.alphabet_size() as u64);
+    h.write_u32(dtd.start().0);
+    let mut rules: Vec<_> = dtd.rules().collect();
+    rules.sort_by_key(|(s, _)| *s);
+    for (sym, lang) in rules {
+        h.write_u32(sym.0);
+        h.write_u64(fingerprint_lang(lang));
+    }
+    finish(h)
+}
+
+/// Structural fingerprint of a rule language.
+pub fn fingerprint_lang(lang: &StringLang) -> u64 {
+    let mut h = FxHasher::default();
+    match lang {
+        StringLang::Dfa(d) => {
+            h.write_u8(0);
+            hash_dfa(&mut h, d);
+        }
+        StringLang::Nfa(n) => {
+            h.write_u8(1);
+            h.write_u64(n.num_states() as u64);
+            for &q in n.initial_states() {
+                h.write_u32(q);
+            }
+            h.write_u8(0xFE);
+            for q in n.final_states() {
+                h.write_u32(q);
+            }
+            h.write_u8(0xFD);
+            for (q, l, r) in n.transitions() {
+                h.write_u32(q);
+                h.write_u32(l);
+                h.write_u32(r);
+            }
+        }
+        StringLang::Regex(re) => {
+            h.write_u8(2);
+            hash_regex(&mut h, re);
+        }
+        StringLang::RePlus(re) => {
+            h.write_u8(3);
+            for f in re.factors() {
+                h.write_u32(f.sym);
+                h.write_u8(f.plus as u8);
+            }
+        }
+    }
+    finish(h)
+}
+
+fn hash_dfa(h: &mut FxHasher, d: &Dfa) {
+    h.write_u64(d.num_states() as u64);
+    h.write_u64(d.alphabet_size() as u64);
+    h.write_u32(d.initial_state());
+    for q in 0..d.num_states() as u32 {
+        h.write_u8(d.is_final_state(q) as u8);
+        for l in 0..d.alphabet_size() as u32 {
+            match d.step(q, l) {
+                Some(r) => h.write_u32(r),
+                None => h.write_u32(u32::MAX),
+            }
+        }
+    }
+}
+
+fn hash_regex(h: &mut FxHasher, re: &Regex) {
+    match re {
+        Regex::Empty => h.write_u8(0),
+        Regex::Epsilon => h.write_u8(1),
+        Regex::Sym(l) => {
+            h.write_u8(2);
+            h.write_u32(*l);
+        }
+        Regex::Concat(rs) => {
+            h.write_u8(3);
+            h.write_u64(rs.len() as u64);
+            rs.iter().for_each(|r| hash_regex(h, r));
+        }
+        Regex::Alt(rs) => {
+            h.write_u8(4);
+            h.write_u64(rs.len() as u64);
+            rs.iter().for_each(|r| hash_regex(h, r));
+        }
+        Regex::Star(r) => {
+            h.write_u8(5);
+            hash_regex(h, r);
+        }
+        Regex::Plus(r) => {
+            h.write_u8(6);
+            hash_regex(h, r);
+        }
+        Regex::Opt(r) => {
+            h.write_u8(7);
+            hash_regex(h, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlta_base::Alphabet;
+
+    fn book_dtd() -> (Alphabet, Dtd) {
+        let mut a = Alphabet::new();
+        let d = Dtd::parse(
+            "book -> title author+ chapter+\nchapter -> title intro",
+            &mut a,
+        )
+        .unwrap();
+        (a, d)
+    }
+
+    #[test]
+    fn schema_level_hits() {
+        let cache = SchemaCache::new();
+        let (_, d) = book_dtd();
+        let c1 = cache.compile_dtd(&d);
+        let c2 = cache.compile_dtd(&d);
+        assert!(Arc::ptr_eq(&c1, &c2));
+        let s = cache.stats();
+        assert_eq!((s.schema_hits, s.schema_misses), (1, 1));
+        assert!(c1.is_dfa_dtd());
+    }
+
+    #[test]
+    fn rule_level_sharing_across_schemas() {
+        let cache = SchemaCache::new();
+        // Pre-intern the union of names: rule sharing requires equal
+        // alphabet sizes (the DFA's alphabet is part of the cache key).
+        let mut a = Alphabet::from_names(["book", "title", "author", "chapter", "intro", "note"]);
+        let d1 = Dtd::parse(
+            "book -> title author+ chapter+\nchapter -> title intro",
+            &mut a,
+        )
+        .unwrap();
+        // Same `book` rule inside a different schema.
+        let d2 = Dtd::parse("book -> title author+ chapter+\nauthor -> note*", &mut a).unwrap();
+        let c1 = cache.compile_dtd(&d1);
+        let c2 = cache.compile_dtd(&d2);
+        let s = cache.stats();
+        assert_eq!(s.schema_misses, 2);
+        assert_eq!(s.rule_hits, 1, "shared `book` rule compiled once");
+        let rule = |d: &Dtd, name: &str| match d.rule(a.sym(name)).unwrap() {
+            StringLang::Dfa(arc) => Arc::clone(arc),
+            other => panic!("expected compiled rule, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&rule(&c1, "book"), &rule(&c2, "book")));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_content() {
+        let (mut a, d) = book_dtd();
+        let d2 = Dtd::parse(
+            "book -> title author* chapter+\nchapter -> title intro",
+            &mut a,
+        )
+        .unwrap();
+        assert_ne!(fingerprint_dtd(&d), fingerprint_dtd(&d2));
+        assert_eq!(fingerprint_dtd(&d), fingerprint_dtd(&d.clone()));
+    }
+
+    #[test]
+    fn compiled_schema_preserves_language() {
+        let cache = SchemaCache::new();
+        let (mut a, d) = book_dtd();
+        let c = cache.compile_dtd(&d);
+        let t = xmlta_tree::parse_tree("book(title author chapter(title intro))", &mut a).unwrap();
+        let bad = xmlta_tree::parse_tree("book(title)", &mut a).unwrap();
+        assert_eq!(d.accepts(&t), c.accepts(&t));
+        assert_eq!(d.accepts(&bad), c.accepts(&bad));
+    }
+}

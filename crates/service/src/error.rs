@@ -1,0 +1,88 @@
+//! Errors of the textual instance format.
+
+use std::fmt;
+
+/// A position in an instance file (1-based line and column).
+///
+/// Columns count bytes, which coincides with characters for the ASCII
+/// surface syntax of the format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+impl Loc {
+    pub(crate) fn new(line: usize, col: usize) -> Loc {
+        Loc {
+            line: line as u32,
+            col: col as u32,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// A parse error with its source position.
+///
+/// [`std::fmt::Display`] renders as `line L, col C: message`; callers that
+/// know the file name prepend it (`file.xti:L:C` style is what the `xmlta`
+/// CLI prints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error was detected.
+    pub loc: Loc,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(loc: Loc, message: impl Into<String>) -> ParseError {
+        ParseError {
+            loc,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.loc, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error raised while pretty-printing an instance.
+///
+/// Printing fails only on instances that cannot be represented in the
+/// textual surface syntax: element or state names that are not identifiers
+/// (or collide with reserved words), automata whose letters have no name in
+/// the instance alphabet, and rhs element names shadowed by state names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrintError {
+    /// What cannot be represented.
+    pub message: String,
+}
+
+impl PrintError {
+    pub(crate) fn new(message: impl Into<String>) -> PrintError {
+        PrintError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PrintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unprintable instance: {}", self.message)
+    }
+}
+
+impl std::error::Error for PrintError {}

@@ -1,0 +1,50 @@
+//! Minimal JSON emission (no external dependencies).
+//!
+//! The batch driver's output must be byte-identical across thread counts,
+//! so everything here is deterministic: strings are escaped per RFC 8259
+//! (the two-character escapes plus `\u00XX` for remaining control bytes)
+//! and callers control field order.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted JSON string.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `s` as a quoted JSON string.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_escaped(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escaped("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
+        assert_eq!(escaped("unicode ε"), "\"unicode ε\"");
+    }
+}

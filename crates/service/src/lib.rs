@@ -1,0 +1,76 @@
+//! Batch typechecking as a service: textual instances, compiled-schema
+//! caching, and a concurrent driver.
+//!
+//! The engine crates decide single instances constructed in Rust; this
+//! crate turns them into a request-serving pipeline:
+//!
+//! * [`parse`] / [`print`] — a concrete textual format for instances
+//!   (DTD/NTA schemas + transducer) with line/col error reporting, so
+//!   instances load from files and round-trip through text;
+//! * [`cache`] — a content-hash-keyed compiled-schema cache that interns
+//!   regex→DFA results and shares rules via `Arc<Dfa>`, amortizing
+//!   automaton construction across repeated-schema workloads;
+//! * [`batch`] — a deterministic multi-threaded batch driver (fixed worker
+//!   pool, ordered result collection, byte-identical JSON across thread
+//!   counts);
+//! * [`gen`] — seeded generators for large batches with shared schemas;
+//! * the `xmlta` binary — `typecheck`, `batch`, `gen`, and `report`
+//!   subcommands over all of the above.
+//!
+//! # The textual instance format
+//!
+//! ```text
+//! # Comments are FULL LINES starting with `#` or `//` — there are no
+//! # trailing comments, because `#` is a valid name character in regexes.
+//! # The alphabet section is optional and pins symbol order.
+//! alphabet { book title author chapter }
+//!
+//! input dtd {
+//!   start book
+//!   # a regex rule (paper syntax), an RE+ rule (Section 5), and an
+//!   # explicit automaton rule:
+//!   book -> title author+ chapter+
+//!   chapter -> @replus title author
+//!   title -> @dfa {
+//!     states 1
+//!     initial 0
+//!     final 0
+//!   }
+//! }
+//!
+//! output dtd {
+//!   start book
+//!   book -> title chapter*
+//! }
+//!
+//! transducer {
+//!   states q
+//!   initial q
+//!   (q, book) -> book(q)
+//!   # the chapter rule uses an XPath selector (Section 4):
+//!   (q, chapter) -> chapter <q, .//title>
+//!   (q, title) -> title
+//! }
+//! ```
+//!
+//! Schemas may instead be unranked tree automata: an `input nta { ... }`
+//! section declares `states`, `final` states, and transitions
+//! `(state, name) -> <regex over state names>` (Definition 2's
+//! `NTA(NFA)`, with the transition NFAs written as regular expressions).
+//! Transducers may also declare DFA selectors
+//! (`selector $name = @dfa { ... }` or `selector $name = <regex>`)
+//! referenced as `<state, $name>` in right-hand sides.
+
+pub mod batch;
+pub mod cache;
+pub mod error;
+pub mod gen;
+pub mod json;
+pub mod parse;
+pub mod print;
+
+pub use batch::{run_batch, BatchItem, BatchOutcome, ItemResult, ItemStatus};
+pub use cache::{typecheck_cached, CacheStats, SchemaCache};
+pub use error::{Loc, ParseError, PrintError};
+pub use parse::parse_instance;
+pub use print::print_instance;

@@ -1,0 +1,95 @@
+//! Batch-driver acceptance properties: deterministic JSON across thread
+//! counts, cache effectiveness on repeated-schema workloads, and faithful
+//! error records.
+
+use xmlta_service::batch::{run_batch, BatchItem, ItemStatus};
+use xmlta_service::{gen, SchemaCache};
+
+fn mixed_items(count: usize) -> Vec<BatchItem> {
+    gen::mixed_sources(count, 6, 42)
+        .expect("generators print")
+        .into_iter()
+        .map(|(name, source)| BatchItem { name, source })
+        .collect()
+}
+
+#[test]
+fn json_byte_identical_across_thread_counts() {
+    let mut items = mixed_items(90);
+    // Adversarial additions: a parse error and an unsupported instance must
+    // also render deterministically.
+    items.push(BatchItem {
+        name: "broken.xti".into(),
+        source: "input dtd {\n  r -> ((\n}\n".into(),
+    });
+    let outputs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let cache = SchemaCache::new();
+            run_batch(&items, threads, Some(&cache)).to_json()
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+    assert!(outputs[0].contains("\"status\": \"counterexample\""));
+    assert!(outputs[0].contains("\"status\": \"error\""));
+    // And cached vs uncached runs agree too.
+    let uncached = run_batch(&items, 4, None).to_json();
+    assert_eq!(outputs[0], uncached);
+}
+
+#[test]
+fn repeated_schemas_hit_the_cache() {
+    let items = mixed_items(66);
+    let cache = SchemaCache::new();
+    let out = run_batch(&items, 4, Some(&cache));
+    let (_, _, err) = out.tally();
+    assert_eq!(err, 0);
+    let stats = cache.stats();
+    assert!(
+        stats.schema_hits >= 2 * stats.schema_misses,
+        "66 instances over 6 schema groups must mostly hit: {stats:?}"
+    );
+}
+
+#[test]
+fn error_items_are_reported_not_dropped() {
+    let items = vec![
+        BatchItem {
+            name: "missing-sections.xti".into(),
+            source: "transducer {\n  states q\n  initial q\n}\n".into(),
+        },
+        BatchItem {
+            name: "mixed-schema-kinds.xti".into(),
+            source: "\
+input dtd {
+  start r
+  r -> x*
+  x -> eps
+}
+output nta {
+  states a
+  final a
+  (a, r) -> eps
+}
+transducer {
+  states q
+  initial q
+  (q, r) -> r(q)
+}
+"
+            .into(),
+        },
+    ];
+    let out = run_batch(&items, 2, None);
+    match &out.results[0].status {
+        ItemStatus::Error { message } => assert!(message.contains("no input schema"), "{message}"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    match &out.results[1].status {
+        ItemStatus::Error { message } => {
+            assert!(message.contains("mixed DTD/tree-automaton"), "{message}")
+        }
+        other => panic!("expected engine error, got {other:?}"),
+    }
+}
