@@ -23,19 +23,52 @@ cargo fmt --check
 
 echo "== xmlta CLI smoke (gen + typecheck + batch + report)"
 smoke="$(mktemp -d)"
-trap 'rm -rf "$smoke"' EXIT
-cargo run --release -q -p xmlta-service --bin xmlta -- \
-    gen mixed --count 24 --groups 4 --out "$smoke/instances" > "$smoke/files.txt"
+daemon=""
+cleanup() {
+    if [[ -n "$daemon" ]]; then
+        kill "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$smoke"
+}
+trap cleanup EXIT
+xmlta() { cargo run --release -q -p xmlta-server --bin xmlta -- "$@"; }
+xmlta gen mixed --count 24 --groups 4 --out "$smoke/instances" > "$smoke/files.txt"
 # The first generated file always typechecks (exit 0).
-cargo run --release -q -p xmlta-service --bin xmlta -- \
-    typecheck "$(head -n1 "$smoke/files.txt")"
-cargo run --release -q -p xmlta-service --bin xmlta -- \
-    batch --threads 1 --out "$smoke/b1.json" "$smoke/instances"
-cargo run --release -q -p xmlta-service --bin xmlta -- \
-    batch --threads 4 --out "$smoke/b4.json" "$smoke/instances"
+xmlta typecheck "$(head -n1 "$smoke/files.txt")"
+xmlta batch --threads 1 --out "$smoke/b1.json" "$smoke/instances"
+xmlta batch --threads 4 --out "$smoke/b4.json" "$smoke/instances"
 cmp "$smoke/b1.json" "$smoke/b4.json" \
     || { echo "batch JSON differs across thread counts"; exit 1; }
-cargo run --release -q -p xmlta-service --bin xmlta -- report "$smoke/b1.json"
+xmlta report "$smoke/b1.json"
+
+echo "== xmltad server smoke (socket + register + typecheck + clean shutdown)"
+sock="$smoke/xmltad.sock"
+# A passing and a failing instance from the generated set (every 11th
+# generated file is a failing filtering variant; index 10 with these
+# parameters).
+pass_file="$(head -n1 "$smoke/files.txt")"
+fail_file="$(grep -m1 'filtering-fail' "$smoke/files.txt")"
+# Launch the binary directly (not via `cargo run`) so $daemon is the
+# actual xmltad pid and the cleanup trap can kill it on failure paths.
+./target/release/xmltad --socket "$sock" &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "xmltad never bound $sock"; exit 1; }
+# register prints `FILE HANDLE`; typecheck registers + checks by handle.
+xmlta client --socket "$sock" register "$pass_file"
+xmlta client --socket "$sock" typecheck "$pass_file" \
+    || { echo "passing instance did not typecheck via the server"; exit 1; }
+set +e
+xmlta client --socket "$sock" typecheck "$fail_file"
+rc=$?
+set -e
+[[ "$rc" -eq 1 ]] || { echo "failing instance: expected exit 1, got $rc"; exit 1; }
+xmlta client --socket "$sock" stats
+xmlta client --socket "$sock" shutdown > /dev/null
+# Clean shutdown: exit 0, no leaked workers, socket file removed.
+wait "$daemon" || { echo "xmltad exited nonzero (leaked workers?)"; exit 1; }
+daemon=""
+[[ ! -e "$sock" ]] || { echo "socket file leaked"; exit 1; }
 
 echo "== quickstart example"
 cargo run --release -q -p xmlta-examples --example quickstart > /dev/null

@@ -1,7 +1,9 @@
 //! Emits `BENCH_lemma14.json`: wall-clock timings of the Lemma 14 engine
 //! over the scaling families of `lemma14_scaling`, the schema-ops
-//! determinize/minimize kernels, and the service-layer batch driver (cold
-//! vs warm schema cache), so the perf trajectory is tracked PR over PR.
+//! determinize/minimize kernels, the service-layer batch driver (cold vs
+//! warm schema cache), and the `xmltad` server (cold source streaming vs
+//! warm registered handles, against a one-shot-per-instance baseline), so
+//! the perf trajectory is tracked PR over PR.
 //!
 //! Usage:
 //! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH]`
@@ -192,7 +194,7 @@ fn main() -> ExitCode {
             let items: Vec<BatchItem> = gen::mixed_sources(n, 8, 7)
                 .expect("generators print")
                 .into_iter()
-                .map(|(name, source)| BatchItem { name, source })
+                .map(|(name, source)| BatchItem::from_source(name, source))
                 .collect();
             let millis = time_median(3, || {
                 let out = run_batch(&items, threads, None);
@@ -210,6 +212,33 @@ fn main() -> ExitCode {
         }
         series.push(("service/batch-cold".to_string(), cold));
         series.push(("service/batch-warm".to_string(), warm));
+    }
+
+    // Server throughput on a repeated-schema workload: n layered instances
+    // sharing ONE schema group (the schema is identical across all of
+    // them; transducers vary). Three ways to check the same inputs:
+    //
+    //   * oneshot-loop — parse + typecheck each instance with a fresh
+    //     cache, emulating a `xmlta typecheck` process per instance
+    //     (generously: no process spawn is charged);
+    //   * server-cold  — stream the instances as inline `typecheck`
+    //     sources to a fresh `xmltad` over a Unix socket;
+    //   * server-warm  — register every instance once, then stream
+    //     `typecheck`-by-handle requests on the same connection: no
+    //     parsing, every per-schema product a cache hit.
+    {
+        let sources: Vec<(String, String)> = (0..1024u64)
+            .map(|v| {
+                (
+                    format!("layered-{v:05}"),
+                    gen::layered_source(7, 4, 4, v).expect("generators print"),
+                )
+            })
+            .collect();
+        let (oneshot, cold, warm) = server_series(&sources, &[128, 512, 1024]);
+        series.push(("service/oneshot-loop".to_string(), oneshot));
+        series.push(("service/server-cold".to_string(), cold));
+        series.push(("service/server-warm".to_string(), warm));
     }
 
     // Serialize this run.
@@ -238,6 +267,220 @@ fn main() -> ExitCode {
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path} ({} run(s))", runs.len());
     ExitCode::SUCCESS
+}
+
+/// Measures the `service/{oneshot-loop,server-cold,server-warm}` series on
+/// a shared-schema workload, checking on the way that warm responses are
+/// byte-identical between a 1-connection and a 4-connection run, and that
+/// the warm path beats both baselines at the largest size.
+fn server_series(
+    sources: &[(String, String)],
+    sizes: &[usize],
+) -> (Vec<Point>, Vec<Point>, Vec<Point>) {
+    use xmlta_server::proto;
+    use xmlta_server::{serve_unix, Client, ServerConfig, Shared};
+    use xmlta_service::{parse_instance, typecheck_cached};
+
+    let socket = std::env::temp_dir().join(format!("xmltad-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+
+    let connect = |path: &std::path::Path| -> Client {
+        for _ in 0..500 {
+            if let Ok(client) = Client::connect(path) {
+                return client;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("daemon never bound {}", path.display());
+    };
+    /// Streams `frames` over `client` with a bounded pipelining window
+    /// (unbounded pipelining deadlocks once the response direction's
+    /// socket buffer fills and the server blocks on a write), asserting
+    /// every response is `ok`, and returns the transcript.
+    fn stream(client: &mut Client, frames: &[String]) -> Vec<String> {
+        const WINDOW: usize = 32;
+        let mut responses = Vec::with_capacity(frames.len());
+        let recv = |client: &mut Client| {
+            let line = client.recv().expect("recv").expect("response");
+            assert!(line.contains("\"ok\":true"), "request failed: {line}");
+            line
+        };
+        for (i, frame) in frames.iter().enumerate() {
+            client.send(frame).expect("send");
+            if i + 1 > WINDOW {
+                responses.push(recv(client));
+            }
+        }
+        while responses.len() < frames.len() {
+            responses.push(recv(client));
+        }
+        responses
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+
+    let mut oneshot = Vec::new();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let reps = 3;
+    for &n in sizes {
+        let slice = &sources[..n];
+
+        // Baseline: one fresh cache + parse per instance.
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            for (_, source) in slice {
+                let cache = SchemaCache::new();
+                let instance = parse_instance(source).expect("generated instance parses");
+                let outcome = typecheck_cached(&cache, &instance).expect("engine runs");
+                assert!(outcome.type_checks());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let oneshot_ms = median(&mut samples);
+        println!(
+            "  {:<28} {n:>4}: {oneshot_ms:>9.3} ms",
+            "service/oneshot-loop"
+        );
+        oneshot.push(Point {
+            param: n,
+            millis: oneshot_ms,
+        });
+
+        // Cold server: fresh daemon per rep, inline sources streamed over
+        // one connection.
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let shared = Shared::new();
+            let daemon = {
+                let path = socket.clone();
+                std::thread::spawn(move || {
+                    serve_unix(&path, shared, ServerConfig::default()).expect("clean daemon exit")
+                })
+            };
+            let mut client = connect(&socket);
+            let frames: Vec<String> = slice
+                .iter()
+                .enumerate()
+                .map(|(i, (_, source))| proto::req_typecheck_source(i as u64, source))
+                .collect();
+            let start = Instant::now();
+            stream(&mut client, &frames);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+            client
+                .roundtrip(&proto::req_shutdown(u64::MAX))
+                .expect("shutdown");
+            drop(client);
+            daemon.join().expect("daemon thread");
+        }
+        let cold_ms = median(&mut samples);
+        println!("  {:<28} {n:>4}: {cold_ms:>9.3} ms", "service/server-cold");
+        cold.push(Point {
+            param: n,
+            millis: cold_ms,
+        });
+
+        // Warm server: one daemon; register everything once on a pinned
+        // connection, then time handle-only streams on that connection.
+        let shared = Shared::new();
+        let daemon = {
+            let path = socket.clone();
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                serve_unix(&path, shared, ServerConfig::default()).expect("clean daemon exit")
+            })
+        };
+        let mut client = connect(&socket);
+        let register_frames: Vec<String> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, (_, source))| proto::req_register(i as u64, source))
+            .collect();
+        let handles: Vec<String> = stream(&mut client, &register_frames)
+            .iter()
+            .map(|line| {
+                let response = xmlta_service::parse_json(line).expect("response is JSON");
+                response
+                    .get("handle")
+                    .and_then(xmlta_service::Json::as_str)
+                    .expect("register returns a handle")
+                    .to_string()
+            })
+            .collect();
+        let typecheck_frames: Vec<String> = handles
+            .iter()
+            .enumerate()
+            .map(|(i, handle)| proto::req_typecheck_handle(i as u64, handle))
+            .collect();
+        let mut samples = Vec::with_capacity(reps);
+        let mut reference: Vec<String> = Vec::new();
+        for _ in 0..reps {
+            let start = Instant::now();
+            reference = stream(&mut client, &typecheck_frames);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let warm_ms = median(&mut samples);
+        println!("  {:<28} {n:>4}: {warm_ms:>9.3} ms", "service/server-warm");
+        warm.push(Point {
+            param: n,
+            millis: warm_ms,
+        });
+
+        // Acceptance: the same requests over 4 connections (each taking
+        // every 4th instance, re-registering its handles first — a hash
+        // lookup) must produce byte-identical responses.
+        let merged: Vec<String> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4usize)
+                .map(|c| {
+                    let socket = &socket;
+                    let slice = &slice;
+                    let typecheck_frames = &typecheck_frames;
+                    scope.spawn(move || {
+                        let mut client = connect(socket);
+                        let my_registers: Vec<String> = slice
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % 4 == c)
+                            .map(|(i, (_, source))| proto::req_register(i as u64, source))
+                            .collect();
+                        stream(&mut client, &my_registers);
+                        let my_typechecks: Vec<String> = typecheck_frames
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i % 4 == c)
+                            .map(|(_, f)| f.clone())
+                            .collect();
+                        stream(&mut client, &my_typechecks)
+                    })
+                })
+                .collect();
+            let per_conn: Vec<Vec<String>> =
+                workers.into_iter().map(|w| w.join().unwrap()).collect();
+            (0..n).map(|i| per_conn[i % 4][i / 4].clone()).collect()
+        });
+        assert_eq!(
+            merged, reference,
+            "N-connection responses differ from the 1-connection run at n={n}"
+        );
+
+        client
+            .roundtrip(&proto::req_shutdown(u64::MAX))
+            .expect("shutdown");
+        drop(client);
+        daemon.join().expect("daemon thread");
+
+        if n == *sizes.last().expect("at least one size") {
+            assert!(
+                warm_ms < cold_ms && warm_ms < oneshot_ms,
+                "warm server path must beat cold streaming ({cold_ms:.1} ms) and \
+                 one-shot loops ({oneshot_ms:.1} ms); got {warm_ms:.1} ms"
+            );
+        }
+    }
+    (oneshot, cold, warm)
 }
 
 /// Pulls the previously serialized run objects back out of the report.

@@ -29,17 +29,19 @@ use xmlta_tree::Tree;
 
 const WITNESS_CAP: usize = 1_000_000;
 
-/// Typechecks `T ∈ T_del-relab` against NTA schemas; the output automaton
-/// must be bottom-up deterministic and complete (`DTAc`).
-pub fn typecheck_delrelab(
-    ain: &Nta,
-    aout: &Nta,
-    t: &Transducer,
-    alphabet_size: usize,
-) -> Result<Outcome, TypecheckError> {
-    let sigma = alphabet_size
+/// The joint alphabet size the pipeline runs over (steps 1–4 all extend it
+/// by the fresh `#` symbol). Callers pre-building [`bout_product`]s must
+/// key them by this value.
+pub fn joint_sigma(ain: &Nta, aout: &Nta, alphabet_size: usize) -> usize {
+    alphabet_size
         .max(ain.alphabet_size())
-        .max(aout.alphabet_size());
+        .max(aout.alphabet_size())
+}
+
+/// Checks that `t` is in the engine's transducer class: selectors already
+/// expanded, and at most one state occurrence per rhs (a deleting
+/// relabeling). Cheap — run it before paying for any pipeline product.
+pub fn require_delrelab(t: &Transducer) -> Result<(), TypecheckError> {
     if t.uses_selectors() {
         return Err(TypecheckError::Unsupported(
             "expand selectors before the Theorem 20 engine".into(),
@@ -55,6 +57,12 @@ pub fn typecheck_delrelab(
             ));
         }
     }
+    Ok(())
+}
+
+/// Checks the `DTAc` requirement on the output automaton: bottom-up
+/// deterministic and complete.
+pub fn require_dtac(aout: &Nta) -> Result<(), TypecheckError> {
     if !dta::is_deterministic(aout) {
         return Err(TypecheckError::Unsupported(
             "output automaton must be bottom-up deterministic; \
@@ -67,6 +75,49 @@ pub fn typecheck_delrelab(
             "output automaton must be complete; call xmlta_schema::dta::complete".into(),
         ));
     }
+    Ok(())
+}
+
+/// Step 3 of the pipeline as a standalone product: the `#`-eliminated
+/// complement `B_out` of `aout` over the joint alphabet `sigma` (see
+/// [`joint_sigma`]). `aout` must satisfy [`require_dtac`].
+///
+/// The product depends only on the *output schema* — not on the input
+/// schema or the transducer — and its construction (jump-pair state space
+/// quadratic in the joint transition-NFA size) dominates pipeline setup,
+/// which is why the service layer caches it per schema fingerprint.
+pub fn bout_product(aout: &Nta, sigma: usize) -> Nta {
+    hash_complement(aout, sigma, sigma + 1)
+}
+
+/// Typechecks `T ∈ T_del-relab` against NTA schemas; the output automaton
+/// must be bottom-up deterministic and complete (`DTAc`).
+pub fn typecheck_delrelab(
+    ain: &Nta,
+    aout: &Nta,
+    t: &Transducer,
+    alphabet_size: usize,
+) -> Result<Outcome, TypecheckError> {
+    let sigma = joint_sigma(ain, aout, alphabet_size);
+    require_delrelab(t)?;
+    require_dtac(aout)?;
+    let bout = bout_product(aout, sigma);
+    typecheck_delrelab_with_bout(ain, &bout, t, sigma)
+}
+
+/// [`typecheck_delrelab`] with a pre-built (possibly cached) `B_out`.
+///
+/// `bout` must be [`bout_product`]`(aout, sigma)` for the instance's output
+/// automaton and `sigma` must be [`joint_sigma`] of the instance — the
+/// `DTAc` validation of the output automaton is assumed to have happened
+/// when the product was built.
+pub fn typecheck_delrelab_with_bout(
+    ain: &Nta,
+    bout: &Nta,
+    t: &Transducer,
+    sigma: usize,
+) -> Result<Outcome, TypecheckError> {
+    require_delrelab(t)?;
 
     let hash = sigma; // the fresh # symbol
     let sigma2 = sigma + 1;
@@ -77,11 +128,8 @@ pub fn typecheck_delrelab(
     // Step 2: B_in = T'(L(A_in)).
     let (bin, meta) = forward_image(ain, &tp, sigma, sigma2);
 
-    // Step 3: B_out = #-eliminated complement of A_out.
-    let bout = hash_complement(aout, sigma, sigma2);
-
-    // Step 4: product + emptiness.
-    let prod = product::intersect(&bin, &bout);
+    // Step 4: product + emptiness (step 3 is `bout`).
+    let prod = product::intersect(&bin, bout);
     match emptiness::witness_tree(&prod, WITNESS_CAP) {
         None => Ok(Outcome::TypeChecks),
         Some(out_tree) => {

@@ -91,6 +91,15 @@ pub struct Lemma14Engine {
     checks: FxHashMap<(StateId, usize), Vec<Check>>,
     /// Reachable (state, symbol) pairs with context provenance.
     pub(crate) reachable: FxHashMap<(StateId, usize), Option<ReachStep>>,
+    /// Retained walks keyed by `(symbol, tracked-state set)`.
+    ///
+    /// A walk is a monotone closure: growing the child profile sets only
+    /// ever *adds* nodes and edges. So instead of rebuilding a symbol's
+    /// walk from scratch on every dirty fixpoint round — and again for
+    /// every reachable pair in [`Lemma14Engine::find_violation`] — walks
+    /// are kept here and [`Lemma14Engine::extend_walk`] applies exactly
+    /// the profiles that arrived since the walk was last visited.
+    walks: FxHashMap<(usize, Box<[StateId]>), Walk>,
     /// Per symbol `a`: the letters occurring in some word of `L(d_in(a))`
     /// over productive symbols. Filled by [`Lemma14Engine::compute_reachable`];
     /// one trimmed-DFA scan per symbol replaces the per-(a, b) witness BFS
@@ -185,6 +194,7 @@ impl Lemma14Engine {
             tops,
             checks,
             reachable: FxHashMap::default(),
+            walks: FxHashMap::default(),
             child_letters: Vec::new(),
         })
     }
@@ -254,9 +264,13 @@ impl Lemma14Engine {
                 }
                 dirty[a] = false;
                 let needed = self.top_states_of(a);
-                let walk = self.explore(a, &needed)?;
+                let mut walk = self.explore(a, &needed)?;
                 let mut grew = false;
-                for &node in &walk.accepting {
+                // Accepting nodes below the watermark were assembled in an
+                // earlier round (their hvecs never change); only the newly
+                // discovered ones can contribute fresh profiles.
+                for i in walk.accepting_done..walk.accepting.len() {
+                    let node = walk.accepting[i];
                     let profile = self.assemble_profile(a, &needed, walk.hvec_of(node));
                     let pid = self.intern_profile(profile);
                     if self.profiles.len() > PROFILE_CAP {
@@ -272,6 +286,8 @@ impl Lemma14Engine {
                         grew = true;
                     }
                 }
+                walk.accepting_done = walk.accepting.len();
+                self.put_walk(a, &needed, walk);
                 if grew {
                     any_grew = true;
                     for &p in &parents_of[a] {
@@ -318,35 +334,56 @@ impl Lemma14Engine {
         out.into_boxed_slice()
     }
 
-    /// Explores the derivation walk for symbol `a`, tracking compositions
-    /// for `needed` states.
-    ///
-    /// The hot loop is allocation-free on the repeat paths: composition
-    /// vectors are interned into the walk's hvec arena, walk nodes are
-    /// packed `(DFA state, hvec id)` keys in an Fx map, and the
-    /// `(hvec, profile) → hvec'` transition is memoized so re-deriving a
-    /// known composition costs one u64 lookup.
+    /// Takes the retained walk for `(a, needed)` — empty if none yet — and
+    /// brings it up to date with the current profile sets. The caller uses
+    /// it and hands it back via [`Lemma14Engine::put_walk`].
     fn explore(&mut self, a: usize, needed: &[StateId]) -> Result<Walk, TypecheckError> {
-        self.explore_inner(a, needed, false)
+        let mut walk = self
+            .walks
+            .remove(&(a, Box::from(needed)))
+            .unwrap_or_default();
+        self.extend_walk(a, needed, &mut walk, false)?;
+        Ok(walk)
+    }
+
+    /// Returns a walk taken with [`Lemma14Engine::explore`] to the cache.
+    fn put_walk(&mut self, a: usize, needed: &[StateId], walk: Walk) {
+        self.walks.insert((a, Box::from(needed)), walk);
     }
 
     /// [`Lemma14Engine::explore`] variant that additionally records *every*
     /// edge (not just BFS parents) in [`Walk::edges`], for the pumping
-    /// analyses of the almost-always module.
+    /// analyses of the almost-always module. Always explores from scratch:
+    /// a retained walk only has the edges discovered since it was cached.
     pub(crate) fn explore_recording_edges(
         &mut self,
         a: usize,
         needed: &[StateId],
     ) -> Result<Walk, TypecheckError> {
-        self.explore_inner(a, needed, true)
+        let mut walk = Walk::default();
+        self.extend_walk(a, needed, &mut walk, true)?;
+        Ok(walk)
     }
 
-    fn explore_inner(
+    /// Extends `walk` with everything derivable from the profiles that
+    /// arrived since its last extension.
+    ///
+    /// Nodes present before this call re-scan only the *new* profiles of
+    /// each child symbol (`Walk::consumed` records the per-symbol
+    /// watermark); nodes discovered during the call scan all of them. The
+    /// hot loop is allocation-free on the repeat paths: composition
+    /// vectors are interned into the walk's hvec arena, walk nodes are
+    /// packed `(DFA state, hvec id)` keys in an Fx map, and the
+    /// `(hvec, profile) → hvec'` transition memo persists with the walk, so
+    /// re-deriving a known composition costs one u64 lookup even across
+    /// fixpoint rounds.
+    fn extend_walk(
         &mut self,
         a: usize,
         needed: &[StateId],
+        walk: &mut Walk,
         record_edges: bool,
-    ) -> Result<Walk, TypecheckError> {
+    ) -> Result<(), TypecheckError> {
         let sigma = self.sigma;
         // Split borrows: the DFA and profile tables are read-only here while
         // `behaviors` interns compositions — no clones of any of them.
@@ -358,14 +395,17 @@ impl Lemma14Engine {
             ..
         } = self;
         let dfa = &din_dfas[a];
-        let ident = behaviors.identity();
-        let mut walk = Walk::default();
-        let start_h: Box<[BehaviorId]> = vec![ident; needed.len()].into_boxed_slice();
-        let h0 = walk.intern_hvec(start_h);
-        let init = dfa.initial_state();
-        walk.intern_node(init, h0, dfa.is_final_state(init), None);
-        // Memo: packed (hvec id, profile id) → successor hvec id.
-        let mut step_memo: FxHashMap<u64, u32> = FxHashMap::default();
+        if walk.nodes.is_empty() {
+            let ident = behaviors.identity();
+            let start_h: Box<[BehaviorId]> = vec![ident; needed.len()].into_boxed_slice();
+            let h0 = walk.intern_hvec(start_h);
+            let init = dfa.initial_state();
+            walk.intern_node(init, h0, dfa.is_final_state(init), None);
+        }
+        if walk.consumed.len() < sigma {
+            walk.consumed.resize(sigma, 0);
+        }
+        let old_len = walk.nodes.len();
         let mut scratch: Vec<BehaviorId> = Vec::with_capacity(needed.len());
         let mut n = 0usize;
         // Nodes are appended in discovery order, so the index scan is BFS.
@@ -375,9 +415,12 @@ impl Lemma14Engine {
                 let Some(d2) = dfa.step(d, c as u32) else {
                     continue;
                 };
-                for &pid in pids {
+                // Pre-existing nodes already saw the first `consumed[c]`
+                // profiles of `c` in an earlier extension.
+                let skip = if n < old_len { walk.consumed[c] } else { 0 };
+                for &pid in &pids[skip..] {
                     let memo_key = (u64::from(h) << 32) | u64::from(pid);
-                    let h2 = match step_memo.get(&memo_key) {
+                    let h2 = match walk.step_memo.get(&memo_key) {
                         Some(&h2) => h2,
                         None => {
                             scratch.clear();
@@ -387,7 +430,7 @@ impl Lemma14Engine {
                                 scratch.push(behaviors.compose(hvec[i], f_p));
                             }
                             let h2 = walk.intern_hvec(scratch.as_slice().into());
-                            step_memo.insert(memo_key, h2);
+                            walk.step_memo.insert(memo_key, h2);
                             h2
                         }
                     };
@@ -418,7 +461,10 @@ impl Lemma14Engine {
             }
             n += 1;
         }
-        Ok(walk)
+        for (consumed, pids) in walk.consumed.iter_mut().zip(s_sets.iter()) {
+            *consumed = pids.len();
+        }
+        Ok(())
     }
 
     /// Computes the reachable `(state, symbol)` pairs (the descent of the
@@ -627,8 +673,13 @@ impl Lemma14Engine {
                 }
             }
             needed.sort_unstable();
+            // The fixpoint's walk for `(a, needed)` is reused verbatim when
+            // the tracked sets coincide (and extended from wherever it
+            // stopped when they do not) — reachable pairs sharing a symbol
+            // no longer re-explore the walk per pair.
             let walk = self.explore(a, &needed)?;
-            for &node in &walk.accepting {
+            let mut found = None;
+            'nodes: for &node in &walk.accepting {
                 let hvec = walk.hvec_of(node);
                 for check in &checks {
                     let mut x = check.start;
@@ -645,13 +696,18 @@ impl Lemma14Engine {
                         }
                     }
                     if x == DEAD || !self.out.is_final(x) {
-                        return Ok(Some(Violation {
+                        found = Some(Violation {
                             pair: (q, a),
                             children: walk.path_to(node),
                             what: check.what.clone(),
-                        }));
+                        });
+                        break 'nodes;
                     }
                 }
+            }
+            self.put_walk(a, &needed, walk);
+            if found.is_some() {
+                return Ok(found);
             }
         }
         Ok(None)
@@ -782,6 +838,14 @@ pub(crate) struct Walk {
     /// Every walk edge `(from, to, child symbol, child profile)` — filled
     /// only by [`Lemma14Engine::explore_recording_edges`].
     pub(crate) edges: Vec<(u32, u32, usize, ProfileId)>,
+    /// Per child symbol: how many of its realizable profiles every node of
+    /// this walk has already seen (the incremental-extension watermark).
+    consumed: Vec<usize>,
+    /// Persistent `(hvec id << 32 | profile id) → hvec id` transition memo.
+    step_memo: FxHashMap<u64, u32>,
+    /// Prefix of [`Walk::accepting`] whose profiles the fixpoint already
+    /// assembled and interned.
+    accepting_done: usize,
 }
 
 impl Walk {

@@ -94,6 +94,15 @@ impl Nta {
         self.delta.iter().map(|(&(q, a), n)| (q, a, n))
     }
 
+    /// All transition entries in `(q, a)` order — the canonical iteration
+    /// for anything that must be deterministic across equal automata
+    /// (printing, structural fingerprints, equality checks).
+    pub fn sorted_transitions(&self) -> Vec<(u32, Symbol, &Nfa)> {
+        let mut entries: Vec<_> = self.transitions().collect();
+        entries.sort_by_key(|&(q, a, _)| (q, a));
+        entries
+    }
+
     /// The paper's size measure `|Q| + |Σ| + Σ |δ(q,a)|`.
     pub fn size(&self) -> usize {
         self.num_states + self.alphabet_size + self.delta.values().map(Nfa::size).sum::<usize>()

@@ -5,20 +5,25 @@
 //! xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
 //! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
 //! xmlta report FILE
+//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+//! xmlta client --socket PATH <action> [args]
 //! ```
 //!
-//! Exit codes: for `typecheck`, `0` everything typechecks / `1` some
-//! instance has a counterexample / `2` some file errored. All other
-//! subcommands exit `0` when the run itself completes — `batch` records
-//! per-instance counterexamples and errors *inside the JSON report*, which
-//! is the artifact pipelines should inspect — and `2` on usage/IO errors.
+//! Exit codes: for `typecheck` (local or via `client`), `0` everything
+//! typechecks / `1` some instance has a counterexample / `2` some file
+//! errored. All other subcommands exit `0` when the run itself completes —
+//! `batch` records per-instance counterexamples and errors *inside the
+//! JSON report*, which is the artifact pipelines should inspect — and `2`
+//! on usage/IO errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
+use xmlta_server::proto::{self, BatchItemReq, Target};
+use xmlta_server::Client;
 use xmlta_service::batch::{run_batch, BatchItem};
 use xmlta_service::cache::SchemaCache;
-use xmlta_service::{gen, parse_instance, typecheck_cached};
+use xmlta_service::{gen, parse_instance, parse_json, typecheck_cached, Json};
 
 const USAGE: &str = "\
 xmlta — batch typechecker for simple XML transformations
@@ -47,7 +52,25 @@ USAGE:
                         group: --layers L --width K --count N --seed S
 
   xmlta report FILE
-      Summarize a batch JSON report.
+      Summarize a batch JSON report (pretty or single-line form).
+
+  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+      Run the persistent typechecking server (same as `xmltad`).
+
+  xmlta client --socket PATH <action>
+      Talk to a running server. Actions:
+        register FILE...         register instances; prints `FILE HANDLE`
+        typecheck TARGET...      TARGET is a file (registered, then checked
+                                 by handle on this connection) or @HANDLE;
+                                 prints and exits like local `typecheck`
+        batch [--threads N] [--out FILE] PATH...
+                                 server-side batch over files/directories
+        raw                      JSONL passthrough: frames from stdin,
+                                 responses to stdout
+        ping | stats | shutdown  one request, response printed as JSON
+
+      Handles are per-connection: a handle is valid for the invocation
+      that registered it (every `client` action is one connection).
 ";
 
 fn main() -> ExitCode {
@@ -61,6 +84,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(rest),
         "gen" => cmd_gen(rest),
         "report" => cmd_report(rest),
+        "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -81,6 +106,7 @@ struct Opts {
     positional: Vec<String>,
     threads: Option<usize>,
     out: Option<PathBuf>,
+    socket: Option<PathBuf>,
     no_cache: bool,
     count: Option<usize>,
     groups: Option<usize>,
@@ -95,6 +121,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         positional: Vec::new(),
         threads: None,
         out: None,
+        socket: None,
         no_cache: false,
         count: None,
         groups: None,
@@ -111,6 +138,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match arg.as_str() {
             "--threads" => o.threads = Some(parse_num(value("--threads")?)?),
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+            "--socket" => o.socket = Some(PathBuf::from(value("--socket")?)),
             "--no-cache" => o.no_cache = true,
             "--count" => o.count = Some(parse_num(value("--count")?)?),
             "--groups" => o.groups = Some(parse_num(value("--groups")?)?),
@@ -179,18 +207,22 @@ fn cmd_typecheck(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    Ok(if saw_error {
+    Ok(exit_for(saw_counterexample, saw_error))
+}
+
+fn exit_for(saw_counterexample: bool, saw_error: bool) -> ExitCode {
+    if saw_error {
         ExitCode::from(2)
     } else if saw_counterexample {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
-    })
+    }
 }
 
 /// Expands files and directories (scanned non-recursively for `*.xti`,
-/// sorted by name) into an ordered item list.
-fn collect_items(paths: &[String]) -> Result<Vec<BatchItem>, String> {
+/// sorted by name) into ordered `(name, source)` pairs.
+fn collect_sources(paths: &[String]) -> Result<Vec<(String, String)>, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for p in paths {
         let path = Path::new(p);
@@ -211,7 +243,7 @@ fn collect_items(paths: &[String]) -> Result<Vec<BatchItem>, String> {
         .map(|f| {
             let name = f.display().to_string();
             let source = std::fs::read_to_string(f).map_err(|e| format!("{name}: {e}"))?;
-            Ok(BatchItem { name, source })
+            Ok((name, source))
         })
         .collect()
 }
@@ -221,7 +253,10 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if opts.positional.is_empty() {
         return Err("batch needs at least one PATH".into());
     }
-    let items = collect_items(&opts.positional)?;
+    let items: Vec<BatchItem> = collect_sources(&opts.positional)?
+        .into_iter()
+        .map(|(name, source)| BatchItem::from_source(name, source))
+        .collect();
     if items.is_empty() {
         return Err("no instance files found".into());
     }
@@ -319,16 +354,20 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         return Err("report needs exactly one batch JSON FILE".into());
     };
     let text = read(path)?;
-    if !text.contains("\"xmlta\": \"batch\"") {
+    let report = parse_json(&text).map_err(|e| format!("{path}: not a JSON report ({e})"))?;
+    summarize_report(path, &report)
+}
+
+/// Prints the human summary of a batch report value (a file, or the
+/// `report` field of a server batch response).
+fn summarize_report(path: &str, report: &Json) -> Result<ExitCode, String> {
+    if report.get("xmlta").and_then(Json::as_str) != Some("batch") {
         return Err(format!("{path}: not an xmlta batch report"));
     }
-    // The report is machine-written by `BatchOutcome::to_json`, so a
-    // line-oriented scan suffices — no JSON parser dependency offline.
-    let field = |name: &str| -> Result<usize, String> {
-        let key = format!("\"{name}\": ");
-        text.lines()
-            .find_map(|l| l.trim().strip_prefix(&key))
-            .and_then(|v| v.trim_end_matches(',').parse().ok())
+    let field = |name: &str| -> Result<u64, String> {
+        report
+            .get(name)
+            .and_then(Json::as_u64)
             .ok_or_else(|| format!("{path}: malformed report (missing `{name}`)"))
     };
     let (total, ok, ce, err) = (
@@ -340,29 +379,211 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     if ok + ce + err != total {
         return Err(format!("{path}: malformed report (counts do not add up)"));
     }
+    let results = report
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: malformed report (missing `results`)"))?;
     println!("batch report: {total} instance(s)");
     println!("  typechecks:      {ok}");
     println!("  counterexamples: {ce}");
     println!("  errors:          {err}");
-    for (label, status) in [
-        ("counterexample", "\"status\": \"counterexample\""),
-        ("error", "\"status\": \"error\""),
-    ] {
+    for (label, status) in [("counterexample", "counterexample"), ("error", "error")] {
         let mut shown = 0;
-        for line in text.lines().filter(|l| l.contains(status)) {
+        for r in results {
+            if r.get("status").and_then(Json::as_str) != Some(status) {
+                continue;
+            }
             if shown == 5 {
                 println!("  ... more {label}s elided");
                 break;
             }
-            if let Some(name) = line
-                .trim()
-                .strip_prefix("{\"name\": \"")
-                .and_then(|r| r.split('"').next())
-            {
+            if let Some(name) = r.get("name").and_then(Json::as_str) {
                 println!("  {label}: {name}");
                 shown += 1;
             }
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// The client subcommand.
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let socket = opts.socket.as_deref().ok_or("client needs --socket PATH")?;
+    let Some((action, targets)) = opts.positional.split_first() else {
+        return Err(
+            "client needs an action (register, typecheck, batch, ping, stats, shutdown)".into(),
+        );
+    };
+    let mut client = Client::connect(socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    match action.as_str() {
+        "register" => client_register(&mut client, targets),
+        "typecheck" => client_typecheck(&mut client, targets),
+        "batch" => client_batch(&mut client, &opts, targets),
+        "raw" => client_raw(&mut client),
+        "ping" | "stats" | "shutdown" => {
+            let frame = match action.as_str() {
+                "ping" => proto::req_ping(1),
+                "stats" => proto::req_stats(1),
+                _ => proto::req_shutdown(1),
+            };
+            let response = client.roundtrip(&frame).map_err(|e| e.to_string())?;
+            println!("{response}");
+            let parsed = parse_json(&response).map_err(|e| format!("bad response: {e}"))?;
+            Ok(if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        other => Err(format!("unknown client action `{other}`")),
+    }
+}
+
+/// Sends one frame and parses the response, failing on transport errors.
+fn client_roundtrip(client: &mut Client, frame: &str) -> Result<Json, String> {
+    let response = client.roundtrip(frame).map_err(|e| e.to_string())?;
+    parse_json(&response).map_err(|e| format!("bad response from server: {e}"))
+}
+
+/// The error message of an `ok:false` response.
+fn response_error(response: &Json) -> Option<String> {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        return None;
+    }
+    let err = response.get("error")?;
+    Some(format!(
+        "{}: {}",
+        err.get("code").and_then(Json::as_str).unwrap_or("error"),
+        err.get("message").and_then(Json::as_str).unwrap_or(""),
+    ))
+}
+
+fn client_register(client: &mut Client, files: &[String]) -> Result<ExitCode, String> {
+    if files.is_empty() {
+        return Err("register needs at least one FILE".into());
+    }
+    for (i, path) in files.iter().enumerate() {
+        let source = read(path)?;
+        let response = client_roundtrip(client, &proto::req_register(i as u64 + 1, &source))?;
+        if let Some(e) = response_error(&response) {
+            return Err(format!("{path}: {e}"));
+        }
+        let handle = response
+            .get("handle")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: response has no handle"))?;
+        println!("{path} {handle}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode, String> {
+    if targets.is_empty() {
+        return Err("typecheck needs at least one FILE or @HANDLE".into());
+    }
+    let mut saw_counterexample = false;
+    let mut saw_error = false;
+    for (i, target) in targets.iter().enumerate() {
+        let id = 2 * i as u64 + 1;
+        let frame = match target.strip_prefix('@') {
+            Some(handle) => proto::req_typecheck_handle(id, handle),
+            None => {
+                // Register the file on this connection, then check it by
+                // handle — the registered/warm path, end to end.
+                let registered =
+                    client_roundtrip(client, &proto::req_register(id, &read(target)?))?;
+                if let Some(e) = response_error(&registered) {
+                    println!("{target}: {e}");
+                    saw_error = true;
+                    continue;
+                }
+                let handle = registered
+                    .get("handle")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{target}: response has no handle"))?;
+                proto::req_typecheck_handle(id + 1, handle)
+            }
+        };
+        let response = client_roundtrip(client, &frame)?;
+        if let Some(e) = response_error(&response) {
+            println!("{target}: {e}");
+            saw_error = true;
+            continue;
+        }
+        match response.get("status").and_then(Json::as_str) {
+            Some("typechecks") => println!("{target}: typechecks"),
+            Some("counterexample") => {
+                let input = response.get("input").and_then(Json::as_str).unwrap_or("?");
+                println!("{target}: counterexample input: {input}");
+                match response.get("output").and_then(Json::as_str) {
+                    Some(o) => println!("{target}: counterexample image: {o}"),
+                    None => println!("{target}: counterexample image is not a tree"),
+                }
+                saw_counterexample = true;
+            }
+            Some("error") => {
+                let message = response.get("message").and_then(Json::as_str).unwrap_or("");
+                println!("{target}: error: {message}");
+                saw_error = true;
+            }
+            other => {
+                println!("{target}: unexpected status {other:?}");
+                saw_error = true;
+            }
+        }
+    }
+    Ok(exit_for(saw_counterexample, saw_error))
+}
+
+/// JSONL passthrough: one request frame per stdin line, one response line
+/// per frame to stdout — scripting a whole session over one connection.
+fn client_raw(client: &mut Client) -> Result<ExitCode, String> {
+    use std::io::BufRead as _;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = client.roundtrip(&line).map_err(|e| e.to_string())?;
+        println!("{response}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("batch needs at least one PATH".into());
+    }
+    let items: Vec<BatchItemReq> = collect_sources(paths)?
+        .into_iter()
+        .map(|(name, source)| BatchItemReq {
+            name,
+            target: Target::Source(source),
+        })
+        .collect();
+    if items.is_empty() {
+        return Err("no instance files found".into());
+    }
+    let response = client_roundtrip(client, &proto::req_batch(1, &items, opts.threads))?;
+    if let Some(e) = response_error(&response) {
+        return Err(e);
+    }
+    let report = response
+        .get("report")
+        .ok_or("response has no report")?
+        .clone();
+    match &opts.out {
+        Some(path) => {
+            let mut rendered = String::new();
+            report.render(&mut rendered);
+            rendered.push('\n');
+            std::fs::write(path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        None => summarize_report("batch", &report),
+    }
 }

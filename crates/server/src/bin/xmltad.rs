@@ -1,0 +1,38 @@
+//! The `xmltad` daemon binary.
+//!
+//! ```text
+//! xmltad --socket PATH [--max-frame BYTES]
+//! xmltad --stdio      [--max-frame BYTES]
+//! ```
+//!
+//! Exit codes: `0` clean shutdown (or stdio EOF), `1` leaked/panicked
+//! workers at shutdown, `2` usage or socket errors.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+xmltad — persistent typechecking server
+
+USAGE:
+  xmltad --socket PATH [--max-frame BYTES]
+      Bind a Unix socket at PATH and serve connections until a client
+      sends a `shutdown` request. The socket file must not exist yet and
+      is removed on exit.
+
+  xmltad --stdio [--max-frame BYTES]
+      Serve a single session over stdin/stdout (one process = one
+      connection); exits at EOF or on `shutdown`.
+
+The wire protocol is one JSON object per line; see the README.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match xmlta_server::cli::run_serve(&args, "xmltad", USAGE) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("xmltad: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

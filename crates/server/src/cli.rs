@@ -1,0 +1,58 @@
+//! Serve-mode argument handling shared by the `xmltad` binary and the
+//! `xmlta serve` subcommand.
+
+use crate::{serve_stdio, serve_unix, ServerConfig, Shared};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parses serve-mode arguments (`--socket PATH | --stdio`,
+/// `[--max-frame BYTES]`) and runs the server. `name` labels error
+/// output; `usage` is printed for `--help`.
+pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    it.next().ok_or("--socket needs a path")?.clone(),
+                ))
+            }
+            "--stdio" => stdio = true,
+            "--max-frame" => {
+                config.max_frame = it
+                    .next()
+                    .ok_or("--max-frame needs a byte count")?
+                    .parse()
+                    .map_err(|_| "invalid --max-frame value".to_string())?
+            }
+            "--help" | "-h" => {
+                print!("{usage}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{usage}")),
+        }
+    }
+    let shared = Shared::new();
+    match (socket, stdio) {
+        (Some(path), false) => match serve_unix(&path, shared, config) {
+            Ok(()) => Ok(ExitCode::SUCCESS),
+            // Socket-level failures are usage/IO errors (exit 2, like the
+            // documented contract); exit 1 is reserved for worker
+            // leaks/panics at shutdown.
+            Err(e @ crate::ServeError::Io(_)) => Err(e.to_string()),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        },
+        (None, true) => {
+            serve_stdio(shared, &config).map_err(|e| format!("stdio session: {e}"))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some(_), true) => Err("give --socket or --stdio, not both".into()),
+        (None, false) => Err(format!("give --socket PATH or --stdio\n\n{usage}")),
+    }
+}

@@ -1,0 +1,62 @@
+//! A minimal reference client over a Unix socket.
+//!
+//! Transport-level by design: callers build request frames with the
+//! constructors in [`crate::proto`] and read response lines back, either
+//! strictly ([`Client::roundtrip`]) or pipelined ([`Client::send`] many,
+//! then [`Client::recv`] as many) — the server answers every frame in
+//! order, so pipelining needs no correlation logic. Keep the pipelining
+//! window bounded (a few dozen frames): the server writes responses
+//! synchronously, so a client that writes unboundedly without reading
+//! deadlocks with the server once the response direction's socket buffer
+//! fills.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected client.
+pub struct Client {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the server socket at `path`.
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one frame (a response can be collected later with
+    /// [`Client::recv`]).
+    pub fn send(&mut self, frame: &str) -> std::io::Result<()> {
+        self.stream.write_all(frame.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Receives one response line, or `None` when the server closed the
+    /// connection.
+    pub fn recv(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends one frame and waits for its response.
+    pub fn roundtrip(&mut self, frame: &str) -> std::io::Result<String> {
+        self.send(frame)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}

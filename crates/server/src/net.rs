@@ -1,0 +1,230 @@
+//! Transports: the Unix-socket daemon loop and the stdio single-session
+//! mode.
+//!
+//! The daemon is thread-per-connection over one shared
+//! [`crate::state::Shared`]. A `shutdown` request (from any connection)
+//! stops the accept loop, and the server then *drains*: it waits up to
+//! [`ServerConfig::drain`] for every connection worker to finish. Workers
+//! still running (or panicked) after the drain window are reported as an
+//! error so the process exits nonzero — a leaked worker is a bug, not a
+//! shrug.
+
+use crate::session::{serve_stream, Session, SessionEnd};
+use crate::state::Shared;
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use xmlta_base::FxHashMap;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum frame size in bytes.
+    pub max_frame: usize,
+    /// How long shutdown waits for in-flight connections to finish.
+    pub drain: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+            drain: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why the daemon loop failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or accepting on the socket failed.
+    Io(std::io::Error),
+    /// Workers still running after the drain window.
+    LeakedWorkers(usize),
+    /// A connection worker panicked (outside per-request isolation).
+    WorkerPanicked(usize),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::LeakedWorkers(n) => {
+                write!(f, "{n} connection worker(s) leaked past the drain window")
+            }
+            ServeError::WorkerPanicked(n) => write!(f, "{n} connection worker(s) panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Serves a single session over stdin/stdout (the `--stdio` mode): the
+/// same protocol with the process as the connection. Returns on EOF,
+/// `shutdown`, or an oversized frame.
+pub fn serve_stdio(shared: Arc<Shared>, config: &ServerConfig) -> std::io::Result<SessionEnd> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut session = Session::new(shared);
+    serve_stream(
+        &mut session,
+        stdin.lock(),
+        BufWriter::new(stdout.lock()),
+        config.max_frame,
+    )
+}
+
+/// Binds `path` and serves connections until a `shutdown` request, then
+/// drains workers. The socket file is removed on orderly exit.
+pub fn serve_unix(
+    path: &Path,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+) -> Result<(), ServeError> {
+    let listener = UnixListener::bind(path)?;
+    let result = accept_loop(&listener, path, &shared, &config);
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+fn accept_loop(
+    listener: &UnixListener,
+    path: &Path,
+    shared: &Arc<Shared>,
+    config: &ServerConfig,
+) -> Result<(), ServeError> {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Open connections by id, so shutdown can close them out from under
+    // workers blocked in a read — an *idle* connection must not be
+    // mistaken for a leaked worker. Workers deregister themselves on exit.
+    let conns: Arc<Mutex<FxHashMap<u64, UnixStream>>> = Arc::new(Mutex::new(FxHashMap::default()));
+    let mut workers: Vec<std::thread::JoinHandle<std::io::Result<SessionEnd>>> = Vec::new();
+    let mut next_id = 0u64;
+    let mut consecutive_errors = 0u32;
+    let mut panicked = 0usize;
+    loop {
+        // Reap finished workers as we go — a long-running daemon must not
+        // accumulate one JoinHandle per connection ever served.
+        if workers.len() >= 64 {
+            let (done, still): (Vec<_>, Vec<_>) = workers.drain(..).partition(|w| w.is_finished());
+            for worker in done {
+                if worker.join().is_err() {
+                    panicked += 1;
+                }
+            }
+            workers = still;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(e) => {
+                // Transient accept failures (fd pressure, aborted
+                // handshakes) must not take down a server full of live
+                // sessions; only a persistently failing listener is fatal.
+                consecutive_errors += 1;
+                if consecutive_errors >= 100 {
+                    return Err(e.into());
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client); stop accepting.
+            drop(stream);
+            break;
+        }
+        let id = next_id;
+        next_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(id, clone);
+        }
+        let shared = Arc::clone(shared);
+        let config = config.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let conns = Arc::clone(&conns);
+        let path: PathBuf = path.to_path_buf();
+        workers.push(std::thread::spawn(move || {
+            let result = serve_connection(stream, shared, &config);
+            conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&id);
+            if matches!(result, Ok(SessionEnd::Shutdown)) {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = UnixStream::connect(&path);
+            }
+            result
+        }));
+    }
+    // Close every still-open connection so idle workers see EOF and exit;
+    // the drain window is then only for workers mid-request.
+    for (_, stream) in conns
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain()
+    {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    drain(workers, config.drain, panicked)
+}
+
+fn serve_connection(
+    stream: UnixStream,
+    shared: Arc<Shared>,
+    config: &ServerConfig,
+) -> std::io::Result<SessionEnd> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    let mut session = Session::new(shared);
+    serve_stream(&mut session, reader, writer, config.max_frame)
+}
+
+/// Joins every worker within `window`; leftovers and panics (including
+/// the `already_panicked` reaped during accept) are errors.
+fn drain(
+    workers: Vec<std::thread::JoinHandle<std::io::Result<SessionEnd>>>,
+    window: Duration,
+    already_panicked: usize,
+) -> Result<(), ServeError> {
+    let deadline = Instant::now() + window;
+    let mut pending = workers;
+    let mut panicked = already_panicked;
+    while !pending.is_empty() && Instant::now() < deadline {
+        let (done, still): (Vec<_>, Vec<_>) = pending.into_iter().partition(|w| w.is_finished());
+        for worker in done {
+            if worker.join().is_err() {
+                panicked += 1;
+            }
+        }
+        pending = still;
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    if !pending.is_empty() {
+        return Err(ServeError::LeakedWorkers(pending.len()));
+    }
+    if panicked > 0 {
+        return Err(ServeError::WorkerPanicked(panicked));
+    }
+    Ok(())
+}

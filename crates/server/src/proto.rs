@@ -1,0 +1,423 @@
+//! The versioned line-delimited JSON protocol (v1).
+//!
+//! # Frames
+//!
+//! A frame is one complete JSON object on one line, terminated by `\n`.
+//! JSON string escaping guarantees a rendered object never contains a raw
+//! newline, so framing never needs lookahead. Frames larger than the
+//! server's configured maximum are answered with an `oversized-frame`
+//! error and the connection is closed (the remainder of the line cannot be
+//! resynchronized). Blank lines are ignored.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"v": 1, "id": 7, "op": "typecheck", "handle": "i2f0c..."}
+//! ```
+//!
+//! * `v` — optional protocol version; absent means 1. Any other value is
+//!   answered with `unsupported-protocol`. New fields may be added to
+//!   requests and responses within a version; clients must ignore fields
+//!   they do not know. Incompatible changes bump `v`.
+//! * `id` — optional string or number, echoed verbatim in the response
+//!   (`null` when absent). Responses on one connection always arrive in
+//!   request order, so ids are a client convenience, not a correlation
+//!   necessity.
+//! * `op` — the operation; remaining fields are per-op (see [`Op`]).
+//!
+//! # Responses
+//!
+//! One frame per request, in request order:
+//!
+//! ```text
+//! {"id":7,"ok":true,"status":"typechecks"}
+//! {"id":7,"ok":false,"error":{"code":"unknown-handle","message":"..."}}
+//! ```
+//!
+//! Responses carry no timings or cache counters (the `stats` op is the
+//! explicit exception), so a connection's response bytes are a pure
+//! function of its request bytes — the determinism property the
+//! integration tests and the bench assert.
+
+use std::fmt::Write as _;
+use xmlta_service::{parse_json, Json};
+
+/// The protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default maximum frame size in bytes (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error codes of `ok:false` responses.
+pub mod code {
+    /// The frame is not a JSON object (or not JSON at all).
+    pub const MALFORMED_FRAME: &str = "malformed-frame";
+    /// The frame exceeds the server's maximum frame size.
+    pub const OVERSIZED_FRAME: &str = "oversized-frame";
+    /// The `v` field names a protocol version the server does not speak.
+    pub const UNSUPPORTED_PROTOCOL: &str = "unsupported-protocol";
+    /// The `op` field names no known operation.
+    pub const UNKNOWN_OP: &str = "unknown-op";
+    /// A well-formed frame with missing or ill-typed fields.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// A handle that this session never registered.
+    pub const UNKNOWN_HANDLE: &str = "unknown-handle";
+    /// A `register` source that does not parse as an instance.
+    pub const INVALID_INSTANCE: &str = "invalid-instance";
+    /// The request handler panicked (isolated per request).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// What a `typecheck` request checks (exactly one of the two).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A handle previously returned by `register` on this connection.
+    Handle(String),
+    /// Inline instance source in the textual format.
+    Source(String),
+}
+
+/// One item of a `batch` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItemReq {
+    /// Display name for the report.
+    pub name: String,
+    /// What to check.
+    pub target: Target,
+}
+
+/// A parsed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Protocol handshake/identification (optional).
+    Hello,
+    /// Liveness probe.
+    Ping,
+    /// Parse + prepare an instance; returns its handle.
+    Register {
+        /// Instance source in the textual format.
+        source: String,
+    },
+    /// Typecheck one instance.
+    Typecheck {
+        /// What to check.
+        target: Target,
+    },
+    /// Typecheck many instances; returns the deterministic batch report.
+    Batch {
+        /// The items, in report order.
+        items: Vec<BatchItemReq>,
+        /// Worker threads for this batch (server-clamped; default 1).
+        threads: Option<usize>,
+    },
+    /// Cache/registry counters (the one scheduling-dependent response).
+    Stats,
+    /// Stop accepting connections and exit once sessions drain.
+    Shutdown,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The echoed id (`Json::Null` when absent).
+    pub id: Json,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A request rejection: the error response to send instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reject {
+    /// The id to echo (`null` if the frame had none or was unreadable).
+    pub id: Json,
+    /// Error code (one of [`code`]).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Reject {
+    fn new(id: Json, code: &'static str, message: impl Into<String>) -> Reject {
+        Reject {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one frame into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, Reject> {
+    let frame = parse_json(line).map_err(|e| {
+        Reject::new(
+            Json::Null,
+            code::MALFORMED_FRAME,
+            format!("frame is not valid JSON: {e}"),
+        )
+    })?;
+    if !matches!(frame, Json::Obj(_)) {
+        return Err(Reject::new(
+            Json::Null,
+            code::MALFORMED_FRAME,
+            "frame must be a JSON object",
+        ));
+    }
+    let id = frame.get("id").cloned().unwrap_or(Json::Null);
+    if !matches!(id, Json::Null | Json::Num(_) | Json::Str(_)) {
+        return Err(Reject::new(
+            Json::Null,
+            code::BAD_REQUEST,
+            "`id` must be a string, a number, or null",
+        ));
+    }
+    if let Some(v) = frame.get("v") {
+        if v.as_u64() != Some(PROTOCOL_VERSION) {
+            return Err(Reject::new(
+                id,
+                code::UNSUPPORTED_PROTOCOL,
+                format!("this server speaks protocol version {PROTOCOL_VERSION}"),
+            ));
+        }
+    }
+    let Some(op) = frame.get("op").and_then(Json::as_str) else {
+        return Err(Reject::new(
+            id,
+            code::BAD_REQUEST,
+            "missing or non-string `op`",
+        ));
+    };
+    let op = match op {
+        "hello" => Op::Hello,
+        "ping" => Op::Ping,
+        "register" => {
+            let Some(source) = frame.get("source").and_then(Json::as_str) else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`register` needs a string `source`",
+                ));
+            };
+            Op::Register {
+                source: source.to_string(),
+            }
+        }
+        "typecheck" => Op::Typecheck {
+            target: parse_target(&frame)
+                .map_err(|m| Reject::new(id.clone(), code::BAD_REQUEST, m))?,
+        },
+        "batch" => {
+            let Some(items) = frame.get("items").and_then(Json::as_array) else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`batch` needs an `items` array",
+                ));
+            };
+            let threads = match frame.get("threads") {
+                None => None,
+                Some(t) => match t.as_u64() {
+                    Some(n) => Some(n as usize),
+                    None => {
+                        return Err(Reject::new(
+                            id,
+                            code::BAD_REQUEST,
+                            "`threads` must be a non-negative integer",
+                        ))
+                    }
+                },
+            };
+            let mut parsed = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let bad = |m: String| Reject::new(id.clone(), code::BAD_REQUEST, m);
+                if !matches!(item, Json::Obj(_)) {
+                    return Err(bad(format!("batch item #{i} must be an object")));
+                }
+                let Some(name) = item.get("name").and_then(Json::as_str) else {
+                    return Err(bad(format!("batch item #{i} needs a string `name`")));
+                };
+                let target = parse_target(item)
+                    .map_err(|m| bad(format!("batch item #{i} ({name}): {m}")))?;
+                parsed.push(BatchItemReq {
+                    name: name.to_string(),
+                    target,
+                });
+            }
+            Op::Batch {
+                items: parsed,
+                threads,
+            }
+        }
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err(Reject::new(
+                id,
+                code::UNKNOWN_OP,
+                format!("unknown op `{other}`"),
+            ))
+        }
+    };
+    Ok(Request { id, op })
+}
+
+/// Pulls the `handle` xor `source` field out of a request or batch item.
+fn parse_target(obj: &Json) -> Result<Target, String> {
+    match (obj.get("handle"), obj.get("source")) {
+        (Some(h), None) => match h.as_str() {
+            Some(h) => Ok(Target::Handle(h.to_string())),
+            None => Err("`handle` must be a string".into()),
+        },
+        (None, Some(s)) => match s.as_str() {
+            Some(s) => Ok(Target::Source(s.to_string())),
+            None => Err("`source` must be a string".into()),
+        },
+        (Some(_), Some(_)) => Err("give `handle` or `source`, not both".into()),
+        (None, None) => Err("needs a `handle` or a `source`".into()),
+    }
+}
+
+/// Builds one response frame with deterministic field order:
+/// `id`, `ok`, then the fields in insertion order.
+pub struct ResponseBuilder {
+    out: String,
+}
+
+impl ResponseBuilder {
+    /// Starts a response echoing `id`.
+    pub fn new(id: &Json, ok: bool) -> ResponseBuilder {
+        let mut out = String::from("{\"id\":");
+        id.render(&mut out);
+        let _ = write!(out, ",\"ok\":{ok}");
+        ResponseBuilder { out }
+    }
+
+    /// Adds a string field.
+    pub fn str_field(self, key: &str, value: &str) -> ResponseBuilder {
+        let rendered = xmlta_service::json::escaped(value);
+        self.raw_field(key, &rendered)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num_field(mut self, key: &str, value: u64) -> ResponseBuilder {
+        let _ = write!(self.out, ",\"{key}\":{value}");
+        self
+    }
+
+    /// Adds a field holding pre-rendered JSON (e.g. a batch report line).
+    pub fn raw_field(mut self, key: &str, rendered: &str) -> ResponseBuilder {
+        let _ = write!(self.out, ",\"{key}\":{rendered}");
+        self
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null_field(self, key: &str) -> ResponseBuilder {
+        self.raw_field(key, "null")
+    }
+
+    /// Finishes the frame (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Renders the error response for a [`Reject`].
+pub fn error_frame(reject: &Reject) -> String {
+    let mut err = String::from("{\"code\":");
+    xmlta_service::json::push_escaped(&mut err, reject.code);
+    err.push_str(",\"message\":");
+    xmlta_service::json::push_escaped(&mut err, &reject.message);
+    err.push('}');
+    ResponseBuilder::new(&reject.id, false)
+        .raw_field("error", &err)
+        .finish()
+}
+
+/// Renders a plain `{"id":…,"ok":true}` response.
+pub fn ok_frame(id: &Json) -> String {
+    ResponseBuilder::new(id, true).finish()
+}
+
+// ---------------------------------------------------------------------
+// Request constructors (used by the CLI client, tests, and the bench).
+
+fn request(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut obj = vec![
+        ("v".to_string(), Json::from_u64(PROTOCOL_VERSION)),
+        ("id".to_string(), Json::from_u64(id)),
+        ("op".to_string(), Json::Str(op.to_string())),
+    ];
+    for (k, v) in fields {
+        obj.push((k.to_string(), v));
+    }
+    Json::Obj(obj).to_string()
+}
+
+/// A `hello` request frame.
+pub fn req_hello(id: u64) -> String {
+    request(id, "hello", Vec::new())
+}
+
+/// A `ping` request frame.
+pub fn req_ping(id: u64) -> String {
+    request(id, "ping", Vec::new())
+}
+
+/// A `register` request frame.
+pub fn req_register(id: u64, source: &str) -> String {
+    request(
+        id,
+        "register",
+        vec![("source", Json::Str(source.to_string()))],
+    )
+}
+
+/// A `typecheck`-by-handle request frame.
+pub fn req_typecheck_handle(id: u64, handle: &str) -> String {
+    request(
+        id,
+        "typecheck",
+        vec![("handle", Json::Str(handle.to_string()))],
+    )
+}
+
+/// A `typecheck`-inline-source request frame.
+pub fn req_typecheck_source(id: u64, source: &str) -> String {
+    request(
+        id,
+        "typecheck",
+        vec![("source", Json::Str(source.to_string()))],
+    )
+}
+
+/// A `batch` request frame.
+pub fn req_batch(id: u64, items: &[BatchItemReq], threads: Option<usize>) -> String {
+    let items = items
+        .iter()
+        .map(|item| {
+            let (key, value) = match &item.target {
+                Target::Handle(h) => ("handle", h),
+                Target::Source(s) => ("source", s),
+            };
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(item.name.clone())),
+                (key.to_string(), Json::Str(value.clone())),
+            ])
+        })
+        .collect();
+    let mut fields = vec![("items", Json::Arr(items))];
+    if let Some(t) = threads {
+        fields.push(("threads", Json::from_u64(t as u64)));
+    }
+    request(id, "batch", fields)
+}
+
+/// A `stats` request frame.
+pub fn req_stats(id: u64) -> String {
+    request(id, "stats", Vec::new())
+}
+
+/// A `shutdown` request frame.
+pub fn req_shutdown(id: u64) -> String {
+    request(id, "shutdown", Vec::new())
+}

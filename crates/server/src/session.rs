@@ -1,0 +1,278 @@
+//! A per-connection session: the handle table and the request dispatcher.
+//!
+//! Handles are **session-scoped**: `typecheck {"handle": …}` resolves only
+//! what *this* connection registered, so a connection's responses are a
+//! pure function of its own requests — interleaving with other clients can
+//! never change a response byte. The artifacts behind the handles are
+//! process-wide ([`crate::state::Shared`]); registration of
+//! already-registered content is a hash lookup.
+
+use crate::proto::{self, code, BatchItemReq, Op, Reject, Request, ResponseBuilder, Target};
+use crate::state::{Prepared, Shared};
+use std::io::{BufRead, Read, Write};
+use std::sync::Arc;
+use xmlta_base::FxHashMap;
+use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::{check_instance, parse_instance, ItemStatus, Json};
+
+/// What the connection loop should do after a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading frames.
+    Continue,
+    /// The client asked the server to shut down.
+    Shutdown,
+}
+
+/// Why [`serve_stream`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client closed the connection.
+    Eof,
+    /// A `shutdown` request was served.
+    Shutdown,
+    /// An oversized frame closed the connection.
+    Oversized,
+}
+
+/// A connection's session state.
+pub struct Session {
+    shared: Arc<Shared>,
+    handles: FxHashMap<String, Arc<Prepared>>,
+    max_batch_threads: usize,
+}
+
+impl Session {
+    /// A fresh session over the process-wide state.
+    pub fn new(shared: Arc<Shared>) -> Session {
+        Session {
+            shared,
+            handles: FxHashMap::default(),
+            max_batch_threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Handles one frame, producing the response line (no `\n`) and the
+    /// control verdict. Panics inside request handling are caught and
+    /// answered with an `internal` error — one adversarial request must
+    /// not take down the connection, let alone the server.
+    pub fn handle_frame(&mut self, line: &str) -> (String, Control) {
+        let request = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(reject) => return (proto::error_frame(&reject), Control::Continue),
+        };
+        let id = request.id.clone();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(request))) {
+            Ok(reply) => reply,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                let reject = Reject {
+                    id,
+                    code: code::INTERNAL,
+                    message: format!("request handler panicked: {msg}"),
+                };
+                (proto::error_frame(&reject), Control::Continue)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, request: Request) -> (String, Control) {
+        let id = request.id;
+        let reply = match request.op {
+            Op::Hello => ResponseBuilder::new(&id, true)
+                .str_field("server", "xmltad")
+                .num_field("protocol", proto::PROTOCOL_VERSION)
+                .finish(),
+            Op::Ping => proto::ok_frame(&id),
+            Op::Register { source } => match self.shared.register(&source) {
+                Ok(prepared) => {
+                    let handle = prepared.handle.clone();
+                    self.handles.insert(handle.clone(), prepared);
+                    ResponseBuilder::new(&id, true)
+                        .str_field("handle", &handle)
+                        .finish()
+                }
+                Err(e) => proto::error_frame(&Reject {
+                    id,
+                    code: code::INVALID_INSTANCE,
+                    message: format!("parse error: {e}"),
+                }),
+            },
+            Op::Typecheck { target } => {
+                let status = match &target {
+                    Target::Handle(handle) => match self.handles.get(handle) {
+                        Some(prepared) => {
+                            check_instance(&prepared.instance, Some(self.shared.cache()))
+                        }
+                        None => {
+                            return (
+                                proto::error_frame(&Reject {
+                                    id,
+                                    code: code::UNKNOWN_HANDLE,
+                                    message: format!(
+                                        "handle `{handle}` was not registered on this connection"
+                                    ),
+                                }),
+                                Control::Continue,
+                            )
+                        }
+                    },
+                    Target::Source(source) => match parse_instance(source) {
+                        Ok(instance) => check_instance(&instance, Some(self.shared.cache())),
+                        Err(e) => ItemStatus::Error {
+                            message: format!("parse error: {e}"),
+                        },
+                    },
+                };
+                status_reply(&id, &status)
+            }
+            Op::Batch { items, threads } => {
+                let mut resolved = Vec::with_capacity(items.len());
+                for BatchItemReq { name, target } in items {
+                    match target {
+                        Target::Source(source) => {
+                            resolved.push(BatchItem::from_source(name, source))
+                        }
+                        Target::Handle(handle) => match self.handles.get(&handle) {
+                            Some(prepared) => resolved.push(BatchItem::from_prepared(
+                                name,
+                                Arc::clone(&prepared.instance),
+                            )),
+                            None => {
+                                return (
+                                    proto::error_frame(&Reject {
+                                        id,
+                                        code: code::UNKNOWN_HANDLE,
+                                        message: format!(
+                                            "batch item `{name}`: handle `{handle}` was not \
+                                             registered on this connection"
+                                        ),
+                                    }),
+                                    Control::Continue,
+                                )
+                            }
+                        },
+                    }
+                }
+                let threads = threads.unwrap_or(1).clamp(1, self.max_batch_threads);
+                let outcome = run_batch(&resolved, threads, Some(self.shared.cache()));
+                ResponseBuilder::new(&id, true)
+                    .raw_field("report", &outcome.to_json_line())
+                    .finish()
+            }
+            Op::Stats => {
+                let s = self.shared.cache().stats();
+                let stats = format!(
+                    "{{\"schema_hits\":{},\"schema_misses\":{},\"rule_hits\":{},\
+                     \"rule_misses\":{},\"bout_hits\":{},\"bout_misses\":{},\
+                     \"registered\":{},\"session_handles\":{}}}",
+                    s.schema_hits,
+                    s.schema_misses,
+                    s.rule_hits,
+                    s.rule_misses,
+                    s.bout_hits,
+                    s.bout_misses,
+                    self.shared.registered(),
+                    self.handles.len(),
+                );
+                ResponseBuilder::new(&id, true)
+                    .raw_field("stats", &stats)
+                    .finish()
+            }
+            Op::Shutdown => return (proto::ok_frame(&id), Control::Shutdown),
+        };
+        (reply, Control::Continue)
+    }
+}
+
+/// Renders a typecheck status response (shared by `typecheck` results and
+/// mirrored by the per-item records inside batch reports).
+fn status_reply(id: &Json, status: &ItemStatus) -> String {
+    match status {
+        ItemStatus::TypeChecks => ResponseBuilder::new(id, true)
+            .str_field("status", "typechecks")
+            .finish(),
+        ItemStatus::CounterExample { input, output } => {
+            let b = ResponseBuilder::new(id, true)
+                .str_field("status", "counterexample")
+                .str_field("input", input);
+            match output {
+                Some(o) => b.str_field("output", o),
+                None => b.null_field("output"),
+            }
+            .finish()
+        }
+        ItemStatus::Error { message } => ResponseBuilder::new(id, true)
+            .str_field("status", "error")
+            .str_field("message", message)
+            .finish(),
+    }
+}
+
+/// Runs a session over a framed byte stream until EOF, shutdown, or an
+/// oversized frame. Writes one response line per request line, flushing
+/// after each so pipelined clients make progress.
+pub fn serve_stream<R: BufRead, W: Write>(
+    session: &mut Session,
+    mut reader: R,
+    mut writer: W,
+    max_frame: usize,
+) -> std::io::Result<SessionEnd> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        // Read at most one byte past the cap: a line that long is
+        // oversized whether or not its newline ever arrives.
+        let n = reader
+            .by_ref()
+            .take(max_frame as u64 + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(SessionEnd::Eof);
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        if buf.len() > max_frame {
+            let reject = Reject {
+                id: Json::Null,
+                code: code::OVERSIZED_FRAME,
+                message: format!("frame exceeds {max_frame} bytes; closing the connection"),
+            };
+            writeln!(writer, "{}", proto::error_frame(&reject))?;
+            writer.flush()?;
+            return Ok(SessionEnd::Oversized);
+        }
+        if buf.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(line) => line,
+            Err(_) => {
+                let reject = Reject {
+                    id: Json::Null,
+                    code: code::MALFORMED_FRAME,
+                    message: "frame is not valid UTF-8".to_string(),
+                };
+                writeln!(writer, "{}", proto::error_frame(&reject))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let (reply, control) = session.handle_frame(line);
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+        if control == Control::Shutdown {
+            return Ok(SessionEnd::Shutdown);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Golden tests for protocol replies: every error shape a client can
+//! provoke has a pinned byte-exact response, and the framed stream loop
+//! enforces size and UTF-8 rules.
+
+use std::io::Cursor;
+use std::sync::Arc;
+use xmlta_server::{serve_stream, Session, SessionEnd, Shared};
+
+const GOOD: &str = "\
+input dtd {
+  start r
+  r -> x*
+  x -> eps
+}
+output dtd {
+  start r
+  r -> y*
+}
+transducer {
+  states root q
+  initial root
+  (root, r) -> r(q)
+  (q, x) -> y
+}
+";
+
+/// Runs `input` through a fresh session over an in-memory stream.
+fn run(input: &str, max_frame: usize) -> (Vec<String>, SessionEnd) {
+    let mut session = Session::new(Shared::new());
+    let mut out: Vec<u8> = Vec::new();
+    let end = serve_stream(
+        &mut session,
+        Cursor::new(input.as_bytes()),
+        &mut out,
+        max_frame,
+    )
+    .expect("in-memory IO cannot fail");
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let lines = text.lines().map(str::to_string).collect();
+    (lines, end)
+}
+
+/// One frame in, one frame out.
+fn one(input: &str) -> String {
+    let (lines, _) = run(&format!("{input}\n"), 1 << 20);
+    assert_eq!(lines.len(), 1, "exactly one response for {input:?}");
+    lines.into_iter().next().unwrap()
+}
+
+#[test]
+fn golden_malformed_frames() {
+    assert_eq!(
+        one("this is not json"),
+        r#"{"id":null,"ok":false,"error":{"code":"malformed-frame","message":"frame is not valid JSON: byte 0: expected `true`"}}"#
+    );
+    assert_eq!(
+        one("[1, 2]"),
+        r#"{"id":null,"ok":false,"error":{"code":"malformed-frame","message":"frame must be a JSON object"}}"#
+    );
+    assert_eq!(
+        one("{\"id\": 3} trailing"),
+        r#"{"id":null,"ok":false,"error":{"code":"malformed-frame","message":"frame is not valid JSON: byte 10: trailing characters after the value"}}"#
+    );
+}
+
+#[test]
+fn golden_bad_requests() {
+    assert_eq!(
+        one("{}"),
+        r#"{"id":null,"ok":false,"error":{"code":"bad-request","message":"missing or non-string `op`"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 4, "op": "typecheck"}"#),
+        r#"{"id":4,"ok":false,"error":{"code":"bad-request","message":"needs a `handle` or a `source`"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": "x", "op": "typecheck", "handle": "h", "source": "s"}"#),
+        r#"{"id":"x","ok":false,"error":{"code":"bad-request","message":"give `handle` or `source`, not both"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 5, "op": "batch"}"#),
+        r#"{"id":5,"ok":false,"error":{"code":"bad-request","message":"`batch` needs an `items` array"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 6, "op": "batch", "items": [{"name": "a"}]}"#),
+        r#"{"id":6,"ok":false,"error":{"code":"bad-request","message":"batch item #0 (a): needs a `handle` or a `source`"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": {"nested": true}, "op": "ping"}"#),
+        r#"{"id":null,"ok":false,"error":{"code":"bad-request","message":"`id` must be a string, a number, or null"}}"#
+    );
+}
+
+#[test]
+fn golden_version_and_op_errors() {
+    assert_eq!(
+        one(r#"{"v": 2, "id": 1, "op": "ping"}"#),
+        r#"{"id":1,"ok":false,"error":{"code":"unsupported-protocol","message":"this server speaks protocol version 1"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 1, "op": "frobnicate"}"#),
+        r#"{"id":1,"ok":false,"error":{"code":"unknown-op","message":"unknown op `frobnicate`"}}"#
+    );
+}
+
+#[test]
+fn golden_unknown_handle() {
+    assert_eq!(
+        one(r#"{"id": 7, "op": "typecheck", "handle": "i0000000000000000"}"#),
+        r#"{"id":7,"ok":false,"error":{"code":"unknown-handle","message":"handle `i0000000000000000` was not registered on this connection"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 8, "op": "batch", "items": [{"name": "a", "handle": "nope"}]}"#),
+        r#"{"id":8,"ok":false,"error":{"code":"unknown-handle","message":"batch item `a`: handle `nope` was not registered on this connection"}}"#
+    );
+}
+
+#[test]
+fn golden_invalid_instance() {
+    assert_eq!(
+        one(r#"{"id": 9, "op": "register", "source": "input dtd {"}"#),
+        r#"{"id":9,"ok":false,"error":{"code":"invalid-instance","message":"parse error: line 2, col 1: unclosed dtd section"}}"#
+    );
+}
+
+#[test]
+fn oversized_frame_answers_then_closes() {
+    let long = format!(
+        "{{\"id\": 1, \"op\": \"ping\", \"pad\": \"{}\"}}",
+        "x".repeat(256)
+    );
+    let input = format!("{long}\n{{\"id\": 2, \"op\": \"ping\"}}\n");
+    let (lines, end) = run(&input, 64);
+    assert_eq!(end, SessionEnd::Oversized);
+    assert_eq!(
+        lines,
+        vec![
+            r#"{"id":null,"ok":false,"error":{"code":"oversized-frame","message":"frame exceeds 64 bytes; closing the connection"}}"#
+                .to_string()
+        ],
+        "the follow-up ping must not be answered"
+    );
+}
+
+#[test]
+fn frame_at_the_limit_is_served() {
+    let frame = r#"{"id": 1, "op": "ping"}"#;
+    let (lines, end) = run(&format!("{frame}\n"), frame.len());
+    assert_eq!(end, SessionEnd::Eof);
+    assert_eq!(lines, vec![r#"{"id":1,"ok":true}"#.to_string()]);
+}
+
+#[test]
+fn non_utf8_frame_is_rejected_and_connection_survives() {
+    let mut input: Vec<u8> = b"{\"id\": 1, \"op\": \"ping\", \"x\": \"\xff\xfe\"}\n".to_vec();
+    input.extend_from_slice(b"{\"id\": 2, \"op\": \"ping\"}\n");
+    let mut session = Session::new(Shared::new());
+    let mut out: Vec<u8> = Vec::new();
+    let end = serve_stream(&mut session, Cursor::new(input), &mut out, 1 << 20).unwrap();
+    assert_eq!(end, SessionEnd::Eof);
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            r#"{"id":null,"ok":false,"error":{"code":"malformed-frame","message":"frame is not valid UTF-8"}}"#,
+            r#"{"id":2,"ok":true}"#,
+        ]
+    );
+}
+
+#[test]
+fn blank_lines_and_crlf_are_tolerated() {
+    let input = "\r\n  \n{\"id\": 1, \"op\": \"ping\"}\r\n\n";
+    let (lines, end) = run(input, 1 << 20);
+    assert_eq!(end, SessionEnd::Eof);
+    assert_eq!(lines, vec![r#"{"id":1,"ok":true}"#.to_string()]);
+}
+
+#[test]
+fn register_typecheck_roundtrip_over_stream() {
+    let shared = Shared::new();
+    let handle = xmlta_server::state::handle_for_source(GOOD);
+    let source = xmlta_service::json::escaped(GOOD);
+    let input = format!(
+        "{{\"id\": 1, \"op\": \"register\", \"source\": {source}}}\n\
+         {{\"id\": 2, \"op\": \"typecheck\", \"handle\": \"{handle}\"}}\n\
+         {{\"id\": 3, \"op\": \"typecheck\", \"source\": {source}}}\n\
+         {{\"id\": 4, \"op\": \"shutdown\"}}\n\
+         {{\"id\": 5, \"op\": \"ping\"}}\n"
+    );
+    let mut session = Session::new(Arc::clone(&shared));
+    let mut out: Vec<u8> = Vec::new();
+    let end = serve_stream(
+        &mut session,
+        Cursor::new(input.as_bytes()),
+        &mut out,
+        1 << 20,
+    )
+    .unwrap();
+    assert_eq!(end, SessionEnd::Shutdown, "shutdown stops the session");
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            format!("{{\"id\":1,\"ok\":true,\"handle\":\"{handle}\"}}").as_str(),
+            r#"{"id":2,"ok":true,"status":"typechecks"}"#,
+            r#"{"id":3,"ok":true,"status":"typechecks"}"#,
+            r#"{"id":4,"ok":true}"#,
+        ],
+        "the post-shutdown ping must not be answered"
+    );
+    assert_eq!(shared.registered(), 1);
+}

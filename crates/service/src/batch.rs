@@ -14,15 +14,47 @@ use crate::parse::parse_instance;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use typecheck_core::Outcome;
+use std::sync::Arc;
+use typecheck_core::{Instance, Outcome};
 
-/// One unit of work: a named instance source (typically a file).
+/// What a batch item checks: textual source (parsed per run) or an
+/// already-parsed instance (e.g. one registered with a server session —
+/// the warm path skips parsing entirely).
+#[derive(Debug, Clone)]
+pub enum BatchInput {
+    /// Instance source in the textual format.
+    Source(String),
+    /// A pre-parsed (typically pre-compiled) instance, shared by `Arc` so
+    /// a thousand-item batch over one registered instance clones nothing.
+    Prepared(Arc<Instance>),
+}
+
+/// One unit of work: a named instance (typically a file).
 #[derive(Debug, Clone)]
 pub struct BatchItem {
-    /// Display name (file path or generated id); lands in the JSON report.
+    /// Display name (file path, generated id, or handle); lands in the
+    /// JSON report.
     pub name: String,
-    /// Instance source in the textual format.
-    pub source: String,
+    /// The instance to check.
+    pub input: BatchInput,
+}
+
+impl BatchItem {
+    /// An item over textual source.
+    pub fn from_source(name: impl Into<String>, source: impl Into<String>) -> BatchItem {
+        BatchItem {
+            name: name.into(),
+            input: BatchInput::Source(source.into()),
+        }
+    }
+
+    /// An item over a pre-parsed instance.
+    pub fn from_prepared(name: impl Into<String>, instance: Arc<Instance>) -> BatchItem {
+        BatchItem {
+            name: name.into(),
+            input: BatchInput::Prepared(instance),
+        }
+    }
 }
 
 /// The outcome of one item.
@@ -89,27 +121,8 @@ impl BatchOutcome {
         let _ = writeln!(out, "  \"errors\": {err},");
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
-            out.push_str("    {\"name\": ");
-            push_escaped(&mut out, &r.name);
-            match &r.status {
-                ItemStatus::TypeChecks => {
-                    out.push_str(", \"status\": \"typechecks\"");
-                }
-                ItemStatus::CounterExample { input, output } => {
-                    out.push_str(", \"status\": \"counterexample\", \"input\": ");
-                    push_escaped(&mut out, input);
-                    out.push_str(", \"output\": ");
-                    match output {
-                        Some(o) => push_escaped(&mut out, o),
-                        None => out.push_str("null"),
-                    }
-                }
-                ItemStatus::Error { message } => {
-                    out.push_str(", \"status\": \"error\", \"message\": ");
-                    push_escaped(&mut out, message);
-                }
-            }
-            out.push('}');
+            out.push_str("    ");
+            push_result_json(&mut out, r, true);
             if i + 1 < self.results.len() {
                 out.push(',');
             }
@@ -118,6 +131,74 @@ impl BatchOutcome {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// The same report as [`BatchOutcome::to_json`] on a single line with
+    /// no decorative whitespace — the shape embedded in wire-protocol
+    /// frames, which are one JSON object per line.
+    pub fn to_json_line(&self) -> String {
+        let (ok, ce, err) = self.tally();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"xmlta\":\"batch\",\"total\":{},\"typechecks\":{ok},\
+             \"counterexamples\":{ce},\"errors\":{err},\"results\":[",
+            self.results.len()
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_result_json(&mut out, r, false);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One result record, rendered identically by both report styles (modulo
+/// the `": "` separators of the pretty form, kept for file stability).
+fn push_result_json(out: &mut String, r: &ItemResult, pretty: bool) {
+    let sep = if pretty { ": " } else { ":" };
+    let comma = if pretty { ", " } else { "," };
+    out.push_str("{\"name\"");
+    out.push_str(sep);
+    push_escaped(out, &r.name);
+    match &r.status {
+        ItemStatus::TypeChecks => {
+            out.push_str(comma);
+            out.push_str("\"status\"");
+            out.push_str(sep);
+            out.push_str("\"typechecks\"");
+        }
+        ItemStatus::CounterExample { input, output } => {
+            out.push_str(comma);
+            out.push_str("\"status\"");
+            out.push_str(sep);
+            out.push_str("\"counterexample\"");
+            out.push_str(comma);
+            out.push_str("\"input\"");
+            out.push_str(sep);
+            push_escaped(out, input);
+            out.push_str(comma);
+            out.push_str("\"output\"");
+            out.push_str(sep);
+            match output {
+                Some(o) => push_escaped(out, o),
+                None => out.push_str("null"),
+            }
+        }
+        ItemStatus::Error { message } => {
+            out.push_str(comma);
+            out.push_str("\"status\"");
+            out.push_str(sep);
+            out.push_str("\"error\"");
+            out.push_str(comma);
+            out.push_str("\"message\"");
+            out.push_str(sep);
+            push_escaped(out, message);
+        }
+    }
+    out.push('}');
 }
 
 /// Parses and typechecks one item, converting panics into error records:
@@ -142,33 +223,41 @@ fn process(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
 }
 
 fn process_inner(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
-    let status = match parse_instance(&item.source) {
-        Err(e) => ItemStatus::Error {
-            message: format!("parse error: {e}"),
+    let status = match &item.input {
+        BatchInput::Source(source) => match parse_instance(source) {
+            Err(e) => ItemStatus::Error {
+                message: format!("parse error: {e}"),
+            },
+            Ok(instance) => check_instance(&instance, cache),
         },
-        Ok(instance) => {
-            let outcome = match cache {
-                Some(cache) => typecheck_cached(cache, &instance),
-                None => typecheck_core::typecheck(&instance),
-            };
-            match outcome {
-                Ok(Outcome::TypeChecks) => ItemStatus::TypeChecks,
-                Ok(Outcome::CounterExample(ce)) => ItemStatus::CounterExample {
-                    input: ce.input.display(&instance.alphabet).to_string(),
-                    output: ce
-                        .output
-                        .as_ref()
-                        .map(|o| o.display(&instance.alphabet).to_string()),
-                },
-                Err(e) => ItemStatus::Error {
-                    message: e.to_string(),
-                },
-            }
-        }
+        BatchInput::Prepared(instance) => check_instance(instance, cache),
     };
     ItemResult {
         name: item.name.clone(),
         status,
+    }
+}
+
+/// Typechecks one parsed instance, folding the outcome into an
+/// [`ItemStatus`] — the status shared by batch records and the server's
+/// single-instance `typecheck` responses.
+pub fn check_instance(instance: &Instance, cache: Option<&SchemaCache>) -> ItemStatus {
+    let outcome = match cache {
+        Some(cache) => typecheck_cached(cache, instance),
+        None => typecheck_core::typecheck(instance),
+    };
+    match outcome {
+        Ok(Outcome::TypeChecks) => ItemStatus::TypeChecks,
+        Ok(Outcome::CounterExample(ce)) => ItemStatus::CounterExample {
+            input: ce.input.display(&instance.alphabet).to_string(),
+            output: ce
+                .output
+                .as_ref()
+                .map(|o| o.display(&instance.alphabet).to_string()),
+        },
+        Err(e) => ItemStatus::Error {
+            message: e.to_string(),
+        },
     }
 }
 
@@ -260,13 +349,15 @@ transducer {
 
     fn items(n: usize) -> Vec<BatchItem> {
         (0..n)
-            .map(|i| BatchItem {
-                name: format!("item-{i:03}"),
-                source: match i % 3 {
-                    0 => GOOD.to_string(),
-                    1 => BAD_SCHEMA.to_string(),
-                    _ => "input dtd {".to_string(), // parse error
-                },
+            .map(|i| {
+                BatchItem::from_source(
+                    format!("item-{i:03}"),
+                    match i % 3 {
+                        0 => GOOD,
+                        1 => BAD_SCHEMA,
+                        _ => "input dtd {", // parse error
+                    },
+                )
             })
             .collect()
     }
@@ -298,15 +389,26 @@ transducer {
     }
 
     #[test]
+    fn prepared_items_match_source_items() {
+        let prepared = Arc::new(crate::parse_instance(BAD_SCHEMA).unwrap());
+        let by_source = run_batch(&[BatchItem::from_source("x", BAD_SCHEMA)], 1, None);
+        let by_handle = run_batch(&[BatchItem::from_prepared("x", prepared)], 1, None);
+        assert_eq!(by_source.results, by_handle.results);
+    }
+
+    #[test]
+    fn json_line_matches_pretty_report() {
+        let out = run_batch(&items(6), 1, None);
+        let line = out.to_json_line();
+        assert!(!line.contains('\n'));
+        let pretty = crate::json::parse_json(&out.to_json()).expect("pretty report is JSON");
+        let compact = crate::json::parse_json(&line).expect("line report is JSON");
+        assert_eq!(pretty, compact);
+    }
+
+    #[test]
     fn counterexample_renders_trees() {
-        let out = run_batch(
-            &[BatchItem {
-                name: "bad".into(),
-                source: BAD_SCHEMA.to_string(),
-            }],
-            1,
-            None,
-        );
+        let out = run_batch(&[BatchItem::from_source("bad", BAD_SCHEMA)], 1, None);
         match &out.results[0].status {
             ItemStatus::CounterExample { input, output } => {
                 assert!(input.starts_with("r("), "input tree rendered: {input}");

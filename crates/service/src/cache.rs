@@ -11,7 +11,11 @@
 //!   fingerprint, so two schemas sharing a rule share one compiled
 //!   [`Dfa`]. Rules are stored as [`StringLang::Dfa`]`(Arc<Dfa>)`, which the
 //!   Lemma 14 engine adopts without cloning (`to_shared_dfa` is an `Arc`
-//!   bump on already-compiled rules).
+//!   bump on already-compiled rules);
+//! * **tree-automata level** — NTA output schemas are fingerprinted the
+//!   same way and the Theorem 20 pipeline's `B_out` product (the
+//!   `#`-eliminated complement, quadratic to build) is cached per
+//!   `(schema, joint alphabet)` key, `DTAc` validation verdict included.
 //!
 //! Keys are 64-bit Fx fingerprints of the full structure (content hashes —
 //! all rule tables, finals, AST shapes — not names), so equal content hits
@@ -20,11 +24,12 @@
 //! lock, so a racing miss can compile twice but never corrupts the cache.
 
 use std::sync::{Arc, Mutex};
-use typecheck_core::{Instance, Outcome, Schema, TypecheckError};
-use xmlta_automata::{Dfa, Regex};
+use typecheck_core::{delrelab, Instance, Outcome, Schema, TypecheckError};
+use xmlta_automata::{Dfa, Nfa, Regex};
 use xmlta_base::fxhash::FxHasher;
 use xmlta_base::FxHashMap;
-use xmlta_schema::{Dtd, StringLang};
+use xmlta_schema::{Dtd, Nta, StringLang};
+use xmlta_transducer::translate;
 
 use std::hash::Hasher;
 
@@ -39,7 +44,16 @@ pub struct CacheStats {
     pub rule_hits: u64,
     /// Per-rule misses (rule compiled this call).
     pub rule_misses: u64,
+    /// Theorem 20 `B_out` product hits (NTA output schemas).
+    pub bout_hits: u64,
+    /// Theorem 20 `B_out` product misses (product built this call).
+    pub bout_misses: u64,
 }
+
+/// A cached Theorem 20 product — or the cached `DTAc` validation failure,
+/// so invalid output automata are rejected without re-running the
+/// determinism/completeness checks.
+type BoutEntry = Result<Arc<Nta>, TypecheckError>;
 
 /// A cache entry keeps the *source* object alongside the compiled one:
 /// lookups verify structural equality of the source on every fingerprint
@@ -49,6 +63,9 @@ pub struct CacheStats {
 struct Inner {
     schemas: FxHashMap<u64, (Dtd, Arc<Dtd>)>,
     rules: FxHashMap<(u64, usize), (StringLang, Arc<Dfa>)>,
+    /// Theorem 20 pipeline products per output NTA, keyed by
+    /// `(fingerprint, joint alphabet size)`.
+    bouts: FxHashMap<(u64, usize), (Nta, BoutEntry)>,
     stats: CacheStats,
 }
 
@@ -102,7 +119,12 @@ impl SchemaCache {
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        Arc::clone(&inner.schemas.entry(fp).or_insert((dtd.clone(), compiled)).1)
+        match inner.schemas.entry(fp) {
+            // A racing compile of a *colliding* schema may have claimed the
+            // slot in the window; re-verify before adopting its artifact.
+            std::collections::hash_map::Entry::Occupied(e) if !dtd_eq(&e.get().0, dtd) => compiled,
+            entry => Arc::clone(&entry.or_insert((dtd.clone(), compiled)).1),
+        }
     }
 
     /// Compiles one rule language to a shared DFA, reusing equal rules.
@@ -137,7 +159,52 @@ impl SchemaCache {
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        Arc::clone(&inner.rules.entry(key).or_insert((lang.clone(), dfa)).1)
+        match inner.rules.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) if !lang_eq(&e.get().0, lang) => dfa,
+            entry => Arc::clone(&entry.or_insert((lang.clone(), dfa)).1),
+        }
+    }
+
+    /// The Theorem 20 `B_out` product for output automaton `aout` over the
+    /// joint alphabet `sigma`, validated ([`delrelab::require_dtac`]) and
+    /// built ([`delrelab::bout_product`]) at most once per distinct schema.
+    ///
+    /// The product depends only on `(aout, sigma)` — not on the input
+    /// schema or the transducer — so repeated-schema NTA workloads amortize
+    /// the quadratic jump-pair construction the same way DTD workloads
+    /// amortize rule compilation.
+    pub fn delrelab_bout(&self, aout: &Nta, sigma: usize) -> Result<Arc<Nta>, TypecheckError> {
+        let key = (fingerprint_nta(aout), sigma);
+        let collided;
+        {
+            let mut inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match inner.bouts.get(&key) {
+                Some((source, hit)) if nta_eq(source, aout) => {
+                    let hit = hit.clone();
+                    inner.stats.bout_hits += 1;
+                    return hit;
+                }
+                entry => collided = entry.is_some(),
+            }
+            inner.stats.bout_misses += 1;
+        }
+        // Validation and construction run outside the lock.
+        let built =
+            delrelab::require_dtac(aout).map(|()| Arc::new(delrelab::bout_product(aout, sigma)));
+        if collided {
+            return built;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inner.bouts.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) if !nta_eq(&e.get().0, aout) => built,
+            entry => entry.or_insert((aout.clone(), built)).1.clone(),
+        }
     }
 
     /// Current hit/miss counters.
@@ -163,13 +230,35 @@ impl SchemaCache {
     }
 }
 
-/// Typechecks `instance`, compiling DTD schemas through the cache. NTA
-/// schemas pass through unchanged (the Theorem 20 pipeline has no
-/// per-rule regex compilation to amortize).
+/// Typechecks `instance` with all per-schema products routed through the
+/// cache: DTD schemas compile their rules to shared DFAs, and NTA instances
+/// reuse the Theorem 20 `B_out` product per output schema. The outcome is
+/// identical to [`typecheck_core::typecheck`] — the cache only changes
+/// where the work happens.
 pub fn typecheck_cached(
     cache: &SchemaCache,
     instance: &Instance,
 ) -> Result<Outcome, TypecheckError> {
+    if let (Schema::Nta(ain), Schema::Nta(aout)) = (&instance.input, &instance.output) {
+        // Mirror the dispatch of `typecheck_core::typecheck` for the
+        // Theorem 20 pipeline, with step 3 served from the cache.
+        let transducer = if instance.transducer.uses_selectors() {
+            translate::expand_selectors_with_alphabet(
+                &instance.transducer,
+                instance.alphabet_size(),
+            )
+            .map_err(|e| TypecheckError::Selector(e.to_string()))?
+        } else {
+            instance.transducer.clone()
+        };
+        // Cheap transducer-class validation first, matching the direct
+        // engine's error precedence and skipping the product entirely on
+        // unsupported transducers.
+        delrelab::require_delrelab(&transducer)?;
+        let sigma = delrelab::joint_sigma(ain, aout, instance.alphabet_size());
+        let bout = cache.delrelab_bout(aout, sigma)?;
+        return delrelab::typecheck_delrelab_with_bout(ain, &bout, &transducer, sigma);
+    }
     let compile = |schema: &Schema| -> Schema {
         match schema {
             Schema::Dtd(d) => Schema::Dtd((*cache.compile_dtd(d)).clone()),
@@ -210,19 +299,40 @@ fn dtd_eq(a: &Dtd, b: &Dtd) -> bool {
 fn lang_eq(a: &StringLang, b: &StringLang) -> bool {
     match (a, b) {
         (StringLang::Dfa(x), StringLang::Dfa(y)) => dfa_eq(x, y),
-        (StringLang::Nfa(x), StringLang::Nfa(y)) => {
-            x.num_states() == y.num_states()
-                && x.alphabet_size() == y.alphabet_size()
-                && x.initial_states() == y.initial_states()
-                && (0..x.num_states() as u32).all(|q| {
-                    x.is_final_state(q) == y.is_final_state(q)
-                        && x.transitions_from(q) == y.transitions_from(q)
-                })
-        }
+        (StringLang::Nfa(x), StringLang::Nfa(y)) => nfa_eq(x, y),
         (StringLang::Regex(x), StringLang::Regex(y)) => x == y,
         (StringLang::RePlus(x), StringLang::RePlus(y)) => x == y,
         _ => false,
     }
+}
+
+/// Structural equality of two NFAs.
+fn nfa_eq(x: &Nfa, y: &Nfa) -> bool {
+    x.num_states() == y.num_states()
+        && x.alphabet_size() == y.alphabet_size()
+        && x.initial_states() == y.initial_states()
+        && (0..x.num_states() as u32).all(|q| {
+            x.is_final_state(q) == y.is_final_state(q)
+                && x.transitions_from(q) == y.transitions_from(q)
+        })
+}
+
+/// Structural equality of two NTAs (transition entries compared in
+/// canonical `(state, symbol)` order).
+fn nta_eq(a: &Nta, b: &Nta) -> bool {
+    if a.alphabet_size() != b.alphabet_size() || a.num_states() != b.num_states() {
+        return false;
+    }
+    if !(0..a.num_states() as u32).all(|q| a.is_final_state(q) == b.is_final_state(q)) {
+        return false;
+    }
+    let ta = a.sorted_transitions();
+    let tb = b.sorted_transitions();
+    ta.len() == tb.len()
+        && ta
+            .iter()
+            .zip(&tb)
+            .all(|((qa, sa, na), (qb, sb, nb))| qa == qb && sa == sb && nfa_eq(na, nb))
 }
 
 fn dfa_eq(a: &Dfa, b: &Dfa) -> bool {
@@ -261,20 +371,7 @@ pub fn fingerprint_lang(lang: &StringLang) -> u64 {
         }
         StringLang::Nfa(n) => {
             h.write_u8(1);
-            h.write_u64(n.num_states() as u64);
-            for &q in n.initial_states() {
-                h.write_u32(q);
-            }
-            h.write_u8(0xFE);
-            for q in n.final_states() {
-                h.write_u32(q);
-            }
-            h.write_u8(0xFD);
-            for (q, l, r) in n.transitions() {
-                h.write_u32(q);
-                h.write_u32(l);
-                h.write_u32(r);
-            }
+            hash_nfa(&mut h, n);
         }
         StringLang::Regex(re) => {
             h.write_u8(2);
@@ -287,6 +384,42 @@ pub fn fingerprint_lang(lang: &StringLang) -> u64 {
                 h.write_u8(f.plus as u8);
             }
         }
+    }
+    finish(h)
+}
+
+fn hash_nfa(h: &mut FxHasher, n: &Nfa) {
+    h.write_u64(n.num_states() as u64);
+    for &q in n.initial_states() {
+        h.write_u32(q);
+    }
+    h.write_u8(0xFE);
+    for q in n.final_states() {
+        h.write_u32(q);
+    }
+    h.write_u8(0xFD);
+    for (q, l, r) in n.transitions() {
+        h.write_u32(q);
+        h.write_u32(l);
+        h.write_u32(r);
+    }
+}
+
+/// Structural fingerprint of an NTA: alphabet size, state count, finals,
+/// and every transition entry in canonical `(state, symbol)` order.
+pub fn fingerprint_nta(nta: &Nta) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(0x27A0);
+    h.write_u64(nta.alphabet_size() as u64);
+    h.write_u64(nta.num_states() as u64);
+    for q in nta.final_states() {
+        h.write_u32(q);
+    }
+    h.write_u8(0xFC);
+    for (q, sym, nfa) in nta.sorted_transitions() {
+        h.write_u32(q);
+        h.write_u32(sym.0);
+        hash_nfa(&mut h, nfa);
     }
     finish(h)
 }
@@ -401,6 +534,81 @@ mod tests {
         .unwrap();
         assert_ne!(fingerprint_dtd(&d), fingerprint_dtd(&d2));
         assert_eq!(fingerprint_dtd(&d), fingerprint_dtd(&d.clone()));
+    }
+
+    #[test]
+    fn nta_bout_products_are_cached() {
+        use typecheck_core::Instance;
+        use xmlta_schema::{convert::dtd_to_nta, dta};
+        use xmlta_transducer::TransducerBuilder;
+
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
+        let dout = Dtd::parse("s -> y*", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "s(q)")
+            .rule("q", "x", "y")
+            .build()
+            .unwrap();
+        let ain = dtd_to_nta(&din);
+        let aout = dta::complete(&dtd_to_nta(&dout));
+        let instance = Instance::ntas(a, ain, aout, t);
+
+        let cache = SchemaCache::new();
+        let one = typecheck_cached(&cache, &instance).expect("engine runs");
+        let two = typecheck_cached(&cache, &instance).expect("engine runs");
+        let reference = typecheck_core::typecheck(&instance).expect("engine runs");
+        assert_eq!(one, two, "cached runs agree with each other");
+        assert_eq!(one, reference, "cached run agrees with the direct engine");
+        assert!(one.type_checks());
+        let s = cache.stats();
+        assert_eq!((s.bout_misses, s.bout_hits), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn nta_fingerprints_distinguish_content() {
+        use xmlta_schema::convert::dtd_to_nta;
+        let mut a = Alphabet::new();
+        let d1 = Dtd::parse("r -> x*\nx -> ", &mut a).unwrap();
+        let d2 = Dtd::parse("r -> x+\nx -> ", &mut a).unwrap();
+        let n1 = dtd_to_nta(&d1);
+        let n2 = dtd_to_nta(&d2);
+        assert_ne!(fingerprint_nta(&n1), fingerprint_nta(&n2));
+        assert_eq!(fingerprint_nta(&n1), fingerprint_nta(&n1.clone()));
+        assert!(nta_eq(&n1, &n1.clone()));
+        assert!(!nta_eq(&n1, &n2));
+    }
+
+    #[test]
+    fn invalid_nta_output_rejected_through_cache() {
+        use typecheck_core::Instance;
+        use xmlta_schema::convert::dtd_to_nta;
+        use xmlta_transducer::TransducerBuilder;
+
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> ", &mut a).unwrap();
+        let dout = Dtd::parse("r -> ", &mut a).unwrap();
+        let t = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "r")
+            .build()
+            .unwrap();
+        // dtd_to_nta without completion: incomplete output automaton.
+        let instance = Instance::ntas(a, dtd_to_nta(&din), dtd_to_nta(&dout), t);
+        let cache = SchemaCache::new();
+        for _ in 0..2 {
+            match typecheck_cached(&cache, &instance) {
+                Err(TypecheckError::Unsupported(m)) => assert!(m.contains("complete"), "{m}"),
+                other => panic!("expected Unsupported, got {other:?}"),
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(
+            (s.bout_misses, s.bout_hits),
+            (1, 1),
+            "the validation verdict is cached too: {s:?}"
+        );
     }
 
     #[test]

@@ -150,7 +150,7 @@ mod tests {
         assert_eq!(a, b);
         let items: Vec<BatchItem> = a
             .into_iter()
-            .map(|(name, source)| BatchItem { name, source })
+            .map(|(name, source)| BatchItem::from_source(name, source))
             .collect();
         let cache = SchemaCache::new();
         let out = run_batch(&items, 2, Some(&cache));

@@ -1,11 +1,24 @@
-//! Minimal JSON emission (no external dependencies).
+//! Minimal JSON emission *and* parsing (no external dependencies).
 //!
 //! The batch driver's output must be byte-identical across thread counts,
 //! so everything here is deterministic: strings are escaped per RFC 8259
-//! (the two-character escapes plus `\u00XX` for remaining control bytes)
-//! and callers control field order.
+//! (the two-character escapes plus `\u00XX` for remaining control bytes),
+//! callers control field order, and [`Json`] objects preserve insertion
+//! order when re-rendered.
+//!
+//! The parser exists for the server's line-delimited protocol: one
+//! [`parse_json`] call per frame. It accepts full RFC 8259 input (nested
+//! values, `\uXXXX` escapes with surrogate pairs, all number forms) with a
+//! nesting-depth cap so adversarial frames cannot overflow the stack.
+//! Numbers keep their source lexeme ([`Json::Num`] holds the validated
+//! token), so re-rendering a parsed value — e.g. echoing a request id —
+//! round-trips byte-for-byte without any float formatting questions.
 
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Nesting depth cap for [`parse_json`] (arrays + objects combined).
+const MAX_DEPTH: usize = 128;
 
 /// Appends `s` to `out` as a quoted JSON string.
 pub fn push_escaped(out: &mut String, s: &str) {
@@ -35,6 +48,387 @@ pub fn escaped(s: &str) -> String {
     out
 }
 
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its validated source lexeme (`"42"`, `"-1.5e3"`):
+    /// re-rendering round-trips exactly.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields keep source order, duplicates are kept as-is
+    /// ([`Json::get`] returns the first match).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a number value from an integer.
+    pub fn from_u64(n: u64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// The value of object field `key`, if this is an object having it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Appends the compact rendering (no whitespace) to `out`.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(lexeme) => out.push_str(lexeme),
+            Json::Str(s) => push_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(out, k);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// A JSON syntax error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value; trailing content (other than whitespace) is an
+/// error.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nested too deeply"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it is a &str) and the run
+                // stopped on an ASCII boundary byte, so this slice is too.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must be followed by an
+                                // escaped low surrogate.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')
+                                        .map_err(|_| self.err("lone high surrogate"))?;
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(self.err("unescaped control byte in string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Json::Num(lexeme.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +440,79 @@ mod tests {
         assert_eq!(escaped("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
         assert_eq!(escaped("\u{01}"), "\"\\u0001\"");
         assert_eq!(escaped("unicode ε"), "\"unicode ε\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), Json::Num("42".into()));
+        assert_eq!(parse_json("-1.5e3").unwrap(), Json::Num("-1.5e3".into()));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_preserves_order() {
+        let v = parse_json(r#"{"b": [1, {"x": null}], "a": "y"}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("y"));
+        let arr = v.get("b").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        let mut out = String::new();
+        v.render(&mut out);
+        assert_eq!(out, r#"{"b":[1,{"x":null}],"a":"y"}"#);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let source = "\"a\\n\\t\\\"q\\\\\\u00e9\\ud83d\\ude00b\"";
+        let v = parse_json(source).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"q\\é😀b"));
+        // Render + reparse is a fixpoint.
+        let mut rendered = String::new();
+        v.render(&mut rendered);
+        assert_eq!(parse_json(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn number_lexemes_round_trip() {
+        for n in ["0", "-0", "3.14", "1e9", "-2.5E-3", "18446744073709551615"] {
+            let v = parse_json(n).unwrap();
+            let mut out = String::new();
+            v.render(&mut out);
+            assert_eq!(out, n);
+        }
+        assert_eq!(
+            parse_json("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "01",
+            "1.",
+            "\"",
+            "\"\\x\"",
+            "{\"a\" 1}",
+            "1 2",
+            "\"\\ud800x\"",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        // Depth cap.
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_json(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_get_returns_first() {
+        let v = parse_json(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(1));
     }
 }

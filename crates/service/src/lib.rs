@@ -12,10 +12,14 @@
 //!   automaton construction across repeated-schema workloads;
 //! * [`batch`] — a deterministic multi-threaded batch driver (fixed worker
 //!   pool, ordered result collection, byte-identical JSON across thread
-//!   counts);
-//! * [`gen`] — seeded generators for large batches with shared schemas;
-//! * the `xmlta` binary — `typecheck`, `batch`, `gen`, and `report`
-//!   subcommands over all of the above.
+//!   counts) over textual sources *or* pre-parsed instances;
+//! * [`json`] — dependency-free JSON emission and parsing (the server's
+//!   wire protocol and the batch reports share it);
+//! * [`gen`] — seeded generators for large batches with shared schemas.
+//!
+//! The `xmlta` CLI (`typecheck`, `batch`, `gen`, `report`, `serve`,
+//! `client`) lives in the `xmlta-server` crate, which layers the
+//! persistent `xmltad` daemon on top of this pipeline.
 //!
 //! # The textual instance format
 //!
@@ -69,8 +73,11 @@ pub mod json;
 pub mod parse;
 pub mod print;
 
-pub use batch::{run_batch, BatchItem, BatchOutcome, ItemResult, ItemStatus};
+pub use batch::{
+    check_instance, run_batch, BatchInput, BatchItem, BatchOutcome, ItemResult, ItemStatus,
+};
 pub use cache::{typecheck_cached, CacheStats, SchemaCache};
 pub use error::{Loc, ParseError, PrintError};
+pub use json::{parse_json, Json};
 pub use parse::parse_instance;
 pub use print::print_instance;

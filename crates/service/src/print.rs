@@ -173,9 +173,7 @@ fn print_nta(out: &mut String, which: &str, nta: &Nta, a: &Alphabet) -> Result<(
     if !finals.is_empty() {
         let _ = writeln!(out, "  final {}", finals.join(" "));
     }
-    let mut trans: Vec<(u32, Symbol, &Nfa)> = nta.transitions().collect();
-    trans.sort_by_key(|&(q, s, _)| (q, s));
-    for (q, sym, nfa) in trans {
+    for (q, sym, nfa) in nta.sorted_transitions() {
         let re = nfa_to_regex(nfa);
         let _ = writeln!(
             out,

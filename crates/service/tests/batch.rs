@@ -9,7 +9,7 @@ fn mixed_items(count: usize) -> Vec<BatchItem> {
     gen::mixed_sources(count, 6, 42)
         .expect("generators print")
         .into_iter()
-        .map(|(name, source)| BatchItem { name, source })
+        .map(|(name, source)| BatchItem::from_source(name, source))
         .collect()
 }
 
@@ -18,10 +18,10 @@ fn json_byte_identical_across_thread_counts() {
     let mut items = mixed_items(90);
     // Adversarial additions: a parse error and an unsupported instance must
     // also render deterministically.
-    items.push(BatchItem {
-        name: "broken.xti".into(),
-        source: "input dtd {\n  r -> ((\n}\n".into(),
-    });
+    items.push(BatchItem::from_source(
+        "broken.xti",
+        "input dtd {\n  r -> ((\n}\n",
+    ));
     let outputs: Vec<String> = [1usize, 2, 8]
         .iter()
         .map(|&threads| {
@@ -55,13 +55,13 @@ fn repeated_schemas_hit_the_cache() {
 #[test]
 fn error_items_are_reported_not_dropped() {
     let items = vec![
-        BatchItem {
-            name: "missing-sections.xti".into(),
-            source: "transducer {\n  states q\n  initial q\n}\n".into(),
-        },
-        BatchItem {
-            name: "mixed-schema-kinds.xti".into(),
-            source: "\
+        BatchItem::from_source(
+            "missing-sections.xti",
+            "transducer {\n  states q\n  initial q\n}\n",
+        ),
+        BatchItem::from_source(
+            "mixed-schema-kinds.xti",
+            "\
 input dtd {
   start r
   r -> x*
@@ -77,9 +77,8 @@ transducer {
   initial q
   (q, r) -> r(q)
 }
-"
-            .into(),
-        },
+",
+        ),
     ];
     let out = run_batch(&items, 2, None);
     match &out.results[0].status {
