@@ -41,6 +41,23 @@ cmp "$smoke/b1.json" "$smoke/b4.json" \
     || { echo "batch JSON differs across thread counts"; exit 1; }
 xmlta report "$smoke/b1.json"
 
+echo "== .xtb binary smoke (convert round-trip + binary typecheck)"
+quick="$(head -n1 "$smoke/files.txt")"
+xmlta convert "$quick" --out "$smoke/quick.xtb"
+xmlta convert "$smoke/quick.xtb" --out "$smoke/quick-back.xti"
+# Generated files are canonical prints, so text -> binary -> text must be
+# byte-identical.
+cmp "$quick" "$smoke/quick-back.xti" \
+    || { echo ".xtb round-trip changed the instance"; exit 1; }
+xmlta typecheck "$smoke/quick.xtb"
+# The compiled artifact (DFA rules baked in) must agree.
+xmlta convert "$quick" --compile --out "$smoke/quick-compiled.xtb"
+xmlta typecheck "$smoke/quick-compiled.xtb"
+# A batch mixing the text and binary twins stays deterministic.
+xmlta batch --threads 2 --out "$smoke/bmix.json" "$quick" "$smoke/quick.xtb"
+grep -q '"errors": 0' "$smoke/bmix.json" \
+    || { echo "mixed text/binary batch errored"; exit 1; }
+
 echo "== xmltad server smoke (socket + register + typecheck + clean shutdown)"
 sock="$smoke/xmltad.sock"
 # A passing and a failing instance from the generated set (every 11th
@@ -58,6 +75,11 @@ for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
 xmlta client --socket "$sock" register "$pass_file"
 xmlta client --socket "$sock" typecheck "$pass_file" \
     || { echo "passing instance did not typecheck via the server"; exit 1; }
+# The binary twin goes over the register_bin frame (handle prefixed `b`).
+xmlta client --socket "$sock" register "$smoke/quick.xtb" \
+    | grep -q " b" || { echo "binary registration did not yield a b-handle"; exit 1; }
+xmlta client --socket "$sock" typecheck "$smoke/quick.xtb" \
+    || { echo "binary instance did not typecheck via the server"; exit 1; }
 set +e
 xmlta client --socket "$sock" typecheck "$fail_file"
 rc=$?

@@ -1,9 +1,11 @@
 //! Emits `BENCH_lemma14.json`: wall-clock timings of the Lemma 14 engine
 //! over the scaling families of `lemma14_scaling`, the schema-ops
 //! determinize/minimize kernels, the service-layer batch driver (cold vs
-//! warm schema cache), and the `xmltad` server (cold source streaming vs
-//! warm registered handles, against a one-shot-per-instance baseline), so
-//! the perf trajectory is tracked PR over PR.
+//! warm schema cache, plus the binary `.xtb` cold path and the result-memo
+//! hit path), and the `xmltad` server (cold source streaming vs warm
+//! registered handles, against a one-shot-per-instance baseline), so the
+//! perf trajectory is tracked PR over PR. Runs whose binary cold path is
+//! slower than the textual one are refused rather than recorded.
 //!
 //! Usage:
 //! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH]`
@@ -210,7 +212,79 @@ fn main() -> ExitCode {
             println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/batch-warm");
             warm.push(Point { param: n, millis });
         }
+
+        // Cold *binary* batch: the identical workload shipped as compiled
+        // `.xtb` frames (what `xmlta convert --compile` writes) through
+        // the batch driver as the CLI runs it — a fresh cache per rep, the
+        // same configuration as `batch-warm`, so `cold-bin` vs `warm`
+        // isolates the front end (varint decode + ready DFA rules vs text
+        // parse + Glushkov) and `cold-bin` vs `cold` is the whole PR-4
+        // pipeline against the pre-PR cold path (text, no cache). The
+        // mixed workload repeats content across its schema groups, which
+        // is exactly what the result memo short-circuits.
+        let mut cold_bin = Vec::new();
+        {
+            use typecheck_core::{Instance, Schema};
+            use xmlta_service::{binfmt, parse_instance};
+            let compile = |schema: &Schema| match schema {
+                Schema::Dtd(d) => Schema::Dtd(d.compile_to_dfas()),
+                Schema::Nta(n) => Schema::Nta(n.clone()),
+            };
+            let bin_items: Vec<BatchItem> = gen::mixed_sources(1024, 8, 7)
+                .expect("generators print")
+                .into_iter()
+                .map(|(name, source)| {
+                    let parsed = parse_instance(&source).expect("generated instance parses");
+                    let compiled = Instance {
+                        input: compile(&parsed.input),
+                        output: compile(&parsed.output),
+                        alphabet: parsed.alphabet,
+                        transducer: parsed.transducer,
+                    };
+                    let bytes = binfmt::encode_instance(&compiled).expect("instance encodes");
+                    BatchItem::from_binary(name, bytes)
+                })
+                .collect();
+            for n in [128usize, 512, 1024] {
+                let millis = time_median(3, || {
+                    let cache = SchemaCache::new();
+                    let out = run_batch(&bin_items[..n], threads, Some(&cache));
+                    assert_eq!(out.tally().2, 0, "no batch item may error");
+                });
+                println!(
+                    "  {:<28} {n:>4}: {millis:>9.3} ms",
+                    "service/batch-cold-bin"
+                );
+                cold_bin.push(Point { param: n, millis });
+            }
+        }
+        // A binary path slower than the textual one — against either the
+        // pre-PR cold path or the like-for-like cached text path — is a
+        // pointless binary path: refuse to record it.
+        for reference in [&cold, &warm] {
+            for (t, b) in reference.iter().zip(&cold_bin) {
+                if b.millis > t.millis {
+                    eprintln!(
+                        "lemma14_report: service/batch-cold-bin ({:.1} ms) is slower than the \
+                         textual path ({:.1} ms) at n={} — refusing to record a pointless \
+                         binary path",
+                        b.millis, t.millis, b.param
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let (c, b) = (cold.last().expect("sizes"), cold_bin.last().expect("sizes"));
+        assert!(
+            2.0 * b.millis <= c.millis,
+            "cold binary batch must be ≥2× faster than the pre-PR cold path at n={}: \
+             {:.1} ms vs {:.1} ms",
+            c.param,
+            b.millis,
+            c.millis
+        );
         series.push(("service/batch-cold".to_string(), cold));
+        series.push(("service/batch-cold-bin".to_string(), cold_bin));
         series.push(("service/batch-warm".to_string(), warm));
     }
 
@@ -236,9 +310,57 @@ fn main() -> ExitCode {
             })
             .collect();
         let (oneshot, cold, warm) = server_series(&sources, &[128, 512, 1024]);
+
+        // Result-memo hits on the same workload: every instance was
+        // checked once, so a second batch short-circuits each item on its
+        // content fingerprint before any engine runs. This is what a
+        // repeated instance costs once the memo is warm — it must land
+        // within 1.5× of the registered-handle server path (which still
+        // runs the engines per request).
+        let mut memo = Vec::new();
+        {
+            use std::sync::Arc;
+            use xmlta_service::parse_instance;
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            let prepared: Vec<BatchItem> = sources
+                .iter()
+                .map(|(name, source)| {
+                    let instance = parse_instance(source).expect("generated instance parses");
+                    BatchItem::from_prepared(name.clone(), Arc::new(instance))
+                })
+                .collect();
+            for n in [128usize, 512, 1024] {
+                let cache = SchemaCache::new();
+                let fill = run_batch(&prepared[..n], threads, Some(&cache));
+                assert_eq!(fill.tally().2, 0, "no batch item may error");
+                let millis = time_median(3, || {
+                    let out = run_batch(&prepared[..n], threads, Some(&cache));
+                    assert_eq!(out.tally().2, 0, "no batch item may error");
+                });
+                let stats = cache.stats();
+                assert!(
+                    stats.memo_hits >= 3 * n as u64,
+                    "memoized reruns must be all hits at n={n}: {stats:?}"
+                );
+                println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/memo-hit");
+                memo.push(Point { param: n, millis });
+            }
+            let (m, w) = (memo.last().expect("sizes"), warm.last().expect("sizes"));
+            assert!(
+                m.millis <= 1.5 * w.millis,
+                "memo hits must land within 1.5× of the warm server path at n={}: \
+                 {:.1} ms vs {:.1} ms",
+                m.param,
+                m.millis,
+                w.millis
+            );
+        }
         series.push(("service/oneshot-loop".to_string(), oneshot));
         series.push(("service/server-cold".to_string(), cold));
         series.push(("service/server-warm".to_string(), warm));
+        series.push(("service/memo-hit".to_string(), memo));
     }
 
     // Serialize this run.

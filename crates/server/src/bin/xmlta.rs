@@ -3,11 +3,16 @@
 //! ```text
 //! xmlta typecheck [--no-cache] FILE...
 //! xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
+//! xmlta convert INPUT [--out FILE] [--compile]
 //! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
 //! xmlta report FILE
-//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES] [--registry-cap N]
 //! xmlta client --socket PATH <action> [args]
 //! ```
+//!
+//! Instance files may be textual (`.xti`) or binary (`.xtb`); every
+//! subcommand sniffs the frame magic, so both formats work everywhere a
+//! FILE is accepted.
 //!
 //! Exit codes: for `typecheck` (local or via `client`), `0` everything
 //! typechecks / `1` some instance has a counterexample / `2` some file
@@ -19,26 +24,38 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
+use typecheck_core::{Instance, Schema};
 use xmlta_server::proto::{self, BatchItemReq, Target};
 use xmlta_server::Client;
 use xmlta_service::batch::{run_batch, BatchItem};
 use xmlta_service::cache::SchemaCache;
-use xmlta_service::{gen, parse_instance, parse_json, typecheck_cached, Json};
+use xmlta_service::{
+    binfmt, gen, parse_instance, parse_json, print_instance, typecheck_cached, Json,
+};
 
 const USAGE: &str = "\
 xmlta — batch typechecker for simple XML transformations
 
 USAGE:
   xmlta typecheck [--no-cache] FILE...
-      Typecheck instance files; prints one line per file.
+      Typecheck instance files (.xti text or .xtb binary, sniffed);
+      prints one line per file.
       Exit 0: all typecheck; 1: some counterexample; 2: some error.
 
   xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
-      Typecheck many instances (files, or directories scanned for *.xti,
-      sorted) on a worker pool and write a deterministic JSON report to
-      stdout or FILE. The report is byte-identical for every N. Exits 0
-      when the run completes; per-instance counterexamples and errors are
-      recorded in the report, not the exit code.
+      Typecheck many instances (files, or directories scanned for *.xti
+      and *.xtb, sorted) on a worker pool and write a deterministic JSON
+      report to stdout or FILE. The report is byte-identical for every N.
+      Exits 0 when the run completes; per-instance counterexamples and
+      errors are recorded in the report, not the exit code.
+
+  xmlta convert INPUT [--out FILE] [--compile]
+      Convert one instance between the textual (.xti) and binary (.xtb)
+      formats, direction sniffed from INPUT. --out defaults to INPUT with
+      the extension swapped. --compile (text→binary only) compiles DTD
+      rules to DFAs before encoding, so decoding yields an instance whose
+      schema products are ready — the cold batch path then skips regex
+      compilation entirely.
 
   xmlta gen <family> [--out DIR] [--count N] [--groups G] [--seed S]
             [--depth D] [--layers L] [--width K]
@@ -54,12 +71,14 @@ USAGE:
   xmlta report FILE
       Summarize a batch JSON report (pretty or single-line form).
 
-  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES] [--registry-cap N]
       Run the persistent typechecking server (same as `xmltad`).
 
   xmlta client --socket PATH <action>
       Talk to a running server. Actions:
-        register FILE...         register instances; prints `FILE HANDLE`
+        register FILE...         register instances (.xtb files go over
+                                 the binary `register_bin` frame);
+                                 prints `FILE HANDLE`
         typecheck TARGET...      TARGET is a file (registered, then checked
                                  by handle on this connection) or @HANDLE;
                                  prints and exits like local `typecheck`
@@ -82,6 +101,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "typecheck" => cmd_typecheck(rest),
         "batch" => cmd_batch(rest),
+        "convert" => cmd_convert(rest),
         "gen" => cmd_gen(rest),
         "report" => cmd_report(rest),
         "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
@@ -108,6 +128,7 @@ struct Opts {
     out: Option<PathBuf>,
     socket: Option<PathBuf>,
     no_cache: bool,
+    compile: bool,
     count: Option<usize>,
     groups: Option<usize>,
     seed: Option<u64>,
@@ -123,6 +144,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         socket: None,
         no_cache: false,
+        compile: false,
         count: None,
         groups: None,
         seed: None,
@@ -140,6 +162,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
             "--socket" => o.socket = Some(PathBuf::from(value("--socket")?)),
             "--no-cache" => o.no_cache = true,
+            "--compile" => o.compile = true,
             "--count" => o.count = Some(parse_num(value("--count")?)?),
             "--groups" => o.groups = Some(parse_num(value("--groups")?)?),
             "--seed" => o.seed = Some(parse_num(value("--seed")?)?),
@@ -161,6 +184,37 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// One instance file's content, format sniffed from the frame magic.
+enum Payload {
+    /// Textual `.xti` source.
+    Text(String),
+    /// A binary `.xtb` frame.
+    Binary(Vec<u8>),
+}
+
+/// Reads an instance file, sniffing text vs binary.
+fn read_payload(path: impl AsRef<Path>) -> Result<Payload, String> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if binfmt::is_xtb(&bytes) {
+        return Ok(Payload::Binary(bytes));
+    }
+    String::from_utf8(bytes)
+        .map(Payload::Text)
+        .map_err(|_| format!("{}: neither an .xtb frame nor UTF-8 text", path.display()))
+}
+
+/// Parses or decodes a payload into an instance; the error string carries
+/// the format-appropriate prefix.
+fn load_instance(payload: &Payload) -> Result<Instance, String> {
+    match payload {
+        Payload::Text(source) => parse_instance(source).map_err(|e| format!("parse error at {e}")),
+        Payload::Binary(bytes) => {
+            binfmt::decode_instance(bytes).map_err(|e| format!("decode error: {e}"))
+        }
+    }
+}
+
 fn cmd_typecheck(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.positional.is_empty() {
@@ -170,10 +224,10 @@ fn cmd_typecheck(args: &[String]) -> Result<ExitCode, String> {
     let mut saw_counterexample = false;
     let mut saw_error = false;
     for path in &opts.positional {
-        let source = read(path)?;
-        match parse_instance(&source) {
+        let payload = read_payload(path)?;
+        match load_instance(&payload) {
             Err(e) => {
-                println!("{path}: parse error at {e}");
+                println!("{path}: {e}");
                 saw_error = true;
             }
             Ok(instance) => {
@@ -220,9 +274,9 @@ fn exit_for(saw_counterexample: bool, saw_error: bool) -> ExitCode {
     }
 }
 
-/// Expands files and directories (scanned non-recursively for `*.xti`,
-/// sorted by name) into ordered `(name, source)` pairs.
-fn collect_sources(paths: &[String]) -> Result<Vec<(String, String)>, String> {
+/// Expands files and directories (scanned non-recursively for `*.xti` and
+/// `*.xtb`, sorted by name) into ordered `(name, payload)` pairs.
+fn collect_sources(paths: &[String]) -> Result<Vec<(String, Payload)>, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for p in paths {
         let path = Path::new(p);
@@ -230,7 +284,10 @@ fn collect_sources(paths: &[String]) -> Result<Vec<(String, String)>, String> {
             let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
                 .map_err(|e| format!("{p}: {e}"))?
                 .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|ext| ext == "xti"))
+                .filter(|p| {
+                    p.extension()
+                        .is_some_and(|ext| ext == "xti" || ext == "xtb")
+                })
                 .collect();
             entries.sort();
             files.extend(entries);
@@ -241,9 +298,10 @@ fn collect_sources(paths: &[String]) -> Result<Vec<(String, String)>, String> {
     files
         .iter()
         .map(|f| {
-            let name = f.display().to_string();
-            let source = std::fs::read_to_string(f).map_err(|e| format!("{name}: {e}"))?;
-            Ok((name, source))
+            // Read through the real `PathBuf` (display names are lossy on
+            // non-UTF-8 paths); the display form is only the report label.
+            let payload = read_payload(f)?;
+            Ok((f.display().to_string(), payload))
         })
         .collect()
 }
@@ -255,7 +313,10 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     }
     let items: Vec<BatchItem> = collect_sources(&opts.positional)?
         .into_iter()
-        .map(|(name, source)| BatchItem::from_source(name, source))
+        .map(|(name, payload)| match payload {
+            Payload::Text(source) => BatchItem::from_source(name, source),
+            Payload::Binary(bytes) => BatchItem::from_binary(name, bytes),
+        })
         .collect();
     if items.is_empty() {
         return Err("no instance files found".into());
@@ -294,6 +355,49 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// `xmlta convert INPUT [--out FILE] [--compile]` — `.xti` ↔ `.xtb`.
+fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("convert needs exactly one INPUT file".into());
+    };
+    let payload = read_payload(input)?;
+    let mut instance = load_instance(&payload).map_err(|e| format!("{input}: {e}"))?;
+    let (out, bytes) = match payload {
+        Payload::Text(_) => {
+            if opts.compile {
+                let compile = |schema: &Schema| match schema {
+                    Schema::Dtd(d) => Schema::Dtd(d.compile_to_dfas()),
+                    Schema::Nta(n) => Schema::Nta(n.clone()),
+                };
+                instance.input = compile(&instance.input);
+                instance.output = compile(&instance.output);
+            }
+            let bytes = binfmt::encode_instance(&instance)
+                .map_err(|e| format!("{input}: cannot encode: {e}"))?;
+            (default_out(&opts, input, "xtb"), bytes)
+        }
+        Payload::Binary(_) => {
+            if opts.compile {
+                return Err("--compile only applies to text → binary conversion".into());
+            }
+            let text =
+                print_instance(&instance).map_err(|e| format!("{input}: cannot print: {e}"))?;
+            (default_out(&opts, input, "xti"), text.into_bytes())
+        }
+    };
+    std::fs::write(&out, bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("{}", out.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `--out` when given, else the input path with its extension swapped.
+fn default_out(opts: &Opts, input: &str, ext: &str) -> PathBuf {
+    opts.out
+        .clone()
+        .unwrap_or_else(|| Path::new(input).with_extension(ext))
 }
 
 fn cmd_gen(args: &[String]) -> Result<ExitCode, String> {
@@ -461,13 +565,21 @@ fn response_error(response: &Json) -> Option<String> {
     ))
 }
 
+/// The register frame for a file: text goes over `register`, binary
+/// `.xtb` frames over `register_bin`.
+fn register_frame_for(path: &str, id: u64) -> Result<String, String> {
+    Ok(match read_payload(path)? {
+        Payload::Text(source) => proto::req_register(id, &source),
+        Payload::Binary(bytes) => proto::req_register_bin(id, &bytes),
+    })
+}
+
 fn client_register(client: &mut Client, files: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err("register needs at least one FILE".into());
     }
     for (i, path) in files.iter().enumerate() {
-        let source = read(path)?;
-        let response = client_roundtrip(client, &proto::req_register(i as u64 + 1, &source))?;
+        let response = client_roundtrip(client, &register_frame_for(path, i as u64 + 1)?)?;
         if let Some(e) = response_error(&response) {
             return Err(format!("{path}: {e}"));
         }
@@ -493,8 +605,7 @@ fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode,
             None => {
                 // Register the file on this connection, then check it by
                 // handle — the registered/warm path, end to end.
-                let registered =
-                    client_roundtrip(client, &proto::req_register(id, &read(target)?))?;
+                let registered = client_roundtrip(client, &register_frame_for(target, id)?)?;
                 if let Some(e) = response_error(&registered) {
                     println!("{target}: {e}");
                     saw_error = true;
@@ -558,13 +669,28 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
     if paths.is_empty() {
         return Err("batch needs at least one PATH".into());
     }
-    let items: Vec<BatchItemReq> = collect_sources(paths)?
-        .into_iter()
-        .map(|(name, source)| BatchItemReq {
-            name,
-            target: Target::Source(source),
-        })
-        .collect();
+    // Text payloads ride inline; binary payloads are registered over
+    // `register_bin` first and ride as handles (the batch op itself has
+    // no binary target — handles are the binary path's steady state).
+    let mut items: Vec<BatchItemReq> = Vec::new();
+    for (i, (name, payload)) in collect_sources(paths)?.into_iter().enumerate() {
+        let target = match payload {
+            Payload::Text(source) => Target::Source(source),
+            Payload::Binary(bytes) => {
+                let response =
+                    client_roundtrip(client, &proto::req_register_bin(i as u64 + 1, &bytes))?;
+                if let Some(e) = response_error(&response) {
+                    return Err(format!("{name}: {e}"));
+                }
+                let handle = response
+                    .get("handle")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{name}: response has no handle"))?;
+                Target::Handle(handle.to_string())
+            }
+        };
+        items.push(BatchItemReq { name, target });
+    }
     if items.is_empty() {
         return Err("no instance files found".into());
     }

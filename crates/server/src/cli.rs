@@ -6,12 +6,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Parses serve-mode arguments (`--socket PATH | --stdio`,
-/// `[--max-frame BYTES]`) and runs the server. `name` labels error
-/// output; `usage` is printed for `--help`.
+/// `[--max-frame BYTES] [--registry-cap N]`) and runs the server. `name`
+/// labels error output; `usage` is printed for `--help`.
 pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
     let mut socket: Option<PathBuf> = None;
     let mut stdio = false;
     let mut config = ServerConfig::default();
+    let mut registry_cap = crate::state::DEFAULT_REGISTRY_CAPACITY;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -28,6 +29,13 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
                     .parse()
                     .map_err(|_| "invalid --max-frame value".to_string())?
             }
+            "--registry-cap" => {
+                registry_cap = it
+                    .next()
+                    .ok_or("--registry-cap needs a count")?
+                    .parse()
+                    .map_err(|_| "invalid --registry-cap value".to_string())?
+            }
             "--help" | "-h" => {
                 print!("{usage}");
                 return Ok(ExitCode::SUCCESS);
@@ -35,7 +43,7 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
             other => return Err(format!("unknown argument `{other}`\n\n{usage}")),
         }
     }
-    let shared = Shared::new();
+    let shared = Shared::with_registry_capacity(registry_cap);
     match (socket, stdio) {
         (Some(path), false) => match serve_unix(&path, shared, config) {
             Ok(()) => Ok(ExitCode::SUCCESS),

@@ -45,6 +45,10 @@ use xmlta_service::{parse_json, Json};
 /// The protocol version this crate speaks.
 pub const PROTOCOL_VERSION: u64 = 1;
 
+/// Instance payload formats this server ingests, in preference order —
+/// what a `hello` with an `accepts` array negotiates against.
+pub const FORMATS: &[&str] = &["xti", "xtb"];
+
 /// Default maximum frame size in bytes (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
@@ -89,14 +93,29 @@ pub struct BatchItemReq {
 /// A parsed operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
-    /// Protocol handshake/identification (optional).
-    Hello,
+    /// Protocol handshake/identification (optional). A client may send an
+    /// `accepts` array of payload format names (`"xti"`, `"xtb"`); when it
+    /// does, the response carries a `formats` array naming the subset the
+    /// server speaks — the negotiation gate for `register_bin`. Requests
+    /// without `accepts` get the original response, byte for byte, so v1
+    /// text clients are untouched.
+    Hello {
+        /// The client's `accepts` list, when present.
+        accepts: Option<Vec<String>>,
+    },
     /// Liveness probe.
     Ping,
     /// Parse + prepare an instance; returns its handle.
     Register {
         /// Instance source in the textual format.
         source: String,
+    },
+    /// Decode + prepare a binary `.xtb` instance; returns its handle
+    /// (prefixed `b`). The frame carries the bytes base64-encoded in a
+    /// `data` field — JSON lines cannot carry raw bytes.
+    RegisterBin {
+        /// The decoded `.xtb` frame bytes.
+        data: Vec<u8>,
     },
     /// Typecheck one instance.
     Typecheck {
@@ -187,7 +206,35 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
         ));
     };
     let op = match op {
-        "hello" => Op::Hello,
+        "hello" => {
+            let accepts = match frame.get("accepts") {
+                None => None,
+                Some(Json::Arr(items)) => {
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_str() {
+                            Some(name) => names.push(name.to_string()),
+                            None => {
+                                return Err(Reject::new(
+                                    id,
+                                    code::BAD_REQUEST,
+                                    "`accepts` must be an array of strings",
+                                ))
+                            }
+                        }
+                    }
+                    Some(names)
+                }
+                Some(_) => {
+                    return Err(Reject::new(
+                        id,
+                        code::BAD_REQUEST,
+                        "`accepts` must be an array of strings",
+                    ))
+                }
+            };
+            Op::Hello { accepts }
+        }
         "ping" => Op::Ping,
         "register" => {
             let Some(source) = frame.get("source").and_then(Json::as_str) else {
@@ -199,6 +246,25 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
             };
             Op::Register {
                 source: source.to_string(),
+            }
+        }
+        "register_bin" => {
+            let Some(data) = frame.get("data").and_then(Json::as_str) else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`register_bin` needs a base64 string `data`",
+                ));
+            };
+            match xmlta_service::binfmt::base64_decode(data) {
+                Ok(data) => Op::RegisterBin { data },
+                Err(e) => {
+                    return Err(Reject::new(
+                        id,
+                        code::BAD_REQUEST,
+                        format!("`register_bin` data is not valid base64: {e}"),
+                    ))
+                }
             }
         }
         "typecheck" => Op::Typecheck {
@@ -358,6 +424,15 @@ pub fn req_hello(id: u64) -> String {
     request(id, "hello", Vec::new())
 }
 
+/// A `hello` request frame advertising the formats the client accepts.
+pub fn req_hello_accepts(id: u64, accepts: &[&str]) -> String {
+    let accepts = accepts
+        .iter()
+        .map(|f| Json::Str((*f).to_string()))
+        .collect();
+    request(id, "hello", vec![("accepts", Json::Arr(accepts))])
+}
+
 /// A `ping` request frame.
 pub fn req_ping(id: u64) -> String {
     request(id, "ping", Vec::new())
@@ -369,6 +444,18 @@ pub fn req_register(id: u64, source: &str) -> String {
         id,
         "register",
         vec![("source", Json::Str(source.to_string()))],
+    )
+}
+
+/// A `register_bin` request frame carrying a base64-encoded `.xtb` frame.
+pub fn req_register_bin(id: u64, bytes: &[u8]) -> String {
+    request(
+        id,
+        "register_bin",
+        vec![(
+            "data",
+            Json::Str(xmlta_service::binfmt::base64_encode(bytes)),
+        )],
     )
 }
 

@@ -85,23 +85,40 @@ impl Session {
     fn dispatch(&mut self, request: Request) -> (String, Control) {
         let id = request.id;
         let reply = match request.op {
-            Op::Hello => ResponseBuilder::new(&id, true)
-                .str_field("server", "xmltad")
-                .num_field("protocol", proto::PROTOCOL_VERSION)
-                .finish(),
+            Op::Hello { accepts } => {
+                let b = ResponseBuilder::new(&id, true)
+                    .str_field("server", "xmltad")
+                    .num_field("protocol", proto::PROTOCOL_VERSION);
+                match accepts {
+                    // No `accepts`: the original hello response, byte for
+                    // byte — v1 text clients see nothing new.
+                    None => b.finish(),
+                    Some(accepts) => {
+                        let matched: Vec<Json> = proto::FORMATS
+                            .iter()
+                            .filter(|f| accepts.iter().any(|a| a == *f))
+                            .map(|f| Json::Str((*f).to_string()))
+                            .collect();
+                        b.raw_field("formats", &Json::Arr(matched).to_string())
+                            .finish()
+                    }
+                }
+            }
             Op::Ping => proto::ok_frame(&id),
             Op::Register { source } => match self.shared.register(&source) {
-                Ok(prepared) => {
-                    let handle = prepared.handle.clone();
-                    self.handles.insert(handle.clone(), prepared);
-                    ResponseBuilder::new(&id, true)
-                        .str_field("handle", &handle)
-                        .finish()
-                }
+                Ok(prepared) => self.adopt_handle(&id, prepared),
                 Err(e) => proto::error_frame(&Reject {
                     id,
                     code: code::INVALID_INSTANCE,
                     message: format!("parse error: {e}"),
+                }),
+            },
+            Op::RegisterBin { data } => match self.shared.register_binary(&data) {
+                Ok(prepared) => self.adopt_handle(&id, prepared),
+                Err(e) => proto::error_frame(&Reject {
+                    id,
+                    code: code::INVALID_INSTANCE,
+                    message: format!("decode error: {e}"),
                 }),
             },
             Op::Typecheck { target } => {
@@ -124,7 +141,9 @@ impl Session {
                         }
                     },
                     Target::Source(source) => match parse_instance(source) {
-                        Ok(instance) => check_instance(&instance, Some(self.shared.cache())),
+                        Ok(instance) => {
+                            check_instance(&Arc::new(instance), Some(self.shared.cache()))
+                        }
                         Err(e) => ItemStatus::Error {
                             message: format!("parse error: {e}"),
                         },
@@ -171,14 +190,19 @@ impl Session {
                 let stats = format!(
                     "{{\"schema_hits\":{},\"schema_misses\":{},\"rule_hits\":{},\
                      \"rule_misses\":{},\"bout_hits\":{},\"bout_misses\":{},\
-                     \"registered\":{},\"session_handles\":{}}}",
+                     \"memo_hits\":{},\"memo_misses\":{},\"memo_evictions\":{},\
+                     \"registered\":{},\"evictions\":{},\"session_handles\":{}}}",
                     s.schema_hits,
                     s.schema_misses,
                     s.rule_hits,
                     s.rule_misses,
                     s.bout_hits,
                     s.bout_misses,
+                    s.memo_hits,
+                    s.memo_misses,
+                    s.memo_evictions,
                     self.shared.registered(),
+                    self.shared.evictions(),
                     self.handles.len(),
                 );
                 ResponseBuilder::new(&id, true)
@@ -188,6 +212,16 @@ impl Session {
             Op::Shutdown => return (proto::ok_frame(&id), Control::Shutdown),
         };
         (reply, Control::Continue)
+    }
+
+    /// Installs a freshly registered artifact into this session's handle
+    /// table and renders the `register`/`register_bin` response.
+    fn adopt_handle(&mut self, id: &Json, prepared: Arc<Prepared>) -> String {
+        let handle = prepared.handle.clone();
+        self.handles.insert(handle.clone(), prepared);
+        ResponseBuilder::new(id, true)
+            .str_field("handle", &handle)
+            .finish()
     }
 }
 

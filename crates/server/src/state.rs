@@ -9,41 +9,109 @@
 //! client, and batch for the life of the process. That is the whole point
 //! of the daemon: PR 2's bench data shows repeated-schema batches dominated
 //! by parse + compile costs that a process restart throws away.
+//!
+//! The registry is **bounded**: a least-recently-used entry is evicted
+//! once more than [`Shared::registry_capacity`] distinct contents are
+//! registered (re-registration counts as use). Eviction only forgets the
+//! *dedup* entry — sessions keep their `Arc<Prepared>`, so every handle a
+//! connection registered keeps resolving for that connection's lifetime,
+//! and transcripts stay byte-identical no matter what was evicted in
+//! between. The eviction count is visible through the `stats` op only.
 
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex};
 use typecheck_core::{delrelab, Instance, Schema};
 use xmlta_base::fxhash::FxHasher;
-use xmlta_base::FxHashMap;
+use xmlta_service::binfmt::{decode_instance, BinError};
+use xmlta_service::lru::Lru;
 use xmlta_service::{parse_instance, ParseError, SchemaCache};
 
-/// A registered instance: parse once, compile once, typecheck many times.
+/// Default bound on distinct registered contents.
+pub const DEFAULT_REGISTRY_CAPACITY: usize = 4096;
+
+/// What a prepared instance was registered from (and is deduplicated by).
+pub enum RegisteredContent {
+    /// Textual `.xti` source.
+    Text(String),
+    /// A binary `.xtb` frame.
+    Binary(Vec<u8>),
+}
+
+/// The registration kind, separated from the owned payload so the dedup
+/// *lookup* can run on the caller's borrowed bytes — the owned
+/// [`RegisteredContent`] is only built on a miss.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ContentKind {
+    Text,
+    Binary,
+}
+
+impl RegisteredContent {
+    fn kind(&self) -> ContentKind {
+        match self {
+            RegisteredContent::Text(_) => ContentKind::Text,
+            RegisteredContent::Binary(_) => ContentKind::Binary,
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            RegisteredContent::Text(s) => s.as_bytes(),
+            RegisteredContent::Binary(b) => b,
+        }
+    }
+
+    /// Equality against a candidate registration (kind + full content).
+    fn matches(&self, kind: ContentKind, bytes: &[u8]) -> bool {
+        self.kind() == kind && self.as_bytes() == bytes
+    }
+}
+
+/// A registered instance: parse (or decode) once, compile once, typecheck
+/// many times.
 pub struct Prepared {
     /// The content-derived handle (see [`handle_for_source`]).
     pub handle: String,
-    /// The source text the handle was derived from.
-    pub source: String,
+    /// The registered content the handle was derived from.
+    pub content: RegisteredContent,
     /// The parsed instance. Its per-schema products — compiled DTD rule
     /// DFAs, the Theorem 20 `B_out` product for NTA outputs — were pushed
     /// into the shared cache at registration, so typechecking it skips
-    /// parsing entirely and hits the cache on every product.
+    /// the front-end entirely and hits the cache on every product.
     pub instance: Arc<Instance>,
+}
+
+/// The bounded dedup table: content hash → prepared instances with that
+/// hash (more than one only on a 64-bit collision; entries are matched by
+/// full content).
+struct Registry {
+    lru: Lru<u64, Vec<Arc<Prepared>>>,
+    /// Prepared instances dropped by the LRU bound (bucket sizes summed).
+    evicted: u64,
 }
 
 /// The state shared by all connections of one server process.
 pub struct Shared {
     cache: SchemaCache,
-    /// Content hash → prepared instances with that hash (more than one
-    /// only on a 64-bit collision; entries are matched by full source).
-    registry: Mutex<FxHashMap<u64, Vec<Arc<Prepared>>>>,
+    registry: Mutex<Registry>,
 }
 
 impl Shared {
-    /// Fresh state with an empty cache and registry.
+    /// Fresh state with an empty cache and a default-capacity registry.
     pub fn new() -> Arc<Shared> {
+        Shared::with_registry_capacity(DEFAULT_REGISTRY_CAPACITY)
+    }
+
+    /// Fresh state whose registry holds at most `capacity` distinct
+    /// contents (0 disables registration dedup entirely: every register
+    /// re-parses, handles still work).
+    pub fn with_registry_capacity(capacity: usize) -> Arc<Shared> {
         Arc::new(Shared {
             cache: SchemaCache::new(),
-            registry: Mutex::new(FxHashMap::default()),
+            registry: Mutex::new(Registry {
+                lru: Lru::new(capacity),
+                evicted: 0,
+            }),
         })
     }
 
@@ -52,51 +120,121 @@ impl Shared {
         &self.cache
     }
 
-    /// Number of distinct registered instances.
+    /// Number of distinct registered instances currently retained.
     pub fn registered(&self) -> usize {
         self.registry
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .values()
-            .map(Vec::len)
+            .lru
+            .iter()
+            .map(|(_, v)| v.len())
             .sum()
     }
 
-    /// Registers `source`: parses and prepares it once per distinct
-    /// content, process-wide. Re-registering equal content (from any
-    /// connection) returns the existing artifact without parsing.
+    /// How many prepared instances the LRU bound has evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .evicted
+    }
+
+    /// The registry's configured capacity.
+    pub fn registry_capacity(&self) -> usize {
+        self.registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .lru
+            .capacity()
+    }
+
+    /// Registers textual `source`: parses and prepares it once per
+    /// distinct content, process-wide. Re-registering equal content (from
+    /// any connection) returns the existing artifact without parsing.
     pub fn register(&self, source: &str) -> Result<Arc<Prepared>, ParseError> {
-        let fp = fingerprint_source(source);
-        {
-            let registry = self
-                .registry
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(entries) = registry.get(&fp) {
-                if let Some(hit) = entries.iter().find(|p| p.source == source) {
-                    return Ok(Arc::clone(hit));
-                }
-            }
+        // The hit path touches only borrowed bytes — re-registration of
+        // known content is a hash lookup, not a payload copy.
+        if let Some(hit) = self.lookup(ContentKind::Text, source.as_bytes()) {
+            return Ok(hit);
         }
         // Parse + prepare outside the lock; a racing register of the same
         // content can do the work twice but both land on equal artifacts.
         let instance = parse_instance(source)?;
+        Ok(self.adopt(
+            handle_for_source(source),
+            RegisteredContent::Text(source.to_string()),
+            instance,
+        ))
+    }
+
+    /// Registers a binary `.xtb` frame; the binary twin of
+    /// [`Shared::register`] (handles are derived from the frame bytes and
+    /// start with `b` instead of `i`).
+    pub fn register_binary(&self, bytes: &[u8]) -> Result<Arc<Prepared>, BinError> {
+        if let Some(hit) = self.lookup(ContentKind::Binary, bytes) {
+            return Ok(hit);
+        }
+        let instance = decode_instance(bytes)?;
+        Ok(self.adopt(
+            handle_for_binary(bytes),
+            RegisteredContent::Binary(bytes.to_vec()),
+            instance,
+        ))
+    }
+
+    /// The retained artifact for the given content, bumping its recency.
+    fn lookup(&self, kind: ContentKind, bytes: &[u8]) -> Option<Arc<Prepared>> {
+        let fp = fingerprint_content(kind, bytes);
+        let mut registry = self
+            .registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        registry
+            .lru
+            .get(&fp)?
+            .iter()
+            .find(|p| p.content.matches(kind, bytes))
+            .map(Arc::clone)
+    }
+
+    /// Prepares and retains a freshly parsed/decoded instance, evicting
+    /// the least recently used content when over capacity.
+    fn adopt(
+        &self,
+        handle: String,
+        content: RegisteredContent,
+        instance: Instance,
+    ) -> Arc<Prepared> {
+        let fp = fingerprint_content(content.kind(), content.as_bytes());
         let instance = self.prepare(instance);
         let mut registry = self
             .registry
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let entries = registry.entry(fp).or_default();
-        if let Some(hit) = entries.iter().find(|p| p.source == source) {
-            return Ok(Arc::clone(hit));
+        if let Some(entries) = registry.lru.get_mut(&fp) {
+            if let Some(hit) = entries
+                .iter()
+                .find(|p| p.content.matches(content.kind(), content.as_bytes()))
+            {
+                return Arc::clone(hit);
+            }
+            let prepared = Arc::new(Prepared {
+                handle,
+                content,
+                instance: Arc::new(instance),
+            });
+            entries.push(Arc::clone(&prepared));
+            return prepared;
         }
         let prepared = Arc::new(Prepared {
-            handle: handle_for_source(source),
-            source: source.to_string(),
+            handle,
+            content,
             instance: Arc::new(instance),
         });
-        entries.push(Arc::clone(&prepared));
-        Ok(prepared)
+        if let Some((_, bucket)) = registry.lru.insert(fp, vec![Arc::clone(&prepared)]) {
+            registry.evicted += bucket.len() as u64;
+        }
+        prepared
     }
 
     /// Warms the cache with the instance's per-schema products, so later
@@ -122,11 +260,31 @@ impl Shared {
     }
 }
 
+/// Content hash of registered content (the registry bucket key; text and
+/// binary registrations live in disjoint key spaces).
+fn fingerprint_content(kind: ContentKind, bytes: &[u8]) -> u64 {
+    match kind {
+        ContentKind::Text => {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.write_u8(0xA5);
+            h.finish()
+        }
+        ContentKind::Binary => fingerprint_bytes(bytes, 0xB1),
+    }
+}
+
 /// Content hash of a source text (the registry bucket key).
 pub fn fingerprint_source(source: &str) -> u64 {
+    fingerprint_content(ContentKind::Text, source.as_bytes())
+}
+
+/// A salted content hash over raw bytes.
+fn fingerprint_bytes(bytes: &[u8], salt: u8) -> u64 {
     let mut h = FxHasher::default();
-    h.write(source.as_bytes());
-    h.write_u8(0xA5);
+    h.write_u8(salt);
+    h.write(bytes);
+    h.write_u8(salt);
     h.finish()
 }
 
@@ -150,5 +308,16 @@ pub fn handle_for_source(source: &str) -> String {
         "i{:016x}{:016x}",
         fingerprint_source(source),
         fingerprint_source_salted(source)
+    )
+}
+
+/// The handle a binary frame registers under: like [`handle_for_source`]
+/// but prefixed `b` and salted over the frame bytes, so text and binary
+/// registrations can never alias.
+pub fn handle_for_binary(bytes: &[u8]) -> String {
+    format!(
+        "b{:016x}{:016x}",
+        fingerprint_bytes(bytes, 0xB1),
+        fingerprint_bytes(bytes, 0x1B)
     )
 }

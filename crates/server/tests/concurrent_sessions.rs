@@ -63,13 +63,24 @@ impl Drop for SocketPath {
     }
 }
 
-/// The scripted session every client plays: register both instances, check
-/// them by handle and by source, and run the same batch twice with
-/// different thread counts under one id (so the two response lines must be
+/// The `.xtb` encoding of a source (what `xmlta convert` would ship).
+fn encode(source: &str) -> Vec<u8> {
+    let instance = xmlta_service::parse_instance(source).expect("parses");
+    xmlta_service::encode_instance(&instance).expect("encodes")
+}
+
+/// The scripted session every client plays: register both instances (BAD
+/// twice — once textual, once as a binary `.xtb` frame), check them by
+/// handle and by source, and run the same batch twice with different
+/// thread counts under one id (so the two response lines must be
 /// byte-identical, pinning thread-count independence inside one response).
+/// Binary registration interleaves with everything else, so its handles
+/// and verdicts are pinned to be scheduling-independent too.
 fn script() -> Vec<String> {
     let good_handle = handle_for_source(GOOD);
     let bad_handle = handle_for_source(BAD);
+    let bad_bin = encode(BAD);
+    let bad_bin_handle = xmlta_server::state::handle_for_binary(&bad_bin);
     let batch_items = vec![
         BatchItemReq {
             name: "good-by-handle".into(),
@@ -78,6 +89,10 @@ fn script() -> Vec<String> {
         BatchItemReq {
             name: "bad-by-handle".into(),
             target: Target::Handle(bad_handle.clone()),
+        },
+        BatchItemReq {
+            name: "bad-by-binary-handle".into(),
+            target: Target::Handle(bad_bin_handle.clone()),
         },
         BatchItemReq {
             name: "bad-by-source".into(),
@@ -89,11 +104,13 @@ fn script() -> Vec<String> {
         },
     ];
     vec![
-        proto::req_hello(1),
+        proto::req_hello_accepts(1, &["xti", "xtb"]),
         proto::req_register(2, GOOD),
         proto::req_register(3, BAD),
+        proto::req_register_bin(3, &bad_bin),
         proto::req_typecheck_handle(4, &good_handle),
         proto::req_typecheck_handle(5, &bad_handle),
+        proto::req_typecheck_handle(5, &bad_bin_handle),
         proto::req_typecheck_source(6, GOOD),
         proto::req_typecheck_handle(7, "iffffffffffffffff"),
         proto::req_batch(8, &batch_items, Some(1)),
@@ -143,11 +160,16 @@ fn n_clients_see_byte_identical_transcripts() {
     let reference = play(&mut reference_client, &frames);
     drop(reference_client);
     assert_eq!(reference.len(), frames.len());
-    assert!(reference[3].contains("\"status\":\"typechecks\""));
-    assert!(reference[4].contains("\"status\":\"counterexample\""));
-    assert!(reference[6].contains("unknown-handle"));
+    assert!(reference[0].contains("\"formats\":[\"xti\",\"xtb\"]"));
+    assert!(reference[4].contains("\"status\":\"typechecks\""));
+    assert!(reference[5].contains("\"status\":\"counterexample\""));
     assert_eq!(
-        reference[7], reference[8],
+        reference[5], reference[6],
+        "equal content via text and binary handles: same verdict bytes"
+    );
+    assert!(reference[8].contains("unknown-handle"));
+    assert_eq!(
+        reference[9], reference[10],
         "same batch under one id: thread count must not leak into bytes"
     );
 
@@ -175,8 +197,9 @@ fn n_clients_see_byte_identical_transcripts() {
         );
     }
 
-    // Everything landed on one registry + cache.
-    assert_eq!(shared.registered(), 2, "two distinct sources registered");
+    // Everything landed on one registry + cache (GOOD text, BAD text,
+    // BAD binary — binary content is a distinct registration).
+    assert_eq!(shared.registered(), 3, "three distinct contents registered");
     let stats = shared.cache().stats();
     assert!(
         stats.schema_hits > 0,
@@ -229,6 +252,50 @@ fn registered_instances_hit_the_cache_on_first_typecheck() {
     assert!(
         stats.schema_hits >= 2,
         "input + output schemas hit: {stats:?}"
+    );
+}
+
+#[test]
+fn registry_is_bounded_and_evicted_handles_keep_resolving() {
+    // A capacity-2 registry: registering a third distinct content evicts
+    // the least recently used one. The evicting is invisible to sessions —
+    // they hold the `Arc<Prepared>` — so every handle a connection
+    // registered keeps resolving, and re-registering evicted content just
+    // re-parses.
+    let shared = Shared::with_registry_capacity(2);
+    let mut session = xmlta_server::Session::new(Arc::clone(&shared));
+    let third = GOOD.replace("y*", "y* y*"); // a third distinct source
+    let mut frame = |f: &str| session.handle_frame(f).0;
+
+    let r1 = frame(&proto::req_register(1, GOOD));
+    let r2 = frame(&proto::req_register(2, BAD));
+    assert_eq!(shared.registered(), 2);
+    assert_eq!(shared.evictions(), 0);
+    let _r3 = frame(&proto::req_register(3, &third));
+    assert_eq!(shared.registered(), 2, "capacity bound holds");
+    assert_eq!(shared.evictions(), 1, "GOOD was least recently used");
+    assert!(r1.contains("\"ok\":true") && r2.contains("\"ok\":true"));
+
+    // The evicted GOOD handle still resolves on this session.
+    let good_handle = handle_for_source(GOOD);
+    let checked = frame(&proto::req_typecheck_handle(4, &good_handle));
+    assert!(
+        checked.contains("\"status\":\"typechecks\""),
+        "evicted handle must keep resolving: {checked}"
+    );
+
+    // Re-registering evicted content returns the same (content-derived)
+    // handle and evicts the new LRU victim.
+    let again = frame(&proto::req_register(5, GOOD));
+    assert!(again.contains(&good_handle), "handles are content-derived");
+    assert_eq!(shared.registered(), 2);
+    assert_eq!(shared.evictions(), 2);
+
+    // The stats op reports both counters.
+    let stats = frame(&proto::req_stats(6));
+    assert!(
+        stats.contains("\"evictions\":2") && stats.contains("\"memo_hits\""),
+        "{stats}"
     );
 }
 

@@ -124,6 +124,80 @@ fn golden_invalid_instance() {
 }
 
 #[test]
+fn golden_register_bin_errors() {
+    assert_eq!(
+        one(r#"{"id": 10, "op": "register_bin"}"#),
+        r#"{"id":10,"ok":false,"error":{"code":"bad-request","message":"`register_bin` needs a base64 string `data`"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 11, "op": "register_bin", "data": "not base64!"}"#),
+        r#"{"id":11,"ok":false,"error":{"code":"bad-request","message":"`register_bin` data is not valid base64: base64 length 11 is not a multiple of 4"}}"#
+    );
+    // Valid base64, invalid frame: `Zm9v` is "foo".
+    assert_eq!(
+        one(r#"{"id": 12, "op": "register_bin", "data": "Zm9v"}"#),
+        r#"{"id":12,"ok":false,"error":{"code":"invalid-instance","message":"decode error: byte 0: not an xtb frame (bad magic)"}}"#
+    );
+    // A truncated real frame reports the offset it died at.
+    let instance = xmlta_service::parse_instance(GOOD).expect("parses");
+    let bytes = xmlta_service::encode_instance(&instance).expect("encodes");
+    let data = xmlta_service::binfmt::base64_encode(&bytes[..6]);
+    let response = one(&format!(
+        "{{\"id\": 13, \"op\": \"register_bin\", \"data\": \"{data}\"}}"
+    ));
+    assert!(
+        response.contains("\"code\":\"invalid-instance\"")
+            && response.contains("decode error: byte"),
+        "{response}"
+    );
+}
+
+#[test]
+fn golden_hello_negotiation() {
+    // Without `accepts`: the original response, byte for byte.
+    assert_eq!(
+        one(r#"{"id": 1, "op": "hello"}"#),
+        r#"{"id":1,"ok":true,"server":"xmltad","protocol":1}"#
+    );
+    // With `accepts`: the intersection with the server's formats, in the
+    // server's preference order.
+    assert_eq!(
+        one(r#"{"id": 2, "op": "hello", "accepts": ["xtb", "xti", "exotic"]}"#),
+        r#"{"id":2,"ok":true,"server":"xmltad","protocol":1,"formats":["xti","xtb"]}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 3, "op": "hello", "accepts": []}"#),
+        r#"{"id":3,"ok":true,"server":"xmltad","protocol":1,"formats":[]}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 4, "op": "hello", "accepts": "xtb"}"#),
+        r#"{"id":4,"ok":false,"error":{"code":"bad-request","message":"`accepts` must be an array of strings"}}"#
+    );
+}
+
+#[test]
+fn register_bin_typecheck_roundtrip_over_stream() {
+    let instance = xmlta_service::parse_instance(GOOD).expect("parses");
+    let bytes = xmlta_service::encode_instance(&instance).expect("encodes");
+    let handle = xmlta_server::state::handle_for_binary(&bytes);
+    let data = xmlta_service::binfmt::base64_encode(&bytes);
+    let input = format!(
+        "{{\"id\": 1, \"op\": \"register_bin\", \"data\": \"{data}\"}}\n\
+         {{\"id\": 2, \"op\": \"typecheck\", \"handle\": \"{handle}\"}}\n"
+    );
+    let (lines, end) = run(&input, 1 << 20);
+    assert_eq!(end, SessionEnd::Eof);
+    assert_eq!(
+        lines,
+        vec![
+            format!("{{\"id\":1,\"ok\":true,\"handle\":\"{handle}\"}}"),
+            r#"{"id":2,"ok":true,"status":"typechecks"}"#.to_string(),
+        ]
+    );
+    assert!(handle.starts_with('b'), "binary handles are `b`-prefixed");
+}
+
+#[test]
 fn oversized_frame_answers_then_closes() {
     let long = format!(
         "{{\"id\": 1, \"op\": \"ping\", \"pad\": \"{}\"}}",

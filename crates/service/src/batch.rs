@@ -8,7 +8,8 @@
 //! thread counts** — the acceptance property the integration tests and
 //! `ci.sh` check.
 
-use crate::cache::{typecheck_cached, CacheStats, SchemaCache};
+use crate::binfmt::decode_instance;
+use crate::cache::{fingerprint_instance, typecheck_cached, CacheStats, SchemaCache};
 use crate::json::push_escaped;
 use crate::parse::parse_instance;
 use std::fmt::Write as _;
@@ -17,15 +18,20 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use typecheck_core::{Instance, Outcome};
 
-/// What a batch item checks: textual source (parsed per run) or an
+/// What a batch item checks: textual source (parsed per run), a binary
+/// `.xtb` frame (decoded per run — the fast cold path), or an
 /// already-parsed instance (e.g. one registered with a server session —
-/// the warm path skips parsing entirely).
+/// the warm path skips the front-end entirely).
+///
+/// Payloads are `Arc`-shared so cloning an item (or fanning one source out
+/// to a thousand items) never copies the bytes.
 #[derive(Debug, Clone)]
 pub enum BatchInput {
     /// Instance source in the textual format.
-    Source(String),
-    /// A pre-parsed (typically pre-compiled) instance, shared by `Arc` so
-    /// a thousand-item batch over one registered instance clones nothing.
+    Source(Arc<str>),
+    /// An encoded `.xtb` frame ([`crate::binfmt`]).
+    Binary(Arc<[u8]>),
+    /// A pre-parsed (typically pre-compiled) instance.
     Prepared(Arc<Instance>),
 }
 
@@ -34,22 +40,30 @@ pub enum BatchInput {
 pub struct BatchItem {
     /// Display name (file path, generated id, or handle); lands in the
     /// JSON report.
-    pub name: String,
+    pub name: Arc<str>,
     /// The instance to check.
     pub input: BatchInput,
 }
 
 impl BatchItem {
     /// An item over textual source.
-    pub fn from_source(name: impl Into<String>, source: impl Into<String>) -> BatchItem {
+    pub fn from_source(name: impl Into<Arc<str>>, source: impl Into<Arc<str>>) -> BatchItem {
         BatchItem {
             name: name.into(),
             input: BatchInput::Source(source.into()),
         }
     }
 
+    /// An item over an encoded `.xtb` frame.
+    pub fn from_binary(name: impl Into<Arc<str>>, bytes: impl Into<Arc<[u8]>>) -> BatchItem {
+        BatchItem {
+            name: name.into(),
+            input: BatchInput::Binary(bytes.into()),
+        }
+    }
+
     /// An item over a pre-parsed instance.
-    pub fn from_prepared(name: impl Into<String>, instance: Arc<Instance>) -> BatchItem {
+    pub fn from_prepared(name: impl Into<Arc<str>>, instance: Arc<Instance>) -> BatchItem {
         BatchItem {
             name: name.into(),
             input: BatchInput::Prepared(instance),
@@ -80,8 +94,8 @@ pub enum ItemStatus {
 /// A completed item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ItemResult {
-    /// The item's display name.
-    pub name: String,
+    /// The item's display name (shared with the [`BatchItem`], not cloned).
+    pub name: Arc<str>,
     /// Its status.
     pub status: ItemStatus,
 }
@@ -213,7 +227,7 @@ fn process(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".to_string());
             ItemResult {
-                name: item.name.clone(),
+                name: Arc::clone(&item.name),
                 status: ItemStatus::Error {
                     message: format!("internal error: {msg}"),
                 },
@@ -228,12 +242,18 @@ fn process_inner(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
             Err(e) => ItemStatus::Error {
                 message: format!("parse error: {e}"),
             },
-            Ok(instance) => check_instance(&instance, cache),
+            Ok(instance) => check_instance(&Arc::new(instance), cache),
+        },
+        BatchInput::Binary(bytes) => match decode_instance(bytes) {
+            Err(e) => ItemStatus::Error {
+                message: format!("decode error: {e}"),
+            },
+            Ok(instance) => check_instance(&Arc::new(instance), cache),
         },
         BatchInput::Prepared(instance) => check_instance(instance, cache),
     };
     ItemResult {
-        name: item.name.clone(),
+        name: Arc::clone(&item.name),
         status,
     }
 }
@@ -241,11 +261,34 @@ fn process_inner(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
 /// Typechecks one parsed instance, folding the outcome into an
 /// [`ItemStatus`] — the status shared by batch records and the server's
 /// single-instance `typecheck` responses.
-pub fn check_instance(instance: &Instance, cache: Option<&SchemaCache>) -> ItemStatus {
+///
+/// With a cache, the whole verdict is memoized by instance content
+/// ([`SchemaCache::memo_lookup`]): a repeated instance short-circuits here,
+/// before any engine or schema product is touched, and the served status
+/// is byte-identical to what recomputation would produce. The instance
+/// arrives as an `Arc` so the memo can retain it for hit verification
+/// without deep-cloning schemas and transducer.
+pub fn check_instance(instance: &Arc<Instance>, cache: Option<&SchemaCache>) -> ItemStatus {
     let outcome = match cache {
-        Some(cache) => typecheck_cached(cache, instance),
+        Some(cache) => {
+            let fp = fingerprint_instance(instance);
+            if let Some(hit) = cache.memo_lookup(fp, instance) {
+                return hit;
+            }
+            let status = render_status(typecheck_cached(cache, instance), instance);
+            cache.memo_insert(fp, instance, &status);
+            return status;
+        }
         None => typecheck_core::typecheck(instance),
     };
+    render_status(outcome, instance)
+}
+
+/// Folds an engine outcome into the rendered [`ItemStatus`].
+fn render_status(
+    outcome: Result<Outcome, typecheck_core::TypecheckError>,
+    instance: &Instance,
+) -> ItemStatus {
     match outcome {
         Ok(Outcome::TypeChecks) => ItemStatus::TypeChecks,
         Ok(Outcome::CounterExample(ce)) => ItemStatus::CounterExample {
@@ -373,7 +416,7 @@ transducer {
         ));
         assert!(matches!(out.results[2].status, ItemStatus::Error { .. }));
         assert_eq!(out.tally(), (2, 2, 2));
-        assert_eq!(out.results[4].name, "item-004");
+        assert_eq!(out.results[4].name.as_ref(), "item-004");
     }
 
     #[test]

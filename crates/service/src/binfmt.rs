@@ -1,0 +1,1018 @@
+//! The binary instance format (`.xtb`).
+//!
+//! The textual format (`.xti`) is the human surface; this module is the
+//! machine surface: a versioned, length-prefixed binary encoding of
+//! [`Instance`] payloads built for the cold path. Where the text parser
+//! tokenizes lines, interns names token by token, and re-parses transducer
+//! right-hand sides through the builder, the binary decoder walks one
+//! contiguous buffer with a borrowing cursor: names are length-prefixed
+//! UTF-8 slices interned straight out of the input, every integer is a
+//! LEB128 varint, and automata/transducers are constructed directly from
+//! their packed transition triples — no per-node `String` allocation, no
+//! re-tokenization, no scratch alphabets.
+//!
+//! # Frame layout (version 1)
+//!
+//! ```text
+//! magic   3 bytes  "xtb"
+//! version 1 byte   0x01
+//! symbols varint count, then per symbol: varint byte-length + UTF-8 bytes
+//! input   schema payload (tag 0 = DTD, tag 1 = NTA)
+//! output  schema payload
+//! transducer payload
+//! ```
+//!
+//! Schema payloads:
+//!
+//! ```text
+//! dtd  := 0x00 sigma start nrules (sym lang)*            # rules in symbol order
+//! nta  := 0x01 sigma nstates nfinals final* ntrans (state sym nfa)*
+//! lang := 0x00 dfa | 0x01 nfa | 0x02 regex | 0x03 replus
+//! dfa  := nstates sigma initial nfinals final* nedges (q l r)*
+//! nfa  := nstates sigma ninit init* nfinals final* nedges (q l r)*
+//! regex:= prefix walk; tags 0 ∅, 1 ε, 2 sym(l), 3 concat(n …), 4 alt(n …),
+//!         5 star, 6 plus, 7 opt
+//! replus := nfactors (sym plus-byte)*
+//! ```
+//!
+//! Transducer payload:
+//!
+//! ```text
+//! transducer := nstates (len name-bytes)* initial sigma
+//!               nselectors selector* nrules (q sym rhs)*   # rules in (q, sym) order
+//! selector   := 0x00 axis-byte expr | 0x01 dfa             # XPath | DFA
+//! expr       := prefix walk; tags 0 disj, 1 child, 2 desc, 3 filter,
+//!               4 test(sym), 5 wildcard
+//! rhs        := nnodes node*; node := 0 elem(sym n …) | 1 state(q) | 2 select(q sel)
+//! ```
+//!
+//! Every collection is length-prefixed, so truncation is always detected;
+//! the decoder validates all state/symbol/selector references before
+//! touching a constructor (the automata constructors panic on out-of-range
+//! ids) and returns a structured [`BinError`] with the byte offset of the
+//! violation — it never panics on adversarial input. Encoding is canonical
+//! (rules and transitions in sorted order), so equal instances encode to
+//! equal bytes.
+
+use std::fmt;
+use typecheck_core::{Instance, Schema};
+use xmlta_automata::{Dfa, Nfa, RePlus, Regex};
+use xmlta_base::{Alphabet, Symbol};
+use xmlta_schema::{Dtd, Nta, StringLang};
+use xmlta_transducer::{Rhs, RhsNode, Selector, Transducer};
+use xmlta_xpath::{Axis, Expr, Pattern};
+
+/// The three magic bytes every `.xtb` frame starts with.
+pub const MAGIC: &[u8; 3] = b"xtb";
+
+/// The format version this module reads and writes.
+pub const VERSION: u8 = 1;
+
+/// Nesting cap for recursive payloads (regexes, XPath expressions, rhs
+/// trees): deeper input is rejected instead of overflowing the stack.
+const MAX_DEPTH: usize = 512;
+
+/// Dense-table allocation cap: a DFA payload may not claim more than this
+/// many `states × letters` cells, so a few forged varints cannot demand
+/// gigabytes before the truncation check would fire.
+const MAX_DENSE_CELLS: u64 = 1 << 26;
+
+/// Cap on claimed automaton state counts: states are the one collection
+/// whose elements may legitimately occupy zero payload bytes (an NFA
+/// state with no edges), so the remaining-bytes bound in
+/// [`Reader::count`] does not limit the allocation they demand. Real
+/// instances top out in the hundreds of states; a frame claiming more
+/// than this is rejected before any per-state allocation.
+const MAX_STATES: usize = 1 << 20;
+
+/// Pre-allocation clamp for length-prefixed collections: `count` is
+/// already bounded by the bytes remaining in the frame, but one byte of
+/// payload can claim an element dozens of bytes wide, so reserve at most
+/// this many elements up front and let the `Vec` grow normally past it.
+fn reserve(count: usize) -> usize {
+    count.min(1024)
+}
+
+/// Whether `bytes` starts like a binary instance frame (any version).
+pub fn is_xtb(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+}
+
+/// A structured decode (or encode) failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinError {
+    /// Byte offset into the frame (0 for encode-side failures).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl BinError {
+    fn new(offset: usize, message: impl Into<String>) -> BinError {
+        BinError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for BinError {}
+
+// ---------------------------------------------------------------------
+// Encoding.
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_varint(out, v as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_dfa(out: &mut Vec<u8>, d: &Dfa) {
+    put_usize(out, d.num_states());
+    put_usize(out, d.alphabet_size());
+    put_varint(out, u64::from(d.initial_state()));
+    let finals: Vec<u32> = (0..d.num_states() as u32)
+        .filter(|&q| d.is_final_state(q))
+        .collect();
+    put_usize(out, finals.len());
+    for q in finals {
+        put_varint(out, u64::from(q));
+    }
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for q in 0..d.num_states() as u32 {
+        for l in 0..d.alphabet_size() as u32 {
+            if let Some(r) = d.step(q, l) {
+                edges.push((q, l, r));
+            }
+        }
+    }
+    put_usize(out, edges.len());
+    for (q, l, r) in edges {
+        put_varint(out, u64::from(q));
+        put_varint(out, u64::from(l));
+        put_varint(out, u64::from(r));
+    }
+}
+
+fn put_nfa(out: &mut Vec<u8>, n: &Nfa) {
+    put_usize(out, n.num_states());
+    put_usize(out, n.alphabet_size());
+    put_usize(out, n.initial_states().len());
+    for &q in n.initial_states() {
+        put_varint(out, u64::from(q));
+    }
+    let finals: Vec<u32> = n.final_states().collect();
+    put_usize(out, finals.len());
+    for q in finals {
+        put_varint(out, u64::from(q));
+    }
+    let edges: Vec<(u32, u32, u32)> = n.transitions().collect();
+    put_usize(out, edges.len());
+    for (q, l, r) in edges {
+        put_varint(out, u64::from(q));
+        put_varint(out, u64::from(l));
+        put_varint(out, u64::from(r));
+    }
+}
+
+fn put_regex(out: &mut Vec<u8>, re: &Regex) {
+    match re {
+        Regex::Empty => out.push(0),
+        Regex::Epsilon => out.push(1),
+        Regex::Sym(l) => {
+            out.push(2);
+            put_varint(out, u64::from(*l));
+        }
+        Regex::Concat(rs) => {
+            out.push(3);
+            put_usize(out, rs.len());
+            rs.iter().for_each(|r| put_regex(out, r));
+        }
+        Regex::Alt(rs) => {
+            out.push(4);
+            put_usize(out, rs.len());
+            rs.iter().for_each(|r| put_regex(out, r));
+        }
+        Regex::Star(r) => {
+            out.push(5);
+            put_regex(out, r);
+        }
+        Regex::Plus(r) => {
+            out.push(6);
+            put_regex(out, r);
+        }
+        Regex::Opt(r) => {
+            out.push(7);
+            put_regex(out, r);
+        }
+    }
+}
+
+fn put_lang(out: &mut Vec<u8>, lang: &StringLang) {
+    match lang {
+        StringLang::Dfa(d) => {
+            out.push(0);
+            put_dfa(out, d);
+        }
+        StringLang::Nfa(n) => {
+            out.push(1);
+            put_nfa(out, n);
+        }
+        StringLang::Regex(re) => {
+            out.push(2);
+            put_regex(out, re);
+        }
+        StringLang::RePlus(re) => {
+            out.push(3);
+            put_usize(out, re.factors().len());
+            for f in re.factors() {
+                put_varint(out, u64::from(f.sym));
+                out.push(f.plus as u8);
+            }
+        }
+    }
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    match schema {
+        Schema::Dtd(d) => {
+            out.push(0);
+            put_usize(out, d.alphabet_size());
+            put_varint(out, u64::from(d.start().0));
+            let mut rules: Vec<_> = d.rules().collect();
+            rules.sort_by_key(|(s, _)| *s);
+            put_usize(out, rules.len());
+            for (sym, lang) in rules {
+                put_varint(out, u64::from(sym.0));
+                put_lang(out, lang);
+            }
+        }
+        Schema::Nta(n) => {
+            out.push(1);
+            put_usize(out, n.alphabet_size());
+            put_usize(out, n.num_states());
+            let finals: Vec<u32> = n.final_states().collect();
+            put_usize(out, finals.len());
+            for q in finals {
+                put_varint(out, u64::from(q));
+            }
+            let trans = n.sorted_transitions();
+            put_usize(out, trans.len());
+            for (q, sym, nfa) in trans {
+                put_varint(out, u64::from(q));
+                put_varint(out, u64::from(sym.0));
+                put_nfa(out, nfa);
+            }
+        }
+    }
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Disj(a, b) => {
+            out.push(0);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Child(a, b) => {
+            out.push(1);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Desc(a, b) => {
+            out.push(2);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Filter(e, p) => {
+            out.push(3);
+            put_expr(out, e);
+            put_pattern(out, p);
+        }
+        Expr::Test(s) => {
+            out.push(4);
+            put_varint(out, u64::from(s.0));
+        }
+        Expr::Wildcard => out.push(5),
+    }
+}
+
+fn put_pattern(out: &mut Vec<u8>, p: &Pattern) {
+    out.push(match p.axis {
+        Axis::Child => 0,
+        Axis::Descendant => 1,
+    });
+    put_expr(out, &p.expr);
+}
+
+fn put_rhs_node(out: &mut Vec<u8>, node: &RhsNode) {
+    match node {
+        RhsNode::Elem(sym, children) => {
+            out.push(0);
+            put_varint(out, u64::from(sym.0));
+            put_usize(out, children.len());
+            children.iter().for_each(|c| put_rhs_node(out, c));
+        }
+        RhsNode::State(q) => {
+            out.push(1);
+            put_varint(out, u64::from(*q));
+        }
+        RhsNode::Select(q, sel) => {
+            out.push(2);
+            put_varint(out, u64::from(*q));
+            put_varint(out, u64::from(*sel));
+        }
+    }
+}
+
+fn put_transducer(out: &mut Vec<u8>, t: &Transducer) {
+    put_usize(out, t.num_states());
+    for name in t.state_names() {
+        put_str(out, name);
+    }
+    put_varint(out, u64::from(t.initial_state()));
+    put_usize(out, t.alphabet_size());
+    put_usize(out, t.selectors().len());
+    for sel in t.selectors() {
+        match sel {
+            Selector::XPath(p) => {
+                out.push(0);
+                put_pattern(out, p);
+            }
+            Selector::Dfa(d) => {
+                out.push(1);
+                put_dfa(out, d);
+            }
+        }
+    }
+    let mut rules: Vec<_> = t.rules().collect();
+    rules.sort_by_key(|&(q, a, _)| (q, a));
+    put_usize(out, rules.len());
+    for (q, sym, rhs) in rules {
+        put_varint(out, u64::from(q));
+        put_varint(out, u64::from(sym.0));
+        put_usize(out, rhs.nodes.len());
+        rhs.nodes.iter().for_each(|n| put_rhs_node(out, n));
+    }
+}
+
+/// Encodes `instance` as one `.xtb` frame.
+///
+/// Fails (without panicking) when the instance cannot be decoded back
+/// faithfully — a component mentions symbols beyond the alphabet's interned
+/// names, so the symbol table could not cover it (the same instances the
+/// textual printer refuses).
+pub fn encode_instance(instance: &Instance) -> Result<Vec<u8>, BinError> {
+    let table_len = instance.alphabet.len();
+    if instance.alphabet_size() > table_len {
+        return Err(BinError::new(
+            0,
+            format!(
+                "instance mentions {} symbols but the alphabet names only {table_len}",
+                instance.alphabet_size()
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_usize(&mut out, table_len);
+    for s in instance.alphabet.symbols() {
+        put_str(&mut out, instance.alphabet.name(s));
+    }
+    put_schema(&mut out, &instance.input);
+    put_schema(&mut out, &instance.output);
+    put_transducer(&mut out, &instance.transducer);
+    Ok(out)
+}
+
+/// Streams the `.xtb` encoding of `instance` into `w`.
+pub fn write_instance<W: std::io::Write>(w: &mut W, instance: &Instance) -> std::io::Result<()> {
+    let bytes = encode_instance(instance)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    w.write_all(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Decoding.
+
+/// A borrowing cursor over one frame.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, message: impl Into<String>) -> BinError {
+        BinError::new(self.pos, message)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, BinError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(self.err(format!("truncated frame: expected {what}"))),
+        }
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, BinError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift >= 63 && byte > 1 {
+                return Err(self.err(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A varint that must fit `u32` (state ids, letters, selector indices).
+    fn id(&mut self, what: &str) -> Result<u32, BinError> {
+        let v = self.varint(what)?;
+        u32::try_from(v).map_err(|_| self.err(format!("{what} {v} does not fit 32 bits")))
+    }
+
+    /// A count of items that each consume at least one byte: bounded by
+    /// the bytes actually remaining, so forged counts cannot demand huge
+    /// allocations up front.
+    fn count(&mut self, what: &str) -> Result<usize, BinError> {
+        let v = self.varint(what)?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if v > remaining {
+            return Err(self.err(format!(
+                "{what} claims {v} items but only {remaining} bytes remain"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn str(&mut self, what: &str) -> Result<&'a str, BinError> {
+        let len = self.count(what)?;
+        let start = self.pos;
+        let end = start + len;
+        let bytes = self
+            .buf
+            .get(start..end)
+            .ok_or_else(|| self.err(format!("truncated frame: {what} body")))?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| BinError::new(start + e.valid_up_to(), format!("{what} is not UTF-8")))?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Checks `v < bound`, where `bound` counts `what`s.
+fn in_range(r: &Reader<'_>, v: u32, bound: usize, what: &str) -> Result<(), BinError> {
+    if (v as usize) < bound {
+        Ok(())
+    } else {
+        Err(r.err(format!("{what} {v} out of range (bound {bound})")))
+    }
+}
+
+fn get_dfa(r: &mut Reader<'_>) -> Result<Dfa, BinError> {
+    let num_states = r.count("dfa state count")?;
+    let sigma = r.count("dfa alphabet size")?;
+    if num_states == 0 {
+        return Err(r.err("dfa needs at least one state"));
+    }
+    if num_states > MAX_STATES {
+        return Err(r.err(format!("dfa claims {num_states} states (cap {MAX_STATES})")));
+    }
+    if num_states as u64 * sigma as u64 > MAX_DENSE_CELLS {
+        return Err(r.err(format!(
+            "dfa table of {num_states}×{sigma} cells exceeds the {MAX_DENSE_CELLS}-cell cap"
+        )));
+    }
+    let mut dfa = Dfa::new(sigma);
+    for _ in 1..num_states {
+        dfa.add_state();
+    }
+    let initial = r.id("dfa initial state")?;
+    in_range(r, initial, num_states, "dfa initial state")?;
+    dfa.set_initial(initial);
+    let nfinals = r.count("dfa final count")?;
+    for _ in 0..nfinals {
+        let q = r.id("dfa final state")?;
+        in_range(r, q, num_states, "dfa final state")?;
+        dfa.set_final(q);
+    }
+    let nedges = r.count("dfa edge count")?;
+    for _ in 0..nedges {
+        let q = r.id("dfa edge source")?;
+        let l = r.id("dfa edge letter")?;
+        let t = r.id("dfa edge target")?;
+        in_range(r, q, num_states, "dfa edge source")?;
+        in_range(r, l, sigma, "dfa edge letter")?;
+        in_range(r, t, num_states, "dfa edge target")?;
+        dfa.set_transition(q, l, t);
+    }
+    Ok(dfa)
+}
+
+fn get_nfa(r: &mut Reader<'_>) -> Result<Nfa, BinError> {
+    let num_states = r.count("nfa state count")?;
+    let sigma = r.count("nfa alphabet size")?;
+    if num_states > MAX_STATES {
+        return Err(r.err(format!("nfa claims {num_states} states (cap {MAX_STATES})")));
+    }
+    let mut nfa = Nfa::new(sigma);
+    for _ in 0..num_states {
+        nfa.add_state();
+    }
+    let ninit = r.count("nfa initial count")?;
+    for _ in 0..ninit {
+        let q = r.id("nfa initial state")?;
+        in_range(r, q, num_states, "nfa initial state")?;
+        nfa.set_initial(q);
+    }
+    let nfinals = r.count("nfa final count")?;
+    for _ in 0..nfinals {
+        let q = r.id("nfa final state")?;
+        in_range(r, q, num_states, "nfa final state")?;
+        nfa.set_final(q);
+    }
+    let nedges = r.count("nfa edge count")?;
+    for _ in 0..nedges {
+        let q = r.id("nfa edge source")?;
+        let l = r.id("nfa edge letter")?;
+        let t = r.id("nfa edge target")?;
+        in_range(r, q, num_states, "nfa edge source")?;
+        in_range(r, l, sigma, "nfa edge letter")?;
+        in_range(r, t, num_states, "nfa edge target")?;
+        nfa.add_transition(q, l, t);
+    }
+    Ok(nfa)
+}
+
+/// Decodes a regex node; `sigma` bounds the letters it may test.
+fn get_regex(r: &mut Reader<'_>, sigma: usize, depth: usize) -> Result<Regex, BinError> {
+    if depth > MAX_DEPTH {
+        return Err(r.err("regex nesting too deep"));
+    }
+    match r.u8("regex tag")? {
+        0 => Ok(Regex::Empty),
+        1 => Ok(Regex::Epsilon),
+        2 => {
+            let l = r.id("regex letter")?;
+            in_range(r, l, sigma, "regex letter")?;
+            Ok(Regex::Sym(l))
+        }
+        tag @ (3 | 4) => {
+            let n = r.count("regex child count")?;
+            let mut children = Vec::with_capacity(reserve(n));
+            for _ in 0..n {
+                children.push(get_regex(r, sigma, depth + 1)?);
+            }
+            Ok(if tag == 3 {
+                Regex::Concat(children)
+            } else {
+                Regex::Alt(children)
+            })
+        }
+        5 => Ok(Regex::Star(Box::new(get_regex(r, sigma, depth + 1)?))),
+        6 => Ok(Regex::Plus(Box::new(get_regex(r, sigma, depth + 1)?))),
+        7 => Ok(Regex::Opt(Box::new(get_regex(r, sigma, depth + 1)?))),
+        tag => Err(r.err(format!("unknown regex tag {tag}"))),
+    }
+}
+
+fn get_lang(r: &mut Reader<'_>, sigma: usize) -> Result<StringLang, BinError> {
+    match r.u8("rule language tag")? {
+        0 => {
+            let dfa = get_dfa(r)?;
+            if dfa.alphabet_size() > sigma {
+                return Err(r.err("rule dfa alphabet exceeds the schema alphabet"));
+            }
+            Ok(StringLang::dfa(dfa))
+        }
+        1 => {
+            let nfa = get_nfa(r)?;
+            if nfa.alphabet_size() > sigma {
+                return Err(r.err("rule nfa alphabet exceeds the schema alphabet"));
+            }
+            Ok(StringLang::Nfa(nfa))
+        }
+        2 => Ok(StringLang::Regex(get_regex(r, sigma, 0)?)),
+        3 => {
+            let n = r.count("replus factor count")?;
+            let mut factors = Vec::with_capacity(reserve(n));
+            for _ in 0..n {
+                let sym = r.id("replus factor symbol")?;
+                in_range(r, sym, sigma, "replus factor symbol")?;
+                let plus = match r.u8("replus plus flag")? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(r.err(format!("invalid replus plus flag {b}"))),
+                };
+                factors.push(xmlta_automata::replus::Factor { sym, plus });
+            }
+            Ok(StringLang::RePlus(RePlus::from_factors(factors)))
+        }
+        tag => Err(r.err(format!("unknown rule language tag {tag}"))),
+    }
+}
+
+/// Decodes a schema; `table_len` is the symbol-table size, which bounds
+/// every alphabet size (a symbol without a name could not be rendered in a
+/// counterexample).
+fn get_schema(r: &mut Reader<'_>, table_len: usize) -> Result<Schema, BinError> {
+    match r.u8("schema tag")? {
+        0 => {
+            let sigma = r.count("dtd alphabet size")?;
+            if sigma > table_len {
+                return Err(r.err(format!(
+                    "dtd alphabet size {sigma} exceeds the symbol table ({table_len} names)"
+                )));
+            }
+            let start = r.id("dtd start symbol")?;
+            in_range(r, start, sigma, "dtd start symbol")?;
+            let nrules = r.count("dtd rule count")?;
+            let mut dtd = Dtd::new(sigma, Symbol(start));
+            let mut prev: Option<u32> = None;
+            for _ in 0..nrules {
+                let sym = r.id("dtd rule symbol")?;
+                in_range(r, sym, sigma, "dtd rule symbol")?;
+                if prev.is_some_and(|p| p >= sym) {
+                    return Err(r.err("dtd rules must be in strictly increasing symbol order"));
+                }
+                prev = Some(sym);
+                dtd.set_rule(Symbol(sym), get_lang(r, sigma)?);
+            }
+            Ok(Schema::Dtd(dtd))
+        }
+        1 => {
+            let sigma = r.count("nta alphabet size")?;
+            if sigma > table_len {
+                return Err(r.err(format!(
+                    "nta alphabet size {sigma} exceeds the symbol table ({table_len} names)"
+                )));
+            }
+            let num_states = r.count("nta state count")?;
+            if num_states > MAX_STATES {
+                return Err(r.err(format!("nta claims {num_states} states (cap {MAX_STATES})")));
+            }
+            let mut nta = Nta::new(sigma);
+            nta.add_states(num_states);
+            let nfinals = r.count("nta final count")?;
+            for _ in 0..nfinals {
+                let q = r.id("nta final state")?;
+                in_range(r, q, num_states, "nta final state")?;
+                nta.set_final(q);
+            }
+            let ntrans = r.count("nta transition count")?;
+            let mut prev: Option<(u32, u32)> = None;
+            for _ in 0..ntrans {
+                let q = r.id("nta transition state")?;
+                let sym = r.id("nta transition symbol")?;
+                in_range(r, q, num_states, "nta transition state")?;
+                in_range(r, sym, sigma, "nta transition symbol")?;
+                if prev.is_some_and(|p| p >= (q, sym)) {
+                    return Err(r.err("nta transitions must be in strictly increasing order"));
+                }
+                prev = Some((q, sym));
+                // Transition languages are NFAs over the *state* set.
+                let nfa = get_nfa(r)?;
+                if nfa.alphabet_size() > num_states {
+                    return Err(r.err("nta transition nfa alphabet exceeds the state count"));
+                }
+                nta.set_transition(q, Symbol(sym), nfa);
+            }
+            Ok(Schema::Nta(nta))
+        }
+        tag => Err(r.err(format!("unknown schema tag {tag}"))),
+    }
+}
+
+fn get_expr(r: &mut Reader<'_>, sigma: usize, depth: usize) -> Result<Expr, BinError> {
+    if depth > MAX_DEPTH {
+        return Err(r.err("xpath expression nesting too deep"));
+    }
+    match r.u8("xpath expr tag")? {
+        tag @ 0..=2 => {
+            let a = Box::new(get_expr(r, sigma, depth + 1)?);
+            let b = Box::new(get_expr(r, sigma, depth + 1)?);
+            Ok(match tag {
+                0 => Expr::Disj(a, b),
+                1 => Expr::Child(a, b),
+                _ => Expr::Desc(a, b),
+            })
+        }
+        3 => {
+            let e = Box::new(get_expr(r, sigma, depth + 1)?);
+            let p = Box::new(get_pattern(r, sigma, depth + 1)?);
+            Ok(Expr::Filter(e, p))
+        }
+        4 => {
+            let sym = r.id("xpath element test")?;
+            in_range(r, sym, sigma, "xpath element test")?;
+            Ok(Expr::Test(Symbol(sym)))
+        }
+        5 => Ok(Expr::Wildcard),
+        tag => Err(r.err(format!("unknown xpath expr tag {tag}"))),
+    }
+}
+
+fn get_pattern(r: &mut Reader<'_>, sigma: usize, depth: usize) -> Result<Pattern, BinError> {
+    let axis = match r.u8("xpath axis")? {
+        0 => Axis::Child,
+        1 => Axis::Descendant,
+        b => return Err(r.err(format!("invalid xpath axis byte {b}"))),
+    };
+    Ok(Pattern {
+        axis,
+        expr: get_expr(r, sigma, depth)?,
+    })
+}
+
+fn get_rhs_node(
+    r: &mut Reader<'_>,
+    sigma: usize,
+    num_states: usize,
+    num_selectors: usize,
+    depth: usize,
+) -> Result<RhsNode, BinError> {
+    if depth > MAX_DEPTH {
+        return Err(r.err("rhs nesting too deep"));
+    }
+    match r.u8("rhs node tag")? {
+        0 => {
+            let sym = r.id("rhs element symbol")?;
+            in_range(r, sym, sigma, "rhs element symbol")?;
+            let n = r.count("rhs child count")?;
+            let mut children = Vec::with_capacity(reserve(n));
+            for _ in 0..n {
+                children.push(get_rhs_node(
+                    r,
+                    sigma,
+                    num_states,
+                    num_selectors,
+                    depth + 1,
+                )?);
+            }
+            Ok(RhsNode::Elem(Symbol(sym), children))
+        }
+        1 => {
+            let q = r.id("rhs state")?;
+            in_range(r, q, num_states, "rhs state")?;
+            Ok(RhsNode::State(q))
+        }
+        2 => {
+            let q = r.id("rhs selector state")?;
+            let sel = r.id("rhs selector index")?;
+            in_range(r, q, num_states, "rhs selector state")?;
+            in_range(r, sel, num_selectors, "rhs selector index")?;
+            Ok(RhsNode::Select(q, sel))
+        }
+        tag => Err(r.err(format!("unknown rhs node tag {tag}"))),
+    }
+}
+
+fn get_transducer(r: &mut Reader<'_>, table_len: usize) -> Result<Transducer, BinError> {
+    let num_states = r.count("transducer state count")?;
+    if num_states > MAX_STATES {
+        return Err(r.err(format!(
+            "transducer claims {num_states} states (cap {MAX_STATES})"
+        )));
+    }
+    let mut state_names = Vec::with_capacity(reserve(num_states));
+    for _ in 0..num_states {
+        state_names.push(r.str("transducer state name")?.to_string());
+    }
+    let initial = r.id("transducer initial state")?;
+    in_range(r, initial, num_states, "transducer initial state")?;
+    let sigma = r.count("transducer alphabet size")?;
+    if sigma > table_len {
+        return Err(r.err(format!(
+            "transducer alphabet size {sigma} exceeds the symbol table ({table_len} names)"
+        )));
+    }
+    let num_selectors = r.count("selector count")?;
+    let mut selectors = Vec::with_capacity(reserve(num_selectors));
+    for _ in 0..num_selectors {
+        selectors.push(match r.u8("selector tag")? {
+            0 => Selector::XPath(get_pattern(r, sigma, 0)?),
+            1 => {
+                let dfa = get_dfa(r)?;
+                if dfa.alphabet_size() > sigma {
+                    return Err(r.err("selector dfa alphabet exceeds the transducer alphabet"));
+                }
+                Selector::Dfa(dfa)
+            }
+            tag => return Err(r.err(format!("unknown selector tag {tag}"))),
+        });
+    }
+    let nrules = r.count("transducer rule count")?;
+    let mut rules = Vec::with_capacity(reserve(nrules));
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..nrules {
+        let q = r.id("rule state")?;
+        let sym = r.id("rule symbol")?;
+        in_range(r, q, num_states, "rule state")?;
+        in_range(r, sym, sigma, "rule symbol")?;
+        if prev.is_some_and(|p| p >= (q, sym)) {
+            return Err(r.err("transducer rules must be in strictly increasing order"));
+        }
+        prev = Some((q, sym));
+        let nnodes = r.count("rhs node count")?;
+        let mut nodes = Vec::with_capacity(reserve(nnodes));
+        for _ in 0..nnodes {
+            nodes.push(get_rhs_node(r, sigma, num_states, num_selectors, 0)?);
+        }
+        rules.push(((q, Symbol(sym)), Rhs::new(nodes)));
+    }
+    let at = r.pos;
+    Transducer::from_parts(state_names, initial, rules, selectors, sigma)
+        .map_err(|e| BinError::new(at, format!("invalid transducer: {e}")))
+}
+
+/// Decodes one `.xtb` frame back into an [`Instance`].
+///
+/// The decoder is total: truncated, corrupt, wrong-version, or adversarial
+/// frames return a [`BinError`] naming the offending byte offset — never a
+/// panic, never an out-of-range automaton.
+pub fn decode_instance(bytes: &[u8]) -> Result<Instance, BinError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(BinError::new(0, "not an xtb frame (bad magic)"));
+    }
+    let mut r = Reader {
+        buf: bytes,
+        pos: MAGIC.len(),
+    };
+    let version = r.u8("version byte")?;
+    if version != VERSION {
+        return Err(BinError::new(
+            MAGIC.len(),
+            format!("unsupported xtb version {version} (this build reads version {VERSION})"),
+        ));
+    }
+    let nsyms = r.count("symbol count")?;
+    let mut alphabet = Alphabet::new();
+    for _ in 0..nsyms {
+        let at = r.pos;
+        let name = r.str("symbol name")?;
+        let sym = alphabet.intern(name);
+        if sym.index() + 1 != alphabet.len() {
+            return Err(BinError::new(at, format!("duplicate symbol `{name}`")));
+        }
+    }
+    let table_len = alphabet.len();
+    let input = get_schema(&mut r, table_len)?;
+    let output = get_schema(&mut r, table_len)?;
+    let transducer = get_transducer(&mut r, table_len)?;
+    if r.pos != bytes.len() {
+        return Err(BinError::new(
+            r.pos,
+            format!(
+                "{} trailing byte(s) after the instance",
+                bytes.len() - r.pos
+            ),
+        ));
+    }
+    Ok(Instance {
+        alphabet,
+        input,
+        output,
+        transducer,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Base64 (standard alphabet, padded) — the wire carrier for binary
+// payloads inside JSON frames.
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `bytes` as standard padded base64.
+pub fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let v = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let enc = |i: u32| B64[(v >> (18 - 6 * i) & 0x3f) as usize] as char;
+        out.push(enc(0));
+        out.push(enc(1));
+        out.push(if chunk.len() > 1 { enc(2) } else { '=' });
+        out.push(if chunk.len() > 2 { enc(3) } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard padded base64 (whitespace-free).
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().filter(|&&b| b == b'=').count();
+        if pad > 2 || (!last && pad > 0) || chunk[..4 - pad].contains(&b'=') {
+            return Err(format!("invalid base64 padding in chunk {i}"));
+        }
+        let mut v: u32 = 0;
+        for &b in &chunk[..4 - pad] {
+            let digit = match b {
+                b'A'..=b'Z' => b - b'A',
+                b'a'..=b'z' => b - b'a' + 26,
+                b'0'..=b'9' => b - b'0' + 52,
+                b'+' => 62,
+                b'/' => 63,
+                _ => return Err(format!("invalid base64 byte 0x{b:02x}")),
+            };
+            v = (v << 6) | u32::from(digit);
+        }
+        v <<= 6 * pad as u32;
+        out.push((v >> 16) as u8);
+        if pad < 2 {
+            out.push((v >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(v as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_roundtrips() {
+        for len in 0..40usize {
+            let bytes: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(37).wrapping_add(5))
+                .collect();
+            let enc = base64_encode(&bytes);
+            assert_eq!(base64_decode(&enc).expect("decodes"), bytes, "len {len}");
+        }
+        assert_eq!(base64_encode(b"xtb"), "eHRi");
+        assert_eq!(base64_decode("eHRiAQ==").unwrap(), b"xtb\x01");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("abc").is_err(), "length not multiple of 4");
+        assert!(base64_decode("ab=c").is_err(), "pad inside chunk");
+        assert!(base64_decode("a==b").is_err(), "pad before digits");
+        assert!(base64_decode("ab c").is_err(), "whitespace");
+        assert!(base64_decode("====").is_err(), "all padding");
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader { buf: &buf, pos: 0 };
+            assert_eq!(r.varint("v").unwrap(), v);
+            assert_eq!(r.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_an_error() {
+        // 10 continuation bytes push past 64 bits.
+        let buf = [0xffu8; 10];
+        let mut r = Reader { buf: &buf, pos: 0 };
+        let err = r.varint("v").unwrap_err();
+        assert!(err.message.contains("overflow"), "{err}");
+    }
+}

@@ -23,15 +23,21 @@
 //! batch driver's workers behind a mutex; compilation runs outside the
 //! lock, so a racing miss can compile twice but never corrupts the cache.
 
+use crate::batch::ItemStatus;
+use crate::lru::Lru;
 use std::sync::{Arc, Mutex};
 use typecheck_core::{delrelab, Instance, Outcome, Schema, TypecheckError};
 use xmlta_automata::{Dfa, Nfa, Regex};
 use xmlta_base::fxhash::FxHasher;
 use xmlta_base::FxHashMap;
 use xmlta_schema::{Dtd, Nta, StringLang};
-use xmlta_transducer::translate;
+use xmlta_transducer::{translate, Rhs, RhsNode, Selector, Transducer};
+use xmlta_xpath::{Axis, Expr, Pattern};
 
 use std::hash::Hasher;
+
+/// Default capacity of the typecheck result memo (distinct instances).
+pub const DEFAULT_MEMO_CAPACITY: usize = 8192;
 
 /// Hit/miss counters, readable at any time via [`SchemaCache::stats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +54,12 @@ pub struct CacheStats {
     pub bout_hits: u64,
     /// Theorem 20 `B_out` product misses (product built this call).
     pub bout_misses: u64,
+    /// Typecheck result memo hits (verdict served without the engines).
+    pub memo_hits: u64,
+    /// Typecheck result memo misses.
+    pub memo_misses: u64,
+    /// Memo entries evicted by the LRU bound.
+    pub memo_evictions: u64,
 }
 
 /// A cached Theorem 20 product — or the cached `DTAc` validation failure,
@@ -59,26 +71,104 @@ type BoutEntry = Result<Arc<Nta>, TypecheckError>;
 /// lookups verify structural equality of the source on every fingerprint
 /// hit, so a 64-bit hash collision degrades to an uncached compile instead
 /// of silently serving another schema's automata.
-#[derive(Default)]
 struct Inner {
     schemas: FxHashMap<u64, (Dtd, Arc<Dtd>)>,
     rules: FxHashMap<(u64, usize), (StringLang, Arc<Dfa>)>,
     /// Theorem 20 pipeline products per output NTA, keyed by
     /// `(fingerprint, joint alphabet size)`.
     bouts: FxHashMap<(u64, usize), (Nta, BoutEntry)>,
+    /// The typecheck result memo: whole-instance fingerprint → the
+    /// instance (hit verification, retained by `Arc` — never deep-cloned)
+    /// and its rendered verdict. Bounded LRU; see
+    /// [`SchemaCache::memo_lookup`].
+    memo: Lru<u64, (Arc<Instance>, ItemStatus)>,
     stats: CacheStats,
 }
 
 /// A thread-safe compiled-schema cache. See the module docs.
-#[derive(Default)]
 pub struct SchemaCache {
     inner: Mutex<Inner>,
 }
 
+impl Default for SchemaCache {
+    fn default() -> SchemaCache {
+        SchemaCache::with_memo_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
 impl SchemaCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default memo capacity.
     pub fn new() -> SchemaCache {
         SchemaCache::default()
+    }
+
+    /// Creates an empty cache whose result memo holds at most `capacity`
+    /// instances (0 disables the memo; schema-level caching is unaffected).
+    pub fn with_memo_capacity(capacity: usize) -> SchemaCache {
+        SchemaCache {
+            inner: Mutex::new(Inner {
+                schemas: FxHashMap::default(),
+                rules: FxHashMap::default(),
+                bouts: FxHashMap::default(),
+                memo: Lru::new(capacity),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Looks up the memoized verdict for an instance with content
+    /// fingerprint `fp` ([`fingerprint_instance`]). A hit returns a clone
+    /// of the stored verdict — byte-identical to what recomputation would
+    /// render, because the stored verdict *was* computed from an instance
+    /// verified structurally equal (a colliding fingerprint counts as a
+    /// miss, never as a wrong answer).
+    pub fn memo_lookup(&self, fp: u64, instance: &Instance) -> Option<ItemStatus> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inner.memo.get(&fp) {
+            Some((source, status)) if instance_eq(source, instance) => {
+                let status = status.clone();
+                inner.stats.memo_hits += 1;
+                Some(status)
+            }
+            _ => {
+                inner.stats.memo_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the verdict for an instance with fingerprint `fp`. A slot
+    /// already owned by a *different* instance (64-bit collision) is left
+    /// alone — correctness never depends on fingerprints being unique.
+    pub fn memo_insert(&self, fp: u64, instance: &Arc<Instance>, status: &ItemStatus) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((source, _)) = inner.memo.get(&fp) {
+            if !instance_eq(source, instance) {
+                return;
+            }
+        }
+        if inner
+            .memo
+            .insert(fp, (Arc::clone(instance), status.clone()))
+            .is_some()
+        {
+            inner.stats.memo_evictions += 1;
+        }
+    }
+
+    /// `(live entries, capacity)` of the result memo.
+    pub fn memo_len(&self) -> (usize, usize) {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (inner.memo.len(), inner.memo.capacity())
     }
 
     /// Compiles `dtd` to `DTD(DFA)` form with `Arc`-shared rules, reusing
@@ -422,6 +512,180 @@ pub fn fingerprint_nta(nta: &Nta) -> u64 {
         hash_nfa(&mut h, nfa);
     }
     finish(h)
+}
+
+/// Structural fingerprint of a whole typecheck instance: alphabet names
+/// (display matters — counterexamples render through them), both schemas,
+/// and the transducer. This is the result-memo key.
+pub fn fingerprint_instance(instance: &Instance) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(0x1257);
+    h.write_u64(instance.alphabet.len() as u64);
+    for s in instance.alphabet.symbols() {
+        h.write(instance.alphabet.name(s).as_bytes());
+        h.write_u8(0xFF);
+    }
+    hash_schema(&mut h, &instance.input);
+    hash_schema(&mut h, &instance.output);
+    hash_transducer(&mut h, &instance.transducer);
+    finish(h)
+}
+
+fn hash_schema(h: &mut FxHasher, schema: &Schema) {
+    match schema {
+        Schema::Dtd(d) => {
+            h.write_u8(0);
+            h.write_u64(fingerprint_dtd(d));
+        }
+        Schema::Nta(n) => {
+            h.write_u8(1);
+            h.write_u64(fingerprint_nta(n));
+        }
+    }
+}
+
+fn hash_transducer(h: &mut FxHasher, t: &Transducer) {
+    h.write_u64(t.num_states() as u64);
+    for name in t.state_names() {
+        h.write(name.as_bytes());
+        h.write_u8(0xFF);
+    }
+    h.write_u32(t.initial_state());
+    h.write_u64(t.alphabet_size() as u64);
+    for sel in t.selectors() {
+        match sel {
+            Selector::XPath(p) => {
+                h.write_u8(0);
+                hash_pattern(h, p);
+            }
+            Selector::Dfa(d) => {
+                h.write_u8(1);
+                hash_dfa(h, d);
+            }
+        }
+    }
+    h.write_u8(0xFB);
+    let mut rules: Vec<_> = t.rules().collect();
+    rules.sort_by_key(|&(q, a, _)| (q, a));
+    for (q, a, rhs) in rules {
+        h.write_u32(q);
+        h.write_u32(a.0);
+        h.write_u64(rhs.nodes.len() as u64);
+        rhs.nodes.iter().for_each(|n| hash_rhs_node(h, n));
+    }
+}
+
+fn hash_rhs_node(h: &mut FxHasher, node: &RhsNode) {
+    match node {
+        RhsNode::Elem(sym, children) => {
+            h.write_u8(0);
+            h.write_u32(sym.0);
+            h.write_u64(children.len() as u64);
+            children.iter().for_each(|c| hash_rhs_node(h, c));
+        }
+        RhsNode::State(q) => {
+            h.write_u8(1);
+            h.write_u32(*q);
+        }
+        RhsNode::Select(q, sel) => {
+            h.write_u8(2);
+            h.write_u32(*q);
+            h.write_u32(*sel);
+        }
+    }
+}
+
+fn hash_pattern(h: &mut FxHasher, p: &Pattern) {
+    h.write_u8(match p.axis {
+        Axis::Child => 0,
+        Axis::Descendant => 1,
+    });
+    hash_expr(h, &p.expr);
+}
+
+fn hash_expr(h: &mut FxHasher, e: &Expr) {
+    match e {
+        Expr::Disj(a, b) => {
+            h.write_u8(0);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Expr::Child(a, b) => {
+            h.write_u8(1);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Expr::Desc(a, b) => {
+            h.write_u8(2);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Expr::Filter(e, p) => {
+            h.write_u8(3);
+            hash_expr(h, e);
+            hash_pattern(h, p);
+        }
+        Expr::Test(s) => {
+            h.write_u8(4);
+            h.write_u32(s.0);
+        }
+        Expr::Wildcard => h.write_u8(5),
+    }
+}
+
+/// Structural equality of two whole instances (the memo-hit verification):
+/// same alphabet names in the same order, same schemas, same transducer.
+pub fn instance_eq(a: &Instance, b: &Instance) -> bool {
+    alphabet_eq(&a.alphabet, &b.alphabet)
+        && schema_eq(&a.input, &b.input)
+        && schema_eq(&a.output, &b.output)
+        && transducer_eq(&a.transducer, &b.transducer)
+}
+
+fn alphabet_eq(a: &xmlta_base::Alphabet, b: &xmlta_base::Alphabet) -> bool {
+    a.len() == b.len() && a.symbols().all(|s| a.name(s) == b.name(s))
+}
+
+fn schema_eq(a: &Schema, b: &Schema) -> bool {
+    match (a, b) {
+        (Schema::Dtd(x), Schema::Dtd(y)) => dtd_eq(x, y),
+        (Schema::Nta(x), Schema::Nta(y)) => nta_eq(x, y),
+        _ => false,
+    }
+}
+
+fn transducer_eq(a: &Transducer, b: &Transducer) -> bool {
+    if a.state_names() != b.state_names()
+        || a.initial_state() != b.initial_state()
+        || a.alphabet_size() != b.alphabet_size()
+        || a.selectors().len() != b.selectors().len()
+    {
+        return false;
+    }
+    if !a
+        .selectors()
+        .iter()
+        .zip(b.selectors())
+        .all(|(x, y)| selector_eq(x, y))
+    {
+        return false;
+    }
+    sorted_rules(a) == sorted_rules(b)
+}
+
+/// All transducer rules in canonical `(state, symbol)` order.
+fn sorted_rules(t: &Transducer) -> Vec<(u32, xmlta_base::Symbol, &Rhs)> {
+    let mut rules: Vec<_> = t.rules().collect();
+    rules.sort_by_key(|&(q, s, _)| (q, s));
+    rules
+}
+
+fn selector_eq(a: &Selector, b: &Selector) -> bool {
+    match (a, b) {
+        (Selector::XPath(x), Selector::XPath(y)) => x == y,
+        (Selector::Dfa(x), Selector::Dfa(y)) => dfa_eq(x, y),
+        _ => false,
+    }
 }
 
 fn hash_dfa(h: &mut FxHasher, d: &Dfa) {

@@ -7,9 +7,15 @@
 //! * [`parse`] / [`print`] — a concrete textual format for instances
 //!   (DTD/NTA schemas + transducer) with line/col error reporting, so
 //!   instances load from files and round-trip through text;
+//! * [`binfmt`] — the binary instance format (`.xtb`): a versioned,
+//!   length-prefixed, varint-packed encoding with a borrowing decoder that
+//!   rebuilds instances without re-tokenizing text, plus the base64
+//!   carrier used to ship binary payloads inside JSON frames;
 //! * [`cache`] — a content-hash-keyed compiled-schema cache that interns
-//!   regex→DFA results and shares rules via `Arc<Dfa>`, amortizing
-//!   automaton construction across repeated-schema workloads;
+//!   regex→DFA results and shares rules via `Arc<Dfa>`, caches Theorem 20
+//!   products, and memoizes whole typecheck *verdicts* by instance content
+//!   in a bounded LRU ([`lru`]) so repeated instances short-circuit before
+//!   the engines;
 //! * [`batch`] — a deterministic multi-threaded batch driver (fixed worker
 //!   pool, ordered result collection, byte-identical JSON across thread
 //!   counts) over textual sources *or* pre-parsed instances;
@@ -66,17 +72,20 @@
 //! referenced as `<state, $name>` in right-hand sides.
 
 pub mod batch;
+pub mod binfmt;
 pub mod cache;
 pub mod error;
 pub mod gen;
 pub mod json;
+pub mod lru;
 pub mod parse;
 pub mod print;
 
 pub use batch::{
     check_instance, run_batch, BatchInput, BatchItem, BatchOutcome, ItemResult, ItemStatus,
 };
-pub use cache::{typecheck_cached, CacheStats, SchemaCache};
+pub use binfmt::{decode_instance, encode_instance, BinError};
+pub use cache::{fingerprint_instance, instance_eq, typecheck_cached, CacheStats, SchemaCache};
 pub use error::{Loc, ParseError, PrintError};
 pub use json::{parse_json, Json};
 pub use parse::parse_instance;

@@ -1,0 +1,150 @@
+//! A small bounded LRU map.
+//!
+//! Backs the typecheck result memo in [`crate::cache::SchemaCache`] and the
+//! server's prepared-instance registry — both previously unbounded, both
+//! now capped. No intrusive linked list: recency is a monotonic tick per
+//! entry plus a `BTreeMap` from tick to key, giving `O(log n)` touch and
+//! eviction with plain safe code. Eviction is strictly least-recently-used
+//! (lookups count as uses), and a capacity of zero disables the map
+//! entirely — inserts are dropped, lookups miss.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+use xmlta_base::FxHashMap;
+
+/// A bounded least-recently-used map.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    map: FxHashMap<K, (V, u64)>,
+    by_tick: BTreeMap<u64, K>,
+    tick: u64,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty map evicting beyond `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            map: FxHashMap::default(),
+            by_tick: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been evicted over the map's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterates over live entries (no recency effect, arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (v, _))| (k, v))
+    }
+
+    /// Bumps `key` to most recently used; true on a hit.
+    fn touch(&mut self, key: &K) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let Some(entry) = self.map.get_mut(key) else {
+            return false;
+        };
+        let old = entry.1;
+        entry.1 = tick;
+        self.by_tick.remove(&old);
+        self.by_tick.insert(tick, key.clone());
+        true
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if !self.touch(key) {
+            return None;
+        }
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Looks up `key` mutably, marking it most recently used on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if !self.touch(key) {
+            return None;
+        }
+        self.map.get_mut(key).map(|(v, _)| v)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used entry
+    /// when over capacity. Returns the evicted entry, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        if let Some((_, at)) = self.map.insert(key.clone(), (value, self.tick)) {
+            self.by_tick.remove(&at);
+        }
+        self.by_tick.insert(self.tick, key);
+        if self.map.len() <= self.capacity {
+            return None;
+        }
+        let (_, oldest) = self.by_tick.pop_first().expect("map is non-empty");
+        let (value, _) = self.map.remove(&oldest).expect("tick index is in sync");
+        self.evictions += 1;
+        Some((oldest, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        assert!(lru.insert("a", 1).is_none());
+        assert!(lru.insert("b", 2).is_none());
+        assert_eq!(lru.get(&"a"), Some(&1)); // touch a: b is now oldest
+        let evicted = lru.insert("c", 3).expect("over capacity");
+        assert_eq!(evicted, ("b", 2));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replacing_does_not_evict() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert!(lru.insert("a", 10).is_none(), "replacement stays in cap");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut lru: Lru<u64, u64> = Lru::new(0);
+        assert!(lru.insert(1, 1).is_none());
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+    }
+}

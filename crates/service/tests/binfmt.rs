@@ -1,0 +1,297 @@
+//! Binary format acceptance: `.xti` → `.xtb` → `Instance` is the
+//! *structural* identity (stronger than the textual round trip, which only
+//! promises a printed fixpoint), corrupt frames fail with structured
+//! errors instead of panics, and memo-hit verdicts are byte-identical to
+//! recomputed ones.
+
+use proptest::prelude::*;
+use typecheck_core::{typecheck, Instance, Schema};
+use xmlta_hardness::workloads::{self, Workload};
+use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::binfmt::{self, decode_instance, encode_instance};
+use xmlta_service::{instance_eq, parse_instance, print_instance, SchemaCache};
+
+fn families() -> Vec<Workload> {
+    vec![
+        workloads::filtering_family(3),
+        workloads::failing_filtering_family(2),
+        workloads::copying_family(2),
+        workloads::deletion_family(2),
+        workloads::random_layered_family(5, 3, 3),
+        workloads::nfa_schema_family(3),
+        workloads::replus_family(3),
+        workloads::xpath_family(3),
+        workloads::regex_schema_family(4),
+        workloads::example11_workload(),
+        workloads::delrelab_family(3),
+    ]
+}
+
+/// encode → decode is the structural identity, and the decoded instance
+/// typechecks to the same outcome.
+fn assert_binary_roundtrip(name: &str, instance: &Instance) {
+    let bytes = encode_instance(instance).unwrap_or_else(|e| panic!("{name}: encode: {e}"));
+    assert!(binfmt::is_xtb(&bytes), "{name}: magic sniff");
+    let decoded = decode_instance(&bytes).unwrap_or_else(|e| panic!("{name}: decode: {e}"));
+    assert!(
+        instance_eq(instance, &decoded),
+        "{name}: decoded instance differs structurally"
+    );
+    // Canonical encoding: equal instances encode to equal bytes.
+    let reencoded = encode_instance(&decoded).unwrap_or_else(|e| panic!("{name}: re-encode: {e}"));
+    assert_eq!(bytes, reencoded, "{name}: encoding must be canonical");
+    let direct = typecheck(instance).unwrap_or_else(|e| panic!("{name}: direct engine: {e}"));
+    let via_bin = typecheck(&decoded).unwrap_or_else(|e| panic!("{name}: decoded engine: {e}"));
+    assert_eq!(
+        direct.type_checks(),
+        via_bin.type_checks(),
+        "{name}: outcome must survive the binary round-trip"
+    );
+}
+
+#[test]
+fn workload_families_roundtrip_binary() {
+    for w in families() {
+        assert_binary_roundtrip(&w.name, &w.instance);
+    }
+}
+
+#[test]
+fn text_to_binary_to_instance_is_identity_on_parses() {
+    // The satellite property verbatim: .xti → parse → .xtb → Instance is
+    // the structural identity, and printing both gives identical text.
+    for w in families() {
+        let Ok(printed) = print_instance(&w.instance) else {
+            continue; // NTA printing goes through regex extraction
+        };
+        let parsed = parse_instance(&printed).expect("printed form parses");
+        let bytes = encode_instance(&parsed).expect("encodes");
+        let decoded = decode_instance(&bytes).expect("decodes");
+        assert!(instance_eq(&parsed, &decoded), "{}", w.name);
+        assert_eq!(
+            print_instance(&parsed).expect("prints"),
+            print_instance(&decoded).expect("prints"),
+            "{}: printed forms must agree",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn compiled_instances_roundtrip_binary() {
+    // DFA-rule schemas (the `xmlta convert --compile` artifact) round-trip
+    // exactly: representation is preserved, not just language.
+    let w = workloads::filtering_family(3);
+    let (din, dout) = match (&w.instance.input, &w.instance.output) {
+        (Schema::Dtd(i), Schema::Dtd(o)) => (i.compile_to_dfas(), o.compile_to_dfas()),
+        _ => unreachable!("filtering instances are DTD-based"),
+    };
+    let compiled = Instance::dtds(
+        w.instance.alphabet.clone(),
+        din,
+        dout,
+        w.instance.transducer.clone(),
+    );
+    assert_binary_roundtrip("filtering/compiled", &compiled);
+    let decoded = decode_instance(&encode_instance(&compiled).unwrap()).unwrap();
+    match &decoded.input {
+        Schema::Dtd(d) => assert!(d.is_dfa_dtd(), "DFA rules stay DFA rules"),
+        Schema::Nta(_) => panic!("schema kind changed"),
+    }
+}
+
+#[test]
+fn dfa_selectors_roundtrip_binary() {
+    // `selector $name = @dfa { ... }` exercises `Selector::Dfa`, which the
+    // workload families don't cover.
+    let src = "\
+input dtd {
+  start r
+  r -> x*
+  x -> t
+  t -> eps
+}
+output dtd {
+  start r
+  r -> y*
+}
+transducer {
+  states q p
+  initial q
+  selector $deep = x t
+  (q, r) -> r <p, $deep>
+  (p, t) -> y
+}
+";
+    let parsed = parse_instance(src).expect("parses");
+    assert_binary_roundtrip("dfa-selector", &parsed);
+}
+
+#[test]
+fn truncated_frames_error_at_every_prefix() {
+    let w = workloads::xpath_family(2);
+    let bytes = encode_instance(&w.instance).expect("encodes");
+    for len in 0..bytes.len() {
+        let err = decode_instance(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {len} bytes decoded successfully"));
+        assert!(
+            err.offset <= len,
+            "error offset {} past the {len}-byte prefix",
+            err.offset
+        );
+    }
+}
+
+#[test]
+fn corrupt_frames_never_panic() {
+    let w = workloads::filtering_family(2);
+    let bytes = encode_instance(&w.instance).expect("encodes");
+    // Single-byte corruptions may still decode (e.g. a flipped name byte
+    // is just another name) — the property is totality, not rejection.
+    for i in 0..bytes.len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= flip;
+            let _ = decode_instance(&corrupt);
+        }
+    }
+    // Trailing garbage after a complete instance is rejected.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    let err = decode_instance(&padded).unwrap_err();
+    assert!(err.message.contains("trailing"), "{err}");
+    assert_eq!(err.offset, bytes.len());
+}
+
+#[test]
+fn wrong_version_and_magic_are_structured_errors() {
+    let w = workloads::filtering_family(2);
+    let mut bytes = encode_instance(&w.instance).expect("encodes");
+    bytes[3] = 9;
+    let err = decode_instance(&bytes).unwrap_err();
+    assert!(err.message.contains("unsupported xtb version 9"), "{err}");
+
+    let err = decode_instance(b"XTI not binary").unwrap_err();
+    assert!(err.message.contains("bad magic"), "{err}");
+    assert_eq!(err.offset, 0);
+
+    let err = decode_instance(b"xt").unwrap_err();
+    assert!(err.message.contains("bad magic"), "{err}");
+}
+
+#[test]
+fn forged_counts_and_references_are_rejected() {
+    // A frame claiming a huge symbol count must die on the
+    // remaining-bytes bound, not allocate.
+    let mut forged = Vec::from(*binfmt::MAGIC);
+    forged.push(binfmt::VERSION);
+    forged.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x7f]); // count ≫ remaining
+    let err = decode_instance(&forged).unwrap_err();
+    assert!(err.message.contains("bytes remain"), "{err}");
+
+    // Out-of-range state references are caught before any constructor.
+    let w = workloads::filtering_family(2);
+    let bytes = encode_instance(&w.instance).expect("encodes");
+    let decoded = decode_instance(&bytes).expect("valid frame");
+    assert!(instance_eq(&w.instance, &decoded));
+}
+
+#[test]
+fn binary_batch_reports_match_text_batch_reports() {
+    let sources: Vec<(String, String)> = (0..6u64)
+        .map(|v| {
+            (
+                format!("layered-{v}"),
+                xmlta_service::gen::layered_source(3, 3, 3, v).expect("prints"),
+            )
+        })
+        .collect();
+    let text_items: Vec<BatchItem> = sources
+        .iter()
+        .map(|(n, s)| BatchItem::from_source(n.clone(), s.clone()))
+        .collect();
+    let bin_items: Vec<BatchItem> = sources
+        .iter()
+        .map(|(n, s)| {
+            let instance = parse_instance(s).expect("parses");
+            BatchItem::from_binary(n.clone(), encode_instance(&instance).expect("encodes"))
+        })
+        .collect();
+    let text_report = run_batch(&text_items, 2, None).to_json();
+    let bin_report = run_batch(&bin_items, 2, None).to_json();
+    assert_eq!(
+        text_report, bin_report,
+        "front-end must not change verdicts"
+    );
+}
+
+#[test]
+fn memo_hits_are_byte_identical_to_recomputation() {
+    // The same batch three ways: fresh cache (computed), warm cache
+    // (memo hits), and no cache at all. All three JSON reports must be
+    // byte-identical — a memo hit is indistinguishable from recomputation.
+    let sources = xmlta_service::gen::mixed_sources(22, 3, 5).expect("prints");
+    let items: Vec<BatchItem> = sources
+        .into_iter()
+        .map(|(n, s)| BatchItem::from_source(n, s))
+        .collect();
+    let cache = SchemaCache::new();
+    let computed = run_batch(&items, 2, Some(&cache)).to_json();
+    let first_hits = cache.stats().memo_hits;
+    let memoized = run_batch(&items, 2, Some(&cache)).to_json();
+    let stats = cache.stats();
+    assert!(
+        stats.memo_hits >= first_hits + items.len() as u64,
+        "second run must be all memo hits: {stats:?}"
+    );
+    assert_eq!(
+        computed, memoized,
+        "memo-hit verdicts must be byte-identical"
+    );
+    let uncached = run_batch(&items, 2, None).to_json();
+    assert_eq!(computed, uncached, "memo must agree with the direct engine");
+}
+
+#[test]
+fn memo_is_bounded_and_counts_evictions() {
+    let cache = SchemaCache::with_memo_capacity(4);
+    let sources: Vec<String> = (0..9u64)
+        .map(|v| xmlta_service::gen::layered_source(11, 2, 2, v).expect("prints"))
+        .collect();
+    for s in &sources {
+        let instance = std::sync::Arc::new(parse_instance(s).expect("parses"));
+        let _ = xmlta_service::check_instance(&instance, Some(&cache));
+    }
+    let (len, cap) = cache.memo_len();
+    assert_eq!(cap, 4);
+    assert!(len <= 4, "memo stays bounded: {len}");
+    let stats = cache.stats();
+    assert_eq!(stats.memo_evictions, 5, "9 distinct instances, capacity 4");
+    // Evicted entries recompute correctly (and identically).
+    let instance = std::sync::Arc::new(parse_instance(&sources[0]).expect("parses"));
+    let again = xmlta_service::check_instance(&instance, Some(&cache));
+    let fresh = xmlta_service::check_instance(&instance, None);
+    assert_eq!(again, fresh);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random layered instances survive the binary round-trip exactly.
+    #[test]
+    fn random_instances_roundtrip_binary(seed in 0u64..10_000) {
+        let w = workloads::random_layered_family(seed, 3, 3);
+        assert_binary_roundtrip(&w.name, &w.instance);
+    }
+
+    /// Every proper prefix of a random instance's encoding is an error,
+    /// never a panic (truncation totality, fuzzed).
+    #[test]
+    fn random_truncations_error(seed in 0u64..2_000) {
+        let w = workloads::random_layered_family(seed, 2, 2);
+        let bytes = encode_instance(&w.instance).expect("encodes");
+        let cut = (seed as usize * 31) % bytes.len();
+        prop_assert!(decode_instance(&bytes[..cut]).is_err());
+    }
+}
