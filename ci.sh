@@ -58,6 +58,23 @@ xmlta batch --threads 2 --out "$smoke/bmix.json" "$quick" "$smoke/quick.xtb"
 grep -q '"errors": 0' "$smoke/bmix.json" \
     || { echo "mixed text/binary batch errored"; exit 1; }
 
+echo "== .xts delta-stream smoke (pack + local batch + round-trip)"
+# Pack three generated instances (two sharing nothing, order preserved)
+# into one delta stream, batch it locally, and unpack it back to
+# byte-identical canonical text.
+d1="$(sed -n 1p "$smoke/files.txt")"
+d2="$(sed -n 2p "$smoke/files.txt")"
+d3="$(sed -n 3p "$smoke/files.txt")"
+xmlta convert "$d1" "$d2" "$d3" --delta --out "$smoke/all.xts"
+xmlta batch --threads 2 --out "$smoke/bstream.json" "$smoke/all.xts"
+grep -q '"errors": 0' "$smoke/bstream.json" \
+    || { echo "delta-stream batch errored"; exit 1; }
+xmlta convert "$smoke/all.xts" --out "$smoke/unpacked"
+for f in "$d1" "$d2" "$d3"; do
+    cmp "$f" "$smoke/unpacked/$(basename "$f")" \
+        || { echo "delta round-trip changed $(basename "$f")"; exit 1; }
+done
+
 echo "== xmltad server smoke (socket + register + typecheck + clean shutdown)"
 sock="$smoke/xmltad.sock"
 # A passing and a failing instance from the generated set (every 11th
@@ -85,6 +102,25 @@ xmlta client --socket "$sock" typecheck "$fail_file"
 rc=$?
 set -e
 [[ "$rc" -eq 1 ]] || { echo "failing instance: expected exit 1, got $rc"; exit 1; }
+# Pipelined client (protocol 2, depth 4): interleaved register/typecheck
+# pairs under distinct ids, output identical to the sequential client's.
+xmlta client --socket "$sock" typecheck "$pass_file" "$d2" "$d3" > "$smoke/seq.txt" \
+    || { echo "sequential client typecheck failed"; exit 1; }
+xmlta client --socket "$sock" --pipeline 4 typecheck "$pass_file" "$d2" "$d3" > "$smoke/pipe.txt" \
+    || { echo "pipelined client typecheck failed"; exit 1; }
+cmp "$smoke/seq.txt" "$smoke/pipe.txt" \
+    || { echo "pipelined client output differs from sequential"; exit 1; }
+# The failing instance keeps its exit code through the pipeline too.
+set +e
+xmlta client --socket "$sock" --pipeline 4 typecheck "$fail_file"
+rc=$?
+set -e
+[[ "$rc" -eq 1 ]] || { echo "pipelined failing instance: expected exit 1, got $rc"; exit 1; }
+# A delta stream ships whole over the v2 batch_bin op; the server report
+# must match the local batch of the same stream.
+xmlta client --socket "$sock" batch --out "$smoke/bstream-srv.json" "$smoke/all.xts"
+grep -q '"errors":0' "$smoke/bstream-srv.json" \
+    || { echo "server batch_bin errored"; exit 1; }
 xmlta client --socket "$sock" stats
 xmlta client --socket "$sock" shutdown > /dev/null
 # Clean shutdown: exit 0, no leaked workers, socket file removed.

@@ -290,7 +290,7 @@ fn main() -> ExitCode {
 
     // Server throughput on a repeated-schema workload: n layered instances
     // sharing ONE schema group (the schema is identical across all of
-    // them; transducers vary). Three ways to check the same inputs:
+    // them; transducers vary). Four ways to check the same inputs:
     //
     //   * oneshot-loop — parse + typecheck each instance with a fresh
     //     cache, emulating a `xmlta typecheck` process per instance
@@ -299,7 +299,14 @@ fn main() -> ExitCode {
     //     sources to a fresh `xmltad` over a Unix socket;
     //   * server-warm  — register every instance once, then stream
     //     `typecheck`-by-handle requests on the same connection: no
-    //     parsing, every per-schema product a cache hit.
+    //     parsing, every per-schema product a cache hit;
+    //   * server-pipelined — the same handle-only stream on a protocol-2
+    //     connection (pipeline depth 32): the reader admits work to a
+    //     per-connection pool while the writer coalesces completion-order
+    //     responses, so the sequential read→check→write→flush cycle of
+    //     the v1 path overlaps. Verdicts are asserted byte-identical to
+    //     the v1 reference per id, and the run refuses to record a
+    //     pipelined path slower than the sequential warm one.
     {
         let sources: Vec<(String, String)> = (0..1024u64)
             .map(|v| {
@@ -309,7 +316,7 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        let (oneshot, cold, warm) = server_series(&sources, &[128, 512, 1024]);
+        let (oneshot, cold, warm, pipelined) = server_series(&sources, &[128, 512, 1024]);
 
         // Result-memo hits on the same workload: every instance was
         // checked once, so a second batch short-circuits each item on its
@@ -360,7 +367,66 @@ fn main() -> ExitCode {
         series.push(("service/oneshot-loop".to_string(), oneshot));
         series.push(("service/server-cold".to_string(), cold));
         series.push(("service/server-warm".to_string(), warm));
+        series.push(("service/server-pipelined".to_string(), pipelined));
         series.push(("service/memo-hit".to_string(), memo));
+    }
+
+    // Delta-stream batches: a shared-schema fleet shipped as ONE `.xts`
+    // stream (schema section once, transducer-only frames after) decoded
+    // and checked end to end — the `batch_bin` workload. The stream's
+    // wire size must stay well under the per-instance `.xtb` frames for
+    // the same fleet (that is the format's whole point; asserted since
+    // it is deterministic, unlike 1-core timings).
+    {
+        use typecheck_core::Instance;
+        use xmlta_service::batch::stream_batch_items;
+        use xmlta_service::{encode_instance, encode_stream, parse_instance};
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let fleet: Vec<(String, Instance)> = (0..1024u64)
+            .map(|v| {
+                let source = gen::fleet_source(7, 4, 4, v).expect("generators print");
+                (
+                    format!("fleet-{v:05}"),
+                    parse_instance(&source).expect("generated instance parses"),
+                )
+            })
+            .collect();
+        let mut delta = Vec::new();
+        for n in [128usize, 512, 1024] {
+            let stream = encode_stream(fleet[..n].iter().map(|(name, i)| (name.as_str(), i)))
+                .expect("fleet encodes");
+            let millis = time_median(3, || {
+                let cache = SchemaCache::new();
+                let items = stream_batch_items(&stream).expect("stream decodes");
+                let out = run_batch(&items, threads, Some(&cache));
+                assert_eq!(out.tally().2, 0, "no fleet item may error");
+            });
+            println!(
+                "  {:<28} {n:>4}: {millis:>9.3} ms",
+                "service/batch-delta-bin"
+            );
+            if n == 1024 {
+                let individual: usize = fleet[..n]
+                    .iter()
+                    .map(|(_, i)| encode_instance(i).expect("encodes").len())
+                    .sum();
+                println!(
+                    "  (delta stream: {} bytes vs {individual} bytes as individual \
+                     .xtb frames at n={n})",
+                    stream.len()
+                );
+                assert!(
+                    2 * stream.len() < individual,
+                    "the delta stream must stay under half the per-instance frames: \
+                     {} vs {individual} bytes",
+                    stream.len()
+                );
+            }
+            delta.push(Point { param: n, millis });
+        }
+        series.push(("service/batch-delta-bin".to_string(), delta));
     }
 
     // Serialize this run.
@@ -391,14 +457,17 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Measures the `service/{oneshot-loop,server-cold,server-warm}` series on
-/// a shared-schema workload, checking on the way that warm responses are
-/// byte-identical between a 1-connection and a 4-connection run, and that
-/// the warm path beats both baselines at the largest size.
+/// Measures the `service/{oneshot-loop,server-cold,server-warm,
+/// server-pipelined}` series on a shared-schema workload, checking on the
+/// way that warm responses are byte-identical between a 1-connection and a
+/// 4-connection run, that pipelined (protocol 2, depth 32) verdicts match
+/// the sequential ones id for id, and that the warm path beats both
+/// baselines — and the pipelined path beats the warm one — at the largest
+/// size.
 fn server_series(
     sources: &[(String, String)],
     sizes: &[usize],
-) -> (Vec<Point>, Vec<Point>, Vec<Point>) {
+) -> (Vec<Point>, Vec<Point>, Vec<Point>, Vec<Point>) {
     use xmlta_server::proto;
     use xmlta_server::{serve_unix, Client, ServerConfig, Shared};
     use xmlta_service::{parse_instance, typecheck_cached};
@@ -446,6 +515,7 @@ fn server_series(
     let mut oneshot = Vec::new();
     let mut cold = Vec::new();
     let mut warm = Vec::new();
+    let mut pipelined = Vec::new();
     let reps = 3;
     for &n in sizes {
         let slice = &sources[..n];
@@ -551,6 +621,63 @@ fn server_series(
             millis: warm_ms,
         });
 
+        // Pipelined v2: a fresh connection on the same warm daemon
+        // negotiates depth 32, re-registers every handle (hash lookups,
+        // sync ops), then ships the whole typecheck stream in batched
+        // writes before reading a single response — the v2 server keeps
+        // reading while its writer catches up, so the client can batch
+        // its syscalls the way a real fleet client would. Responses
+        // arrive in completion order and are verified id-for-id against
+        // the sequential reference after the clock stops. Extra reps
+        // (vs the sequential series) because the accept gate below
+        // compares medians on a timing-noisy 1-core container.
+        let mut pclient = connect(&socket);
+        let hello = pclient
+            .roundtrip(&proto::req_hello_v2(u64::MAX, 2, Some(32)))
+            .expect("hello");
+        assert!(
+            hello.contains("\"protocol\":2") && hello.contains("\"pipeline\":32"),
+            "v2 negotiation failed: {hello}"
+        );
+        stream(&mut pclient, &register_frames);
+        let mut samples = Vec::with_capacity(reps + 2);
+        let mut last_lines: Vec<String> = Vec::new();
+        for _ in 0..reps + 2 {
+            let start = Instant::now();
+            pclient.send_all(&typecheck_frames).expect("send");
+            last_lines = typecheck_frames
+                .iter()
+                .map(|_| pclient.recv().expect("recv").expect("response"))
+                .collect();
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let pipelined_ms = median(&mut samples);
+        println!(
+            "  {:<28} {n:>4}: {pipelined_ms:>9.3} ms",
+            "service/server-pipelined"
+        );
+        pipelined.push(Point {
+            param: n,
+            millis: pipelined_ms,
+        });
+        // Verdict identity: the completion-order responses, re-ordered by
+        // id, are byte-identical to the sequential v1 transcript.
+        let mut by_id: Vec<Option<String>> = vec![None; n];
+        for line in last_lines {
+            let response = xmlta_service::parse_json(&line).expect("response is JSON");
+            let id = response
+                .get("id")
+                .and_then(xmlta_service::Json::as_u64)
+                .expect("typecheck responses echo numeric ids") as usize;
+            assert!(by_id[id].replace(line).is_none(), "id {id} answered twice");
+        }
+        let reordered: Vec<String> = by_id.into_iter().map(|l| l.expect("every id")).collect();
+        assert_eq!(
+            reordered, reference,
+            "pipelined verdicts differ from the sequential v1 run at n={n}"
+        );
+        drop(pclient);
+
         // Acceptance: the same requests over 4 connections (each taking
         // every 4th instance, re-registering its handles first — a hash
         // lookup) must produce byte-identical responses.
@@ -600,9 +727,15 @@ fn server_series(
                 "warm server path must beat cold streaming ({cold_ms:.1} ms) and \
                  one-shot loops ({oneshot_ms:.1} ms); got {warm_ms:.1} ms"
             );
+            assert!(
+                pipelined_ms < warm_ms,
+                "the pipelined v2 path must beat the sequential warm path at \
+                 n={n}: {pipelined_ms:.1} ms vs {warm_ms:.1} ms — refusing to \
+                 record a pointless pipeline"
+            );
         }
     }
-    (oneshot, cold, warm)
+    (oneshot, cold, warm, pipelined)
 }
 
 /// Pulls the previously serialized run objects back out of the report.

@@ -3,16 +3,18 @@
 //! ```text
 //! xmlta typecheck [--no-cache] FILE...
 //! xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
-//! xmlta convert INPUT [--out FILE] [--compile]
+//! xmlta convert INPUT... [--out FILE|DIR] [--compile] [--delta]
 //! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
 //! xmlta report FILE
-//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES] [--registry-cap N]
-//! xmlta client --socket PATH <action> [args]
+//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+//!             [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
+//! xmlta client --socket PATH [--pipeline N] <action> [args]
 //! ```
 //!
-//! Instance files may be textual (`.xti`) or binary (`.xtb`); every
-//! subcommand sniffs the frame magic, so both formats work everywhere a
-//! FILE is accepted.
+//! Instance files may be textual (`.xti`), binary (`.xtb`), or delta
+//! streams of many instances (`.xts`); every subcommand sniffs the frame
+//! magic, so all formats work wherever they make sense (a `.xts` carries a
+//! *batch*, so `typecheck` points at `batch`/`convert` instead).
 //!
 //! Exit codes: for `typecheck` (local or via `client`), `0` everything
 //! typechecks / `1` some instance has a counterexample / `2` some file
@@ -57,6 +59,14 @@ USAGE:
       schema products are ready — the cold batch path then skips regex
       compilation entirely.
 
+  xmlta convert INPUT... --delta --out FILE
+      Pack many instances (.xti/.xtb) into one .xts delta stream: a
+      schema section is emitted only when the schema context changes, so
+      order shared-schema inputs adjacently and they ride as bare
+      transducer frames. Converting a .xts INPUT back (no --delta)
+      unpacks it into canonical .xti files under --out DIR (default:
+      INPUT with its extension stripped).
+
   xmlta gen <family> [--out DIR] [--count N] [--groups G] [--seed S]
             [--depth D] [--layers L] [--width K]
       Write generated instance files into DIR (default `instances/`),
@@ -71,10 +81,13 @@ USAGE:
   xmlta report FILE
       Summarize a batch JSON report (pretty or single-line form).
 
-  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES] [--registry-cap N]
+  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+              [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
       Run the persistent typechecking server (same as `xmltad`).
+      --pipeline-depth caps the in-flight window a protocol-2 client may
+      negotiate (default 32).
 
-  xmlta client --socket PATH <action>
+  xmlta client --socket PATH [--pipeline N] <action>
       Talk to a running server. Actions:
         register FILE...         register instances (.xtb files go over
                                  the binary `register_bin` frame);
@@ -83,10 +96,18 @@ USAGE:
                                  by handle on this connection) or @HANDLE;
                                  prints and exits like local `typecheck`
         batch [--threads N] [--out FILE] PATH...
-                                 server-side batch over files/directories
+                                 server-side batch over files/directories;
+                                 a single .xts PATH ships as one binary
+                                 `batch_bin` stream (protocol 2)
         raw                      JSONL passthrough: frames from stdin,
                                  responses to stdout
         ping | stats | shutdown  one request, response printed as JSON
+
+      --pipeline N negotiates protocol 2 and keeps up to N requests in
+      flight (typecheck interleaves register/typecheck pairs under
+      distinct ids and correlates the completion-order responses); the
+      printed results and exit codes are identical to the sequential
+      client's.
 
       Handles are per-connection: a handle is valid for the invocation
       that registered it (every `client` action is one connection).
@@ -129,6 +150,8 @@ struct Opts {
     socket: Option<PathBuf>,
     no_cache: bool,
     compile: bool,
+    delta: bool,
+    pipeline: Option<usize>,
     count: Option<usize>,
     groups: Option<usize>,
     seed: Option<u64>,
@@ -145,6 +168,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         socket: None,
         no_cache: false,
         compile: false,
+        delta: false,
+        pipeline: None,
         count: None,
         groups: None,
         seed: None,
@@ -163,6 +188,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--socket" => o.socket = Some(PathBuf::from(value("--socket")?)),
             "--no-cache" => o.no_cache = true,
             "--compile" => o.compile = true,
+            "--delta" => o.delta = true,
+            "--pipeline" => o.pipeline = Some(parse_num(value("--pipeline")?)?),
             "--count" => o.count = Some(parse_num(value("--count")?)?),
             "--groups" => o.groups = Some(parse_num(value("--groups")?)?),
             "--seed" => o.seed = Some(parse_num(value("--seed")?)?),
@@ -190,18 +217,26 @@ enum Payload {
     Text(String),
     /// A binary `.xtb` frame.
     Binary(Vec<u8>),
+    /// A `.xts` delta stream (many instances).
+    Stream(Vec<u8>),
 }
 
-/// Reads an instance file, sniffing text vs binary.
+/// Reads an instance file, sniffing text vs binary vs delta stream.
 fn read_payload(path: impl AsRef<Path>) -> Result<Payload, String> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
     if binfmt::is_xtb(&bytes) {
         return Ok(Payload::Binary(bytes));
     }
-    String::from_utf8(bytes)
-        .map(Payload::Text)
-        .map_err(|_| format!("{}: neither an .xtb frame nor UTF-8 text", path.display()))
+    if binfmt::is_xts(&bytes) {
+        return Ok(Payload::Stream(bytes));
+    }
+    String::from_utf8(bytes).map(Payload::Text).map_err(|_| {
+        format!(
+            "{}: neither an .xtb/.xts frame nor UTF-8 text",
+            path.display()
+        )
+    })
 }
 
 /// Parses or decodes a payload into an instance; the error string carries
@@ -212,6 +247,9 @@ fn load_instance(payload: &Payload) -> Result<Instance, String> {
         Payload::Binary(bytes) => {
             binfmt::decode_instance(bytes).map_err(|e| format!("decode error: {e}"))
         }
+        Payload::Stream(_) => Err("is a .xts delta stream (a batch, not one instance); \
+                 use `xmlta batch` or `xmlta convert`"
+            .into()),
     }
 }
 
@@ -274,8 +312,9 @@ fn exit_for(saw_counterexample: bool, saw_error: bool) -> ExitCode {
     }
 }
 
-/// Expands files and directories (scanned non-recursively for `*.xti` and
-/// `*.xtb`, sorted by name) into ordered `(name, payload)` pairs.
+/// Expands files and directories (scanned non-recursively for `*.xti`,
+/// `*.xtb`, and `*.xts`, sorted by name) into ordered `(name, payload)`
+/// pairs.
 fn collect_sources(paths: &[String]) -> Result<Vec<(String, Payload)>, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for p in paths {
@@ -286,7 +325,7 @@ fn collect_sources(paths: &[String]) -> Result<Vec<(String, Payload)>, String> {
                 .filter_map(|e| e.ok().map(|e| e.path()))
                 .filter(|p| {
                     p.extension()
-                        .is_some_and(|ext| ext == "xti" || ext == "xtb")
+                        .is_some_and(|ext| ext == "xti" || ext == "xtb" || ext == "xts")
                 })
                 .collect();
             entries.sort();
@@ -311,13 +350,19 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if opts.positional.is_empty() {
         return Err("batch needs at least one PATH".into());
     }
-    let items: Vec<BatchItem> = collect_sources(&opts.positional)?
-        .into_iter()
-        .map(|(name, payload)| match payload {
-            Payload::Text(source) => BatchItem::from_source(name, source),
-            Payload::Binary(bytes) => BatchItem::from_binary(name, bytes),
-        })
-        .collect();
+    let mut items: Vec<BatchItem> = Vec::new();
+    for (name, payload) in collect_sources(&opts.positional)? {
+        match payload {
+            Payload::Text(source) => items.push(BatchItem::from_source(name, source)),
+            Payload::Binary(bytes) => items.push(BatchItem::from_binary(name, bytes)),
+            // A delta stream expands into its embedded instances, named by
+            // the stream (so local reports match server `batch_bin` ones).
+            Payload::Stream(bytes) => items.extend(
+                xmlta_service::stream_batch_items(&bytes)
+                    .map_err(|e| format!("{name}: decode error: {e}"))?,
+            ),
+        }
+    }
     if items.is_empty() {
         return Err("no instance files found".into());
     }
@@ -357,23 +402,29 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// `xmlta convert INPUT [--out FILE] [--compile]` — `.xti` ↔ `.xtb`.
+/// `xmlta convert INPUT... [--out FILE|DIR] [--compile] [--delta]` —
+/// `.xti` ↔ `.xtb`, many-to-one `.xts` packing, and `.xts` unpacking.
 fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
+    if opts.delta {
+        return convert_delta(&opts);
+    }
     let [input] = opts.positional.as_slice() else {
-        return Err("convert needs exactly one INPUT file".into());
+        return Err("convert needs exactly one INPUT file (or --delta for many)".into());
     };
     let payload = read_payload(input)?;
+    if let Payload::Stream(bytes) = &payload {
+        if opts.compile {
+            return Err("--compile only applies to text → binary conversion".into());
+        }
+        return extract_stream(&opts, input, bytes);
+    }
     let mut instance = load_instance(&payload).map_err(|e| format!("{input}: {e}"))?;
     let (out, bytes) = match payload {
         Payload::Text(_) => {
             if opts.compile {
-                let compile = |schema: &Schema| match schema {
-                    Schema::Dtd(d) => Schema::Dtd(d.compile_to_dfas()),
-                    Schema::Nta(n) => Schema::Nta(n.clone()),
-                };
-                instance.input = compile(&instance.input);
-                instance.output = compile(&instance.output);
+                instance.input = compile_schema(&instance.input);
+                instance.output = compile_schema(&instance.output);
             }
             let bytes = binfmt::encode_instance(&instance)
                 .map_err(|e| format!("{input}: cannot encode: {e}"))?;
@@ -387,9 +438,85 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
                 print_instance(&instance).map_err(|e| format!("{input}: cannot print: {e}"))?;
             (default_out(&opts, input, "xti"), text.into_bytes())
         }
+        Payload::Stream(_) => unreachable!("handled above"),
     };
     std::fs::write(&out, bytes).map_err(|e| format!("{}: {e}", out.display()))?;
     println!("{}", out.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Compiles a DTD schema's rules to DFAs (NTAs pass through).
+fn compile_schema(schema: &Schema) -> Schema {
+    match schema {
+        Schema::Dtd(d) => Schema::Dtd(d.compile_to_dfas()),
+        Schema::Nta(n) => Schema::Nta(n.clone()),
+    }
+}
+
+/// `convert INPUT... --delta --out FILE`: pack instances into one `.xts`
+/// delta stream, embedded names taken from the input file stems.
+fn convert_delta(opts: &Opts) -> Result<ExitCode, String> {
+    if opts.positional.is_empty() {
+        return Err("convert --delta needs at least one INPUT file".into());
+    }
+    let out = opts
+        .out
+        .clone()
+        .ok_or("convert --delta needs --out FILE (the stream to write)")?;
+    let mut named: Vec<(String, Instance)> = Vec::with_capacity(opts.positional.len());
+    for input in &opts.positional {
+        let payload = read_payload(input)?;
+        let mut instance = load_instance(&payload).map_err(|e| format!("{input}: {e}"))?;
+        if opts.compile {
+            instance.input = compile_schema(&instance.input);
+            instance.output = compile_schema(&instance.output);
+        }
+        let stem = Path::new(input)
+            .file_stem()
+            .ok_or_else(|| format!("{input}: no file name to derive an instance name from"))?
+            .to_string_lossy()
+            .into_owned();
+        named.push((format!("{stem}.xti"), instance));
+    }
+    let bytes = binfmt::encode_stream(named.iter().map(|(n, i)| (n.as_str(), i)))
+        .map_err(|e| format!("cannot encode stream: {e}"))?;
+    std::fs::write(&out, &bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!("{}", out.display());
+    eprintln!(
+        "xmlta convert: packed {} instance(s) into {} ({} bytes)",
+        named.len(),
+        out.display(),
+        bytes.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Unpacks a `.xts` stream into canonical `.xti` files under a directory.
+fn extract_stream(opts: &Opts, input: &str, bytes: &[u8]) -> Result<ExitCode, String> {
+    let instances =
+        binfmt::decode_stream(bytes).map_err(|e| format!("{input}: decode error: {e}"))?;
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| Path::new(input).with_extension(""));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for (name, instance) in &instances {
+        // Embedded names are labels, not paths: keep only the final
+        // component so a hostile stream cannot write outside the target.
+        let file = Path::new(name)
+            .file_name()
+            .ok_or_else(|| format!("{input}: instance name `{name}` has no file component"))?;
+        let text = print_instance(instance)
+            .map_err(|e| format!("{input}: instance `{name}`: cannot print: {e}"))?;
+        let path = dir.join(file);
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("{}", path.display());
+    }
+    eprintln!(
+        "xmlta convert: unpacked {} instance(s) into {}",
+        instances.len(),
+        dir.display()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -522,9 +649,15 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         );
     };
     let mut client = Client::connect(socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    if let Some(depth) = opts.pipeline {
+        negotiate_v2(&mut client, Some(depth))?;
+    }
     match action.as_str() {
         "register" => client_register(&mut client, targets),
-        "typecheck" => client_typecheck(&mut client, targets),
+        "typecheck" => match opts.pipeline {
+            Some(depth) => client_typecheck_pipelined(&mut client, targets, depth),
+            None => client_typecheck(&mut client, targets),
+        },
         "batch" => client_batch(&mut client, &opts, targets),
         "raw" => client_raw(&mut client),
         "ping" | "stats" | "shutdown" => {
@@ -571,6 +704,11 @@ fn register_frame_for(path: &str, id: u64) -> Result<String, String> {
     Ok(match read_payload(path)? {
         Payload::Text(source) => proto::req_register(id, &source),
         Payload::Binary(bytes) => proto::req_register_bin(id, &bytes),
+        Payload::Stream(_) => {
+            return Err(format!(
+                "{path}: is a .xts delta stream; use `client batch`"
+            ))
+        }
     })
 }
 
@@ -590,6 +728,43 @@ fn client_register(client: &mut Client, files: &[String]) -> Result<ExitCode, St
         println!("{path} {handle}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Prints one typecheck response for `target`, updating the exit flags —
+/// shared by the sequential and pipelined client paths so their output is
+/// identical for the same responses.
+fn print_check_response(
+    target: &str,
+    response: &Json,
+    saw_counterexample: &mut bool,
+    saw_error: &mut bool,
+) {
+    if let Some(e) = response_error(response) {
+        println!("{target}: {e}");
+        *saw_error = true;
+        return;
+    }
+    match response.get("status").and_then(Json::as_str) {
+        Some("typechecks") => println!("{target}: typechecks"),
+        Some("counterexample") => {
+            let input = response.get("input").and_then(Json::as_str).unwrap_or("?");
+            println!("{target}: counterexample input: {input}");
+            match response.get("output").and_then(Json::as_str) {
+                Some(o) => println!("{target}: counterexample image: {o}"),
+                None => println!("{target}: counterexample image is not a tree"),
+            }
+            *saw_counterexample = true;
+        }
+        Some("error") => {
+            let message = response.get("message").and_then(Json::as_str).unwrap_or("");
+            println!("{target}: error: {message}");
+            *saw_error = true;
+        }
+        other => {
+            println!("{target}: unexpected status {other:?}");
+            *saw_error = true;
+        }
+    }
 }
 
 fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode, String> {
@@ -619,32 +794,126 @@ fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode,
             }
         };
         let response = client_roundtrip(client, &frame)?;
-        if let Some(e) = response_error(&response) {
-            println!("{target}: {e}");
-            saw_error = true;
-            continue;
+        print_check_response(target, &response, &mut saw_counterexample, &mut saw_error);
+    }
+    Ok(exit_for(saw_counterexample, saw_error))
+}
+
+/// Negotiates protocol 2 on a fresh connection; returns the granted
+/// pipeline depth.
+fn negotiate_v2(client: &mut Client, depth: Option<usize>) -> Result<usize, String> {
+    let response = client_roundtrip(client, &proto::req_hello_v2(0, 2, depth))?;
+    if let Some(e) = response_error(&response) {
+        return Err(format!("hello: {e}"));
+    }
+    response
+        .get("pipeline")
+        .and_then(Json::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| "server granted no pipeline (protocol 2 unsupported?)".into())
+}
+
+/// Streams `frames` with up to `window` unanswered requests in flight and
+/// returns the responses keyed by their echoed numeric id. The v2 server
+/// answers in completion order, so the map — not arrival order — is the
+/// correlation structure.
+fn pipeline_frames(
+    client: &mut Client,
+    frames: &[String],
+    window: usize,
+) -> Result<std::collections::HashMap<u64, Json>, String> {
+    let window = window.max(1);
+    let mut responses = std::collections::HashMap::with_capacity(frames.len());
+    let mut sent = 0usize;
+    while responses.len() < frames.len() {
+        while sent < frames.len() && sent - responses.len() < window {
+            client.send(&frames[sent]).map_err(|e| e.to_string())?;
+            sent += 1;
         }
-        match response.get("status").and_then(Json::as_str) {
-            Some("typechecks") => println!("{target}: typechecks"),
-            Some("counterexample") => {
-                let input = response.get("input").and_then(Json::as_str).unwrap_or("?");
-                println!("{target}: counterexample input: {input}");
-                match response.get("output").and_then(Json::as_str) {
-                    Some(o) => println!("{target}: counterexample image: {o}"),
-                    None => println!("{target}: counterexample image is not a tree"),
-                }
-                saw_counterexample = true;
+        let line = client
+            .recv()
+            .map_err(|e| e.to_string())?
+            .ok_or("server closed the connection mid-pipeline")?;
+        let response = parse_json(&line).map_err(|e| format!("bad response from server: {e}"))?;
+        let id = response
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("response without a numeric id: {line}"))?;
+        if responses.insert(id, response).is_some() {
+            return Err(format!("server answered id {id} twice"));
+        }
+    }
+    Ok(responses)
+}
+
+/// The pipelined `client typecheck`: register/typecheck pairs for every
+/// target ride the wire interleaved under distinct ids (handles are
+/// content-derived, so the typecheck frame is built client-side without
+/// waiting for the register reply — the v2 server resolves handles in
+/// request order, so the pair can never miss). Output and exit codes match
+/// the sequential client's.
+fn client_typecheck_pipelined(
+    client: &mut Client,
+    targets: &[String],
+    depth: usize,
+) -> Result<ExitCode, String> {
+    if targets.is_empty() {
+        return Err("typecheck needs at least one FILE or @HANDLE".into());
+    }
+    let mut frames: Vec<String> = Vec::with_capacity(2 * targets.len());
+    // Per target: the id of its register frame (if any) and its typecheck.
+    let mut plan: Vec<(Option<u64>, u64)> = Vec::with_capacity(targets.len());
+    for (i, target) in targets.iter().enumerate() {
+        let reg_id = 2 * i as u64 + 1;
+        let check_id = 2 * i as u64 + 2;
+        match target.strip_prefix('@') {
+            Some(handle) => {
+                frames.push(proto::req_typecheck_handle(check_id, handle));
+                plan.push((None, check_id));
             }
-            Some("error") => {
-                let message = response.get("message").and_then(Json::as_str).unwrap_or("");
-                println!("{target}: error: {message}");
-                saw_error = true;
-            }
-            other => {
-                println!("{target}: unexpected status {other:?}");
-                saw_error = true;
+            None => {
+                let (register, handle) = match read_payload(target)? {
+                    Payload::Text(source) => {
+                        let handle = xmlta_server::state::handle_for_source(&source);
+                        (proto::req_register(reg_id, &source), handle)
+                    }
+                    Payload::Binary(bytes) => {
+                        let handle = xmlta_server::state::handle_for_binary(&bytes);
+                        (proto::req_register_bin(reg_id, &bytes), handle)
+                    }
+                    Payload::Stream(_) => {
+                        return Err(format!(
+                            "{target}: is a .xts delta stream; use `client batch`"
+                        ))
+                    }
+                };
+                frames.push(register);
+                frames.push(proto::req_typecheck_handle(check_id, &handle));
+                plan.push((Some(reg_id), check_id));
             }
         }
+    }
+    let responses = pipeline_frames(client, &frames, depth)?;
+    let mut saw_counterexample = false;
+    let mut saw_error = false;
+    for (target, (reg_id, check_id)) in targets.iter().zip(&plan) {
+        if let Some(reg_id) = reg_id {
+            let registered = responses
+                .get(reg_id)
+                .ok_or_else(|| format!("{target}: no response for register id {reg_id}"))?;
+            if let Some(e) = response_error(registered) {
+                // The paired typecheck saw `unknown-handle`; the register
+                // failure is the root cause, so report only it (matching
+                // the sequential client, which never sends the pair).
+                println!("{target}: {e}");
+                saw_error = true;
+                continue;
+            }
+        }
+        let response = responses
+            .get(check_id)
+            .ok_or_else(|| format!("{target}: no response for typecheck id {check_id}"))?;
+        print_check_response(target, response, &mut saw_counterexample, &mut saw_error);
     }
     Ok(exit_for(saw_counterexample, saw_error))
 }
@@ -669,11 +938,30 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
     if paths.is_empty() {
         return Err("batch needs at least one PATH".into());
     }
+    let sources = collect_sources(paths)?;
+    // A delta stream ships whole over the binary `batch_bin` channel
+    // (protocol 2): one frame in, one report out.
+    if sources.iter().any(|(_, p)| matches!(p, Payload::Stream(_))) {
+        let [(name, Payload::Stream(bytes))] = sources.as_slice() else {
+            return Err(
+                "a .xts delta stream must be the only batch input (it is a whole batch)".into(),
+            );
+        };
+        if opts.pipeline.is_none() {
+            // `cmd_client` already negotiated when --pipeline was given.
+            negotiate_v2(client, None)?;
+        }
+        let response = client_roundtrip(client, &proto::req_batch_bin(1, bytes, opts.threads))?;
+        if let Some(e) = response_error(&response) {
+            return Err(format!("{name}: {e}"));
+        }
+        return finish_batch(opts, &response);
+    }
     // Text payloads ride inline; binary payloads are registered over
     // `register_bin` first and ride as handles (the batch op itself has
     // no binary target — handles are the binary path's steady state).
     let mut items: Vec<BatchItemReq> = Vec::new();
-    for (i, (name, payload)) in collect_sources(paths)?.into_iter().enumerate() {
+    for (i, (name, payload)) in sources.into_iter().enumerate() {
         let target = match payload {
             Payload::Text(source) => Target::Source(source),
             Payload::Binary(bytes) => {
@@ -688,6 +976,7 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
                     .ok_or_else(|| format!("{name}: response has no handle"))?;
                 Target::Handle(handle.to_string())
             }
+            Payload::Stream(_) => unreachable!("streams handled above"),
         };
         items.push(BatchItemReq { name, target });
     }
@@ -698,10 +987,12 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
     if let Some(e) = response_error(&response) {
         return Err(e);
     }
-    let report = response
-        .get("report")
-        .ok_or("response has no report")?
-        .clone();
+    finish_batch(opts, &response)
+}
+
+/// Writes or summarizes the report of a `batch`/`batch_bin` response.
+fn finish_batch(opts: &Opts, response: &Json) -> Result<ExitCode, String> {
+    let report = response.get("report").ok_or("response has no report")?;
     match &opts.out {
         Some(path) => {
             let mut rendered = String::new();
@@ -710,6 +1001,6 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
             std::fs::write(path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
             Ok(ExitCode::SUCCESS)
         }
-        None => summarize_report("batch", &report),
+        None => summarize_report("batch", report),
     }
 }

@@ -1,8 +1,8 @@
 //! The `xmltad` daemon binary.
 //!
 //! ```text
-//! xmltad --socket PATH [--max-frame BYTES]
-//! xmltad --stdio      [--max-frame BYTES]
+//! xmltad --socket PATH [OPTIONS]
+//! xmltad --stdio      [OPTIONS]
 //! ```
 //!
 //! Exit codes: `0` clean shutdown (or stdio EOF), `1` leaked/panicked
@@ -14,12 +14,16 @@ const USAGE: &str = "\
 xmltad — persistent typechecking server
 
 USAGE:
-  xmltad --socket PATH [--max-frame BYTES]
+  xmltad --socket PATH [--max-frame BYTES] [--registry-cap N]
+         [--memo-cap N] [--pipeline-depth N]
       Bind a Unix socket at PATH and serve connections until a client
       sends a `shutdown` request. The socket file must not exist yet and
-      is removed on exit.
+      is removed on exit. --pipeline-depth caps the in-flight window a
+      protocol-2 client may negotiate (default 32); --registry-cap and
+      --memo-cap bound the prepared-instance registry and the typecheck
+      result memo.
 
-  xmltad --stdio [--max-frame BYTES]
+  xmltad --stdio [same options]
       Serve a single session over stdin/stdout (one process = one
       connection); exits at EOF or on `shutdown`.
 

@@ -6,13 +6,21 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Parses serve-mode arguments (`--socket PATH | --stdio`,
-/// `[--max-frame BYTES] [--registry-cap N]`) and runs the server. `name`
-/// labels error output; `usage` is printed for `--help`.
+/// `[--max-frame BYTES] [--registry-cap N] [--memo-cap N]
+/// [--pipeline-depth N]`) and runs the server. `name` labels error output;
+/// `usage` is printed for `--help`.
 pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
     let mut socket: Option<PathBuf> = None;
     let mut stdio = false;
     let mut config = ServerConfig::default();
     let mut registry_cap = crate::state::DEFAULT_REGISTRY_CAPACITY;
+    let mut memo_cap = xmlta_service::cache::DEFAULT_MEMO_CAPACITY;
+    fn count_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+        it.next()
+            .ok_or(format!("{flag} needs a count"))?
+            .parse()
+            .map_err(|_| format!("invalid {flag} value"))
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -22,20 +30,10 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
                 ))
             }
             "--stdio" => stdio = true,
-            "--max-frame" => {
-                config.max_frame = it
-                    .next()
-                    .ok_or("--max-frame needs a byte count")?
-                    .parse()
-                    .map_err(|_| "invalid --max-frame value".to_string())?
-            }
-            "--registry-cap" => {
-                registry_cap = it
-                    .next()
-                    .ok_or("--registry-cap needs a count")?
-                    .parse()
-                    .map_err(|_| "invalid --registry-cap value".to_string())?
-            }
+            "--max-frame" => config.max_frame = count_value(&mut it, "--max-frame")?,
+            "--registry-cap" => registry_cap = count_value(&mut it, "--registry-cap")?,
+            "--memo-cap" => memo_cap = count_value(&mut it, "--memo-cap")?,
+            "--pipeline-depth" => config.pipeline_depth = count_value(&mut it, "--pipeline-depth")?,
             "--help" | "-h" => {
                 print!("{usage}");
                 return Ok(ExitCode::SUCCESS);
@@ -43,7 +41,7 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
             other => return Err(format!("unknown argument `{other}`\n\n{usage}")),
         }
     }
-    let shared = Shared::with_registry_capacity(registry_cap);
+    let shared = Shared::with_capacities(registry_cap, memo_cap);
     match (socket, stdio) {
         (Some(path), false) => match serve_unix(&path, shared, config) {
             Ok(()) => Ok(ExitCode::SUCCESS),

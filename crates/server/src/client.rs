@@ -3,12 +3,15 @@
 //! Transport-level by design: callers build request frames with the
 //! constructors in [`crate::proto`] and read response lines back, either
 //! strictly ([`Client::roundtrip`]) or pipelined ([`Client::send`] many,
-//! then [`Client::recv`] as many) — the server answers every frame in
-//! order, so pipelining needs no correlation logic. Keep the pipelining
-//! window bounded (a few dozen frames): the server writes responses
-//! synchronously, so a client that writes unboundedly without reading
-//! deadlocks with the server once the response direction's socket buffer
-//! fills.
+//! then [`Client::recv`] as many). On a v1 connection the server answers
+//! every frame in order, so pipelining needs no correlation logic — but
+//! keep the window bounded (a few dozen frames): the v1 server writes
+//! responses synchronously, so a client that writes unboundedly without
+//! reading deadlocks once the response direction's socket buffer fills.
+//! After a `hello` negotiates protocol 2, responses arrive in *completion*
+//! order (correlate by `id`), and the server's reader keeps draining
+//! frames while a dedicated writer catches up — a v2 connection absorbs
+//! arbitrarily deep pipelining without deadlock.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -33,6 +36,23 @@ impl Client {
     pub fn send(&mut self, frame: &str) -> std::io::Result<()> {
         self.stream.write_all(frame.as_bytes())?;
         self.stream.write_all(b"\n")
+    }
+
+    /// Sends many frames in large batched writes — the deep-pipelining
+    /// fast path for v2 connections, where the server keeps reading while
+    /// its writer catches up (on a v1 connection, only send more frames
+    /// than the server can buffer responses for if you enjoy deadlocks).
+    pub fn send_all<S: AsRef<str>>(&mut self, frames: &[S]) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(64 * 1024);
+        for frame in frames {
+            buf.extend_from_slice(frame.as_ref().as_bytes());
+            buf.push(b'\n');
+            if buf.len() >= 60 * 1024 {
+                self.stream.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+        self.stream.write_all(&buf)
     }
 
     /// Receives one response line, or `None` when the server closed the

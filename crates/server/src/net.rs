@@ -26,6 +26,8 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// How long shutdown waits for in-flight connections to finish.
     pub drain: Duration,
+    /// Cap on the per-connection pipeline depth a v2 `hello` may request.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +35,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_frame: crate::proto::DEFAULT_MAX_FRAME,
             drain: Duration::from_secs(10),
+            pipeline_depth: crate::proto::DEFAULT_PIPELINE_DEPTH,
         }
     }
 }
@@ -70,15 +73,16 @@ impl From<std::io::Error> for ServeError {
 
 /// Serves a single session over stdin/stdout (the `--stdio` mode): the
 /// same protocol with the process as the connection. Returns on EOF,
-/// `shutdown`, or an oversized frame.
+/// `shutdown`, or an oversized frame. The handles stay unlocked (locked
+/// handles cannot cross into the pipelined loop's reader thread); the
+/// process is the only user of its stdio anyway.
 pub fn serve_stdio(shared: Arc<Shared>, config: &ServerConfig) -> std::io::Result<SessionEnd> {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
     let mut session = Session::new(shared);
+    session.set_pipeline_cap(config.pipeline_depth);
     serve_stream(
         &mut session,
-        stdin.lock(),
-        BufWriter::new(stdout.lock()),
+        BufReader::new(std::io::stdin()),
+        BufWriter::new(std::io::stdout()),
         config.max_frame,
     )
 }
@@ -195,6 +199,7 @@ fn serve_connection(
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
     let mut session = Session::new(shared);
+    session.set_pipeline_cap(config.pipeline_depth);
     serve_stream(&mut session, reader, writer, config.max_frame)
 }
 

@@ -1,4 +1,4 @@
-//! The versioned line-delimited JSON protocol (v1).
+//! The versioned line-delimited JSON protocol (v1 and v2).
 //!
 //! # Frames
 //!
@@ -15,19 +15,51 @@
 //! {"v": 1, "id": 7, "op": "typecheck", "handle": "i2f0c..."}
 //! ```
 //!
-//! * `v` — optional protocol version; absent means 1. Any other value is
-//!   answered with `unsupported-protocol`. New fields may be added to
-//!   requests and responses within a version; clients must ignore fields
-//!   they do not know. Incompatible changes bump `v`.
+//! * `v` — optional protocol version; absent means 1. A value above what
+//!   the *connection* speaks (1 until a `hello` negotiates 2) is answered
+//!   with `unsupported-protocol`. New fields may be added to requests and
+//!   responses within a version; clients must ignore fields they do not
+//!   know. Incompatible changes bump `v`.
 //! * `id` — optional string or number, echoed verbatim in the response
-//!   (`null` when absent). Responses on one connection always arrive in
-//!   request order, so ids are a client convenience, not a correlation
-//!   necessity.
+//!   (`null` when absent). On a v1 connection responses arrive in request
+//!   order, so ids are a client convenience; on a pipelined v2 connection
+//!   responses arrive in *completion* order and the id is the correlation
+//!   key.
 //! * `op` — the operation; remaining fields are per-op (see [`Op`]).
+//!
+//! # Protocol v2: pipelining and binary batches
+//!
+//! A connection starts in v1 (strictly sequential — byte-identical to the
+//! pre-v2 server). A `hello` carrying `max_v` negotiates the highest
+//! version both sides speak; granting 2 switches the connection into
+//! pipelined mode:
+//!
+//! ```text
+//! {"id":0,"op":"hello","max_v":2,"pipeline":8,"accepts":["xti","xtb"]}
+//! → {"id":0,"ok":true,"server":"xmltad","protocol":2,"formats":["xti","xtb"],"pipeline":8}
+//! ```
+//!
+//! * `pipeline` requests an in-flight window (default: the server's cap,
+//!   `--pipeline-depth`). Asking beyond the cap is answered with a
+//!   `pipeline-depth-exceeded` error naming the cap — the backpressure
+//!   reply; the connection stays at its previous version and the client
+//!   re-hellos with a smaller depth.
+//! * On a v2 connection, up to `pipeline` expensive requests
+//!   (`typecheck`, `batch`, `batch_bin`) execute concurrently on a
+//!   per-connection worker pool; responses are written in completion
+//!   order. Cheap, order-sensitive ops (`hello`, `ping`, `register`,
+//!   `register_bin`, `stats`) execute in the read loop in request order,
+//!   so a handle registered by frame *n* is always visible to frame
+//!   *n+1* — per-`id` responses stay a pure function of the request
+//!   stream, never of scheduling.
+//! * `batch_bin` ships a delta `.xts` stream (schema-once,
+//!   transducer-only instance frames after; see
+//!   `xmlta_service::binfmt`) base64-encoded in `data`, and answers with
+//!   the same deterministic report as `batch`.
 //!
 //! # Responses
 //!
-//! One frame per request, in request order:
+//! One frame per request (request order on v1, completion order on v2):
 //!
 //! ```text
 //! {"id":7,"ok":true,"status":"typechecks"}
@@ -35,15 +67,22 @@
 //! ```
 //!
 //! Responses carry no timings or cache counters (the `stats` op is the
-//! explicit exception), so a connection's response bytes are a pure
-//! function of its request bytes — the determinism property the
-//! integration tests and the bench assert.
+//! explicit exception), so a connection's response bytes — keyed by `id`
+//! on v2 — are a pure function of its request bytes: the determinism
+//! property the integration tests, the differential suite, and the bench
+//! assert.
 
 use std::fmt::Write as _;
 use xmlta_service::{parse_json, Json};
 
-/// The protocol version this crate speaks.
+/// The protocol version every connection starts in.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The highest protocol version a `hello` can negotiate.
+pub const MAX_PROTOCOL_VERSION: u64 = 2;
+
+/// Default cap on the per-connection pipeline depth (`--pipeline-depth`).
+pub const DEFAULT_PIPELINE_DEPTH: usize = 32;
 
 /// Instance payload formats this server ingests, in preference order —
 /// what a `hello` with an `accepts` array negotiates against.
@@ -68,6 +107,9 @@ pub mod code {
     pub const UNKNOWN_HANDLE: &str = "unknown-handle";
     /// A `register` source that does not parse as an instance.
     pub const INVALID_INSTANCE: &str = "invalid-instance";
+    /// A `hello` asked for a pipeline depth beyond the server's cap — the
+    /// backpressure reply; retry with a depth at or under the cap it names.
+    pub const PIPELINE_DEPTH_EXCEEDED: &str = "pipeline-depth-exceeded";
     /// The request handler panicked (isolated per request).
     pub const INTERNAL: &str = "internal";
 }
@@ -96,12 +138,18 @@ pub enum Op {
     /// Protocol handshake/identification (optional). A client may send an
     /// `accepts` array of payload format names (`"xti"`, `"xtb"`); when it
     /// does, the response carries a `formats` array naming the subset the
-    /// server speaks — the negotiation gate for `register_bin`. Requests
-    /// without `accepts` get the original response, byte for byte, so v1
-    /// text clients are untouched.
+    /// server speaks — the negotiation gate for `register_bin`. A `max_v`
+    /// field negotiates the protocol version (granting 2 turns on
+    /// pipelining; `pipeline` requests the in-flight window). Requests
+    /// without any of these fields get the original response, byte for
+    /// byte, so v1 text clients are untouched.
     Hello {
         /// The client's `accepts` list, when present.
         accepts: Option<Vec<String>>,
+        /// The highest protocol version the client speaks, when present.
+        max_v: Option<u64>,
+        /// The requested pipeline depth, when present (v2 only).
+        pipeline: Option<usize>,
     },
     /// Liveness probe.
     Ping,
@@ -126,6 +174,17 @@ pub enum Op {
     Batch {
         /// The items, in report order.
         items: Vec<BatchItemReq>,
+        /// Worker threads for this batch (server-clamped; default 1).
+        threads: Option<usize>,
+    },
+    /// Typecheck a delta `.xts` stream (v2 connections only): one schema
+    /// prefix, transducer-only instance frames after. The frame carries
+    /// the stream base64-encoded in `data`; the response is the same
+    /// deterministic report a `batch` yields, item names taken from the
+    /// stream.
+    BatchBin {
+        /// The decoded `.xts` stream bytes.
+        data: Vec<u8>,
         /// Worker threads for this batch (server-clamped; default 1).
         threads: Option<usize>,
     },
@@ -165,8 +224,11 @@ impl Reject {
     }
 }
 
-/// Parses one frame into a [`Request`].
-pub fn parse_request(line: &str) -> Result<Request, Reject> {
+/// Parses one frame into a [`Request`]. `max_version` is what the
+/// *connection* currently speaks: 1 until a `hello` negotiates 2, so
+/// un-upgraded connections reject v2 frames (and the `batch_bin` op) with
+/// byte-identical v1 replies.
+pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
     let frame = parse_json(line).map_err(|e| {
         Reject::new(
             Json::Null,
@@ -190,12 +252,14 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
         ));
     }
     if let Some(v) = frame.get("v") {
-        if v.as_u64() != Some(PROTOCOL_VERSION) {
-            return Err(Reject::new(
-                id,
-                code::UNSUPPORTED_PROTOCOL,
-                format!("this server speaks protocol version {PROTOCOL_VERSION}"),
-            ));
+        if !v.as_u64().is_some_and(|v| (1..=max_version).contains(&v)) {
+            let message = if max_version <= 1 {
+                // The pinned v1 reply, byte for byte.
+                format!("this server speaks protocol version {PROTOCOL_VERSION}")
+            } else {
+                format!("this connection speaks protocol versions 1 to {max_version}")
+            };
+            return Err(Reject::new(id, code::UNSUPPORTED_PROTOCOL, message));
         }
     }
     let Some(op) = frame.get("op").and_then(Json::as_str) else {
@@ -233,7 +297,27 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
                     ))
                 }
             };
-            Op::Hello { accepts }
+            let positive =
+                |field: &'static str, value: Option<&Json>| -> Result<Option<u64>, Reject> {
+                    match value {
+                        None => Ok(None),
+                        Some(v) => match v.as_u64() {
+                            Some(n) if n >= 1 => Ok(Some(n)),
+                            _ => Err(Reject::new(
+                                id.clone(),
+                                code::BAD_REQUEST,
+                                format!("`{field}` must be a positive integer"),
+                            )),
+                        },
+                    }
+                };
+            let max_v = positive("max_v", frame.get("max_v"))?;
+            let pipeline = positive("pipeline", frame.get("pipeline"))?.map(|n| n as usize);
+            Op::Hello {
+                accepts,
+                max_v,
+                pipeline,
+            }
         }
         "ping" => Op::Ping,
         "register" => {
@@ -279,19 +363,8 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
                     "`batch` needs an `items` array",
                 ));
             };
-            let threads = match frame.get("threads") {
-                None => None,
-                Some(t) => match t.as_u64() {
-                    Some(n) => Some(n as usize),
-                    None => {
-                        return Err(Reject::new(
-                            id,
-                            code::BAD_REQUEST,
-                            "`threads` must be a non-negative integer",
-                        ))
-                    }
-                },
-            };
+            let threads =
+                parse_threads(&frame).map_err(|m| Reject::new(id.clone(), code::BAD_REQUEST, m))?;
             let mut parsed = Vec::with_capacity(items.len());
             for (i, item) in items.iter().enumerate() {
                 let bad = |m: String| Reject::new(id.clone(), code::BAD_REQUEST, m);
@@ -313,6 +386,30 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
                 threads,
             }
         }
+        // `batch_bin` exists only on negotiated v2 connections; on a v1
+        // connection it falls through to `unknown-op` below — the exact
+        // bytes a pre-v2 server answered.
+        "batch_bin" if max_version >= 2 => {
+            let Some(data) = frame.get("data").and_then(Json::as_str) else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`batch_bin` needs a base64 string `data`",
+                ));
+            };
+            let threads =
+                parse_threads(&frame).map_err(|m| Reject::new(id.clone(), code::BAD_REQUEST, m))?;
+            match xmlta_service::binfmt::base64_decode(data) {
+                Ok(data) => Op::BatchBin { data, threads },
+                Err(e) => {
+                    return Err(Reject::new(
+                        id,
+                        code::BAD_REQUEST,
+                        format!("`batch_bin` data is not valid base64: {e}"),
+                    ))
+                }
+            }
+        }
         "stats" => Op::Stats,
         "shutdown" => Op::Shutdown,
         other => {
@@ -324,6 +421,17 @@ pub fn parse_request(line: &str) -> Result<Request, Reject> {
         }
     };
     Ok(Request { id, op })
+}
+
+/// Pulls the optional `threads` field out of a `batch`/`batch_bin` frame.
+fn parse_threads(frame: &Json) -> Result<Option<usize>, String> {
+    match frame.get("threads") {
+        None => Ok(None),
+        Some(t) => match t.as_u64() {
+            Some(n) => Ok(Some(n as usize)),
+            None => Err("`threads` must be a non-negative integer".into()),
+        },
+    }
 }
 
 /// Pulls the `handle` xor `source` field out of a request or batch item.
@@ -407,9 +515,9 @@ pub fn ok_frame(id: &Json) -> String {
 // ---------------------------------------------------------------------
 // Request constructors (used by the CLI client, tests, and the bench).
 
-fn request(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
+fn request_v(v: u64, id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
     let mut obj = vec![
-        ("v".to_string(), Json::from_u64(PROTOCOL_VERSION)),
+        ("v".to_string(), Json::from_u64(v)),
         ("id".to_string(), Json::from_u64(id)),
         ("op".to_string(), Json::Str(op.to_string())),
     ];
@@ -417,6 +525,10 @@ fn request(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
         obj.push((k.to_string(), v));
     }
     Json::Obj(obj).to_string()
+}
+
+fn request(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
+    request_v(PROTOCOL_VERSION, id, op, fields)
 }
 
 /// A `hello` request frame.
@@ -431,6 +543,16 @@ pub fn req_hello_accepts(id: u64, accepts: &[&str]) -> String {
         .map(|f| Json::Str((*f).to_string()))
         .collect();
     request(id, "hello", vec![("accepts", Json::Arr(accepts))])
+}
+
+/// A `hello` request frame negotiating protocol `max_v` with an optional
+/// pipeline depth (the v2 upgrade handshake).
+pub fn req_hello_v2(id: u64, max_v: u64, pipeline: Option<usize>) -> String {
+    let mut fields = vec![("max_v", Json::from_u64(max_v))];
+    if let Some(depth) = pipeline {
+        fields.push(("pipeline", Json::from_u64(depth as u64)));
+    }
+    request(id, "hello", fields)
 }
 
 /// A `ping` request frame.
@@ -497,6 +619,19 @@ pub fn req_batch(id: u64, items: &[BatchItemReq], threads: Option<usize>) -> Str
         fields.push(("threads", Json::from_u64(t as u64)));
     }
     request(id, "batch", fields)
+}
+
+/// A `batch_bin` request frame carrying a base64-encoded delta `.xts`
+/// stream (valid on v2 connections only).
+pub fn req_batch_bin(id: u64, stream: &[u8], threads: Option<usize>) -> String {
+    let mut fields = vec![(
+        "data",
+        Json::Str(xmlta_service::binfmt::base64_encode(stream)),
+    )];
+    if let Some(t) = threads {
+        fields.push(("threads", Json::from_u64(t as u64)));
+    }
+    request_v(MAX_PROTOCOL_VERSION, id, "batch_bin", fields)
 }
 
 /// A `stats` request frame.

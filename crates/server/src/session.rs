@@ -1,4 +1,5 @@
-//! A per-connection session: the handle table and the request dispatcher.
+//! A per-connection session: the handle table, the request dispatcher, and
+//! the pipelined (protocol v2) connection loop.
 //!
 //! Handles are **session-scoped**: `typecheck {"handle": …}` resolves only
 //! what *this* connection registered, so a connection's responses are a
@@ -6,13 +7,45 @@
 //! never change a response byte. The artifacts behind the handles are
 //! process-wide ([`crate::state::Shared`]); registration of
 //! already-registered content is a hash lookup.
+//!
+//! # Sequential v1, pipelined v2
+//!
+//! Every connection starts sequential (protocol v1): one frame in, one
+//! frame out, request order. A `hello` with `max_v: 2` upgrades the
+//! connection to the pipelined loop ([`serve_stream`] switches over after
+//! writing the hello reply):
+//!
+//! * the **reader** keeps pulling frames. Order-sensitive or cheap ops
+//!   (`hello`, `ping`, `register`, `register_bin`, `stats`) execute right
+//!   there, in request order — so the handle table always reflects the
+//!   request prefix, and a `typecheck` by handle sent after its `register`
+//!   can never miss;
+//! * expensive ops (`typecheck`, `batch`, `batch_bin`) are *planned* in
+//!   the reader (handles resolved against the session table, thread counts
+//!   clamped) and dispatched to a per-connection **worker pool**. At most
+//!   `pipeline` (the negotiated depth) jobs are in flight; the reader
+//!   blocks admission beyond that — backpressure by not reading;
+//! * a single **writer** drains a batched outbox ([`Outbox`]), writing
+//!   responses in completion order with one `write` + one flush per
+//!   batch — thousands of memo-hit responses coalesce into a handful of
+//!   syscalls.
+//!
+//! Because planning happens in request order and each job's result depends
+//! only on its own resolved inputs (verdicts are content-derived, the
+//! shared cache never changes outcomes), the response *bytes per id* are
+//! a pure function of the request stream at every depth — the property the
+//! differential suite pins against sequential v1 and one-shot runs. Only
+//! the response *order* is scheduling-dependent, and ids are the
+//! correlation key.
 
 use crate::proto::{self, code, BatchItemReq, Op, Reject, Request, ResponseBuilder, Target};
 use crate::state::{Prepared, Shared};
 use std::io::{BufRead, Read, Write};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use typecheck_core::Instance;
 use xmlta_base::FxHashMap;
-use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::batch::{run_batch, stream_batch_items, BatchItem};
 use xmlta_service::{check_instance, parse_instance, ItemStatus, Json};
 
 /// What the connection loop should do after a frame.
@@ -40,6 +73,68 @@ pub struct Session {
     shared: Arc<Shared>,
     handles: FxHashMap<String, Arc<Prepared>>,
     max_batch_threads: usize,
+    /// Negotiated protocol version (1 until a `hello` upgrades to 2).
+    version: u64,
+    /// Server cap on the pipeline depth a `hello` may request.
+    pipeline_cap: usize,
+    /// Granted pipeline depth (set at the v2 upgrade).
+    depth: usize,
+}
+
+/// What the reader decided about one parsed request.
+enum Planned {
+    /// Answer (or already answered) synchronously.
+    Reply(String, Control),
+    /// Ship to the worker pool (v2) or execute inline (v1).
+    Job(Job),
+}
+
+/// A fully resolved unit of concurrent work. Everything order-sensitive
+/// (handle resolution, thread clamping) already happened in the reader, so
+/// executing a job touches only its own inputs and the process-wide cache.
+enum Job {
+    /// Typecheck one instance.
+    Typecheck {
+        /// The echoed id.
+        id: Json,
+        /// The resolved target.
+        work: TypecheckWork,
+    },
+    /// Typecheck many instances and render the deterministic report.
+    Batch {
+        /// The echoed id.
+        id: Json,
+        /// Resolved items (handles already looked up).
+        items: Vec<BatchItem>,
+        /// Clamped worker count for this batch.
+        threads: usize,
+    },
+    /// Decode a delta `.xts` stream and batch-typecheck its instances.
+    BatchBin {
+        /// The echoed id.
+        id: Json,
+        /// The raw stream bytes (decoded in the worker — decoding is part
+        /// of the concurrent work).
+        data: Vec<u8>,
+        /// Clamped worker count for this batch.
+        threads: usize,
+    },
+}
+
+impl Job {
+    fn id(&self) -> &Json {
+        match self {
+            Job::Typecheck { id, .. } | Job::Batch { id, .. } | Job::BatchBin { id, .. } => id,
+        }
+    }
+}
+
+/// A typecheck target after handle resolution.
+enum TypecheckWork {
+    /// A registered instance (handle resolved in the reader).
+    Prepared(Arc<Instance>),
+    /// Inline textual source (parsed in the worker).
+    Source(String),
 }
 
 impl Session {
@@ -51,59 +146,64 @@ impl Session {
             max_batch_threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            version: proto::PROTOCOL_VERSION,
+            pipeline_cap: proto::DEFAULT_PIPELINE_DEPTH,
+            depth: 1,
         }
     }
 
-    /// Handles one frame, producing the response line (no `\n`) and the
-    /// control verdict. Panics inside request handling are caught and
-    /// answered with an `internal` error — one adversarial request must
-    /// not take down the connection, let alone the server.
+    /// Sets the cap on the pipeline depth a `hello` may negotiate
+    /// (clamped to at least 1).
+    pub fn set_pipeline_cap(&mut self, cap: usize) {
+        self.pipeline_cap = cap.max(1);
+    }
+
+    /// The connection's negotiated protocol version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The granted pipeline depth (1 until a v2 `hello` raises it).
+    pub fn pipeline_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Handles one frame synchronously, producing the response line (no
+    /// `\n`) and the control verdict — the v1 path, and the semantic
+    /// reference the pipelined loop must agree with per id. Panics inside
+    /// request handling are caught and answered with an `internal` error —
+    /// one adversarial request must not take down the connection, let
+    /// alone the server.
     pub fn handle_frame(&mut self, line: &str) -> (String, Control) {
-        let request = match proto::parse_request(line) {
+        match self.plan_line(line) {
+            Planned::Reply(reply, control) => (reply, control),
+            Planned::Job(job) => (run_job(&self.shared, job), Control::Continue),
+        }
+    }
+
+    /// Parses and plans one frame, catching panics in the planning step.
+    fn plan_line(&mut self, line: &str) -> Planned {
+        let request = match proto::parse_request(line, self.version) {
             Ok(r) => r,
-            Err(reject) => return (proto::error_frame(&reject), Control::Continue),
+            Err(reject) => return Planned::Reply(proto::error_frame(&reject), Control::Continue),
         };
         let id = request.id.clone();
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(request))) {
-            Ok(reply) => reply,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                let reject = Reject {
-                    id,
-                    code: code::INTERNAL,
-                    message: format!("request handler panicked: {msg}"),
-                };
-                (proto::error_frame(&reject), Control::Continue)
-            }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.plan(request))) {
+            Ok(planned) => planned,
+            Err(payload) => Planned::Reply(panic_frame(id, &payload), Control::Continue),
         }
     }
 
-    fn dispatch(&mut self, request: Request) -> (String, Control) {
+    /// Plans a parsed request: synchronous ops are answered here (request
+    /// order); expensive ops come back as resolved [`Job`]s.
+    fn plan(&mut self, request: Request) -> Planned {
         let id = request.id;
         let reply = match request.op {
-            Op::Hello { accepts } => {
-                let b = ResponseBuilder::new(&id, true)
-                    .str_field("server", "xmltad")
-                    .num_field("protocol", proto::PROTOCOL_VERSION);
-                match accepts {
-                    // No `accepts`: the original hello response, byte for
-                    // byte — v1 text clients see nothing new.
-                    None => b.finish(),
-                    Some(accepts) => {
-                        let matched: Vec<Json> = proto::FORMATS
-                            .iter()
-                            .filter(|f| accepts.iter().any(|a| a == *f))
-                            .map(|f| Json::Str((*f).to_string()))
-                            .collect();
-                        b.raw_field("formats", &Json::Arr(matched).to_string())
-                            .finish()
-                    }
-                }
-            }
+            Op::Hello {
+                accepts,
+                max_v,
+                pipeline,
+            } => self.hello(&id, accepts, max_v, pipeline),
             Op::Ping => proto::ok_frame(&id),
             Op::Register { source } => match self.shared.register(&source) {
                 Ok(prepared) => self.adopt_handle(&id, prepared),
@@ -122,13 +222,11 @@ impl Session {
                 }),
             },
             Op::Typecheck { target } => {
-                let status = match &target {
-                    Target::Handle(handle) => match self.handles.get(handle) {
-                        Some(prepared) => {
-                            check_instance(&prepared.instance, Some(self.shared.cache()))
-                        }
+                let work = match target {
+                    Target::Handle(handle) => match self.handles.get(&handle) {
+                        Some(prepared) => TypecheckWork::Prepared(Arc::clone(&prepared.instance)),
                         None => {
-                            return (
+                            return Planned::Reply(
                                 proto::error_frame(&Reject {
                                     id,
                                     code: code::UNKNOWN_HANDLE,
@@ -140,16 +238,9 @@ impl Session {
                             )
                         }
                     },
-                    Target::Source(source) => match parse_instance(source) {
-                        Ok(instance) => {
-                            check_instance(&Arc::new(instance), Some(self.shared.cache()))
-                        }
-                        Err(e) => ItemStatus::Error {
-                            message: format!("parse error: {e}"),
-                        },
-                    },
+                    Target::Source(source) => TypecheckWork::Source(source),
                 };
-                status_reply(&id, &status)
+                return Planned::Job(Job::Typecheck { id, work });
             }
             Op::Batch { items, threads } => {
                 let mut resolved = Vec::with_capacity(items.len());
@@ -164,7 +255,7 @@ impl Session {
                                 Arc::clone(&prepared.instance),
                             )),
                             None => {
-                                return (
+                                return Planned::Reply(
                                     proto::error_frame(&Reject {
                                         id,
                                         code: code::UNKNOWN_HANDLE,
@@ -179,11 +270,18 @@ impl Session {
                         },
                     }
                 }
-                let threads = threads.unwrap_or(1).clamp(1, self.max_batch_threads);
-                let outcome = run_batch(&resolved, threads, Some(self.shared.cache()));
-                ResponseBuilder::new(&id, true)
-                    .raw_field("report", &outcome.to_json_line())
-                    .finish()
+                return Planned::Job(Job::Batch {
+                    id,
+                    items: resolved,
+                    threads: self.clamp_threads(threads),
+                });
+            }
+            Op::BatchBin { data, threads } => {
+                return Planned::Job(Job::BatchBin {
+                    id,
+                    data,
+                    threads: self.clamp_threads(threads),
+                });
             }
             Op::Stats => {
                 let s = self.shared.cache().stats();
@@ -209,9 +307,84 @@ impl Session {
                     .raw_field("stats", &stats)
                     .finish()
             }
-            Op::Shutdown => return (proto::ok_frame(&id), Control::Shutdown),
+            Op::Shutdown => return Planned::Reply(proto::ok_frame(&id), Control::Shutdown),
         };
-        (reply, Control::Continue)
+        Planned::Reply(reply, Control::Continue)
+    }
+
+    fn clamp_threads(&self, threads: Option<usize>) -> usize {
+        threads.unwrap_or(1).clamp(1, self.max_batch_threads)
+    }
+
+    /// Answers a `hello`, negotiating the protocol version and pipeline
+    /// depth when `max_v` is present. Plain hellos (no `max_v`, no
+    /// `pipeline`) on an un-upgraded connection keep the original v1
+    /// response, byte for byte.
+    fn hello(
+        &mut self,
+        id: &Json,
+        accepts: Option<Vec<String>>,
+        max_v: Option<u64>,
+        pipeline: Option<usize>,
+    ) -> String {
+        let bad = |message: String| {
+            proto::error_frame(&Reject {
+                id: id.clone(),
+                code: code::BAD_REQUEST,
+                message,
+            })
+        };
+        match max_v {
+            None => {
+                if pipeline.is_some() {
+                    return bad("`pipeline` requires `max_v` 2 or higher".into());
+                }
+            }
+            Some(_) if self.version >= 2 => {
+                return bad("protocol already negotiated on this connection".into());
+            }
+            Some(max_v) => {
+                let grant = max_v.min(proto::MAX_PROTOCOL_VERSION);
+                if grant >= 2 {
+                    let depth = pipeline.unwrap_or(self.pipeline_cap);
+                    if depth > self.pipeline_cap {
+                        return proto::error_frame(&Reject {
+                            id: id.clone(),
+                            code: code::PIPELINE_DEPTH_EXCEEDED,
+                            message: format!(
+                                "pipeline depth {depth} exceeds this server's cap of {}",
+                                self.pipeline_cap
+                            ),
+                        });
+                    }
+                    self.version = grant;
+                    self.depth = depth;
+                } else if pipeline.is_some() {
+                    return bad("`pipeline` requires `max_v` 2 or higher".into());
+                }
+            }
+        }
+        let b = ResponseBuilder::new(id, true)
+            .str_field("server", "xmltad")
+            .num_field("protocol", self.version);
+        let b = match accepts {
+            // No `accepts`: no `formats` field — v1 text clients see
+            // nothing new.
+            None => b,
+            Some(accepts) => {
+                let matched: Vec<Json> = proto::FORMATS
+                    .iter()
+                    .filter(|f| accepts.iter().any(|a| a == *f))
+                    .map(|f| Json::Str((*f).to_string()))
+                    .collect();
+                b.raw_field("formats", &Json::Arr(matched).to_string())
+            }
+        };
+        if self.version >= 2 {
+            b.num_field("pipeline", self.depth as u64).finish()
+        } else {
+            b.finish()
+        }
     }
 
     /// Installs a freshly registered artifact into this session's handle
@@ -223,6 +396,66 @@ impl Session {
             .str_field("handle", &handle)
             .finish()
     }
+}
+
+/// Executes a resolved job, converting panics into `internal` error
+/// replies (the same isolation [`Session::handle_frame`] gives sync ops).
+fn run_job(shared: &Shared, job: Job) -> String {
+    let id = job.id().clone();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(shared, job))) {
+        Ok(reply) => reply,
+        Err(payload) => panic_frame(id, &payload),
+    }
+}
+
+fn execute_job(shared: &Shared, job: Job) -> String {
+    match job {
+        Job::Typecheck { id, work } => {
+            let status = match work {
+                TypecheckWork::Prepared(instance) => {
+                    check_instance(&instance, Some(shared.cache()))
+                }
+                TypecheckWork::Source(source) => match parse_instance(&source) {
+                    Ok(instance) => check_instance(&Arc::new(instance), Some(shared.cache())),
+                    Err(e) => ItemStatus::Error {
+                        message: format!("parse error: {e}"),
+                    },
+                },
+            };
+            status_reply(&id, &status)
+        }
+        Job::Batch { id, items, threads } => batch_reply(shared, &id, &items, threads),
+        Job::BatchBin { id, data, threads } => match stream_batch_items(&data) {
+            Ok(items) => batch_reply(shared, &id, &items, threads),
+            Err(e) => proto::error_frame(&Reject {
+                id,
+                code: code::INVALID_INSTANCE,
+                message: format!("decode error: {e}"),
+            }),
+        },
+    }
+}
+
+/// Runs a resolved batch and renders its report response.
+fn batch_reply(shared: &Shared, id: &Json, items: &[BatchItem], threads: usize) -> String {
+    let outcome = run_batch(items, threads, Some(shared.cache()));
+    ResponseBuilder::new(id, true)
+        .raw_field("report", &outcome.to_json_line())
+        .finish()
+}
+
+/// Renders the `internal` error reply for a caught panic payload.
+fn panic_frame(id: Json, payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    proto::error_frame(&Reject {
+        id,
+        code: code::INTERNAL,
+        message: format!("request handler panicked: {msg}"),
+    })
 }
 
 /// Renders a typecheck status response (shared by `typecheck` results and
@@ -249,10 +482,69 @@ fn status_reply(id: &Json, status: &ItemStatus) -> String {
     }
 }
 
+/// What [`read_raw`] found on the stream.
+enum Raw {
+    /// The stream ended.
+    Eof,
+    /// The line exceeds the frame cap (the buffer holds a prefix).
+    Oversized,
+    /// `buf` holds one complete frame (newline stripped).
+    Ready,
+}
+
+/// Reads one newline-terminated frame into `buf` (cleared first),
+/// enforcing the size cap without unbounded buffering.
+fn read_raw<R: BufRead>(
+    reader: &mut R,
+    max_frame: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Raw> {
+    buf.clear();
+    // Read at most one byte past the cap: a line that long is oversized
+    // whether or not its newline ever arrives.
+    let n = reader
+        .by_ref()
+        .take(max_frame as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(Raw::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > max_frame {
+        return Ok(Raw::Oversized);
+    }
+    Ok(Raw::Ready)
+}
+
+/// The `oversized-frame` reject for the configured cap.
+fn oversized_reject(max_frame: usize) -> Reject {
+    Reject {
+        id: Json::Null,
+        code: code::OVERSIZED_FRAME,
+        message: format!("frame exceeds {max_frame} bytes; closing the connection"),
+    }
+}
+
+/// The `malformed-frame` reject for a non-UTF-8 frame.
+fn bad_utf8_reject() -> Reject {
+    Reject {
+        id: Json::Null,
+        code: code::MALFORMED_FRAME,
+        message: "frame is not valid UTF-8".to_string(),
+    }
+}
+
 /// Runs a session over a framed byte stream until EOF, shutdown, or an
-/// oversized frame. Writes one response line per request line, flushing
-/// after each so pipelined clients make progress.
-pub fn serve_stream<R: BufRead, W: Write>(
+/// oversized frame. In v1 mode it writes one response line per request
+/// line, in request order, flushing after each. When a `hello` negotiates
+/// protocol 2 the loop hands over to the pipelined engine: responses then
+/// arrive in completion order (correlated by id) and flushes coalesce.
+pub fn serve_stream<R: BufRead + Send, W: Write>(
     session: &mut Session,
     mut reader: R,
     mut writer: W,
@@ -260,31 +552,18 @@ pub fn serve_stream<R: BufRead, W: Write>(
 ) -> std::io::Result<SessionEnd> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        buf.clear();
-        // Read at most one byte past the cap: a line that long is
-        // oversized whether or not its newline ever arrives.
-        let n = reader
-            .by_ref()
-            .take(max_frame as u64 + 1)
-            .read_until(b'\n', &mut buf)?;
-        if n == 0 {
-            return Ok(SessionEnd::Eof);
-        }
-        if buf.last() == Some(&b'\n') {
-            buf.pop();
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
+        match read_raw(&mut reader, max_frame, &mut buf)? {
+            Raw::Eof => return Ok(SessionEnd::Eof),
+            Raw::Oversized => {
+                writeln!(
+                    writer,
+                    "{}",
+                    proto::error_frame(&oversized_reject(max_frame))
+                )?;
+                writer.flush()?;
+                return Ok(SessionEnd::Oversized);
             }
-        }
-        if buf.len() > max_frame {
-            let reject = Reject {
-                id: Json::Null,
-                code: code::OVERSIZED_FRAME,
-                message: format!("frame exceeds {max_frame} bytes; closing the connection"),
-            };
-            writeln!(writer, "{}", proto::error_frame(&reject))?;
-            writer.flush()?;
-            return Ok(SessionEnd::Oversized);
+            Raw::Ready => {}
         }
         if buf.iter().all(u8::is_ascii_whitespace) {
             continue;
@@ -292,12 +571,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
         let line = match std::str::from_utf8(&buf) {
             Ok(line) => line,
             Err(_) => {
-                let reject = Reject {
-                    id: Json::Null,
-                    code: code::MALFORMED_FRAME,
-                    message: "frame is not valid UTF-8".to_string(),
-                };
-                writeln!(writer, "{}", proto::error_frame(&reject))?;
+                writeln!(writer, "{}", proto::error_frame(&bad_utf8_reject()))?;
                 writer.flush()?;
                 continue;
             }
@@ -308,5 +582,342 @@ pub fn serve_stream<R: BufRead, W: Write>(
         if control == Control::Shutdown {
             return Ok(SessionEnd::Shutdown);
         }
+        if session.version >= 2 {
+            // The hello reply above was the last sequential frame; every
+            // frame from here on flows through the pipelined engine.
+            return serve_pipelined(session, &mut reader, &mut writer, max_frame);
+        }
     }
+}
+
+/// Admission gate for in-flight jobs: a counter under a mutex with a
+/// condvar for both directions (reader waits for free slots, shutdown
+/// waits for drain).
+///
+/// Admission uses **hysteresis**: once the window fills, the reader is
+/// parked until in-flight drops to the low watermark (half the depth),
+/// then admits a burst. Without it, a saturated connection degenerates
+/// into one wake-up per completed job — on a single core that is two
+/// context switches per request, which costs more than pipelining saves.
+/// Workers likewise notify only at watermark crossings, so the condvar
+/// never generates per-job traffic. Burst admission does not affect
+/// response content: jobs are still planned and admitted in request
+/// order, only the *parking pattern* changes.
+struct Gate {
+    inflight: Mutex<usize>,
+    changed: Condvar,
+    /// Resume-admission watermark (`depth / 2`).
+    low: usize,
+}
+
+impl Gate {
+    fn new(depth: usize) -> Gate {
+        Gate {
+            inflight: Mutex::new(0),
+            changed: Condvar::new(),
+            low: depth / 2,
+        }
+    }
+
+    /// Blocks until the window has room (with hysteresis), then admits
+    /// one job.
+    fn admit(&self, depth: usize) {
+        let mut n = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *n >= depth {
+            while *n > self.low {
+                n = self
+                    .changed
+                    .wait(n)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        *n += 1;
+    }
+
+    /// Marks one job complete (its response is already queued); returns
+    /// the number of jobs still in flight.
+    fn release(&self) -> usize {
+        let mut n = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *n -= 1;
+        // The reader parks only at the watermarks; anything between is
+        // silent (there is exactly one waiter — the reader — and it waits
+        // for `low` in admit or 0 in drain).
+        if *n == self.low || *n == 0 {
+            self.changed.notify_all();
+        }
+        *n
+    }
+
+    /// Blocks until no job is in flight.
+    fn drain(&self) {
+        let mut n = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *n > 0 {
+            n = self
+                .changed
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// The response staging area between producers (reader + workers) and the
+/// writer. A plain channel would wake the writer once per response — two
+/// context switches and one flush per request once the writer outpaces
+/// the workers, exactly the per-request costs pipelining exists to kill.
+/// Instead, responses accumulate under a mutex and the writer is notified
+/// only when a *batch* is worth writing: `batch` responses are pending, a
+/// synchronous reply wants prompt delivery, or the connection went
+/// quiescent (no job in flight — the last completion nudges). Every push
+/// is eventually followed by a notify: job pushes happen before their
+/// gate release, so the release that observes zero in-flight can never
+/// precede a straggler's push.
+struct Outbox {
+    state: Mutex<OutboxState>,
+    ready: Condvar,
+    /// Notify the writer once this many responses are pending.
+    batch: usize,
+}
+
+struct OutboxState {
+    /// Pending response bytes, newline-framed — one `write_all` per
+    /// batch, no per-line formatting in the writer.
+    pending: Vec<u8>,
+    /// Responses accumulated in `pending` (the batch trigger).
+    count: usize,
+    /// Live producers (reader + workers); the writer exits when the last
+    /// one leaves and the pending batch is drained.
+    producers: usize,
+}
+
+impl Outbox {
+    fn new(producers: usize, batch: usize) -> Outbox {
+        Outbox {
+            state: Mutex::new(OutboxState {
+                pending: Vec::new(),
+                count: 0,
+                producers,
+            }),
+            ready: Condvar::new(),
+            batch: batch.max(1),
+        }
+    }
+
+    /// Queues one response; `urgent` forces a writer wake-up.
+    fn push(&self, line: &str, urgent: bool) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.pending.extend_from_slice(line.as_bytes());
+        s.pending.push(b'\n');
+        s.count += 1;
+        if urgent || s.count >= self.batch {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Wakes the writer without queueing (the quiescence nudge).
+    fn nudge(&self) {
+        let _s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.ready.notify_all();
+    }
+
+    /// A producer is done; the last one out wakes the writer for the
+    /// final drain.
+    fn leave(&self) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.producers -= 1;
+        if s.producers == 0 {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks for the next batch of response bytes, swapping in `spare`
+    /// as the fresh accumulator (double buffering — no allocation per
+    /// batch); `None` once every producer left and the queue is drained.
+    fn take(&self, mut spare: Vec<u8>) -> Option<Vec<u8>> {
+        spare.clear();
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while s.pending.is_empty() && s.producers > 0 {
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if s.pending.is_empty() {
+            return None;
+        }
+        s.count = 0;
+        Some(std::mem::replace(&mut s.pending, spare))
+    }
+}
+
+/// The pipelined (protocol v2) connection loop. See the module docs for
+/// the architecture; invariants worth restating:
+///
+/// * job admission and all session-state mutation happen on the reader
+///   thread in request order;
+/// * workers queue their response *before* releasing the gate slot, so a
+///   drained gate means every response is at least in the outbox — the
+///   shutdown reply is therefore always the last frame;
+/// * the outbox never blocks producers, so workers and the reader never
+///   wait on a slow writer — the server keeps reading (absorbing
+///   arbitrarily deep client pipelining) while the writer catches up.
+fn serve_pipelined<R: BufRead + Send, W: Write>(
+    session: &mut Session,
+    reader: &mut R,
+    writer: &mut W,
+    max_frame: usize,
+) -> std::io::Result<SessionEnd> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let depth = session.depth;
+    let workers = depth.min(session.max_batch_threads).max(1);
+    let shared = Arc::clone(&session.shared);
+    let gate = Gate::new(depth);
+    let outbox = Outbox::new(workers + 1, depth / 2);
+    // Set when the writer dies (broken pipe): the reader must stop
+    // serving — nothing drains the outbox anymore, so continuing would
+    // accumulate response bytes for a peer that can no longer hear them.
+    let writer_dead = AtomicBool::new(false);
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Mutex::new(job_rx);
+
+    let (end, wrote) = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = &job_rx;
+            let gate = &gate;
+            let shared = &shared;
+            let outbox = &outbox;
+            scope.spawn(move || {
+                loop {
+                    // Hold the receiver lock only for the blocking recv;
+                    // execution runs unlocked.
+                    let job = job_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv();
+                    let Ok(job) = job else { break };
+                    // Queue before release (the shutdown-drain invariant);
+                    // the last completion in a lull nudges the writer.
+                    outbox.push(&run_job(shared, job), false);
+                    if gate.release() == 0 {
+                        outbox.nudge();
+                    }
+                }
+                outbox.leave();
+            });
+        }
+
+        let reader_end = {
+            let gate = &gate;
+            let outbox = &outbox;
+            let writer_dead = &writer_dead;
+            let session = &mut *session;
+            scope.spawn(move || -> std::io::Result<SessionEnd> {
+                let job_tx = job_tx; // moved: dropped when the reader exits
+                let mut buf: Vec<u8> = Vec::new();
+                let end = loop {
+                    if writer_dead.load(Ordering::Relaxed) {
+                        // The response direction is gone; treat the
+                        // connection as closed (the writer's error is what
+                        // the caller will see). A reader already parked in
+                        // a blocking read holds no pending responses, so
+                        // only frames that actually arrive reach this
+                        // check — memory stays bounded either way.
+                        break SessionEnd::Eof;
+                    }
+                    match read_raw(reader, max_frame, &mut buf) {
+                        Err(e) => {
+                            outbox.leave();
+                            return Err(e);
+                        }
+                        Ok(Raw::Eof) => break SessionEnd::Eof,
+                        Ok(Raw::Oversized) => {
+                            outbox.push(&proto::error_frame(&oversized_reject(max_frame)), true);
+                            break SessionEnd::Oversized;
+                        }
+                        Ok(Raw::Ready) => {}
+                    }
+                    if buf.iter().all(u8::is_ascii_whitespace) {
+                        continue;
+                    }
+                    let Ok(line) = std::str::from_utf8(&buf) else {
+                        outbox.push(&proto::error_frame(&bad_utf8_reject()), true);
+                        continue;
+                    };
+                    match session.plan_line(line) {
+                        // Synchronous replies want prompt delivery (a ping
+                        // must not wait out a batch window).
+                        Planned::Reply(reply, Control::Continue) => outbox.push(&reply, true),
+                        Planned::Reply(reply, Control::Shutdown) => {
+                            // Every in-flight response is queued before the
+                            // shutdown acknowledgment, making it the last
+                            // frame on the connection.
+                            gate.drain();
+                            outbox.push(&reply, true);
+                            break SessionEnd::Shutdown;
+                        }
+                        Planned::Job(job) => {
+                            gate.admit(session.depth);
+                            if job_tx.send(job).is_err() {
+                                // Workers are gone (cannot happen while
+                                // this sender lives; defensive).
+                                gate.release();
+                            }
+                        }
+                    }
+                };
+                outbox.leave();
+                Ok(end)
+            })
+        };
+
+        // This thread is the writer: drain batches, one write and one
+        // flush per batch (the batch is already newline-framed bytes).
+        let mut wrote: std::io::Result<()> = Ok(());
+        let mut spare: Vec<u8> = Vec::new();
+        while let Some(batch) = outbox.take(std::mem::take(&mut spare)) {
+            let result = writer.write_all(&batch).and_then(|()| writer.flush());
+            spare = batch;
+            if let Err(e) = result {
+                wrote = Err(e);
+                break;
+            }
+        }
+        // On a write error, tell the reader to stop serving: on a socket
+        // it would hit EOF on its own, but an independent read direction
+        // (stdio) could keep delivering frames whose responses nobody can
+        // drain. Frames already in flight still complete harmlessly —
+        // producers never block on the outbox.
+        if wrote.is_err() {
+            writer_dead.store(true, Ordering::Relaxed);
+        }
+        let end = reader_end
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (end, wrote)
+    });
+    wrote?;
+    let end = end?;
+    writer.flush()?;
+    Ok(end)
 }

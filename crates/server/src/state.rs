@@ -106,10 +106,16 @@ impl Shared {
     /// contents (0 disables registration dedup entirely: every register
     /// re-parses, handles still work).
     pub fn with_registry_capacity(capacity: usize) -> Arc<Shared> {
+        Shared::with_capacities(capacity, xmlta_service::cache::DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// Fresh state with explicit registry and typecheck-result-memo bounds
+    /// (`--registry-cap` / `--memo-cap`; 0 disables the respective layer).
+    pub fn with_capacities(registry_capacity: usize, memo_capacity: usize) -> Arc<Shared> {
         Arc::new(Shared {
-            cache: SchemaCache::new(),
+            cache: SchemaCache::with_memo_capacity(memo_capacity),
             registry: Mutex::new(Registry {
-                lru: Lru::new(capacity),
+                lru: Lru::new(registry_capacity),
                 evicted: 0,
             }),
         })

@@ -1,0 +1,404 @@
+//! Differential conformance: the same randomized workload driven through
+//! every execution surface must yield verdict-identical results.
+//!
+//! The surfaces:
+//!
+//! * **(a) one-shot** — each instance checked locally with a fresh cache
+//!   (what a `xmlta typecheck` process per file computes); this is the
+//!   ground truth the expected per-id responses are rendered from;
+//! * **(b) v1 sequential** — the frames played through [`serve_stream`]
+//!   on an un-upgraded connection;
+//! * **(c) v2 pipelined** — the same frames after a `hello` negotiating
+//!   protocol 2, at pipeline depths 1, 4, and 16.
+//!
+//! Each variant runs with the result memo enabled and disabled. Responses
+//! are keyed by id (v2 responses arrive in completion order) and compared
+//! as parsed JSON values: every run must produce *exactly* the expected
+//! map — same ids, same verdict bytes per id — regardless of scheduling,
+//! depth, or cache state. This is the systematic version of the
+//! determinism the earlier PRs pinned by hand.
+
+use std::io::Cursor;
+use std::sync::Arc;
+use xmlta_base::FxHashMap;
+use xmlta_server::proto::{self, code, BatchItemReq, Reject, ResponseBuilder, Target};
+use xmlta_server::state::{handle_for_binary, handle_for_source};
+use xmlta_server::{serve_stream, Session, Shared};
+use xmlta_service::batch::{run_batch, stream_batch_items, BatchItem};
+use xmlta_service::{
+    check_instance, encode_instance, encode_stream, gen, parse_instance, parse_json, ItemStatus,
+    Json, SchemaCache,
+};
+
+/// The seeded workload: a mixed bag of passing, failing, and shared-schema
+/// instances (every 11th generated source has a counterexample).
+fn sources() -> Vec<(String, String)> {
+    gen::mixed_sources(18, 3, 42).expect("generators print")
+}
+
+/// A broken source (parse error) to exercise the error verdict.
+const BROKEN: &str = "input dtd {";
+
+/// The request script every surface plays. Ids are unique per frame; the
+/// hello (id 0) is version-specific and excluded from comparison.
+fn script(v2_depth: Option<usize>) -> Vec<String> {
+    let sources = sources();
+    let mut frames = Vec::new();
+    match v2_depth {
+        None => frames.push(proto::req_hello(0)),
+        Some(depth) => frames.push(proto::req_hello_v2(0, 2, Some(depth))),
+    }
+    for (i, (_, source)) in sources.iter().enumerate() {
+        frames.push(proto::req_register(100 + i as u64, source));
+        frames.push(proto::req_typecheck_handle(
+            200 + i as u64,
+            &handle_for_source(source),
+        ));
+        if i % 3 == 0 {
+            frames.push(proto::req_typecheck_source(300 + i as u64, source));
+        }
+    }
+    // The binary twin of source 0, registered and checked by `b`-handle.
+    let bin = encode_one(&sources[0].1);
+    frames.push(proto::req_register_bin(400, &bin));
+    frames.push(proto::req_typecheck_handle(401, &handle_for_binary(&bin)));
+    // Error verdicts and protocol errors.
+    frames.push(proto::req_typecheck_source(500, BROKEN));
+    frames.push(proto::req_typecheck_handle(501, "iffffffffffffffff"));
+    frames.push(proto::req_register(502, BROKEN));
+    // Two identical batches under different thread counts.
+    let items = batch_items(&sources);
+    frames.push(proto::req_batch(503, &items, Some(1)));
+    frames.push(proto::req_batch(504, &items, Some(4)));
+    frames
+}
+
+fn encode_one(source: &str) -> Vec<u8> {
+    encode_instance(&parse_instance(source).expect("source parses")).expect("encodes")
+}
+
+/// The batch request: by-handle, by-source, and broken items mixed.
+fn batch_items(sources: &[(String, String)]) -> Vec<BatchItemReq> {
+    let mut items = vec![
+        BatchItemReq {
+            name: "by-handle-0".into(),
+            target: Target::Handle(handle_for_source(&sources[0].1)),
+        },
+        BatchItemReq {
+            name: "by-source-1".into(),
+            target: Target::Source(sources[1].1.clone()),
+        },
+        BatchItemReq {
+            name: "broken".into(),
+            target: Target::Source(BROKEN.to_string()),
+        },
+    ];
+    for (i, (name, source)) in sources.iter().enumerate().skip(2).take(6) {
+        items.push(BatchItemReq {
+            name: format!("{i}-{name}"),
+            target: if i % 2 == 0 {
+                Target::Handle(handle_for_source(source))
+            } else {
+                Target::Source(source.clone())
+            },
+        });
+    }
+    items
+}
+
+/// Plays `frames` through one in-memory session and returns the parsed
+/// responses keyed by id, asserting every id answers exactly once.
+fn play(shared: Arc<Shared>, frames: &[String]) -> FxHashMap<u64, Json> {
+    let mut session = Session::new(shared);
+    let input = frames.join("\n") + "\n";
+    let mut out: Vec<u8> = Vec::new();
+    serve_stream(
+        &mut session,
+        Cursor::new(input.into_bytes()),
+        &mut out,
+        1 << 22,
+    )
+    .expect("in-memory IO cannot fail");
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let mut map = FxHashMap::default();
+    for line in text.lines() {
+        let response = parse_json(line).expect("response parses");
+        let id = response
+            .get("id")
+            .and_then(Json::as_u64)
+            .expect("every scripted request has a numeric id");
+        assert!(map.insert(id, response).is_none(), "id {id} answered twice");
+    }
+    assert_eq!(map.len(), frames.len(), "one response per request");
+    map
+}
+
+/// Renders the expected response for a typecheck status (the shape
+/// `status_reply` produces server-side — computed independently here so a
+/// rendering regression on either side fails the comparison).
+fn expected_status(id: u64, status: &ItemStatus) -> Json {
+    let id = Json::from_u64(id);
+    let rendered = match status {
+        ItemStatus::TypeChecks => ResponseBuilder::new(&id, true)
+            .str_field("status", "typechecks")
+            .finish(),
+        ItemStatus::CounterExample { input, output } => {
+            let b = ResponseBuilder::new(&id, true)
+                .str_field("status", "counterexample")
+                .str_field("input", input);
+            match output {
+                Some(o) => b.str_field("output", o),
+                None => b.null_field("output"),
+            }
+            .finish()
+        }
+        ItemStatus::Error { message } => ResponseBuilder::new(&id, true)
+            .str_field("status", "error")
+            .str_field("message", message)
+            .finish(),
+    };
+    parse_json(&rendered).expect("rendered response parses")
+}
+
+fn expected_handle(id: u64, handle: &str) -> Json {
+    let rendered = ResponseBuilder::new(&Json::from_u64(id), true)
+        .str_field("handle", handle)
+        .finish();
+    parse_json(&rendered).expect("rendered response parses")
+}
+
+fn expected_error(id: u64, code: &'static str, message: String) -> Json {
+    let rendered = proto::error_frame(&Reject {
+        id: Json::from_u64(id),
+        code,
+        message,
+    });
+    parse_json(&rendered).expect("rendered response parses")
+}
+
+/// (a) one-shot ground truth: every verdict computed locally with a fresh
+/// cache per instance, rendered into the per-id response map the server
+/// runs must reproduce exactly.
+fn expected_map() -> FxHashMap<u64, Json> {
+    let sources = sources();
+    let oneshot = |source: &str| -> ItemStatus {
+        match parse_instance(source) {
+            Ok(instance) => check_instance(&Arc::new(instance), Some(&SchemaCache::new())),
+            Err(e) => ItemStatus::Error {
+                message: format!("parse error: {e}"),
+            },
+        }
+    };
+    let mut map = FxHashMap::default();
+    for (i, (_, source)) in sources.iter().enumerate() {
+        map.insert(
+            100 + i as u64,
+            expected_handle(100 + i as u64, &handle_for_source(source)),
+        );
+        map.insert(
+            200 + i as u64,
+            expected_status(200 + i as u64, &oneshot(source)),
+        );
+        if i % 3 == 0 {
+            map.insert(
+                300 + i as u64,
+                expected_status(300 + i as u64, &oneshot(source)),
+            );
+        }
+    }
+    let bin = encode_one(&sources[0].1);
+    map.insert(400, expected_handle(400, &handle_for_binary(&bin)));
+    map.insert(401, expected_status(401, &oneshot(&sources[0].1)));
+    map.insert(500, expected_status(500, &oneshot(BROKEN)));
+    map.insert(
+        501,
+        expected_error(
+            501,
+            code::UNKNOWN_HANDLE,
+            "handle `iffffffffffffffff` was not registered on this connection".to_string(),
+        ),
+    );
+    let parse_err = parse_instance(BROKEN).expect_err("broken source");
+    map.insert(
+        502,
+        expected_error(
+            502,
+            code::INVALID_INSTANCE,
+            format!("parse error: {parse_err}"),
+        ),
+    );
+    // The batch ground truth: the local driver over the same resolved
+    // items (fresh cache; the report is thread-count-independent).
+    let resolved: Vec<BatchItem> = batch_items(&sources)
+        .into_iter()
+        .map(|item| match item.target {
+            Target::Source(source) => BatchItem::from_source(item.name, source),
+            Target::Handle(_) => {
+                // Handles in the script always point at registered
+                // sources; recover the source by position.
+                let source = if item.name == "by-handle-0" {
+                    sources[0].1.clone()
+                } else {
+                    let i: usize = item.name.split('-').next().unwrap().parse().unwrap();
+                    sources[i].1.clone()
+                };
+                BatchItem::from_prepared(
+                    item.name,
+                    Arc::new(parse_instance(&source).expect("parses")),
+                )
+            }
+        })
+        .collect();
+    let report = run_batch(&resolved, 1, Some(&SchemaCache::new())).to_json_line();
+    for id in [503u64, 504] {
+        let rendered = ResponseBuilder::new(&Json::from_u64(id), true)
+            .raw_field("report", &report)
+            .finish();
+        map.insert(id, parse_json(&rendered).expect("rendered response parses"));
+    }
+    map
+}
+
+/// Compares a run against the ground truth, id by id (hello excluded).
+fn assert_matches(label: &str, run: &FxHashMap<u64, Json>, expected: &FxHashMap<u64, Json>) {
+    for (id, want) in expected {
+        let got = run
+            .get(id)
+            .unwrap_or_else(|| panic!("{label}: no response for id {id}"));
+        assert_eq!(got, want, "{label}: verdict for id {id} differs");
+    }
+    // Every non-hello response is accounted for.
+    assert_eq!(
+        run.len(),
+        expected.len() + 1,
+        "{label}: unexpected extra responses"
+    );
+}
+
+#[test]
+fn all_surfaces_agree_on_the_randomized_workload() {
+    let expected = expected_map();
+    for memo in [true, false] {
+        let shared = || {
+            if memo {
+                Shared::new()
+            } else {
+                Shared::with_capacities(4096, 0)
+            }
+        };
+        let memo_label = if memo { "memo-on" } else { "memo-off" };
+
+        // (b) v1 sequential, on a cold and then a warm shared state.
+        let state = shared();
+        let v1_cold = play(Arc::clone(&state), &script(None));
+        assert_matches(&format!("v1/{memo_label}/cold"), &v1_cold, &expected);
+        let v1_warm = play(state, &script(None));
+        assert_matches(&format!("v1/{memo_label}/warm"), &v1_warm, &expected);
+
+        // (c) v2 pipelined at depths 1, 4, 16 — cold state per depth, plus
+        // a warm rerun at the deepest depth.
+        for depth in [1usize, 4, 16] {
+            let state = shared();
+            let run = play(Arc::clone(&state), &script(Some(depth)));
+            assert_matches(&format!("v2-d{depth}/{memo_label}/cold"), &run, &expected);
+            if depth == 16 {
+                let warm = play(state, &script(Some(depth)));
+                assert_matches(&format!("v2-d{depth}/{memo_label}/warm"), &warm, &expected);
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_bin_reports_match_the_local_driver_at_every_depth() {
+    // The delta stream of a shared-schema fleet (plus a schema switch in
+    // the middle, so multi-context streams are covered), checked via the
+    // v2 `batch_bin` op at several depths and memo settings: every report
+    // must be byte-identical to the local batch driver's over the same
+    // decoded items.
+    let fleet: Vec<(String, typecheck_core::Instance)> = {
+        let mut named = Vec::new();
+        for v in 0..6u64 {
+            let source = gen::layered_source(9, 3, 3, v).expect("prints");
+            named.push((
+                format!("fleet-{v:02}"),
+                parse_instance(&source).expect("parses"),
+            ));
+        }
+        let other = gen::filtering_source(3).expect("prints");
+        named.push((
+            "odd-one-out".to_string(),
+            parse_instance(&other).expect("parses"),
+        ));
+        named
+    };
+    let stream = encode_stream(fleet.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+
+    let local_items = stream_batch_items(&stream).expect("stream decodes");
+    let local_report = run_batch(&local_items, 1, Some(&SchemaCache::new())).to_json_line();
+
+    for memo in [true, false] {
+        for depth in [1usize, 4] {
+            let shared = if memo {
+                Shared::new()
+            } else {
+                Shared::with_capacities(4096, 0)
+            };
+            let frames = vec![
+                proto::req_hello_v2(0, 2, Some(depth)),
+                proto::req_batch_bin(1, &stream, Some(2)),
+                proto::req_batch_bin(2, &stream, None),
+            ];
+            let run = play(shared, &frames);
+            for id in [1u64, 2] {
+                let response = &run[&id];
+                assert_eq!(
+                    response.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "batch_bin failed (memo={memo}, depth={depth}): {response:?}"
+                );
+                let mut rendered = String::new();
+                response
+                    .get("report")
+                    .expect("batch_bin response has a report")
+                    .render(&mut rendered);
+                let mut want = String::new();
+                parse_json(&local_report)
+                    .expect("local report parses")
+                    .render(&mut want);
+                assert_eq!(
+                    rendered, want,
+                    "batch_bin report differs from the local driver \
+                     (memo={memo}, depth={depth}, id={id})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_sessions_interleave_sync_and_job_responses_correctly() {
+    // A v2 session whose register → typecheck pairs are fully interleaved
+    // (all registers never awaited): planning in request order guarantees
+    // no pair misses, at any depth.
+    let sources = sources();
+    for depth in [1usize, 8] {
+        let mut frames = vec![proto::req_hello_v2(0, 2, Some(depth))];
+        for (i, (_, source)) in sources.iter().enumerate() {
+            frames.push(proto::req_register(2 * i as u64 + 1, source));
+            frames.push(proto::req_typecheck_handle(
+                2 * i as u64 + 2,
+                &handle_for_source(source),
+            ));
+        }
+        let run = play(Shared::new(), &frames);
+        for (i, (name, _)) in sources.iter().enumerate() {
+            let response = &run[&(2 * i as u64 + 2)];
+            assert_eq!(
+                response.get("ok"),
+                Some(&Json::Bool(true)),
+                "{name} (depth {depth}): interleaved typecheck failed: {response:?}"
+            );
+        }
+    }
+}

@@ -176,6 +176,217 @@ fn golden_hello_negotiation() {
 }
 
 #[test]
+fn golden_hello_v2_negotiation() {
+    // Granting v2: the response reports the granted protocol and pipeline
+    // depth (requested, or the server's cap when absent).
+    assert_eq!(
+        one(r#"{"id": 1, "op": "hello", "max_v": 2, "pipeline": 8}"#),
+        r#"{"id":1,"ok":true,"server":"xmltad","protocol":2,"pipeline":8}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 2, "op": "hello", "max_v": 2}"#),
+        r#"{"id":2,"ok":true,"server":"xmltad","protocol":2,"pipeline":32}"#
+    );
+    // A newer client: the server grants the highest version *it* speaks.
+    assert_eq!(
+        one(r#"{"id": 3, "op": "hello", "max_v": 9, "pipeline": 1}"#),
+        r#"{"id":3,"ok":true,"server":"xmltad","protocol":2,"pipeline":1}"#
+    );
+    // v2 negotiation combined with format negotiation: `formats` keeps its
+    // v1 position, `pipeline` is appended.
+    assert_eq!(
+        one(r#"{"id": 4, "op": "hello", "max_v": 2, "pipeline": 4, "accepts": ["xtb"]}"#),
+        r#"{"id":4,"ok":true,"server":"xmltad","protocol":2,"formats":["xtb"],"pipeline":4}"#
+    );
+    // `max_v: 1` is a no-op negotiation: the v1 reply, byte for byte.
+    assert_eq!(
+        one(r#"{"id": 5, "op": "hello", "max_v": 1}"#),
+        r#"{"id":5,"ok":true,"server":"xmltad","protocol":1}"#
+    );
+}
+
+#[test]
+fn golden_hello_v2_errors() {
+    // The backpressure reply: asking beyond the cap names the cap and
+    // leaves the connection at its previous version.
+    assert_eq!(
+        one(r#"{"id": 1, "op": "hello", "max_v": 2, "pipeline": 64}"#),
+        r#"{"id":1,"ok":false,"error":{"code":"pipeline-depth-exceeded","message":"pipeline depth 64 exceeds this server's cap of 32"}}"#
+    );
+    // ... so a follow-up v2 frame is still rejected with the v1 message.
+    let input = "{\"id\": 1, \"op\": \"hello\", \"max_v\": 2, \"pipeline\": 64}\n\
+                 {\"v\": 2, \"id\": 2, \"op\": \"ping\"}\n";
+    let (lines, _) = run(input, 1 << 20);
+    assert_eq!(
+        lines[1],
+        r#"{"id":2,"ok":false,"error":{"code":"unsupported-protocol","message":"this server speaks protocol version 1"}}"#
+    );
+    // Ill-typed negotiation fields.
+    assert_eq!(
+        one(r#"{"id": 2, "op": "hello", "max_v": 0}"#),
+        r#"{"id":2,"ok":false,"error":{"code":"bad-request","message":"`max_v` must be a positive integer"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 3, "op": "hello", "max_v": "two"}"#),
+        r#"{"id":3,"ok":false,"error":{"code":"bad-request","message":"`max_v` must be a positive integer"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 4, "op": "hello", "max_v": 2, "pipeline": 0}"#),
+        r#"{"id":4,"ok":false,"error":{"code":"bad-request","message":"`pipeline` must be a positive integer"}}"#
+    );
+    // `pipeline` without (or with a v1) negotiation is meaningless.
+    assert_eq!(
+        one(r#"{"id": 5, "op": "hello", "pipeline": 4}"#),
+        r#"{"id":5,"ok":false,"error":{"code":"bad-request","message":"`pipeline` requires `max_v` 2 or higher"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 6, "op": "hello", "max_v": 1, "pipeline": 4}"#),
+        r#"{"id":6,"ok":false,"error":{"code":"bad-request","message":"`pipeline` requires `max_v` 2 or higher"}}"#
+    );
+}
+
+/// Runs a v2 session (hello + `input` frames) and returns the non-hello
+/// responses keyed by stringified id — v2 responses arrive in completion
+/// order, so goldens correlate by id instead of position.
+fn v2_by_id(input: &str) -> std::collections::HashMap<String, String> {
+    let full = format!("{{\"id\": \"hello\", \"op\": \"hello\", \"max_v\": 2}}\n{input}");
+    let (lines, _) = run(&full, 1 << 20);
+    let mut map = std::collections::HashMap::new();
+    for line in lines {
+        let id = xmlta_service::parse_json(&line)
+            .expect("response parses")
+            .get("id")
+            .expect("response echoes an id")
+            .to_string();
+        assert!(map.insert(id, line).is_none(), "duplicate id");
+    }
+    assert_eq!(
+        map.remove("\"hello\"").unwrap(),
+        r#"{"id":"hello","ok":true,"server":"xmltad","protocol":2,"pipeline":32}"#
+    );
+    map
+}
+
+#[test]
+fn golden_v2_id_echo_and_errors() {
+    let responses = v2_by_id(
+        "{\"id\": 7, \"op\": \"ping\"}\n\
+         {\"id\": \"str-id\", \"op\": \"ping\"}\n\
+         {\"op\": \"ping\"}\n\
+         {\"v\": 2, \"id\": 8, \"op\": \"typecheck\", \"handle\": \"i0000000000000000\"}\n\
+         {\"v\": 3, \"id\": 9, \"op\": \"ping\"}\n\
+         {\"id\": 10, \"op\": \"hello\", \"max_v\": 2}\n",
+    );
+    // Number and string ids echo verbatim; an absent id echoes null.
+    assert_eq!(responses["7"], r#"{"id":7,"ok":true}"#);
+    assert_eq!(responses["\"str-id\""], r#"{"id":"str-id","ok":true}"#);
+    assert_eq!(responses["null"], r#"{"id":null,"ok":true}"#);
+    // Unknown handles on v2 answer synchronously with the pinned shape.
+    assert_eq!(
+        responses["8"],
+        r#"{"id":8,"ok":false,"error":{"code":"unknown-handle","message":"handle `i0000000000000000` was not registered on this connection"}}"#
+    );
+    // Version beyond the negotiated one: the v2 wording.
+    assert_eq!(
+        responses["9"],
+        r#"{"id":9,"ok":false,"error":{"code":"unsupported-protocol","message":"this connection speaks protocol versions 1 to 2"}}"#
+    );
+    // Re-negotiation is rejected.
+    assert_eq!(
+        responses["10"],
+        r#"{"id":10,"ok":false,"error":{"code":"bad-request","message":"protocol already negotiated on this connection"}}"#
+    );
+}
+
+#[test]
+fn golden_v2_malformed_id_shapes() {
+    // Malformed ids cannot ride the map-by-id harness (they collapse to
+    // null); pin them frame by frame on a fresh v2 session each.
+    for (frame, want) in [
+        (
+            r#"{"id": {"nested": true}, "op": "ping"}"#,
+            r#"{"id":null,"ok":false,"error":{"code":"bad-request","message":"`id` must be a string, a number, or null"}}"#,
+        ),
+        (
+            r#"{"id": [3], "op": "typecheck", "source": "x"}"#,
+            r#"{"id":null,"ok":false,"error":{"code":"bad-request","message":"`id` must be a string, a number, or null"}}"#,
+        ),
+        (
+            r#"{"id": true, "op": "ping"}"#,
+            r#"{"id":null,"ok":false,"error":{"code":"bad-request","message":"`id` must be a string, a number, or null"}}"#,
+        ),
+    ] {
+        let input = format!("{{\"op\": \"hello\", \"max_v\": 2}}\n{frame}\n");
+        let (lines, _) = run(&input, 1 << 20);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], want, "for frame {frame}");
+    }
+}
+
+#[test]
+fn golden_batch_bin_gating_and_errors() {
+    // On a v1 connection the op does not exist — the pre-v2 bytes.
+    assert_eq!(
+        one(r#"{"id": 1, "op": "batch_bin", "data": "eHRzAQ=="}"#),
+        r#"{"id":1,"ok":false,"error":{"code":"unknown-op","message":"unknown op `batch_bin`"}}"#
+    );
+    // On a v2 connection: missing/ill-formed payloads are bad requests...
+    let responses = v2_by_id(
+        "{\"id\": 1, \"op\": \"batch_bin\"}\n\
+         {\"id\": 2, \"op\": \"batch_bin\", \"data\": \"not base64!\"}\n\
+         {\"id\": 3, \"op\": \"batch_bin\", \"data\": \"Zm9v\"}\n",
+    );
+    assert_eq!(
+        responses["1"],
+        r#"{"id":1,"ok":false,"error":{"code":"bad-request","message":"`batch_bin` needs a base64 string `data`"}}"#
+    );
+    assert_eq!(
+        responses["2"],
+        r#"{"id":2,"ok":false,"error":{"code":"bad-request","message":"`batch_bin` data is not valid base64: base64 length 11 is not a multiple of 4"}}"#
+    );
+    // ... and a decodable payload that is not an .xts stream is an
+    // invalid-instance decode error (`Zm9v` is "foo").
+    assert_eq!(
+        responses["3"],
+        r#"{"id":3,"ok":false,"error":{"code":"invalid-instance","message":"decode error: byte 0: not an xts stream (bad magic)"}}"#
+    );
+    // An empty but well-formed stream is an empty batch.
+    let empty = xmlta_service::encode_stream(std::iter::empty()).expect("encodes");
+    let frame = format!(
+        "{{\"id\": 4, \"op\": \"batch_bin\", \"data\": \"{}\"}}\n",
+        xmlta_service::binfmt::base64_encode(&empty)
+    );
+    let responses = v2_by_id(&frame);
+    assert_eq!(
+        responses["4"],
+        r#"{"id":4,"ok":true,"report":{"xmlta":"batch","total":0,"typechecks":0,"counterexamples":0,"errors":0,"results":[]}}"#
+    );
+}
+
+#[test]
+fn stats_surfaces_memo_evictions() {
+    // A memo of capacity 1 over two distinct instances: the second
+    // typecheck evicts the first, and the `stats` op must report it.
+    let shared = Shared::with_capacities(4096, 1);
+    let mut session = Session::new(shared);
+    let other = GOOD.replace("y*", "y* y*");
+    let mut frame = |f: &str| session.handle_frame(f).0;
+    let source_a = xmlta_service::json::escaped(GOOD);
+    let source_b = xmlta_service::json::escaped(&other);
+    frame(&format!(
+        "{{\"id\": 1, \"op\": \"typecheck\", \"source\": {source_a}}}"
+    ));
+    frame(&format!(
+        "{{\"id\": 2, \"op\": \"typecheck\", \"source\": {source_b}}}"
+    ));
+    let stats = frame(r#"{"id": 3, "op": "stats"}"#);
+    assert!(
+        stats.contains("\"memo_evictions\":1") && stats.contains("\"memo_misses\":2"),
+        "{stats}"
+    );
+}
+
+#[test]
 fn register_bin_typecheck_roundtrip_over_stream() {
     let instance = xmlta_service::parse_instance(GOOD).expect("parses");
     let bytes = xmlta_service::encode_instance(&instance).expect("encodes");

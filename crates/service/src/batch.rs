@@ -8,7 +8,7 @@
 //! thread counts** — the acceptance property the integration tests and
 //! `ci.sh` check.
 
-use crate::binfmt::decode_instance;
+use crate::binfmt::{decode_instance, decode_stream, BinError};
 use crate::cache::{fingerprint_instance, typecheck_cached, CacheStats, SchemaCache};
 use crate::json::push_escaped;
 use crate::parse::parse_instance;
@@ -69,6 +69,17 @@ impl BatchItem {
             input: BatchInput::Prepared(instance),
         }
     }
+}
+
+/// Expands a `.xts` delta stream ([`crate::binfmt::decode_stream`]) into
+/// prepared batch items, named by the stream's embedded instance names —
+/// the decode step of the server's `batch_bin` op and the CLI's local
+/// `.xts` batches, so both render identical reports for the same stream.
+pub fn stream_batch_items(bytes: &[u8]) -> Result<Vec<BatchItem>, BinError> {
+    Ok(decode_stream(bytes)?
+        .into_iter()
+        .map(|(name, instance)| BatchItem::from_prepared(name, Arc::new(instance)))
+        .collect())
 }
 
 /// The outcome of one item.

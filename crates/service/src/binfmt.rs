@@ -53,6 +53,30 @@
 //! violation — it never panics on adversarial input. Encoding is canonical
 //! (rules and transitions in sorted order), so equal instances encode to
 //! equal bytes.
+//!
+//! # Delta streams (`.xts`, version 1)
+//!
+//! Shared-schema fleets check thousands of instances that differ only in
+//! their transducer. A delta stream ships the schema context once and the
+//! per-instance payload after it:
+//!
+//! ```text
+//! magic   3 bytes  "xts"
+//! version 1 byte   0x01
+//! section*         until end of stream, each:
+//!   kind   1 byte   0x00 schema context | 0x01 instance
+//!   length varint   byte length of the body
+//!   body
+//! schema body   := symbol table, input schema, output schema
+//! instance body := name (varint length + UTF-8) + transducer payload
+//! ```
+//!
+//! A schema section replaces the active context; every instance section
+//! reuses it (symbol table included — names intern once per context, not
+//! once per instance), so a 1 000-instance fleet stream is one schema
+//! prefix plus 1 000 transducer frames. Sections are length-prefixed, so
+//! a decoder can skip or stream them without parsing bodies, and a body
+//! that does not consume exactly its declared length is rejected.
 
 use std::fmt;
 use typecheck_core::{Instance, Schema};
@@ -67,6 +91,18 @@ pub const MAGIC: &[u8; 3] = b"xtb";
 
 /// The format version this module reads and writes.
 pub const VERSION: u8 = 1;
+
+/// The three magic bytes every `.xts` delta stream starts with.
+pub const STREAM_MAGIC: &[u8; 3] = b"xts";
+
+/// The delta-stream version this module reads and writes.
+pub const STREAM_VERSION: u8 = 1;
+
+/// Section kind: a schema context (symbol table + input/output schemas).
+const SECTION_SCHEMA: u8 = 0;
+
+/// Section kind: one instance (name + transducer) over the active context.
+const SECTION_INSTANCE: u8 = 1;
 
 /// Nesting cap for recursive payloads (regexes, XPath expressions, rhs
 /// trees): deeper input is rejected instead of overflowing the stack.
@@ -96,6 +132,11 @@ fn reserve(count: usize) -> usize {
 /// Whether `bytes` starts like a binary instance frame (any version).
 pub fn is_xtb(bytes: &[u8]) -> bool {
     bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Whether `bytes` starts like a delta stream (any version).
+pub fn is_xts(bytes: &[u8]) -> bool {
+    bytes.len() >= STREAM_MAGIC.len() && &bytes[..STREAM_MAGIC.len()] == STREAM_MAGIC
 }
 
 /// A structured decode (or encode) failure: what went wrong and where.
@@ -377,13 +418,12 @@ fn put_transducer(out: &mut Vec<u8>, t: &Transducer) {
     }
 }
 
-/// Encodes `instance` as one `.xtb` frame.
-///
-/// Fails (without panicking) when the instance cannot be decoded back
-/// faithfully — a component mentions symbols beyond the alphabet's interned
-/// names, so the symbol table could not cover it (the same instances the
-/// textual printer refuses).
-pub fn encode_instance(instance: &Instance) -> Result<Vec<u8>, BinError> {
+/// Appends the schema-context payload of `instance` (symbol table, input
+/// schema, output schema) — the shared prefix of `.xtb` frames and `.xts`
+/// schema sections. Fails (without panicking) when a component mentions
+/// symbols beyond the alphabet's interned names, so the symbol table could
+/// not cover it (the same instances the textual printer refuses).
+fn put_schema_context(out: &mut Vec<u8>, instance: &Instance) -> Result<(), BinError> {
     let table_len = instance.alphabet.len();
     if instance.alphabet_size() > table_len {
         return Err(BinError::new(
@@ -394,16 +434,59 @@ pub fn encode_instance(instance: &Instance) -> Result<Vec<u8>, BinError> {
             ),
         ));
     }
+    put_usize(out, table_len);
+    for s in instance.alphabet.symbols() {
+        put_str(out, instance.alphabet.name(s));
+    }
+    put_schema(out, &instance.input);
+    put_schema(out, &instance.output);
+    Ok(())
+}
+
+/// Encodes `instance` as one `.xtb` frame.
+///
+/// Fails (without panicking) when the instance cannot be decoded back
+/// faithfully — a component mentions symbols beyond the alphabet's interned
+/// names, so the symbol table could not cover it (the same instances the
+/// textual printer refuses).
+pub fn encode_instance(instance: &Instance) -> Result<Vec<u8>, BinError> {
     let mut out = Vec::with_capacity(256);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    put_usize(&mut out, table_len);
-    for s in instance.alphabet.symbols() {
-        put_str(&mut out, instance.alphabet.name(s));
-    }
-    put_schema(&mut out, &instance.input);
-    put_schema(&mut out, &instance.output);
+    put_schema_context(&mut out, instance)?;
     put_transducer(&mut out, &instance.transducer);
+    Ok(out)
+}
+
+/// Encodes named instances as one `.xts` delta stream, emitting a schema
+/// section only when the context (alphabet + input schema + output schema)
+/// differs from the previous instance's — consecutive instances sharing a
+/// schema ride as bare transducer frames. Like [`encode_instance`], the
+/// encoding is canonical: equal input sequences encode to equal bytes.
+pub fn encode_stream<'a, I>(items: I) -> Result<Vec<u8>, BinError>
+where
+    I: IntoIterator<Item = (&'a str, &'a Instance)>,
+{
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(STREAM_MAGIC);
+    out.push(STREAM_VERSION);
+    let mut context: Option<Vec<u8>> = None;
+    for (name, instance) in items {
+        let mut schema = Vec::new();
+        put_schema_context(&mut schema, instance)?;
+        if context.as_deref() != Some(schema.as_slice()) {
+            out.push(SECTION_SCHEMA);
+            put_usize(&mut out, schema.len());
+            out.extend_from_slice(&schema);
+            context = Some(schema);
+        }
+        let mut body = Vec::new();
+        put_str(&mut body, name);
+        put_transducer(&mut body, &instance.transducer);
+        out.push(SECTION_INSTANCE);
+        put_usize(&mut out, body.len());
+        out.extend_from_slice(&body);
+    }
     Ok(out)
 }
 
@@ -854,13 +937,32 @@ fn get_transducer(r: &mut Reader<'_>, table_len: usize) -> Result<Transducer, Bi
         .map_err(|e| BinError::new(at, format!("invalid transducer: {e}")))
 }
 
+/// Decodes a schema context (symbol table + input/output schemas) — the
+/// shared prefix of `.xtb` frames and `.xts` schema sections.
+fn get_schema_context(r: &mut Reader<'_>) -> Result<(Alphabet, Schema, Schema), BinError> {
+    let nsyms = r.count("symbol count")?;
+    let mut alphabet = Alphabet::new();
+    for _ in 0..nsyms {
+        let at = r.pos;
+        let name = r.str("symbol name")?;
+        let sym = alphabet.intern(name);
+        if sym.index() + 1 != alphabet.len() {
+            return Err(BinError::new(at, format!("duplicate symbol `{name}`")));
+        }
+    }
+    let table_len = alphabet.len();
+    let input = get_schema(r, table_len)?;
+    let output = get_schema(r, table_len)?;
+    Ok((alphabet, input, output))
+}
+
 /// Decodes one `.xtb` frame back into an [`Instance`].
 ///
 /// The decoder is total: truncated, corrupt, wrong-version, or adversarial
 /// frames return a [`BinError`] naming the offending byte offset — never a
 /// panic, never an out-of-range automaton.
 pub fn decode_instance(bytes: &[u8]) -> Result<Instance, BinError> {
-    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+    if !is_xtb(bytes) {
         return Err(BinError::new(0, "not an xtb frame (bad magic)"));
     }
     let mut r = Reader {
@@ -874,20 +976,8 @@ pub fn decode_instance(bytes: &[u8]) -> Result<Instance, BinError> {
             format!("unsupported xtb version {version} (this build reads version {VERSION})"),
         ));
     }
-    let nsyms = r.count("symbol count")?;
-    let mut alphabet = Alphabet::new();
-    for _ in 0..nsyms {
-        let at = r.pos;
-        let name = r.str("symbol name")?;
-        let sym = alphabet.intern(name);
-        if sym.index() + 1 != alphabet.len() {
-            return Err(BinError::new(at, format!("duplicate symbol `{name}`")));
-        }
-    }
-    let table_len = alphabet.len();
-    let input = get_schema(&mut r, table_len)?;
-    let output = get_schema(&mut r, table_len)?;
-    let transducer = get_transducer(&mut r, table_len)?;
+    let (alphabet, input, output) = get_schema_context(&mut r)?;
+    let transducer = get_transducer(&mut r, alphabet.len())?;
     if r.pos != bytes.len() {
         return Err(BinError::new(
             r.pos,
@@ -903,6 +993,75 @@ pub fn decode_instance(bytes: &[u8]) -> Result<Instance, BinError> {
         output,
         transducer,
     })
+}
+
+/// Decodes a `.xts` delta stream into its named instances. Each instance
+/// clones the active schema context (compiled DTD rules are `Arc`-shared,
+/// so the clone is shallow where it matters) and owns its transducer.
+///
+/// Total like [`decode_instance`]: truncation, unknown section kinds,
+/// section bodies that over- or under-run their declared length, and
+/// instances before any schema section all return structured errors.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<(String, Instance)>, BinError> {
+    if !is_xts(bytes) {
+        return Err(BinError::new(0, "not an xts stream (bad magic)"));
+    }
+    let mut r = Reader {
+        buf: bytes,
+        pos: STREAM_MAGIC.len(),
+    };
+    let version = r.u8("stream version byte")?;
+    if version != STREAM_VERSION {
+        return Err(BinError::new(
+            STREAM_MAGIC.len(),
+            format!(
+                "unsupported xts version {version} (this build reads version {STREAM_VERSION})"
+            ),
+        ));
+    }
+    let mut context: Option<(Alphabet, Schema, Schema)> = None;
+    let mut out = Vec::new();
+    while r.pos < bytes.len() {
+        let at = r.pos;
+        let kind = r.u8("section kind")?;
+        // `count` bounds the declared length by the bytes remaining, so
+        // `end` cannot overflow past the buffer.
+        let len = r.count("section length")?;
+        let end = r.pos + len;
+        match kind {
+            SECTION_SCHEMA => context = Some(get_schema_context(&mut r)?),
+            SECTION_INSTANCE => {
+                let Some((alphabet, input, output)) = &context else {
+                    return Err(BinError::new(
+                        at,
+                        "instance section before any schema section",
+                    ));
+                };
+                let name = r.str("instance name")?.to_string();
+                let transducer = get_transducer(&mut r, alphabet.len())?;
+                out.push((
+                    name,
+                    Instance {
+                        alphabet: alphabet.clone(),
+                        input: input.clone(),
+                        output: output.clone(),
+                        transducer,
+                    },
+                ));
+            }
+            other => return Err(r.err(format!("unknown section kind {other}"))),
+        }
+        if r.pos != end {
+            return Err(BinError::new(
+                r.pos,
+                format!(
+                    "section declared {len} byte(s) but its body consumed {}",
+                    r.pos - (end - len)
+                ),
+            ));
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------

@@ -103,6 +103,77 @@ fn layered_instance(
     Instance::dtds(a, din, dout, t)
 }
 
+/// A true shared-schema fleet variant: like [`layered_source`], but the
+/// transducer's rule on `(initial, start)` is normalized to emit the input
+/// start symbol at the root (children kept from the random rule, so
+/// variants still differ), which pins the output schema's root across the
+/// whole group. Every instance of a `group_seed` therefore shares the
+/// *entire* schema context — alphabet, input DTD, output DTD — the shape
+/// delta `.xts` streams are built for: one schema section, `count`
+/// transducer frames.
+pub fn fleet_source(
+    group_seed: u64,
+    layers: usize,
+    symbols_per_layer: usize,
+    variant: u64,
+) -> Result<String, PrintError> {
+    print_instance(&fleet_instance(
+        group_seed,
+        layers,
+        symbols_per_layer,
+        variant,
+    ))
+}
+
+fn fleet_instance(
+    group_seed: u64,
+    layers: usize,
+    symbols_per_layer: usize,
+    variant: u64,
+) -> Instance {
+    let mut instance = layered_instance(group_seed, layers, symbols_per_layer, variant);
+    let start = match &instance.input {
+        typecheck_core::Schema::Dtd(d) => d.start(),
+        typecheck_core::Schema::Nta(_) => unreachable!("layered instances are DTD-based"),
+    };
+    let t = &instance.transducer;
+    let rules: Vec<_> = t
+        .rules()
+        .map(|(q, a, rhs)| {
+            let rhs = if q == t.initial_state() && a == start {
+                // Keep the random rule's children (per-variant variance)
+                // under a pinned root label.
+                let children = match rhs.nodes.as_slice() {
+                    [RhsNode::Elem(_, children)] => children.clone(),
+                    nodes => nodes.to_vec(),
+                };
+                xmlta_transducer::Rhs::new(vec![RhsNode::Elem(start, children)])
+            } else {
+                rhs.clone()
+            };
+            ((q, a), rhs)
+        })
+        .collect();
+    let normalized = xmlta_transducer::Transducer::from_parts(
+        t.state_names().to_vec(),
+        t.initial_state(),
+        rules,
+        t.selectors().to_vec(),
+        t.alphabet_size(),
+    )
+    .expect("normalizing a valid transducer keeps it valid");
+    // Re-root the output schema at the pinned symbol; rules stay the
+    // group's universal set, so the pair is identical across variants.
+    let universal = xmlta_automata::Dfa::universal(instance.alphabet.len());
+    let mut dout = Dtd::new(instance.alphabet.len(), start);
+    for s in instance.alphabet.symbols() {
+        dout.set_rule(s, StringLang::dfa(universal.clone()));
+    }
+    instance.output = typecheck_core::Schema::Dtd(dout);
+    instance.transducer = normalized;
+    instance
+}
+
 /// A mixed batch of `count` instances drawn from `groups` schema groups.
 ///
 /// Groups rotate through three shapes — filtering (depth grows with the

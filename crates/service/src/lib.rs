@@ -82,9 +82,10 @@ pub mod parse;
 pub mod print;
 
 pub use batch::{
-    check_instance, run_batch, BatchInput, BatchItem, BatchOutcome, ItemResult, ItemStatus,
+    check_instance, run_batch, stream_batch_items, BatchInput, BatchItem, BatchOutcome, ItemResult,
+    ItemStatus,
 };
-pub use binfmt::{decode_instance, encode_instance, BinError};
+pub use binfmt::{decode_instance, decode_stream, encode_instance, encode_stream, BinError};
 pub use cache::{fingerprint_instance, instance_eq, typecheck_cached, CacheStats, SchemaCache};
 pub use error::{Loc, ParseError, PrintError};
 pub use json::{parse_json, Json};

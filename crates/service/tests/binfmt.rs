@@ -275,6 +275,208 @@ fn memo_is_bounded_and_counts_evictions() {
     assert_eq!(again, fresh);
 }
 
+// ---------------------------------------------------------------------
+// Delta streams (.xts).
+
+/// A shared-schema fleet plus one schema switch: the canonical delta
+/// stream input.
+fn fleet() -> Vec<(String, Instance)> {
+    let mut named: Vec<(String, Instance)> = (0..5u64)
+        .map(|v| {
+            let source = xmlta_service::gen::layered_source(21, 3, 3, v).expect("prints");
+            (
+                format!("fleet-{v}"),
+                parse_instance(&source).expect("parses"),
+            )
+        })
+        .collect();
+    named.push((
+        "filtering".to_string(),
+        workloads::filtering_family(3).instance,
+    ));
+    named
+}
+
+#[test]
+fn delta_streams_roundtrip_structurally() {
+    let fleet = fleet();
+    let stream =
+        binfmt::encode_stream(fleet.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    assert!(binfmt::is_xts(&stream), "stream magic sniff");
+    assert!(!binfmt::is_xtb(&stream), "streams are not instance frames");
+    let decoded = binfmt::decode_stream(&stream).expect("decodes");
+    assert_eq!(decoded.len(), fleet.len());
+    for ((want_name, want), (got_name, got)) in fleet.iter().zip(&decoded) {
+        assert_eq!(want_name, got_name);
+        assert!(instance_eq(want, got), "{want_name} differs structurally");
+    }
+    // Canonical: re-encoding the decoded fleet reproduces the bytes.
+    let reencoded =
+        binfmt::encode_stream(decoded.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    assert_eq!(stream, reencoded, "stream encoding must be canonical");
+}
+
+#[test]
+fn delta_streams_share_the_schema_prefix() {
+    // 64 fleet instances over one schema: the stream must be dramatically
+    // smaller than 64 individual frames, and grow roughly per-transducer.
+    let shared: Vec<(String, Instance)> = (0..64u64)
+        .map(|v| {
+            let source = xmlta_service::gen::fleet_source(22, 3, 3, v).expect("prints");
+            (format!("i{v}"), parse_instance(&source).expect("parses"))
+        })
+        .collect();
+    let stream =
+        binfmt::encode_stream(shared.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    let individual: usize = shared
+        .iter()
+        .map(|(_, i)| encode_instance(i).expect("encodes").len())
+        .sum();
+    assert!(
+        stream.len() * 2 < individual,
+        "delta stream ({} bytes) must be well under half the individual \
+         frames ({individual} bytes)",
+        stream.len()
+    );
+    // One schema section exactly: a second schema byte run would appear if
+    // contexts were re-emitted (count sections by decoding).
+    assert_eq!(binfmt::decode_stream(&stream).expect("decodes").len(), 64);
+
+    // Interleaving two schema groups re-emits contexts — order matters,
+    // and the encoder stays correct (just less compact).
+    let mut interleaved = Vec::new();
+    for v in 0..4u64 {
+        for seed in [22u64, 23] {
+            let source = xmlta_service::gen::fleet_source(seed, 3, 3, v).expect("prints");
+            interleaved.push((
+                format!("s{seed}-v{v}"),
+                parse_instance(&source).expect("parses"),
+            ));
+        }
+    }
+    let zigzag =
+        binfmt::encode_stream(interleaved.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    let decoded = binfmt::decode_stream(&zigzag).expect("decodes");
+    for ((want_name, want), (got_name, got)) in interleaved.iter().zip(&decoded) {
+        assert_eq!(want_name, got_name);
+        assert!(instance_eq(want, got), "{want_name} differs");
+    }
+}
+
+#[test]
+fn delta_stream_truncations_and_corruptions_are_total() {
+    let fleet = fleet();
+    let stream =
+        binfmt::encode_stream(fleet.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    // Every prefix either decodes (a section boundary) to a *prefix* of
+    // the fleet, or errors with an offset inside the prefix — never a
+    // panic, never an invented instance.
+    for cut in 0..stream.len() {
+        match binfmt::decode_stream(&stream[..cut]) {
+            Ok(decoded) => {
+                assert!(decoded.len() <= fleet.len());
+                for ((want_name, want), (got_name, got)) in fleet.iter().zip(&decoded) {
+                    assert_eq!(want_name, got_name);
+                    assert!(instance_eq(want, got));
+                }
+            }
+            Err(e) => assert!(
+                e.offset <= cut,
+                "error offset {} past the {cut}-byte prefix",
+                e.offset
+            ),
+        }
+    }
+    // Bit flips are total (may still decode; must never panic).
+    for i in 0..stream.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = stream.clone();
+            corrupt[i] ^= flip;
+            let _ = binfmt::decode_stream(&corrupt);
+        }
+    }
+}
+
+#[test]
+fn delta_stream_structured_errors() {
+    // Wrong magic / version.
+    let err = binfmt::decode_stream(b"nope").unwrap_err();
+    assert!(err.message.contains("bad magic"), "{err}");
+    let err = binfmt::decode_stream(b"xts\x09").unwrap_err();
+    assert!(err.message.contains("unsupported xts version 9"), "{err}");
+
+    // An instance section before any schema context.
+    let fleet = fleet();
+    let one =
+        binfmt::encode_stream(fleet.iter().take(1).map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    // Locate the instance section: it follows the schema section, whose
+    // start is right after magic+version. Parse the section framing by
+    // hand: kind byte, then a varint length.
+    let mut pos = 4usize;
+    assert_eq!(one[pos], 0, "first section is the schema context");
+    pos += 1;
+    let mut len = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = one[pos];
+        pos += 1;
+        len |= u64::from(b & 0x7f) << shift;
+        shift += 7;
+        if b & 0x80 == 0 {
+            break;
+        }
+    }
+    let instance_section = &one[pos + len as usize..];
+    let mut orphan = b"xts\x01".to_vec();
+    orphan.extend_from_slice(instance_section);
+    let err = binfmt::decode_stream(&orphan).unwrap_err();
+    assert!(err.message.contains("before any schema section"), "{err}");
+
+    // An unknown section kind.
+    let mut unknown = b"xts\x01".to_vec();
+    unknown.push(7);
+    unknown.push(0);
+    let err = binfmt::decode_stream(&unknown).unwrap_err();
+    assert!(err.message.contains("unknown section kind 7"), "{err}");
+
+    // A section whose declared length disagrees with its body.
+    let mut mismatched = one.clone();
+    // Grow the instance section's declared length by appending a byte the
+    // body will not consume: easiest via a trailing garbage byte, which
+    // lands inside no section and trips the framing.
+    mismatched.push(1);
+    let err = binfmt::decode_stream(&mismatched).unwrap_err();
+    assert!(
+        err.offset >= one.len() - 1,
+        "error should point at the trailing section: {err}"
+    );
+
+    // The empty stream is a valid empty batch.
+    assert_eq!(
+        binfmt::decode_stream(&binfmt::encode_stream(std::iter::empty()).unwrap())
+            .unwrap()
+            .len(),
+        0
+    );
+}
+
+#[test]
+fn stream_batch_items_match_per_instance_batches() {
+    // The same fleet via the delta stream and as individual prepared
+    // items: byte-identical reports.
+    let fleet = fleet();
+    let stream =
+        binfmt::encode_stream(fleet.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    let via_stream = xmlta_service::stream_batch_items(&stream).expect("decodes");
+    let direct: Vec<BatchItem> = fleet
+        .iter()
+        .map(|(n, i)| BatchItem::from_prepared(n.clone(), std::sync::Arc::new(i.clone())))
+        .collect();
+    let a = run_batch(&via_stream, 2, Some(&SchemaCache::new())).to_json();
+    let b = run_batch(&direct, 2, Some(&SchemaCache::new())).to_json();
+    assert_eq!(a, b, "stream front-end must not change verdicts");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -283,6 +485,29 @@ proptest! {
     fn random_instances_roundtrip_binary(seed in 0u64..10_000) {
         let w = workloads::random_layered_family(seed, 3, 3);
         assert_binary_roundtrip(&w.name, &w.instance);
+    }
+
+    /// Random fleets survive the delta-stream round-trip exactly, at any
+    /// truncation point.
+    #[test]
+    fn random_streams_roundtrip_and_truncate(seed in 0u64..2_000) {
+        let named: Vec<(String, Instance)> = (0..3u64)
+            .map(|v| {
+                let w = workloads::random_layered_family(seed ^ v, 2, 2);
+                (format!("s{v}"), w.instance)
+            })
+            .collect();
+        let stream = binfmt::encode_stream(named.iter().map(|(n, i)| (n.as_str(), i)))
+            .expect("encodes");
+        let decoded = binfmt::decode_stream(&stream).expect("decodes");
+        prop_assert_eq!(decoded.len(), named.len());
+        for ((_, want), (_, got)) in named.iter().zip(&decoded) {
+            prop_assert!(instance_eq(want, got));
+        }
+        let cut = (seed as usize * 37) % stream.len();
+        if let Err(e) = binfmt::decode_stream(&stream[..cut]) {
+            prop_assert!(e.offset <= cut);
+        }
     }
 
     /// Every proper prefix of a random instance's encoding is an error,

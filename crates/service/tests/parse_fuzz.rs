@@ -1,0 +1,227 @@
+//! Fuzzing the `.xti` textual parser the way `binfmt.rs` fuzzes `.xtb`:
+//! truncation at every boundary, byte flips, and garbage prefixes must
+//! yield structured [`ParseError`]s with in-range line/column positions —
+//! never a panic, never a nonsense location. (A mutation may of course
+//! still *parse*; the property is totality and error quality, not
+//! rejection.)
+
+use proptest::prelude::*;
+use xmlta_service::{parse_instance, ParseError};
+
+/// A spread of real sources covering every section kind the parser knows:
+/// DTD and NTA schemas, regex/RE+/automaton rules, XPath and DFA
+/// selectors.
+fn corpus() -> Vec<(String, String)> {
+    let mut sources = vec![
+        (
+            "dfa-selector".to_string(),
+            "\
+input dtd {
+  start r
+  r -> x*
+  x -> t
+  t -> eps
+}
+output dtd {
+  start r
+  r -> y*
+}
+transducer {
+  states q p
+  initial q
+  selector $deep = x t
+  (q, r) -> r <p, $deep>
+  (p, t) -> y
+}
+"
+            .to_string(),
+        ),
+        (
+            "filtering".to_string(),
+            xmlta_service::gen::filtering_source(3).expect("prints"),
+        ),
+        (
+            "regex".to_string(),
+            xmlta_service::gen::regex_schema_source(6).expect("prints"),
+        ),
+        (
+            "layered".to_string(),
+            xmlta_service::gen::layered_source(5, 3, 3, 1).expect("prints"),
+        ),
+    ];
+    // An NTA instance exercises the `input nta { ... }` grammar.
+    let nta = "\
+alphabet { r x }
+input nta {
+  states q0 q1
+  final q0
+  (q0, r) -> q1*
+  (q1, x) ->
+}
+output nta {
+  states p
+  final p
+  (p, r) -> p*
+  (p, x) ->
+}
+transducer {
+  states q
+  initial q
+  (q, r) -> r(q)
+  (q, x) -> x
+}
+";
+    assert!(parse_instance(nta).is_ok(), "nta corpus source parses");
+    sources.push(("nta".to_string(), nta.to_string()));
+    sources
+}
+
+/// The error's location must point into the source (or just past its end,
+/// for unclosed-section errors reported at EOF).
+fn assert_loc(name: &str, source: &str, e: &ParseError) {
+    let lines = source.lines().count().max(1);
+    assert!(
+        e.loc.line >= 1 && (e.loc.line as usize) <= lines + 1,
+        "{name}: error line {} out of range (source has {lines} lines): {e}",
+        e.loc.line
+    );
+    assert!(e.loc.col >= 1, "{name}: error column 0: {e}");
+    // Columns index into the named line (or column 1 of a virtual line
+    // just past the end).
+    if let Some(line) = source.lines().nth(e.loc.line as usize - 1) {
+        assert!(
+            (e.loc.col as usize) <= line.len() + 1,
+            "{name}: error column {} past line {} (len {}): {e}",
+            e.loc.col,
+            e.loc.line,
+            line.len()
+        );
+    }
+    assert!(!e.message.is_empty(), "{name}: empty error message");
+}
+
+/// Parses arbitrary bytes (lossily decoded) and validates any error.
+fn parse_lossy_never_panics(name: &str, bytes: &[u8]) {
+    let source = String::from_utf8_lossy(bytes);
+    if let Err(e) = parse_instance(&source) {
+        assert_loc(name, &source, &e);
+    }
+}
+
+#[test]
+fn corpus_parses_clean() {
+    for (name, source) in corpus() {
+        parse_instance(&source).unwrap_or_else(|e| panic!("{name}: corpus must parse: {e}"));
+    }
+}
+
+#[test]
+fn every_line_truncation_errors_in_range() {
+    for (name, source) in corpus() {
+        let lines: Vec<&str> = source.lines().collect();
+        for keep in 0..lines.len() {
+            let prefix = lines[..keep].join("\n");
+            if let Err(e) = parse_instance(&prefix) {
+                assert_loc(&name, &prefix, &e);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_byte_truncation_is_total() {
+    for (name, source) in corpus() {
+        let bytes = source.as_bytes();
+        for cut in 0..bytes.len() {
+            parse_lossy_never_panics(&name, &bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn byte_flips_are_total() {
+    for (name, source) in corpus() {
+        let bytes = source.as_bytes().to_vec();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x20, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= flip;
+                parse_lossy_never_panics(&name, &corrupt);
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_prefixes_error_early_and_in_range() {
+    let (_, source) = &corpus()[0];
+    for garbage in [
+        "}}}}\n",
+        "\u{0}\u{1}\u{2}\n",
+        "input input input\n",
+        "<?xml version=\"1.0\"?>\n",
+        "xtb\u{1}binary-looking garbage\n",
+        "# only a comment, then junk\n@@@@\n",
+    ] {
+        let polluted = format!("{garbage}{source}");
+        let e =
+            parse_instance(&polluted).expect_err("garbage before the first section must not parse");
+        assert_loc("garbage-prefix", &polluted, &e);
+        let garbage_lines = garbage.lines().count() as u32;
+        assert!(
+            e.loc.line <= garbage_lines + 1,
+            "error should point at the garbage (line {} of {}): {e}",
+            e.loc.line,
+            garbage_lines
+        );
+    }
+}
+
+#[test]
+fn pinned_errors_carry_exact_positions() {
+    // A few handcrafted failures with their exact locations, so positions
+    // stay meaningful (not just in-range).
+    let unclosed = "input dtd {";
+    let e = parse_instance(unclosed).unwrap_err();
+    assert_eq!((e.loc.line, e.loc.col), (2, 1), "{e}");
+    assert!(e.message.contains("unclosed"), "{e}");
+
+    let bad_rule = "input dtd {\n  start r\n  r -> ((x\n}\n";
+    let e = parse_instance(bad_rule).unwrap_err();
+    assert_eq!(e.loc.line, 3, "{e}");
+
+    let no_transducer =
+        "input dtd {\n  start r\n  r -> eps\n}\noutput dtd {\n  start r\n  r -> eps\n}\n";
+    let e = parse_instance(no_transducer).unwrap_err();
+    assert_loc("no-transducer", no_transducer, &e);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random multi-byte corruptions (position, xor mask, and an optional
+    /// splice of random bytes) never panic the parser.
+    #[test]
+    fn random_corruptions_are_total(seed in 0u64..5_000) {
+        let corpus = corpus();
+        let (name, source) = &corpus[(seed % corpus.len() as u64) as usize];
+        let mut bytes = source.as_bytes().to_vec();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..1 + seed % 5 {
+            let at = (next() as usize) % bytes.len();
+            bytes[at] ^= (next() & 0xff) as u8;
+        }
+        if seed % 3 == 0 {
+            let at = (next() as usize) % bytes.len();
+            let insert: Vec<u8> = (0..(next() % 9)).map(|_| (next() & 0xff) as u8).collect();
+            bytes.splice(at..at, insert);
+        }
+        parse_lossy_never_panics(name, &bytes);
+    }
+}
