@@ -128,6 +128,56 @@ wait "$daemon" || { echo "xmltad exited nonzero (leaked workers?)"; exit 1; }
 daemon=""
 [[ ! -e "$sock" ]] || { echo "socket file leaked"; exit 1; }
 
+echo "== xmltad TCP smoke (port 0 + round-trip + clean shutdown)"
+# Bind an OS-assigned port; the daemon announces it on stderr.
+./target/release/xmltad --tcp 127.0.0.1:0 2> "$smoke/tcp.err" &
+daemon=$!
+tcp_addr=""
+for _ in $(seq 100); do
+    tcp_addr="$(sed -n 's/.*listening on tcp //p' "$smoke/tcp.err" | head -n1)"
+    [[ -n "$tcp_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$tcp_addr" ]] || { echo "xmltad never announced its TCP port"; exit 1; }
+xmlta client --tcp "$tcp_addr" typecheck "$pass_file" > "$smoke/tcp.txt" \
+    || { echo "typecheck over TCP failed"; exit 1; }
+# Same verdict lines as the Unix-socket sequential client produced.
+cmp <(head -n1 "$smoke/seq.txt") "$smoke/tcp.txt" \
+    || { echo "TCP verdict differs from Unix-socket verdict"; exit 1; }
+xmlta client --tcp "$tcp_addr" shutdown > /dev/null
+wait "$daemon" || { echo "xmltad (tcp) exited nonzero"; exit 1; }
+daemon=""
+
+echo "== chaos smoke (fixed-seed fault proxy + resilient pipelined client)"
+sock="$smoke/chaos.sock"
+proxy_sock="$smoke/chaos-proxy.sock"
+./target/release/xmltad --socket "$sock" --read-timeout-ms 150 &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "xmltad never bound $sock"; exit 1; }
+# The proxy injects torn frames, stalls past the read timeout, chunked
+# writes, and scripted disconnects on its first 6 connections (seed 1),
+# then runs clean — the retrying client must recover to the exact
+# verdicts the direct client sees.
+xmlta fault-proxy --listen "$proxy_sock" --socket "$sock" \
+    --seed 1 --faults 6 --stall-ms 250 2> /dev/null &
+proxy=$!
+for _ in $(seq 100); do [[ -S "$proxy_sock" ]] && break; sleep 0.1; done
+[[ -S "$proxy_sock" ]] || { kill "$proxy" 2>/dev/null; echo "fault proxy never bound"; exit 1; }
+xmlta client --socket "$sock" typecheck "$pass_file" "$d2" "$d3" > "$smoke/chaos-direct.txt" \
+    || { kill "$proxy" 2>/dev/null; echo "direct run failed"; exit 1; }
+xmlta client --socket "$proxy_sock" --retry 8 --timeout-ms 2000 --pipeline 8 \
+    typecheck "$pass_file" "$d2" "$d3" > "$smoke/chaos.txt" \
+    || { kill "$proxy" 2>/dev/null; echo "resilient client did not recover through faults"; exit 1; }
+kill "$proxy" 2>/dev/null || true
+wait "$proxy" 2>/dev/null || true
+cmp "$smoke/chaos-direct.txt" "$smoke/chaos.txt" \
+    || { echo "verdicts under faults differ from the direct run"; exit 1; }
+xmlta client --socket "$sock" shutdown > /dev/null
+wait "$daemon" || { echo "xmltad (chaos) exited nonzero after fault injection"; exit 1; }
+daemon=""
+[[ ! -e "$sock" ]] || { echo "chaos socket file leaked"; exit 1; }
+
 echo "== quickstart example"
 cargo run --release -q -p xmlta-examples --example quickstart > /dev/null
 

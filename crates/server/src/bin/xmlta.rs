@@ -6,9 +6,13 @@
 //! xmlta convert INPUT... [--out FILE|DIR] [--compile] [--delta]
 //! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
 //! xmlta report FILE
-//! xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
+//! xmlta serve (--socket PATH | --tcp HOST:PORT | --stdio) [--max-frame BYTES]
 //!             [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
-//! xmlta client --socket PATH [--pipeline N] <action> [args]
+//!             [--read-timeout-ms MS] [--max-conns N]
+//! xmlta client (--socket PATH | --tcp HOST:PORT) [--pipeline N]
+//!             [--retry N] [--timeout-ms MS] <action> [args]
+//! xmlta fault-proxy --listen PATH (--socket PATH | --tcp HOST:PORT)
+//!             [--seed S] [--faults N] [--stall-ms MS]
 //! ```
 //!
 //! Instance files may be textual (`.xti`), binary (`.xtb`), or delta
@@ -81,13 +85,18 @@ USAGE:
   xmlta report FILE
       Summarize a batch JSON report (pretty or single-line form).
 
-  xmlta serve (--socket PATH | --stdio) [--max-frame BYTES]
-              [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
-      Run the persistent typechecking server (same as `xmltad`).
-      --pipeline-depth caps the in-flight window a protocol-2 client may
-      negotiate (default 32).
+  xmlta serve (--socket PATH | --tcp HOST:PORT | --stdio)
+              [--max-frame BYTES] [--registry-cap N] [--memo-cap N]
+              [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]
+      Run the persistent typechecking server (same as `xmltad`; --socket
+      and --tcp may be combined). --pipeline-depth caps the in-flight
+      window a protocol-2 client may negotiate (default 32);
+      --read-timeout-ms reaps idle connections (default 300000, 0
+      disables); --max-conns sheds accepts past N live connections with
+      a `server-overloaded` frame (default 1024).
 
-  xmlta client --socket PATH [--pipeline N] <action>
+  xmlta client (--socket PATH | --tcp HOST:PORT) [--pipeline N]
+               [--retry N] [--timeout-ms MS] <action>
       Talk to a running server. Actions:
         register FILE...         register instances (.xtb files go over
                                  the binary `register_bin` frame);
@@ -109,8 +118,26 @@ USAGE:
       printed results and exit codes are identical to the sequential
       client's.
 
+      --retry N (typecheck only) drives the resilient client: up to N
+      connect attempts with jittered exponential backoff, and replay of
+      unanswered requests after a mid-stream drop (replay is idempotent —
+      verdicts are deterministic and id-correlated). --timeout-ms bounds
+      each wait for a response.
+
+      Transport failures print one line to stderr and exit with a
+      distinct code: 3 connect failed, 4 timed out, 5 connection lost
+      mid-stream (2 stays usage/other errors).
+
       Handles are per-connection: a handle is valid for the invocation
       that registered it (every `client` action is one connection).
+
+  xmlta fault-proxy --listen PATH (--socket PATH | --tcp HOST:PORT)
+                    [--seed S] [--faults N] [--stall-ms MS]
+      A deterministic fault-injection proxy for chaos smokes: forwards
+      Unix-socket connections on PATH to the upstream server, injecting
+      seeded faults (cuts, stalls, 1-byte writes) into the first N
+      connections (default 4, seed 0), then passing the rest through
+      clean. Runs until killed.
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +154,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
         "client" => cmd_client(rest),
+        "fault-proxy" => cmd_fault_proxy(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -148,10 +176,16 @@ struct Opts {
     threads: Option<usize>,
     out: Option<PathBuf>,
     socket: Option<PathBuf>,
+    tcp: Option<String>,
+    listen: Option<PathBuf>,
     no_cache: bool,
     compile: bool,
     delta: bool,
     pipeline: Option<usize>,
+    retry: Option<u32>,
+    timeout_ms: Option<u64>,
+    faults: Option<usize>,
+    stall_ms: Option<u64>,
     count: Option<usize>,
     groups: Option<usize>,
     seed: Option<u64>,
@@ -166,10 +200,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threads: None,
         out: None,
         socket: None,
+        tcp: None,
+        listen: None,
         no_cache: false,
         compile: false,
         delta: false,
         pipeline: None,
+        retry: None,
+        timeout_ms: None,
+        faults: None,
+        stall_ms: None,
         count: None,
         groups: None,
         seed: None,
@@ -186,10 +226,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--threads" => o.threads = Some(parse_num(value("--threads")?)?),
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
             "--socket" => o.socket = Some(PathBuf::from(value("--socket")?)),
+            "--tcp" => o.tcp = Some(value("--tcp")?.clone()),
+            "--listen" => o.listen = Some(PathBuf::from(value("--listen")?)),
             "--no-cache" => o.no_cache = true,
             "--compile" => o.compile = true,
             "--delta" => o.delta = true,
             "--pipeline" => o.pipeline = Some(parse_num(value("--pipeline")?)?),
+            "--retry" => o.retry = Some(parse_num(value("--retry")?)?),
+            "--timeout-ms" => o.timeout_ms = Some(parse_num(value("--timeout-ms")?)?),
+            "--faults" => o.faults = Some(parse_num(value("--faults")?)?),
+            "--stall-ms" => o.stall_ms = Some(parse_num(value("--stall-ms")?)?),
             "--count" => o.count = Some(parse_num(value("--count")?)?),
             "--groups" => o.groups = Some(parse_num(value("--groups")?)?),
             "--seed" => o.seed = Some(parse_num(value("--seed")?)?),
@@ -637,18 +683,137 @@ fn summarize_report(path: &str, report: &Json) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `xmlta fault-proxy`: the deterministic fault-injection proxy as a
+/// standalone process, for chaos smokes in shell scripts (the chaos test
+/// suite drives [`xmlta_server::fault::FaultProxy`] in-process). Runs
+/// until killed.
+fn cmd_fault_proxy(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let listen = opts.listen.ok_or("fault-proxy needs --listen PATH")?;
+    let upstream = match (&opts.socket, &opts.tcp) {
+        (Some(path), None) => xmlta_server::ServerAddr::Unix(path.clone()),
+        (None, Some(addr)) => xmlta_server::ServerAddr::Tcp(addr.clone()),
+        _ => {
+            return Err(
+                "fault-proxy needs exactly one upstream: --socket PATH or --tcp HOST:PORT".into(),
+            )
+        }
+    };
+    let schedule = xmlta_server::fault::Schedule::from_seed(
+        opts.seed.unwrap_or(0),
+        opts.faults.unwrap_or(4),
+        std::time::Duration::from_millis(opts.stall_ms.unwrap_or(200)),
+    );
+    let faulted = schedule.faulted_conns();
+    let _proxy = xmlta_server::fault::FaultProxy::spawn(&listen, upstream, schedule)
+        .map_err(|e| format!("{}: {e}", listen.display()))?;
+    eprintln!(
+        "xmlta fault-proxy: listening on {} ({faulted} faulted connection(s), then clean)",
+        listen.display()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 // ---------------------------------------------------------------------
 // The client subcommand.
 
+/// A client failure, split by how it exits: `Usage` is the generic
+/// message path (exit 2, like every other subcommand); `Transport`
+/// carries one of the documented transport exit codes with a structured
+/// one-line message for stderr.
+enum ClientError {
+    Usage(String),
+    Transport(u8, String),
+}
+
+impl From<String> for ClientError {
+    fn from(msg: String) -> ClientError {
+        ClientError::Usage(msg)
+    }
+}
+
+impl From<&str> for ClientError {
+    fn from(msg: &str) -> ClientError {
+        ClientError::Usage(msg.to_string())
+    }
+}
+
+/// Exit code for connect failures (server not running / wrong address).
+const EXIT_CONNECT: u8 = 3;
+/// Exit code for timeouts (server up but silent past `--timeout-ms`).
+const EXIT_TIMEOUT: u8 = 4;
+/// Exit code for mid-stream disconnects (connection died under us).
+const EXIT_DISCONNECT: u8 = 5;
+
+/// Classifies an I/O failure into the documented transport taxonomy.
+fn transport(e: std::io::Error) -> ClientError {
+    use std::io::ErrorKind as K;
+    match e.kind() {
+        K::ConnectionRefused | K::NotFound | K::AddrNotAvailable => {
+            ClientError::Transport(EXIT_CONNECT, format!("connect failed: {e}"))
+        }
+        K::WouldBlock | K::TimedOut => ClientError::Transport(
+            EXIT_TIMEOUT,
+            format!("timed out waiting for the server: {e}"),
+        ),
+        K::UnexpectedEof | K::ConnectionReset | K::ConnectionAborted | K::BrokenPipe => {
+            ClientError::Transport(EXIT_DISCONNECT, format!("connection lost mid-stream: {e}"))
+        }
+        _ => ClientError::Usage(e.to_string()),
+    }
+}
+
+fn disconnected(what: &str) -> ClientError {
+    ClientError::Transport(
+        EXIT_DISCONNECT,
+        format!("connection lost mid-stream: {what}"),
+    )
+}
+
+/// The server address from `--socket`/`--tcp` (exactly one).
+fn client_addr(opts: &Opts) -> Result<xmlta_server::ServerAddr, ClientError> {
+    match (&opts.socket, &opts.tcp) {
+        (Some(path), None) => Ok(xmlta_server::ServerAddr::Unix(path.clone())),
+        (None, Some(addr)) => Ok(xmlta_server::ServerAddr::Tcp(addr.clone())),
+        (Some(_), Some(_)) => Err("give --socket or --tcp, not both".into()),
+        (None, None) => Err("client needs --socket PATH or --tcp HOST:PORT".into()),
+    }
+}
+
 fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    match cmd_client_inner(args) {
+        Ok(code) => Ok(code),
+        Err(ClientError::Usage(msg)) => Err(msg),
+        Err(ClientError::Transport(code, msg)) => {
+            eprintln!("xmlta client: {msg}");
+            Ok(ExitCode::from(code))
+        }
+    }
+}
+
+fn cmd_client_inner(args: &[String]) -> Result<ExitCode, ClientError> {
     let opts = parse_opts(args)?;
-    let socket = opts.socket.as_deref().ok_or("client needs --socket PATH")?;
+    let addr = client_addr(&opts)?;
     let Some((action, targets)) = opts.positional.split_first() else {
         return Err(
             "client needs an action (register, typecheck, batch, ping, stats, shutdown)".into(),
         );
     };
-    let mut client = Client::connect(socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    // `--retry` routes typecheck through the resilient client: reconnect
+    // with jittered backoff and replay of unanswered requests.
+    if action == "typecheck" {
+        if let Some(attempts) = opts.retry {
+            return client_typecheck_resilient(&addr, &opts, targets, attempts);
+        }
+    }
+    let mut client = Client::connect_addr(&addr).map_err(transport)?;
+    if let Some(ms) = opts.timeout_ms {
+        client
+            .set_read_timeout((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+            .map_err(transport)?;
+    }
     if let Some(depth) = opts.pipeline {
         negotiate_v2(&mut client, Some(depth))?;
     }
@@ -666,7 +831,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                 "stats" => proto::req_stats(1),
                 _ => proto::req_shutdown(1),
             };
-            let response = client.roundtrip(&frame).map_err(|e| e.to_string())?;
+            let response = client.roundtrip(&frame).map_err(transport)?;
             println!("{response}");
             let parsed = parse_json(&response).map_err(|e| format!("bad response: {e}"))?;
             Ok(if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
@@ -675,14 +840,14 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                 ExitCode::from(2)
             })
         }
-        other => Err(format!("unknown client action `{other}`")),
+        other => Err(format!("unknown client action `{other}`").into()),
     }
 }
 
 /// Sends one frame and parses the response, failing on transport errors.
-fn client_roundtrip(client: &mut Client, frame: &str) -> Result<Json, String> {
-    let response = client.roundtrip(frame).map_err(|e| e.to_string())?;
-    parse_json(&response).map_err(|e| format!("bad response from server: {e}"))
+fn client_roundtrip(client: &mut Client, frame: &str) -> Result<Json, ClientError> {
+    let response = client.roundtrip(frame).map_err(transport)?;
+    parse_json(&response).map_err(|e| format!("bad response from server: {e}").into())
 }
 
 /// The error message of an `ok:false` response.
@@ -712,14 +877,14 @@ fn register_frame_for(path: &str, id: u64) -> Result<String, String> {
     })
 }
 
-fn client_register(client: &mut Client, files: &[String]) -> Result<ExitCode, String> {
+fn client_register(client: &mut Client, files: &[String]) -> Result<ExitCode, ClientError> {
     if files.is_empty() {
         return Err("register needs at least one FILE".into());
     }
     for (i, path) in files.iter().enumerate() {
         let response = client_roundtrip(client, &register_frame_for(path, i as u64 + 1)?)?;
         if let Some(e) = response_error(&response) {
-            return Err(format!("{path}: {e}"));
+            return Err(format!("{path}: {e}").into());
         }
         let handle = response
             .get("handle")
@@ -767,7 +932,7 @@ fn print_check_response(
     }
 }
 
-fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode, String> {
+fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode, ClientError> {
     if targets.is_empty() {
         return Err("typecheck needs at least one FILE or @HANDLE".into());
     }
@@ -801,10 +966,10 @@ fn client_typecheck(client: &mut Client, targets: &[String]) -> Result<ExitCode,
 
 /// Negotiates protocol 2 on a fresh connection; returns the granted
 /// pipeline depth.
-fn negotiate_v2(client: &mut Client, depth: Option<usize>) -> Result<usize, String> {
+fn negotiate_v2(client: &mut Client, depth: Option<usize>) -> Result<usize, ClientError> {
     let response = client_roundtrip(client, &proto::req_hello_v2(0, 2, depth))?;
     if let Some(e) = response_error(&response) {
-        return Err(format!("hello: {e}"));
+        return Err(format!("hello: {e}").into());
     }
     response
         .get("pipeline")
@@ -821,26 +986,26 @@ fn pipeline_frames(
     client: &mut Client,
     frames: &[String],
     window: usize,
-) -> Result<std::collections::HashMap<u64, Json>, String> {
+) -> Result<std::collections::HashMap<u64, Json>, ClientError> {
     let window = window.max(1);
     let mut responses = std::collections::HashMap::with_capacity(frames.len());
     let mut sent = 0usize;
     while responses.len() < frames.len() {
         while sent < frames.len() && sent - responses.len() < window {
-            client.send(&frames[sent]).map_err(|e| e.to_string())?;
+            client.send(&frames[sent]).map_err(transport)?;
             sent += 1;
         }
         let line = client
             .recv()
-            .map_err(|e| e.to_string())?
-            .ok_or("server closed the connection mid-pipeline")?;
+            .map_err(transport)?
+            .ok_or_else(|| disconnected("server closed the connection mid-pipeline"))?;
         let response = parse_json(&line).map_err(|e| format!("bad response from server: {e}"))?;
         let id = response
             .get("id")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("response without a numeric id: {line}"))?;
         if responses.insert(id, response).is_some() {
-            return Err(format!("server answered id {id} twice"));
+            return Err(format!("server answered id {id} twice").into());
         }
     }
     Ok(responses)
@@ -852,24 +1017,26 @@ fn pipeline_frames(
 /// waiting for the register reply — the v2 server resolves handles in
 /// request order, so the pair can never miss). Output and exit codes match
 /// the sequential client's.
-fn client_typecheck_pipelined(
-    client: &mut Client,
-    targets: &[String],
-    depth: usize,
-) -> Result<ExitCode, String> {
-    if targets.is_empty() {
-        return Err("typecheck needs at least one FILE or @HANDLE".into());
-    }
+/// The register/typecheck frame plan shared by the pipelined and
+/// resilient clients: per target, an optional register frame (odd id)
+/// and a typecheck frame (even id ≥ 2), handles computed client-side.
+struct CheckPlan {
+    /// All frames in send order (registers interleaved before checks).
+    frames: Vec<String>,
+    /// Per target: the id of its register frame (if any) and its check.
+    per_target: Vec<(Option<u64>, u64)>,
+}
+
+fn build_check_plan(targets: &[String]) -> Result<CheckPlan, ClientError> {
     let mut frames: Vec<String> = Vec::with_capacity(2 * targets.len());
-    // Per target: the id of its register frame (if any) and its typecheck.
-    let mut plan: Vec<(Option<u64>, u64)> = Vec::with_capacity(targets.len());
+    let mut per_target: Vec<(Option<u64>, u64)> = Vec::with_capacity(targets.len());
     for (i, target) in targets.iter().enumerate() {
         let reg_id = 2 * i as u64 + 1;
         let check_id = 2 * i as u64 + 2;
         match target.strip_prefix('@') {
             Some(handle) => {
                 frames.push(proto::req_typecheck_handle(check_id, handle));
-                plan.push((None, check_id));
+                per_target.push((None, check_id));
             }
             None => {
                 let (register, handle) = match read_payload(target)? {
@@ -882,17 +1049,32 @@ fn client_typecheck_pipelined(
                         (proto::req_register_bin(reg_id, &bytes), handle)
                     }
                     Payload::Stream(_) => {
-                        return Err(format!(
-                            "{target}: is a .xts delta stream; use `client batch`"
-                        ))
+                        return Err(
+                            format!("{target}: is a .xts delta stream; use `client batch`").into(),
+                        )
                     }
                 };
                 frames.push(register);
                 frames.push(proto::req_typecheck_handle(check_id, &handle));
-                plan.push((Some(reg_id), check_id));
+                per_target.push((Some(reg_id), check_id));
             }
         }
     }
+    Ok(CheckPlan { frames, per_target })
+}
+
+fn client_typecheck_pipelined(
+    client: &mut Client,
+    targets: &[String],
+    depth: usize,
+) -> Result<ExitCode, ClientError> {
+    if targets.is_empty() {
+        return Err("typecheck needs at least one FILE or @HANDLE".into());
+    }
+    let CheckPlan {
+        frames,
+        per_target: plan,
+    } = build_check_plan(targets)?;
     let responses = pipeline_frames(client, &frames, depth)?;
     let mut saw_counterexample = false;
     let mut saw_error = false;
@@ -920,7 +1102,7 @@ fn client_typecheck_pipelined(
 
 /// JSONL passthrough: one request frame per stdin line, one response line
 /// per frame to stdout — scripting a whole session over one connection.
-fn client_raw(client: &mut Client) -> Result<ExitCode, String> {
+fn client_raw(client: &mut Client) -> Result<ExitCode, ClientError> {
     use std::io::BufRead as _;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -928,13 +1110,76 @@ fn client_raw(client: &mut Client) -> Result<ExitCode, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let response = client.roundtrip(&line).map_err(|e| e.to_string())?;
+        let response = client.roundtrip(&line).map_err(transport)?;
         println!("{response}");
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<ExitCode, String> {
+/// `client typecheck --retry N`: the pipelined plan driven through
+/// [`xmlta_server::ResilientClient`] — register frames ride as the
+/// reconnect prelude, typecheck frames replay until answered. Output and
+/// exit codes match the other client paths; a register failure surfaces
+/// through its paired typecheck (`unknown-handle`).
+fn client_typecheck_resilient(
+    addr: &xmlta_server::ServerAddr,
+    opts: &Opts,
+    targets: &[String],
+    attempts: u32,
+) -> Result<ExitCode, ClientError> {
+    if targets.is_empty() {
+        return Err("typecheck needs at least one FILE or @HANDLE".into());
+    }
+    let CheckPlan { frames, per_target } = build_check_plan(targets)?;
+    let policy = xmlta_server::RetryPolicy {
+        attempts: attempts.max(1),
+        seed: opts.seed.unwrap_or(0),
+        ..xmlta_server::RetryPolicy::default()
+    };
+    let mut resilient = xmlta_server::ResilientClient::new(addr.clone(), policy);
+    resilient.set_pipeline(opts.pipeline.unwrap_or(1));
+    if let Some(ms) = opts.timeout_ms {
+        resilient.set_read_timeout((ms > 0).then(|| std::time::Duration::from_millis(ms)));
+    }
+    let check_ids: std::collections::HashSet<u64> =
+        per_target.iter().map(|(_, check)| *check).collect();
+    let mut work: Vec<(u64, String)> = Vec::with_capacity(per_target.len());
+    for frame in frames {
+        let id = parse_json(&frame)
+            .ok()
+            .and_then(|j| j.get("id").and_then(Json::as_u64))
+            .expect("plan frames carry numeric ids");
+        if check_ids.contains(&id) {
+            work.push((id, frame));
+        } else {
+            resilient.push_prelude(frame);
+        }
+    }
+    let responses = resilient.run(&work).map_err(transport)?;
+    if resilient.reconnects() > 0 {
+        eprintln!(
+            "xmlta client: recovered over {} reconnect(s), {} frame(s) replayed",
+            resilient.reconnects(),
+            resilient.replayed()
+        );
+    }
+    let mut saw_counterexample = false;
+    let mut saw_error = false;
+    for (target, (_, check_id)) in targets.iter().zip(&per_target) {
+        let line = responses
+            .get(check_id)
+            .ok_or_else(|| format!("{target}: no response for typecheck id {check_id}"))?;
+        let response = parse_json(line).map_err(|e| format!("bad response from server: {e}"))?;
+        print_check_response(target, &response, &mut saw_counterexample, &mut saw_error);
+    }
+    Ok(exit_for(saw_counterexample, saw_error))
+}
+
+fn client_batch(
+    client: &mut Client,
+    opts: &Opts,
+    paths: &[String],
+) -> Result<ExitCode, ClientError> {
     if paths.is_empty() {
         return Err("batch needs at least one PATH".into());
     }
@@ -953,9 +1198,9 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
         }
         let response = client_roundtrip(client, &proto::req_batch_bin(1, bytes, opts.threads))?;
         if let Some(e) = response_error(&response) {
-            return Err(format!("{name}: {e}"));
+            return Err(format!("{name}: {e}").into());
         }
-        return finish_batch(opts, &response);
+        return finish_batch(opts, &response).map_err(ClientError::Usage);
     }
     // Text payloads ride inline; binary payloads are registered over
     // `register_bin` first and ride as handles (the batch op itself has
@@ -968,7 +1213,7 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
                 let response =
                     client_roundtrip(client, &proto::req_register_bin(i as u64 + 1, &bytes))?;
                 if let Some(e) = response_error(&response) {
-                    return Err(format!("{name}: {e}"));
+                    return Err(format!("{name}: {e}").into());
                 }
                 let handle = response
                     .get("handle")
@@ -985,9 +1230,9 @@ fn client_batch(client: &mut Client, opts: &Opts, paths: &[String]) -> Result<Ex
     }
     let response = client_roundtrip(client, &proto::req_batch(1, &items, opts.threads))?;
     if let Some(e) = response_error(&response) {
-        return Err(e);
+        return Err(e.into());
     }
-    finish_batch(opts, &response)
+    finish_batch(opts, &response).map_err(ClientError::Usage)
 }
 
 /// Writes or summarizes the report of a `batch`/`batch_bin` response.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xmltad --socket PATH [OPTIONS]
+//! xmltad --tcp HOST:PORT [OPTIONS]
 //! xmltad --stdio      [OPTIONS]
 //! ```
 //!
@@ -14,18 +15,30 @@ const USAGE: &str = "\
 xmltad — persistent typechecking server
 
 USAGE:
-  xmltad --socket PATH [--max-frame BYTES] [--registry-cap N]
-         [--memo-cap N] [--pipeline-depth N]
-      Bind a Unix socket at PATH and serve connections until a client
-      sends a `shutdown` request. The socket file must not exist yet and
-      is removed on exit. --pipeline-depth caps the in-flight window a
-      protocol-2 client may negotiate (default 32); --registry-cap and
-      --memo-cap bound the prepared-instance registry and the typecheck
-      result memo.
+  xmltad --socket PATH [--tcp HOST:PORT] [--max-frame BYTES]
+         [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
+         [--read-timeout-ms MS] [--max-conns N] [--retry-after-ms MS]
+      Bind a Unix socket at PATH (and/or a TCP listener — give either or
+      both) and serve connections until a client sends a `shutdown`
+      request. The socket file must not exist yet and is removed on
+      exit. --pipeline-depth caps the in-flight window a protocol-2
+      client may negotiate (default 32); --registry-cap and --memo-cap
+      bound the prepared-instance registry and the typecheck result
+      memo. --read-timeout-ms closes connections idle past MS with a
+      `read-timeout` error frame (default 300000; 0 disables);
+      --max-conns sheds accepts past N live connections with a
+      `server-overloaded` frame carrying a `retry_after_ms` hint
+      (default 1024; hint set by --retry-after-ms, default 100).
+
+  xmltad --tcp HOST:PORT [same options]
+      TCP-only. The resolved address is announced on stderr
+      (`listening on tcp ADDR`), so HOST:0 picks an ephemeral port
+      discoverably.
 
   xmltad --stdio [same options]
       Serve a single session over stdin/stdout (one process = one
-      connection); exits at EOF or on `shutdown`.
+      connection); exits at EOF or on `shutdown`. Read timeouts do not
+      apply.
 
 The wire protocol is one JSON object per line; see the README.
 ";

@@ -1,16 +1,20 @@
 //! Serve-mode argument handling shared by the `xmltad` binary and the
 //! `xmlta serve` subcommand.
 
-use crate::{serve_stdio, serve_unix, ServerConfig, Shared};
+use crate::{serve_stdio, Bound, ServerConfig, Shared};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-/// Parses serve-mode arguments (`--socket PATH | --stdio`,
-/// `[--max-frame BYTES] [--registry-cap N] [--memo-cap N]
-/// [--pipeline-depth N]`) and runs the server. `name` labels error output;
-/// `usage` is printed for `--help`.
+/// Parses serve-mode arguments (`--socket PATH | --tcp HOST:PORT |
+/// --stdio`, `[--max-frame BYTES] [--registry-cap N] [--memo-cap N]
+/// [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]`) and runs
+/// the server. `--socket` and `--tcp` may be combined (one shared state,
+/// two listeners). `name` labels error output; `usage` is printed for
+/// `--help`.
 pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
     let mut socket: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
     let mut stdio = false;
     let mut config = ServerConfig::default();
     let mut registry_cap = crate::state::DEFAULT_REGISTRY_CAPACITY;
@@ -29,11 +33,21 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
                     it.next().ok_or("--socket needs a path")?.clone(),
                 ))
             }
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs HOST:PORT")?.clone()),
             "--stdio" => stdio = true,
             "--max-frame" => config.max_frame = count_value(&mut it, "--max-frame")?,
             "--registry-cap" => registry_cap = count_value(&mut it, "--registry-cap")?,
             "--memo-cap" => memo_cap = count_value(&mut it, "--memo-cap")?,
             "--pipeline-depth" => config.pipeline_depth = count_value(&mut it, "--pipeline-depth")?,
+            "--read-timeout-ms" => {
+                // 0 disables the idle reaper entirely.
+                let ms = count_value(&mut it, "--read-timeout-ms")? as u64;
+                config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-conns" => config.max_conns = count_value(&mut it, "--max-conns")?.max(1),
+            "--retry-after-ms" => {
+                config.retry_after_ms = count_value(&mut it, "--retry-after-ms")? as u64
+            }
             "--help" | "-h" => {
                 print!("{usage}");
                 return Ok(ExitCode::SUCCESS);
@@ -42,23 +56,33 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
         }
     }
     let shared = Shared::with_capacities(registry_cap, memo_cap);
-    match (socket, stdio) {
-        (Some(path), false) => match serve_unix(&path, shared, config) {
-            Ok(()) => Ok(ExitCode::SUCCESS),
-            // Socket-level failures are usage/IO errors (exit 2, like the
-            // documented contract); exit 1 is reserved for worker
-            // leaks/panics at shutdown.
-            Err(e @ crate::ServeError::Io(_)) => Err(e.to_string()),
-            Err(e) => {
-                eprintln!("{name}: {e}");
-                Ok(ExitCode::FAILURE)
-            }
-        },
-        (None, true) => {
-            serve_stdio(shared, &config).map_err(|e| format!("stdio session: {e}"))?;
-            Ok(ExitCode::SUCCESS)
+    if stdio {
+        if socket.is_some() || tcp.is_some() {
+            return Err("--stdio excludes --socket/--tcp".into());
         }
-        (Some(_), true) => Err("give --socket or --stdio, not both".into()),
-        (None, false) => Err(format!("give --socket PATH or --stdio\n\n{usage}")),
+        serve_stdio(shared, &config).map_err(|e| format!("stdio session: {e}"))?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    if socket.is_none() && tcp.is_none() {
+        return Err(format!(
+            "give --socket PATH, --tcp HOST:PORT, or --stdio\n\n{usage}"
+        ));
+    }
+    let bound = Bound::bind(socket.as_deref(), tcp.as_deref()).map_err(|e| e.to_string())?;
+    if let Some(addr) = bound.tcp_addr() {
+        // Announce the resolved address so callers binding port 0 can
+        // discover the ephemeral port (parsed by ci.sh and tests).
+        eprintln!("{name}: listening on tcp {addr}");
+    }
+    match bound.serve(shared, config) {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        // Socket-level failures are usage/IO errors (exit 2, like the
+        // documented contract); exit 1 is reserved for worker
+        // leaks/panics at shutdown.
+        Err(e @ crate::ServeError::Io(_)) => Err(e.to_string()),
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            Ok(ExitCode::FAILURE)
+        }
     }
 }

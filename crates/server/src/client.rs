@@ -1,34 +1,103 @@
-//! A minimal reference client over a Unix socket.
+//! Clients: a minimal transport-level [`Client`] and a fault-tolerant
+//! [`ResilientClient`] with reconnect, backoff, and replay.
 //!
-//! Transport-level by design: callers build request frames with the
-//! constructors in [`crate::proto`] and read response lines back, either
-//! strictly ([`Client::roundtrip`]) or pipelined ([`Client::send`] many,
-//! then [`Client::recv`] as many). On a v1 connection the server answers
-//! every frame in order, so pipelining needs no correlation logic — but
-//! keep the window bounded (a few dozen frames): the v1 server writes
-//! responses synchronously, so a client that writes unboundedly without
-//! reading deadlocks once the response direction's socket buffer fills.
-//! After a `hello` negotiates protocol 2, responses arrive in *completion*
-//! order (correlate by `id`), and the server's reader keeps draining
-//! frames while a dedicated writer catches up — a v2 connection absorbs
-//! arbitrarily deep pipelining without deadlock.
+//! [`Client`] is transport-level by design: callers build request frames
+//! with the constructors in [`crate::proto`] and read response lines
+//! back, either strictly ([`Client::roundtrip`]) or pipelined
+//! ([`Client::send`] many, then [`Client::recv`] as many). On a v1
+//! connection the server answers every frame in order, so pipelining
+//! needs no correlation logic — but keep the window bounded (a few dozen
+//! frames): the v1 server writes responses synchronously, so a client
+//! that writes unboundedly without reading deadlocks once the response
+//! direction's socket buffer fills. After a `hello` negotiates protocol
+//! 2, responses arrive in *completion* order (correlate by `id`), and
+//! the server's reader keeps draining frames while a dedicated writer
+//! catches up — a v2 connection absorbs arbitrarily deep pipelining
+//! without deadlock.
+//!
+//! [`ResilientClient`] layers a retry discipline on top: jittered
+//! exponential backoff on connect and reconnect, a *prelude* of
+//! registration frames re-sent on every (re)connect (handles are
+//! session-scoped), and replay of unanswered pipelined requests after a
+//! drop. Replay is safe because verdicts are deterministic and
+//! id-correlated: re-asking the same request yields the same answer, and
+//! the client asserts exactly that whenever it sees an id twice.
 
+use crate::net::Stream;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use xmlta_service::{parse_json, Json};
+
+/// A server endpoint on either transport.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    /// A Unix socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl ServerAddr {
+    pub(crate) fn connect(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            ServerAddr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            ServerAddr::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                let _ = stream.set_nodelay(true);
+                Stream::Tcp(stream)
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ServerAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
 
 /// A connected client.
 pub struct Client {
-    stream: UnixStream,
-    reader: BufReader<UnixStream>,
+    stream: Stream,
+    reader: BufReader<Stream>,
+    max_frame: usize,
 }
 
 impl Client {
     /// Connects to the server socket at `path`.
     pub fn connect(path: &Path) -> std::io::Result<Client> {
-        let stream = UnixStream::connect(path)?;
+        Client::connect_addr(&ServerAddr::Unix(path.to_path_buf()))
+    }
+
+    /// Connects to `addr` on either transport.
+    pub fn connect_addr(addr: &ServerAddr) -> std::io::Result<Client> {
+        let stream = addr.connect()?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        Ok(Client {
+            stream,
+            reader,
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Caps the size of response frames [`Client::recv`] will buffer —
+    /// the client-side mirror of the server's max-frame limit, so a
+    /// corrupt or hostile response can't balloon client memory.
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = max_frame;
+    }
+
+    /// Arms (or clears) a read timeout: a [`Client::recv`] with no
+    /// response for this long fails with `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Sends one frame (a response can be collected later with
@@ -56,22 +125,54 @@ impl Client {
     }
 
     /// Receives one response line, or `None` when the server closed the
-    /// connection.
+    /// connection. A frame exceeding the configured cap (see
+    /// [`Client::set_max_frame`]) fails with `InvalidData` without
+    /// buffering the rest of it.
     pub fn recv(&mut self) -> std::io::Result<Option<String>> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let mut buf = Vec::new();
+        let limit = self.max_frame as u64 + 1;
+        let n = std::io::Read::take(&mut self.reader, limit).read_until(b'\n', &mut buf)?;
         if n == 0 {
             return Ok(None);
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
+        if !buf.ends_with(b"\n") && n as u64 >= limit {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "response frame exceeds the {} byte cap; refusing to buffer it",
+                    self.max_frame
+                ),
+            ));
         }
-        Ok(Some(line))
+        while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        String::from_utf8(buf).map(Some).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response frame is not valid UTF-8",
+            )
+        })
     }
 
-    /// Sends one frame and waits for its response.
+    /// Sends one frame and waits for its response. If the send fails
+    /// because the server already closed the connection, any parting
+    /// frame it left behind (e.g. `server-overloaded` on a shed accept)
+    /// is returned instead of the write error.
     pub fn roundtrip(&mut self, frame: &str) -> std::io::Result<String> {
-        self.send(frame)?;
+        if let Err(e) = self.send(frame) {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ) {
+                if let Ok(Some(line)) = self.recv() {
+                    return Ok(line);
+                }
+            }
+            return Err(e);
+        }
         self.recv()?.ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -79,4 +180,343 @@ impl Client {
             )
         })
     }
+}
+
+/// Connect/reconnect retry discipline for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Connect attempts per (re)connect before giving up (at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after.
+    pub base_ms: u64,
+    /// Backoff ceiling.
+    pub max_ms: u64,
+    /// Jitter seed — a fixed seed makes the whole retry schedule
+    /// deterministic, which the chaos suite relies on.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_ms: 50,
+            max_ms: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty for jitter. Kept inline so the
+/// server crate stays dependency-free.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (0-based):
+    /// exponential from `base_ms` capped at `max_ms`, then drawn
+    /// uniformly from the upper half of that window so concurrent
+    /// clients decorrelate without collapsing the backoff.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_ms
+            .checked_shl(attempt.min(32))
+            .unwrap_or(self.max_ms)
+            .min(self.max_ms)
+            .max(1);
+        let half = exp / 2;
+        let jittered = half + splitmix64(rng) % (exp - half + 1);
+        Duration::from_millis(jittered)
+    }
+}
+
+/// Is this I/O failure worth a reconnect-and-replay, or is it final?
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::NotFound
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// A client that survives a hostile transport: jittered exponential
+/// backoff on connect and reconnect, a prelude of registration frames
+/// re-sent on every (re)connect, and replay of unanswered pipelined
+/// work after a drop.
+///
+/// The caller supplies work as `(id, frame)` pairs with **distinct
+/// numeric ids from 1 up** (id 0 is reserved for the `hello`; prelude
+/// frames carry their own ids, which must not collide with work ids).
+/// Responses are correlated by echoed id. If the same id is ever
+/// answered twice — which replay after an ill-timed drop can cause — the
+/// two responses are asserted byte-identical; a mismatch means the
+/// server broke its determinism contract and is reported as
+/// `InvalidData`, never papered over.
+///
+/// Noise frames without a numeric id (e.g. a `malformed-frame` error for
+/// a torn frame the fault injector manufactured, or a `read-timeout`
+/// notice) are counted and skipped: they describe the transport, not any
+/// request.
+pub struct ResilientClient {
+    addr: ServerAddr,
+    policy: RetryPolicy,
+    rng: u64,
+    max_frame: usize,
+    read_timeout: Option<Duration>,
+    pipeline: usize,
+    prelude: Vec<String>,
+    conn: Option<Client>,
+    reconnects: u64,
+    replayed: u64,
+    noise: u64,
+}
+
+impl ResilientClient {
+    /// A resilient client for `addr`; call [`ResilientClient::run`] to
+    /// execute work.
+    pub fn new(addr: ServerAddr, policy: RetryPolicy) -> ResilientClient {
+        let rng = policy.seed ^ 0xd1b5_4a32_d192_ed03;
+        ResilientClient {
+            addr,
+            policy,
+            rng,
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+            read_timeout: Some(Duration::from_secs(30)),
+            pipeline: crate::proto::DEFAULT_PIPELINE_DEPTH,
+            prelude: Vec::new(),
+            conn: None,
+            reconnects: 0,
+            replayed: 0,
+            noise: 0,
+        }
+    }
+
+    /// Caps response frame sizes (mirrors [`Client::set_max_frame`]).
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = max_frame;
+    }
+
+    /// Client-side read timeout per response; a stall past it triggers
+    /// reconnect-and-replay. `None` waits forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Pipeline depth to request in the `hello` (the grant caps the
+    /// in-flight window).
+    pub fn set_pipeline(&mut self, depth: usize) {
+        self.pipeline = depth.max(1);
+    }
+
+    /// Adds a prelude frame — typically a `register` — re-sent on every
+    /// (re)connect before any work, because handles are session-scoped.
+    /// Registration is content-keyed and idempotent, so re-sending is
+    /// free on the server side.
+    pub fn push_prelude(&mut self, frame: String) {
+        self.prelude.push(frame);
+    }
+
+    /// How many times the transport dropped and the client reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// How many work frames were re-sent after a drop.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// How many id-less noise frames were skipped.
+    pub fn noise_frames(&self) -> u64 {
+        self.noise
+    }
+
+    /// Connects (with backoff), negotiates v2, and replays the prelude.
+    /// A `server-overloaded` reply to the `hello` honours its
+    /// `retry_after_ms` hint instead of the exponential schedule.
+    fn connect(&mut self) -> std::io::Result<Client> {
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 || last.is_some() {
+                std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+            }
+            match self.try_connect() {
+                Ok(client) => return Ok(client),
+                Err(ConnectError::RetryAfter(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    last = Some(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "server overloaded",
+                    ));
+                }
+                Err(ConnectError::Io(e)) if retryable(&e) => last = Some(e),
+                Err(ConnectError::Io(e)) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "connect failed")
+        }))
+    }
+
+    fn try_connect(&mut self) -> Result<Client, ConnectError> {
+        let mut client = Client::connect_addr(&self.addr).map_err(ConnectError::Io)?;
+        client.set_max_frame(self.max_frame);
+        client
+            .set_read_timeout(self.read_timeout)
+            .map_err(ConnectError::Io)?;
+        let hello = crate::proto::req_hello_v2(0, 2, Some(self.pipeline));
+        let response = client.roundtrip(&hello).map_err(ConnectError::Io)?;
+        if let Ok(json) = parse_json(&response) {
+            if let Some(error) = json.get("error") {
+                if error.get("code").and_then(Json::as_str)
+                    == Some(crate::proto::code::SERVER_OVERLOADED)
+                {
+                    let ms = error
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(crate::net::DEFAULT_RETRY_AFTER_MS);
+                    return Err(ConnectError::RetryAfter(ms));
+                }
+            }
+        }
+        // Replay the prelude and collect one id-bearing response each.
+        let mut awaited = self.prelude.len();
+        client
+            .send_all(&self.prelude.clone())
+            .map_err(ConnectError::Io)?;
+        while awaited > 0 {
+            let line = client.recv().map_err(ConnectError::Io)?.ok_or_else(|| {
+                ConnectError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection during the prelude",
+                ))
+            })?;
+            match response_id(&line) {
+                Some(_) => awaited -= 1,
+                None => self.noise += 1,
+            }
+        }
+        Ok(client)
+    }
+
+    /// Runs `work` to completion: every id gets exactly one recorded
+    /// response, surviving disconnects by reconnecting (backoff) and
+    /// replaying whatever was still unanswered. Returns responses keyed
+    /// by id. Fails only when the transport stays down past the retry
+    /// budget with no progress, or on a non-retryable error.
+    pub fn run(&mut self, work: &[(u64, String)]) -> std::io::Result<BTreeMap<u64, String>> {
+        let mut answered: BTreeMap<u64, String> = BTreeMap::new();
+        let mut barren_rounds: u32 = 0;
+        while answered.len() < work.len() {
+            if self.conn.is_none() {
+                self.conn = Some(self.connect()?);
+            }
+            let before = answered.len();
+            let result = self.drive(work, &mut answered);
+            match result {
+                Ok(()) => {}
+                Err(e) if retryable(&e) => {
+                    self.conn = None;
+                    self.reconnects += 1;
+                    if answered.len() > before {
+                        barren_rounds = 0;
+                    } else {
+                        barren_rounds += 1;
+                        if barren_rounds > self.policy.attempts.max(1) {
+                            return Err(std::io::Error::new(
+                                e.kind(),
+                                format!(
+                                    "no progress after {barren_rounds} reconnects \
+                                     ({} of {} answered): {e}",
+                                    answered.len(),
+                                    work.len()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(answered)
+    }
+
+    /// One connection's worth of progress: pipeline every still-unanswered
+    /// frame through the current connection, recording responses by id.
+    fn drive(
+        &mut self,
+        work: &[(u64, String)],
+        answered: &mut BTreeMap<u64, String>,
+    ) -> std::io::Result<()> {
+        let pending: Vec<&(u64, String)> = work
+            .iter()
+            .filter(|(id, _)| !answered.contains_key(id))
+            .collect();
+        if pending.len() < work.len() {
+            self.replayed += pending.len() as u64;
+        }
+        let conn = self.conn.as_mut().expect("drive() requires a connection");
+        let window = self.pipeline.max(1);
+        let mut next = 0usize;
+        let mut inflight = 0usize;
+        let mut got = 0usize;
+        while got < pending.len() {
+            while inflight < window && next < pending.len() {
+                conn.send(&pending[next].1)?;
+                next += 1;
+                inflight += 1;
+            }
+            let line = conn.recv()?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                )
+            })?;
+            match response_id(&line) {
+                Some(id) if work.iter().any(|(w, _)| *w == id) => {
+                    match answered.get(&id) {
+                        Some(prev) if prev != &line => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!(
+                                    "replay for id {id} got a different response\n  first:  {prev}\n  replay: {line}"
+                                ),
+                            ));
+                        }
+                        Some(_) => {} // idempotent replay: identical, drop the dup
+                        None => {
+                            answered.insert(id, line);
+                        }
+                    }
+                    inflight = inflight.saturating_sub(1);
+                    got += 1;
+                }
+                // An id we never sent, or no id at all: transport noise
+                // (e.g. the error for a fault-injected torn frame).
+                _ => self.noise += 1,
+            }
+        }
+        Ok(())
+    }
+}
+
+enum ConnectError {
+    Io(std::io::Error),
+    RetryAfter(u64),
+}
+
+/// The echoed numeric id of a response frame, if it has one.
+fn response_id(line: &str) -> Option<u64> {
+    parse_json(line).ok()?.get("id").and_then(Json::as_u64)
 }

@@ -1,0 +1,305 @@
+//! A seeded, deterministic fault-injection proxy for chaos testing.
+//!
+//! [`FaultProxy`] sits between a client and the real server as a
+//! pair-of-sockets shuttle: it listens on a Unix socket, connects
+//! upstream per accepted connection, and forwards bytes both ways —
+//! except where the connection's [`ConnPlan`] says to misbehave. Faults
+//! are scripted *by byte offset*, so a [`Schedule`] derived from a seed
+//! produces the same torn frames, truncations, stalls, and disconnects
+//! every run:
+//!
+//! * [`Fault::Cut`] — forward exactly `after` bytes in that direction,
+//!   then hard-close both sides. An offset landing mid-frame produces a
+//!   torn frame (the server answers it with a `malformed-frame` error, a
+//!   client sees a clean EOF or reset) — byte truncation and scripted
+//!   disconnect in one primitive.
+//! * [`Fault::Stall`] — forward `after` bytes, then go silent for `dur`
+//!   before resuming. Sized past the server's read timeout, this
+//!   exercises the idle-connection reaper; sized past the client's, the
+//!   reconnect path.
+//! * [`Fault::Chunk`] — deliver everything, but in writes of at most
+//!   `size` bytes. Partial writes must reassemble into identical frames;
+//!   any buffering bug upstream or down shows up as a verdict diff.
+//!
+//! A schedule faults only the first [`Schedule::faulted_conns`]
+//! connections and passes every later one through clean, so a
+//! reconnecting client is guaranteed eventual progress — the chaos suite
+//! asserts *completion*, not just survival.
+
+use crate::client::ServerAddr;
+use crate::net::Stream;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One scripted misbehaviour in one direction of one connection.
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Forward `after` bytes, then hard-close both sides of the pair.
+    Cut {
+        /// Bytes forwarded before the close.
+        after: usize,
+    },
+    /// Forward `after` bytes, then pause for `dur` before resuming.
+    Stall {
+        /// Bytes forwarded before the pause.
+        after: usize,
+        /// Length of the pause.
+        dur: Duration,
+    },
+    /// Forward everything, in writes of at most `size` bytes.
+    Chunk {
+        /// Maximum bytes per write.
+        size: usize,
+    },
+}
+
+/// The faults for one proxied connection, per direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnPlan {
+    /// Applied to client→server bytes.
+    pub to_server: Option<Fault>,
+    /// Applied to server→client bytes.
+    pub to_client: Option<Fault>,
+}
+
+/// A deterministic fault schedule: connection `n` gets `plans[n]`, and
+/// connections past the end are passed through clean.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    plans: Vec<ConnPlan>,
+}
+
+impl Schedule {
+    /// A schedule with explicit per-connection plans.
+    pub fn new(plans: Vec<ConnPlan>) -> Schedule {
+        Schedule { plans }
+    }
+
+    /// Derives a schedule from `seed`: the first `faulted_conns`
+    /// connections each draw a fault (type, direction, byte offset) from
+    /// a SplitMix64 stream. `stall` sizes every [`Fault::Stall`] — pick
+    /// it relative to the timeouts under test. Same seed, same schedule.
+    pub fn from_seed(seed: u64, faulted_conns: usize, stall: Duration) -> Schedule {
+        let mut rng = seed ^ 0x5851_f42d_4c95_7f2d;
+        let mut draw = move || crate::client::splitmix64(&mut rng);
+        let plans = (0..faulted_conns)
+            .map(|_| {
+                // Offsets up to ~600 bytes land both mid-frame (torn
+                // frames) and on frame boundaries for typical requests.
+                let fault = match draw() % 4 {
+                    0 => Fault::Cut {
+                        after: (draw() % 600) as usize,
+                    },
+                    1 => Fault::Stall {
+                        after: (draw() % 300) as usize,
+                        dur: stall,
+                    },
+                    2 => Fault::Chunk {
+                        size: 1 + (draw() % 7) as usize,
+                    },
+                    _ => Fault::Cut {
+                        // A late cut: lets a few exchanges complete first,
+                        // so replay happens with partial progress.
+                        after: 200 + (draw() % 2_000) as usize,
+                    },
+                };
+                if draw() % 2 == 0 {
+                    ConnPlan {
+                        to_server: Some(fault),
+                        to_client: None,
+                    }
+                } else {
+                    ConnPlan {
+                        to_server: None,
+                        to_client: Some(fault),
+                    }
+                }
+            })
+            .collect();
+        Schedule { plans }
+    }
+
+    /// How many leading connections carry a fault.
+    pub fn faulted_conns(&self) -> usize {
+        self.plans.len()
+    }
+
+    fn plan(&self, conn: usize) -> ConnPlan {
+        self.plans.get(conn).copied().unwrap_or_default()
+    }
+}
+
+/// A running fault proxy; [`FaultProxy::stop`] tears it down.
+pub struct FaultProxy {
+    listen: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Listens on `listen` (a fresh Unix socket path) and proxies every
+    /// connection to `upstream` under `schedule`.
+    pub fn spawn(
+        listen: &Path,
+        upstream: ServerAddr,
+        schedule: Schedule,
+    ) -> std::io::Result<FaultProxy> {
+        let listener = UnixListener::bind(listen)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, upstream, schedule, stop))
+        };
+        Ok(FaultProxy {
+            listen: listen.to_path_buf(),
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// Stops accepting, closes every proxied connection, and joins the
+    /// shuttle threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.listen); // wake the accept loop
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.listen);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: UnixListener,
+    upstream: ServerAddr,
+    schedule: Schedule,
+    stop: Arc<AtomicBool>,
+) {
+    // Clones of both sides of every live pair, so teardown can cut them
+    // out from under blocked shuttles.
+    let live: Arc<Mutex<Vec<Stream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut shuttles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut conn = 0usize;
+    loop {
+        let Ok((down, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let down = Stream::Unix(down);
+        let Ok(up) = upstream.connect() else {
+            down.shutdown_both();
+            continue;
+        };
+        let plan = schedule.plan(conn);
+        conn += 1;
+        let Ok(pair) = clone_pair(&down, &up) else {
+            down.shutdown_both();
+            up.shutdown_both();
+            continue;
+        };
+        if let Ok(mut guard) = live.lock() {
+            let Ok(extra) = clone_pair(&down, &up) else {
+                down.shutdown_both();
+                up.shutdown_both();
+                continue;
+            };
+            guard.push(extra.0);
+            guard.push(extra.1);
+        }
+        let (down_clone, up_clone) = pair;
+        shuttles.push(std::thread::spawn(move || {
+            shuttle(down, up_clone, plan.to_server)
+        }));
+        shuttles.push(std::thread::spawn(move || {
+            shuttle(up, down_clone, plan.to_client)
+        }));
+    }
+    for stream in live
+        .lock()
+        .map(|mut g| std::mem::take(&mut *g))
+        .unwrap_or_default()
+    {
+        stream.shutdown_both();
+    }
+    for handle in shuttles {
+        let _ = handle.join();
+    }
+}
+
+fn clone_pair(down: &Stream, up: &Stream) -> std::io::Result<(Stream, Stream)> {
+    Ok((down.try_clone()?, up.try_clone()?))
+}
+
+/// Forwards bytes `from` → `to` under an optional fault, then closes both
+/// sides (a one-direction EOF ends the whole proxied connection — real
+/// peers treat half-closed protocol sockets as dead anyway).
+fn shuttle(mut from: Stream, mut to: Stream, fault: Option<Fault>) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize; // bytes already passed through
+    let mut stalled = false;
+    'outer: loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk: &[u8] = &buf[..n];
+        match fault {
+            Some(Fault::Cut { after }) if forwarded + chunk.len() >= after => {
+                let keep = after.saturating_sub(forwarded);
+                let _ = to.write_all(&chunk[..keep]);
+                let _ = to.flush();
+                break;
+            }
+            Some(Fault::Stall { after, dur }) if !stalled && forwarded + chunk.len() > after => {
+                // Deliver up to the offset, go dark, then resume.
+                let keep = after.saturating_sub(forwarded);
+                if to.write_all(&chunk[..keep]).is_err() || to.flush().is_err() {
+                    break;
+                }
+                forwarded += keep;
+                chunk = &chunk[keep..];
+                std::thread::sleep(dur);
+                stalled = true;
+            }
+            Some(Fault::Chunk { size }) => {
+                let size = size.max(1);
+                for piece in chunk.chunks(size) {
+                    if to.write_all(piece).is_err() || to.flush().is_err() {
+                        break 'outer;
+                    }
+                    forwarded += piece.len();
+                }
+                continue;
+            }
+            // No fault, or a scripted offset not yet reached: pass through.
+            _ => {}
+        }
+        if to.write_all(chunk).is_err() || to.flush().is_err() {
+            break;
+        }
+        forwarded += chunk.len();
+    }
+    from.shutdown_both();
+    to.shutdown_both();
+}

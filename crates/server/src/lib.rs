@@ -16,9 +16,13 @@
 //!   registry;
 //! * [`session`] — per-connection handle tables and request dispatch,
 //!   with per-request panic isolation;
-//! * [`net`] — the socket daemon (thread-per-connection, graceful
+//! * [`net`] — the socket daemon (Unix and TCP listeners,
+//!   thread-per-connection, read timeouts, overload shedding, graceful
 //!   shutdown, leak-checked drain) and the stdio mode;
-//! * [`client`] — the reference client (`xmlta client` is a thin wrapper).
+//! * [`client`] — the reference client and the reconnecting, replaying
+//!   [`ResilientClient`] (`xmlta client` is a thin wrapper);
+//! * [`fault`] — a seeded, deterministic fault-injection proxy for chaos
+//!   testing the serving path.
 //!
 //! Responses on one connection are in request order and carry no timings
 //! or counters (except the explicit `stats` op), so a connection's
@@ -27,12 +31,13 @@
 
 pub mod cli;
 pub mod client;
+pub mod fault;
 pub mod net;
 pub mod proto;
 pub mod session;
 pub mod state;
 
-pub use client::Client;
-pub use net::{serve_stdio, serve_unix, ServeError, ServerConfig};
+pub use client::{Client, ResilientClient, RetryPolicy, ServerAddr};
+pub use net::{serve_stdio, serve_tcp, serve_unix, Bound, ServeError, ServerConfig};
 pub use session::{serve_stream, Control, Session, SessionEnd};
-pub use state::{Prepared, Shared};
+pub use state::{Prepared, ServerCounters, Shared};

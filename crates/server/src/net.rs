@@ -1,20 +1,37 @@
-//! Transports: the Unix-socket daemon loop and the stdio single-session
-//! mode.
+//! Transports: the socket daemon loop (Unix *and* TCP listeners over one
+//! shared state) and the stdio single-session mode.
 //!
 //! The daemon is thread-per-connection over one shared
-//! [`crate::state::Shared`]. A `shutdown` request (from any connection)
-//! stops the accept loop, and the server then *drains*: it waits up to
-//! [`ServerConfig::drain`] for every connection worker to finish. Workers
-//! still running (or panicked) after the drain window are reported as an
-//! error so the process exits nonzero — a leaked worker is a bug, not a
-//! shrug.
+//! [`crate::state::Shared`]. A server may listen on a Unix socket, a TCP
+//! address, or both at once ([`Bound`]); every listener feeds the same
+//! session machinery, so the frame grammar, goldens, and per-connection
+//! determinism are transport-independent. A `shutdown` request (from any
+//! connection, on any transport) stops every accept loop, and the server
+//! then *drains*: it waits up to [`ServerConfig::drain`] for every
+//! connection worker to finish. Workers still running (or panicked) after
+//! the drain window are reported as an error so the process exits
+//! nonzero — a leaked worker is a bug, not a shrug.
+//!
+//! # Robustness layer
+//!
+//! * **Read/idle timeout** ([`ServerConfig::read_timeout`]): armed on
+//!   every accepted stream; a connection that produces no frame within the
+//!   window is answered with a `read-timeout` error frame and closed. On a
+//!   pipelined connection the timeout only fires when nothing is in
+//!   flight — a client quietly waiting for its own responses is not idle.
+//! * **Connection cap** ([`ServerConfig::max_conns`]): accepts beyond the
+//!   cap are shed immediately with a one-frame `server-overloaded` reply
+//!   carrying a `retry_after_ms` hint; live sessions are never affected.
+//! * Both are tallied in [`crate::state::ServerCounters`] and surfaced by
+//!   the `stats` op.
 
 use crate::session::{serve_stream, Session, SessionEnd};
-use crate::state::Shared;
-use std::io::{BufReader, BufWriter};
+use crate::state::{ServerCounters, Shared};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xmlta_base::FxHashMap;
@@ -28,7 +45,25 @@ pub struct ServerConfig {
     pub drain: Duration,
     /// Cap on the per-connection pipeline depth a v2 `hello` may request.
     pub pipeline_depth: usize,
+    /// Per-connection read/idle timeout: a connection producing no frame
+    /// for this long is closed with a `read-timeout` error frame. `None`
+    /// disables the timeout (stdio sessions always run without one).
+    pub read_timeout: Option<Duration>,
+    /// Cap on concurrently served connections; accepts beyond it are shed
+    /// with a `server-overloaded` frame and closed.
+    pub max_conns: usize,
+    /// The `retry_after_ms` hint carried by the overload shed frame.
+    pub retry_after_ms: u64,
 }
+
+/// Default per-connection read/idle timeout (5 minutes).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Default cap on concurrently served connections.
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+
+/// Default `retry_after_ms` hint on overload sheds.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -36,6 +71,9 @@ impl Default for ServerConfig {
             max_frame: crate::proto::DEFAULT_MAX_FRAME,
             drain: Duration::from_secs(10),
             pipeline_depth: crate::proto::DEFAULT_PIPELINE_DEPTH,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            max_conns: DEFAULT_MAX_CONNS,
+            retry_after_ms: DEFAULT_RETRY_AFTER_MS,
         }
     }
 }
@@ -43,7 +81,7 @@ impl Default for ServerConfig {
 /// Why the daemon loop failed.
 #[derive(Debug)]
 pub enum ServeError {
-    /// Binding or accepting on the socket failed.
+    /// Binding or accepting on a socket failed.
     Io(std::io::Error),
     /// Workers still running after the drain window.
     LeakedWorkers(usize),
@@ -75,7 +113,8 @@ impl From<std::io::Error> for ServeError {
 /// same protocol with the process as the connection. Returns on EOF,
 /// `shutdown`, or an oversized frame. The handles stay unlocked (locked
 /// handles cannot cross into the pipelined loop's reader thread); the
-/// process is the only user of its stdio anyway.
+/// process is the only user of its stdio anyway. Read timeouts do not
+/// apply (stdio cannot arm one).
 pub fn serve_stdio(shared: Arc<Shared>, config: &ServerConfig) -> std::io::Result<SessionEnd> {
     let mut session = Session::new(shared);
     session.set_pipeline_cap(config.pipeline_depth);
@@ -87,6 +126,238 @@ pub fn serve_stdio(shared: Arc<Shared>, config: &ServerConfig) -> std::io::Resul
     )
 }
 
+/// A connected stream on either transport.
+pub enum Stream {
+    /// A Unix-socket connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Duplicates the handle (shared open file description — a read
+    /// timeout armed on either copy governs both).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Arms (or clears) `SO_RCVTIMEO` on the underlying socket.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    pub(crate) fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One bound listener.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// Where a shutdown nudge connects to wake a blocked accept loop.
+enum WakeTarget {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+impl WakeTarget {
+    fn wake(&self) {
+        match self {
+            WakeTarget::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+            WakeTarget::Tcp(addr) => {
+                // An unspecified bind address is not connectable; nudge
+                // through loopback on the same port.
+                let mut addr = *addr;
+                if addr.ip().is_unspecified() {
+                    addr.set_ip(match addr {
+                        SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                        SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                    });
+                }
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// State shared by every accept loop and connection worker of one daemon.
+struct DaemonCtx {
+    shutdown: AtomicBool,
+    /// Open connections by id, so shutdown can close them out from under
+    /// workers blocked in a read — an *idle* connection must not be
+    /// mistaken for a leaked worker. Workers deregister themselves.
+    conns: Mutex<FxHashMap<u64, Stream>>,
+    next_id: AtomicU64,
+    /// Connections currently being served (the overload-cap gauge).
+    live: AtomicUsize,
+    /// Worker panics reaped while still accepting.
+    panicked: AtomicUsize,
+    /// Join handles of spawned connection workers (reaped as we go).
+    workers: Mutex<Vec<std::thread::JoinHandle<std::io::Result<SessionEnd>>>>,
+    /// One nudge target per listener, so a `shutdown` served on any
+    /// transport wakes every accept loop.
+    wake: Vec<WakeTarget>,
+}
+
+impl DaemonCtx {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for target in &self.wake {
+            target.wake();
+        }
+    }
+}
+
+/// Bound-but-not-yet-serving listeners: bind first (so callers learn the
+/// ephemeral TCP port before any client can race the connect), then
+/// [`Bound::serve`].
+pub struct Bound {
+    unix: Option<(UnixListener, PathBuf)>,
+    tcp: Option<TcpListener>,
+}
+
+impl Bound {
+    /// Binds a Unix socket path and/or a TCP address (at least one).
+    pub fn bind(unix: Option<&Path>, tcp: Option<&str>) -> Result<Bound, ServeError> {
+        if unix.is_none() && tcp.is_none() {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no listener: give a Unix socket path or a TCP address",
+            )));
+        }
+        let unix = match unix {
+            Some(path) => Some((UnixListener::bind(path)?, path.to_path_buf())),
+            None => None,
+        };
+        let tcp = match tcp {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        Ok(Bound { unix, tcp })
+    }
+
+    /// The actual TCP address (useful after binding port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves connections on every bound listener until a `shutdown`
+    /// request, then drains workers. The Unix socket file (if any) is
+    /// removed on exit.
+    pub fn serve(self, shared: Arc<Shared>, config: ServerConfig) -> Result<(), ServeError> {
+        let mut listeners: Vec<Listener> = Vec::new();
+        let mut wake: Vec<WakeTarget> = Vec::new();
+        let mut unix_path: Option<PathBuf> = None;
+        if let Some((listener, path)) = self.unix {
+            wake.push(WakeTarget::Unix(path.clone()));
+            unix_path = Some(path);
+            listeners.push(Listener::Unix(listener));
+        }
+        if let Some(listener) = self.tcp {
+            wake.push(WakeTarget::Tcp(listener.local_addr()?));
+            listeners.push(Listener::Tcp(listener));
+        }
+        let ctx = Arc::new(DaemonCtx {
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(FxHashMap::default()),
+            next_id: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
+            wake,
+        });
+        // One accept loop per listener; the scope joins them all before we
+        // drain, so no loop can spawn workers after the drain starts.
+        let accept_error: Option<ServeError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = listeners
+                .iter()
+                .map(|listener| {
+                    let ctx = &ctx;
+                    let shared = &shared;
+                    let config = &config;
+                    scope.spawn(move || accept_loop(listener, ctx, shared, config))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                        .err()
+                })
+                .next()
+        });
+        if let Some(path) = unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        // Close every still-open connection so idle workers see EOF and
+        // exit; the drain window is then only for workers mid-request.
+        for (_, stream) in lock(&ctx.conns).drain() {
+            stream.shutdown_both();
+        }
+        let workers = std::mem::take(&mut *lock(&ctx.workers));
+        let drained = drain(workers, config.drain, ctx.panicked.load(Ordering::SeqCst));
+        match accept_error {
+            Some(e) => Err(e),
+            None => drained,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Binds `path` and serves connections until a `shutdown` request, then
 /// drains workers. The socket file is removed on orderly exit.
 pub fn serve_unix(
@@ -94,41 +365,39 @@ pub fn serve_unix(
     shared: Arc<Shared>,
     config: ServerConfig,
 ) -> Result<(), ServeError> {
-    let listener = UnixListener::bind(path)?;
-    let result = accept_loop(&listener, path, &shared, &config);
-    let _ = std::fs::remove_file(path);
-    result
+    Bound::bind(Some(path), None)?.serve(shared, config)
 }
 
+/// Binds a TCP address (e.g. `127.0.0.1:7700`) and serves connections
+/// until a `shutdown` request, then drains workers.
+pub fn serve_tcp(addr: &str, shared: Arc<Shared>, config: ServerConfig) -> Result<(), ServeError> {
+    Bound::bind(None, Some(addr))?.serve(shared, config)
+}
+
+/// One listener's accept loop. Sheds over-cap accepts, spawns a worker per
+/// served connection, and reaps finished workers as it goes — a
+/// long-running daemon must not accumulate one JoinHandle per connection
+/// ever served.
 fn accept_loop(
-    listener: &UnixListener,
-    path: &Path,
+    listener: &Listener,
+    ctx: &Arc<DaemonCtx>,
     shared: &Arc<Shared>,
     config: &ServerConfig,
 ) -> Result<(), ServeError> {
-    let shutdown = Arc::new(AtomicBool::new(false));
-    // Open connections by id, so shutdown can close them out from under
-    // workers blocked in a read — an *idle* connection must not be
-    // mistaken for a leaked worker. Workers deregister themselves on exit.
-    let conns: Arc<Mutex<FxHashMap<u64, UnixStream>>> = Arc::new(Mutex::new(FxHashMap::default()));
-    let mut workers: Vec<std::thread::JoinHandle<std::io::Result<SessionEnd>>> = Vec::new();
-    let mut next_id = 0u64;
     let mut consecutive_errors = 0u32;
-    let mut panicked = 0usize;
     loop {
-        // Reap finished workers as we go — a long-running daemon must not
-        // accumulate one JoinHandle per connection ever served.
-        if workers.len() >= 64 {
-            let (done, still): (Vec<_>, Vec<_>) = workers.drain(..).partition(|w| w.is_finished());
+        if lock(&ctx.workers).len() >= 64 {
+            let taken = std::mem::take(&mut *lock(&ctx.workers));
+            let (done, still): (Vec<_>, Vec<_>) = taken.into_iter().partition(|w| w.is_finished());
             for worker in done {
                 if worker.join().is_err() {
-                    panicked += 1;
+                    ctx.panicked.fetch_add(1, Ordering::SeqCst);
                 }
             }
-            workers = still;
+            lock(&ctx.workers).extend(still);
         }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => {
+        let mut stream = match listener.accept() {
+            Ok(stream) => {
                 consecutive_errors = 0;
                 stream
             }
@@ -138,74 +407,84 @@ fn accept_loop(
                 // sessions; only a persistently failing listener is fatal.
                 consecutive_errors += 1;
                 if consecutive_errors >= 100 {
+                    // Take the whole daemon down with us — the other
+                    // accept loop must not serve on half a server.
+                    ctx.request_shutdown();
                     return Err(e.into());
                 }
-                if shutdown.load(Ordering::SeqCst) {
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if ctx.shutdown.load(Ordering::SeqCst) {
             // The wake-up connection (or a late client); stop accepting.
             drop(stream);
             break;
         }
-        let id = next_id;
-        next_id += 1;
-        if let Ok(clone) = stream.try_clone() {
-            conns
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .insert(id, clone);
+        if ctx.live.load(Ordering::SeqCst) >= config.max_conns {
+            // Shed: one structured frame naming the cap and a retry
+            // hint, then close. Never block the accept loop on a slow
+            // peer — the frame fits any socket buffer.
+            ServerCounters::bump(&shared.counters().overload_sheds);
+            let frame = crate::proto::overloaded_frame(config.max_conns, config.retry_after_ms);
+            let _ = stream.write_all(frame.as_bytes());
+            let _ = stream.write_all(b"\n");
+            let _ = stream.flush();
+            stream.shutdown_both();
+            continue;
         }
+        ServerCounters::bump(&shared.counters().conns_accepted);
+        let id = ctx.next_id.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&ctx.conns).insert(id, clone);
+        }
+        ctx.live.fetch_add(1, Ordering::SeqCst);
         let shared = Arc::clone(shared);
         let config = config.clone();
-        let shutdown = Arc::clone(&shutdown);
-        let conns = Arc::clone(&conns);
-        let path: PathBuf = path.to_path_buf();
-        workers.push(std::thread::spawn(move || {
+        let worker_ctx = Arc::clone(ctx);
+        let worker = std::thread::spawn(move || {
             let result = serve_connection(stream, shared, &config);
-            conns
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .remove(&id);
+            lock(&worker_ctx.conns).remove(&id);
+            worker_ctx.live.fetch_sub(1, Ordering::SeqCst);
             if matches!(result, Ok(SessionEnd::Shutdown)) {
-                shutdown.store(true, Ordering::SeqCst);
-                // Wake the accept loop so it observes the flag.
-                let _ = UnixStream::connect(&path);
+                worker_ctx.request_shutdown();
             }
             result
-        }));
+        });
+        lock(&ctx.workers).push(worker);
     }
-    // Close every still-open connection so idle workers see EOF and exit;
-    // the drain window is then only for workers mid-request.
-    for (_, stream) in conns
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .drain()
-    {
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-    }
-    drain(workers, config.drain, panicked)
+    Ok(())
 }
 
 fn serve_connection(
-    stream: UnixStream,
+    stream: Stream,
     shared: Arc<Shared>,
     config: &ServerConfig,
 ) -> std::io::Result<SessionEnd> {
+    if let Stream::Tcp(s) = &stream {
+        // Frames are small and latency-sensitive; never wait for a
+        // second frame to fill a segment.
+        let _ = s.set_nodelay(true);
+    }
+    if config.read_timeout.is_some() {
+        stream.set_read_timeout(config.read_timeout)?;
+    }
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
     let mut session = Session::new(shared);
     session.set_pipeline_cap(config.pipeline_depth);
+    session.set_read_timeout(config.read_timeout);
     serve_stream(&mut session, reader, writer, config.max_frame)
 }
 
 /// Joins every worker within `window`; leftovers and panics (including
-/// the `already_panicked` reaped during accept) are errors.
-fn drain(
+/// the `already_panicked` reaped during accept) are errors. Leftovers take
+/// precedence: a leaked worker is the more urgent bug (its panic — if it
+/// ever finishes with one — was never observed at all).
+pub(crate) fn drain(
     workers: Vec<std::thread::JoinHandle<std::io::Result<SessionEnd>>>,
     window: Duration,
     already_panicked: usize,
@@ -232,4 +511,97 @@ fn drain(
         return Err(ServeError::WorkerPanicked(panicked));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    //! Direct unit tests for [`drain`] accounting, which the end-to-end
+    //! suites only exercise on the happy path: leftover workers past the
+    //! drain window, panicked-worker counts, and their precedence.
+
+    use super::{drain, ServeError, SessionEnd};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn finished_worker() -> std::thread::JoinHandle<std::io::Result<SessionEnd>> {
+        std::thread::spawn(|| Ok(SessionEnd::Eof))
+    }
+
+    fn panicking_worker() -> std::thread::JoinHandle<std::io::Result<SessionEnd>> {
+        // Silence the default panic printer for the expected panic: the
+        // hook is process-global, so swap it back immediately after the
+        // panic has fired (join guarantees that).
+        std::thread::spawn(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let result = std::panic::catch_unwind(|| panic!("intentional test panic"));
+            std::panic::set_hook(prev);
+            std::panic::resume_unwind(result.unwrap_err())
+        })
+    }
+
+    /// A worker parked until `release` flips (simulating a stuck session).
+    fn parked_worker(
+        release: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<std::io::Result<SessionEnd>> {
+        std::thread::spawn(move || {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(SessionEnd::Eof)
+        })
+    }
+
+    #[test]
+    fn empty_and_finished_workers_drain_clean() {
+        assert!(drain(Vec::new(), Duration::from_millis(10), 0).is_ok());
+        let workers = vec![finished_worker(), finished_worker()];
+        assert!(drain(workers, Duration::from_millis(500), 0).is_ok());
+    }
+
+    #[test]
+    fn leftover_workers_past_the_window_are_counted() {
+        let release = Arc::new(AtomicBool::new(false));
+        let workers = vec![
+            parked_worker(Arc::clone(&release)),
+            parked_worker(Arc::clone(&release)),
+            finished_worker(),
+        ];
+        let result = drain(workers, Duration::from_millis(50), 0);
+        release.store(true, Ordering::SeqCst); // unpark before asserting
+        match result {
+            Err(ServeError::LeakedWorkers(2)) => {}
+            other => panic!("expected LeakedWorkers(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicked_workers_are_counted_and_added_to_preexisting_tally() {
+        let workers = vec![panicking_worker(), finished_worker(), panicking_worker()];
+        match drain(workers, Duration::from_secs(5), 1) {
+            Err(ServeError::WorkerPanicked(3)) => {}
+            other => panic!("expected WorkerPanicked(3), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_panicked_alone_fails_the_drain() {
+        match drain(Vec::new(), Duration::from_millis(10), 2) {
+            Err(ServeError::WorkerPanicked(2)) => {}
+            other => panic!("expected WorkerPanicked(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leaks_take_precedence_over_panics() {
+        let release = Arc::new(AtomicBool::new(false));
+        let workers = vec![parked_worker(Arc::clone(&release)), panicking_worker()];
+        let result = drain(workers, Duration::from_millis(50), 1);
+        release.store(true, Ordering::SeqCst);
+        match result {
+            Err(ServeError::LeakedWorkers(1)) => {}
+            other => panic!("expected LeakedWorkers(1), got {other:?}"),
+        }
+    }
 }

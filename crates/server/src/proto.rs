@@ -110,6 +110,15 @@ pub mod code {
     /// A `hello` asked for a pipeline depth beyond the server's cap — the
     /// backpressure reply; retry with a depth at or under the cap it names.
     pub const PIPELINE_DEPTH_EXCEEDED: &str = "pipeline-depth-exceeded";
+    /// The request's client-supplied `deadline_ms` expired before the work
+    /// was executed — the work was shed, not attempted.
+    pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+    /// The server is at its connection cap; the frame carries a
+    /// `retry_after_ms` hint and the connection is closed immediately.
+    pub const SERVER_OVERLOADED: &str = "server-overloaded";
+    /// No frame arrived within the server's read/idle timeout; the
+    /// connection is closed after this frame.
+    pub const READ_TIMEOUT: &str = "read-timeout";
     /// The request handler panicked (isolated per request).
     pub const INTERNAL: &str = "internal";
 }
@@ -201,6 +210,12 @@ pub struct Request {
     pub id: Json,
     /// The operation.
     pub op: Op,
+    /// The client's per-request deadline in milliseconds, when present.
+    /// Applies to the expensive ops (`typecheck`, `batch`, `batch_bin`):
+    /// work still queued when the deadline expires is shed with a
+    /// `deadline-exceeded` reply instead of executed. Absent means no
+    /// deadline — the server then does no per-request clock reads at all.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A request rejection: the error response to send instead.
@@ -262,6 +277,19 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
             return Err(Reject::new(id, code::UNSUPPORTED_PROTOCOL, message));
         }
     }
+    let deadline_ms = match frame.get("deadline_ms") {
+        None => None,
+        Some(d) => match d.as_u64() {
+            Some(ms) => Some(ms),
+            None => {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`deadline_ms` must be a non-negative integer",
+                ))
+            }
+        },
+    };
     let Some(op) = frame.get("op").and_then(Json::as_str) else {
         return Err(Reject::new(
             id,
@@ -420,7 +448,11 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
             ))
         }
     };
-    Ok(Request { id, op })
+    Ok(Request {
+        id,
+        op,
+        deadline_ms,
+    })
 }
 
 /// Pulls the optional `threads` field out of a `batch`/`batch_bin` frame.
@@ -512,6 +544,41 @@ pub fn ok_frame(id: &Json) -> String {
     ResponseBuilder::new(id, true).finish()
 }
 
+/// Renders the `server-overloaded` shed frame: the one frame an
+/// over-the-cap connection receives before the server closes it. The
+/// error object carries a machine-readable `retry_after_ms` hint next to
+/// the code and message, so backoff-aware clients need no message parsing.
+pub fn overloaded_frame(max_conns: usize, retry_after_ms: u64) -> String {
+    let mut err = String::from("{\"code\":");
+    xmlta_service::json::push_escaped(&mut err, code::SERVER_OVERLOADED);
+    let _ = write!(
+        err,
+        ",\"message\":\"connection limit of {max_conns} reached; retry after \
+         {retry_after_ms} ms\",\"retry_after_ms\":{retry_after_ms}}}"
+    );
+    ResponseBuilder::new(&Json::Null, false)
+        .raw_field("error", &err)
+        .finish()
+}
+
+/// The `read-timeout` reject: no frame arrived within the window.
+pub fn read_timeout_reject(timeout_ms: u64) -> Reject {
+    Reject {
+        id: Json::Null,
+        code: code::READ_TIMEOUT,
+        message: format!("no frame in {timeout_ms} ms; closing the connection"),
+    }
+}
+
+/// The `deadline-exceeded` reject for a request shed before execution.
+pub fn deadline_reject(id: Json, deadline_ms: u64) -> Reject {
+    Reject {
+        id,
+        code: code::DEADLINE_EXCEEDED,
+        message: format!("deadline of {deadline_ms} ms expired before execution; request shed"),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Request constructors (used by the CLI client, tests, and the bench).
 
@@ -596,6 +663,18 @@ pub fn req_typecheck_source(id: u64, source: &str) -> String {
         id,
         "typecheck",
         vec![("source", Json::Str(source.to_string()))],
+    )
+}
+
+/// A `typecheck`-by-handle request frame carrying a client deadline.
+pub fn req_typecheck_handle_deadline(id: u64, handle: &str, deadline_ms: u64) -> String {
+    request(
+        id,
+        "typecheck",
+        vec![
+            ("handle", Json::Str(handle.to_string())),
+            ("deadline_ms", Json::from_u64(deadline_ms)),
+        ],
     )
 }
 

@@ -39,10 +39,11 @@
 //! correlation key.
 
 use crate::proto::{self, code, BatchItemReq, Op, Reject, Request, ResponseBuilder, Target};
-use crate::state::{Prepared, Shared};
+use crate::state::{Prepared, ServerCounters, Shared};
 use std::io::{BufRead, Read, Write};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use typecheck_core::Instance;
 use xmlta_base::FxHashMap;
 use xmlta_service::batch::{run_batch, stream_batch_items, BatchItem};
@@ -66,6 +67,9 @@ pub enum SessionEnd {
     Shutdown,
     /// An oversized frame closed the connection.
     Oversized,
+    /// No frame arrived within the read/idle timeout; the connection was
+    /// closed after a `read-timeout` error frame.
+    TimedOut,
 }
 
 /// A connection's session state.
@@ -79,6 +83,10 @@ pub struct Session {
     pipeline_cap: usize,
     /// Granted pipeline depth (set at the v2 upgrade).
     depth: usize,
+    /// The transport's read/idle timeout, when one is armed (the stream
+    /// itself enforces it; the session only needs it to render the
+    /// `read-timeout` frame and to tell a timeout from a hard IO error).
+    read_timeout: Option<Duration>,
 }
 
 /// What the reader decided about one parsed request.
@@ -90,20 +98,29 @@ enum Planned {
 }
 
 /// A fully resolved unit of concurrent work. Everything order-sensitive
-/// (handle resolution, thread clamping) already happened in the reader, so
-/// executing a job touches only its own inputs and the process-wide cache.
-enum Job {
+/// (handle resolution, thread clamping, deadline arithmetic) already
+/// happened in the reader, so executing a job touches only its own inputs
+/// and the process-wide cache.
+struct Job {
+    /// The echoed id.
+    id: Json,
+    /// The client deadline: the expiry instant plus the original
+    /// `deadline_ms` (for the shed message). `None` — the common case —
+    /// means the execution path never reads the clock.
+    deadline: Option<(Instant, u64)>,
+    /// The resolved work.
+    kind: JobKind,
+}
+
+/// The work behind a [`Job`].
+enum JobKind {
     /// Typecheck one instance.
     Typecheck {
-        /// The echoed id.
-        id: Json,
         /// The resolved target.
         work: TypecheckWork,
     },
     /// Typecheck many instances and render the deterministic report.
     Batch {
-        /// The echoed id.
-        id: Json,
         /// Resolved items (handles already looked up).
         items: Vec<BatchItem>,
         /// Clamped worker count for this batch.
@@ -111,22 +128,12 @@ enum Job {
     },
     /// Decode a delta `.xts` stream and batch-typecheck its instances.
     BatchBin {
-        /// The echoed id.
-        id: Json,
         /// The raw stream bytes (decoded in the worker — decoding is part
         /// of the concurrent work).
         data: Vec<u8>,
         /// Clamped worker count for this batch.
         threads: usize,
     },
-}
-
-impl Job {
-    fn id(&self) -> &Json {
-        match self {
-            Job::Typecheck { id, .. } | Job::Batch { id, .. } | Job::BatchBin { id, .. } => id,
-        }
-    }
 }
 
 /// A typecheck target after handle resolution.
@@ -149,6 +156,7 @@ impl Session {
             version: proto::PROTOCOL_VERSION,
             pipeline_cap: proto::DEFAULT_PIPELINE_DEPTH,
             depth: 1,
+            read_timeout: None,
         }
     }
 
@@ -156,6 +164,31 @@ impl Session {
     /// (clamped to at least 1).
     pub fn set_pipeline_cap(&mut self, cap: usize) {
         self.pipeline_cap = cap.max(1);
+    }
+
+    /// Declares the read/idle timeout the transport has armed on the
+    /// underlying stream, so a blocked read erroring with
+    /// `WouldBlock`/`TimedOut` is answered with a structured
+    /// `read-timeout` frame instead of tearing the worker down.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Whether `e` is the armed read timeout firing (never true when no
+    /// timeout was declared — a genuine `WouldBlock` on an unarmed stream
+    /// stays a hard error).
+    fn is_read_timeout(&self, e: &std::io::Error) -> bool {
+        self.read_timeout.is_some()
+            && matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+    }
+
+    /// The armed timeout in milliseconds (0 when none; only used for the
+    /// `read-timeout` frame text, which requires one to be armed).
+    fn read_timeout_ms(&self) -> u64 {
+        self.read_timeout.map_or(0, |d| d.as_millis() as u64)
     }
 
     /// The connection's negotiated protocol version.
@@ -198,6 +231,12 @@ impl Session {
     /// order); expensive ops come back as resolved [`Job`]s.
     fn plan(&mut self, request: Request) -> Planned {
         let id = request.id;
+        // The only per-request clock read, and only for requests that
+        // carry a `deadline_ms` — undeadlined traffic never touches the
+        // clock (the hot-path guarantee the bench pins).
+        let deadline = request
+            .deadline_ms
+            .map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
         let reply = match request.op {
             Op::Hello {
                 accepts,
@@ -240,7 +279,11 @@ impl Session {
                     },
                     Target::Source(source) => TypecheckWork::Source(source),
                 };
-                return Planned::Job(Job::Typecheck { id, work });
+                return Planned::Job(Job {
+                    id,
+                    deadline,
+                    kind: JobKind::Typecheck { work },
+                });
             }
             Op::Batch { items, threads } => {
                 let mut resolved = Vec::with_capacity(items.len());
@@ -270,26 +313,35 @@ impl Session {
                         },
                     }
                 }
-                return Planned::Job(Job::Batch {
+                return Planned::Job(Job {
                     id,
-                    items: resolved,
-                    threads: self.clamp_threads(threads),
+                    deadline,
+                    kind: JobKind::Batch {
+                        items: resolved,
+                        threads: self.clamp_threads(threads),
+                    },
                 });
             }
             Op::BatchBin { data, threads } => {
-                return Planned::Job(Job::BatchBin {
+                return Planned::Job(Job {
                     id,
-                    data,
-                    threads: self.clamp_threads(threads),
+                    deadline,
+                    kind: JobKind::BatchBin {
+                        data,
+                        threads: self.clamp_threads(threads),
+                    },
                 });
             }
             Op::Stats => {
                 let s = self.shared.cache().stats();
+                let c = self.shared.counters();
                 let stats = format!(
                     "{{\"schema_hits\":{},\"schema_misses\":{},\"rule_hits\":{},\
                      \"rule_misses\":{},\"bout_hits\":{},\"bout_misses\":{},\
                      \"memo_hits\":{},\"memo_misses\":{},\"memo_evictions\":{},\
-                     \"registered\":{},\"evictions\":{},\"session_handles\":{}}}",
+                     \"registered\":{},\"evictions\":{},\"session_handles\":{},\
+                     \"conns_accepted\":{},\"overload_sheds\":{},\
+                     \"deadline_sheds\":{},\"read_timeouts\":{}}}",
                     s.schema_hits,
                     s.schema_misses,
                     s.rule_hits,
@@ -302,6 +354,10 @@ impl Session {
                     self.shared.registered(),
                     self.shared.evictions(),
                     self.handles.len(),
+                    ServerCounters::read(&c.conns_accepted),
+                    ServerCounters::read(&c.overload_sheds),
+                    ServerCounters::read(&c.deadline_sheds),
+                    ServerCounters::read(&c.read_timeouts),
                 );
                 ResponseBuilder::new(&id, true)
                     .raw_field("stats", &stats)
@@ -400,8 +456,17 @@ impl Session {
 
 /// Executes a resolved job, converting panics into `internal` error
 /// replies (the same isolation [`Session::handle_frame`] gives sync ops).
+/// Work whose client deadline has already expired is shed with a
+/// `deadline-exceeded` reply before any typechecking starts — on a
+/// pipelined connection this is where queued-but-stale work dies.
 fn run_job(shared: &Shared, job: Job) -> String {
-    let id = job.id().clone();
+    if let Some((expires, ms)) = job.deadline {
+        if Instant::now() >= expires {
+            ServerCounters::bump(&shared.counters().deadline_sheds);
+            return proto::error_frame(&proto::deadline_reject(job.id, ms));
+        }
+    }
+    let id = job.id.clone();
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(shared, job))) {
         Ok(reply) => reply,
         Err(payload) => panic_frame(id, &payload),
@@ -409,8 +474,9 @@ fn run_job(shared: &Shared, job: Job) -> String {
 }
 
 fn execute_job(shared: &Shared, job: Job) -> String {
-    match job {
-        Job::Typecheck { id, work } => {
+    let id = job.id;
+    match job.kind {
+        JobKind::Typecheck { work } => {
             let status = match work {
                 TypecheckWork::Prepared(instance) => {
                     check_instance(&instance, Some(shared.cache()))
@@ -424,8 +490,8 @@ fn execute_job(shared: &Shared, job: Job) -> String {
             };
             status_reply(&id, &status)
         }
-        Job::Batch { id, items, threads } => batch_reply(shared, &id, &items, threads),
-        Job::BatchBin { id, data, threads } => match stream_batch_items(&data) {
+        JobKind::Batch { items, threads } => batch_reply(shared, &id, &items, threads),
+        JobKind::BatchBin { data, threads } => match stream_batch_items(&data) {
             Ok(items) => batch_reply(shared, &id, &items, threads),
             Err(e) => proto::error_frame(&Reject {
                 id,
@@ -552,7 +618,24 @@ pub fn serve_stream<R: BufRead + Send, W: Write>(
 ) -> std::io::Result<SessionEnd> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        match read_raw(&mut reader, max_frame, &mut buf)? {
+        let raw = match read_raw(&mut reader, max_frame, &mut buf) {
+            Ok(raw) => raw,
+            Err(e) if session.is_read_timeout(&e) => {
+                // The armed idle window elapsed with no frame: tell the
+                // client why in-band, then close. A v1 connection is never
+                // mid-request here — reads only happen between requests.
+                writeln!(
+                    writer,
+                    "{}",
+                    proto::error_frame(&proto::read_timeout_reject(session.read_timeout_ms()))
+                )?;
+                writer.flush()?;
+                ServerCounters::bump(&session.shared.counters().read_timeouts);
+                return Ok(SessionEnd::TimedOut);
+            }
+            Err(e) => return Err(e),
+        };
+        match raw {
             Raw::Eof => return Ok(SessionEnd::Eof),
             Raw::Oversized => {
                 writeln!(
@@ -635,6 +718,14 @@ impl Gate {
             }
         }
         *n += 1;
+    }
+
+    /// Jobs currently in flight (a point-in-time read for the idle check).
+    fn inflight(&self) -> usize {
+        *self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Marks one job complete (its response is already queued); returns
@@ -846,6 +937,24 @@ fn serve_pipelined<R: BufRead + Send, W: Write>(
                         break SessionEnd::Eof;
                     }
                     match read_raw(reader, max_frame, &mut buf) {
+                        Err(e) if session.is_read_timeout(&e) => {
+                            // The idle window elapsed — but a pipelined
+                            // client legitimately goes quiet while it
+                            // waits for in-flight work, so only a truly
+                            // idle connection (nothing in flight) times
+                            // out; otherwise re-arm and keep waiting.
+                            if gate.inflight() > 0 {
+                                continue;
+                            }
+                            outbox.push(
+                                &proto::error_frame(&proto::read_timeout_reject(
+                                    session.read_timeout_ms(),
+                                )),
+                                true,
+                            );
+                            ServerCounters::bump(&session.shared.counters().read_timeouts);
+                            break SessionEnd::TimedOut;
+                        }
                         Err(e) => {
                             outbox.leave();
                             return Err(e);

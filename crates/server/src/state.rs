@@ -19,6 +19,7 @@
 //! between. The eviction count is visible through the `stats` op only.
 
 use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use typecheck_core::{delrelab, Instance, Schema};
 use xmlta_base::fxhash::FxHasher;
@@ -90,10 +91,43 @@ struct Registry {
     evicted: u64,
 }
 
+/// Serving-robustness counters, surfaced through the `stats` op. All
+/// relaxed atomics: they are monotonic tallies for operators, never
+/// synchronization — bumping one costs a single uncontended atomic add and
+/// only happens on the *un*-happy paths (sheds, timeouts) or once per
+/// connection, so the per-request hot path never touches them.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections the accept loops handed to a session worker.
+    pub conns_accepted: AtomicU64,
+    /// Connections shed at accept time with a `server-overloaded` reply
+    /// because the connection cap was reached.
+    pub overload_sheds: AtomicU64,
+    /// Requests shed with `deadline-exceeded` because their client
+    /// deadline expired before a worker picked them up.
+    pub deadline_sheds: AtomicU64,
+    /// Connections closed with a `read-timeout` reply because no frame
+    /// arrived within the read/idle window.
+    pub read_timeouts: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Bumps a counter (relaxed; tallies only).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter (relaxed; tallies only).
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
 /// The state shared by all connections of one server process.
 pub struct Shared {
     cache: SchemaCache,
     registry: Mutex<Registry>,
+    counters: ServerCounters,
 }
 
 impl Shared {
@@ -118,12 +152,18 @@ impl Shared {
                 lru: Lru::new(registry_capacity),
                 evicted: 0,
             }),
+            counters: ServerCounters::default(),
         })
     }
 
     /// The process-wide schema cache.
     pub fn cache(&self) -> &SchemaCache {
         &self.cache
+    }
+
+    /// The serving-robustness counters (accepts, sheds, timeouts).
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
     }
 
     /// Number of distinct registered instances currently retained.

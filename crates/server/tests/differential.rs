@@ -50,10 +50,21 @@ fn script(v2_depth: Option<usize>) -> Vec<String> {
     }
     for (i, (_, source)) in sources.iter().enumerate() {
         frames.push(proto::req_register(100 + i as u64, source));
-        frames.push(proto::req_typecheck_handle(
-            200 + i as u64,
-            &handle_for_source(source),
-        ));
+        // A generous deadline on every fourth check: the deadline
+        // bookkeeping must never alter a verdict (it only sheds work
+        // whose deadline already expired).
+        if i % 4 == 1 {
+            frames.push(proto::req_typecheck_handle_deadline(
+                200 + i as u64,
+                &handle_for_source(source),
+                600_000,
+            ));
+        } else {
+            frames.push(proto::req_typecheck_handle(
+                200 + i as u64,
+                &handle_for_source(source),
+            ));
+        }
         if i % 3 == 0 {
             frames.push(proto::req_typecheck_source(300 + i as u64, source));
         }

@@ -498,3 +498,38 @@ fn register_typecheck_roundtrip_over_stream() {
     );
     assert_eq!(shared.registered(), 1);
 }
+
+#[test]
+fn golden_robustness_frames() {
+    // An already-expired deadline sheds the job deterministically before
+    // execution — `deadline_ms: 0` is in the past by the time the worker
+    // looks.
+    assert_eq!(
+        one(r#"{"id": 9, "op": "typecheck", "source": "x", "deadline_ms": 0}"#),
+        r#"{"id":9,"ok":false,"error":{"code":"deadline-exceeded","message":"deadline of 0 ms expired before execution; request shed"}}"#
+    );
+    // A malformed deadline is a bad request, not a silent default.
+    assert_eq!(
+        one(r#"{"id": 10, "op": "ping", "deadline_ms": "soon"}"#),
+        r#"{"id":10,"ok":false,"error":{"code":"bad-request","message":"`deadline_ms` must be a non-negative integer"}}"#
+    );
+    assert_eq!(
+        one(r#"{"id": 11, "op": "typecheck", "source": "x", "deadline_ms": -5}"#),
+        r#"{"id":11,"ok":false,"error":{"code":"bad-request","message":"`deadline_ms` must be a non-negative integer"}}"#
+    );
+    // A generous deadline is bookkeeping only: sync ops ignore it, jobs
+    // execute normally under it.
+    assert_eq!(
+        one(r#"{"id": 12, "op": "ping", "deadline_ms": 600000}"#),
+        r#"{"id":12,"ok":true}"#
+    );
+    // The shed and timeout frames the daemon writes outside a session.
+    assert_eq!(
+        xmlta_server::proto::overloaded_frame(2, 150),
+        r#"{"id":null,"ok":false,"error":{"code":"server-overloaded","message":"connection limit of 2 reached; retry after 150 ms","retry_after_ms":150}}"#
+    );
+    assert_eq!(
+        xmlta_server::proto::error_frame(&xmlta_server::proto::read_timeout_reject(300)),
+        r#"{"id":null,"ok":false,"error":{"code":"read-timeout","message":"no frame in 300 ms; closing the connection"}}"#
+    );
+}
