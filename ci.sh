@@ -178,6 +178,57 @@ wait "$daemon" || { echo "xmltad (chaos) exited nonzero after fault injection"; 
 daemon=""
 [[ ! -e "$sock" ]] || { echo "chaos socket file leaked"; exit 1; }
 
+echo "== persistent store smoke (prewarm -> restart-warm daemon + verify/gc)"
+store="$smoke/store"
+# Prewarm ahead of deployment, verify every entry, and list them.
+xmlta store --store "$store" prewarm "$smoke/instances" > /dev/null
+xmlta store --store "$store" verify > /dev/null \
+    || { echo "freshly prewarmed store failed verify"; exit 1; }
+xmlta store --store "$store" ls > "$smoke/store-ls.txt"
+[[ -s "$smoke/store-ls.txt" ]] || { echo "prewarmed store is empty"; exit 1; }
+# A batch against the populated store adopts everything (zero writes) and
+# its report is byte-identical to the storeless one.
+xmlta batch --threads 1 --store "$store" --out "$smoke/b1-store.json" \
+    "$smoke/instances" 2> "$smoke/store-batch.err"
+cmp "$smoke/b1.json" "$smoke/b1-store.json" \
+    || { echo "store-backed batch changed the report"; exit 1; }
+grep -q " 0 write(s) / 0 corrupt" "$smoke/store-batch.err" \
+    || { echo "populated store recompiled or read corrupt"; cat "$smoke/store-batch.err"; exit 1; }
+# Restart round-trip: a daemon booting on the prewarmed store serves the
+# same verdicts and reports adoptions in its stats.
+sock="$smoke/store.sock"
+./target/release/xmltad --socket "$sock" --store "$store" &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "xmltad (store) never bound $sock"; exit 1; }
+xmlta client --socket "$sock" typecheck "$pass_file" > "$smoke/store-warm.txt" \
+    || { echo "typecheck on a store-backed daemon failed"; exit 1; }
+cmp <(head -n1 "$smoke/seq.txt") "$smoke/store-warm.txt" \
+    || { echo "store-backed verdict differs from the storeless one"; exit 1; }
+if xmlta client --socket "$sock" stats | grep -q '"store_hits":0,'; then
+    echo "store-backed daemon adopted nothing"; exit 1
+fi
+xmlta client --socket "$sock" shutdown > /dev/null
+wait "$daemon" || { echo "xmltad (store) exited nonzero"; exit 1; }
+daemon=""
+# A flipped byte is detected: typecheck falls back to recompiling with an
+# unchanged verdict, and verify names the corrupt entry (exit 1).
+victim="$(find "$store" -name '*.xta' | head -n1)"
+printf 'X' | dd of="$victim" bs=1 seek=20 conv=notrunc status=none
+xmlta typecheck --store "$store" "$pass_file" > /dev/null \
+    || { echo "a corrupt store entry changed a verdict"; exit 1; }
+set +e
+xmlta store --store "$store" verify > /dev/null 2>&1
+rc=$?
+set -e
+[[ "$rc" -eq 1 ]] || { echo "verify missed the corrupted entry (exit $rc)"; exit 1; }
+# gc to a zero budget empties the store; verify is clean again.
+xmlta store --store "$store" gc --max-bytes 0 > /dev/null
+xmlta store --store "$store" ls | grep -q "^0 entry(ies), 0 bytes" \
+    || { echo "gc --max-bytes 0 left entries behind"; xmlta store --store "$store" ls; exit 1; }
+xmlta store --store "$store" verify > /dev/null \
+    || { echo "emptied store failed verify"; exit 1; }
+
 echo "== quickstart example"
 cargo run --release -q -p xmlta-examples --example quickstart > /dev/null
 

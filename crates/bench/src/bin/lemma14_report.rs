@@ -371,6 +371,26 @@ fn main() -> ExitCode {
         series.push(("service/memo-hit".to_string(), memo));
     }
 
+    // Persistent-store cold starts: a ballast fleet (every instance its
+    // own compile-heavy schema) checked by a daemon booting on a
+    // prewarmed artifact store vs an empty one vs staying warm. The
+    // populated-store boot must land ≥3× under the empty-store one at
+    // n=1024 — a restart stops being a recompilation event.
+    {
+        let sources: Vec<(String, String)> = (0..1024u64)
+            .map(|v| {
+                (
+                    format!("ballast-{v:05}"),
+                    gen::ballast_source(24, 16, v).expect("generators print"),
+                )
+            })
+            .collect();
+        let (empty, populated, warm) = server_cold_store_series(&sources, &[128, 512, 1024]);
+        series.push(("service/server-cold-empty-store".to_string(), empty));
+        series.push(("service/server-cold-store".to_string(), populated));
+        series.push(("service/server-warm-store".to_string(), warm));
+    }
+
     // Delta-stream batches: a shared-schema fleet shipped as ONE `.xts`
     // stream (schema section once, transducer-only frames after) decoded
     // and checked end to end — the `batch_bin` workload. The stream's
@@ -736,6 +756,231 @@ fn server_series(
         }
     }
     (oneshot, cold, warm, pipelined)
+}
+
+/// Measures the `service/server-cold-store` trio: daemon cold starts on a
+/// populated artifact store vs an empty one vs an in-memory-warm daemon,
+/// on a compile-dominated ballast workload (every instance carries its own
+/// schema, so a boot's cost is dominated by schema compiles — exactly the
+/// work a populated store turns into validate-and-adopt loads). Transcripts
+/// are asserted byte-identical across all three arms, the populated-store
+/// arm must adopt everything it checks (`store_hits > 0`, zero writes, zero
+/// corrupt), and at the largest size the populated-store cold boot must run
+/// ≥3× faster than the empty-store one — the number that makes a restart
+/// warm.
+fn server_cold_store_series(
+    sources: &[(String, String)],
+    sizes: &[usize],
+) -> (Vec<Point>, Vec<Point>, Vec<Point>) {
+    use std::sync::Arc;
+    use xmlta_server::proto;
+    use xmlta_server::{serve_unix, Client, ServerConfig, Shared};
+    use xmlta_service::cache::{CacheStats, DEFAULT_MEMO_CAPACITY};
+    use xmlta_service::{parse_instance, warm_instance, ArtifactBackend};
+    use xmlta_store::Store;
+
+    let socket =
+        std::env::temp_dir().join(format!("xmltad-bench-store-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let connect = |path: &std::path::Path| -> Client {
+        for _ in 0..500 {
+            if let Ok(client) = Client::connect(path) {
+                return client;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("daemon never bound {}", path.display());
+    };
+    /// Windowed pipelining as in [`server_series`]: every response `ok`.
+    fn stream(client: &mut Client, frames: &[String]) -> Vec<String> {
+        const WINDOW: usize = 32;
+        let mut responses = Vec::with_capacity(frames.len());
+        let recv = |client: &mut Client| {
+            let line = client.recv().expect("recv").expect("response");
+            assert!(line.contains("\"ok\":true"), "request failed: {line}");
+            line
+        };
+        for (i, frame) in frames.iter().enumerate() {
+            client.send(frame).expect("send");
+            if i + 1 > WINDOW {
+                responses.push(recv(client));
+            }
+        }
+        while responses.len() < frames.len() {
+            responses.push(recv(client));
+        }
+        responses
+    }
+    let median = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+
+    // Populate the shared store dir once, through the same primitive
+    // `xmlta store prewarm` uses (compile ahead of deployment).
+    let store_dir = std::env::temp_dir().join(format!("xmltad-bench-store-{}", std::process::id()));
+    let empty_dir =
+        std::env::temp_dir().join(format!("xmltad-bench-store-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    {
+        let store = Arc::new(Store::open(&store_dir).expect("store opens"));
+        let mut cache = SchemaCache::new();
+        cache.set_store(store as Arc<dyn ArtifactBackend>);
+        for (_, source) in sources {
+            let instance = parse_instance(source).expect("ballast instance parses");
+            warm_instance(&cache, &instance);
+        }
+        assert!(
+            cache.stats().store_writes > 0,
+            "prewarm populated the store"
+        );
+    }
+
+    let mut empty = Vec::new();
+    let mut populated = Vec::new();
+    let mut warm = Vec::new();
+    let reps = 3;
+    for &n in sizes {
+        let frames: Vec<String> = sources[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, (_, source))| proto::req_typecheck_source(i as u64, source))
+            .collect();
+
+        // Boots a fresh daemon on `store`, streams the frames once, shuts
+        // down; returns the stream time, transcript, and cache counters.
+        let boot_and_stream = |store: Arc<Store>| -> (f64, Vec<String>, CacheStats) {
+            let shared = Shared::with_store(
+                1024,
+                DEFAULT_MEMO_CAPACITY,
+                Some(store as Arc<dyn ArtifactBackend>),
+            );
+            let daemon = {
+                let path = socket.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    serve_unix(&path, shared, ServerConfig::default()).expect("clean daemon exit")
+                })
+            };
+            let mut client = connect(&socket);
+            let start = Instant::now();
+            let transcript = stream(&mut client, &frames);
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            client
+                .roundtrip(&proto::req_shutdown(u64::MAX))
+                .expect("shutdown");
+            drop(client);
+            daemon.join().expect("daemon thread");
+            (millis, transcript, shared.cache().stats())
+        };
+
+        // Empty store: the first-ever boot — every schema compiles and is
+        // written behind. A fresh directory per rep keeps it first-ever.
+        let mut samples = Vec::with_capacity(reps);
+        let mut reference: Vec<String> = Vec::new();
+        for _ in 0..reps {
+            let _ = std::fs::remove_dir_all(&empty_dir);
+            let store = Arc::new(Store::open(&empty_dir).expect("store opens"));
+            let (millis, transcript, stats) = boot_and_stream(store);
+            assert!(stats.store_writes > 0, "empty-store boot writes behind");
+            assert_eq!(stats.store_hits, 0, "nothing to adopt from an empty store");
+            samples.push(millis);
+            reference = transcript;
+        }
+        let _ = std::fs::remove_dir_all(&empty_dir);
+        let empty_ms = median(&mut samples);
+        println!(
+            "  {:<28} {n:>4}: {empty_ms:>9.3} ms",
+            "service/server-cold-empty-store"
+        );
+        empty.push(Point {
+            param: n,
+            millis: empty_ms,
+        });
+
+        // Populated store: a restart — same cold memory, but every compile
+        // is served from disk as a validate-and-adopt.
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let store = Arc::new(Store::open(&store_dir).expect("store reopens"));
+            let (millis, transcript, stats) = boot_and_stream(store);
+            assert!(stats.store_hits > 0, "populated-store boot adopts");
+            assert_eq!(stats.store_writes, 0, "a populated store recompiled");
+            assert_eq!(stats.store_corrupt, 0, "a populated store read corrupt");
+            assert_eq!(
+                transcript, reference,
+                "populated-store verdicts differ from the empty-store run at n={n}"
+            );
+            samples.push(millis);
+        }
+        let store_ms = median(&mut samples);
+        println!(
+            "  {:<28} {n:>4}: {store_ms:>9.3} ms",
+            "service/server-cold-store"
+        );
+        populated.push(Point {
+            param: n,
+            millis: store_ms,
+        });
+
+        // Warm daemon: one boot (on the populated store), one unmeasured
+        // pass to heat the in-memory layers, then measured passes.
+        let store = Arc::new(Store::open(&store_dir).expect("store reopens"));
+        let shared = Shared::with_store(
+            1024,
+            DEFAULT_MEMO_CAPACITY,
+            Some(store as Arc<dyn ArtifactBackend>),
+        );
+        let daemon = {
+            let path = socket.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                serve_unix(&path, shared, ServerConfig::default()).expect("clean daemon exit")
+            })
+        };
+        let mut client = connect(&socket);
+        let mut transcript = stream(&mut client, &frames);
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            transcript = stream(&mut client, &frames);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        assert_eq!(
+            transcript, reference,
+            "warm verdicts differ from the cold runs at n={n}"
+        );
+        client
+            .roundtrip(&proto::req_shutdown(u64::MAX))
+            .expect("shutdown");
+        drop(client);
+        daemon.join().expect("daemon thread");
+        let warm_ms = median(&mut samples);
+        println!(
+            "  {:<28} {n:>4}: {warm_ms:>9.3} ms",
+            "service/server-warm-store"
+        );
+        warm.push(Point {
+            param: n,
+            millis: warm_ms,
+        });
+
+        if n == *sizes.last().expect("at least one size") {
+            assert!(
+                3.0 * store_ms <= empty_ms,
+                "a populated store must make cold start ≥3× faster than the \
+                 empty-store path at n={n}: {store_ms:.1} ms vs {empty_ms:.1} ms \
+                 — refusing to record a store that does not pay for itself"
+            );
+            assert!(
+                warm_ms <= store_ms,
+                "the in-memory warm path must not lose to a store-cold boot \
+                 at n={n}: {warm_ms:.1} ms vs {store_ms:.1} ms"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    (empty, populated, warm)
 }
 
 /// Pulls the previously serialized run objects back out of the report.

@@ -1,14 +1,15 @@
 //! The `xmlta` command-line interface.
 //!
 //! ```text
-//! xmlta typecheck [--no-cache] FILE...
-//! xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
+//! xmlta typecheck [--no-cache] [--store DIR] FILE...
+//! xmlta batch [--threads N] [--no-cache] [--store DIR] [--out FILE] PATH...
 //! xmlta convert INPUT... [--out FILE|DIR] [--compile] [--delta]
 //! xmlta gen mixed|filtering|filtering-fail|layered [options] --out DIR
 //! xmlta report FILE
+//! xmlta store --store DIR (prewarm PATH... | verify | gc --max-bytes N | ls)
 //! xmlta serve (--socket PATH | --tcp HOST:PORT | --stdio) [--max-frame BYTES]
 //!             [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
-//!             [--read-timeout-ms MS] [--max-conns N]
+//!             [--read-timeout-ms MS] [--max-conns N] [--store DIR]
 //! xmlta client (--socket PATH | --tcp HOST:PORT) [--pipeline N]
 //!             [--retry N] [--timeout-ms MS] <action> [args]
 //! xmlta fault-proxy --listen PATH (--socket PATH | --tcp HOST:PORT)
@@ -36,19 +37,21 @@ use xmlta_server::Client;
 use xmlta_service::batch::{run_batch, BatchItem};
 use xmlta_service::cache::SchemaCache;
 use xmlta_service::{
-    binfmt, gen, parse_instance, parse_json, print_instance, typecheck_cached, Json,
+    binfmt, gen, parse_instance, parse_json, print_instance, typecheck_cached, warm_instance, Json,
 };
 
 const USAGE: &str = "\
 xmlta — batch typechecker for simple XML transformations
 
 USAGE:
-  xmlta typecheck [--no-cache] FILE...
+  xmlta typecheck [--no-cache] [--store DIR] FILE...
       Typecheck instance files (.xti text or .xtb binary, sniffed);
-      prints one line per file.
+      prints one line per file. --store DIR mounts a persistent artifact
+      store under the schema cache (compiled products are adopted from
+      and written back to DIR).
       Exit 0: all typecheck; 1: some counterexample; 2: some error.
 
-  xmlta batch [--threads N] [--no-cache] [--out FILE] PATH...
+  xmlta batch [--threads N] [--no-cache] [--store DIR] [--out FILE] PATH...
       Typecheck many instances (files, or directories scanned for *.xti
       and *.xtb, sorted) on a worker pool and write a deterministic JSON
       report to stdout or FILE. The report is byte-identical for every N.
@@ -85,15 +88,34 @@ USAGE:
   xmlta report FILE
       Summarize a batch JSON report (pretty or single-line form).
 
+  xmlta store --store DIR <action>
+      Operate on a persistent compiled-artifact store (the directory a
+      daemon mounts with `--store DIR`). Actions:
+        prewarm PATH...   compile every schema product reachable from
+                          the given instance files/directories into the
+                          store, so a daemon started on DIR cold-starts
+                          warm
+        verify            re-decode and re-fingerprint every entry;
+                          prints corrupt/misfiled entries (these are
+                          exactly the entries a daemon would silently
+                          recompile); exit 1 when any are found
+        gc --max-bytes N  evict least-recently-used entries until the
+                          artifacts kept hold at most N bytes
+        ls                list entries (kind/key-sigma and sizes)
+
   xmlta serve (--socket PATH | --tcp HOST:PORT | --stdio)
               [--max-frame BYTES] [--registry-cap N] [--memo-cap N]
               [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]
+              [--store DIR]
       Run the persistent typechecking server (same as `xmltad`; --socket
       and --tcp may be combined). --pipeline-depth caps the in-flight
       window a protocol-2 client may negotiate (default 32);
       --read-timeout-ms reaps idle connections (default 300000, 0
       disables); --max-conns sheds accepts past N live connections with
-      a `server-overloaded` frame (default 1024).
+      a `server-overloaded` frame (default 1024). --store DIR mounts a
+      persistent artifact store: compiled schemas, rule DFAs, and
+      delrelab products are adopted from DIR instead of recompiled and
+      written back after fresh compiles (counters in `stats`).
 
   xmlta client (--socket PATH | --tcp HOST:PORT) [--pipeline N]
                [--retry N] [--timeout-ms MS] <action>
@@ -104,10 +126,14 @@ USAGE:
         typecheck TARGET...      TARGET is a file (registered, then checked
                                  by handle on this connection) or @HANDLE;
                                  prints and exits like local `typecheck`
-        batch [--threads N] [--out FILE] PATH...
+        batch [--threads N] [--out FILE] [--stream] PATH...
                                  server-side batch over files/directories;
                                  a single .xts PATH ships as one binary
-                                 `batch_bin` stream (protocol 2)
+                                 `batch_bin` stream (protocol 2).
+                                 --stream asks the server to stream one
+                                 frame per item plus a final tally (the
+                                 client reassembles them, so the report
+                                 written is byte-identical)
         raw                      JSONL passthrough: frames from stdin,
                                  responses to stdout
         ping | stats | shutdown  one request, response printed as JSON
@@ -152,6 +178,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(rest),
         "gen" => cmd_gen(rest),
         "report" => cmd_report(rest),
+        "store" => cmd_store(rest),
         "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
         "client" => cmd_client(rest),
         "fault-proxy" => cmd_fault_proxy(rest),
@@ -192,6 +219,9 @@ struct Opts {
     depth: Option<usize>,
     layers: Option<usize>,
     width: Option<usize>,
+    store: Option<PathBuf>,
+    max_bytes: Option<u64>,
+    stream: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -216,6 +246,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         depth: None,
         layers: None,
         width: None,
+        store: None,
+        max_bytes: None,
+        stream: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -242,6 +275,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--depth" => o.depth = Some(parse_num(value("--depth")?)?),
             "--layers" => o.layers = Some(parse_num(value("--layers")?)?),
             "--width" => o.width = Some(parse_num(value("--width")?)?),
+            "--store" => o.store = Some(PathBuf::from(value("--store")?)),
+            "--max-bytes" => o.max_bytes = Some(parse_num(value("--max-bytes")?)?),
+            "--stream" => o.stream = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             _ => o.positional.push(arg.clone()),
         }
@@ -299,12 +335,29 @@ fn load_instance(payload: &Payload) -> Result<Instance, String> {
     }
 }
 
+/// Opens (creating if needed) the on-disk artifact store at `dir`.
+fn open_store(dir: &Path) -> Result<std::sync::Arc<xmlta_store::Store>, String> {
+    xmlta_store::Store::open(dir)
+        .map(std::sync::Arc::new)
+        .map_err(|e| format!("--store {}: {e}", dir.display()))
+}
+
+/// A fresh schema cache, read-through/write-behind mounted on `--store`
+/// when one was given.
+fn cache_with_store(opts: &Opts) -> Result<SchemaCache, String> {
+    let mut cache = SchemaCache::new();
+    if let Some(dir) = &opts.store {
+        cache.set_store(open_store(dir)?);
+    }
+    Ok(cache)
+}
+
 fn cmd_typecheck(args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_opts(args)?;
     if opts.positional.is_empty() {
         return Err("typecheck needs at least one FILE".into());
     }
-    let cache = SchemaCache::new();
+    let cache = cache_with_store(&opts)?;
     let mut saw_counterexample = false;
     let mut saw_error = false;
     for path in &opts.positional {
@@ -413,7 +466,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         return Err("no instance files found".into());
     }
     let threads = opts.threads.unwrap_or_else(default_threads);
-    let cache = SchemaCache::new();
+    let cache = cache_with_store(&opts)?;
     let cache_ref = (!opts.no_cache).then_some(&cache);
     let start = Instant::now();
     let outcome = run_batch(&items, threads, cache_ref);
@@ -438,6 +491,12 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
             "xmlta batch: schema cache {}+{} hits / {}+{} misses (schema+rule)",
             stats.schema_hits, stats.rule_hits, stats.schema_misses, stats.rule_misses,
         );
+        if opts.store.is_some() {
+            eprintln!(
+                "xmlta batch: store {} hit(s) / {} miss(es) / {} write(s) / {} corrupt",
+                stats.store_hits, stats.store_misses, stats.store_writes, stats.store_corrupt,
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -680,6 +739,132 @@ fn summarize_report(path: &str, report: &Json) -> Result<ExitCode, String> {
             }
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// The store subcommand.
+
+/// `xmlta store --store DIR <action>`: operate directly on a persistent
+/// artifact store (the same directory a daemon mounts via `--store`).
+fn cmd_store(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let dir = opts
+        .store
+        .clone()
+        .ok_or("store needs --store DIR (the store directory)")?;
+    let Some((action, rest)) = opts.positional.split_first() else {
+        return Err("store needs an action (prewarm, verify, gc, ls)".into());
+    };
+    let store = open_store(&dir)?;
+    match action.as_str() {
+        "prewarm" => store_prewarm(store, rest),
+        "verify" => store_verify(&store),
+        "gc" => store_gc(&store, opts.max_bytes),
+        "ls" => store_ls(&store),
+        other => Err(format!("unknown store action `{other}`")),
+    }
+}
+
+/// `store prewarm PATH...`: compile every schema product reachable from
+/// the given instances into the store. Idempotent — entries already
+/// present are adopted (a hit), not rewritten.
+fn store_prewarm(
+    store: std::sync::Arc<xmlta_store::Store>,
+    paths: &[String],
+) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("store prewarm needs at least one PATH".into());
+    }
+    let mut cache = SchemaCache::new();
+    cache.set_store(store);
+    let mut warmed = 0usize;
+    let mut errors = 0usize;
+    for (name, payload) in collect_sources(paths)? {
+        match &payload {
+            Payload::Stream(bytes) => match binfmt::decode_stream(bytes) {
+                Ok(instances) => {
+                    for (_, instance) in &instances {
+                        warm_instance(&cache, instance);
+                        warmed += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xmlta store: {name}: decode error: {e}");
+                    errors += 1;
+                }
+            },
+            _ => match load_instance(&payload) {
+                Ok(instance) => {
+                    warm_instance(&cache, &instance);
+                    warmed += 1;
+                }
+                Err(e) => {
+                    eprintln!("xmlta store: {name}: {e}");
+                    errors += 1;
+                }
+            },
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "prewarmed {warmed} instance(s): {} new artifact(s) written, \
+         {} adopted from the store, {} corrupt entry(ies) recompiled",
+        stats.store_writes, stats.store_hits, stats.store_corrupt
+    );
+    Ok(if errors > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// `store verify`: re-decode and re-fingerprint every entry. Exit 1 when
+/// corrupt/misfiled entries are found (a daemon would recompile these).
+fn store_verify(store: &xmlta_store::Store) -> Result<ExitCode, String> {
+    let report = store.verify().map_err(|e| e.to_string())?;
+    println!(
+        "{} entry(ies) verified, {} corrupt",
+        report.ok,
+        report.corrupt.len()
+    );
+    for (path, why) in &report.corrupt {
+        println!("corrupt: {}: {why}", path.display());
+    }
+    Ok(if report.corrupt.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// `store gc --max-bytes N`: evict least-recently-used entries down to
+/// the byte budget.
+fn store_gc(store: &xmlta_store::Store, max_bytes: Option<u64>) -> Result<ExitCode, String> {
+    let max = max_bytes.ok_or("store gc needs --max-bytes N (the byte budget to keep)")?;
+    let report = store.gc(max).map_err(|e| e.to_string())?;
+    println!(
+        "removed {} entry(ies) ({} bytes), kept {} ({} bytes)",
+        report.removed, report.removed_bytes, report.kept, report.kept_bytes
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `store ls`: list entries, sorted by kind/key/sigma for stable output.
+fn store_ls(store: &xmlta_store::Store) -> Result<ExitCode, String> {
+    let mut entries = store.entries().map_err(|e| e.to_string())?;
+    entries.sort_by_key(|e| (e.kind as u8, e.key, e.sigma));
+    let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    for e in &entries {
+        println!(
+            "{}/{:016x}-{} {} bytes",
+            e.kind.dir(),
+            e.key,
+            e.sigma,
+            e.bytes
+        );
+    }
+    println!("{} entry(ies), {total} bytes", entries.len());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -1196,11 +1381,24 @@ fn client_batch(
             // `cmd_client` already negotiated when --pipeline was given.
             negotiate_v2(client, None)?;
         }
-        let response = client_roundtrip(client, &proto::req_batch_bin(1, bytes, opts.threads))?;
+        let frame = proto::req_batch_bin(1, bytes, opts.threads, opts.stream);
+        if opts.stream {
+            let report = collect_streamed_report(client, &frame).map_err(|e| match e {
+                ClientError::Usage(msg) => ClientError::Usage(format!("{name}: {msg}")),
+                other => other,
+            })?;
+            return finish_raw_report(opts, &report).map_err(ClientError::Usage);
+        }
+        let response = client_roundtrip(client, &frame)?;
         if let Some(e) = response_error(&response) {
             return Err(format!("{name}: {e}").into());
         }
         return finish_batch(opts, &response).map_err(ClientError::Usage);
+    }
+    if opts.stream {
+        return Err(
+            "--stream applies to a single .xts batch (the binary `batch_bin` channel)".into(),
+        );
     }
     // Text payloads ride inline; binary payloads are registered over
     // `register_bin` first and ride as handles (the batch op itself has
@@ -1233,6 +1431,66 @@ fn client_batch(
         return Err(e.into());
     }
     finish_batch(opts, &response).map_err(ClientError::Usage)
+}
+
+/// The raw JSON of a top-level `,"name":{...}` field of a one-object
+/// response line, borrowed without re-rendering (so streamed frames can
+/// be reassembled byte-identically).
+fn raw_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!(",\"{name}\":");
+    let start = line.find(&marker)? + marker.len();
+    line.ends_with('}').then(|| &line[start..line.len() - 1])
+}
+
+/// Drives a streamed `batch_bin` exchange: sends `frame`, collects one
+/// item frame per instance plus the final tally frame, and reassembles
+/// the exact report the unstreamed reply would have carried (the tally
+/// with the raw items spliced into a `results` array).
+fn collect_streamed_report(client: &mut Client, frame: &str) -> Result<String, ClientError> {
+    client.send(frame).map_err(transport)?;
+    let mut items: Vec<String> = Vec::new();
+    loop {
+        let line = client
+            .recv()
+            .map_err(transport)?
+            .ok_or_else(|| disconnected("server closed the connection mid-stream"))?;
+        let response = parse_json(&line).map_err(|e| format!("bad response from server: {e}"))?;
+        if let Some(e) = response_error(&response) {
+            return Err(e.into());
+        }
+        if response.get("item").is_some() {
+            let raw =
+                raw_field(&line, "item").ok_or_else(|| format!("malformed item frame: {line}"))?;
+            items.push(raw.to_string());
+            continue;
+        }
+        if response.get("report").is_none() {
+            return Err(format!("unexpected frame in batch stream: {line}").into());
+        }
+        let tally =
+            raw_field(&line, "report").ok_or_else(|| format!("malformed report frame: {line}"))?;
+        let body = tally
+            .strip_suffix('}')
+            .ok_or_else(|| format!("malformed report tally: {tally}"))?;
+        return Ok(format!("{body},\"results\":[{}]}}", items.join(",")));
+    }
+}
+
+/// Writes or summarizes a report reassembled from a streamed response.
+/// `--out` writes the raw JSON verbatim, so the file is byte-identical
+/// to the one the unstreamed reply produces.
+fn finish_raw_report(opts: &Opts, raw: &str) -> Result<ExitCode, String> {
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, format!("{raw}\n"))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            let report = parse_json(raw).map_err(|e| format!("bad streamed report: {e}"))?;
+            summarize_report("batch", &report)
+        }
+    }
 }
 
 /// Writes or summarizes the report of a `batch`/`batch_bin` response.

@@ -18,6 +18,7 @@ USAGE:
   xmltad --socket PATH [--tcp HOST:PORT] [--max-frame BYTES]
          [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
          [--read-timeout-ms MS] [--max-conns N] [--retry-after-ms MS]
+         [--store DIR]
       Bind a Unix socket at PATH (and/or a TCP listener — give either or
       both) and serve connections until a client sends a `shutdown`
       request. The socket file must not exist yet and is removed on
@@ -29,6 +30,11 @@ USAGE:
       --max-conns sheds accepts past N live connections with a
       `server-overloaded` frame carrying a `retry_after_ms` hint
       (default 1024; hint set by --retry-after-ms, default 100).
+      --store DIR mounts a persistent compiled-artifact store: compiled
+      schemas, rule DFAs, and delrelab products are adopted from DIR
+      instead of recompiled, and written back after fresh compiles
+      (`store_*` counters in `stats`; see `xmlta store` to prewarm,
+      verify, and gc the directory).
 
   xmltad --tcp HOST:PORT [same options]
       TCP-only. The resolved address is announced on stderr

@@ -8,14 +8,15 @@ use std::time::Duration;
 
 /// Parses serve-mode arguments (`--socket PATH | --tcp HOST:PORT |
 /// --stdio`, `[--max-frame BYTES] [--registry-cap N] [--memo-cap N]
-/// [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]`) and runs
-/// the server. `--socket` and `--tcp` may be combined (one shared state,
-/// two listeners). `name` labels error output; `usage` is printed for
-/// `--help`.
+/// [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]
+/// [--store DIR]`) and runs the server. `--socket` and `--tcp` may be
+/// combined (one shared state, two listeners). `name` labels error
+/// output; `usage` is printed for `--help`.
 pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
     let mut socket: Option<PathBuf> = None;
     let mut tcp: Option<String> = None;
     let mut stdio = false;
+    let mut store_dir: Option<PathBuf> = None;
     let mut config = ServerConfig::default();
     let mut registry_cap = crate::state::DEFAULT_REGISTRY_CAPACITY;
     let mut memo_cap = xmlta_service::cache::DEFAULT_MEMO_CAPACITY;
@@ -48,6 +49,11 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
             "--retry-after-ms" => {
                 config.retry_after_ms = count_value(&mut it, "--retry-after-ms")? as u64
             }
+            "--store" => {
+                store_dir = Some(PathBuf::from(
+                    it.next().ok_or("--store needs a directory")?.clone(),
+                ))
+            }
             "--help" | "-h" => {
                 print!("{usage}");
                 return Ok(ExitCode::SUCCESS);
@@ -55,7 +61,15 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
             other => return Err(format!("unknown argument `{other}`\n\n{usage}")),
         }
     }
-    let shared = Shared::with_capacities(registry_cap, memo_cap);
+    let store = match store_dir {
+        None => None,
+        Some(dir) => Some(std::sync::Arc::new(
+            xmlta_store::Store::open(&dir)
+                .map_err(|e| format!("--store {}: {e}", dir.display()))?,
+        )
+            as std::sync::Arc<dyn xmlta_service::ArtifactBackend>),
+    };
+    let shared = Shared::with_store(registry_cap, memo_cap, store);
     if stdio {
         if socket.is_some() || tcp.is_some() {
             return Err("--stdio excludes --socket/--tcp".into());

@@ -196,6 +196,11 @@ pub enum Op {
         data: Vec<u8>,
         /// Worker threads for this batch (server-clamped; default 1).
         threads: Option<usize>,
+        /// Stream the report per item: one `{"id":…,"ok":true,"item":…}`
+        /// frame per result (report order) followed by a closing tally
+        /// frame, instead of one monolithic report frame. Opt-in
+        /// (`"stream": true`); the default reply is unchanged.
+        stream: bool,
     },
     /// Cache/registry counters (the one scheduling-dependent response).
     Stats,
@@ -427,8 +432,23 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
             };
             let threads =
                 parse_threads(&frame).map_err(|m| Reject::new(id.clone(), code::BAD_REQUEST, m))?;
+            let stream = match frame.get("stream") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => {
+                    return Err(Reject::new(
+                        id,
+                        code::BAD_REQUEST,
+                        "`stream` must be a boolean",
+                    ))
+                }
+            };
             match xmlta_service::binfmt::base64_decode(data) {
-                Ok(data) => Op::BatchBin { data, threads },
+                Ok(data) => Op::BatchBin {
+                    data,
+                    threads,
+                    stream,
+                },
                 Err(e) => {
                     return Err(Reject::new(
                         id,
@@ -701,14 +721,18 @@ pub fn req_batch(id: u64, items: &[BatchItemReq], threads: Option<usize>) -> Str
 }
 
 /// A `batch_bin` request frame carrying a base64-encoded delta `.xts`
-/// stream (valid on v2 connections only).
-pub fn req_batch_bin(id: u64, stream: &[u8], threads: Option<usize>) -> String {
+/// stream (valid on v2 connections only). `stream_items` opts into the
+/// per-item streamed reply.
+pub fn req_batch_bin(id: u64, stream: &[u8], threads: Option<usize>, stream_items: bool) -> String {
     let mut fields = vec![(
         "data",
         Json::Str(xmlta_service::binfmt::base64_encode(stream)),
     )];
     if let Some(t) = threads {
         fields.push(("threads", Json::from_u64(t as u64)));
+    }
+    if stream_items {
+        fields.push(("stream", Json::Bool(true)));
     }
     request_v(MAX_PROTOCOL_VERSION, id, "batch_bin", fields)
 }

@@ -46,7 +46,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use typecheck_core::Instance;
 use xmlta_base::FxHashMap;
-use xmlta_service::batch::{run_batch, stream_batch_items, BatchItem};
+use xmlta_service::batch::{result_json_line, run_batch, stream_batch_items, BatchItem};
 use xmlta_service::{check_instance, parse_instance, ItemStatus, Json};
 
 /// What the connection loop should do after a frame.
@@ -133,6 +133,9 @@ enum JobKind {
         data: Vec<u8>,
         /// Clamped worker count for this batch.
         threads: usize,
+        /// Reply per item (one frame per result + a tally frame) instead
+        /// of one monolithic report frame.
+        stream: bool,
     },
 }
 
@@ -322,13 +325,18 @@ impl Session {
                     },
                 });
             }
-            Op::BatchBin { data, threads } => {
+            Op::BatchBin {
+                data,
+                threads,
+                stream,
+            } => {
                 return Planned::Job(Job {
                     id,
                     deadline,
                     kind: JobKind::BatchBin {
                         data,
                         threads: self.clamp_threads(threads),
+                        stream,
                     },
                 });
             }
@@ -339,6 +347,8 @@ impl Session {
                     "{{\"schema_hits\":{},\"schema_misses\":{},\"rule_hits\":{},\
                      \"rule_misses\":{},\"bout_hits\":{},\"bout_misses\":{},\
                      \"memo_hits\":{},\"memo_misses\":{},\"memo_evictions\":{},\
+                     \"store_hits\":{},\"store_misses\":{},\"store_writes\":{},\
+                     \"store_corrupt\":{},\
                      \"registered\":{},\"evictions\":{},\"session_handles\":{},\
                      \"conns_accepted\":{},\"overload_sheds\":{},\
                      \"deadline_sheds\":{},\"read_timeouts\":{}}}",
@@ -351,6 +361,10 @@ impl Session {
                     s.memo_hits,
                     s.memo_misses,
                     s.memo_evictions,
+                    s.store_hits,
+                    s.store_misses,
+                    s.store_writes,
+                    s.store_corrupt,
                     self.shared.registered(),
                     self.shared.evictions(),
                     self.handles.len(),
@@ -491,7 +505,12 @@ fn execute_job(shared: &Shared, job: Job) -> String {
             status_reply(&id, &status)
         }
         JobKind::Batch { items, threads } => batch_reply(shared, &id, &items, threads),
-        JobKind::BatchBin { data, threads } => match stream_batch_items(&data) {
+        JobKind::BatchBin {
+            data,
+            threads,
+            stream,
+        } => match stream_batch_items(&data) {
+            Ok(items) if stream => streamed_batch_reply(shared, &id, &items, threads),
             Ok(items) => batch_reply(shared, &id, &items, threads),
             Err(e) => proto::error_frame(&Reject {
                 id,
@@ -508,6 +527,31 @@ fn batch_reply(shared: &Shared, id: &Json, items: &[BatchItem], threads: usize) 
     ResponseBuilder::new(id, true)
         .raw_field("report", &outcome.to_json_line())
         .finish()
+}
+
+/// Runs a resolved batch and renders the streamed reply: one frame per
+/// result in report order, then a closing tally frame. Rendered as ONE
+/// newline-joined string so the whole sequence is pushed to the outbox
+/// atomically — frames of concurrent jobs never interleave, and the
+/// per-id byte sequence stays a pure function of the request (the
+/// pipelining determinism invariant).
+fn streamed_batch_reply(shared: &Shared, id: &Json, items: &[BatchItem], threads: usize) -> String {
+    let outcome = run_batch(items, threads, Some(shared.cache()));
+    let mut out = String::new();
+    for r in &outcome.results {
+        out.push_str(
+            &ResponseBuilder::new(id, true)
+                .raw_field("item", &result_json_line(r))
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out.push_str(
+        &ResponseBuilder::new(id, true)
+            .raw_field("report", &outcome.tally_json_line())
+            .finish(),
+    );
+    out
 }
 
 /// Renders the `internal` error reply for a caught panic payload.

@@ -21,11 +21,11 @@
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use typecheck_core::{delrelab, Instance, Schema};
+use typecheck_core::Instance;
 use xmlta_base::fxhash::FxHasher;
 use xmlta_service::binfmt::{decode_instance, BinError};
 use xmlta_service::lru::Lru;
-use xmlta_service::{parse_instance, ParseError, SchemaCache};
+use xmlta_service::{parse_instance, warm_instance, ArtifactBackend, ParseError, SchemaCache};
 
 /// Default bound on distinct registered contents.
 pub const DEFAULT_REGISTRY_CAPACITY: usize = 4096;
@@ -146,8 +146,24 @@ impl Shared {
     /// Fresh state with explicit registry and typecheck-result-memo bounds
     /// (`--registry-cap` / `--memo-cap`; 0 disables the respective layer).
     pub fn with_capacities(registry_capacity: usize, memo_capacity: usize) -> Arc<Shared> {
+        Shared::with_store(registry_capacity, memo_capacity, None)
+    }
+
+    /// Fresh state with an optional persistent artifact store mounted
+    /// under the schema cache (`--store DIR`): compile misses read
+    /// through it, fresh compiles are written behind, and the `stats` op
+    /// surfaces the store counters.
+    pub fn with_store(
+        registry_capacity: usize,
+        memo_capacity: usize,
+        store: Option<Arc<dyn ArtifactBackend>>,
+    ) -> Arc<Shared> {
+        let mut cache = SchemaCache::with_memo_capacity(memo_capacity);
+        if let Some(store) = store {
+            cache.set_store(store);
+        }
         Arc::new(Shared {
-            cache: SchemaCache::with_memo_capacity(memo_capacity),
+            cache,
             registry: Mutex::new(Registry {
                 lru: Lru::new(registry_capacity),
                 evicted: 0,
@@ -289,19 +305,7 @@ impl Shared {
     /// *source* form, so swapping in compiled schemas here would make
     /// every later lookup miss (and double-cache each schema).
     fn prepare(&self, instance: Instance) -> Instance {
-        if let (Schema::Nta(ain), Schema::Nta(aout)) = (&instance.input, &instance.output) {
-            // Build (or find) the Theorem 20 B_out product now; the
-            // verdict — including `Unsupported` for non-DTAc outputs — is
-            // cached and surfaces at typecheck time.
-            let sigma = delrelab::joint_sigma(ain, aout, instance.alphabet_size());
-            let _ = self.cache.delrelab_bout(aout, sigma);
-        } else {
-            for schema in [&instance.input, &instance.output] {
-                if let Schema::Dtd(d) = schema {
-                    let _ = self.cache.compile_dtd(d);
-                }
-            }
-        }
+        warm_instance(&self.cache, &instance);
         instance
     }
 }

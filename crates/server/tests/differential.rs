@@ -357,8 +357,8 @@ fn batch_bin_reports_match_the_local_driver_at_every_depth() {
             };
             let frames = vec![
                 proto::req_hello_v2(0, 2, Some(depth)),
-                proto::req_batch_bin(1, &stream, Some(2)),
-                proto::req_batch_bin(2, &stream, None),
+                proto::req_batch_bin(1, &stream, Some(2), false),
+                proto::req_batch_bin(2, &stream, None, false),
             ];
             let run = play(shared, &frames);
             for id in [1u64, 2] {

@@ -364,6 +364,58 @@ fn golden_batch_bin_gating_and_errors() {
 }
 
 #[test]
+fn golden_batch_bin_streamed_frames() {
+    // `"stream": true` replaces the single report reply with one frame
+    // per item (in item order, contiguous) plus a final tally frame, all
+    // under the request id. Splicing the item objects into the tally's
+    // `results` array reconstructs the unstreamed report byte for byte.
+    let instance = xmlta_service::parse_instance(GOOD).expect("parses");
+    let named = [("a.xti", &instance), ("b.xti", &instance)];
+    let stream = xmlta_service::encode_stream(named.iter().map(|&(n, i)| (n, i))).expect("encodes");
+    let input = format!(
+        "{{\"id\": \"hello\", \"op\": \"hello\", \"max_v\": 2}}\n\
+         {{\"id\": 9, \"op\": \"batch_bin\", \"data\": \"{}\", \"stream\": true}}\n",
+        xmlta_service::binfmt::base64_encode(&stream)
+    );
+    let (lines, _) = run(&input, 1 << 20);
+    assert_eq!(
+        lines,
+        vec![
+            r#"{"id":"hello","ok":true,"server":"xmltad","protocol":2,"pipeline":32}"#.to_string(),
+            r#"{"id":9,"ok":true,"item":{"name":"a.xti","status":"typechecks"}}"#.to_string(),
+            r#"{"id":9,"ok":true,"item":{"name":"b.xti","status":"typechecks"}}"#.to_string(),
+            r#"{"id":9,"ok":true,"report":{"xmlta":"batch","total":2,"typechecks":2,"counterexamples":0,"errors":0}}"#.to_string(),
+        ]
+    );
+    // An empty streamed batch is just the tally frame.
+    let empty = xmlta_service::encode_stream(std::iter::empty()).expect("encodes");
+    let input = format!(
+        "{{\"id\": \"hello\", \"op\": \"hello\", \"max_v\": 2}}\n\
+         {{\"id\": 5, \"op\": \"batch_bin\", \"data\": \"{}\", \"stream\": true}}\n",
+        xmlta_service::binfmt::base64_encode(&empty)
+    );
+    let (lines, _) = run(&input, 1 << 20);
+    assert_eq!(
+        lines[1..],
+        [r#"{"id":5,"ok":true,"report":{"xmlta":"batch","total":0,"typechecks":0,"counterexamples":0,"errors":0}}"#.to_string()]
+    );
+    // `stream` must be a boolean; `false` is exactly the unstreamed reply.
+    let responses = v2_by_id(&format!(
+        "{{\"id\": 6, \"op\": \"batch_bin\", \"data\": \"{0}\", \"stream\": \"yes\"}}\n\
+         {{\"id\": 7, \"op\": \"batch_bin\", \"data\": \"{0}\", \"stream\": false}}\n",
+        xmlta_service::binfmt::base64_encode(&empty)
+    ));
+    assert_eq!(
+        responses["6"],
+        r#"{"id":6,"ok":false,"error":{"code":"bad-request","message":"`stream` must be a boolean"}}"#
+    );
+    assert_eq!(
+        responses["7"],
+        r#"{"id":7,"ok":true,"report":{"xmlta":"batch","total":0,"typechecks":0,"counterexamples":0,"errors":0,"results":[]}}"#
+    );
+}
+
+#[test]
 fn stats_surfaces_memo_evictions() {
     // A memo of capacity 1 over two distinct instances: the second
     // typecheck evicts the first, and the `stats` op must report it.

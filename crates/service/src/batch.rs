@@ -178,10 +178,32 @@ impl BatchOutcome {
         out.push_str("]}");
         out
     }
+
+    /// The report header without its `results` array — the tally frame
+    /// that closes a streamed (per-item) `batch_bin` reply. Splicing the
+    /// streamed item objects into `"results":[…]` before the final `}`
+    /// reconstructs [`BatchOutcome::to_json_line`] byte for byte.
+    pub fn tally_json_line(&self) -> String {
+        let (ok, ce, err) = self.tally();
+        format!(
+            "{{\"xmlta\":\"batch\",\"total\":{},\"typechecks\":{ok},\
+             \"counterexamples\":{ce},\"errors\":{err}}}",
+            self.results.len()
+        )
+    }
 }
 
 /// One result record, rendered identically by both report styles (modulo
 /// the `": "` separators of the pretty form, kept for file stability).
+/// Renders one item record as compact JSON — the object that sits inside
+/// a report's `results` array, and the payload of each frame in a
+/// streamed (per-item) `batch_bin` reply.
+pub fn result_json_line(r: &ItemResult) -> String {
+    let mut out = String::new();
+    push_result_json(&mut out, r, false);
+    out
+}
+
 fn push_result_json(out: &mut String, r: &ItemResult, pretty: bool) {
     let sep = if pretty { ": " } else { ":" };
     let comma = if pretty { ", " } else { "," };

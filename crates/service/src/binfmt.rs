@@ -119,7 +119,7 @@ const MAX_DENSE_CELLS: u64 = 1 << 26;
 /// [`Reader::count`] does not limit the allocation they demand. Real
 /// instances top out in the hundreds of states; a frame claiming more
 /// than this is rejected before any per-state allocation.
-const MAX_STATES: usize = 1 << 20;
+pub(crate) const MAX_STATES: usize = 1 << 20;
 
 /// Pre-allocation clamp for length-prefixed collections: `count` is
 /// already bounded by the bytes remaining in the frame, but one byte of
@@ -149,7 +149,7 @@ pub struct BinError {
 }
 
 impl BinError {
-    fn new(offset: usize, message: impl Into<String>) -> BinError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> BinError {
         BinError {
             offset,
             message: message.into(),
@@ -168,7 +168,7 @@ impl std::error::Error for BinError {}
 // ---------------------------------------------------------------------
 // Encoding.
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -180,7 +180,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_usize(out: &mut Vec<u8>, v: usize) {
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
     put_varint(out, v as u64);
 }
 
@@ -189,7 +189,7 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_dfa(out: &mut Vec<u8>, d: &Dfa) {
+pub(crate) fn put_dfa(out: &mut Vec<u8>, d: &Dfa) {
     put_usize(out, d.num_states());
     put_usize(out, d.alphabet_size());
     put_varint(out, u64::from(d.initial_state()));
@@ -216,7 +216,7 @@ fn put_dfa(out: &mut Vec<u8>, d: &Dfa) {
     }
 }
 
-fn put_nfa(out: &mut Vec<u8>, n: &Nfa) {
+pub(crate) fn put_nfa(out: &mut Vec<u8>, n: &Nfa) {
     put_usize(out, n.num_states());
     put_usize(out, n.alphabet_size());
     put_usize(out, n.initial_states().len());
@@ -270,7 +270,7 @@ fn put_regex(out: &mut Vec<u8>, re: &Regex) {
     }
 }
 
-fn put_lang(out: &mut Vec<u8>, lang: &StringLang) {
+pub(crate) fn put_lang(out: &mut Vec<u8>, lang: &StringLang) {
     match lang {
         StringLang::Dfa(d) => {
             out.push(0);
@@ -501,17 +501,17 @@ pub fn write_instance<W: std::io::Write>(w: &mut W, instance: &Instance) -> std:
 // Decoding.
 
 /// A borrowing cursor over one frame.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn err(&self, message: impl Into<String>) -> BinError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> BinError {
         BinError::new(self.pos, message)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, BinError> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, BinError> {
         match self.buf.get(self.pos) {
             Some(&b) => {
                 self.pos += 1;
@@ -521,7 +521,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn varint(&mut self, what: &str) -> Result<u64, BinError> {
+    pub(crate) fn varint(&mut self, what: &str) -> Result<u64, BinError> {
         let mut v: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -538,7 +538,7 @@ impl<'a> Reader<'a> {
     }
 
     /// A varint that must fit `u32` (state ids, letters, selector indices).
-    fn id(&mut self, what: &str) -> Result<u32, BinError> {
+    pub(crate) fn id(&mut self, what: &str) -> Result<u32, BinError> {
         let v = self.varint(what)?;
         u32::try_from(v).map_err(|_| self.err(format!("{what} {v} does not fit 32 bits")))
     }
@@ -546,7 +546,7 @@ impl<'a> Reader<'a> {
     /// A count of items that each consume at least one byte: bounded by
     /// the bytes actually remaining, so forged counts cannot demand huge
     /// allocations up front.
-    fn count(&mut self, what: &str) -> Result<usize, BinError> {
+    pub(crate) fn count(&mut self, what: &str) -> Result<usize, BinError> {
         let v = self.varint(what)?;
         let remaining = (self.buf.len() - self.pos) as u64;
         if v > remaining {
@@ -573,7 +573,7 @@ impl<'a> Reader<'a> {
 }
 
 /// Checks `v < bound`, where `bound` counts `what`s.
-fn in_range(r: &Reader<'_>, v: u32, bound: usize, what: &str) -> Result<(), BinError> {
+pub(crate) fn in_range(r: &Reader<'_>, v: u32, bound: usize, what: &str) -> Result<(), BinError> {
     if (v as usize) < bound {
         Ok(())
     } else {
@@ -581,14 +581,24 @@ fn in_range(r: &Reader<'_>, v: u32, bound: usize, what: &str) -> Result<(), BinE
     }
 }
 
-fn get_dfa(r: &mut Reader<'_>) -> Result<Dfa, BinError> {
-    let num_states = r.count("dfa state count")?;
-    let sigma = r.count("dfa alphabet size")?;
+/// A claimed automaton dimension (state or alphabet count). Unlike item
+/// lists, a dimension is not bounded by the bytes that follow — a dense
+/// automaton over a large alphabet with few edges, or a bare `.xta`
+/// artifact with no symbol table behind it, legitimately claims more
+/// than the remaining payload — so it is capped absolutely instead.
+fn dim(r: &mut Reader<'_>, what: &str) -> Result<usize, BinError> {
+    let v = r.varint(what)?;
+    if v > MAX_STATES as u64 {
+        return Err(r.err(format!("{what} claims {v} (cap {MAX_STATES})")));
+    }
+    Ok(v as usize)
+}
+
+pub(crate) fn get_dfa(r: &mut Reader<'_>) -> Result<Dfa, BinError> {
+    let num_states = dim(r, "dfa state count")?;
+    let sigma = dim(r, "dfa alphabet size")?;
     if num_states == 0 {
         return Err(r.err("dfa needs at least one state"));
-    }
-    if num_states > MAX_STATES {
-        return Err(r.err(format!("dfa claims {num_states} states (cap {MAX_STATES})")));
     }
     if num_states as u64 * sigma as u64 > MAX_DENSE_CELLS {
         return Err(r.err(format!(
@@ -621,12 +631,9 @@ fn get_dfa(r: &mut Reader<'_>) -> Result<Dfa, BinError> {
     Ok(dfa)
 }
 
-fn get_nfa(r: &mut Reader<'_>) -> Result<Nfa, BinError> {
-    let num_states = r.count("nfa state count")?;
-    let sigma = r.count("nfa alphabet size")?;
-    if num_states > MAX_STATES {
-        return Err(r.err(format!("nfa claims {num_states} states (cap {MAX_STATES})")));
-    }
+pub(crate) fn get_nfa(r: &mut Reader<'_>) -> Result<Nfa, BinError> {
+    let num_states = dim(r, "nfa state count")?;
+    let sigma = dim(r, "nfa alphabet size")?;
     let mut nfa = Nfa::new(sigma);
     for _ in 0..num_states {
         nfa.add_state();
@@ -688,7 +695,7 @@ fn get_regex(r: &mut Reader<'_>, sigma: usize, depth: usize) -> Result<Regex, Bi
     }
 }
 
-fn get_lang(r: &mut Reader<'_>, sigma: usize) -> Result<StringLang, BinError> {
+pub(crate) fn get_lang(r: &mut Reader<'_>, sigma: usize) -> Result<StringLang, BinError> {
     match r.u8("rule language tag")? {
         0 => {
             let dfa = get_dfa(r)?;

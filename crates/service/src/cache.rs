@@ -23,6 +23,7 @@
 //! batch driver's workers behind a mutex; compilation runs outside the
 //! lock, so a racing miss can compile twice but never corrupts the cache.
 
+use crate::artifact::{self, Artifact, ArtifactKind};
 use crate::batch::ItemStatus;
 use crate::lru::Lru;
 use std::sync::{Arc, Mutex};
@@ -60,6 +61,34 @@ pub struct CacheStats {
     pub memo_misses: u64,
     /// Memo entries evicted by the LRU bound.
     pub memo_evictions: u64,
+    /// Persistent-store loads adopted after verification (a cold compile
+    /// skipped). 0 when no store is mounted.
+    pub store_hits: u64,
+    /// Persistent-store lookups that found no entry.
+    pub store_misses: u64,
+    /// Artifacts newly written to the persistent store (an entry already
+    /// present — e.g. written by a concurrent daemon — does not count).
+    pub store_writes: u64,
+    /// Store entries present but rejected: checksum/decode failure or a
+    /// source that did not verify against the query. Never fatal — each
+    /// one silently fell back to recompilation.
+    pub store_corrupt: u64,
+}
+
+/// A persistent artifact backend mounted under the cache (the on-disk
+/// store in `crates/store`). Implementations are plain byte stores: the
+/// cache owns encoding, decoding, verification, and every counter;
+/// `load`/`save` must never panic and should swallow I/O errors — a
+/// store is an optimization, never an error source.
+pub trait ArtifactBackend: Send + Sync {
+    /// The bytes stored under `(kind, key, sigma)`, if any.
+    fn load(&self, kind: ArtifactKind, key: u64, sigma: usize) -> Option<Vec<u8>>;
+
+    /// Persists `bytes` under `(kind, key, sigma)`. Returns `true` only
+    /// when a new entry was written; an entry that already exists (e.g.
+    /// written by a concurrent daemon sharing the store) or a failed
+    /// write returns `false`.
+    fn save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) -> bool;
 }
 
 /// A cached Theorem 20 product — or the cached `DTAc` validation failure,
@@ -88,6 +117,10 @@ struct Inner {
 /// A thread-safe compiled-schema cache. See the module docs.
 pub struct SchemaCache {
     inner: Mutex<Inner>,
+    /// Optional persistent artifact store: checked read-through on
+    /// compile misses, written behind fresh compiles. All store I/O runs
+    /// outside the cache mutex.
+    store: Option<Arc<dyn ArtifactBackend>>,
 }
 
 impl Default for SchemaCache {
@@ -113,6 +146,69 @@ impl SchemaCache {
                 memo: Lru::new(capacity),
                 stats: CacheStats::default(),
             }),
+            store: None,
+        }
+    }
+
+    /// Mounts a persistent artifact store under the cache. Compile
+    /// misses become read-throughs (verified adopt on hit, recompile on
+    /// anything else) and fresh compiles are written behind. Collided
+    /// fingerprint slots never touch the store.
+    pub fn set_store(&mut self, store: Arc<dyn ArtifactBackend>) {
+        self.store = Some(store);
+    }
+
+    /// Whether a persistent store is mounted.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Bumps stats under the lock (used by store paths, which do their
+    /// I/O and decoding outside it).
+    fn bump(&self, f: impl FnOnce(&mut CacheStats)) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut inner.stats);
+    }
+
+    /// Read-through: fetches `(kind, key, sigma)` from the store, decodes
+    /// it, and hands the artifact to `adopt` for verification against the
+    /// query (exactly like an in-memory hit verifies its source). Returns
+    /// the adopted product or `None` (absent → `store_misses`; present
+    /// but undecodable/unverifiable → `store_corrupt`, fall back to
+    /// recompilation).
+    fn store_load<T>(
+        &self,
+        kind: ArtifactKind,
+        key: u64,
+        sigma: usize,
+        adopt: impl FnOnce(Artifact) -> Option<T>,
+    ) -> Option<T> {
+        let store = self.store.as_ref()?;
+        let Some(bytes) = store.load(kind, key, sigma) else {
+            self.bump(|s| s.store_misses += 1);
+            return None;
+        };
+        match artifact::decode(&bytes).ok().and_then(adopt) {
+            Some(product) => {
+                self.bump(|s| s.store_hits += 1);
+                Some(product)
+            }
+            None => {
+                self.bump(|s| s.store_corrupt += 1);
+                None
+            }
+        }
+    }
+
+    /// Write-behind: persists an encoded artifact after a fresh compile.
+    fn store_save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) {
+        if let Some(store) = &self.store {
+            if store.save(kind, key, sigma, bytes) {
+                self.bump(|s| s.store_writes += 1);
+            }
         }
     }
 
@@ -192,6 +288,18 @@ impl SchemaCache {
             inner.stats.schema_misses += 1;
         }
         let sigma = dtd.alphabet_size();
+        if !collided {
+            if let Some(compiled) =
+                self.store_load(ArtifactKind::Schema, fp, sigma, |artifact| match artifact {
+                    Artifact::Schema { source, compiled } if dtd_eq(&source, dtd) => {
+                        Some(Arc::new(compiled))
+                    }
+                    _ => None,
+                })
+            {
+                return self.adopt_schema(fp, dtd, compiled);
+            }
+        }
         let mut compiled = Dtd::new(sigma, dtd.start());
         let mut rules: Vec<_> = dtd.rules().collect();
         rules.sort_by_key(|(s, _)| *s);
@@ -205,13 +313,24 @@ impl SchemaCache {
             // ~2^-64 per pair; correctness must not depend on that).
             return compiled;
         }
+        if self.store.is_some() {
+            if let Ok(bytes) = artifact::encode_schema(dtd, &compiled) {
+                self.store_save(ArtifactKind::Schema, fp, sigma, &bytes);
+            }
+        }
+        self.adopt_schema(fp, dtd, compiled)
+    }
+
+    /// Publishes a compiled schema (freshly built or adopted from the
+    /// store) into the in-memory map, re-verifying the slot's occupant: a
+    /// racing compile of a *colliding* schema may have claimed the slot
+    /// in the window since the miss.
+    fn adopt_schema(&self, fp: u64, dtd: &Dtd, compiled: Arc<Dtd>) -> Arc<Dtd> {
         let mut inner = self
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         match inner.schemas.entry(fp) {
-            // A racing compile of a *colliding* schema may have claimed the
-            // slot in the window; re-verify before adopting its artifact.
             std::collections::hash_map::Entry::Occupied(e) if !dtd_eq(&e.get().0, dtd) => compiled,
             entry => Arc::clone(&entry.or_insert((dtd.clone(), compiled)).1),
         }
@@ -241,10 +360,39 @@ impl SchemaCache {
             }
             inner.stats.rule_misses += 1;
         }
+        if !collided {
+            if let Some(dfa) =
+                self.store_load(
+                    ArtifactKind::Rule,
+                    key.0,
+                    sigma,
+                    |artifact| match artifact {
+                        Artifact::Rule {
+                            sigma: s,
+                            source,
+                            compiled,
+                        } if s == sigma && lang_eq(&source, lang) => Some(Arc::new(compiled)),
+                        _ => None,
+                    },
+                )
+            {
+                return self.adopt_rule(key, lang, dfa);
+            }
+        }
         let dfa = lang.to_shared_dfa(sigma);
         if collided {
             return dfa;
         }
+        if self.store.is_some() {
+            let bytes = artifact::encode_rule(sigma, lang, &dfa);
+            self.store_save(ArtifactKind::Rule, key.0, sigma, &bytes);
+        }
+        self.adopt_rule(key, lang, dfa)
+    }
+
+    /// Publishes a compiled rule, re-verifying the slot (see
+    /// [`SchemaCache::adopt_schema`]).
+    fn adopt_rule(&self, key: (u64, usize), lang: &StringLang, dfa: Arc<Dfa>) -> Arc<Dfa> {
         let mut inner = self
             .inner
             .lock()
@@ -281,12 +429,45 @@ impl SchemaCache {
             }
             inner.stats.bout_misses += 1;
         }
+        if !collided {
+            if let Some(product) =
+                self.store_load(
+                    ArtifactKind::Bout,
+                    key.0,
+                    sigma,
+                    |artifact| match artifact {
+                        Artifact::Bout {
+                            sigma: s,
+                            source,
+                            product,
+                        } if s == sigma && nta_eq(&source, aout) => Some(Arc::new(product)),
+                        _ => None,
+                    },
+                )
+            {
+                return self.adopt_bout(key, aout, Ok(product));
+            }
+        }
         // Validation and construction run outside the lock.
         let built =
             delrelab::require_dtac(aout).map(|()| Arc::new(delrelab::bout_product(aout, sigma)));
         if collided {
             return built;
         }
+        // Only `Ok` products are persisted: a `DTAc` validation *failure*
+        // is a verdict, not a compiled artifact, and stays memory-only.
+        if self.store.is_some() {
+            if let Ok(product) = &built {
+                let bytes = artifact::encode_bout(sigma, aout, product);
+                self.store_save(ArtifactKind::Bout, key.0, sigma, &bytes);
+            }
+        }
+        self.adopt_bout(key, aout, built)
+    }
+
+    /// Publishes a `B_out` entry, re-verifying the slot (see
+    /// [`SchemaCache::adopt_schema`]).
+    fn adopt_bout(&self, key: (u64, usize), aout: &Nta, built: BoutEntry) -> BoutEntry {
         let mut inner = self
             .inner
             .lock()
@@ -317,6 +498,27 @@ impl SchemaCache {
     /// Whether nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == (0, 0)
+    }
+}
+
+/// Warms `cache` with the instance's per-schema products — compiled DTD
+/// rule DFAs, or the Theorem 20 `B_out` product for NTA/NTA instances —
+/// so later typechecks hit on every product. With a persistent store
+/// mounted this is also the prewarm primitive: every product it compiles
+/// is written behind (`xmlta store prewarm`, server-side registration).
+pub fn warm_instance(cache: &SchemaCache, instance: &Instance) {
+    if let (Schema::Nta(ain), Schema::Nta(aout)) = (&instance.input, &instance.output) {
+        // Build (or find) the Theorem 20 B_out product now; the verdict —
+        // including `Unsupported` for non-DTAc outputs — is cached and
+        // surfaces at typecheck time.
+        let sigma = delrelab::joint_sigma(ain, aout, instance.alphabet_size());
+        let _ = cache.delrelab_bout(aout, sigma);
+    } else {
+        for schema in [&instance.input, &instance.output] {
+            if let Schema::Dtd(d) = schema {
+                let _ = cache.compile_dtd(d);
+            }
+        }
     }
 }
 

@@ -71,6 +71,7 @@
 //! (`selector $name = @dfa { ... }` or `selector $name = <regex>`)
 //! referenced as `<state, $name>` in right-hand sides.
 
+pub mod artifact;
 pub mod batch;
 pub mod binfmt;
 pub mod cache;
@@ -86,7 +87,10 @@ pub use batch::{
     ItemStatus,
 };
 pub use binfmt::{decode_instance, decode_stream, encode_instance, encode_stream, BinError};
-pub use cache::{fingerprint_instance, instance_eq, typecheck_cached, CacheStats, SchemaCache};
+pub use cache::{
+    fingerprint_instance, instance_eq, typecheck_cached, warm_instance, ArtifactBackend,
+    CacheStats, SchemaCache,
+};
 pub use error::{Loc, ParseError, PrintError};
 pub use json::{parse_json, Json};
 pub use parse::parse_instance;

@@ -1,0 +1,320 @@
+//! Fuzz and differential suite for the `.xta` compiled-artifact codec.
+//!
+//! Mirrors the `.xtb` suite in `binfmt.rs`: the decoder must be total
+//! (structured errors, zero panics) over truncations, bit flips, version
+//! skew, and garbage — and, one level up, a corrupting artifact backend
+//! mounted under the `SchemaCache` must never change a verdict: corrupt
+//! entries are counted (`store_corrupt`) and silently recompiled.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use xmlta_service::artifact::{self, ArtifactKind, VERSION};
+use xmlta_service::batch::{run_batch, BatchItem};
+use xmlta_service::{gen, parse_instance, warm_instance, ArtifactBackend, SchemaCache};
+
+/// An instance whose schemas are both NTAs — the output one determinstic
+/// and complete (every symbol accepts `p*`), so warming it passes the
+/// Theorem 20 DTAc check and persists a `Bout` artifact.
+const NTA_INSTANCE: &str = "\
+alphabet { r x }
+input nta {
+  states q0 q1
+  final q0
+  (q0, r) -> q1*
+  (q1, x) ->
+}
+output nta {
+  states p
+  final p
+  (p, r) -> p*
+  (p, x) -> p*
+}
+transducer {
+  states q
+  initial q
+  (q, r) -> r(q)
+  (q, x) -> x
+}
+";
+
+/// A small mixed workload: DTD schemas (schema + rule artifacts) and an
+/// NTA pair (a bout artifact).
+fn sources() -> Vec<(String, String)> {
+    let mut out = vec![
+        (
+            "filtering".to_string(),
+            gen::filtering_source(4).expect("prints"),
+        ),
+        ("nta".to_string(), NTA_INSTANCE.to_string()),
+    ];
+    for v in 0..3u64 {
+        out.push((
+            format!("layered-{v}"),
+            gen::layered_source(5, 2, 3, v).expect("prints"),
+        ));
+    }
+    out
+}
+
+type Key = (ArtifactKind, u64, usize);
+
+/// An in-memory artifact backend recording every save.
+#[derive(Default)]
+struct MemStore {
+    map: Mutex<HashMap<Key, Vec<u8>>>,
+}
+
+impl MemStore {
+    fn entries(&self) -> Vec<(Key, Vec<u8>)> {
+        let mut all: Vec<(Key, Vec<u8>)> = self
+            .map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        all.sort_by_key(|((kind, key, sigma), _)| (*kind as u8, *key, *sigma));
+        all
+    }
+}
+
+impl ArtifactBackend for MemStore {
+    fn load(&self, kind: ArtifactKind, key: u64, sigma: usize) -> Option<Vec<u8>> {
+        self.map.lock().unwrap().get(&(kind, key, sigma)).cloned()
+    }
+
+    fn save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) -> bool {
+        self.map
+            .lock()
+            .unwrap()
+            .insert((kind, key, sigma), bytes.to_vec())
+            .is_none()
+    }
+}
+
+/// Artifacts of all three kinds, produced through the real cache
+/// write-behind paths over the mixed workload.
+fn corpus() -> Vec<(Key, Vec<u8>)> {
+    let store = Arc::new(MemStore::default());
+    let mut cache = SchemaCache::new();
+    cache.set_store(Arc::clone(&store) as Arc<dyn ArtifactBackend>);
+    for (name, source) in sources() {
+        let instance = parse_instance(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        warm_instance(&cache, &instance);
+    }
+    let entries = store.entries();
+    let kinds: std::collections::HashSet<ArtifactKind> =
+        entries.iter().map(|((k, _, _), _)| *k).collect();
+    assert_eq!(kinds.len(), 3, "corpus covers all three artifact kinds");
+    entries
+}
+
+#[test]
+fn artifacts_roundtrip_and_refingerprint_to_their_key() {
+    for ((kind, key, sigma), bytes) in corpus() {
+        assert_eq!(artifact::peek_kind(&bytes).expect("peeks"), kind);
+        let decoded = artifact::decode(&bytes)
+            .unwrap_or_else(|e| panic!("{}/{key:016x}-{sigma}: {e}", kind.dir()));
+        assert_eq!(
+            artifact::identity(&decoded),
+            (kind, key, sigma),
+            "artifact re-fingerprints to the key it was filed under"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_a_structured_error() {
+    for ((kind, key, sigma), bytes) in corpus() {
+        for len in 0..bytes.len() {
+            match artifact::decode(&bytes[..len]) {
+                Ok(_) => panic!(
+                    "{}/{key:016x}-{sigma}: truncation to {len}/{} decoded",
+                    kind.dir(),
+                    bytes.len()
+                ),
+                Err(e) => assert!(
+                    e.offset <= len,
+                    "{}/{key:016x}-{sigma}: error offset {} past truncated length {len}",
+                    kind.dir(),
+                    e.offset
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    // Magic and version are checked directly; the kind byte rides the
+    // checksum; the checksum bytes check themselves; payload bytes are
+    // covered by the FNV-1a bijection. So no single-byte corruption can
+    // ever be adopted — it is a structured error, at every position.
+    for ((kind, key, sigma), bytes) in corpus() {
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= flip;
+                assert!(
+                    artifact::decode(&bad).is_err(),
+                    "{}/{key:016x}-{sigma}: flip {flip:#04x} at byte {pos} was accepted",
+                    kind.dir()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn version_skew_magic_and_kind_are_load_bearing() {
+    let (_, bytes) = corpus().into_iter().next().expect("non-empty corpus");
+    // A future version is refused with a self-describing message.
+    let mut bumped = bytes.clone();
+    bumped[3] = VERSION + 1;
+    let err = artifact::decode(&bumped).unwrap_err();
+    assert!(err.message.contains("unsupported xta version"), "{err}");
+    // Wrong magic is not an artifact at all.
+    let mut wrong = bytes.clone();
+    wrong[0] = b'y';
+    let err = artifact::decode(&wrong).unwrap_err();
+    assert!(err.message.contains("bad magic"), "{err}");
+    assert!(!artifact::is_xta(&wrong));
+    // An undefined kind byte is refused before the payload is touched
+    // (9 names no kind; valid-but-wrong kinds are covered by the flip
+    // test via the checksum).
+    let mut unkind = bytes.clone();
+    unkind[4] = 9;
+    let err = artifact::decode(&unkind).unwrap_err();
+    assert!(err.message.contains("unknown artifact kind"), "{err}");
+    // Trailing bytes are rejected, not ignored — even when the checksum
+    // is re-sealed over the padded payload, so the structural decode is
+    // what catches them.
+    let mut padded = bytes;
+    padded.push(0);
+    let mut covered = vec![padded[4]];
+    covered.extend_from_slice(&padded[13..]);
+    let sum = artifact::fnv1a64(&covered).to_le_bytes();
+    padded[5..13].copy_from_slice(&sum);
+    let err = artifact::decode(&padded).unwrap_err();
+    assert!(err.message.contains("trailing"), "{err}");
+}
+
+#[test]
+fn garbage_never_panics() {
+    // Deterministic xorshift garbage: decoding must be total. Anything
+    // not starting with the magic must error; the rest merely must not
+    // panic (a 13-byte forged header passing the checksum is possible in
+    // principle, never in practice).
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..256 {
+        let len = (next() % 512) as usize;
+        let mut buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        let _ = artifact::decode(&buf);
+        if !buf.starts_with(b"xta") {
+            assert!(artifact::decode(&buf).is_err(), "round {round}");
+        }
+        // The same garbage behind a genuine header: checksum gatekeeps.
+        let mut framed = b"xta\x01\x01".to_vec();
+        framed.extend_from_slice(&(next()).to_le_bytes());
+        framed.append(&mut buf);
+        assert!(artifact::decode(&framed).is_err(), "round {round} framed");
+    }
+}
+
+/// A backend that serves every load as a corrupted copy (one flipped
+/// payload byte) of what was stored.
+struct CorruptingStore {
+    inner: MemStore,
+}
+
+impl ArtifactBackend for CorruptingStore {
+    fn load(&self, kind: ArtifactKind, key: u64, sigma: usize) -> Option<Vec<u8>> {
+        let mut bytes = self.inner.load(kind, key, sigma)?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        Some(bytes)
+    }
+
+    fn save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) -> bool {
+        self.inner.save(kind, key, sigma, bytes)
+    }
+}
+
+/// A backend that serves every load some *other* valid entry of the same
+/// kind (a misfiled store): decodes fine, but must fail the structural
+/// verify against the query and never be adopted.
+struct SwappedStore {
+    inner: MemStore,
+}
+
+impl ArtifactBackend for SwappedStore {
+    fn load(&self, kind: ArtifactKind, key: u64, sigma: usize) -> Option<Vec<u8>> {
+        let map = self.inner.map.lock().unwrap();
+        map.iter()
+            .find(|((k, f, s), _)| *k == kind && (*f, *s) != (key, sigma))
+            .map(|(_, v)| v.clone())
+    }
+
+    fn save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) -> bool {
+        self.inner.save(kind, key, sigma, bytes)
+    }
+}
+
+/// Byte-identical batch report over the workload with the given cache.
+fn report_with(cache: &SchemaCache) -> String {
+    let items: Vec<BatchItem> = sources()
+        .into_iter()
+        .map(|(name, source)| BatchItem::from_source(name, source))
+        .collect();
+    run_batch(&items, 1, Some(cache)).to_json_line()
+}
+
+#[test]
+fn corrupt_store_never_changes_a_verdict() {
+    let baseline = report_with(&SchemaCache::new());
+
+    // Populate a store through one cache, then serve it back corrupted:
+    // every load is rejected by the checksum, counted, and recompiled.
+    let populate = MemStore::default();
+    let mut filler = SchemaCache::new();
+    let corrupting = Arc::new(CorruptingStore { inner: populate });
+    filler.set_store(Arc::clone(&corrupting) as Arc<dyn ArtifactBackend>);
+    assert_eq!(report_with(&filler), baseline);
+    assert!(filler.stats().store_writes > 0, "population persisted");
+
+    let mut victim = SchemaCache::new();
+    victim.set_store(corrupting);
+    assert_eq!(
+        report_with(&victim),
+        baseline,
+        "corrupt store changed a verdict"
+    );
+    let stats = victim.stats();
+    assert!(stats.store_corrupt > 0, "corruption went uncounted");
+    assert_eq!(stats.store_hits, 0, "a corrupt entry was adopted");
+
+    // A misfiled store (valid artifacts under the wrong keys) is caught
+    // by the structural verify instead of the checksum — same contract.
+    let populate = MemStore::default();
+    let mut filler = SchemaCache::new();
+    let swapped = Arc::new(SwappedStore { inner: populate });
+    filler.set_store(Arc::clone(&swapped) as Arc<dyn ArtifactBackend>);
+    assert_eq!(report_with(&filler), baseline);
+
+    let mut victim = SchemaCache::new();
+    victim.set_store(swapped);
+    assert_eq!(
+        report_with(&victim),
+        baseline,
+        "misfiled store changed a verdict"
+    );
+    let stats = victim.stats();
+    assert!(stats.store_corrupt > 0, "misfiled entries went uncounted");
+    assert_eq!(stats.store_hits, 0, "a misfiled entry was adopted");
+}
