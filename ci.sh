@@ -229,14 +229,43 @@ xmlta store --store "$store" ls | grep -q "^0 entry(ies), 0 bytes" \
 xmlta store --store "$store" verify > /dev/null \
     || { echo "emptied store failed verify"; exit 1; }
 
+echo "== trace smoke (xmltad --trace + pipelined batch_bin + coverage gate)"
+trace="$smoke/trace.jsonl"
+sock="$smoke/trace.sock"
+# A 1024-instance shared-schema fleet packed as one .xts stream — the
+# pipelined batch_bin workload the coverage acceptance is defined on.
+xmlta gen layered --count 1024 --layers 7 --width 4 --seed 7 \
+    --out "$smoke/layered" > "$smoke/layered.txt"
+# shellcheck disable=SC2046
+xmlta convert $(cat "$smoke/layered.txt") --delta --out "$smoke/layered.xts"
+./target/release/xmltad --socket "$sock" --trace "$trace" &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "xmltad (trace) never bound $sock"; exit 1; }
+# Cold, then warm: the same fleet twice over the v2 batch_bin channel.
+# The warm run hits the result memo throughout — if tracing ever fell
+# out of the hot path, coverage (below) is where it shows.
+xmlta client --socket "$sock" batch --out "$smoke/trace-cold.json" "$smoke/layered.xts"
+xmlta client --socket "$sock" batch --out "$smoke/trace-warm.json" "$smoke/layered.xts"
+cmp "$smoke/trace-cold.json" "$smoke/trace-warm.json" \
+    || { echo "warm batch_bin report differs from the cold one"; exit 1; }
+xmlta client --socket "$sock" shutdown > /dev/null
+wait "$daemon" || { echo "xmltad (trace) exited nonzero"; exit 1; }
+daemon=""
+# Every line must parse as a JSON trace event, every span enter must
+# balance with an exit under its connection/request id, and ≥90% of the
+# traced wall-clock must be attributed to named root spans.
+xmlta trace --min-coverage 90 "$trace" \
+    || { echo "trace file failed validation or the 90% coverage gate"; exit 1; }
+
 echo "== quickstart example"
 cargo run --release -q -p xmlta-examples --example quickstart > /dev/null
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== compile benches"
     cargo bench --no-run -q
-    echo "== refresh BENCH_lemma14.json"
-    cargo run --release -q -p xmlta-bench --bin lemma14_report -- "ci-$(date +%Y%m%d)"
+    echo "== refresh BENCH_lemma14.json (5 reps/point, median + IQR)"
+    cargo run --release -q -p xmlta-bench --bin lemma14_report -- "ci-$(date +%Y%m%d)" --reps 5
 fi
 
 echo "CI OK"

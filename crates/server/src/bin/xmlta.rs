@@ -98,15 +98,17 @@ USAGE:
         verify            re-decode and re-fingerprint every entry;
                           prints corrupt/misfiled entries (these are
                           exactly the entries a daemon would silently
-                          recompile); exit 1 when any are found
+                          recompile) and the store hit/miss/write/corrupt
+                          counters; exit 1 when any are found
         gc --max-bytes N  evict least-recently-used entries until the
                           artifacts kept hold at most N bytes
-        ls                list entries (kind/key-sigma and sizes)
+        ls                list entries (kind/key-sigma and sizes),
+                          flagging corrupt ones, plus the store counters
 
   xmlta serve (--socket PATH | --tcp HOST:PORT | --stdio)
               [--max-frame BYTES] [--registry-cap N] [--memo-cap N]
               [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]
-              [--store DIR]
+              [--store DIR] [--trace PATH]
       Run the persistent typechecking server (same as `xmltad`; --socket
       and --tcp may be combined). --pipeline-depth caps the in-flight
       window a protocol-2 client may negotiate (default 32);
@@ -116,6 +118,16 @@ USAGE:
       persistent artifact store: compiled schemas, rule DFAs, and
       delrelab products are adopted from DIR instead of recompiled and
       written back after fresh compiles (counters in `stats`).
+      --trace PATH writes one JSON trace event per span enter/exit to
+      PATH (truncated at startup); summarize with `xmlta trace PATH`.
+
+  xmlta trace FILE [--min-coverage PCT]
+      Validate and summarize a trace file written by `--trace`: every
+      line must parse as a JSON trace event and every span enter must
+      pair with an exit (per connection/request-id/span/depth). Prints
+      per-span counts and totals plus the share of traced wall-clock
+      accounted to root spans; --min-coverage PCT exits 1 when that
+      share falls below PCT (or the file has no events).
 
   xmlta client (--socket PATH | --tcp HOST:PORT) [--pipeline N]
                [--retry N] [--timeout-ms MS] <action>
@@ -136,7 +148,9 @@ USAGE:
                                  written is byte-identical)
         raw                      JSONL passthrough: frames from stdin,
                                  responses to stdout
-        ping | stats | shutdown  one request, response printed as JSON
+        ping | stats | shutdown  one request, response printed as JSON;
+                                 `stats --pretty` renders the counters
+                                 and latency histograms human-readably
 
       --pipeline N negotiates protocol 2 and keeps up to N requests in
       flight (typecheck interleaves register/typecheck pairs under
@@ -179,6 +193,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "report" => cmd_report(rest),
         "store" => cmd_store(rest),
+        "trace" => cmd_trace(rest),
         "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
         "client" => cmd_client(rest),
         "fault-proxy" => cmd_fault_proxy(rest),
@@ -222,6 +237,8 @@ struct Opts {
     store: Option<PathBuf>,
     max_bytes: Option<u64>,
     stream: bool,
+    pretty: bool,
+    min_coverage: Option<f64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -249,6 +266,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         store: None,
         max_bytes: None,
         stream: false,
+        pretty: false,
+        min_coverage: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -278,6 +297,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--store" => o.store = Some(PathBuf::from(value("--store")?)),
             "--max-bytes" => o.max_bytes = Some(parse_num(value("--max-bytes")?)?),
             "--stream" => o.stream = true,
+            "--pretty" => o.pretty = true,
+            "--min-coverage" => o.min_coverage = Some(parse_num(value("--min-coverage")?)?),
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             _ => o.positional.push(arg.clone()),
         }
@@ -831,11 +852,22 @@ fn store_verify(store: &xmlta_store::Store) -> Result<ExitCode, String> {
     for (path, why) in &report.corrupt {
         println!("corrupt: {}: {why}", path.display());
     }
+    print_store_counters(store);
     Ok(if report.corrupt.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     })
+}
+
+/// Prints the handle's `store_*` health counters (the same tallies the
+/// daemon surfaces through the `stats` op).
+fn print_store_counters(store: &xmlta_store::Store) {
+    let c = store.counters();
+    println!(
+        "store counters: {} hit(s) / {} miss(es) / {} write(s) / {} corrupt",
+        c.hits, c.misses, c.writes, c.corrupt
+    );
 }
 
 /// `store gc --max-bytes N`: evict least-recently-used entries down to
@@ -851,20 +883,179 @@ fn store_gc(store: &xmlta_store::Store, max_bytes: Option<u64>) -> Result<ExitCo
 }
 
 /// `store ls`: list entries, sorted by kind/key/sigma for stable output.
+/// Each entry is verified as it is listed (a corrupt one is annotated),
+/// with the handle's health counters before the closing tally — the
+/// tally stays the last line, so `ls | grep` pipelines that close after
+/// matching it never cut a write short.
 fn store_ls(store: &xmlta_store::Store) -> Result<ExitCode, String> {
     let mut entries = store.entries().map_err(|e| e.to_string())?;
     entries.sort_by_key(|e| (e.kind as u8, e.key, e.sigma));
     let total: u64 = entries.iter().map(|e| e.bytes).sum();
+    let report = store.verify().map_err(|e| e.to_string())?;
     for e in &entries {
+        let corrupt = report.corrupt.iter().any(|(path, _)| *path == e.path);
         println!(
-            "{}/{:016x}-{} {} bytes",
+            "{}/{:016x}-{} {} bytes{}",
             e.kind.dir(),
             e.key,
             e.sigma,
-            e.bytes
+            e.bytes,
+            if corrupt { "  [corrupt]" } else { "" }
         );
     }
+    print_store_counters(store);
     println!("{} entry(ies), {total} bytes", entries.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// The trace subcommand.
+
+/// `xmlta trace FILE [--min-coverage PCT]`: validate and summarize a
+/// JSONL trace written by `xmltad --trace PATH`.
+///
+/// Checks every line parses as a JSON trace event with the documented
+/// fields, that enter/exit events are balanced per
+/// `(conn, id, span, depth)` (the request-id correlation: an exit must
+/// close an enter of the same request), and reports per-span totals and
+/// *coverage* — the share of traced wall-clock attributed to root
+/// (depth-0) spans, aggregated over connections. `--min-coverage PCT`
+/// turns the coverage report into a gate (exit 1 below PCT), which is
+/// how ci pins the "≥ 90% of wall-clock is attributed" property.
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    use std::collections::{BTreeMap, HashMap, HashSet};
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("trace needs exactly one FILE (the JSONL trace)".into());
+    };
+    let text = read(path)?;
+    // Open enter counts per (conn, id, span, depth); every exit must
+    // close a matching enter, and everything must close by EOF.
+    let mut open: HashMap<(u64, String, String, u64), i64> = HashMap::new();
+    // Per-span tallies: count of closed spans and total duration.
+    let mut per_span: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    // Per-connection (first enter ts, last event end ts, root-span µs).
+    let mut conns: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    let mut ids: HashSet<(u64, String)> = HashSet::new();
+    let mut events = 0usize;
+    let mut failures = 0usize;
+    let fail = |lineno: usize, why: String| -> String { format!("{path}:{lineno}: {why}") };
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match parse_json(line) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("{}", fail(lineno, format!("not valid JSON: {e}")));
+                failures += 1;
+                continue;
+            }
+        };
+        let field_u64 = |name: &str| event.get(name).and_then(Json::as_u64);
+        let (Some(ts), Some(conn), Some(depth)) =
+            (field_u64("ts_us"), field_u64("conn"), field_u64("depth"))
+        else {
+            eprintln!("{}", fail(lineno, "missing ts_us/conn/depth".to_string()));
+            failures += 1;
+            continue;
+        };
+        let (Some(span), Some(ev), Some(id)) = (
+            event.get("span").and_then(Json::as_str),
+            event.get("ev").and_then(Json::as_str),
+            event.get("id"),
+        ) else {
+            eprintln!("{}", fail(lineno, "missing span/ev/id".to_string()));
+            failures += 1;
+            continue;
+        };
+        events += 1;
+        let id = id.to_string();
+        if id != "null" {
+            ids.insert((conn, id.clone()));
+        }
+        let window = conns.entry(conn).or_insert((ts, ts, 0));
+        window.0 = window.0.min(ts);
+        window.1 = window.1.max(ts);
+        let key = (conn, id, span.to_string(), depth);
+        match ev {
+            "enter" => *open.entry(key).or_insert(0) += 1,
+            "exit" => {
+                let Some(dur) = field_u64("dur_us") else {
+                    eprintln!("{}", fail(lineno, "exit without dur_us".to_string()));
+                    failures += 1;
+                    continue;
+                };
+                let n = open.entry(key).or_insert(0);
+                *n -= 1;
+                if *n < 0 {
+                    eprintln!(
+                        "{}",
+                        fail(lineno, format!("exit of span `{span}` without an enter"))
+                    );
+                    failures += 1;
+                }
+                // The exit's ts_us is the span *start*; its end bounds
+                // the connection window.
+                window.1 = window.1.max(ts + dur);
+                if depth == 0 {
+                    window.2 += dur;
+                }
+                let tally = per_span.entry(span.to_string()).or_insert((0, 0));
+                tally.0 += 1;
+                tally.1 += dur;
+            }
+            other => {
+                eprintln!("{}", fail(lineno, format!("unknown ev `{other}`")));
+                failures += 1;
+            }
+        }
+    }
+    for ((conn, id, span, depth), n) in open.iter().filter(|(_, n)| **n != 0) {
+        eprintln!(
+            "{path}: unbalanced span `{span}` (conn {conn}, id {id}, depth {depth}): \
+             {n} enter(s) without exit"
+        );
+        failures += 1;
+    }
+    println!(
+        "{events} event(s), {} connection(s), {} request id(s)",
+        conns.len(),
+        ids.len()
+    );
+    for (span, (count, total_us)) in &per_span {
+        println!(
+            "span {span}: {count} span(s), {:.1} ms total",
+            *total_us as f64 / 1e3
+        );
+    }
+    // Coverage: per connection, root-span time over the window between
+    // its first and last event (clamped — concurrent root spans on a
+    // pipelined connection can legitimately overlap); aggregated as the
+    // window-weighted mean.
+    let (mut window_total, mut accounted_total) = (0u64, 0u64);
+    for (first, last, root_us) in conns.values() {
+        let window = last.saturating_sub(*first);
+        window_total += window;
+        accounted_total += (*root_us).min(window);
+    }
+    let coverage = if window_total == 0 {
+        0.0
+    } else {
+        100.0 * accounted_total as f64 / window_total as f64
+    };
+    println!("coverage: {coverage:.1}% of traced wall-clock in root spans");
+    if failures > 0 {
+        eprintln!("xmlta trace: {failures} failure(s)");
+        return Ok(ExitCode::from(1));
+    }
+    if let Some(min) = opts.min_coverage {
+        if events == 0 || coverage < min {
+            eprintln!("xmlta trace: coverage {coverage:.1}% is below the {min}% gate");
+            return Ok(ExitCode::from(1));
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -1017,8 +1208,11 @@ fn cmd_client_inner(args: &[String]) -> Result<ExitCode, ClientError> {
                 _ => proto::req_shutdown(1),
             };
             let response = client.roundtrip(&frame).map_err(transport)?;
-            println!("{response}");
             let parsed = parse_json(&response).map_err(|e| format!("bad response: {e}"))?;
+            match parsed.get("stats").filter(|_| opts.pretty) {
+                Some(stats) => print_stats_pretty(stats),
+                None => println!("{response}"),
+            }
             Ok(if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
                 ExitCode::SUCCESS
             } else {
@@ -1026,6 +1220,41 @@ fn cmd_client_inner(args: &[String]) -> Result<ExitCode, ClientError> {
             })
         }
         other => Err(format!("unknown client action `{other}`").into()),
+    }
+}
+
+/// Human rendering of a `stats` reply (`client stats --pretty`): one
+/// aligned line per counter in wire order, then the histograms with
+/// their percentiles. Scripts keep parsing the raw JSON default.
+fn print_stats_pretty(stats: &Json) {
+    let Json::Obj(fields) = stats else {
+        println!("{stats}");
+        return;
+    };
+    println!("server stats:");
+    for (key, value) in fields {
+        if key == "hist" {
+            continue;
+        }
+        println!("  {key:<16} {value}");
+    }
+    let Some(Json::Obj(hists)) = stats.get("hist") else {
+        return;
+    };
+    if hists.is_empty() {
+        return;
+    }
+    println!("  histograms (µs):");
+    for (name, h) in hists {
+        let g = |f: &str| h.get(f).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "    {name:<20} count {:<8} p50 {:<8} p90 {:<8} p99 {:<8} max {}",
+            g("count"),
+            g("p50"),
+            g("p90"),
+            g("p99"),
+            g("max")
+        );
     }
 }
 
@@ -1377,11 +1606,14 @@ fn client_batch(
                 "a .xts delta stream must be the only batch input (it is a whole batch)".into(),
             );
         };
+        // Build the (large) frame before negotiating, so the base64
+        // encode does not sit as dead air between the hello and the
+        // batch frame on the server's connection timeline.
+        let frame = proto::req_batch_bin(1, bytes, opts.threads, opts.stream);
         if opts.pipeline.is_none() {
             // `cmd_client` already negotiated when --pipeline was given.
             negotiate_v2(client, None)?;
         }
-        let frame = proto::req_batch_bin(1, bytes, opts.threads, opts.stream);
         if opts.stream {
             let report = collect_streamed_report(client, &frame).map_err(|e| match e {
                 ClientError::Usage(msg) => ClientError::Usage(format!("{name}: {msg}")),

@@ -18,7 +18,7 @@ USAGE:
   xmltad --socket PATH [--tcp HOST:PORT] [--max-frame BYTES]
          [--registry-cap N] [--memo-cap N] [--pipeline-depth N]
          [--read-timeout-ms MS] [--max-conns N] [--retry-after-ms MS]
-         [--store DIR]
+         [--store DIR] [--trace PATH]
       Bind a Unix socket at PATH (and/or a TCP listener — give either or
       both) and serve connections until a client sends a `shutdown`
       request. The socket file must not exist yet and is removed on
@@ -35,6 +35,11 @@ USAGE:
       instead of recompiled, and written back after fresh compiles
       (`store_*` counters in `stats`; see `xmlta store` to prewarm,
       verify, and gc the directory).
+      --trace PATH appends one JSON trace event per span enter/exit to
+      PATH (truncated at startup): request handling is broken into
+      named spans (parse, resolve, request, check, memo, compile,
+      delrelab, store, respond) correlated by connection number and
+      request id. Check and summarize with `xmlta trace PATH`.
 
   xmltad --tcp HOST:PORT [same options]
       TCP-only. The resolved address is announced on stderr

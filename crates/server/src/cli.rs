@@ -9,14 +9,15 @@ use std::time::Duration;
 /// Parses serve-mode arguments (`--socket PATH | --tcp HOST:PORT |
 /// --stdio`, `[--max-frame BYTES] [--registry-cap N] [--memo-cap N]
 /// [--pipeline-depth N] [--read-timeout-ms MS] [--max-conns N]
-/// [--store DIR]`) and runs the server. `--socket` and `--tcp` may be
-/// combined (one shared state, two listeners). `name` labels error
-/// output; `usage` is printed for `--help`.
+/// [--store DIR] [--trace PATH]`) and runs the server. `--socket` and
+/// `--tcp` may be combined (one shared state, two listeners). `name`
+/// labels error output; `usage` is printed for `--help`.
 pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
     let mut socket: Option<PathBuf> = None;
     let mut tcp: Option<String> = None;
     let mut stdio = false;
     let mut store_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut config = ServerConfig::default();
     let mut registry_cap = crate::state::DEFAULT_REGISTRY_CAPACITY;
     let mut memo_cap = xmlta_service::cache::DEFAULT_MEMO_CAPACITY;
@@ -54,6 +55,11 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
                     it.next().ok_or("--store needs a directory")?.clone(),
                 ))
             }
+            "--trace" => {
+                trace_path = Some(PathBuf::from(
+                    it.next().ok_or("--trace needs a file path")?.clone(),
+                ))
+            }
             "--help" | "-h" => {
                 print!("{usage}");
                 return Ok(ExitCode::SUCCESS);
@@ -69,6 +75,9 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
         )
             as std::sync::Arc<dyn xmlta_service::ArtifactBackend>),
     };
+    if let Some(path) = &trace_path {
+        xmlta_obs::install_file(path).map_err(|e| format!("--trace {}: {e}", path.display()))?;
+    }
     let shared = Shared::with_store(registry_cap, memo_cap, store);
     if stdio {
         if socket.is_some() || tcp.is_some() {

@@ -116,6 +116,9 @@ impl From<std::io::Error> for ServeError {
 /// process is the only user of its stdio anyway. Read timeouts do not
 /// apply (stdio cannot arm one).
 pub fn serve_stdio(shared: Arc<Shared>, config: &ServerConfig) -> std::io::Result<SessionEnd> {
+    // Record spans (ring + histograms) whenever we serve, so the v2
+    // `trace` op and the stats histograms always have data.
+    xmlta_obs::enable();
     let mut session = Session::new(shared);
     session.set_pipeline_cap(config.pipeline_depth);
     serve_stream(
@@ -293,6 +296,8 @@ impl Bound {
     /// request, then drains workers. The Unix socket file (if any) is
     /// removed on exit.
     pub fn serve(self, shared: Arc<Shared>, config: ServerConfig) -> Result<(), ServeError> {
+        // See serve_stdio: serving always records spans.
+        xmlta_obs::enable();
         let mut listeners: Vec<Listener> = Vec::new();
         let mut wake: Vec<WakeTarget> = Vec::new();
         let mut unix_path: Option<PathBuf> = None;
@@ -474,7 +479,9 @@ fn serve_connection(
     }
     let reader = BufReader::new(stream.try_clone()?);
     let writer = BufWriter::new(stream);
+    let conn = shared.next_conn();
     let mut session = Session::new(shared);
+    session.set_conn(conn);
     session.set_pipeline_cap(config.pipeline_depth);
     session.set_read_timeout(config.read_timeout);
     serve_stream(&mut session, reader, writer, config.max_frame)

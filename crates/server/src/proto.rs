@@ -91,6 +91,13 @@ pub const FORMATS: &[&str] = &["xti", "xtb"];
 /// Default maximum frame size in bytes (16 MiB).
 pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// How many trailing trace events a `trace` op returns when the request
+/// names no `last`.
+pub const DEFAULT_TRACE_EVENTS: usize = 32;
+
+/// Server cap on how many trace events one `trace` reply may carry.
+pub const MAX_TRACE_EVENTS: usize = 256;
+
 /// Error codes of `ok:false` responses.
 pub mod code {
     /// The frame is not a JSON object (or not JSON at all).
@@ -204,6 +211,13 @@ pub enum Op {
     },
     /// Cache/registry counters (the one scheduling-dependent response).
     Stats,
+    /// Recent trace events from the in-process ring (v2 connections
+    /// only): the last `last` JSONL span events, oldest first. Like
+    /// `stats`, the reply is scheduling-dependent by design.
+    Trace {
+        /// How many trailing events to return (server-capped).
+        last: usize,
+    },
     /// Stop accepting connections and exit once sessions drain.
     Shutdown,
 }
@@ -459,6 +473,24 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
             }
         }
         "stats" => Op::Stats,
+        // Like `batch_bin`, `trace` exists only on negotiated v2
+        // connections; a v1 connection sees the pinned `unknown-op` reply.
+        "trace" if max_version >= 2 => {
+            let last = match frame.get("last") {
+                None => DEFAULT_TRACE_EVENTS,
+                Some(n) => match n.as_u64() {
+                    Some(n) => (n as usize).min(MAX_TRACE_EVENTS),
+                    None => {
+                        return Err(Reject::new(
+                            id,
+                            code::BAD_REQUEST,
+                            "`last` must be a non-negative integer",
+                        ))
+                    }
+                },
+            };
+            Op::Trace { last }
+        }
         "shutdown" => Op::Shutdown,
         other => {
             return Err(Reject::new(
@@ -740,6 +772,17 @@ pub fn req_batch_bin(id: u64, stream: &[u8], threads: Option<usize>, stream_item
 /// A `stats` request frame.
 pub fn req_stats(id: u64) -> String {
     request(id, "stats", Vec::new())
+}
+
+/// A `trace` request frame asking for the last `last` span events (valid
+/// on v2 connections only).
+pub fn req_trace(id: u64, last: usize) -> String {
+    request_v(
+        MAX_PROTOCOL_VERSION,
+        id,
+        "trace",
+        vec![("last", Json::from_u64(last as u64))],
+    )
 }
 
 /// A `shutdown` request frame.

@@ -76,6 +76,8 @@ pub enum SessionEnd {
 pub struct Session {
     shared: Arc<Shared>,
     handles: FxHashMap<String, Arc<Prepared>>,
+    /// Connection number for trace attribution (0 = stdio/in-process).
+    conn: u64,
     max_batch_threads: usize,
     /// Negotiated protocol version (1 until a `hello` upgrades to 2).
     version: u64,
@@ -110,6 +112,10 @@ struct Job {
     deadline: Option<(Instant, u64)>,
     /// The resolved work.
     kind: JobKind,
+    /// The trace context of the request this job answers, captured in the
+    /// reader so worker-thread spans attribute to the right connection
+    /// and request id.
+    ctx: xmlta_obs::Ctx,
 }
 
 /// The work behind a [`Job`].
@@ -153,6 +159,7 @@ impl Session {
         Session {
             shared,
             handles: FxHashMap::default(),
+            conn: 0,
             max_batch_threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -167,6 +174,12 @@ impl Session {
     /// (clamped to at least 1).
     pub fn set_pipeline_cap(&mut self, cap: usize) {
         self.pipeline_cap = cap.max(1);
+    }
+
+    /// Sets the connection number trace spans attribute to (transports
+    /// take it from [`Shared::next_conn`]; 0 = stdio/in-process).
+    pub fn set_conn(&mut self, conn: u64) {
+        self.conn = conn;
     }
 
     /// Declares the read/idle timeout the transport has armed on the
@@ -219,10 +232,16 @@ impl Session {
 
     /// Parses and plans one frame, catching panics in the planning step.
     fn plan_line(&mut self, line: &str) -> Planned {
+        // Reset the trace context before the id is known: a parse reject
+        // attributes to `null`, everything after to the frame's id.
+        xmlta_obs::set_ctx(self.conn, "null");
+        let parse_span = xmlta_obs::span("parse");
         let request = match proto::parse_request(line, self.version) {
             Ok(r) => r,
             Err(reject) => return Planned::Reply(proto::error_frame(&reject), Control::Continue),
         };
+        parse_span.finish();
+        xmlta_obs::set_ctx(self.conn, &request.id.to_string());
         let id = request.id.clone();
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.plan(request))) {
             Ok(planned) => planned,
@@ -247,23 +266,34 @@ impl Session {
                 pipeline,
             } => self.hello(&id, accepts, max_v, pipeline),
             Op::Ping => proto::ok_frame(&id),
-            Op::Register { source } => match self.shared.register(&source) {
-                Ok(prepared) => self.adopt_handle(&id, prepared),
-                Err(e) => proto::error_frame(&Reject {
-                    id,
-                    code: code::INVALID_INSTANCE,
-                    message: format!("parse error: {e}"),
-                }),
-            },
-            Op::RegisterBin { data } => match self.shared.register_binary(&data) {
-                Ok(prepared) => self.adopt_handle(&id, prepared),
-                Err(e) => proto::error_frame(&Reject {
-                    id,
-                    code: code::INVALID_INSTANCE,
-                    message: format!("decode error: {e}"),
-                }),
-            },
+            Op::Register { source } => {
+                let resolve_span = xmlta_obs::span("resolve");
+                let registered = self.shared.register(&source);
+                resolve_span.finish();
+                match registered {
+                    Ok(prepared) => self.adopt_handle(&id, prepared),
+                    Err(e) => proto::error_frame(&Reject {
+                        id,
+                        code: code::INVALID_INSTANCE,
+                        message: format!("parse error: {e}"),
+                    }),
+                }
+            }
+            Op::RegisterBin { data } => {
+                let resolve_span = xmlta_obs::span("resolve");
+                let registered = self.shared.register_binary(&data);
+                resolve_span.finish();
+                match registered {
+                    Ok(prepared) => self.adopt_handle(&id, prepared),
+                    Err(e) => proto::error_frame(&Reject {
+                        id,
+                        code: code::INVALID_INSTANCE,
+                        message: format!("decode error: {e}"),
+                    }),
+                }
+            }
             Op::Typecheck { target } => {
+                let resolve_span = xmlta_obs::span("resolve");
                 let work = match target {
                     Target::Handle(handle) => match self.handles.get(&handle) {
                         Some(prepared) => TypecheckWork::Prepared(Arc::clone(&prepared.instance)),
@@ -282,13 +312,16 @@ impl Session {
                     },
                     Target::Source(source) => TypecheckWork::Source(source),
                 };
+                resolve_span.finish();
                 return Planned::Job(Job {
                     id,
                     deadline,
                     kind: JobKind::Typecheck { work },
+                    ctx: xmlta_obs::ctx(),
                 });
             }
             Op::Batch { items, threads } => {
+                let resolve_span = xmlta_obs::span("resolve");
                 let mut resolved = Vec::with_capacity(items.len());
                 for BatchItemReq { name, target } in items {
                     match target {
@@ -316,6 +349,7 @@ impl Session {
                         },
                     }
                 }
+                resolve_span.finish();
                 return Planned::Job(Job {
                     id,
                     deadline,
@@ -323,6 +357,7 @@ impl Session {
                         items: resolved,
                         threads: self.clamp_threads(threads),
                     },
+                    ctx: xmlta_obs::ctx(),
                 });
             }
             Op::BatchBin {
@@ -338,11 +373,16 @@ impl Session {
                         threads: self.clamp_threads(threads),
                         stream,
                     },
+                    ctx: xmlta_obs::ctx(),
                 });
             }
             Op::Stats => {
                 let s = self.shared.cache().stats();
                 let c = self.shared.counters();
+                // The first 20 keys are the v1 surface, pinned byte for
+                // byte by the compat golden — stats v2 only *appends*
+                // (uptime, version, protocol range, histograms), so v1
+                // clients parse replies unchanged.
                 let stats = format!(
                     "{{\"schema_hits\":{},\"schema_misses\":{},\"rule_hits\":{},\
                      \"rule_misses\":{},\"bout_hits\":{},\"bout_misses\":{},\
@@ -351,7 +391,9 @@ impl Session {
                      \"store_corrupt\":{},\
                      \"registered\":{},\"evictions\":{},\"session_handles\":{},\
                      \"conns_accepted\":{},\"overload_sheds\":{},\
-                     \"deadline_sheds\":{},\"read_timeouts\":{}}}",
+                     \"deadline_sheds\":{},\"read_timeouts\":{},\
+                     \"uptime_ms\":{},\"version\":\"{}\",\"protocol\":{},\
+                     \"protocol_min\":{},\"protocol_max\":{},\"hist\":{}}}",
                     s.schema_hits,
                     s.schema_misses,
                     s.rule_hits,
@@ -372,9 +414,29 @@ impl Session {
                     ServerCounters::read(&c.overload_sheds),
                     ServerCounters::read(&c.deadline_sheds),
                     ServerCounters::read(&c.read_timeouts),
+                    self.shared.uptime_ms(),
+                    env!("CARGO_PKG_VERSION"),
+                    self.version,
+                    proto::PROTOCOL_VERSION,
+                    proto::MAX_PROTOCOL_VERSION,
+                    xmlta_obs::global().histograms_json(),
                 );
                 ResponseBuilder::new(&id, true)
                     .raw_field("stats", &stats)
+                    .finish()
+            }
+            Op::Trace { last } => {
+                let events = xmlta_obs::tracer().recent(last);
+                let mut arr = String::from("[");
+                for (i, e) in events.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    arr.push_str(e);
+                }
+                arr.push(']');
+                ResponseBuilder::new(&id, true)
+                    .raw_field("events", &arr)
                     .finish()
             }
             Op::Shutdown => return Planned::Reply(proto::ok_frame(&id), Control::Shutdown),
@@ -474,6 +536,11 @@ impl Session {
 /// `deadline-exceeded` reply before any typechecking starts — on a
 /// pipelined connection this is where queued-but-stale work dies.
 fn run_job(shared: &Shared, job: Job) -> String {
+    // Workers adopt the reader's context first, so the root `request`
+    // span (and everything it nests) attributes to the right connection
+    // and request id regardless of which thread runs the job.
+    xmlta_obs::adopt_ctx(job.ctx.clone());
+    let _request_span = xmlta_obs::span("request");
     if let Some((expires, ms)) = job.deadline {
         if Instant::now() >= expires {
             ServerCounters::bump(&shared.counters().deadline_sheds);
@@ -488,6 +555,7 @@ fn run_job(shared: &Shared, job: Job) -> String {
 }
 
 fn execute_job(shared: &Shared, job: Job) -> String {
+    let _check_span = xmlta_obs::span("check");
     let id = job.id;
     match job.kind {
         JobKind::Typecheck { work } => {
@@ -509,15 +577,22 @@ fn execute_job(shared: &Shared, job: Job) -> String {
             data,
             threads,
             stream,
-        } => match stream_batch_items(&data) {
-            Ok(items) if stream => streamed_batch_reply(shared, &id, &items, threads),
-            Ok(items) => batch_reply(shared, &id, &items, threads),
-            Err(e) => proto::error_frame(&Reject {
-                id,
-                code: code::INVALID_INSTANCE,
-                message: format!("decode error: {e}"),
-            }),
-        },
+        } => {
+            // Decoding the `.xts` stream is part of the concurrent work;
+            // trace it as the worker-side `parse`.
+            let parse_span = xmlta_obs::span("parse");
+            let decoded = stream_batch_items(&data);
+            parse_span.finish();
+            match decoded {
+                Ok(items) if stream => streamed_batch_reply(shared, &id, &items, threads),
+                Ok(items) => batch_reply(shared, &id, &items, threads),
+                Err(e) => proto::error_frame(&Reject {
+                    id,
+                    code: code::INVALID_INSTANCE,
+                    message: format!("decode error: {e}"),
+                }),
+            }
+        }
     }
 }
 
@@ -704,8 +779,10 @@ pub fn serve_stream<R: BufRead + Send, W: Write>(
             }
         };
         let (reply, control) = session.handle_frame(line);
+        let respond_span = xmlta_obs::span("respond");
         writeln!(writer, "{reply}")?;
         writer.flush()?;
+        respond_span.finish();
         if control == Control::Shutdown {
             return Ok(SessionEnd::Shutdown);
         }
@@ -953,7 +1030,10 @@ fn serve_pipelined<R: BufRead + Send, W: Write>(
                     let Ok(job) = job else { break };
                     // Queue before release (the shutdown-drain invariant);
                     // the last completion in a lull nudges the writer.
-                    outbox.push(&run_job(shared, job), false);
+                    let reply = run_job(shared, job);
+                    let respond_span = xmlta_obs::span("respond");
+                    outbox.push(&reply, false);
+                    respond_span.finish();
                     if gate.release() == 0 {
                         outbox.nudge();
                     }
@@ -1020,7 +1100,11 @@ fn serve_pipelined<R: BufRead + Send, W: Write>(
                     match session.plan_line(line) {
                         // Synchronous replies want prompt delivery (a ping
                         // must not wait out a batch window).
-                        Planned::Reply(reply, Control::Continue) => outbox.push(&reply, true),
+                        Planned::Reply(reply, Control::Continue) => {
+                            let respond_span = xmlta_obs::span("respond");
+                            outbox.push(&reply, true);
+                            respond_span.finish();
+                        }
                         Planned::Reply(reply, Control::Shutdown) => {
                             // Every in-flight response is queued before the
                             // shutdown acknowledgment, making it the last

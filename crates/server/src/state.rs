@@ -21,8 +21,10 @@
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use typecheck_core::Instance;
 use xmlta_base::fxhash::FxHasher;
+use xmlta_obs::Counter;
 use xmlta_service::binfmt::{decode_instance, BinError};
 use xmlta_service::lru::Lru;
 use xmlta_service::{parse_instance, warm_instance, ArtifactBackend, ParseError, SchemaCache};
@@ -91,35 +93,36 @@ struct Registry {
     evicted: u64,
 }
 
-/// Serving-robustness counters, surfaced through the `stats` op. All
-/// relaxed atomics: they are monotonic tallies for operators, never
-/// synchronization — bumping one costs a single uncontended atomic add and
-/// only happens on the *un*-happy paths (sheds, timeouts) or once per
-/// connection, so the per-request hot path never touches them.
+/// Serving-robustness counters, surfaced through the `stats` op. Each is
+/// an [`xmlta_obs::Counter`] (a relaxed atomic): they are monotonic
+/// tallies for operators, never synchronization — bumping one costs a
+/// single uncontended atomic add and only happens on the *un*-happy paths
+/// (sheds, timeouts) or once per connection, so the per-request hot path
+/// never touches them.
 #[derive(Debug, Default)]
 pub struct ServerCounters {
     /// Connections the accept loops handed to a session worker.
-    pub conns_accepted: AtomicU64,
+    pub conns_accepted: Counter,
     /// Connections shed at accept time with a `server-overloaded` reply
     /// because the connection cap was reached.
-    pub overload_sheds: AtomicU64,
+    pub overload_sheds: Counter,
     /// Requests shed with `deadline-exceeded` because their client
     /// deadline expired before a worker picked them up.
-    pub deadline_sheds: AtomicU64,
+    pub deadline_sheds: Counter,
     /// Connections closed with a `read-timeout` reply because no frame
     /// arrived within the read/idle window.
-    pub read_timeouts: AtomicU64,
+    pub read_timeouts: Counter,
 }
 
 impl ServerCounters {
     /// Bumps a counter (relaxed; tallies only).
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn bump(counter: &Counter) {
+        counter.bump();
     }
 
     /// Reads a counter (relaxed; tallies only).
-    pub fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    pub fn read(counter: &Counter) -> u64 {
+        counter.get()
     }
 }
 
@@ -128,6 +131,11 @@ pub struct Shared {
     cache: SchemaCache,
     registry: Mutex<Registry>,
     counters: ServerCounters,
+    /// When this state was created — the daemon's birth for `uptime_ms`.
+    started: Instant,
+    /// Monotonic connection numbers for trace attribution (1-based; 0 is
+    /// the stdio/in-process pseudo-connection).
+    conn_seq: AtomicU64,
 }
 
 impl Shared {
@@ -169,6 +177,8 @@ impl Shared {
                 evicted: 0,
             }),
             counters: ServerCounters::default(),
+            started: Instant::now(),
+            conn_seq: AtomicU64::new(0),
         })
     }
 
@@ -180,6 +190,17 @@ impl Shared {
     /// The serving-robustness counters (accepts, sheds, timeouts).
     pub fn counters(&self) -> &ServerCounters {
         &self.counters
+    }
+
+    /// Milliseconds since this state was created (the `stats` op's
+    /// `uptime_ms`). Monotonic, so never goes backwards across reads.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Allocates the next connection number for trace attribution.
+    pub fn next_conn(&self) -> u64 {
+        self.conn_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Number of distinct registered instances currently retained.

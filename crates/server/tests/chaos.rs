@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use xmlta_server::fault::{FaultProxy, Schedule};
 use xmlta_server::proto;
-use xmlta_server::state::handle_for_source;
+use xmlta_server::state::{handle_for_source, ServerCounters};
 use xmlta_server::{Bound, Client, ResilientClient, RetryPolicy, ServerAddr, ServerConfig, Shared};
 use xmlta_service::gen;
 
@@ -86,8 +86,9 @@ fn resilient(addr: ServerAddr, seed: u64, prelude: &[String]) -> ResilientClient
     client
 }
 
-/// One seed × schedule round; returns (reconnects, replayed) observed.
-fn chaos_round(seed: u64) -> (u64, u64) {
+/// One seed × schedule round; returns (reconnects, replayed,
+/// read_timeouts) observed.
+fn chaos_round(seed: u64) -> (u64, u64, u64) {
     let sock = tmp_sock(&format!("srv-{seed}"));
     let proxy_sock = tmp_sock(&format!("proxy-{seed}"));
     let shared = Shared::new();
@@ -136,12 +137,66 @@ fn chaos_round(seed: u64) -> (u64, u64) {
         baseline.len(),
         "seed {seed}: extra responses"
     );
-    let observed = (chaotic.reconnects(), chaotic.replayed());
     proxy.stop();
+
+    // The fault schedule perturbs only what it targets. Cuts, stalls,
+    // and chunked writes never corrupt the artifact store, never push
+    // past the connection cap, and never expire the (generous)
+    // deadlines — so those counters must read zero after the round.
+    // Stalls *may* trip the idle reaper; `read_timeouts` is returned so
+    // the suite can assert the stall faults bit at least once overall.
+    let c = shared.counters();
+    assert_eq!(
+        shared.cache().stats().store_corrupt,
+        0,
+        "seed {seed}: store corruption without a store fault"
+    );
+    assert_eq!(
+        ServerCounters::read(&c.overload_sheds),
+        0,
+        "seed {seed}: overload sheds without an overload schedule"
+    );
+    assert_eq!(
+        ServerCounters::read(&c.deadline_sheds),
+        0,
+        "seed {seed}: deadline sheds under generous deadlines"
+    );
 
     // Clean shutdown: the serve thread must come back Ok — no panicked
     // workers, no leaks past the drain window, locks all released.
+    // First, the `stats` reply over the wire must agree with the
+    // counters read directly off the shared state.
     let mut admin = Client::connect(&sock).expect("admin connect");
+    let stats_reply = admin
+        .roundtrip(&proto::req_stats(9998))
+        .expect("stats roundtrip");
+    let parsed = xmlta_service::parse_json(&stats_reply).expect("stats reply parses");
+    let stats = parsed.get("stats").expect("stats reply has a stats object");
+    let field = |key: &str| {
+        stats
+            .get(key)
+            .and_then(|j| j.as_u64())
+            .unwrap_or_else(|| panic!("seed {seed}: stats field `{key}` missing: {stats_reply}"))
+    };
+    // No connection activity happens between the reply and these reads.
+    for (key, counter) in [
+        ("conns_accepted", &c.conns_accepted),
+        ("overload_sheds", &c.overload_sheds),
+        ("deadline_sheds", &c.deadline_sheds),
+        ("read_timeouts", &c.read_timeouts),
+    ] {
+        assert_eq!(
+            field(key),
+            ServerCounters::read(counter),
+            "seed {seed}: `stats` disagrees with shared state on {key}"
+        );
+    }
+    assert_eq!(field("store_corrupt"), 0, "seed {seed}");
+    let observed = (
+        chaotic.reconnects(),
+        chaotic.replayed(),
+        ServerCounters::read(&c.read_timeouts),
+    );
     let response = admin
         .roundtrip(&proto::req_shutdown(9999))
         .expect("shutdown roundtrip");
@@ -162,10 +217,12 @@ fn chaos_round(seed: u64) -> (u64, u64) {
 fn chaos_differential_over_seeded_fault_schedules() {
     let mut total_reconnects = 0u64;
     let mut total_replayed = 0u64;
+    let mut total_read_timeouts = 0u64;
     for seed in 0..8u64 {
-        let (reconnects, replayed) = chaos_round(seed);
+        let (reconnects, replayed, read_timeouts) = chaos_round(seed);
         total_reconnects += reconnects;
         total_replayed += replayed;
+        total_read_timeouts += read_timeouts;
     }
     // Across 8 schedules the faults must actually bite: if nothing ever
     // forced a reconnect, the proxy injected no observable fault and the
@@ -177,6 +234,14 @@ fn chaos_differential_over_seeded_fault_schedules() {
     assert!(
         total_replayed > 0,
         "no frames were replayed — recovery path never exercised"
+    );
+    // Stalls run past the server's read timeout, so across 8 schedules
+    // the idle reaper must have fired at least once — and the counter
+    // consistency checks inside each round prove it fired for stalls
+    // only, never for overload or deadline sheds.
+    assert!(
+        total_read_timeouts > 0,
+        "no stall tripped the idle reaper — stall injection is inert"
     );
 }
 

@@ -439,6 +439,91 @@ fn stats_surfaces_memo_evictions() {
 }
 
 #[test]
+fn golden_stats_v1_surface_unchanged() {
+    // Stats v2 appends observability fields; a v1 client's view — the
+    // first 20 keys — must stay byte-identical to the pre-v2 reply.
+    // On a fresh session every counter is zero, so the whole v1 prefix
+    // is pinned here byte for byte, through `"read_timeouts":0`.
+    let stats = one(r#"{"id": 1, "op": "stats"}"#);
+    let v1_prefix = concat!(
+        r#"{"id":1,"ok":true,"stats":{"#,
+        r#""schema_hits":0,"schema_misses":0,"rule_hits":0,"rule_misses":0,"#,
+        r#""bout_hits":0,"bout_misses":0,"#,
+        r#""memo_hits":0,"memo_misses":0,"memo_evictions":0,"#,
+        r#""store_hits":0,"store_misses":0,"store_writes":0,"store_corrupt":0,"#,
+        r#""registered":0,"evictions":0,"session_handles":0,"#,
+        r#""conns_accepted":0,"overload_sheds":0,"deadline_sheds":0,"#,
+        r#""read_timeouts":0"#,
+    );
+    assert!(
+        stats.starts_with(v1_prefix),
+        "v1 stats prefix changed:\n  want prefix {v1_prefix}\n  got         {stats}"
+    );
+    // The appended v2 fields, in order (uptime is wall-clock, so only
+    // its key is pinned; the histogram map is process-global, so only
+    // its opening is).
+    let rest = &stats[v1_prefix.len()..];
+    assert!(rest.starts_with(",\"uptime_ms\":"), "{stats}");
+    assert!(
+        rest.contains(concat!(
+            r#","version":"0.1.0","protocol":1,"#,
+            r#""protocol_min":1,"protocol_max":2,"hist":{"#
+        )),
+        "{stats}"
+    );
+    // The reply parses, and the new fields are well-typed.
+    let parsed = xmlta_service::parse_json(&stats).expect("stats reply parses");
+    let s = parsed.get("stats").expect("has stats");
+    assert!(s.get("uptime_ms").and_then(|j| j.as_u64()).is_some());
+    assert!(matches!(
+        s.get("hist"),
+        Some(xmlta_service::json::Json::Obj(_))
+    ));
+}
+
+#[test]
+fn golden_trace_op_gating() {
+    // On a v1 connection the op does not exist — the pinned bytes.
+    assert_eq!(
+        one(r#"{"id": 1, "op": "trace"}"#),
+        r#"{"id":1,"ok":false,"error":{"code":"unknown-op","message":"unknown op `trace`"}}"#
+    );
+    // On v2: the reply carries a JSON array of recent trace events
+    // (contents depend on process-global tracer state, so only the
+    // shape is pinned), and `last` must be a non-negative integer.
+    let responses = v2_by_id(
+        "{\"id\": 1, \"op\": \"trace\"}\n\
+         {\"id\": 2, \"op\": \"trace\", \"last\": 4}\n\
+         {\"id\": 3, \"op\": \"trace\", \"last\": -1}\n\
+         {\"id\": 4, \"op\": \"trace\", \"last\": \"all\"}\n",
+    );
+    for id in ["1", "2"] {
+        let reply = &responses[id];
+        assert!(
+            reply.starts_with(&format!("{{\"id\":{id},\"ok\":true,\"events\":[")),
+            "{reply}"
+        );
+        let parsed = xmlta_service::parse_json(reply).expect("trace reply parses");
+        assert!(
+            matches!(
+                parsed.get("events"),
+                Some(xmlta_service::json::Json::Arr(_))
+            ),
+            "{reply}"
+        );
+    }
+    for id in ["3", "4"] {
+        assert_eq!(
+            responses[id],
+            format!(
+                "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"bad-request\",\
+                 \"message\":\"`last` must be a non-negative integer\"}}}}"
+            )
+        );
+    }
+}
+
+#[test]
 fn register_bin_typecheck_roundtrip_over_stream() {
     let instance = xmlta_service::parse_instance(GOOD).expect("parses");
     let bytes = xmlta_service::encode_instance(&instance).expect("encodes");

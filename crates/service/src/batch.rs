@@ -304,10 +304,12 @@ fn process_inner(item: &BatchItem, cache: Option<&SchemaCache>) -> ItemResult {
 pub fn check_instance(instance: &Arc<Instance>, cache: Option<&SchemaCache>) -> ItemStatus {
     let outcome = match cache {
         Some(cache) => {
+            let memo_span = xmlta_obs::span("memo");
             let fp = fingerprint_instance(instance);
             if let Some(hit) = cache.memo_lookup(fp, instance) {
                 return hit;
             }
+            memo_span.finish();
             let status = render_status(typecheck_cached(cache, instance), instance);
             cache.memo_insert(fp, instance, &status);
             return status;
@@ -354,17 +356,25 @@ pub fn run_batch(items: &[BatchItem], threads: usize, cache: Option<&SchemaCache
     } else {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, ItemResult)>();
+        // Workers inherit the submitting thread's trace context, so
+        // per-item spans (memo, compile, …) stay attributed to the
+        // protocol request that carried the batch.
+        let ctx = xmlta_obs::ctx();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    if tx.send((i, process(&items[i], cache))).is_err() {
-                        break;
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    xmlta_obs::adopt_ctx(ctx);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        if tx.send((i, process(&items[i], cache))).is_err() {
+                            break;
+                        }
                     }
                 });
             }

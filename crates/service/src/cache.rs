@@ -114,6 +114,35 @@ struct Inner {
     stats: CacheStats,
 }
 
+/// Shared handles into the process-wide metrics registry mirroring the
+/// memo and store counters (the per-cache [`CacheStats`] snapshot stays
+/// authoritative for one cache; the registry aggregates across every
+/// cache in the process, which is what `stats v2` and offline tooling
+/// read). Handles are resolved once per cache so bumps are lock-free.
+struct MirrorCounters {
+    memo_hits: Arc<xmlta_obs::Counter>,
+    memo_misses: Arc<xmlta_obs::Counter>,
+    memo_evictions: Arc<xmlta_obs::Counter>,
+    store_hits: Arc<xmlta_obs::Counter>,
+    store_misses: Arc<xmlta_obs::Counter>,
+    store_writes: Arc<xmlta_obs::Counter>,
+    store_corrupt: Arc<xmlta_obs::Counter>,
+}
+
+impl MirrorCounters {
+    fn new() -> MirrorCounters {
+        MirrorCounters {
+            memo_hits: xmlta_obs::counter("memo.hits"),
+            memo_misses: xmlta_obs::counter("memo.misses"),
+            memo_evictions: xmlta_obs::counter("memo.evictions"),
+            store_hits: xmlta_obs::counter("store.hits"),
+            store_misses: xmlta_obs::counter("store.misses"),
+            store_writes: xmlta_obs::counter("store.writes"),
+            store_corrupt: xmlta_obs::counter("store.corrupt"),
+        }
+    }
+}
+
 /// A thread-safe compiled-schema cache. See the module docs.
 pub struct SchemaCache {
     inner: Mutex<Inner>,
@@ -121,6 +150,8 @@ pub struct SchemaCache {
     /// compile misses, written behind fresh compiles. All store I/O runs
     /// outside the cache mutex.
     store: Option<Arc<dyn ArtifactBackend>>,
+    /// Process-wide mirrors of the memo/store counters.
+    mirror: MirrorCounters,
 }
 
 impl Default for SchemaCache {
@@ -147,6 +178,7 @@ impl SchemaCache {
                 stats: CacheStats::default(),
             }),
             store: None,
+            mirror: MirrorCounters::new(),
         }
     }
 
@@ -187,17 +219,21 @@ impl SchemaCache {
         adopt: impl FnOnce(Artifact) -> Option<T>,
     ) -> Option<T> {
         let store = self.store.as_ref()?;
+        let _span = xmlta_obs::span("store");
         let Some(bytes) = store.load(kind, key, sigma) else {
             self.bump(|s| s.store_misses += 1);
+            self.mirror.store_misses.bump();
             return None;
         };
         match artifact::decode(&bytes).ok().and_then(adopt) {
             Some(product) => {
                 self.bump(|s| s.store_hits += 1);
+                self.mirror.store_hits.bump();
                 Some(product)
             }
             None => {
                 self.bump(|s| s.store_corrupt += 1);
+                self.mirror.store_corrupt.bump();
                 None
             }
         }
@@ -206,8 +242,10 @@ impl SchemaCache {
     /// Write-behind: persists an encoded artifact after a fresh compile.
     fn store_save(&self, kind: ArtifactKind, key: u64, sigma: usize, bytes: &[u8]) {
         if let Some(store) = &self.store {
+            let _span = xmlta_obs::span("store");
             if store.save(kind, key, sigma, bytes) {
                 self.bump(|s| s.store_writes += 1);
+                self.mirror.store_writes.bump();
             }
         }
     }
@@ -227,10 +265,12 @@ impl SchemaCache {
             Some((source, status)) if instance_eq(source, instance) => {
                 let status = status.clone();
                 inner.stats.memo_hits += 1;
+                self.mirror.memo_hits.bump();
                 Some(status)
             }
             _ => {
                 inner.stats.memo_misses += 1;
+                self.mirror.memo_misses.bump();
                 None
             }
         }
@@ -255,6 +295,7 @@ impl SchemaCache {
             .is_some()
         {
             inner.stats.memo_evictions += 1;
+            self.mirror.memo_evictions.bump();
         }
     }
 
@@ -287,6 +328,7 @@ impl SchemaCache {
             }
             inner.stats.schema_misses += 1;
         }
+        let _span = xmlta_obs::span("compile");
         let sigma = dtd.alphabet_size();
         if !collided {
             if let Some(compiled) =
@@ -360,6 +402,7 @@ impl SchemaCache {
             }
             inner.stats.rule_misses += 1;
         }
+        let _span = xmlta_obs::span("compile");
         if !collided {
             if let Some(dfa) =
                 self.store_load(
@@ -429,6 +472,7 @@ impl SchemaCache {
             }
             inner.stats.bout_misses += 1;
         }
+        let _span = xmlta_obs::span("delrelab");
         if !collided {
             if let Some(product) =
                 self.store_load(
