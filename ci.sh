@@ -24,9 +24,19 @@ cargo fmt --check
 echo "== xmlta CLI smoke (gen + typecheck + batch + report)"
 smoke="$(mktemp -d)"
 daemon=""
+proxy=""
 cleanup() {
     if [[ -n "$daemon" ]]; then
         kill "$daemon" 2>/dev/null || true
+    fi
+    if [[ -n "$proxy" ]]; then
+        kill -9 "$proxy" 2>/dev/null || true
+    fi
+    # A router killed before its drain orphans its shard children; their
+    # pids were announced on stderr.
+    if [[ -f "$smoke/router.err" ]]; then
+        sed -n 's/.*shard [0-9]* pid \([0-9]*\).*/\1/p' "$smoke/router.err" \
+            | xargs -r kill -9 2>/dev/null || true
     fi
     rm -rf "$smoke"
 }
@@ -159,7 +169,10 @@ for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
 # writes, and scripted disconnects on its first 6 connections (seed 1),
 # then runs clean — the retrying client must recover to the exact
 # verdicts the direct client sees.
-xmlta fault-proxy --listen "$proxy_sock" --socket "$sock" \
+# Launch the binary directly (not via the `xmlta` cargo-run wrapper) so
+# $proxy is the actual proxy pid — killing the wrapper leaves the proxy
+# orphaned with our stdout pipe held open.
+./target/release/xmlta fault-proxy --listen "$proxy_sock" --socket "$sock" \
     --seed 1 --faults 6 --stall-ms 250 2> /dev/null &
 proxy=$!
 for _ in $(seq 100); do [[ -S "$proxy_sock" ]] && break; sleep 0.1; done
@@ -171,6 +184,7 @@ xmlta client --socket "$proxy_sock" --retry 8 --timeout-ms 2000 --pipeline 8 \
     || { kill "$proxy" 2>/dev/null; echo "resilient client did not recover through faults"; exit 1; }
 kill "$proxy" 2>/dev/null || true
 wait "$proxy" 2>/dev/null || true
+proxy=""
 cmp "$smoke/chaos-direct.txt" "$smoke/chaos.txt" \
     || { echo "verdicts under faults differ from the direct run"; exit 1; }
 xmlta client --socket "$sock" shutdown > /dev/null
@@ -257,6 +271,51 @@ daemon=""
 # traced wall-clock must be attributed to named root spans.
 xmlta trace --min-coverage 90 "$trace" \
     || { echo "trace file failed validation or the 90% coverage gate"; exit 1; }
+
+echo "== fleet smoke (2-shard router + kill -9 mid-batch + byte-identical report)"
+# A single daemon records the reference report for the 1024-instance
+# stream, then a 2-shard router fleet on a shared store serves the same
+# stream while both shards are SIGKILLed mid-batch — the supervisor
+# must respawn them, the resilient links must replay, and the report
+# must come out byte-identical.
+sock="$smoke/single.sock"
+fleet_store="$smoke/fleet-store"
+./target/release/xmltad --socket "$sock" &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+[[ -S "$sock" ]] || { echo "xmltad (single) never bound $sock"; exit 1; }
+xmlta client --socket "$sock" batch --out "$smoke/fleet-single.json" "$smoke/layered.xts"
+xmlta client --socket "$sock" shutdown > /dev/null
+wait "$daemon" || { echo "xmltad (single) exited nonzero"; exit 1; }
+daemon=""
+rsock="$smoke/router.sock"
+./target/release/xmlta router --socket "$rsock" --shards 2 --store "$fleet_store" \
+    --runtime-dir "$smoke/fleet-rt" 2> "$smoke/router.err" &
+daemon=$!
+for _ in $(seq 100); do [[ -S "$rsock" ]] && break; sleep 0.1; done
+[[ -S "$rsock" ]] || { echo "router never bound $rsock"; exit 1; }
+# Start the fleet batch, then SIGKILL each shard while it runs.
+xmlta client --socket "$rsock" batch --out "$smoke/fleet-router.json" "$smoke/layered.xts" &
+batch_pid=$!
+sleep 0.3
+sed -n 's/.*shard [0-9]* pid \([0-9]*\).*/\1/p' "$smoke/router.err" | while read -r pid; do
+    kill -9 "$pid" 2>/dev/null || true
+    sleep 0.1
+done
+wait "$batch_pid" || { echo "fleet batch did not survive the shard kills"; exit 1; }
+cmp "$smoke/fleet-single.json" "$smoke/fleet-router.json" \
+    || { echo "fleet report differs from the single-daemon report"; exit 1; }
+# The supervisor must have respawned at least one shard.
+if xmlta client --socket "$rsock" stats | grep -q '"shard_respawns":0'; then
+    echo "shards were killed but shard_respawns stayed 0"; exit 1
+fi
+xmlta client --socket "$rsock" shutdown > /dev/null
+wait "$daemon" || { echo "router exited nonzero (leaked workers or failed drain?)"; exit 1; }
+daemon=""
+[[ ! -e "$rsock" ]] || { echo "router socket file leaked"; exit 1; }
+
+echo "== fleet chaos smoke (fixed-seed differential round)"
+cargo test --release -q -p xmlta-server --test fleet_chaos fleet_smoke
 
 echo "== quickstart example"
 cargo run --release -q -p xmlta-examples --example quickstart > /dev/null

@@ -470,6 +470,27 @@ fn main() -> ExitCode {
         series.push(("service/server-warm-store".to_string(), warm));
     }
 
+    // Fleet relay: the warm handle-only workload again, but fronted by a
+    // supervised 2-shard `xmlta router` over real `xmltad` processes on
+    // one shared artifact store, against a single `xmltad` serving the
+    // same stream directly. Verdicts must be byte-identical between the
+    // arms; the recorded series tracks the relay + process-hop overhead
+    // a fleet pays per request. Skipped (with a log line) when the
+    // `xmltad` binary is not built next to this benchmark.
+    {
+        let sources: Vec<(String, String)> = (0..1024u64)
+            .map(|v| {
+                (
+                    format!("routed-{v:05}"),
+                    gen::layered_source(7, 4, 4, v).expect("generators print"),
+                )
+            })
+            .collect();
+        if let Some(fleet) = router_fleet_series(&sources, &[1024], reps) {
+            series.push(("service/router-fleet".to_string(), fleet));
+        }
+    }
+
     // Delta-stream batches: a shared-schema fleet shipped as ONE `.xts`
     // stream (schema section once, transducer-only frames after) decoded
     // and checked end to end — the `batch_bin` workload. The stream's
@@ -1051,6 +1072,195 @@ fn server_cold_store_series(
     }
     let _ = std::fs::remove_dir_all(&store_dir);
     (empty, populated, warm)
+}
+
+/// Measures the `service/router-fleet` series: the warm handle-only
+/// workload of [`server_series`], relayed through a supervised 2-shard
+/// `xmlta router` fronting real `xmltad` processes that share one
+/// artifact store, against a single `xmltad` process serving the same
+/// stream directly. The router's contract is identity, not speed:
+/// verdicts are asserted byte-identical per id to the single-daemon
+/// reference, and the fleet must still report both shards reachable
+/// when the clock stops. No win gate is applied — on a 1-core harness
+/// there is no parallelism for the fleet to win back, so the series
+/// exists to watch the relay overhead PR over PR, not to assert a
+/// speedup. Returns `None` (with a log line) when the `xmltad` binary
+/// is not built next to this benchmark, e.g. under a bare
+/// `cargo run -p xmlta-bench`.
+fn router_fleet_series(
+    sources: &[(String, String)],
+    sizes: &[usize],
+    reps: usize,
+) -> Option<Vec<Point>> {
+    use xmlta_server::proto;
+    use xmlta_server::{Client, Router, RouterBound, RouterConfig};
+
+    let xmltad = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("xmltad")))
+        .filter(|path| path.is_file());
+    let Some(xmltad) = xmltad else {
+        println!("  service/router-fleet              skipped: no xmltad binary beside this bench");
+        return None;
+    };
+
+    let tag = std::process::id();
+    let single_sock = std::env::temp_dir().join(format!("xmlta-bench-fleet-single-{tag}.sock"));
+    let front_sock = std::env::temp_dir().join(format!("xmlta-bench-fleet-front-{tag}.sock"));
+    let store_dir = std::env::temp_dir().join(format!("xmlta-bench-fleet-store-{tag}"));
+    let runtime_dir = std::env::temp_dir().join(format!("xmlta-bench-fleet-rt-{tag}"));
+    let _ = std::fs::remove_file(&single_sock);
+    let _ = std::fs::remove_file(&front_sock);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&runtime_dir);
+
+    let connect = |path: &std::path::Path| -> Client {
+        for _ in 0..500 {
+            if let Ok(client) = Client::connect(path) {
+                return client;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("daemon never bound {}", path.display());
+    };
+    /// Windowed pipelining as in [`server_series`]: every response `ok`.
+    fn stream(client: &mut Client, frames: &[String]) -> Vec<String> {
+        const WINDOW: usize = 32;
+        let mut responses = Vec::with_capacity(frames.len());
+        let recv = |client: &mut Client| {
+            let line = client.recv().expect("recv").expect("response");
+            assert!(line.contains("\"ok\":true"), "request failed: {line}");
+            line
+        };
+        for (i, frame) in frames.iter().enumerate() {
+            client.send(frame).expect("send");
+            if i + 1 > WINDOW {
+                responses.push(recv(client));
+            }
+        }
+        while responses.len() < frames.len() {
+            responses.push(recv(client));
+        }
+        responses
+    }
+    /// Registers every source on `client`, heats the handle path with
+    /// one unmeasured stream, then times `reps` handle-only streams.
+    /// Returns the samples and the last transcript.
+    fn measure(
+        client: &mut Client,
+        slice: &[(String, String)],
+        reps: usize,
+    ) -> (Vec<f64>, Vec<String>) {
+        use xmlta_server::proto;
+        let register_frames: Vec<String> = slice
+            .iter()
+            .enumerate()
+            .map(|(i, (_, source))| proto::req_register(i as u64, source))
+            .collect();
+        let handles: Vec<String> = stream(client, &register_frames)
+            .iter()
+            .map(|line| {
+                let response = xmlta_service::parse_json(line).expect("response is JSON");
+                response
+                    .get("handle")
+                    .and_then(xmlta_service::Json::as_str)
+                    .expect("register returns a handle")
+                    .to_string()
+            })
+            .collect();
+        let frames: Vec<String> = handles
+            .iter()
+            .enumerate()
+            .map(|(i, handle)| proto::req_typecheck_handle(i as u64, handle))
+            .collect();
+        let mut transcript = stream(client, &frames);
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            transcript = stream(client, &frames);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        (samples, transcript)
+    }
+
+    let mut fleet = Vec::new();
+    for &n in sizes {
+        let slice = &sources[..n];
+
+        // Reference arm: one `xmltad` process, the direct path. Spawned
+        // as a real process (not in-process `serve_unix`) so both arms
+        // pay the same socket-to-daemon costs and the gap between the
+        // series is the relay itself.
+        let mut child = std::process::Command::new(&xmltad)
+            .arg("--socket")
+            .arg(&single_sock)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn xmltad");
+        let mut client = connect(&single_sock);
+        let (samples, reference) = measure(&mut client, slice, reps);
+        client
+            .roundtrip(&proto::req_shutdown(u64::MAX))
+            .expect("shutdown");
+        drop(client);
+        let status = child.wait().expect("xmltad exits");
+        assert!(status.success(), "single xmltad exited dirty: {status}");
+        let single_stats = summarize(samples);
+        single_stats.print("service/single-daemon (ref)", n);
+
+        // Fleet arm: the same stream through the router front-end.
+        let router = Router::spawn(RouterConfig {
+            shards: 2,
+            store: Some(store_dir.clone()),
+            shard_command: Some(vec![xmltad.display().to_string()]),
+            runtime_dir: Some(runtime_dir.clone()),
+            quiet: true,
+            ..RouterConfig::default()
+        })
+        .expect("fleet boots");
+        let bound = RouterBound::bind(Some(&front_sock), None).expect("bind router front");
+        let serve = {
+            let router = std::sync::Arc::clone(&router);
+            std::thread::spawn(move || bound.serve(router))
+        };
+        let mut client = connect(&front_sock);
+        let (samples, transcript) = measure(&mut client, slice, reps);
+        assert_eq!(
+            transcript, reference,
+            "fleet verdicts differ from the single daemon at n={n}"
+        );
+        let stats = client
+            .roundtrip(&proto::req_stats(u64::MAX - 1))
+            .expect("stats");
+        assert!(
+            stats.contains("\"shards_reachable\":2"),
+            "fleet degraded during the bench: {stats}"
+        );
+        client
+            .roundtrip(&proto::req_shutdown(u64::MAX))
+            .expect("shutdown");
+        drop(client);
+        serve
+            .join()
+            .expect("router thread")
+            .expect("clean router exit");
+        let fleet_stats = summarize(samples);
+        fleet_stats.print("service/router-fleet", n);
+        println!(
+            "    relay overhead at n={n}: ×{:.2} over the single daemon (medians)",
+            fleet_stats.median / single_stats.median.max(1e-9)
+        );
+        fleet.push(Point {
+            param: n,
+            stats: fleet_stats,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&runtime_dir);
+    let _ = std::fs::remove_file(&single_sock);
+    Some(fleet)
 }
 
 /// Pulls the previously serialized run objects back out of the report.

@@ -121,6 +121,29 @@ USAGE:
       --trace PATH writes one JSON trace event per span enter/exit to
       PATH (truncated at startup); summarize with `xmlta trace PATH`.
 
+  xmlta router (--socket PATH | --tcp HOST:PORT) [--shards N]
+               [--store DIR] [--shard-bin PATH] [--shard-arg ARG]...
+               [--runtime-dir DIR] [--max-frame BYTES] [--drain-ms MS]
+               [--breaker-failures K] [--breaker-cooldown-ms MS]
+               [--health-interval-ms MS] [--link-retries N]
+               [--link-timeout-ms MS] [--quiet-shards]
+      Run the self-healing shard-fleet front-end: spawns N `xmltad`
+      shard processes (default 2; --shard-bin overrides the daemon
+      binary, --shard-arg appends per-shard flags), consistent-hashes
+      schema fingerprints across them, health-checks each shard via
+      the `stats` op, respawns crashed shards (re-registering every
+      session's handles from its replayed prelude), fails requests
+      over to ring successors behind a per-shard circuit breaker
+      (--breaker-failures consecutive failures open it; half-open
+      probes after --breaker-cooldown-ms), and drains shards
+      gracefully at shutdown (in-flight requests finish and handles
+      rebalance before SIGTERM). All shards mount one --store DIR, so
+      replacements cold-start warm from the shared artifact store.
+      `stats` aggregates the fleet's counters and adds `shards`,
+      `shards_reachable`, `shard_respawns`, `breaker_opens`, and
+      `failovers`. Exit codes match `serve`: 1 on leaked/panicked
+      workers or shards that ignored their drain, 2 on usage/IO.
+
   xmlta trace FILE [--min-coverage PCT]
       Validate and summarize a trace file written by `--trace`: every
       line must parse as a JSON trace event and every span enter must
@@ -195,6 +218,7 @@ fn main() -> ExitCode {
         "store" => cmd_store(rest),
         "trace" => cmd_trace(rest),
         "serve" => xmlta_server::cli::run_serve(rest, "xmlta serve", USAGE),
+        "router" => xmlta_server::cli::run_router(rest, "xmlta router", USAGE),
         "client" => cmd_client(rest),
         "fault-proxy" => cmd_fault_proxy(rest),
         "--help" | "-h" | "help" => {

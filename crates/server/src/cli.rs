@@ -1,6 +1,7 @@
 //! Serve-mode argument handling shared by the `xmltad` binary and the
-//! `xmlta serve` subcommand.
+//! `xmlta serve` subcommand, plus the `xmlta router` front-end.
 
+use crate::router::{Router, RouterBound, RouterConfig};
 use crate::{serve_stdio, Bound, ServerConfig, Shared};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -102,6 +103,102 @@ pub fn run_serve(args: &[String], name: &str, usage: &str) -> Result<ExitCode, S
         // Socket-level failures are usage/IO errors (exit 2, like the
         // documented contract); exit 1 is reserved for worker
         // leaks/panics at shutdown.
+        Err(e @ crate::ServeError::Io(_)) => Err(e.to_string()),
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Parses router-mode arguments (`--socket PATH | --tcp HOST:PORT`,
+/// `--shards N`, `[--store DIR] [--shard-bin PATH] [--shard-arg ARG]...
+/// [--runtime-dir DIR] [--max-frame BYTES] [--drain-ms MS]
+/// [--breaker-failures K] [--breaker-cooldown-ms MS]
+/// [--health-interval-ms MS] [--link-retries N] [--link-timeout-ms MS]
+/// [--quiet-shards]`) and runs the shard-fleet front-end. Exit
+/// discipline matches `run_serve`: usage/IO errors exit 2, leaked or
+/// panicked workers (and shards that ignored their drain) exit 1.
+pub fn run_router(args: &[String], name: &str, usage: &str) -> Result<ExitCode, String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut cfg = RouterConfig::default();
+    fn count_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+        it.next()
+            .ok_or(format!("{flag} needs a count"))?
+            .parse()
+            .map_err(|_| format!("invalid {flag} value"))
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    it.next().ok_or("--socket needs a path")?.clone(),
+                ))
+            }
+            "--tcp" => tcp = Some(it.next().ok_or("--tcp needs HOST:PORT")?.clone()),
+            "--shards" => cfg.shards = count_value(&mut it, "--shards")?.max(1),
+            "--store" => {
+                cfg.store = Some(PathBuf::from(
+                    it.next().ok_or("--store needs a directory")?.clone(),
+                ))
+            }
+            "--shard-bin" => {
+                cfg.shard_command = Some(vec![it.next().ok_or("--shard-bin needs a path")?.clone()])
+            }
+            "--shard-arg" => cfg
+                .shard_args
+                .push(it.next().ok_or("--shard-arg needs a value")?.clone()),
+            "--runtime-dir" => {
+                cfg.runtime_dir = Some(PathBuf::from(
+                    it.next().ok_or("--runtime-dir needs a directory")?.clone(),
+                ))
+            }
+            "--max-frame" => cfg.max_frame = count_value(&mut it, "--max-frame")?,
+            "--drain-ms" => {
+                cfg.drain = Duration::from_millis(count_value(&mut it, "--drain-ms")? as u64)
+            }
+            "--breaker-failures" => {
+                cfg.breaker_threshold = count_value(&mut it, "--breaker-failures")?.max(1) as u32
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.breaker_cooldown =
+                    Duration::from_millis(count_value(&mut it, "--breaker-cooldown-ms")? as u64)
+            }
+            "--health-interval-ms" => {
+                cfg.health_interval =
+                    Duration::from_millis(count_value(&mut it, "--health-interval-ms")? as u64)
+            }
+            "--link-retries" => {
+                cfg.link_policy.attempts = count_value(&mut it, "--link-retries")?.max(1) as u32
+            }
+            "--link-timeout-ms" => {
+                cfg.link_read_timeout =
+                    Duration::from_millis(count_value(&mut it, "--link-timeout-ms")?.max(1) as u64)
+            }
+            "--quiet-shards" => cfg.quiet = true,
+            "--help" | "-h" => {
+                print!("{usage}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{usage}")),
+        }
+    }
+    if socket.is_none() && tcp.is_none() {
+        return Err(format!("give --socket PATH or --tcp HOST:PORT\n\n{usage}"));
+    }
+    if let Some(dir) = &cfg.store {
+        // Fail fast on an unusable store before any shard boots on it.
+        std::fs::create_dir_all(dir).map_err(|e| format!("--store {}: {e}", dir.display()))?;
+    }
+    let bound = RouterBound::bind(socket.as_deref(), tcp.as_deref()).map_err(|e| e.to_string())?;
+    if let Some(addr) = bound.tcp_addr() {
+        eprintln!("{name}: listening on tcp {addr}");
+    }
+    let router = Router::spawn(cfg).map_err(|e| format!("spawning the fleet: {e}"))?;
+    match bound.serve(router) {
+        Ok(()) => Ok(ExitCode::SUCCESS),
         Err(e @ crate::ServeError::Io(_)) => Err(e.to_string()),
         Err(e) => {
             eprintln!("{name}: {e}");

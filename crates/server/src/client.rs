@@ -235,6 +235,11 @@ impl RetryPolicy {
     }
 }
 
+/// The error recorded for a `server-overloaded` turn-away.
+fn overloaded_error() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "server overloaded")
+}
+
 /// Is this I/O failure worth a reconnect-and-replay, or is it final?
 fn retryable(e: &std::io::Error) -> bool {
     matches!(
@@ -275,6 +280,7 @@ pub struct ResilientClient {
     max_frame: usize,
     read_timeout: Option<Duration>,
     pipeline: usize,
+    negotiate: bool,
     prelude: Vec<String>,
     conn: Option<Client>,
     reconnects: u64,
@@ -294,6 +300,7 @@ impl ResilientClient {
             max_frame: crate::proto::DEFAULT_MAX_FRAME,
             read_timeout: Some(Duration::from_secs(30)),
             pipeline: crate::proto::DEFAULT_PIPELINE_DEPTH,
+            negotiate: true,
             prelude: Vec::new(),
             conn: None,
             reconnects: 0,
@@ -317,6 +324,22 @@ impl ResilientClient {
     /// in-flight window).
     pub fn set_pipeline(&mut self, depth: usize) {
         self.pipeline = depth.max(1);
+    }
+
+    /// Disables the automatic protocol-2 `hello` on (re)connect: each
+    /// connection then opens in plain protocol-1 state, and any
+    /// negotiation must ride in the prelude instead. The fleet router
+    /// uses this to mirror its client's exact frame sequence onto shard
+    /// links, so a shard session is byte-for-byte in the state a direct
+    /// daemon session would be in.
+    pub fn set_no_hello(&mut self) {
+        self.negotiate = false;
+    }
+
+    /// Whether a live connection is currently held (the next
+    /// [`ResilientClient::run`] will reuse it instead of dialing).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
     }
 
     /// Adds a prelude frame — typically a `register` — re-sent on every
@@ -344,24 +367,41 @@ impl ResilientClient {
 
     /// Connects (with backoff), negotiates v2, and replays the prelude.
     /// A `server-overloaded` reply to the `hello` honours its
-    /// `retry_after_ms` hint instead of the exponential schedule.
+    /// `retry_after_ms` hint: the hint *replaces* the exponential delay
+    /// before the next attempt (never stacks on top of it), and a hint
+    /// received on the final budgeted attempt is still followed by one
+    /// post-hint attempt — the server promised capacity after the wait,
+    /// so sleeping it out only to report failure would waste the hint.
     fn connect(&mut self) -> std::io::Result<Client> {
         let mut last: Option<std::io::Error> = None;
+        let mut hint: Option<u64> = None;
         for attempt in 0..self.policy.attempts.max(1) {
-            if attempt > 0 || last.is_some() {
-                std::thread::sleep(self.policy.delay(attempt, &mut self.rng));
+            if attempt > 0 {
+                match hint.take() {
+                    Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                    None => std::thread::sleep(self.policy.delay(attempt, &mut self.rng)),
+                }
             }
             match self.try_connect() {
                 Ok(client) => return Ok(client),
                 Err(ConnectError::RetryAfter(ms)) => {
-                    std::thread::sleep(Duration::from_millis(ms));
-                    last = Some(std::io::Error::new(
-                        std::io::ErrorKind::ConnectionRefused,
-                        "server overloaded",
-                    ));
+                    hint = Some(ms);
+                    last = Some(overloaded_error());
                 }
                 Err(ConnectError::Io(e)) if retryable(&e) => last = Some(e),
                 Err(ConnectError::Io(e)) => return Err(e),
+            }
+        }
+        // The final attempt was turned away with a hint: one bonus
+        // attempt after honouring it, then the refusal is terminal (no
+        // further bonus — a persistently overloaded server must not pin
+        // the client in a hint loop).
+        if let Some(ms) = hint {
+            std::thread::sleep(Duration::from_millis(ms));
+            match self.try_connect() {
+                Ok(client) => return Ok(client),
+                Err(ConnectError::RetryAfter(_)) => last = Some(overloaded_error()),
+                Err(ConnectError::Io(e)) => last = Some(e),
             }
         }
         Err(last.unwrap_or_else(|| {
@@ -375,18 +415,20 @@ impl ResilientClient {
         client
             .set_read_timeout(self.read_timeout)
             .map_err(ConnectError::Io)?;
-        let hello = crate::proto::req_hello_v2(0, 2, Some(self.pipeline));
-        let response = client.roundtrip(&hello).map_err(ConnectError::Io)?;
-        if let Ok(json) = parse_json(&response) {
-            if let Some(error) = json.get("error") {
-                if error.get("code").and_then(Json::as_str)
-                    == Some(crate::proto::code::SERVER_OVERLOADED)
-                {
-                    let ms = error
-                        .get("retry_after_ms")
-                        .and_then(Json::as_u64)
-                        .unwrap_or(crate::net::DEFAULT_RETRY_AFTER_MS);
-                    return Err(ConnectError::RetryAfter(ms));
+        if self.negotiate {
+            let hello = crate::proto::req_hello_v2(0, 2, Some(self.pipeline));
+            let response = client.roundtrip(&hello).map_err(ConnectError::Io)?;
+            if let Ok(json) = parse_json(&response) {
+                if let Some(error) = json.get("error") {
+                    if error.get("code").and_then(Json::as_str)
+                        == Some(crate::proto::code::SERVER_OVERLOADED)
+                    {
+                        let ms = error
+                            .get("retry_after_ms")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(crate::net::DEFAULT_RETRY_AFTER_MS);
+                        return Err(ConnectError::RetryAfter(ms));
+                    }
                 }
             }
         }
@@ -450,6 +492,117 @@ impl ResilientClient {
             }
         }
         Ok(answered)
+    }
+
+    /// Sends one frame and returns the next response line, with
+    /// reconnect-and-resend on transport failure. For frames that carry
+    /// no usable numeric id (and so cannot ride the id-correlated
+    /// [`ResilientClient::run`]); only sound when the caller keeps at
+    /// most one such exchange in flight per connection — a fresh
+    /// connection after a reconnect has nothing else in flight, so the
+    /// next line is necessarily the answer.
+    pub fn run_raw(&mut self, frame: &str) -> std::io::Result<String> {
+        let mut barren_rounds: u32 = 0;
+        loop {
+            if self.conn.is_none() {
+                self.conn = Some(self.connect()?);
+            }
+            let conn = self.conn.as_mut().expect("connection just established");
+            let result = match conn.send(frame) {
+                Ok(()) => conn.recv().and_then(|line| {
+                    line.ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection before responding",
+                        )
+                    })
+                }),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(line) => return Ok(line),
+                Err(e) if retryable(&e) => {
+                    self.conn = None;
+                    self.reconnects += 1;
+                    barren_rounds += 1;
+                    if barren_rounds > self.policy.attempts.max(1) {
+                        return Err(std::io::Error::new(
+                            e.kind(),
+                            format!("raw frame unanswered after {barren_rounds} reconnects: {e}"),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs one *streamed* request (a `batch_bin` with `"stream":true`)
+    /// to completion: sends `frame` and collects every frame answering
+    /// `id` — the per-item frames plus the terminal one (the closing
+    /// tally, or an error) — in arrival order. A transport drop
+    /// mid-stream reconnects (prelude replay included) and replays the
+    /// request from scratch: the server re-runs the whole batch
+    /// deterministically, so partial streams are discarded rather than
+    /// stitched across connections.
+    pub fn run_streamed(&mut self, id: u64, frame: &str) -> std::io::Result<Vec<String>> {
+        let mut barren_rounds: u32 = 0;
+        let mut attempted = false;
+        loop {
+            if self.conn.is_none() {
+                self.conn = Some(self.connect()?);
+            }
+            if attempted {
+                self.replayed += 1;
+            }
+            attempted = true;
+            match self.drive_streamed(id, frame) {
+                Ok(frames) => return Ok(frames),
+                Err(e) if retryable(&e) => {
+                    self.conn = None;
+                    self.reconnects += 1;
+                    barren_rounds += 1;
+                    if barren_rounds > self.policy.attempts.max(1) {
+                        return Err(std::io::Error::new(
+                            e.kind(),
+                            format!("stream for id {id} made no progress after {barren_rounds} reconnects: {e}"),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One connection's worth of a streamed exchange: send the frame,
+    /// collect frames for `id` until the terminal one (no `item` field).
+    fn drive_streamed(&mut self, id: u64, frame: &str) -> std::io::Result<Vec<String>> {
+        let conn = self
+            .conn
+            .as_mut()
+            .expect("drive_streamed() requires a connection");
+        conn.send(frame)?;
+        let mut frames: Vec<String> = Vec::new();
+        loop {
+            let line = conn.recv()?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                )
+            })?;
+            match parse_json(&line).ok() {
+                Some(json) if json.get("id").and_then(Json::as_u64) == Some(id) => {
+                    let terminal = json.get("item").is_none();
+                    frames.push(line);
+                    if terminal {
+                        return Ok(frames);
+                    }
+                }
+                // A different id or no id at all: noise from an earlier
+                // incarnation or the transport — skip it.
+                _ => self.noise += 1,
+            }
+        }
     }
 
     /// One connection's worth of progress: pipeline every still-unanswered

@@ -28,6 +28,7 @@
 
 use crate::client::ServerAddr;
 use crate::net::Stream;
+use crate::router::Router;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -249,6 +250,204 @@ fn accept_loop(
 
 fn clone_pair(down: &Stream, up: &Stream) -> std::io::Result<(Stream, Stream)> {
     Ok((down.try_clone()?, up.try_clone()?))
+}
+
+// ---------------------------------------------------------------------------
+// Fleet chaos: process-level fault injection against a supervised
+// shard fleet (the router's crash-chaos suite). Where [`Schedule`]
+// scripts byte-level misbehaviour on one proxied connection,
+// [`FleetSchedule`] scripts *process*-level events — SIGKILL a shard,
+// SIGSTOP it past every timeout, corrupt an artifact in the shared
+// store — at wall-clock offsets, so a seeded run kills the same shard
+// at the same moment every time.
+
+/// One scripted fleet-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// SIGKILL shard `shard` (the supervisor must respawn it).
+    Kill {
+        /// Which shard dies.
+        shard: usize,
+    },
+    /// SIGSTOP shard `shard` for `dur`, then SIGCONT — the process is
+    /// alive (the supervisor must *not* respawn it) but silent past
+    /// every link timeout, so requests fail over and the breaker trips.
+    Stall {
+        /// Which shard freezes.
+        shard: usize,
+        /// How long it stays frozen.
+        dur: Duration,
+    },
+    /// Flip one byte inside one `.xta` artifact in the shared store
+    /// (deterministically picked from the sorted file list). Shards
+    /// must detect the damage on read and recompile rather than serve
+    /// a wrong verdict.
+    CorruptStore,
+}
+
+/// A timed fleet fault: `event` fires `at` after [`unleash`] starts.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedFleetEvent {
+    /// Offset from chaos start.
+    pub at: Duration,
+    /// What happens.
+    pub event: FleetEvent,
+}
+
+/// A deterministic fleet-fault schedule, sorted by firing time.
+#[derive(Debug, Clone)]
+pub struct FleetSchedule {
+    events: Vec<TimedFleetEvent>,
+}
+
+impl FleetSchedule {
+    /// A schedule with explicit events (sorted by `at` before use).
+    pub fn new(mut events: Vec<TimedFleetEvent>) -> FleetSchedule {
+        events.sort_by_key(|e| e.at);
+        FleetSchedule { events }
+    }
+
+    /// Derives a schedule from `seed` over a fleet of `shards`. Every
+    /// schedule opens with a SIGKILL of `first_kill` early (20–80 ms
+    /// in — mid-batch for any workload that runs longer than that),
+    /// then draws 2–4 more events (kill / stall / store corruption)
+    /// across the next ~400 ms. `stall` sizes every freeze — pick it
+    /// past the router's link read timeout so stalls actually fail
+    /// over. Same seed, same chaos.
+    pub fn from_seed(
+        seed: u64,
+        shards: usize,
+        first_kill: usize,
+        stall: Duration,
+    ) -> FleetSchedule {
+        assert!(shards > 0);
+        let mut rng = seed ^ 0x9c6a_41f0_7de2_35b1;
+        let mut draw = move || crate::client::splitmix64(&mut rng);
+        let mut events = vec![TimedFleetEvent {
+            at: Duration::from_millis(20 + draw() % 60),
+            event: FleetEvent::Kill { shard: first_kill },
+        }];
+        for _ in 0..(2 + draw() % 3) {
+            let at = Duration::from_millis(60 + draw() % 400);
+            let event = match draw() % 4 {
+                0 | 1 => FleetEvent::Kill {
+                    shard: (draw() % shards as u64) as usize,
+                },
+                2 => FleetEvent::Stall {
+                    shard: (draw() % shards as u64) as usize,
+                    dur: stall,
+                },
+                _ => FleetEvent::CorruptStore,
+            };
+            events.push(TimedFleetEvent { at, event });
+        }
+        FleetSchedule::new(events)
+    }
+
+    /// The scripted events, in firing order.
+    pub fn events(&self) -> &[TimedFleetEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule contains at least one kill (every seeded
+    /// schedule does — the differential suite asserts it).
+    pub fn kills(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, FleetEvent::Kill { .. }))
+            .count()
+    }
+}
+
+/// Releases `schedule` against `router`'s fleet on a background thread:
+/// each event fires at its offset from now. `store` is the shared
+/// artifact directory [`FleetEvent::CorruptStore`] mutates (corruption
+/// events are skipped without it, or while the store has no artifacts
+/// yet). Returns a handle yielding the shards that were SIGKILLed.
+pub fn unleash(
+    schedule: FleetSchedule,
+    router: Arc<Router>,
+    store: Option<PathBuf>,
+    seed: u64,
+) -> std::thread::JoinHandle<Vec<usize>> {
+    std::thread::spawn(move || {
+        let start = std::time::Instant::now();
+        let mut killed = Vec::new();
+        for timed in schedule.events() {
+            if let Some(wait) = timed.at.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            match timed.event {
+                FleetEvent::Kill { shard } => {
+                    if router.kill_shard(shard) {
+                        killed.push(shard);
+                    }
+                }
+                FleetEvent::Stall { shard, dur } => {
+                    if let Some(pid) = router.shard_pid(shard) {
+                        send_signal(pid, "-STOP");
+                        std::thread::sleep(dur);
+                        send_signal(pid, "-CONT");
+                    }
+                }
+                FleetEvent::CorruptStore => {
+                    if let Some(dir) = &store {
+                        corrupt_one_artifact(dir, seed);
+                    }
+                }
+            }
+        }
+        killed
+    })
+}
+
+/// `kill -SIG pid` via the coreutil — the crate stays libc-free.
+fn send_signal(pid: u32, sig: &str) {
+    let _ = std::process::Command::new("kill")
+        .arg(sig)
+        .arg(pid.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status();
+}
+
+/// Flips one byte in one `.xta` artifact under `dir` (recursive,
+/// deterministic pick from the sorted path list). No-op while the
+/// store is still empty.
+fn corrupt_one_artifact(dir: &Path, seed: u64) {
+    let mut artifacts = Vec::new();
+    collect_artifacts(dir, &mut artifacts);
+    artifacts.sort();
+    if artifacts.is_empty() {
+        return;
+    }
+    let mut rng = seed ^ 0x1357_9bdf_2468_ace0;
+    let pick = (crate::client::splitmix64(&mut rng) % artifacts.len() as u64) as usize;
+    let path = &artifacts[pick];
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return;
+    };
+    if bytes.is_empty() {
+        return;
+    }
+    // Past the magic, inside the payload for any real artifact.
+    let at = 24.min(bytes.len() - 1);
+    bytes[at] ^= 0xff;
+    let _ = std::fs::write(path, bytes);
+}
+
+fn collect_artifacts(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_artifacts(&path, out);
+        } else if path.extension().is_some_and(|e| e == "xta") {
+            out.push(path);
+        }
+    }
 }
 
 /// Forwards bytes `from` → `to` under an optional fault, then closes both

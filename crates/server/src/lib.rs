@@ -34,10 +34,12 @@ pub mod client;
 pub mod fault;
 pub mod net;
 pub mod proto;
+pub mod router;
 pub mod session;
 pub mod state;
 
 pub use client::{Client, ResilientClient, RetryPolicy, ServerAddr};
 pub use net::{serve_stdio, serve_tcp, serve_unix, Bound, ServeError, ServerConfig};
+pub use router::{Breaker, BreakerState, Ring, Router, RouterBound, RouterConfig};
 pub use session::{serve_stream, Control, Session, SessionEnd};
 pub use state::{Prepared, ServerCounters, Shared};

@@ -128,6 +128,10 @@ pub mod code {
     pub const READ_TIMEOUT: &str = "read-timeout";
     /// The request handler panicked (isolated per request).
     pub const INTERNAL: &str = "internal";
+    /// The router could not reach any shard for this request after
+    /// every retry and failover (router front-end only — a direct
+    /// daemon never emits it).
+    pub const SHARD_UNAVAILABLE: &str = "shard-unavailable";
 }
 
 /// What a `typecheck` request checks (exactly one of the two).

@@ -86,9 +86,20 @@ fn resilient(addr: ServerAddr, seed: u64, prelude: &[String]) -> ResilientClient
     client
 }
 
+/// Which transport the daemon serves (and the fault proxy dials
+/// upstream) for a chaos round. The proxy always listens on a Unix
+/// socket; under [`Transport::Tcp`] every upstream byte crosses the TCP
+/// stack instead, so cuts, stalls, and chunked writes exercise the TCP
+/// session path end to end.
+#[derive(Clone, Copy)]
+enum Transport {
+    Unix,
+    Tcp,
+}
+
 /// One seed × schedule round; returns (reconnects, replayed,
 /// read_timeouts) observed.
-fn chaos_round(seed: u64) -> (u64, u64, u64) {
+fn chaos_round(seed: u64, transport: Transport) -> (u64, u64, u64) {
     let sock = tmp_sock(&format!("srv-{seed}"));
     let proxy_sock = tmp_sock(&format!("proxy-{seed}"));
     let shared = Shared::new();
@@ -97,7 +108,16 @@ fn chaos_round(seed: u64) -> (u64, u64, u64) {
         drain: Duration::from_secs(5),
         ..ServerConfig::default()
     };
-    let bound = Bound::bind(Some(&sock), None).expect("bind unix socket");
+    let bound = match transport {
+        Transport::Unix => Bound::bind(Some(&sock), None).expect("bind unix socket"),
+        Transport::Tcp => Bound::bind(None, Some("127.0.0.1:0")).expect("bind tcp socket"),
+    };
+    let upstream = match transport {
+        Transport::Unix => ServerAddr::Unix(sock.clone()),
+        Transport::Tcp => {
+            ServerAddr::Tcp(bound.tcp_addr().expect("bound tcp has an addr").to_string())
+        }
+    };
     let server = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || bound.serve(shared, config))
@@ -106,7 +126,7 @@ fn chaos_round(seed: u64) -> (u64, u64, u64) {
     let (prelude, work) = workload();
 
     // Fault-free baseline, connected directly.
-    let mut direct = resilient(ServerAddr::Unix(sock.clone()), seed, &prelude);
+    let mut direct = resilient(upstream.clone(), seed, &prelude);
     let baseline: BTreeMap<u64, String> = direct.run(&work).expect("baseline run succeeds");
     assert_eq!(baseline.len(), work.len(), "baseline answers every id");
     assert_eq!(
@@ -117,8 +137,7 @@ fn chaos_round(seed: u64) -> (u64, u64, u64) {
 
     // The same workload through the fault proxy.
     let schedule = Schedule::from_seed(seed, FAULTED_CONNS, STALL);
-    let proxy = FaultProxy::spawn(&proxy_sock, ServerAddr::Unix(sock.clone()), schedule)
-        .expect("proxy binds");
+    let proxy = FaultProxy::spawn(&proxy_sock, upstream.clone(), schedule).expect("proxy binds");
     let mut chaotic = resilient(ServerAddr::Unix(proxy_sock.clone()), seed, &prelude);
     let answers = chaotic
         .run(&work)
@@ -166,7 +185,7 @@ fn chaos_round(seed: u64) -> (u64, u64, u64) {
     // workers, no leaks past the drain window, locks all released.
     // First, the `stats` reply over the wire must agree with the
     // counters read directly off the shared state.
-    let mut admin = Client::connect(&sock).expect("admin connect");
+    let mut admin = Client::connect_addr(&upstream).expect("admin connect");
     let stats_reply = admin
         .roundtrip(&proto::req_stats(9998))
         .expect("stats roundtrip");
@@ -213,13 +232,12 @@ fn chaos_round(seed: u64) -> (u64, u64, u64) {
     observed
 }
 
-#[test]
-fn chaos_differential_over_seeded_fault_schedules() {
+fn chaos_differential(transport: Transport) {
     let mut total_reconnects = 0u64;
     let mut total_replayed = 0u64;
     let mut total_read_timeouts = 0u64;
     for seed in 0..8u64 {
-        let (reconnects, replayed, read_timeouts) = chaos_round(seed);
+        let (reconnects, replayed, read_timeouts) = chaos_round(seed, transport);
         total_reconnects += reconnects;
         total_replayed += replayed;
         total_read_timeouts += read_timeouts;
@@ -243,6 +261,19 @@ fn chaos_differential_over_seeded_fault_schedules() {
         total_read_timeouts > 0,
         "no stall tripped the idle reaper — stall injection is inert"
     );
+}
+
+#[test]
+fn chaos_differential_over_seeded_fault_schedules() {
+    chaos_differential(Transport::Unix);
+}
+
+#[test]
+fn chaos_differential_over_tcp_transport() {
+    // The same seeds and schedules, but every upstream byte crosses the
+    // TCP session path (transport.rs pins TCP goldens fault-free; this
+    // pins them under faults).
+    chaos_differential(Transport::Tcp);
 }
 
 #[test]

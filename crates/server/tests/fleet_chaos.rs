@@ -1,0 +1,369 @@
+//! Crash-chaos differential suite for the shard-fleet router: seeded
+//! schedules that SIGKILL, SIGSTOP, and store-corrupt shards
+//! mid-workload must leave every verdict byte-identical to a
+//! single-daemon fault-free baseline, with zero client-visible errors,
+//! zero panics, and a clean drain.
+//!
+//! Per seed:
+//!
+//! 1. a **baseline** daemon (in-process, fault-free, no fleet) answers
+//!    the whole workload — registers as the reconnect prelude,
+//!    typecheck-by-handle work, monolithic and streamed `batch_bin`;
+//! 2. a 3-shard router fleet boots on a shared artifact store, a
+//!    [`FleetSchedule`] derived from the seed is unleashed against it
+//!    (its first event always SIGKILLs the shard the batches route to,
+//!    20–80 ms in — mid-workload by construction), and the *same*
+//!    workload runs through the router with a stock [`ResilientClient`];
+//! 3. every response must be byte-identical per id to the baseline, the
+//!    client must never have needed to reconnect (shard failure is the
+//!    router's problem, not the client's), the supervisor must have
+//!    respawned at least one shard, and the replacement must have
+//!    adopted artifacts from the shared store (`store_hits > 0`);
+//! 4. shutdown through the router must drain the fleet cleanly: the
+//!    serve thread returns `Ok`, which also proves no session worker
+//!    leaked or panicked and every shard exited on request.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmlta_server::fault::{self, FleetSchedule};
+use xmlta_server::proto;
+use xmlta_server::router::{route_key, Router, RouterBound, RouterConfig};
+use xmlta_server::state::handle_for_source;
+use xmlta_server::{
+    Bound, Client, ResilientClient, RetryPolicy, Ring, ServerAddr, ServerConfig, Shared,
+};
+use xmlta_service::{encode_stream, gen, parse_instance, parse_json};
+
+const SHARDS: usize = 3;
+
+/// Stalls must outlive the router's link read timeout, so a frozen
+/// shard actually fails requests over instead of just slowing them.
+const LINK_READ_TIMEOUT: Duration = Duration::from_millis(300);
+const STALL: Duration = Duration::from_millis(700);
+
+/// Inter-round pause: stretches the workload past the last scheduled
+/// fleet event (~460 ms), so chaos always lands mid-workload.
+const ROUND_PAUSE: Duration = Duration::from_millis(120);
+const ROUNDS: usize = 6;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmlta-fleet-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The per-seed workload: register frames as the session prelude, then
+/// `ROUNDS` rounds of typecheck-by-handle work plus one monolithic and
+/// one streamed `batch_bin` per round (all ids distinct across rounds).
+struct Workload {
+    prelude: Vec<String>,
+    /// Per round: the id-keyed frames for `run`.
+    rounds: Vec<Vec<(u64, String)>>,
+    /// Per round: `(id, frame)` of the streamed `batch_bin`.
+    streamed: Vec<(u64, String)>,
+}
+
+fn workload(seed: u64) -> Workload {
+    let sources = gen::mixed_sources(12, 3, seed.wrapping_add(40)).expect("generators print");
+    let prelude: Vec<String> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, (_, source))| proto::req_register(9_000 + i as u64, source))
+        .collect();
+    let instances: Vec<_> = sources
+        .iter()
+        .map(|(name, source)| (name.clone(), parse_instance(source).expect("sources parse")))
+        .collect();
+    let stream =
+        encode_stream(instances.iter().map(|(n, i)| (n.as_str(), i))).expect("stream encodes");
+    let mut rounds = Vec::new();
+    let mut streamed = Vec::new();
+    for round in 0..ROUNDS as u64 {
+        let base = 100 * (round + 1);
+        let mut work = Vec::new();
+        for (i, (_, source)) in sources.iter().enumerate() {
+            let id = base + i as u64;
+            let handle = handle_for_source(source);
+            let frame = if i % 3 == 0 {
+                proto::req_typecheck_handle_deadline(id, &handle, 600_000)
+            } else {
+                proto::req_typecheck_handle(id, &handle)
+            };
+            work.push((id, frame));
+        }
+        let batch_id = base + 50;
+        work.push((
+            batch_id,
+            proto::req_batch_bin(batch_id, &stream, Some(2), false),
+        ));
+        let stream_id = base + 51;
+        streamed.push((
+            stream_id,
+            proto::req_batch_bin(stream_id, &stream, Some(2), true),
+        ));
+        rounds.push(work);
+    }
+    Workload {
+        prelude,
+        rounds,
+        streamed,
+    }
+}
+
+fn resilient(addr: ServerAddr, seed: u64, prelude: &[String]) -> ResilientClient {
+    let policy = RetryPolicy {
+        attempts: 10,
+        base_ms: 10,
+        max_ms: 200,
+        seed,
+    };
+    let mut client = ResilientClient::new(addr, policy);
+    client.set_pipeline(8);
+    client.set_read_timeout(Some(Duration::from_secs(10)));
+    for frame in prelude {
+        client.push_prelude(frame.clone());
+    }
+    client
+}
+
+/// Runs the whole workload through `client`, pausing between rounds (so
+/// a concurrent fleet schedule fires mid-workload). Returns every
+/// response: plain answers by id, and the streamed frames by id.
+fn run_workload(
+    client: &mut ResilientClient,
+    wl: &Workload,
+    pause: bool,
+) -> (BTreeMap<u64, String>, BTreeMap<u64, Vec<String>>) {
+    let mut answers = BTreeMap::new();
+    let mut streams = BTreeMap::new();
+    for (round, work) in wl.rounds.iter().enumerate() {
+        answers.extend(client.run(work).expect("round completes"));
+        let (id, frame) = &wl.streamed[round];
+        streams.insert(
+            *id,
+            client.run_streamed(*id, frame).expect("stream completes"),
+        );
+        if pause {
+            std::thread::sleep(ROUND_PAUSE);
+        }
+    }
+    (answers, streams)
+}
+
+/// The fault-free single-daemon transcript of `wl`.
+fn baseline(seed: u64, wl: &Workload) -> (BTreeMap<u64, String>, BTreeMap<u64, Vec<String>>) {
+    let sock = std::env::temp_dir().join(format!(
+        "xmlta-fleet-base-{}-{seed}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sock);
+    let shared = Shared::new();
+    let config = ServerConfig {
+        drain: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let bound = Bound::bind(Some(&sock), None).expect("bind baseline");
+    let server = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || bound.serve(shared, config)
+    });
+    let mut client = resilient(ServerAddr::Unix(sock.clone()), seed, &wl.prelude);
+    let result = run_workload(&mut client, wl, false);
+    assert_eq!(client.reconnects(), 0, "fault-free baseline reconnected");
+    let mut admin = Client::connect(&sock).expect("baseline admin");
+    admin
+        .roundtrip(&proto::req_shutdown(99_999))
+        .expect("baseline shutdown");
+    server
+        .join()
+        .expect("baseline thread")
+        .expect("baseline drains cleanly");
+    let _ = std::fs::remove_file(&sock);
+    result
+}
+
+/// One shard's `stats` counter, read directly off its socket.
+fn shard_counter(router: &Router, shard: usize, key: &str) -> u64 {
+    let mut admin = Client::connect(router.shard_socket(shard)).expect("shard admin connect");
+    let reply = admin
+        .roundtrip(&proto::req_stats(0))
+        .expect("shard stats roundtrip");
+    parse_json(&reply)
+        .expect("stats reply parses")
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("shard {shard} stats missing `{key}`: {reply}"))
+}
+
+/// One seed: fleet under chaos vs fault-free baseline.
+fn fleet_round(seed: u64) {
+    let wl = workload(seed);
+    let (want_answers, want_streams) = baseline(seed, &wl);
+    for reply in want_answers.values() {
+        assert!(
+            !reply.contains("\"error\""),
+            "seed {seed}: baseline itself errored: {reply}"
+        );
+    }
+
+    // The fleet: 3 shard daemons on one shared store.
+    let store = tmp_dir(&format!("store-{seed}"));
+    let runtime = tmp_dir(&format!("rt-{seed}"));
+    let cfg = RouterConfig {
+        shards: SHARDS,
+        store: Some(store.clone()),
+        shard_command: Some(vec![env!("CARGO_BIN_EXE_xmltad").to_string()]),
+        runtime_dir: Some(runtime.clone()),
+        link_read_timeout: LINK_READ_TIMEOUT,
+        drain: Duration::from_secs(10),
+        quiet: true,
+        ..RouterConfig::default()
+    };
+    let router = Router::spawn(cfg).expect("fleet boots");
+    let front = std::env::temp_dir().join(format!(
+        "xmlta-fleet-front-{}-{seed}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&front);
+    let bound = RouterBound::bind(Some(&front), None).expect("bind router front");
+    let serve = std::thread::spawn({
+        let router = Arc::clone(&router);
+        move || bound.serve(router)
+    });
+
+    // Aim the schedule's guaranteed first kill at the shard every batch
+    // routes to, so an in-flight `batch_bin` really dies with it.
+    let batch_shard = Ring::new(SHARDS).route(route_key(
+        &proto::parse_request(&wl.rounds[0].last().expect("rounds have a batch").1, 2)
+            .expect("batch frame parses")
+            .op,
+    ));
+    let schedule = FleetSchedule::from_seed(seed, SHARDS, batch_shard, STALL);
+    assert!(schedule.kills() >= 1, "every schedule kills at least once");
+    let chaos = fault::unleash(schedule, Arc::clone(&router), Some(store.clone()), seed);
+
+    let started = Instant::now();
+    let mut client = resilient(ServerAddr::Unix(front.clone()), seed, &wl.prelude);
+    let (answers, streams) = run_workload(&mut client, &wl, true);
+    let elapsed = started.elapsed();
+
+    let killed = chaos.join().expect("chaos thread");
+    assert!(
+        !killed.is_empty(),
+        "seed {seed}: no shard was actually SIGKILLed"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(460),
+        "seed {seed}: workload finished before the last scheduled event could land"
+    );
+
+    // Differential: byte-identical per id, nothing extra, no errors.
+    assert_eq!(
+        answers.len(),
+        want_answers.len(),
+        "seed {seed}: answer count"
+    );
+    for (id, want) in &want_answers {
+        let got = answers
+            .get(id)
+            .unwrap_or_else(|| panic!("seed {seed}: no response for id {id}"));
+        assert_eq!(
+            got, want,
+            "seed {seed}: verdict for id {id} differs under fleet chaos"
+        );
+    }
+    for (id, want) in &want_streams {
+        let got = streams
+            .get(id)
+            .unwrap_or_else(|| panic!("seed {seed}: no streamed report for id {id}"));
+        assert_eq!(
+            got, want,
+            "seed {seed}: streamed report for id {id} differs under fleet chaos"
+        );
+    }
+    assert_eq!(
+        client.reconnects(),
+        0,
+        "seed {seed}: shard failure leaked to the client as a dropped connection"
+    );
+
+    // The supervisor did its job, and the replacement cold-started warm
+    // from the shared store.
+    assert!(
+        router.counters.shard_respawns() >= 1,
+        "seed {seed}: a shard died but nothing respawned"
+    );
+    let respawned = killed[0];
+    assert!(
+        router.shard_generation(respawned) >= 2,
+        "seed {seed}: killed shard {respawned} was never respawned"
+    );
+    assert!(
+        shard_counter(&router, respawned, "store_hits") > 0,
+        "seed {seed}: respawned shard {respawned} did not adopt artifacts from the shared store"
+    );
+
+    // Router-level stats must surface the fleet counters.
+    let mut admin = Client::connect(&front).expect("router admin");
+    let stats_reply = admin
+        .roundtrip(&proto::req_stats(88_888))
+        .expect("router stats");
+    let stats = parse_json(&stats_reply).expect("router stats parse");
+    let stats = stats.get("stats").expect("router stats object");
+    for key in [
+        "shards",
+        "shards_reachable",
+        "shard_respawns",
+        "breaker_opens",
+        "failovers",
+    ] {
+        assert!(
+            stats.get(key).and_then(|v| v.as_u64()).is_some(),
+            "seed {seed}: router stats missing `{key}`: {stats_reply}"
+        );
+    }
+    assert!(
+        stats
+            .get("shard_respawns")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            >= 1,
+        "seed {seed}: stats under-report respawns"
+    );
+
+    // Clean drain: shutdown through the front door; Ok proves no leaked
+    // or panicked session workers and every shard exited on request.
+    let ack = admin
+        .roundtrip(&proto::req_shutdown(99_999))
+        .expect("router shutdown");
+    assert!(
+        ack.contains("\"ok\":true"),
+        "seed {seed}: shutdown acks: {ack}"
+    );
+    serve
+        .join()
+        .expect("router serve thread must not panic")
+        .unwrap_or_else(|e| panic!("seed {seed}: fleet did not drain cleanly: {e}"));
+
+    let _ = std::fs::remove_file(&front);
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&runtime);
+}
+
+#[test]
+fn fleet_chaos_differential_over_seeded_schedules() {
+    for seed in 0..8u64 {
+        fleet_round(seed);
+    }
+}
+
+/// The fixed-seed round ci.sh runs as its fleet smoke
+/// (`cargo test --test fleet_chaos fleet_smoke`).
+#[test]
+fn fleet_smoke() {
+    fleet_round(1);
+}

@@ -1,0 +1,143 @@
+//! Regression: a `server-overloaded` turn-away carrying `retry_after_ms`
+//! on the client's *final* budgeted connect attempt must still be
+//! honoured — the server promised capacity after the wait, so the
+//! resilient client owes it one post-hint attempt instead of sleeping
+//! out the hint only to report failure (or worse, never sleeping at
+//! all). The fake server here turns the first connection away with a
+//! hint and serves every later one, so a client whose entire attempt
+//! budget is consumed by the turn-away succeeds if and only if the
+//! final-attempt hint is honoured.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmlta_server::{proto, ResilientClient, RetryPolicy, ServerAddr};
+use xmlta_service::parse_json;
+
+const HINT_MS: u64 = 80;
+
+fn tmp_sock(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("xmlta-retry-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A fake daemon: the first `turn_away` connections get an overloaded
+/// frame (with the `retry_after_ms` hint) and an immediate close; later
+/// connections speak just enough protocol to ack every id-bearing
+/// frame. Returns the listener thread and a connection counter.
+fn fake_server(
+    sock: &PathBuf,
+    turn_away: usize,
+) -> (std::thread::JoinHandle<()>, Arc<AtomicUsize>) {
+    let listener = UnixListener::bind(sock).expect("bind fake server");
+    let conns = Arc::new(AtomicUsize::new(0));
+    let handle = {
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let n = conns.fetch_add(1, Ordering::SeqCst);
+                if n < turn_away {
+                    let mut stream = stream;
+                    let _ = stream
+                        .write_all(format!("{}\n", proto::overloaded_frame(1, HINT_MS)).as_bytes());
+                    continue; // drop → close
+                }
+                // A served connection: ack every id until EOF, then stop
+                // listening (each test uses exactly one served conn).
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut stream = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    let id = parse_json(line.trim())
+                        .ok()
+                        .and_then(|j| j.get("id").and_then(|v| v.as_u64()));
+                    if let Some(id) = id {
+                        if stream
+                            .write_all(format!("{{\"id\":{id},\"ok\":true}}\n").as_bytes())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        })
+    };
+    (handle, conns)
+}
+
+#[test]
+fn final_attempt_honors_the_retry_after_hint() {
+    let sock = tmp_sock("final-hint");
+    let (server, conns) = fake_server(&sock, 1);
+    // One budgeted attempt: the turn-away consumes the entire budget, so
+    // only the post-hint bonus attempt can reach the served connection.
+    let policy = RetryPolicy {
+        attempts: 1,
+        base_ms: 1,
+        max_ms: 5,
+        seed: 3,
+    };
+    let mut client = ResilientClient::new(ServerAddr::Unix(sock.clone()), policy);
+    client.set_read_timeout(Some(Duration::from_secs(5)));
+    let work = vec![(7u64, proto::req_ping(7))];
+    let started = Instant::now();
+    let answers = client
+        .run(&work)
+        .expect("the final-attempt hint earns one more try");
+    assert!(
+        started.elapsed() >= Duration::from_millis(HINT_MS),
+        "the bonus attempt must wait out the server's hint first"
+    );
+    assert_eq!(
+        answers.get(&7).map(String::as_str),
+        Some("{\"id\":7,\"ok\":true}")
+    );
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        2,
+        "exactly the turn-away plus the post-hint attempt"
+    );
+    drop(client); // EOF ends the served connection, then the thread
+    server.join().expect("fake server thread");
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
+fn persistent_overload_stays_terminal_after_one_bonus_attempt() {
+    let sock = tmp_sock("terminal");
+    // Every connection is turned away: the client must give up after its
+    // budget plus exactly one post-hint bonus — a persistently
+    // overloaded server must not pin it in a hint loop.
+    let (server, conns) = fake_server(&sock, usize::MAX);
+    let policy = RetryPolicy {
+        attempts: 2,
+        base_ms: 1,
+        max_ms: 5,
+        seed: 3,
+    };
+    let mut client = ResilientClient::new(ServerAddr::Unix(sock.clone()), policy);
+    client.set_read_timeout(Some(Duration::from_secs(5)));
+    let err = client
+        .run(&[(1u64, proto::req_ping(1))])
+        .expect_err("persistent overload is terminal");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert_eq!(
+        conns.load(Ordering::SeqCst),
+        3,
+        "two budgeted attempts plus one bonus, no hint loop"
+    );
+    drop(server); // the listener thread blocks on accept; detach it
+    let _ = std::fs::remove_file(&sock);
+}

@@ -1,0 +1,103 @@
+//! Placement properties of the router's consistent-hash ring: keys
+//! spread within 2× of ideal across fleet sizes, removing one shard
+//! remaps only the keys that shard owned, and the failover order is a
+//! permutation anchored at the home shard. These are the invariants
+//! that make the fleet's rebalancing cheap (a drain moves one shard's
+//! keys, not everyone's) and its spread predictable.
+
+use proptest::prelude::*;
+use xmlta_server::Ring;
+
+/// A deterministic key stream decorrelated from the ring's own vnode
+/// hashes (xorshift, not SplitMix64).
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Across 4–16 shards, no shard owns more than 2× its ideal share
+    /// of a large random key set (and none starves).
+    #[test]
+    fn spread_stays_within_twice_ideal(seed in 0u64..10_000) {
+        let shards = 4 + (seed % 13) as usize; // 4..=16
+        let ring = Ring::new(shards);
+        let keys = keys(8_000, seed);
+        let mut counts = vec![0usize; shards];
+        for &k in &keys {
+            counts[ring.route(k)] += 1;
+        }
+        let ideal = keys.len() / shards;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count <= 2 * ideal,
+                "shard {}/{} owns {} of {} keys (ideal {})",
+                shard, shards, count, keys.len(), ideal
+            );
+            prop_assert!(count > 0, "shard {}/{} owns no keys", shard, shards);
+        }
+    }
+
+    /// Removing one shard remaps exactly the keys it owned: every key
+    /// of a surviving shard keeps its placement, and nothing routes to
+    /// the removed shard.
+    #[test]
+    fn removal_remaps_only_the_removed_shards_keys(seed in 0u64..10_000) {
+        let shards = 4 + (seed % 13) as usize;
+        let removed = (seed / 13) as usize % shards;
+        let ring = Ring::new(shards);
+        let without = ring.without(removed);
+        for &k in &keys(2_000, seed ^ 0xabcd) {
+            let before = ring.route(k);
+            let after = without.route(k);
+            prop_assert!(after != removed, "removed shard still routed");
+            if before != removed {
+                prop_assert!(
+                    before == after,
+                    "key {:#x} moved {} -> {} though shard {} left",
+                    k, before, after, removed
+                );
+            }
+        }
+    }
+
+    /// The failover order starts at the key's home shard and visits
+    /// every shard exactly once.
+    #[test]
+    fn failover_order_is_a_home_anchored_permutation(seed in 0u64..10_000) {
+        let shards = 2 + (seed % 15) as usize; // 2..=16
+        let ring = Ring::new(shards);
+        for &k in &keys(64, seed ^ 0x77) {
+            let order = ring.order(k);
+            prop_assert!(order[0] == ring.route(k), "order not anchored at home");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert!(
+                sorted == (0..shards).collect::<Vec<_>>(),
+                "order {:?} is not a permutation of 0..{}",
+                order, shards
+            );
+        }
+    }
+
+    /// Placement depends only on fleet size: two independently built
+    /// rings agree on every key (routers are stateless replicas).
+    #[test]
+    fn placement_is_deterministic_per_fleet_size(seed in 0u64..10_000) {
+        let shards = 2 + (seed % 15) as usize;
+        let a = Ring::new(shards);
+        let b = Ring::new(shards);
+        for &k in &keys(128, seed ^ 0x1234) {
+            prop_assert!(a.route(k) == b.route(k));
+        }
+    }
+}
