@@ -131,6 +131,61 @@ set -e
 xmlta client --socket "$sock" batch --out "$smoke/bstream-srv.json" "$smoke/all.xts"
 grep -q '"errors":0' "$smoke/bstream-srv.json" \
     || { echo "server batch_bin errored"; exit 1; }
+
+echo "== incremental update smoke (register → edit → update → reused artifacts)"
+cat > "$smoke/update.xti" <<'EOF'
+alphabet { r a b x y z }
+input dtd {
+  start r
+  r -> a b
+  a -> x*
+  b -> y*
+  x -> eps
+  y -> eps
+  z -> eps
+}
+output dtd {
+  start r
+  r -> a b
+  a -> x* z*
+  b -> y*
+  x -> eps
+  y -> eps
+  z -> eps
+}
+transducer {
+  states root p q
+  initial root
+  (root, r) -> r(p)
+  (p, a) -> a(q)
+  (p, b) -> b(q)
+  (q, x) -> x
+  (q, y) -> y
+}
+EOF
+# An in-place rule edit ships as a structured delta, not a re-sent
+# document: the reply carries a content-derived successor handle and the
+# count of compiled components the server reused instead of rebuilding.
+xmlta client --socket "$sock" update "$smoke/update.xti" set-rule q x "x x" \
+    > "$smoke/update-ok.txt" \
+    || { echo "benign edit did not typecheck via update"; exit 1; }
+grep -Eq 'components_reused [1-9]' "$smoke/update-ok.txt" \
+    || { echo "update reused no compiled components"; cat "$smoke/update-ok.txt"; exit 1; }
+# A breaking edit flips the verdict incrementally (exit 1, counterexample).
+set +e
+xmlta client --socket "$sock" update "$smoke/update.xti" set-rule q x y \
+    > "$smoke/update-break.txt"
+rc=$?
+set -e
+[[ "$rc" -eq 1 ]] || { echo "breaking edit: expected exit 1, got $rc"; exit 1; }
+grep -q 'counterexample' "$smoke/update-break.txt" \
+    || { echo "breaking edit produced no counterexample"; exit 1; }
+# The daemon-wide counters saw both updates and the reuse.
+xmlta client --socket "$sock" stats > "$smoke/update-stats.json"
+grep -Eq '"update_reqs": *[1-9]' "$smoke/update-stats.json" \
+    || { echo "stats did not count update requests"; exit 1; }
+grep -Eq '"components_reused": *[1-9]' "$smoke/update-stats.json" \
+    || { echo "stats did not count reused components"; exit 1; }
 xmlta client --socket "$sock" stats
 xmlta client --socket "$sock" shutdown > /dev/null
 # Clean shutdown: exit 0, no leaked workers, socket file removed.

@@ -20,9 +20,13 @@
 //! `cargo run --release -p xmlta-bench --bin lemma14_report -- [label] [--out PATH] [--reps N]`
 //!
 //! The report is written to `BENCH_lemma14.json` (or `--out PATH`). If the
-//! file already exists, the new run is *appended* to its `runs` array, so a
-//! before/after pair can live in one file; if the existing file is not a
-//! well-formed report, the process exits nonzero instead of overwriting it:
+//! file already exists, the new run is *merged* into its `runs` array at
+//! write time against a fresh read (so runs landed by another process while
+//! this one measured survive), atomically via temp file + rename; a re-run
+//! of an existing label supersedes it in place, so a before/after pair can
+//! live in one file. If the existing file is not a well-formed report, the
+//! process exits nonzero instead of touching it (see
+//! `xmlta_bench::report` for the machinery and its regression tests):
 //!
 //! ```text
 //! cargo run --release -p xmlta-bench --bin lemma14_report -- seed-baseline
@@ -31,12 +35,14 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use typecheck_core::typecheck;
 use xmlta_automata::generate::{random_dfa, random_nfa};
 use xmlta_automata::minimize::minimize;
 use xmlta_automata::ops::determinize;
+use xmlta_bench::report;
 use xmlta_hardness::workloads::{self, Workload};
 use xmlta_service::batch::{run_batch, BatchItem};
 use xmlta_service::{gen, SchemaCache};
@@ -172,20 +178,14 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    // Refuse to clobber a report we cannot merge with *before* spending
-    // minutes measuring.
-    let existing: Vec<String> = match std::fs::read_to_string(&path) {
-        Ok(s) => {
-            match extract_runs(&s) {
-                Ok(runs) => runs,
-                Err(e) => {
-                    eprintln!("lemma14_report: {path} exists but is malformed ({e}); refusing to overwrite");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        Err(_) => Vec::new(),
-    };
+    // Refuse a report we cannot merge with *before* spending minutes
+    // measuring. The snapshot is deliberately discarded: the real merge
+    // happens again at write time (`report::append_run`), so runs landed
+    // by another process while this one measures are preserved too.
+    if let Err(e) = report::read_history(Path::new(&path)) {
+        eprintln!("lemma14_report: {e}; refusing to overwrite");
+        return ExitCode::FAILURE;
+    }
     println!("== lemma14 perf report ({label}, {reps} reps/point) ==");
 
     // Calibration: this host's timing noise floor, measured on a fixed
@@ -546,6 +546,151 @@ fn main() -> ExitCode {
         series.push(("service/batch-delta-bin".to_string(), delta));
     }
 
+    // Incremental recheck: an edit script over a sectioned instance served
+    // as protocol-v2 `update` frames (the server rechecks only the dirty
+    // components against its retained engine) versus shipping the full
+    // edited source every step and typechecking it from scratch. The
+    // param is the length of the edit script; each step rewrites one
+    // section's emission rule with a rhs no earlier version had, so the
+    // result memo cannot serve either arm.
+    {
+        use xmlta_server::proto::{self, Edit};
+        use xmlta_server::{Session, Shared};
+        use xmlta_service::{json::Json, parse_json};
+
+        const SECTIONS: usize = 64;
+
+        // The sectioned family: `r -> s0 .. s63`, each section `sj`
+        // holding `xj*` on both schema sides, and one transducer state
+        // per section; `counts[j]` is how many copies of `xj` the rule
+        // `(qj, xj)` currently emits (any count typechecks).
+        fn sectioned_source(counts: &[usize]) -> String {
+            let mut src = String::from("alphabet { r");
+            for j in 0..counts.len() {
+                let _ = write!(src, " s{j} x{j}");
+            }
+            src.push_str(" }\n");
+            for side in ["input", "output"] {
+                let _ = write!(src, "{side} dtd {{\n  start r\n  r ->");
+                for j in 0..counts.len() {
+                    let _ = write!(src, " s{j}");
+                }
+                src.push('\n');
+                for j in 0..counts.len() {
+                    let _ = writeln!(src, "  s{j} -> x{j}*\n  x{j} -> eps");
+                }
+                src.push_str("}\n");
+            }
+            src.push_str("transducer {\n  states root p");
+            for j in 0..counts.len() {
+                let _ = write!(src, " q{j}");
+            }
+            src.push_str("\n  initial root\n  (root, r) -> r(p)\n");
+            for (j, copies) in counts.iter().enumerate() {
+                let _ = writeln!(src, "  (p, s{j}) -> s{j}(q{j})");
+                let rhs = vec![format!("x{j}"); *copies].join(" ");
+                let _ = writeln!(src, "  (q{j}, x{j}) -> {rhs}");
+            }
+            src.push_str("}\n");
+            src
+        }
+
+        // Step `k` rewrites section `k % SECTIONS` with a copy count that
+        // grows every round, so every version of the instance is distinct.
+        let edit_at = |k: usize| Edit::SetRule {
+            state: format!("q{}", k % SECTIONS),
+            symbol: format!("x{}", k % SECTIONS),
+            rhs: vec![format!("x{}", k % SECTIONS); k / SECTIONS + 2].join(" "),
+        };
+        let parsed_ok = |reply: &str| -> Json {
+            let json = parse_json(reply).expect("reply is JSON");
+            assert_eq!(
+                json.get("ok"),
+                Some(&Json::Bool(true)),
+                "frame accepted: {reply}"
+            );
+            json
+        };
+
+        let sizes = [128usize, 512, 1024];
+        let max_n = *sizes.last().expect("at least one size");
+        // Version k's full source, for the from-scratch arm (0 = base).
+        let sources: Vec<String> = {
+            let mut counts = vec![1usize; SECTIONS];
+            let mut out = vec![sectioned_source(&counts)];
+            for k in 0..max_n {
+                counts[k % SECTIONS] = k / SECTIONS + 2;
+                out.push(sectioned_source(&counts));
+            }
+            out
+        };
+
+        let mut incremental = Vec::new();
+        let mut fromscratch = Vec::new();
+        for n in sizes {
+            let incr_stats = time_stats(reps, || {
+                let mut session = Session::new(Shared::new());
+                let _ = session.handle_frame(r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+                let (reply, _) = session.handle_frame(&proto::req_register(0, &sources[0]));
+                let mut handle = parsed_ok(&reply)
+                    .get("handle")
+                    .and_then(|j| j.as_str())
+                    .expect("register returns a handle")
+                    .to_string();
+                for k in 0..n {
+                    let req = proto::req_update(k as u64 + 1, &handle, &edit_at(k));
+                    let (reply, _) = session.handle_frame(&req);
+                    let json = parsed_ok(&reply);
+                    assert_eq!(
+                        json.get("status").and_then(|j| j.as_str()),
+                        Some("typechecks"),
+                        "every edit keeps the instance well-typed"
+                    );
+                    handle = json
+                        .get("handle")
+                        .and_then(|j| j.as_str())
+                        .expect("update returns the successor handle")
+                        .to_string();
+                }
+            });
+            incr_stats.print("service/update-incremental", n);
+            let scratch_stats = time_stats(reps, || {
+                let mut session = Session::new(Shared::new());
+                for (k, source) in sources.iter().enumerate().take(n + 1).skip(1) {
+                    let (reply, _) =
+                        session.handle_frame(&proto::req_typecheck_source(k as u64, source));
+                    let json = parsed_ok(&reply);
+                    assert_eq!(
+                        json.get("status").and_then(|j| j.as_str()),
+                        Some("typechecks"),
+                        "every edited version is well-typed"
+                    );
+                }
+            });
+            scratch_stats.print("service/update-fromscratch", n);
+            if n == max_n {
+                assert!(
+                    clearly_beats(&incr_stats, 1.0, &scratch_stats, noise_floor_ms),
+                    "the incremental update path must not be slower than from-scratch \
+                     re-registration at n={n}: median {:.1} ms vs {:.1} ms — refusing \
+                     to record a pointless incremental engine",
+                    incr_stats.median,
+                    scratch_stats.median
+                );
+            }
+            incremental.push(Point {
+                param: n,
+                stats: incr_stats,
+            });
+            fromscratch.push(Point {
+                param: n,
+                stats: scratch_stats,
+            });
+        }
+        series.push(("service/update-incremental".to_string(), incremental));
+        series.push(("service/update-fromscratch".to_string(), fromscratch));
+    }
+
     // Serialize this run. `ms` stays the median (the field every older
     // run carries and trend tooling reads); `min`/`iqr`/`reps` record
     // the distribution behind it.
@@ -570,16 +715,19 @@ fn main() -> ExitCode {
     }
     let _ = write!(run, "      }}\n    }}");
 
-    // Merge with the existing report (validated before measuring).
-    let mut runs = existing;
-    runs.push(run);
-    let json = format!(
-        "{{\n  \"benchmark\": \"lemma14\",\n  \"unit\": \"ms\",\n  \"runs\": [\n{}\n  ]\n}}\n",
-        runs.join(",\n")
-    );
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("wrote {path} ({} run(s))", runs.len());
-    ExitCode::SUCCESS
+    // Merge at write time against a *fresh* read of the report, and write
+    // atomically: runs appended while this one was measuring survive, and
+    // a crash mid-write cannot truncate the history.
+    match report::append_run(Path::new(&path), report::Run { label, body: run }) {
+        Ok(total) => {
+            println!("wrote {path} ({total} run(s))");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lemma14_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Measures the `service/{oneshot-loop,server-cold,server-warm,
@@ -1261,53 +1409,4 @@ fn router_fleet_series(
     let _ = std::fs::remove_dir_all(&runtime_dir);
     let _ = std::fs::remove_file(&single_sock);
     Some(fleet)
-}
-
-/// Pulls the previously serialized run objects back out of the report.
-///
-/// The file is machine-written with exactly the layout produced above, so a
-/// structural scan (brace matching inside the `runs` array) is sufficient —
-/// no JSON parser dependency needed offline. Anything that does not look
-/// like such a report is an error: appending to it would destroy data.
-fn extract_runs(s: &str) -> Result<Vec<String>, String> {
-    let Some(start) = s.find("\"runs\": [") else {
-        return Err("missing `\"runs\": [` array".to_string());
-    };
-    let tail = &s[start + "\"runs\": [".len()..];
-    let mut runs = Vec::new();
-    let mut depth = 0usize;
-    let mut cur = String::new();
-    let mut closed = false;
-    for ch in tail.chars() {
-        match ch {
-            '{' => {
-                depth += 1;
-                cur.push(ch);
-            }
-            '}' => {
-                if depth == 0 {
-                    return Err("unbalanced braces in runs array".to_string());
-                }
-                depth -= 1;
-                cur.push(ch);
-                if depth == 0 {
-                    runs.push(format!("    {}", cur.trim()));
-                    cur.clear();
-                }
-            }
-            ']' if depth == 0 => {
-                closed = true;
-                break;
-            }
-            _ => {
-                if depth > 0 {
-                    cur.push(ch);
-                }
-            }
-        }
-    }
-    if !closed {
-        return Err("unterminated runs array".to_string());
-    }
-    Ok(runs)
 }

@@ -228,18 +228,9 @@ impl Lemma14Engine {
         out
     }
 
-    /// Runs the profile fixpoint (the bottom-up reachability of the paper's
-    /// `B`, quotiented by behavior).
-    ///
-    /// Worklist-driven: a symbol is only re-explored when the realizable
-    /// profile set of one of its possible child symbols grew since its last
-    /// exploration. The seed engine rescanned every symbol every round,
-    /// which costs a full walk rebuild per symbol per DTD level on deep
-    /// schemas; dirty tracking makes the total work proportional to the
-    /// number of actual profile propagations.
-    pub fn run_fixpoint(&mut self) -> Result<(), TypecheckError> {
-        // parents_of[c]: productive symbols whose rule DFA mentions `c` —
-        // exactly the symbols whose walks can consume a profile of `c`.
+    /// `parents_of[c]`: productive symbols whose rule DFA mentions `c` —
+    /// exactly the symbols whose walks can consume a profile of `c`.
+    fn build_parents_of(&self) -> Vec<Vec<usize>> {
         let mut parents_of: Vec<Vec<usize>> = vec![Vec::new(); self.sigma];
         for a in 0..self.sigma {
             if !self.productive[a] {
@@ -255,7 +246,42 @@ impl Lemma14Engine {
                 }
             }
         }
-        let mut dirty: Vec<bool> = self.productive.clone();
+        parents_of
+    }
+
+    /// Runs the profile fixpoint (the bottom-up reachability of the paper's
+    /// `B`, quotiented by behavior).
+    ///
+    /// Worklist-driven: a symbol is only re-explored when the realizable
+    /// profile set of one of its possible child symbols grew since its last
+    /// exploration. The seed engine rescanned every symbol every round,
+    /// which costs a full walk rebuild per symbol per DTD level on deep
+    /// schemas; dirty tracking makes the total work proportional to the
+    /// number of actual profile propagations.
+    pub fn run_fixpoint(&mut self) -> Result<(), TypecheckError> {
+        let seeds: Vec<usize> = (0..self.sigma).filter(|&a| self.productive[a]).collect();
+        self.run_fixpoint_seeded(&seeds)
+    }
+
+    /// [`Lemma14Engine::run_fixpoint`] restricted to a dirty set: only
+    /// `seeds` (and symbols transitively re-dirtied by their growth) are
+    /// re-explored; every other symbol keeps its realizable profile set and
+    /// retained walk untouched.
+    ///
+    /// Sound whenever the profile sets of all non-seed symbols are already
+    /// complete — which [`Lemma14Engine::apply_transducer_edit`] guarantees
+    /// by seeding with the ancestor closure of the edited symbols: that
+    /// closure is upward-closed under `parents_of`, so dirtiness can never
+    /// escape it, and symbols outside it have no edited rule anywhere in
+    /// their derivations.
+    pub fn run_fixpoint_seeded(&mut self, seeds: &[usize]) -> Result<(), TypecheckError> {
+        let parents_of = self.build_parents_of();
+        let mut dirty: Vec<bool> = vec![false; self.sigma];
+        for &a in seeds {
+            if self.productive[a] {
+                dirty[a] = true;
+            }
+        }
         loop {
             let mut any_grew = false;
             for a in 0..self.sigma {
@@ -297,6 +323,150 @@ impl Lemma14Engine {
             }
             if !any_grew {
                 return Ok(());
+            }
+        }
+    }
+
+    /// Applies a transducer edit in place, invalidating exactly the state
+    /// the edit can affect, and returns the dirty symbol set to seed
+    /// [`Lemma14Engine::run_fixpoint_seeded`] with.
+    ///
+    /// The edit is expressed as the *whole* new transducer; the engine
+    /// diffs rules by structural equality. Only the **ancestor closure**
+    /// (under the input-DTD parent relation) of the symbols with an added,
+    /// removed, or changed rule is invalidated: profiles, witnesses, and
+    /// retained walks of every other symbol remain valid because no rule in
+    /// any of their derivations changed — a symbol outside the closure
+    /// cannot have a closure member anywhere below it (the closure is
+    /// upward-closed by construction).
+    ///
+    /// Returns `Err(Unsupported)` when the edit cannot be applied
+    /// incrementally (selectors, a changed state space, or symbols beyond
+    /// the engine's alphabet); the caller should rebuild from scratch.
+    /// The engine is unchanged in that case.
+    pub fn apply_transducer_edit(
+        &mut self,
+        t_new: &Transducer,
+    ) -> Result<Vec<usize>, TypecheckError> {
+        if t_new.uses_selectors() {
+            return Err(TypecheckError::Unsupported(
+                "expand selectors before editing the Lemma 14 engine".into(),
+            ));
+        }
+        if t_new.num_states() != self.t.num_states()
+            || t_new.initial_state() != self.t.initial_state()
+        {
+            return Err(TypecheckError::Unsupported(
+                "incremental edit cannot change the transducer state space".into(),
+            ));
+        }
+        if t_new.alphabet_size() > self.sigma {
+            return Err(TypecheckError::Unsupported(
+                "incremental edit introduces symbols beyond the engine alphabet".into(),
+            ));
+        }
+        // Diff the rule maps: every (q, a) present on either side with a
+        // different rhs marks `a` as edited.
+        let mut changed_pairs: Vec<(StateId, usize)> = Vec::new();
+        let mut edited = BitSet::new();
+        for (q, a, rhs) in self.t.rules() {
+            if t_new.rule(q, a) != Some(rhs) {
+                changed_pairs.push((q, a.index()));
+                edited.insert(a.index() as u32);
+            }
+        }
+        for (q, a, _) in t_new.rules() {
+            if self.t.rule(q, a).is_none() {
+                changed_pairs.push((q, a.index()));
+                edited.insert(a.index() as u32);
+            }
+        }
+        if changed_pairs.is_empty() {
+            self.t = t_new.clone();
+            return Ok(Vec::new());
+        }
+        // Refresh per-rule precomputations for exactly the changed pairs.
+        // The behavior table only grows — existing ids stay valid.
+        for &(q, a) in &changed_pairs {
+            match t_new.rule(q, Symbol::from_index(a)) {
+                Some(rhs) => {
+                    let top_items = items_of_children(&rhs.nodes, &self.out, &mut self.behaviors);
+                    self.tops.insert((q, a), top_items);
+                    let mut cs = Vec::new();
+                    collect_checks(&rhs.nodes, &self.out, &mut self.behaviors, &mut cs);
+                    self.checks.insert((q, a), cs);
+                }
+                None => {
+                    self.tops.remove(&(q, a));
+                    self.checks.remove(&(q, a));
+                }
+            }
+        }
+        self.t = t_new.clone();
+        // Ancestor closure of the edited symbols under `parents_of`.
+        let parents_of = self.build_parents_of();
+        let mut in_closure = edited.clone();
+        let mut queue: Vec<usize> = edited.iter().map(|c| c as usize).collect();
+        let mut closure: Vec<usize> = queue.clone();
+        while let Some(c) = queue.pop() {
+            for &p in &parents_of[c] {
+                if in_closure.insert(p as u32) {
+                    closure.push(p);
+                    queue.push(p);
+                }
+            }
+        }
+        // Invalidate the closure: realizable profiles, witnesses, and walks.
+        for &a in &closure {
+            self.s_sets[a].clear();
+            self.s_member[a] = BitSet::new();
+        }
+        self.witness
+            .retain(|&(a, _), _| !in_closure.contains(a as u32));
+        self.walks
+            .retain(|&(a, _), _| !in_closure.contains(a as u32));
+        // Defensive: reset retained walks' per-symbol watermarks for closure
+        // symbols. By the closure property no surviving walk can actually
+        // step on one, but a stale watermark above the (now cleared) profile
+        // list length must never be sliced with.
+        for walk in self.walks.values_mut() {
+            for &a in &closure {
+                if a < walk.consumed.len() {
+                    walk.consumed[a] = 0;
+                }
+            }
+        }
+        Ok(closure)
+    }
+
+    /// Number of retained `(symbol, tracked-state set)` walks — the reuse
+    /// the incremental path gets for free on the next fixpoint.
+    pub fn retained_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// Derives the verdict from a completed fixpoint + reachability pass.
+    /// Factored out of [`typecheck_dtds`] so incremental re-checks share the
+    /// exact verdict logic (missing-root-rule special case included).
+    pub fn outcome(&mut self) -> Result<Outcome, TypecheckError> {
+        // Special case: the initial state has no rule for the input root —
+        // every valid input maps to ε, which is never a valid output tree.
+        let root_pair = (self.t.initial_state(), self.din_start);
+        if self.productive[self.din_start]
+            && self
+                .t
+                .rule(root_pair.0, Symbol::from_index(root_pair.1))
+                .is_none()
+        {
+            let input = self.din.sample().expect("productive start");
+            let output = self.t.apply(&input);
+            return Ok(Outcome::CounterExample(CounterExample { input, output }));
+        }
+        match self.find_violation()? {
+            None => Ok(Outcome::TypeChecks),
+            Some(v) => {
+                let ce = self.build_counterexample(&v)?;
+                Ok(Outcome::CounterExample(ce))
             }
         }
     }
@@ -997,26 +1167,7 @@ pub fn typecheck_dtds(
     let mut engine = Lemma14Engine::new(din, dout, t, alphabet_size)?;
     engine.run_fixpoint()?;
     engine.compute_reachable();
-    // Special case: the initial state has no rule for the input root — every
-    // valid input maps to ε, which is never a valid output tree.
-    let root_pair = (engine.t.initial_state(), engine.din_start);
-    if engine.productive[engine.din_start]
-        && engine
-            .t
-            .rule(root_pair.0, Symbol::from_index(root_pair.1))
-            .is_none()
-    {
-        let input = engine.din.sample().expect("productive start");
-        let output = engine.t.apply(&input);
-        return Ok(Outcome::CounterExample(CounterExample { input, output }));
-    }
-    match engine.find_violation()? {
-        None => Ok(Outcome::TypeChecks),
-        Some(v) => {
-            let ce = engine.build_counterexample(&v)?;
-            Ok(Outcome::CounterExample(ce))
-        }
-    }
+    engine.outcome()
 }
 
 #[cfg(test)]
@@ -1192,6 +1343,157 @@ mod tests {
         let dout = Dtd::parse("r -> good\ngood -> ", &mut a).unwrap();
         let outcome = check(&din, &dout, &t, a.len());
         assert!(!outcome.type_checks());
+    }
+
+    /// Drives the engine the way the incremental service path does.
+    fn outcome_of(engine: &mut Lemma14Engine) -> Outcome {
+        engine.run_fixpoint().expect("fixpoint");
+        engine.compute_reachable();
+        engine.outcome().expect("outcome")
+    }
+
+    fn edit_and_check(engine: &mut Lemma14Engine, t_new: &Transducer) -> Outcome {
+        let seeds = engine.apply_transducer_edit(t_new).expect("edit applies");
+        engine.run_fixpoint_seeded(&seeds).expect("seeded fixpoint");
+        engine.compute_reachable();
+        engine.outcome().expect("outcome")
+    }
+
+    #[test]
+    fn incremental_edit_flips_verdict_and_matches_scratch() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> x x\nx -> ", &mut a).unwrap();
+        let t1 = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .rule("q", "x", "y")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse("r -> y y\ny -> ", &mut a).unwrap();
+        let mut engine = Lemma14Engine::new(&din, &dout, &t1, a.len()).unwrap();
+        assert!(outcome_of(&mut engine).type_checks());
+        // Edit: q doubles its output — r(y y y y) violates `r -> y y`.
+        let t2 = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .rule("q", "x", "y y")
+            .build()
+            .unwrap();
+        let inc = edit_and_check(&mut engine, &t2);
+        assert!(!inc.type_checks());
+        assert_eq!(
+            inc.type_checks(),
+            typecheck_dtds(&din, &dout, &t2, a.len())
+                .unwrap()
+                .type_checks()
+        );
+        // Edit back: verdict flips back to TypeChecks.
+        let inc = edit_and_check(&mut engine, &t1);
+        assert!(inc.type_checks());
+    }
+
+    #[test]
+    fn incremental_edit_retains_untouched_walks() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> s1 s2\ns1 -> u*\ns2 -> v*\nu -> \nv -> ", &mut a).unwrap();
+        let build = |a: &mut Alphabet, u_rhs: &str| {
+            TransducerBuilder::new(a)
+                .states(&["root", "p", "w"])
+                .rule("root", "r", "r(p)")
+                .rule("p", "s1", "a1(w)")
+                .rule("p", "s2", "a2(w)")
+                .rule("w", "u", u_rhs)
+                .rule("w", "v", "k")
+                .build()
+                .unwrap()
+        };
+        let t1 = build(&mut a, "k");
+        let dout = Dtd::parse("r -> a1 a2\na1 -> k*\na2 -> k*\nk -> ", &mut a).unwrap();
+        let mut engine = Lemma14Engine::new(&din, &dout, &t1, a.len()).unwrap();
+        assert!(outcome_of(&mut engine).type_checks());
+        let walks_before = engine.retained_walks();
+        assert!(walks_before > 0);
+        // Edit only (w, u): the ancestor closure is {u, s1, r} — the walks
+        // for s2 and v must survive the invalidation.
+        let t2 = build(&mut a, "k k");
+        let seeds = engine.apply_transducer_edit(&t2).expect("edit applies");
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        let mut expected: Vec<usize> = ["u", "s1", "r"]
+            .iter()
+            .map(|n| a.lookup(n).unwrap().index())
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        assert!(
+            engine.retained_walks() > 0,
+            "untouched walks must be retained"
+        );
+        engine.run_fixpoint_seeded(&seeds).unwrap();
+        engine.compute_reachable();
+        assert!(engine.outcome().unwrap().type_checks());
+        let scratch = typecheck_dtds(&din, &dout, &t2, a.len()).unwrap();
+        assert!(scratch.type_checks());
+        // And a verdict-flipping edit on the same component.
+        let t3 = build(&mut a, "a1");
+        let inc = edit_and_check(&mut engine, &t3);
+        assert!(!inc.type_checks());
+        assert!(!typecheck_dtds(&din, &dout, &t3, a.len())
+            .unwrap()
+            .type_checks());
+    }
+
+    #[test]
+    fn incremental_edit_rule_add_and_remove() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> x?\nx -> ", &mut a).unwrap();
+        let t1 = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse("r -> y?\ny -> ", &mut a).unwrap();
+        let mut engine = Lemma14Engine::new(&din, &dout, &t1, a.len()).unwrap();
+        // No rule for (q, x): x maps to ε; r() is fine.
+        assert!(outcome_of(&mut engine).type_checks());
+        // Add (q, x) -> y y: r(y y) violates `r -> y?`.
+        let t2 = TransducerBuilder::new(&mut a)
+            .states(&["root", "q"])
+            .rule("root", "r", "r(q)")
+            .rule("q", "x", "y y")
+            .build()
+            .unwrap();
+        assert!(!edit_and_check(&mut engine, &t2).type_checks());
+        // Remove it again.
+        assert!(edit_and_check(&mut engine, &t1).type_checks());
+    }
+
+    #[test]
+    fn incremental_edit_rejects_state_space_and_alphabet_growth() {
+        let mut a = Alphabet::new();
+        let din = Dtd::parse("r -> ", &mut a).unwrap();
+        let t1 = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "r")
+            .build()
+            .unwrap();
+        let dout = Dtd::parse("r -> ", &mut a).unwrap();
+        let mut engine = Lemma14Engine::new(&din, &dout, &t1, a.len()).unwrap();
+        assert!(outcome_of(&mut engine).type_checks());
+        let t_more_states = TransducerBuilder::new(&mut a)
+            .states(&["q", "q2"])
+            .rule("q", "r", "r")
+            .build()
+            .unwrap();
+        assert!(engine.apply_transducer_edit(&t_more_states).is_err());
+        let t_new_symbol = TransducerBuilder::new(&mut a)
+            .states(&["q"])
+            .rule("q", "r", "brand_new_symbol")
+            .build()
+            .unwrap();
+        assert!(engine.apply_transducer_edit(&t_new_symbol).is_err());
+        // The engine is still intact after the rejections.
+        assert!(outcome_of(&mut engine).type_checks());
     }
 
     #[test]

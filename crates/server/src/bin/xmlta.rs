@@ -169,6 +169,15 @@ USAGE:
                                  frame per item plus a final tally (the
                                  client reassembles them, so the report
                                  written is byte-identical)
+        update TARGET EDIT       apply one structured edit to TARGET (a
+                                 file, registered first, or @HANDLE) and
+                                 recheck it incrementally (protocol 2):
+                                 prints `TARGET -> HANDLE` for the edited
+                                 instance's new handle plus the verdict
+                                 line and `components_reused`. EDIT is:
+                                   set-rule STATE SYMBOL RHS
+                                   remove-rule STATE SYMBOL
+                                   set-schema-rule (input|output) SYMBOL RHS
         raw                      JSONL passthrough: frames from stdin,
                                  responses to stdout
         ping | stats | shutdown  one request, response printed as JSON;
@@ -1198,7 +1207,8 @@ fn cmd_client_inner(args: &[String]) -> Result<ExitCode, ClientError> {
     let addr = client_addr(&opts)?;
     let Some((action, targets)) = opts.positional.split_first() else {
         return Err(
-            "client needs an action (register, typecheck, batch, ping, stats, shutdown)".into(),
+            "client needs an action (register, typecheck, update, batch, ping, stats, shutdown)"
+                .into(),
         );
     };
     // `--retry` routes typecheck through the resilient client: reconnect
@@ -1216,9 +1226,13 @@ fn cmd_client_inner(args: &[String]) -> Result<ExitCode, ClientError> {
     }
     if let Some(depth) = opts.pipeline {
         negotiate_v2(&mut client, Some(depth))?;
+    } else if action == "update" {
+        // `update` frames only parse on a protocol-2 session.
+        negotiate_v2(&mut client, None)?;
     }
     match action.as_str() {
         "register" => client_register(&mut client, targets),
+        "update" => client_update(&mut client, targets),
         "typecheck" => match opts.pipeline {
             Some(depth) => client_typecheck_pipelined(&mut client, targets, depth),
             None => client_typecheck(&mut client, targets),
@@ -1367,6 +1381,74 @@ fn print_check_response(
             println!("{target}: unexpected status {other:?}");
             *saw_error = true;
         }
+    }
+}
+
+/// `client update (FILE|@HANDLE) EDIT`: ships one structured edit instead
+/// of a whole document; the server applies it to the registered instance,
+/// rechecks only the components the edit dirtied, and answers with the
+/// successor's handle and verdict.
+fn client_update(client: &mut Client, targets: &[String]) -> Result<ExitCode, ClientError> {
+    let Some((target, edit_args)) = targets.split_first() else {
+        return Err("update needs a FILE or @HANDLE followed by an edit".into());
+    };
+    let edit = parse_edit_args(edit_args)?;
+    let handle = match target.strip_prefix('@') {
+        Some(h) => h.to_string(),
+        None => {
+            let registered = client_roundtrip(client, &register_frame_for(target, 1)?)?;
+            if let Some(e) = response_error(&registered) {
+                return Err(format!("{target}: {e}").into());
+            }
+            registered
+                .get("handle")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{target}: response has no handle"))?
+                .to_string()
+        }
+    };
+    let response = client_roundtrip(client, &proto::req_update(2, &handle, &edit))?;
+    if let Some(e) = response_error(&response) {
+        return Err(format!("{target}: {e}").into());
+    }
+    let successor = response
+        .get("handle")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{target}: response has no successor handle"))?;
+    let reused = response
+        .get("components_reused")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!("{target} -> {successor} (components_reused {reused})");
+    let (mut saw_counterexample, mut saw_error) = (false, false);
+    print_check_response(target, &response, &mut saw_counterexample, &mut saw_error);
+    Ok(exit_for(saw_counterexample, saw_error))
+}
+
+/// The CLI surface of a structured edit, mirroring `proto::Edit`.
+fn parse_edit_args(args: &[String]) -> Result<proto::Edit, ClientError> {
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["set-rule", state, symbol, rhs] => Ok(proto::Edit::SetRule {
+            state: state.to_string(),
+            symbol: symbol.to_string(),
+            rhs: rhs.to_string(),
+        }),
+        ["remove-rule", state, symbol] => Ok(proto::Edit::RemoveRule {
+            state: state.to_string(),
+            symbol: symbol.to_string(),
+        }),
+        ["set-schema-rule", side, symbol, rhs] if *side == "input" || *side == "output" => {
+            Ok(proto::Edit::SetSchemaRule {
+                output: *side == "output",
+                symbol: symbol.to_string(),
+                rhs: rhs.to_string(),
+            })
+        }
+        _ => Err("update edit must be `set-rule STATE SYMBOL RHS`, \
+                  `remove-rule STATE SYMBOL`, or \
+                  `set-schema-rule (input|output) SYMBOL RHS`"
+            .into()),
     }
 }
 

@@ -152,6 +152,42 @@ pub struct BatchItemReq {
     pub target: Target,
 }
 
+/// A structured instance edit (the `update` op's payload).
+///
+/// Wire shape: `"edit": {"kind": "...", ...}` with kinds
+/// `set_rule` (add **or** replace a transducer rule; fields `state`,
+/// `symbol`, `rhs`), `remove_rule` (fields `state`, `symbol`), and
+/// `set_schema_rule` (fields `schema` = `"input"`/`"output"`, `symbol`,
+/// `rhs` — a rule regex in the textual schema syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Add or replace the transducer rule `(state, symbol) → rhs`.
+    SetRule {
+        /// Transducer state name.
+        state: String,
+        /// Input symbol name.
+        symbol: String,
+        /// Rule right-hand side, textual rule grammar.
+        rhs: String,
+    },
+    /// Remove the transducer rule for `(state, symbol)`.
+    RemoveRule {
+        /// Transducer state name.
+        state: String,
+        /// Input symbol name.
+        symbol: String,
+    },
+    /// Replace a schema rule: `symbol → rhs` in the input or output DTD.
+    SetSchemaRule {
+        /// `true` edits the output schema, `false` the input schema.
+        output: bool,
+        /// Schema symbol name.
+        symbol: String,
+        /// Rule right-hand side, textual regex syntax.
+        rhs: String,
+    },
+}
+
 /// A parsed operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
@@ -212,6 +248,19 @@ pub enum Op {
         /// frame, instead of one monolithic report frame. Opt-in
         /// (`"stream": true`); the default reply is unchanged.
         stream: bool,
+    },
+    /// Apply a structured edit to a registered instance (v2 connections
+    /// only): parses as "take the instance behind `handle`, apply `edit`,
+    /// register the result, and typecheck it incrementally". The response
+    /// carries the new version's `handle`, the verdict (same fields as
+    /// `typecheck`), and a `components_reused` count — how many instance
+    /// components (schemas, transducer header, individual rules, alphabet)
+    /// the new version shares with its predecessor.
+    Update {
+        /// The base version: a handle registered on this connection.
+        handle: String,
+        /// The edit to apply.
+        edit: Edit,
     },
     /// Cache/registry counters (the one scheduling-dependent response).
     Stats,
@@ -476,6 +525,30 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
                 }
             }
         }
+        // Like `batch_bin`, `update` exists only on negotiated v2
+        // connections; a v1 connection sees the pinned `unknown-op` reply.
+        "update" if max_version >= 2 => {
+            let Some(handle) = frame.get("handle").and_then(Json::as_str) else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`update` needs a string `handle`",
+                ));
+            };
+            let Some(edit) = frame.get("edit") else {
+                return Err(Reject::new(
+                    id,
+                    code::BAD_REQUEST,
+                    "`update` needs an `edit` object",
+                ));
+            };
+            let edit =
+                parse_edit(edit).map_err(|m| Reject::new(id.clone(), code::BAD_REQUEST, m))?;
+            Op::Update {
+                handle: handle.to_string(),
+                edit,
+            }
+        }
         "stats" => Op::Stats,
         // Like `batch_bin`, `trace` exists only on negotiated v2
         // connections; a v1 connection sees the pinned `unknown-op` reply.
@@ -509,6 +582,46 @@ pub fn parse_request(line: &str, max_version: u64) -> Result<Request, Reject> {
         op,
         deadline_ms,
     })
+}
+
+/// Parses the `edit` object of an `update` frame.
+fn parse_edit(edit: &Json) -> Result<Edit, String> {
+    if !matches!(edit, Json::Obj(_)) {
+        return Err("`edit` must be an object".into());
+    }
+    let field = |name: &str| -> Result<String, String> {
+        edit.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("`edit` needs a string `{name}`"))
+    };
+    match edit.get("kind").and_then(Json::as_str) {
+        Some("set_rule") => Ok(Edit::SetRule {
+            state: field("state")?,
+            symbol: field("symbol")?,
+            rhs: field("rhs")?,
+        }),
+        Some("remove_rule") => Ok(Edit::RemoveRule {
+            state: field("state")?,
+            symbol: field("symbol")?,
+        }),
+        Some("set_schema_rule") => {
+            let output = match edit.get("schema").and_then(Json::as_str) {
+                Some("input") => false,
+                Some("output") => true,
+                _ => return Err("`edit.schema` must be \"input\" or \"output\"".into()),
+            };
+            Ok(Edit::SetSchemaRule {
+                output,
+                symbol: field("symbol")?,
+                rhs: field("rhs")?,
+            })
+        }
+        Some(other) => Err(format!(
+            "unknown edit kind `{other}` (expected set_rule, remove_rule, or set_schema_rule)"
+        )),
+        None => Err("`edit` needs a string `kind`".into()),
+    }
 }
 
 /// Pulls the optional `threads` field out of a `batch`/`batch_bin` frame.
@@ -771,6 +884,45 @@ pub fn req_batch_bin(id: u64, stream: &[u8], threads: Option<usize>, stream_item
         fields.push(("stream", Json::Bool(true)));
     }
     request_v(MAX_PROTOCOL_VERSION, id, "batch_bin", fields)
+}
+
+/// An `update` request frame (valid on v2 connections only).
+pub fn req_update(id: u64, handle: &str, edit: &Edit) -> String {
+    let edit_obj = match edit {
+        Edit::SetRule { state, symbol, rhs } => Json::Obj(vec![
+            ("kind".to_string(), Json::Str("set_rule".to_string())),
+            ("state".to_string(), Json::Str(state.clone())),
+            ("symbol".to_string(), Json::Str(symbol.clone())),
+            ("rhs".to_string(), Json::Str(rhs.clone())),
+        ]),
+        Edit::RemoveRule { state, symbol } => Json::Obj(vec![
+            ("kind".to_string(), Json::Str("remove_rule".to_string())),
+            ("state".to_string(), Json::Str(state.clone())),
+            ("symbol".to_string(), Json::Str(symbol.clone())),
+        ]),
+        Edit::SetSchemaRule {
+            output,
+            symbol,
+            rhs,
+        } => Json::Obj(vec![
+            ("kind".to_string(), Json::Str("set_schema_rule".to_string())),
+            (
+                "schema".to_string(),
+                Json::Str(if *output { "output" } else { "input" }.to_string()),
+            ),
+            ("symbol".to_string(), Json::Str(symbol.clone())),
+            ("rhs".to_string(), Json::Str(rhs.clone())),
+        ]),
+    };
+    request_v(
+        MAX_PROTOCOL_VERSION,
+        id,
+        "update",
+        vec![
+            ("handle", Json::Str(handle.to_string())),
+            ("edit", edit_obj),
+        ],
+    )
 }
 
 /// A `stats` request frame.

@@ -155,6 +155,10 @@ pub fn route_key(op: &Op) -> u64 {
         Op::Register { source } => fnv1a64(handle_for_source(source).as_bytes()),
         Op::RegisterBin { data } => fnv1a64(handle_for_binary(data).as_bytes()),
         Op::Typecheck { target } => target_key(target),
+        // An update routes by its *predecessor* handle: the successor is
+        // computed on the shard whose caches (and retained engine) are
+        // warm for the chain.
+        Op::Update { handle, .. } => fnv1a64(handle.as_bytes()),
         Op::Batch { items, .. } => items.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, item| {
             acc.rotate_left(7) ^ target_key(&item.target)
         }),
@@ -842,11 +846,17 @@ impl Relay {
                             let frames = self.forward(key, id, line, streamed)?;
                             if matches!(
                                 op,
-                                Op::Hello { .. } | Op::Register { .. } | Op::RegisterBin { .. }
+                                Op::Hello { .. }
+                                    | Op::Register { .. }
+                                    | Op::RegisterBin { .. }
+                                    | Op::Update { .. }
                             ) {
                                 // Future links (and every reconnect)
                                 // replay these, so handles survive
-                                // respawns and follow failovers.
+                                // respawns and follow failovers. Updates
+                                // are session-state frames too: replaying
+                                // the chain re-derives every successor
+                                // handle on the replacement shard.
                                 self.prelude.push((id, line.to_string()));
                             }
                             Ok(RelayOut::Frames(frames))

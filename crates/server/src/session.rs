@@ -38,8 +38,8 @@
 //! the response *order* is scheduling-dependent, and ids are the
 //! correlation key.
 
-use crate::proto::{self, code, BatchItemReq, Op, Reject, Request, ResponseBuilder, Target};
-use crate::state::{Prepared, ServerCounters, Shared};
+use crate::proto::{self, code, BatchItemReq, Edit, Op, Reject, Request, ResponseBuilder, Target};
+use crate::state::{apply_edit, Prepared, ServerCounters, Shared};
 use std::io::{BufRead, Read, Write};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -47,7 +47,10 @@ use std::time::{Duration, Instant};
 use typecheck_core::Instance;
 use xmlta_base::FxHashMap;
 use xmlta_service::batch::{result_json_line, run_batch, stream_batch_items, BatchItem};
-use xmlta_service::{check_instance, parse_instance, ItemStatus, Json};
+use xmlta_service::{
+    check_instance, fingerprint_instance, parse_instance, print_instance, ComponentFingerprints,
+    ItemStatus, Json, RetainedEngine,
+};
 
 /// What the connection loop should do after a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -376,6 +379,7 @@ impl Session {
                     ctx: xmlta_obs::ctx(),
                 });
             }
+            Op::Update { handle, edit } => self.update(&id, &handle, &edit),
             Op::Stats => {
                 let s = self.shared.cache().stats();
                 let c = self.shared.counters();
@@ -393,7 +397,8 @@ impl Session {
                      \"conns_accepted\":{},\"overload_sheds\":{},\
                      \"deadline_sheds\":{},\"read_timeouts\":{},\
                      \"uptime_ms\":{},\"version\":\"{}\",\"protocol\":{},\
-                     \"protocol_min\":{},\"protocol_max\":{},\"hist\":{}}}",
+                     \"protocol_min\":{},\"protocol_max\":{},\"hist\":{},\
+                     \"update_reqs\":{},\"components_reused\":{}}}",
                     s.schema_hits,
                     s.schema_misses,
                     s.rule_hits,
@@ -420,6 +425,8 @@ impl Session {
                     proto::PROTOCOL_VERSION,
                     proto::MAX_PROTOCOL_VERSION,
                     xmlta_obs::global().histograms_json(),
+                    ServerCounters::read(&c.update_reqs),
+                    ServerCounters::read(&c.components_reused),
                 );
                 ResponseBuilder::new(&id, true)
                     .raw_field("stats", &stats)
@@ -528,6 +535,148 @@ impl Session {
             .str_field("handle", &handle)
             .finish()
     }
+
+    /// Serves an `update`: resolves the predecessor handle, applies the
+    /// structured edit, registers the successor under its own
+    /// content-derived handle (the canonical printed source — exactly what
+    /// a from-scratch `register` of that source would yield), and computes
+    /// its verdict incrementally where the retained engine applies.
+    ///
+    /// Runs synchronously in the reader like `register` — it mutates the
+    /// session handle table, so it must see (and be seen by) the request
+    /// prefix in order.
+    fn update(&mut self, id: &Json, handle: &str, edit: &Edit) -> String {
+        let _span = xmlta_obs::span("update");
+        let counters = self.shared.counters();
+        ServerCounters::bump(&counters.update_reqs);
+        let Some(old) = self.handles.get(handle).map(Arc::clone) else {
+            return proto::error_frame(&Reject {
+                id: id.clone(),
+                code: code::UNKNOWN_HANDLE,
+                message: format!("handle `{handle}` was not registered on this connection"),
+            });
+        };
+        let edited = match apply_edit(&old.instance, edit) {
+            Ok(edited) => edited,
+            Err(message) => {
+                return proto::error_frame(&Reject {
+                    id: id.clone(),
+                    code: code::BAD_REQUEST,
+                    message: format!("bad edit: {message}"),
+                })
+            }
+        };
+        let printed = match print_instance(&edited) {
+            Ok(printed) => printed,
+            Err(e) => {
+                return proto::error_frame(&Reject {
+                    id: id.clone(),
+                    code: code::BAD_REQUEST,
+                    message: format!("bad edit: edited instance does not print: {e}"),
+                })
+            }
+        };
+        let resolve_span = xmlta_obs::span("resolve");
+        let registered = self.shared.register(&printed);
+        resolve_span.finish();
+        let new = match registered {
+            Ok(prepared) => prepared,
+            Err(e) => {
+                return proto::error_frame(&Reject {
+                    id: id.clone(),
+                    code: code::INVALID_INSTANCE,
+                    message: format!("edited instance does not parse: {e}"),
+                })
+            }
+        };
+        let fp_old = ComponentFingerprints::of(&old.instance);
+        let fp_new = ComponentFingerprints::of(&new.instance);
+        let reused = fp_new.shared_with(&fp_old) as u64;
+        counters.components_reused.add(reused);
+        let status = update_status(&self.shared, &old, &new, &fp_old, &fp_new);
+        self.handles.insert(new.handle.clone(), Arc::clone(&new));
+        let b = ResponseBuilder::new(id, true).str_field("handle", &new.handle);
+        let b = match &status {
+            ItemStatus::TypeChecks => b.str_field("status", "typechecks"),
+            ItemStatus::CounterExample { input, output } => {
+                let b = b
+                    .str_field("status", "counterexample")
+                    .str_field("input", input);
+                match output {
+                    Some(o) => b.str_field("output", o),
+                    None => b.null_field("output"),
+                }
+            }
+            ItemStatus::Error { message } => {
+                b.str_field("status", "error").str_field("message", message)
+            }
+        };
+        b.num_field("components_reused", reused).finish()
+    }
+}
+
+/// Computes the successor version's verdict, chaining the predecessor's
+/// retained Lemma 14 engine when the edit left both schemas and the
+/// alphabet untouched — only the ancestor closure of the edited symbols is
+/// re-run ([`xmlta_service::incremental`]).
+///
+/// Byte fidelity: an incrementally updated engine is trusted only for
+/// `TypeChecks` (where the response carries no witness bytes); failing
+/// verdicts re-render through the canonical [`check_instance`] path so
+/// counterexample bytes match a from-scratch check exactly.
+fn update_status(
+    shared: &Shared,
+    old: &Prepared,
+    new: &Prepared,
+    fp_old: &ComponentFingerprints,
+    fp_new: &ComponentFingerprints,
+) -> ItemStatus {
+    let cache = shared.cache();
+    let schemas_unchanged = fp_old.alphabet == fp_new.alphabet
+        && fp_old.input == fp_new.input
+        && fp_old.output == fp_new.output;
+    if schemas_unchanged {
+        let taken = old
+            .engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(mut engine) = taken {
+            if let Ok((outcome, _reuse)) = engine.update(&new.instance.transducer) {
+                // The updated engine reflects the successor either way;
+                // park it there so the next edit in the chain is
+                // incremental too.
+                let type_checks = outcome.type_checks();
+                *new.engine
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(engine);
+                if type_checks {
+                    let fp = fingerprint_instance(&new.instance);
+                    cache.memo_insert(fp, &new.instance, &ItemStatus::TypeChecks);
+                    return ItemStatus::TypeChecks;
+                }
+                return check_instance(&new.instance, Some(cache));
+            }
+            // Unsupported edit shape (the engine may be stale): drop it
+            // and fall through to a from-scratch check.
+        }
+    }
+    // No engine to chain from (first update in a chain, a schema edit, or
+    // an unsupported transducer edit): full check through the canonical
+    // path, then seed an engine on the successor so the *next* update is
+    // incremental.
+    let status = check_instance(&new.instance, Some(cache));
+    if RetainedEngine::applicable(&new.instance) {
+        let mut slot = new
+            .engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            let (engine, _status) = RetainedEngine::build(cache, &new.instance);
+            *slot = engine;
+        }
+    }
+    status
 }
 
 /// Executes a resolved job, converting panics into `internal` error

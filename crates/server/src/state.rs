@@ -18,16 +18,21 @@
 //! and transcripts stay byte-identical no matter what was evicted in
 //! between. The eviction count is visible through the `stats` op only.
 
+use crate::proto::Edit;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use typecheck_core::Instance;
+use typecheck_core::{Instance, Schema};
+use xmlta_automata::Regex;
 use xmlta_base::fxhash::FxHasher;
 use xmlta_obs::Counter;
+use xmlta_schema::StringLang;
 use xmlta_service::binfmt::{decode_instance, BinError};
 use xmlta_service::lru::Lru;
-use xmlta_service::{parse_instance, warm_instance, ArtifactBackend, ParseError, SchemaCache};
+use xmlta_service::{
+    parse_instance, warm_instance, ArtifactBackend, ParseError, RetainedEngine, SchemaCache,
+};
 
 /// Default bound on distinct registered contents.
 pub const DEFAULT_REGISTRY_CAPACITY: usize = 4096;
@@ -82,6 +87,12 @@ pub struct Prepared {
     /// into the shared cache at registration, so typechecking it skips
     /// the front-end entirely and hits the cache on every product.
     pub instance: Arc<Instance>,
+    /// A Lemma 14 engine retained across `update` versions: an update
+    /// resolving this prepared instance *takes* the engine, applies the
+    /// edit incrementally, and parks the updated engine on the successor
+    /// version. Empty until the first update touches this instance (and
+    /// for instances the retained-engine path cannot serve).
+    pub engine: Mutex<Option<RetainedEngine>>,
 }
 
 /// The bounded dedup table: content hash → prepared instances with that
@@ -112,6 +123,13 @@ pub struct ServerCounters {
     /// Connections closed with a `read-timeout` reply because no frame
     /// arrived within the read/idle window.
     pub read_timeouts: Counter,
+    /// `update` requests received (successful or rejected).
+    pub update_reqs: Counter,
+    /// Cumulative count of cache components (schema, alphabet, transducer
+    /// header, and per-rule fingerprints) that successor versions shared
+    /// with their predecessors across all `update` requests — the
+    /// headline reuse signal for incremental rechecking.
+    pub components_reused: Counter,
 }
 
 impl ServerCounters {
@@ -305,6 +323,7 @@ impl Shared {
                 handle,
                 content,
                 instance: Arc::new(instance),
+                engine: Mutex::new(None),
             });
             entries.push(Arc::clone(&prepared));
             return prepared;
@@ -313,6 +332,7 @@ impl Shared {
             handle,
             content,
             instance: Arc::new(instance),
+            engine: Mutex::new(None),
         });
         if let Some((_, bucket)) = registry.lru.insert(fp, vec![Arc::clone(&prepared)]) {
             registry.evicted += bucket.len() as u64;
@@ -380,6 +400,74 @@ pub fn handle_for_source(source: &str) -> String {
         fingerprint_source(source),
         fingerprint_source_salted(source)
     )
+}
+
+/// Applies a structured [`Edit`] to an instance, producing the successor
+/// version. Pure instance surgery — no registration, no typechecking; the
+/// caller prints the result canonically and registers the printed source,
+/// so the successor's handle is exactly what a from-scratch registration
+/// of that source would get.
+pub fn apply_edit(instance: &Instance, edit: &Edit) -> Result<Instance, String> {
+    let mut alphabet = instance.alphabet.clone();
+    match edit {
+        Edit::SetRule { state, symbol, rhs } => {
+            let transducer = instance
+                .transducer
+                .with_rule(state, symbol, rhs, &mut alphabet)
+                .map_err(|e| e.to_string())?;
+            Ok(Instance {
+                alphabet,
+                input: instance.input.clone(),
+                output: instance.output.clone(),
+                transducer,
+            })
+        }
+        Edit::RemoveRule { state, symbol } => {
+            let sym = alphabet
+                .lookup(symbol)
+                .ok_or_else(|| format!("unknown symbol `{symbol}`"))?;
+            let transducer = instance
+                .transducer
+                .without_rule(state, sym)
+                .map_err(|e| e.to_string())?;
+            Ok(Instance {
+                alphabet,
+                input: instance.input.clone(),
+                output: instance.output.clone(),
+                transducer,
+            })
+        }
+        Edit::SetSchemaRule {
+            output,
+            symbol,
+            rhs,
+        } => {
+            let side = if *output {
+                &instance.output
+            } else {
+                &instance.input
+            };
+            let Schema::Dtd(dtd) = side else {
+                return Err("schema edits require a DTD schema".into());
+            };
+            let sym = alphabet.intern(symbol);
+            let re = Regex::parse(rhs, &mut alphabet).map_err(|e| format!("bad rule rhs: {e}"))?;
+            let mut dtd = dtd.clone();
+            dtd.set_rule(sym, StringLang::Regex(re));
+            dtd.grow_alphabet(alphabet.len());
+            let (input, output) = if *output {
+                (instance.input.clone(), Schema::Dtd(dtd))
+            } else {
+                (Schema::Dtd(dtd), instance.output.clone())
+            };
+            Ok(Instance {
+                alphabet,
+                input,
+                output,
+                transducer: instance.transducer.clone(),
+            })
+        }
+    }
 }
 
 /// The handle a binary frame registers under: like [`handle_for_source`]

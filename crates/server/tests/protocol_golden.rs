@@ -637,6 +637,210 @@ fn register_typecheck_roundtrip_over_stream() {
 }
 
 #[test]
+fn golden_update_gating_and_bad_requests() {
+    // On a v1 connection the op does not exist — the pre-v2 bytes.
+    assert_eq!(
+        one(
+            r#"{"id": 1, "op": "update", "handle": "h", "edit": {"kind": "remove_rule", "state": "q", "symbol": "x"}}"#
+        ),
+        r#"{"id":1,"ok":false,"error":{"code":"unknown-op","message":"unknown op `update`"}}"#
+    );
+    // On v2: every malformed payload shape has a pinned bad-request.
+    let responses = v2_by_id(
+        "{\"id\": 1, \"op\": \"update\"}\n\
+         {\"id\": 2, \"op\": \"update\", \"handle\": \"h\"}\n\
+         {\"id\": 3, \"op\": \"update\", \"handle\": \"h\", \"edit\": \"drop rule\"}\n\
+         {\"id\": 4, \"op\": \"update\", \"handle\": \"h\", \"edit\": {}}\n\
+         {\"id\": 5, \"op\": \"update\", \"handle\": \"h\", \"edit\": {\"kind\": \"frob\"}}\n\
+         {\"id\": 6, \"op\": \"update\", \"handle\": \"h\", \"edit\": {\"kind\": \"set_rule\", \"state\": \"q\"}}\n\
+         {\"id\": 7, \"op\": \"update\", \"handle\": \"h\", \"edit\": {\"kind\": \"set_schema_rule\", \"schema\": \"both\", \"symbol\": \"x\", \"rhs\": \"y\"}}\n",
+    );
+    assert_eq!(
+        responses["1"],
+        r#"{"id":1,"ok":false,"error":{"code":"bad-request","message":"`update` needs a string `handle`"}}"#
+    );
+    assert_eq!(
+        responses["2"],
+        r#"{"id":2,"ok":false,"error":{"code":"bad-request","message":"`update` needs an `edit` object"}}"#
+    );
+    assert_eq!(
+        responses["3"],
+        r#"{"id":3,"ok":false,"error":{"code":"bad-request","message":"`edit` must be an object"}}"#
+    );
+    assert_eq!(
+        responses["4"],
+        r#"{"id":4,"ok":false,"error":{"code":"bad-request","message":"`edit` needs a string `kind`"}}"#
+    );
+    assert_eq!(
+        responses["5"],
+        r#"{"id":5,"ok":false,"error":{"code":"bad-request","message":"unknown edit kind `frob` (expected set_rule, remove_rule, or set_schema_rule)"}}"#
+    );
+    assert_eq!(
+        responses["6"],
+        r#"{"id":6,"ok":false,"error":{"code":"bad-request","message":"`edit` needs a string `symbol`"}}"#
+    );
+    assert_eq!(
+        responses["7"],
+        r#"{"id":7,"ok":false,"error":{"code":"bad-request","message":"`edit.schema` must be \"input\" or \"output\""}}"#
+    );
+    // A well-formed edit that cannot apply (unknown state / unknown
+    // symbol / missing rule) is a bad request naming the reason.
+    let handle = xmlta_server::state::handle_for_source(GOOD);
+    let source = xmlta_service::json::escaped(GOOD);
+    let responses = v2_by_id(&format!(
+        "{{\"id\": 1, \"op\": \"register\", \"source\": {source}}}\n\
+         {{\"id\": 2, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"zz\", \"symbol\": \"x\", \"rhs\": \"y\"}}}}\n\
+         {{\"id\": 3, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"remove_rule\", \"state\": \"q\", \"symbol\": \"nosuch\"}}}}\n\
+         {{\"id\": 4, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"remove_rule\", \"state\": \"q\", \"symbol\": \"r\"}}}}\n"
+    ));
+    assert_eq!(
+        responses["2"],
+        r#"{"id":2,"ok":false,"error":{"code":"bad-request","message":"bad edit: unknown state `zz` in rhs"}}"#
+    );
+    assert_eq!(
+        responses["3"],
+        r#"{"id":3,"ok":false,"error":{"code":"bad-request","message":"bad edit: unknown symbol `nosuch`"}}"#
+    );
+    assert_eq!(
+        responses["4"],
+        r#"{"id":4,"ok":false,"error":{"code":"bad-request","message":"bad edit: rhs syntax error: no rule for (q, symbol #0) to remove"}}"#
+    );
+}
+
+#[test]
+fn golden_update_unknown_and_evicted_handles() {
+    // Never-registered handle: the pinned unknown-handle bytes.
+    let responses = v2_by_id(
+        "{\"id\": 1, \"op\": \"update\", \"handle\": \"i0000000000000000\", \"edit\": {\"kind\": \"remove_rule\", \"state\": \"q\", \"symbol\": \"x\"}}\n",
+    );
+    assert_eq!(
+        responses["1"],
+        r#"{"id":1,"ok":false,"error":{"code":"unknown-handle","message":"handle `i0000000000000000` was not registered on this connection"}}"#
+    );
+    // The stale-handle scenario: a registry of capacity 1, session 1
+    // registers A then B (evicting A from the process-wide registry).
+    // Session 1 keeps its own Arc, so *its* update of A still works; a
+    // fresh session referencing A's handle gets the same pinned
+    // unknown-handle reply as any unregistered handle — eviction must
+    // never change response bytes.
+    let shared = Shared::with_capacities(1, xmlta_service::cache::DEFAULT_MEMO_CAPACITY);
+    let other = GOOD.replace("y*", "y* y*");
+    let handle_a = xmlta_server::state::handle_for_source(GOOD);
+    let source_a = xmlta_service::json::escaped(GOOD);
+    let source_b = xmlta_service::json::escaped(&other);
+    let edit = r#"{"kind": "set_rule", "state": "q", "symbol": "x", "rhs": "y y"}"#;
+    let mut session1 = Session::new(Arc::clone(&shared));
+    session1.handle_frame(r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+    session1.handle_frame(&format!(
+        "{{\"id\": 1, \"op\": \"register\", \"source\": {source_a}}}"
+    ));
+    session1.handle_frame(&format!(
+        "{{\"id\": 2, \"op\": \"register\", \"source\": {source_b}}}"
+    ));
+    assert!(shared.evictions() > 0, "capacity 1 must have evicted A");
+    let (own, _) = session1.handle_frame(&format!(
+        "{{\"id\": 3, \"op\": \"update\", \"handle\": \"{handle_a}\", \"edit\": {edit}}}"
+    ));
+    assert!(
+        own.contains("\"ok\":true") && own.contains("\"components_reused\":"),
+        "own handles survive eviction: {own}"
+    );
+    let mut session2 = Session::new(shared);
+    session2.handle_frame(r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+    let (stale, _) = session2.handle_frame(&format!(
+        "{{\"id\": 4, \"op\": \"update\", \"handle\": \"{handle_a}\", \"edit\": {edit}}}"
+    ));
+    assert_eq!(
+        stale,
+        format!(
+            "{{\"id\":4,\"ok\":false,\"error\":{{\"code\":\"unknown-handle\",\
+             \"message\":\"handle `{handle_a}` was not registered on this connection\"}}}}"
+        )
+    );
+}
+
+#[test]
+fn update_chain_serves_edits_and_reuses_components() {
+    let handle = xmlta_server::state::handle_for_source(GOOD);
+    let source = xmlta_service::json::escaped(GOOD);
+    let responses = v2_by_id(&format!(
+        "{{\"id\": 1, \"op\": \"register\", \"source\": {source}}}\n\
+         {{\"id\": 2, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"q\", \"symbol\": \"x\", \"rhs\": \"x\"}}}}\n",
+    ));
+    // The successor gets its own content-derived handle and a verdict.
+    let update = xmlta_service::parse_json(&responses["2"]).expect("update reply parses");
+    assert_eq!(
+        update.get("ok"),
+        Some(&xmlta_service::json::Json::Bool(true))
+    );
+    let h2 = update
+        .get("handle")
+        .and_then(|j| j.as_str())
+        .expect("update returns the successor handle")
+        .to_string();
+    assert_ne!(h2, handle, "an edit produces a new version");
+    assert!(h2.starts_with('i'), "successor handles are content handles");
+    // The edited rule emits `x`, which the output model `r -> y*`
+    // rejects — the verdict flips to a counterexample.
+    assert_eq!(
+        update.get("status").and_then(|j| j.as_str()),
+        Some("counterexample")
+    );
+    let reused = update
+        .get("components_reused")
+        .and_then(|j| j.as_u64())
+        .expect("update reports components_reused");
+    assert!(reused > 0, "a single-rule edit must reuse components");
+    // The successor handle is immediately usable, and chains: editing the
+    // rule back flips the verdict back (the successor of the successor is
+    // the *printed* form of v1, so its handle differs from the original
+    // registration's raw-source handle).
+    let responses = v2_by_id(&format!(
+        "{{\"id\": 1, \"op\": \"register\", \"source\": {source}}}\n\
+         {{\"id\": 2, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"q\", \"symbol\": \"x\", \"rhs\": \"x\"}}}}\n\
+         {{\"id\": 3, \"op\": \"update\", \"handle\": \"{h2}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"q\", \"symbol\": \"x\", \"rhs\": \"y\"}}}}\n\
+         {{\"id\": 4, \"op\": \"stats\"}}\n",
+    ));
+    let back = xmlta_service::parse_json(&responses["3"]).expect("parses");
+    assert_eq!(
+        back.get("status").and_then(|j| j.as_str()),
+        Some("typechecks")
+    );
+    let h3 = back.get("handle").and_then(|j| j.as_str()).unwrap();
+    let (typecheck, _) = {
+        // The successor resolves like any registered handle on this
+        // connection — but sessions are per-stream here, so pin it via a
+        // fresh chain instead: the same edit script must reproduce h3.
+        let mut session = Session::new(Shared::new());
+        session.handle_frame(r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+        session.handle_frame(&format!(
+            "{{\"id\": 1, \"op\": \"register\", \"source\": {source}}}"
+        ));
+        session.handle_frame(&format!(
+            "{{\"id\": 2, \"op\": \"update\", \"handle\": \"{handle}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"q\", \"symbol\": \"x\", \"rhs\": \"x\"}}}}"
+        ));
+        session.handle_frame(&format!(
+            "{{\"id\": 3, \"op\": \"update\", \"handle\": \"{h2}\", \"edit\": {{\"kind\": \"set_rule\", \"state\": \"q\", \"symbol\": \"x\", \"rhs\": \"y\"}}}}"
+        ))
+    };
+    assert!(
+        typecheck.contains(&format!("\"handle\":\"{h3}\"")),
+        "update chains are deterministic across sessions: {typecheck}"
+    );
+    // The stats surface counts updates and cumulative component reuse.
+    let stats = xmlta_service::parse_json(&responses["4"]).expect("parses");
+    let stats = stats.get("stats").expect("has stats");
+    assert_eq!(stats.get("update_reqs").and_then(|j| j.as_u64()), Some(2));
+    assert!(
+        stats
+            .get("components_reused")
+            .and_then(|j| j.as_u64())
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
 fn golden_robustness_frames() {
     // An already-expired deadline sheds the job deterministically before
     // execution — `deadline_ms: 0` is in the past by the time the worker

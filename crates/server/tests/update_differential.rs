@@ -1,0 +1,302 @@
+//! Differential suite for the incremental `update` op: randomized edit
+//! scripts where every incrementally computed verdict must be
+//! byte-identical to a from-scratch `register` + `typecheck` of the
+//! edited instance, at every step, across memo on/off × store on/off.
+//!
+//! The test keeps a mirror [`Instance`] on the client side and applies
+//! the same structured edit the server receives, so the expected
+//! successor handle (`handle_for_source` of the printed edit) and the
+//! expected verdict (a scratch server's reply) are both derived
+//! independently of the incremental path under test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use typecheck_core::Instance;
+use xmlta_server::proto::{self, Edit};
+use xmlta_server::state::{apply_edit, handle_for_source};
+use xmlta_server::{Session, Shared};
+use xmlta_service::json::Json;
+use xmlta_service::{parse_instance, parse_json, print_instance, ArtifactBackend};
+use xmlta_store::Store;
+
+/// The base instance: typechecks, exercises both schema sides, and pins
+/// the symbol order with an explicit alphabet section so printed
+/// successors stay stable.
+const BASE: &str = "\
+alphabet { r a b x y z }
+input dtd {
+  start r
+  r -> a b
+  a -> x*
+  b -> y*
+  x -> eps
+  y -> eps
+  z -> eps
+}
+output dtd {
+  start r
+  r -> a b
+  a -> x* z*
+  b -> y*
+  x -> eps
+  y -> eps
+  z -> eps
+}
+transducer {
+  states root p q
+  initial root
+  (root, r) -> r(p)
+  (p, a) -> a(q)
+  (p, b) -> b(q)
+  (q, x) -> x
+  (q, y) -> y
+}
+";
+
+const SYMBOLS: &[&str] = &["r", "a", "b", "x", "y", "z"];
+const RULE_RHS: &[&str] = &["x", "y", "z", "x x", "x y", "y y", "a(q)", "b(q)", "r(p)"];
+const SCHEMA_RHS: &[&str] = &["x*", "y*", "z*", "x* y*", "x* z*", "x y", "(x y)*", "y* z*"];
+
+/// Draws one valid-by-construction edit against the current mirror.
+fn random_edit(rng: &mut SmallRng, mirror: &Instance) -> Edit {
+    let states = mirror.transducer.state_names();
+    let roll = rng.gen_range(0..10u32);
+    if roll < 6 {
+        Edit::SetRule {
+            state: states[rng.gen_range(0..states.len())].clone(),
+            symbol: SYMBOLS[rng.gen_range(0..SYMBOLS.len())].to_string(),
+            rhs: RULE_RHS[rng.gen_range(0..RULE_RHS.len())].to_string(),
+        }
+    } else if roll < 8 {
+        // Remove a rule that is currently present (falling back to a
+        // set_rule when the script has emptied the transducer).
+        let present: Vec<(String, String)> = mirror
+            .transducer
+            .rules()
+            .map(|(q, s, _)| {
+                (
+                    states[q as usize].clone(),
+                    mirror.alphabet.name(s).to_string(),
+                )
+            })
+            .collect();
+        if present.is_empty() {
+            return Edit::SetRule {
+                state: states[0].clone(),
+                symbol: "r".to_string(),
+                rhs: "r(p)".to_string(),
+            };
+        }
+        let (state, symbol) = present[rng.gen_range(0..present.len())].clone();
+        Edit::RemoveRule { state, symbol }
+    } else {
+        Edit::SetSchemaRule {
+            output: rng.gen_bool(0.5),
+            symbol: SYMBOLS[rng.gen_range(0..SYMBOLS.len())].to_string(),
+            rhs: SCHEMA_RHS[rng.gen_range(0..SCHEMA_RHS.len())].to_string(),
+        }
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmlta-update-diff-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn make_shared(memo: bool, store_dir: Option<&PathBuf>) -> Arc<Shared> {
+    let memo_cap = if memo {
+        xmlta_service::cache::DEFAULT_MEMO_CAPACITY
+    } else {
+        0
+    };
+    match store_dir {
+        None => Shared::with_capacities(4096, memo_cap),
+        Some(dir) => {
+            let store = Arc::new(Store::open(dir).expect("store opens"));
+            Shared::with_store(4096, memo_cap, Some(store as Arc<dyn ArtifactBackend>))
+        }
+    }
+}
+
+/// Sends one frame and parses the reply.
+fn frame(session: &mut Session, line: &str) -> Json {
+    let (reply, _) = session.handle_frame(line);
+    parse_json(&reply).unwrap_or_else(|e| panic!("reply parses ({e:?}): {reply}"))
+}
+
+/// The verdict surface of a reply: every field that encodes the
+/// typechecking outcome, in render order.
+fn verdict_fields(reply: &Json) -> Vec<(&'static str, Option<Json>)> {
+    [
+        "status",
+        "counterexample",
+        "input",
+        "output",
+        "error",
+        "message",
+    ]
+    .iter()
+    .map(|k| (*k, reply.get(k).cloned()))
+    .collect()
+}
+
+/// Runs one seeded edit script of `steps` edits through a long-lived
+/// incremental session, checking every step against a scratch server.
+fn run_script(shared: &Arc<Shared>, scratch: &Arc<Shared>, seed: u64, steps: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut incr = Session::new(Arc::clone(shared));
+    let mut from_scratch = Session::new(Arc::clone(scratch));
+    frame(&mut incr, r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+
+    let registered = frame(&mut incr, &proto::req_register(1, BASE));
+    let mut handle = registered
+        .get("handle")
+        .and_then(|j| j.as_str())
+        .expect("base registers")
+        .to_string();
+    let mut mirror = parse_instance(BASE).expect("base parses");
+
+    for step in 0..steps {
+        let edit = random_edit(&mut rng, &mirror);
+        let id = 100 + step as u64;
+
+        // Independent expectations from the mirror: the printed edit's
+        // canonical source, handle, and a scratch server's verdict.
+        let edited = apply_edit(&mirror, &edit)
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: edit {edit:?} applies: {e}"));
+        let printed = print_instance(&edited).expect("edited instance prints");
+        let expected_handle = handle_for_source(&printed);
+        let scratch_reg = frame(&mut from_scratch, &proto::req_register(id, &printed));
+        assert_eq!(
+            scratch_reg.get("handle").and_then(|j| j.as_str()),
+            Some(expected_handle.as_str()),
+            "seed {seed} step {step}: scratch register agrees on the handle"
+        );
+        let expected = frame(
+            &mut from_scratch,
+            &proto::req_typecheck_handle(id, &expected_handle),
+        );
+        assert_eq!(
+            expected.get("ok"),
+            Some(&Json::Bool(true)),
+            "seed {seed} step {step}: scratch typecheck succeeds: {expected:?}"
+        );
+
+        // The incremental arm: one `update` frame against the live handle.
+        let update = frame(&mut incr, &proto::req_update(id, &handle, &edit));
+        assert_eq!(
+            update.get("ok"),
+            Some(&Json::Bool(true)),
+            "seed {seed} step {step}: update succeeds for {edit:?}: {update:?}"
+        );
+        assert_eq!(
+            update.get("handle").and_then(|j| j.as_str()),
+            Some(expected_handle.as_str()),
+            "seed {seed} step {step}: successor handle is content-derived"
+        );
+        assert_eq!(
+            verdict_fields(&update),
+            verdict_fields(&expected),
+            "seed {seed} step {step}: incremental verdict differs from scratch for {edit:?}"
+        );
+        let reused = update
+            .get("components_reused")
+            .and_then(|j| j.as_u64())
+            .expect("update reports components_reused");
+        assert!(
+            reused > 0,
+            "seed {seed} step {step}: a single-component edit must reuse components"
+        );
+
+        mirror = parse_instance(&printed).expect("printed successor parses");
+        handle = expected_handle;
+    }
+}
+
+#[test]
+fn incremental_updates_match_from_scratch_across_configs() {
+    let configs: &[(&str, bool, bool)] = &[
+        ("memo-store", true, true),
+        ("memo-nostore", true, false),
+        ("nomemo-store", false, true),
+        ("nomemo-nostore", false, false),
+    ];
+    for &(name, memo, store) in configs {
+        let dirs = (
+            temp_root(&format!("{name}-incr")),
+            temp_root(&format!("{name}-scratch")),
+        );
+        let (incr_dir, scratch_dir) = (&dirs.0, &dirs.1);
+        let shared = make_shared(memo, store.then_some(incr_dir));
+        let scratch = make_shared(memo, store.then_some(scratch_dir));
+        for seed in [0xA5, 0x5A, 7] {
+            run_script(&shared, &scratch, seed, 24);
+        }
+        if store {
+            let _ = std::fs::remove_dir_all(incr_dir);
+            let _ = std::fs::remove_dir_all(scratch_dir);
+        }
+    }
+}
+
+/// A focused script that forces verdict flips in both directions and
+/// checks the session-level counters afterwards: the memoized verdict
+/// must never leak across an edit, and every update must report reuse.
+#[test]
+fn update_flips_are_served_incrementally_with_reuse() {
+    let shared = Shared::new();
+    let mut session = Session::new(Arc::clone(&shared));
+    frame(&mut session, r#"{"id": 0, "op": "hello", "max_v": 2}"#);
+    let reply = frame(&mut session, &proto::req_register(1, BASE));
+    let h0 = reply
+        .get("handle")
+        .and_then(|j| j.as_str())
+        .unwrap()
+        .to_string();
+
+    // Break it: `q` on `x` now emits `y`, which `a -> x* z*` rejects.
+    let breaking = Edit::SetRule {
+        state: "q".to_string(),
+        symbol: "x".to_string(),
+        rhs: "y".to_string(),
+    };
+    let broken = frame(&mut session, &proto::req_update(2, &h0, &breaking));
+    assert_eq!(
+        broken.get("status").and_then(|j| j.as_str()),
+        Some("counterexample"),
+        "emitting y under a flips the verdict: {broken:?}"
+    );
+    let h1 = broken
+        .get("handle")
+        .and_then(|j| j.as_str())
+        .unwrap()
+        .to_string();
+
+    // Fix it again: back to the identity rule.
+    let fixing = Edit::SetRule {
+        state: "q".to_string(),
+        symbol: "x".to_string(),
+        rhs: "x".to_string(),
+    };
+    let fixed = frame(&mut session, &proto::req_update(3, &h1, &fixing));
+    assert_eq!(
+        fixed.get("status").and_then(|j| j.as_str()),
+        Some("typechecks"),
+        "restoring the rule restores the verdict: {fixed:?}"
+    );
+
+    let stats = frame(&mut session, r#"{"id": 4, "op": "stats"}"#);
+    let stats = stats.get("stats").expect("has stats");
+    assert_eq!(stats.get("update_reqs").and_then(|j| j.as_u64()), Some(2));
+    assert!(
+        stats
+            .get("components_reused")
+            .and_then(|j| j.as_u64())
+            .unwrap()
+            >= 2,
+        "both updates reuse components"
+    );
+}

@@ -319,8 +319,10 @@ pub fn check_instance(instance: &Arc<Instance>, cache: Option<&SchemaCache>) -> 
     render_status(outcome, instance)
 }
 
-/// Folds an engine outcome into the rendered [`ItemStatus`].
-fn render_status(
+/// Folds an engine outcome into the rendered [`ItemStatus`]. Public so the
+/// incremental-update path ([`crate::incremental`]) renders byte-identical
+/// statuses to this batch path.
+pub fn render_status(
     outcome: Result<Outcome, typecheck_core::TypecheckError>,
     instance: &Instance,
 ) -> ItemStatus {

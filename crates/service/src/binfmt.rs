@@ -64,11 +64,12 @@
 //! magic   3 bytes  "xts"
 //! version 1 byte   0x01
 //! section*         until end of stream, each:
-//!   kind   1 byte   0x00 schema context | 0x01 instance
+//!   kind   1 byte   0x00 schema context | 0x01 instance | 0x02 instance delta
 //!   length varint   byte length of the body
 //!   body
 //! schema body   := symbol table, input schema, output schema
 //! instance body := name (varint length + UTF-8) + transducer payload
+//! delta body    := name + nremoved (q sym)* + nset (q sym rhs)*   # both sorted
 //! ```
 //!
 //! A schema section replaces the active context; every instance section
@@ -77,6 +78,17 @@
 //! prefix plus 1 000 transducer frames. Sections are length-prefixed, so
 //! a decoder can skip or stream them without parsing bodies, and a body
 //! that does not consume exactly its declared length is rejected.
+//!
+//! A **delta section** shares the *instance* across versions, the way a
+//! schema section shares the context across instances: when consecutive
+//! instances also agree on the transducer header (state names, initial
+//! state, selectors, alphabet size) — the shape an edit script produces —
+//! the encoder ships only the rule diff against the previous instance:
+//! the `(q, sym)` keys removed and the `(q, sym) → rhs` rules set (added
+//! or replaced), both in `(q, sym)` order. An edited 1 000-version chain
+//! is then one schema prefix, one full transducer, and 999 rule-sized
+//! deltas. A delta is only valid directly after an instance (or another
+//! delta) under the same context; removing an absent rule is rejected.
 
 use std::fmt;
 use typecheck_core::{Instance, Schema};
@@ -103,6 +115,10 @@ const SECTION_SCHEMA: u8 = 0;
 
 /// Section kind: one instance (name + transducer) over the active context.
 const SECTION_INSTANCE: u8 = 1;
+
+/// Section kind: one instance as a rule diff against the previous
+/// instance in the stream (name + removed keys + set rules).
+const SECTION_INSTANCE_DELTA: u8 = 2;
 
 /// Nesting cap for recursive payloads (regexes, XPath expressions, rhs
 /// trees): deeper input is rejected instead of overflowing the stack.
@@ -387,7 +403,11 @@ fn put_rhs_node(out: &mut Vec<u8>, node: &RhsNode) {
     }
 }
 
-fn put_transducer(out: &mut Vec<u8>, t: &Transducer) {
+/// The transducer payload minus its rules: state names, initial state,
+/// alphabet size, selectors. Two versions of an edited instance share
+/// this header byte-for-byte, which is the delta-section eligibility
+/// test in [`encode_stream`].
+fn put_transducer_header(out: &mut Vec<u8>, t: &Transducer) {
     put_usize(out, t.num_states());
     for name in t.state_names() {
         put_str(out, name);
@@ -407,14 +427,28 @@ fn put_transducer(out: &mut Vec<u8>, t: &Transducer) {
             }
         }
     }
+}
+
+/// The canonical rule order: sorted by `(state, symbol)`.
+fn sorted_rules(t: &Transducer) -> Vec<(u32, Symbol, &Rhs)> {
     let mut rules: Vec<_> = t.rules().collect();
     rules.sort_by_key(|&(q, a, _)| (q, a));
+    rules
+}
+
+fn put_rule(out: &mut Vec<u8>, q: u32, sym: Symbol, rhs: &Rhs) {
+    put_varint(out, u64::from(q));
+    put_varint(out, u64::from(sym.0));
+    put_usize(out, rhs.nodes.len());
+    rhs.nodes.iter().for_each(|n| put_rhs_node(out, n));
+}
+
+fn put_transducer(out: &mut Vec<u8>, t: &Transducer) {
+    put_transducer_header(out, t);
+    let rules = sorted_rules(t);
     put_usize(out, rules.len());
     for (q, sym, rhs) in rules {
-        put_varint(out, u64::from(q));
-        put_varint(out, u64::from(sym.0));
-        put_usize(out, rhs.nodes.len());
-        rhs.nodes.iter().for_each(|n| put_rhs_node(out, n));
+        put_rule(out, q, sym, rhs);
     }
 }
 
@@ -461,8 +495,11 @@ pub fn encode_instance(instance: &Instance) -> Result<Vec<u8>, BinError> {
 /// Encodes named instances as one `.xts` delta stream, emitting a schema
 /// section only when the context (alphabet + input schema + output schema)
 /// differs from the previous instance's — consecutive instances sharing a
-/// schema ride as bare transducer frames. Like [`encode_instance`], the
-/// encoding is canonical: equal input sequences encode to equal bytes.
+/// schema ride as bare transducer frames — and an instance-*delta* section
+/// when consecutive instances also share the transducer header (state
+/// names, initial state, selectors, alphabet size): the successor ships
+/// only its rule diff. Like [`encode_instance`], the encoding is
+/// canonical: equal input sequences encode to equal bytes.
 pub fn encode_stream<'a, I>(items: I) -> Result<Vec<u8>, BinError>
 where
     I: IntoIterator<Item = (&'a str, &'a Instance)>,
@@ -471,6 +508,7 @@ where
     out.extend_from_slice(STREAM_MAGIC);
     out.push(STREAM_VERSION);
     let mut context: Option<Vec<u8>> = None;
+    let mut prev: Option<(Vec<u8>, &'a Instance)> = None;
     for (name, instance) in items {
         let mut schema = Vec::new();
         put_schema_context(&mut schema, instance)?;
@@ -479,13 +517,70 @@ where
             put_usize(&mut out, schema.len());
             out.extend_from_slice(&schema);
             context = Some(schema);
+            // A delta is only meaningful against an instance under the
+            // same context; a context switch resets the chain.
+            prev = None;
         }
+        let mut header = Vec::new();
+        put_transducer_header(&mut header, &instance.transducer);
         let mut body = Vec::new();
         put_str(&mut body, name);
-        put_transducer(&mut body, &instance.transducer);
-        out.push(SECTION_INSTANCE);
+        if let Some((prev_header, prev_inst)) = &prev {
+            if *prev_header == header {
+                // Shared header: ship the rule diff. Both rule lists are
+                // in canonical `(q, sym)` order, so a sorted merge yields
+                // the removed keys and the set (added/replaced) rules in
+                // the order the decoder requires.
+                let old = sorted_rules(&prev_inst.transducer);
+                let new = sorted_rules(&instance.transducer);
+                let mut removed: Vec<(u32, Symbol)> = Vec::new();
+                let mut set: Vec<(u32, Symbol, &Rhs)> = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < old.len() || j < new.len() {
+                    let ahead = match (old.get(i), new.get(j)) {
+                        (Some(&(q, a, _)), Some(&(p, b, _))) => (q, a).cmp(&(p, b)),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, _) => std::cmp::Ordering::Greater,
+                    };
+                    match ahead {
+                        std::cmp::Ordering::Less => {
+                            removed.push((old[i].0, old[i].1));
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            set.push(new[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            if old[i].2 != new[j].2 {
+                                set.push(new[j]);
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                put_usize(&mut body, removed.len());
+                for (q, sym) in removed {
+                    put_varint(&mut body, u64::from(q));
+                    put_varint(&mut body, u64::from(sym.0));
+                }
+                put_usize(&mut body, set.len());
+                for (q, sym, rhs) in set {
+                    put_rule(&mut body, q, sym, rhs);
+                }
+                out.push(SECTION_INSTANCE_DELTA);
+            } else {
+                put_transducer(&mut body, &instance.transducer);
+                out.push(SECTION_INSTANCE);
+            }
+        } else {
+            put_transducer(&mut body, &instance.transducer);
+            out.push(SECTION_INSTANCE);
+        }
         put_usize(&mut out, body.len());
         out.extend_from_slice(&body);
+        prev = Some((header, instance));
     }
     Ok(out)
 }
@@ -944,6 +1039,70 @@ fn get_transducer(r: &mut Reader<'_>, table_len: usize) -> Result<Transducer, Bi
         .map_err(|e| BinError::new(at, format!("invalid transducer: {e}")))
 }
 
+/// Decodes a delta-section rule diff and applies it to `base`: the
+/// successor keeps the base's states, initial state, selectors, and
+/// alphabet size, with the listed rules removed and set. Both lists must
+/// be in strictly increasing `(q, sym)` order, every reference is bounds-
+/// checked against the base's header, and removing an absent rule is an
+/// error — a diff can never silently desynchronize from its base.
+fn get_transducer_delta(r: &mut Reader<'_>, base: &Transducer) -> Result<Transducer, BinError> {
+    let num_states = base.num_states();
+    let sigma = base.alphabet_size();
+    let num_selectors = base.selectors().len();
+    let mut rules: std::collections::BTreeMap<(u32, u32), Rhs> = base
+        .rules()
+        .map(|(q, sym, rhs)| ((q, sym.0), rhs.clone()))
+        .collect();
+    let nremoved = r.count("delta removed-rule count")?;
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..nremoved {
+        let q = r.id("delta removed-rule state")?;
+        let sym = r.id("delta removed-rule symbol")?;
+        in_range(r, q, num_states, "delta removed-rule state")?;
+        in_range(r, sym, sigma, "delta removed-rule symbol")?;
+        if prev.is_some_and(|p| p >= (q, sym)) {
+            return Err(r.err("delta removed rules must be in strictly increasing order"));
+        }
+        prev = Some((q, sym));
+        if rules.remove(&(q, sym)).is_none() {
+            return Err(r.err(format!(
+                "delta removes rule ({q}, symbol #{sym}) which the base does not have"
+            )));
+        }
+    }
+    let nset = r.count("delta set-rule count")?;
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..nset {
+        let q = r.id("delta set-rule state")?;
+        let sym = r.id("delta set-rule symbol")?;
+        in_range(r, q, num_states, "delta set-rule state")?;
+        in_range(r, sym, sigma, "delta set-rule symbol")?;
+        if prev.is_some_and(|p| p >= (q, sym)) {
+            return Err(r.err("delta set rules must be in strictly increasing order"));
+        }
+        prev = Some((q, sym));
+        let nnodes = r.count("rhs node count")?;
+        let mut nodes = Vec::with_capacity(reserve(nnodes));
+        for _ in 0..nnodes {
+            nodes.push(get_rhs_node(r, sigma, num_states, num_selectors, 0)?);
+        }
+        rules.insert((q, sym), Rhs::new(nodes));
+    }
+    let at = r.pos;
+    let rules: Vec<((u32, Symbol), Rhs)> = rules
+        .into_iter()
+        .map(|((q, sym), rhs)| ((q, Symbol(sym)), rhs))
+        .collect();
+    Transducer::from_parts(
+        base.state_names().to_vec(),
+        base.initial_state(),
+        rules,
+        base.selectors().to_vec(),
+        sigma,
+    )
+    .map_err(|e| BinError::new(at, format!("invalid transducer after delta: {e}")))
+}
+
 /// Decodes a schema context (symbol table + input/output schemas) — the
 /// shared prefix of `.xtb` frames and `.xts` schema sections.
 fn get_schema_context(r: &mut Reader<'_>) -> Result<(Alphabet, Schema, Schema), BinError> {
@@ -1027,6 +1186,9 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<(String, Instance)>, BinError> 
         ));
     }
     let mut context: Option<(Alphabet, Schema, Schema)> = None;
+    // The delta base: the previous section's transducer, cleared on a
+    // context switch (a delta right after a schema section is invalid).
+    let mut last: Option<Transducer> = None;
     let mut out = Vec::new();
     while r.pos < bytes.len() {
         let at = r.pos;
@@ -1036,7 +1198,10 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<(String, Instance)>, BinError> 
         let len = r.count("section length")?;
         let end = r.pos + len;
         match kind {
-            SECTION_SCHEMA => context = Some(get_schema_context(&mut r)?),
+            SECTION_SCHEMA => {
+                context = Some(get_schema_context(&mut r)?);
+                last = None;
+            }
             SECTION_INSTANCE => {
                 let Some((alphabet, input, output)) = &context else {
                     return Err(BinError::new(
@@ -1046,6 +1211,30 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<(String, Instance)>, BinError> 
                 };
                 let name = r.str("instance name")?.to_string();
                 let transducer = get_transducer(&mut r, alphabet.len())?;
+                last = Some(transducer.clone());
+                out.push((
+                    name,
+                    Instance {
+                        alphabet: alphabet.clone(),
+                        input: input.clone(),
+                        output: output.clone(),
+                        transducer,
+                    },
+                ));
+            }
+            SECTION_INSTANCE_DELTA => {
+                let Some((alphabet, input, output)) = &context else {
+                    return Err(BinError::new(at, "delta section before any schema section"));
+                };
+                let Some(base) = &last else {
+                    return Err(BinError::new(
+                        at,
+                        "delta section without a preceding instance in this context",
+                    ));
+                };
+                let name = r.str("instance name")?.to_string();
+                let transducer = get_transducer_delta(&mut r, base)?;
+                last = Some(transducer.clone());
                 out.push((
                     name,
                     Instance {

@@ -763,34 +763,46 @@ pub fn fingerprint_nta(nta: &Nta) -> u64 {
 /// Structural fingerprint of a whole typecheck instance: alphabet names
 /// (display matters — counterexamples render through them), both schemas,
 /// and the transducer. This is the result-memo key.
+///
+/// Since the incremental-update work this is *derived from the
+/// per-component fingerprints* ([`ComponentFingerprints::combined`]): any
+/// edit to any component — a single transducer rule included — changes the
+/// combined key, so the memo can never serve a pre-edit verdict for a
+/// post-edit instance, while the unchanged components keep their own
+/// fingerprints (and therefore their cached rule DFAs, compiled schemas,
+/// and `B_out` products).
 pub fn fingerprint_instance(instance: &Instance) -> u64 {
+    ComponentFingerprints::of(instance).combined()
+}
+
+/// Fingerprint of an alphabet section (names in index order).
+pub fn fingerprint_alphabet(a: &xmlta_base::Alphabet) -> u64 {
     let mut h = FxHasher::default();
-    h.write_u64(0x1257);
-    h.write_u64(instance.alphabet.len() as u64);
-    for s in instance.alphabet.symbols() {
-        h.write(instance.alphabet.name(s).as_bytes());
+    h.write_u64(0xA1FA);
+    h.write_u64(a.len() as u64);
+    for s in a.symbols() {
+        h.write(a.name(s).as_bytes());
         h.write_u8(0xFF);
     }
-    hash_schema(&mut h, &instance.input);
-    hash_schema(&mut h, &instance.output);
-    hash_transducer(&mut h, &instance.transducer);
     finish(h)
 }
 
-fn hash_schema(h: &mut FxHasher, schema: &Schema) {
+/// Fingerprint of a schema section. DTD and NTA salts differ, so the
+/// variants cannot collide.
+pub fn fingerprint_schema(schema: &Schema) -> u64 {
     match schema {
-        Schema::Dtd(d) => {
-            h.write_u8(0);
-            h.write_u64(fingerprint_dtd(d));
-        }
-        Schema::Nta(n) => {
-            h.write_u8(1);
-            h.write_u64(fingerprint_nta(n));
-        }
+        Schema::Dtd(d) => fingerprint_dtd(d),
+        Schema::Nta(n) => fingerprint_nta(n),
     }
 }
 
-fn hash_transducer(h: &mut FxHasher, t: &Transducer) {
+/// Fingerprint of the transducer *header*: state names, initial state,
+/// alphabet size, and the selector table — everything about the transducer
+/// except its rules, which are fingerprinted one by one
+/// ([`fingerprint_rule`]).
+pub fn fingerprint_transducer_header(t: &Transducer) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(0x7EAD);
     h.write_u64(t.num_states() as u64);
     for name in t.state_names() {
         h.write(name.as_bytes());
@@ -802,22 +814,101 @@ fn hash_transducer(h: &mut FxHasher, t: &Transducer) {
         match sel {
             Selector::XPath(p) => {
                 h.write_u8(0);
-                hash_pattern(h, p);
+                hash_pattern(&mut h, p);
             }
             Selector::Dfa(d) => {
                 h.write_u8(1);
-                hash_dfa(h, d);
+                hash_dfa(&mut h, d);
             }
         }
     }
-    h.write_u8(0xFB);
-    let mut rules: Vec<_> = t.rules().collect();
-    rules.sort_by_key(|&(q, a, _)| (q, a));
-    for (q, a, rhs) in rules {
-        h.write_u32(q);
-        h.write_u32(a.0);
-        h.write_u64(rhs.nodes.len() as u64);
-        rhs.nodes.iter().for_each(|n| hash_rhs_node(h, n));
+    finish(h)
+}
+
+/// Fingerprint of one transducer rule `rhs(q, a)`.
+pub fn fingerprint_rule(q: u32, a: xmlta_base::Symbol, rhs: &Rhs) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(0x12E1);
+    h.write_u32(q);
+    h.write_u32(a.0);
+    h.write_u64(rhs.nodes.len() as u64);
+    rhs.nodes.iter().for_each(|n| hash_rhs_node(&mut h, n));
+    finish(h)
+}
+
+/// The per-component fingerprints of an instance: alphabet, each schema
+/// section, the transducer header, and every transducer rule separately.
+/// Two versions of an instance share exactly the components whose
+/// fingerprints coincide — the unit of reuse the `update` op reports via
+/// its `components_reused` counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentFingerprints {
+    pub alphabet: u64,
+    pub input: u64,
+    pub output: u64,
+    pub transducer_header: u64,
+    /// Per-rule fingerprints in canonical `(state, symbol)` order.
+    pub rules: Vec<((u32, xmlta_base::Symbol), u64)>,
+}
+
+impl ComponentFingerprints {
+    /// Computes every component fingerprint of `instance`.
+    pub fn of(instance: &Instance) -> ComponentFingerprints {
+        let mut rules: Vec<((u32, xmlta_base::Symbol), u64)> = instance
+            .transducer
+            .rules()
+            .map(|(q, a, rhs)| ((q, a), fingerprint_rule(q, a, rhs)))
+            .collect();
+        rules.sort_by_key(|&(k, _)| k);
+        ComponentFingerprints {
+            alphabet: fingerprint_alphabet(&instance.alphabet),
+            input: fingerprint_schema(&instance.input),
+            output: fingerprint_schema(&instance.output),
+            transducer_header: fingerprint_transducer_header(&instance.transducer),
+            rules,
+        }
+    }
+
+    /// The whole-instance fingerprint (the result-memo key), combined from
+    /// the components.
+    pub fn combined(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(0x1257);
+        h.write_u64(self.alphabet);
+        h.write_u64(self.input);
+        h.write_u64(self.output);
+        h.write_u64(self.transducer_header);
+        for &((q, a), fp) in &self.rules {
+            h.write_u32(q);
+            h.write_u32(a.0);
+            h.write_u64(fp);
+        }
+        finish(h)
+    }
+
+    /// How many of `self`'s components carry a fingerprint identical to a
+    /// component of `prev` — i.e. survive an edit from `prev` to `self`
+    /// untouched.
+    pub fn shared_with(&self, prev: &ComponentFingerprints) -> usize {
+        let mut n = 0;
+        n += usize::from(self.alphabet == prev.alphabet);
+        n += usize::from(self.input == prev.input);
+        n += usize::from(self.output == prev.output);
+        n += usize::from(self.transducer_header == prev.transducer_header);
+        // Both rule lists are sorted by (state, symbol): one merge pass.
+        let (mut i, mut j) = (0, 0);
+        while i < self.rules.len() && j < prev.rules.len() {
+            match self.rules[i].0.cmp(&prev.rules[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += usize::from(self.rules[i].1 == prev.rules[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
     }
 }
 

@@ -77,6 +77,7 @@ pub mod binfmt;
 pub mod cache;
 pub mod error;
 pub mod gen;
+pub mod incremental;
 pub mod json;
 pub mod lru;
 pub mod parse;
@@ -89,9 +90,10 @@ pub use batch::{
 pub use binfmt::{decode_instance, decode_stream, encode_instance, encode_stream, BinError};
 pub use cache::{
     fingerprint_instance, instance_eq, typecheck_cached, warm_instance, ArtifactBackend,
-    CacheStats, SchemaCache,
+    CacheStats, ComponentFingerprints, SchemaCache,
 };
 pub use error::{Loc, ParseError, PrintError};
+pub use incremental::{RetainedEngine, UpdateReuse};
 pub use json::{parse_json, Json};
 pub use parse::parse_instance;
 pub use print::print_instance;

@@ -460,6 +460,195 @@ fn delta_stream_structured_errors() {
     );
 }
 
+/// An edit-chain base: the shapes the `update` op produces — successive
+/// versions differing in single transducer rules over a fixed schema.
+const CHAIN: &str = "\
+alphabet { r x y }
+input dtd {
+  start r
+  r -> x*
+  x -> eps
+  y -> eps
+}
+output dtd {
+  start r
+  r -> y*
+  x -> eps
+  y -> eps
+}
+transducer {
+  states root q
+  initial root
+  (root, r) -> r(q)
+  (q, x) -> y
+  (q, y) -> y
+}
+";
+
+/// An edit chain over [`CHAIN`]: a removal, a change, and two additions.
+fn chain_versions() -> Vec<(String, Instance)> {
+    let base = parse_instance(CHAIN).expect("parses");
+    let edits: &[(&str, &str, Option<&str>)] = &[
+        ("q", "y", None),         // remove (q, y)
+        ("q", "x", Some("x")),    // change (q, x)
+        ("q", "y", Some("x y")),  // add (q, y) back, different rhs
+        ("root", "x", Some("y")), // add a rule on another state
+    ];
+    let mut versions = vec![("v0".to_string(), base)];
+    for (k, (state, symbol, rhs)) in edits.iter().enumerate() {
+        let prev = &versions.last().unwrap().1;
+        let mut alphabet = prev.alphabet.clone();
+        let transducer = match rhs {
+            Some(rhs) => prev
+                .transducer
+                .with_rule(state, symbol, rhs, &mut alphabet)
+                .expect("edit applies"),
+            None => prev
+                .transducer
+                .without_rule(state, alphabet.lookup(symbol).expect("interned"))
+                .expect("edit applies"),
+        };
+        versions.push((
+            format!("v{}", k + 1),
+            Instance {
+                alphabet,
+                input: prev.input.clone(),
+                output: prev.output.clone(),
+                transducer,
+            },
+        ));
+    }
+    versions
+}
+
+/// Walks a stream's section framing: `(kind, full byte range)` per
+/// section, the range covering kind byte + length varint + body.
+fn sections(stream: &[u8]) -> Vec<(u8, std::ops::Range<usize>)> {
+    let mut pos = 4usize;
+    let mut out = Vec::new();
+    while pos < stream.len() {
+        let start = pos;
+        let kind = stream[pos];
+        pos += 1;
+        let mut len = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = stream[pos];
+            pos += 1;
+            len |= u64::from(b & 0x7f) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        pos += len as usize;
+        out.push((kind, start..pos));
+    }
+    out
+}
+
+#[test]
+fn delta_sections_ship_rule_edits_compactly() {
+    let versions = chain_versions();
+    let stream =
+        binfmt::encode_stream(versions.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    // One schema context, one full transducer, then rule-sized deltas.
+    let kinds: Vec<u8> = sections(&stream).iter().map(|(k, _)| *k).collect();
+    assert_eq!(kinds, vec![0, 1, 2, 2, 2, 2], "edit chains ride as deltas");
+    let secs = sections(&stream);
+    let full = secs[1].1.len();
+    for (k, range) in &secs[2..] {
+        assert_eq!(*k, 2);
+        assert!(
+            range.len() < full,
+            "a single-rule delta ({} bytes) must undercut the full \
+             transducer section ({full} bytes)",
+            range.len()
+        );
+    }
+    // Round-trip: structural equality at every version, canonical bytes.
+    let decoded = binfmt::decode_stream(&stream).expect("decodes");
+    assert_eq!(decoded.len(), versions.len());
+    for ((want_name, want), (got_name, got)) in versions.iter().zip(&decoded) {
+        assert_eq!(want_name, got_name);
+        assert!(instance_eq(want, got), "{want_name} differs after delta");
+    }
+    let reencoded =
+        binfmt::encode_stream(decoded.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    assert_eq!(stream, reencoded, "delta encoding must be canonical");
+
+    // A context switch resets the chain: interleaving another schema
+    // forces a fresh schema section *and* a full transducer after it.
+    let stranger = fleet().remove(0);
+    let mut mixed = versions.clone();
+    mixed.push(stranger);
+    mixed.push(versions[1].clone());
+    let zigzag =
+        binfmt::encode_stream(mixed.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    let kinds: Vec<u8> = sections(&zigzag).iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        kinds,
+        vec![0, 1, 2, 2, 2, 2, 0, 1, 0, 1],
+        "deltas never cross a schema section"
+    );
+    let decoded = binfmt::decode_stream(&zigzag).expect("decodes");
+    for ((want_name, want), (got_name, got)) in mixed.iter().zip(&decoded) {
+        assert_eq!(want_name, got_name);
+        assert!(
+            instance_eq(want, got),
+            "{want_name} differs in mixed stream"
+        );
+    }
+}
+
+#[test]
+fn delta_section_structured_errors() {
+    let versions = chain_versions();
+    let stream =
+        binfmt::encode_stream(versions.iter().map(|(n, i)| (n.as_str(), i))).expect("encodes");
+    let secs = sections(&stream);
+    let schema = &stream[secs[0].1.clone()];
+    let instance = &stream[secs[1].1.clone()];
+    // v1 is a pure removal of (q, y), so its delta is the probe.
+    let removal_delta = &stream[secs[2].1.clone()];
+
+    // A delta with no schema context at all.
+    let mut orphan = b"xts\x01".to_vec();
+    orphan.extend_from_slice(removal_delta);
+    let err = binfmt::decode_stream(&orphan).unwrap_err();
+    assert!(err.message.contains("before any schema section"), "{err}");
+
+    // A delta right after a schema section: no base instance to diff.
+    let mut baseless = b"xts\x01".to_vec();
+    baseless.extend_from_slice(schema);
+    baseless.extend_from_slice(removal_delta);
+    let err = binfmt::decode_stream(&baseless).unwrap_err();
+    assert!(
+        err.message.contains("without a preceding instance"),
+        "{err}"
+    );
+
+    // Replaying the removal delta removes an already-removed rule.
+    let mut replay = b"xts\x01".to_vec();
+    replay.extend_from_slice(schema);
+    replay.extend_from_slice(instance);
+    replay.extend_from_slice(removal_delta);
+    replay.extend_from_slice(removal_delta);
+    let err = binfmt::decode_stream(&replay).unwrap_err();
+    assert!(
+        err.message.contains("which the base does not have"),
+        "{err}"
+    );
+
+    // Truncation totality holds through delta sections too.
+    for cut in 0..stream.len() {
+        match binfmt::decode_stream(&stream[..cut]) {
+            Ok(decoded) => assert!(decoded.len() <= versions.len()),
+            Err(e) => assert!(e.offset <= cut, "offset {} past cut {cut}", e.offset),
+        }
+    }
+}
+
 #[test]
 fn stream_batch_items_match_per_instance_batches() {
     // The same fleet via the delta stream and as individual prepared

@@ -197,6 +197,60 @@ impl Transducer {
             alphabet_size,
         })
     }
+
+    /// A copy of this transducer with the rule `(state, symbol) → rhs_src`
+    /// set (added or replaced). The rhs is parsed with the standard rule
+    /// grammar; inline XPath selectors are appended to the selector table,
+    /// but named `$dfa` selector references cannot be resolved here (builder
+    /// names are not retained) and surface as [`BuildError::UnknownState`].
+    /// The state space is unchanged — the edit primitive of the incremental
+    /// `update` path, which requires a stable state space.
+    pub fn with_rule(
+        &self,
+        state: &str,
+        symbol: &str,
+        rhs_src: &str,
+        alphabet: &mut Alphabet,
+    ) -> Result<Transducer, BuildError> {
+        let q = self
+            .state_by_name(state)
+            .ok_or_else(|| BuildError::UnknownState(state.to_string()))?;
+        let a = alphabet.intern(symbol);
+        let mut selectors = self.selectors.clone();
+        let rhs = parse_rhs(rhs_src, alphabet, &self.state_names, &[], &mut selectors)?;
+        let mut rules = self.rules.clone();
+        rules.insert((q, a), rhs);
+        Ok(Transducer {
+            state_names: self.state_names.clone(),
+            initial: self.initial,
+            rules,
+            selectors,
+            alphabet_size: alphabet.len().max(self.alphabet_size),
+        })
+    }
+
+    /// A copy of this transducer with the rule for `(state, symbol)` removed
+    /// (the pair then translates to ε). Errors if the rule does not exist,
+    /// so a typo cannot silently no-op.
+    pub fn without_rule(&self, state: &str, symbol: Symbol) -> Result<Transducer, BuildError> {
+        let q = self
+            .state_by_name(state)
+            .ok_or_else(|| BuildError::UnknownState(state.to_string()))?;
+        let mut rules = self.rules.clone();
+        if rules.remove(&(q, symbol)).is_none() {
+            return Err(BuildError::RhsSyntax(format!(
+                "no rule for ({state}, symbol #{}) to remove",
+                symbol.0
+            )));
+        }
+        Ok(Transducer {
+            state_names: self.state_names.clone(),
+            initial: self.initial,
+            rules,
+            selectors: self.selectors.clone(),
+            alphabet_size: self.alphabet_size,
+        })
+    }
 }
 
 /// DFA selector semantics: selects each strict descendant `v` such that the
